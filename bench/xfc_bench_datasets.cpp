@@ -1,0 +1,54 @@
+// Reproduces paper Table I: the evaluated datasets (name, dims,
+// description), at bench scale and at paper scale, plus per-field summary
+// statistics of the synthetic stand-ins.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace xfc;
+using namespace xfc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  print_header("Table I: Details of tested datasets");
+  std::printf("%-12s %-18s %-18s %s\n", "Name", "Paper dims",
+              opt.full ? "Run dims (=paper)" : "Run dims (scaled)",
+              "Description");
+  print_rule();
+  for (auto kind : {DatasetKind::kScale, DatasetKind::kCesm,
+                    DatasetKind::kHurricane}) {
+    const Shape p = paper_dims(kind);
+    const Shape d = bench_dims(kind, opt.full);
+    char pbuf[48], dbuf[48];
+    if (p.ndim() == 3) {
+      std::snprintf(pbuf, sizeof pbuf, "%zux%zux%zu", p[0], p[1], p[2]);
+      std::snprintf(dbuf, sizeof dbuf, "%zux%zux%zu", d[0], d[1], d[2]);
+    } else {
+      std::snprintf(pbuf, sizeof pbuf, "%zux%zu", p[0], p[1]);
+      std::snprintf(dbuf, sizeof dbuf, "%zux%zu", d[0], d[1]);
+    }
+    const auto ds = make_dataset(kind, d, opt.seed);
+    std::printf("%-12s %-18s %-18s %s\n", ds.name.c_str(), pbuf, dbuf,
+                ds.description.c_str());
+  }
+
+  std::printf("\nPer-field statistics of the synthetic stand-ins "
+              "(seed %llu):\n\n",
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("%-12s %-8s %14s %14s %14s %14s\n", "Dataset", "Field", "min",
+              "max", "mean", "stddev");
+  print_rule();
+  for (auto kind : {DatasetKind::kScale, DatasetKind::kCesm,
+                    DatasetKind::kHurricane}) {
+    const auto ds = make_dataset(kind, bench_dims(kind, opt.full), opt.seed);
+    for (const Field& f : ds.fields) {
+      auto [lo, hi] = f.min_max();
+      std::printf("%-12s %-8s %14.4g %14.4g %14.4g %14.4g\n",
+                  ds.name.c_str(), f.name().c_str(), lo, hi, f.mean(),
+                  f.stddev());
+    }
+  }
+  return 0;
+}

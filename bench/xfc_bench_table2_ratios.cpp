@@ -1,0 +1,82 @@
+// Reproduces paper Table II: compression ratio of the baseline (SZ3-style,
+// Lorenzo + dual quantization) vs our cross-field solution for the six
+// evaluated fields at relative error bounds {5e-3, 2e-3, 1e-3, 5e-4, 2e-4},
+// with the percentage change. The paper reports entries only where the
+// baseline bit rate exceeds 1 bit/value (CR < 32); we print all cells and
+// mark the paper's "/" cells.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sz/compressor.hpp"
+
+using namespace xfc;
+using namespace xfc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+  const auto bounds = table2_bounds();
+
+  print_header(
+      "Table II: compression ratio, baseline (SZ3/Lorenzo/dual-quant) vs "
+      "ours (cross-field hybrid)");
+  std::printf("%-11s %-8s |", "Dataset", "Field");
+  for (double eb : bounds) std::printf("  %-20.0e", eb);
+  std::printf("\n");
+  print_rule(118);
+
+  for (auto kind : {DatasetKind::kScale, DatasetKind::kHurricane,
+                    DatasetKind::kCesm}) {
+    auto prep = prepare_dataset(kind, opt);
+    for (const auto& pt : prep.targets) {
+      // Baseline row.
+      std::printf("%-11s %-8s |", prep.dataset.name.c_str(),
+                  pt.spec.target.c_str());
+      std::vector<double> base_cr, ours_cr;
+      for (double eb : bounds) {
+        SzOptions sopt;
+        sopt.eb = ErrorBound::relative(eb);
+        SzStats stats;
+        sz_compress(*pt.target, sopt, &stats);
+        base_cr.push_back(stats.compression_ratio);
+
+        CrossFieldOptions copt;
+        copt.eb = ErrorBound::relative(eb);
+        SzStats cstats;
+        cross_field_compress(*pt.target, pt.anchors, pt.model, copt, &cstats,
+                             &pt.diff_predictions);
+        ours_cr.push_back(cstats.compression_ratio);
+      }
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (base_cr[i] >= 32.0)
+          std::printf("  %-20s", "/");  // paper omits CR >= 32 cells
+        else
+          std::printf("  %-20.2f", base_cr[i]);
+      }
+      std::printf("   [baseline]\n");
+
+      std::printf("%-11s %-8s |", "", "");
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (base_cr[i] >= 32.0) {
+          std::printf("  %-20s", "/");
+          continue;
+        }
+        const double delta =
+            100.0 * (ours_cr[i] - base_cr[i]) / base_cr[i];
+        char cell[40];
+        std::snprintf(cell, sizeof cell, "%.2f(%+.2f%%)", ours_cr[i],
+                      delta);
+        std::printf("  %-20s", cell);
+      }
+      std::printf("   [ours]\n");
+      print_rule(118);
+    }
+  }
+  std::printf(
+      "\nNotes: 'ours' includes the serialized CFNN + hybrid model in the "
+      "compressed bytes (as the paper counts it). Expected shape per the "
+      "paper: up to ~25%% gains at moderate ratios, largest on strongly "
+      "cross-correlated fields (Hurricane Wf, CESM FLUT/LWCF); small "
+      "losses possible when the model overhead dominates.\n");
+  return 0;
+}

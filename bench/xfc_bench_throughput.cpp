@@ -1,0 +1,131 @@
+// Pipeline-stage throughput microbenchmarks (google-benchmark). The paper's
+// §III-D motivates dual quantization with compression-side parallelism;
+// these benches quantify each stage and the end-to-end codecs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "encode/backend.hpp"
+#include "encode/huffman.hpp"
+#include "encode/miniflate.hpp"
+#include "predict/lorenzo.hpp"
+#include "quant/dual_quant.hpp"
+#include "sz/compressor.hpp"
+#include "sz/delta_codec.hpp"
+#include "sz/interpolation.hpp"
+#include "zfp/zfp_codec.hpp"
+
+namespace {
+
+using namespace xfc;
+
+const Field& bench_field() {
+  static const Field field = [] {
+    auto ds = make_dataset(DatasetKind::kCesm, Shape{512, 512}, 7);
+    for (auto& f : ds.fields)
+      if (f.name() == "FLUT") return f;
+    return ds.fields[0];
+  }();
+  return field;
+}
+
+void BM_Prequantize(benchmark::State& state) {
+  const Field& f = bench_field();
+  const double eb = 1e-3 * f.value_range();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prequantize(f.array(), eb));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_Prequantize);
+
+void BM_LorenzoPredictAll(benchmark::State& state) {
+  const Field& f = bench_field();
+  const I32Array codes = prequantize(f.array(), 1e-3 * f.value_range());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        lorenzo_predict_all(codes, LorenzoOrder::kOne));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_LorenzoPredictAll);
+
+void BM_DeltaEncode(benchmark::State& state) {
+  const Field& f = bench_field();
+  const I32Array codes = prequantize(f.array(), 1e-3 * f.value_range());
+  const I32Array preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        encode_deltas(codes.span(), preds.span(), kDefaultQuantRadius));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_DeltaEncode);
+
+void BM_SzCompress(benchmark::State& state) {
+  const Field& f = bench_field();
+  SzOptions opt;
+  for (auto _ : state) benchmark::DoNotOptimize(sz_compress(f, opt));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_SzCompress);
+
+void BM_SzDecompress(benchmark::State& state) {
+  const Field& f = bench_field();
+  const auto stream = sz_compress(f, SzOptions{});
+  for (auto _ : state) benchmark::DoNotOptimize(sz_decompress(stream));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_SzDecompress);
+
+void BM_InterpCompress(benchmark::State& state) {
+  const Field& f = bench_field();
+  InterpOptions opt;
+  for (auto _ : state) benchmark::DoNotOptimize(interp_compress(f, opt));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_InterpCompress);
+
+void BM_ZfpCompress(benchmark::State& state) {
+  const Field& f = bench_field();
+  ZfpOptions opt;
+  opt.tolerance = 1e-3 * f.value_range();
+  for (auto _ : state) benchmark::DoNotOptimize(zfp_compress(f, opt));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          f.size() * sizeof(float));
+}
+BENCHMARK(BM_ZfpCompress);
+
+void BM_MiniflateRoundtrip(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::uint8_t> data(1 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>((i % 251) ^ (rng.uniform() < 0.05
+                                                          ? rng.next_u64()
+                                                          : 0));
+  for (auto _ : state) {
+    auto c = miniflate_compress(data);
+    benchmark::DoNotOptimize(miniflate_decompress(c));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+BENCHMARK(BM_MiniflateRoundtrip);
+
+void BM_HuffmanBuild(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::uint64_t> freqs(65537, 0);
+  for (int i = 0; i < 100000; ++i)
+    ++freqs[32768 + static_cast<int>(rng.normal(0, 40))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(HuffmanCode::from_frequencies(freqs));
+}
+BENCHMARK(BM_HuffmanBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Automatic anchor discovery (paper §V future work): given a multi-field
+// snapshot and a target, rank candidate anchors by learnability, then show
+// that compressing with the discovered anchors performs comparably to the
+// paper's hand-picked Table III configuration.
+
+#include <cstdio>
+
+#include "crossfield/anchor_select.hpp"
+#include "crossfield/crossfield.hpp"
+#include "data/dataset.hpp"
+
+int main() {
+  using namespace xfc;
+
+  const Dataset ds = make_dataset(DatasetKind::kCesm, Shape{384, 768});
+  const std::string target_name = "LWCF";
+  const Field* target = ds.find(target_name);
+
+  std::vector<const Field*> candidates;
+  for (const Field& f : ds.fields)
+    if (f.name() != target_name) candidates.push_back(&f);
+
+  std::printf("ranking anchors for %s among %zu candidates ...\n\n",
+              target_name.c_str(), candidates.size());
+  AnchorSelectOptions aopt;
+  aopt.max_anchors = 3;
+  aopt.min_gain = 0.005;
+  const auto chosen = select_anchors(*target, candidates, aopt);
+
+  std::printf("%-4s %-10s %12s %12s\n", "#", "anchor", "marginal R2",
+              "cumulative");
+  for (std::size_t i = 0; i < chosen.size(); ++i)
+    std::printf("%-4zu %-10s %12.3f %12.3f\n", i + 1,
+                chosen[i].name.c_str(), chosen[i].marginal_r2,
+                chosen[i].cumulative_r2);
+
+  if (chosen.empty()) {
+    std::printf("no informative anchors found\n");
+    return 1;
+  }
+
+  // Compress with the discovered set and with Table III's set.
+  auto compress_with = [&](const std::vector<std::string>& names) {
+    std::vector<const Field*> anchors;
+    for (const auto& n : names) anchors.push_back(ds.find(n));
+    CfnnTrainOptions train;
+    train.epochs = 10;
+    train.patches_per_epoch = 96;
+    const CfnnModel model =
+        train_cross_field_model(*target, anchors, CfnnConfig{24, 8, 3},
+                                train);
+    CrossFieldOptions opt;
+    opt.eb = ErrorBound::relative(1e-3);
+    SzStats stats;
+    cross_field_compress(*target, anchors, model, opt, &stats);
+    return stats.compression_ratio;
+  };
+
+  std::vector<std::string> discovered;
+  for (const auto& c : chosen) discovered.push_back(c.name);
+  const auto table3 = table3_targets(DatasetKind::kCesm, false);
+  std::vector<std::string> paper_anchors;
+  for (const auto& spec : table3)
+    if (spec.target == target_name) paper_anchors = spec.anchors;
+
+  std::printf("\ncompression ratio at rel eb 1e-3:\n");
+  std::printf("  discovered anchors: %.2f\n", compress_with(discovered));
+  std::printf("  Table III anchors:  %.2f\n", compress_with(paper_anchors));
+  return 0;
+}

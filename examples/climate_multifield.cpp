@@ -1,0 +1,76 @@
+// Multi-field climate snapshot compression — the paper's headline use case.
+// A CESM-ATM-like snapshot is compressed with MultiFieldCompressor: plain
+// fields take the baseline path, CLDTOT / LWCF / FLUT take the cross-field
+// path (trained CFNN + hybrid predictor over their Table III anchors), and
+// the decoder reverses everything from the streams alone.
+
+#include <cmath>
+#include <cstdio>
+
+#include "crossfield/multifield.hpp"
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  using namespace xfc;
+
+  const Dataset ds = make_dataset(DatasetKind::kCesm, Shape{256, 512});
+  std::printf("CESM-ATM-like snapshot: %zu fields of %zux%zu\n",
+              ds.fields.size(), ds.shape[0], ds.shape[1]);
+
+  MultiFieldCompressor mfc;
+  for (const Field& f : ds.fields) mfc.add_field(f);
+
+  // Table III anchor configuration; small CFNN profile for example speed.
+  for (const auto& spec : table3_targets(DatasetKind::kCesm, false)) {
+    AnchorConfig cfg;
+    cfg.anchors = spec.anchors;
+    cfg.cfnn = spec.cfnn;
+    cfg.train.epochs = 10;
+    cfg.train.patches_per_epoch = 96;
+    mfc.configure_target(spec.target, cfg);
+    std::printf("  cross-field target %s <- {", spec.target.c_str());
+    for (std::size_t i = 0; i < spec.anchors.size(); ++i)
+      std::printf("%s%s", i ? ", " : "", spec.anchors[i].c_str());
+    std::printf("}\n");
+  }
+
+  const auto eb = ErrorBound::relative(1e-3);
+  std::printf("\ncompressing at relative error bound 1e-3 ...\n");
+  const auto compressed = mfc.compress_all(eb);
+
+  std::size_t original = 0, total = 0;
+  std::printf("\n%-8s %-6s %12s %10s\n", "field", "path", "bytes", "ratio");
+  for (const auto& cf : compressed) {
+    std::printf("%-8s %-6s %12zu %10.2f\n", cf.name.c_str(),
+                cf.cross_field ? "cross" : "base", cf.stats.compressed_bytes,
+                cf.stats.compression_ratio);
+    original += cf.stats.original_bytes;
+    total += cf.stats.compressed_bytes;
+  }
+  std::printf("snapshot: %zu -> %zu bytes (%.2fx)\n", original, total,
+              static_cast<double>(original) / total);
+
+  std::printf("\ndecompressing and verifying bounds ...\n");
+  const auto fields = MultiFieldCompressor::decompress_all(compressed);
+  bool ok = true;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const Field* orig = mfc.find(compressed[i].name);
+    const double abs_eb = eb.absolute_for(orig->value_range());
+    // Guarantee is eb plus half a float32 ulp of the value magnitude
+    // (cuSZ-style prequantization; see README "error bound semantics").
+    auto [lo, hi] = orig->min_max();
+    const double slack =
+        6e-8 * std::max(std::abs(static_cast<double>(lo)),
+                        std::abs(static_cast<double>(hi)));
+    const double worst =
+        max_abs_error(orig->array().span(), fields[i].array().span());
+    if (worst > abs_eb + slack) {
+      std::printf("BOUND VIOLATION on %s: %.3g > %.3g\n",
+                  compressed[i].name.c_str(), worst, abs_eb);
+      ok = false;
+    }
+  }
+  std::printf(ok ? "all fields within bound.\n" : "FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Quickstart: compress one scientific field with an error bound, check the
+// guarantee, decompress, and inspect quality — the five-minute tour of the
+// xfc public API.
+
+#include <cstdio>
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/compressor.hpp"
+
+int main() {
+  using namespace xfc;
+
+  // 1. Get a field. Real data: load_f32("CLDTOT.f32", Shape{1800,3600},
+  //    "CLDTOT"); here we synthesise a CESM-ATM-like snapshot.
+  const Dataset ds = make_dataset(DatasetKind::kCesm, Shape{256, 512});
+  const Field& field = *ds.find("CLDTOT");
+  std::printf("field %s: %zu values, range %.3f\n", field.name().c_str(),
+              field.size(), field.value_range());
+
+  // 2. Compress with a relative error bound of 1e-3 (0.1% of the range).
+  SzOptions options;
+  options.eb = ErrorBound::relative(1e-3);
+  SzStats stats;
+  const auto stream = sz_compress(field, options, &stats);
+  std::printf("compressed %zu -> %zu bytes (ratio %.2fx, %.3f bits/value)\n",
+              stats.original_bytes, stats.compressed_bytes,
+              stats.compression_ratio, stats.bit_rate);
+
+  // 3. Decompress and verify.
+  const Field restored = sz_decompress(stream);
+  const double abs_eb = options.eb.absolute_for(field.value_range());
+  const double worst =
+      max_abs_error(field.array().span(), restored.array().span());
+  std::printf("max |error| = %.3g  (bound %.3g)  PSNR %.2f dB  SSIM %.4f\n",
+              worst, abs_eb, psnr(field, restored), ssim(field, restored));
+
+  // (bound holds up to half a float32 ulp of the value magnitude —
+  // cuSZ-style prequantization, see README)
+  return worst <= abs_eb + 6e-8 * field.value_range() + 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Rate-distortion sweep across all three codecs (SZ-style baseline,
+// interpolation, ZFP-style) on one field, emitting CSV for plotting —
+// the building block of figures like the paper's Fig. 8.
+
+#include <cstdio>
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/compressor.hpp"
+#include "sz/interpolation.hpp"
+#include "zfp/zfp_codec.hpp"
+
+int main() {
+  using namespace xfc;
+
+  const Dataset ds = make_dataset(DatasetKind::kScale, Shape{12, 192, 192});
+  const Field& field = *ds.find("RH");
+
+  std::printf("codec,rel_eb,bit_rate,compression_ratio,psnr,ssim\n");
+  for (double eb : {2e-2, 1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4, 1e-4}) {
+    {
+      SzOptions opt;
+      opt.eb = ErrorBound::relative(eb);
+      SzStats s;
+      const auto stream = sz_compress(field, opt, &s);
+      const Field out = sz_decompress(stream);
+      std::printf("sz_lorenzo,%.0e,%.4f,%.2f,%.2f,%.4f\n", eb, s.bit_rate,
+                  s.compression_ratio, psnr(field, out), ssim(field, out));
+    }
+    {
+      InterpOptions opt;
+      opt.eb = ErrorBound::relative(eb);
+      SzStats s;
+      const auto stream = interp_compress(field, opt, &s);
+      const Field out = interp_decompress(stream);
+      std::printf("sz_interp,%.0e,%.4f,%.2f,%.2f,%.4f\n", eb, s.bit_rate,
+                  s.compression_ratio, psnr(field, out), ssim(field, out));
+    }
+    {
+      ZfpOptions opt;
+      opt.tolerance = eb * field.value_range();
+      SzStats s;
+      const auto stream = zfp_compress(field, opt, &s);
+      const Field out = zfp_decompress(stream);
+      std::printf("zfp_style,%.0e,%.4f,%.2f,%.2f,%.4f\n", eb, s.bit_rate,
+                  s.compression_ratio, psnr(field, out), ssim(field, out));
+    }
+  }
+  return 0;
+}

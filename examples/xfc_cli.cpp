@@ -1,0 +1,192 @@
+// Command-line compressor for raw float32 fields (SDRBench layout). With
+// real SDRBench files this runs the paper's pipeline on the paper's actual
+// data:
+//
+//   xfc_cli compress   in.f32 out.xfc D H W [rel_eb]       (baseline)
+//   xfc_cli decompress in.xfc out.f32
+//   xfc_cli xcompress  tgt.f32 out.xfc D H W rel_eb a1.f32 a2.f32 ...
+//   xfc_cli xdecompress in.xfc out.f32 D H W a1.f32 a2.f32 ...
+//   xfc_cli info       in.xfc                       (stream header dump)
+//   xfc_cli verify     ref.f32 test.f32             (PSNR/SSIM/max error)
+//
+// For 2D data pass D=1 (a leading extent of 1 is dropped).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "crossfield/crossfield.hpp"
+#include "data/sdr.hpp"
+#include "io/file.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/compressor.hpp"
+#include "sz/container.hpp"
+
+namespace {
+
+using namespace xfc;
+
+Shape parse_shape(const char* d, const char* h, const char* w) {
+  const std::size_t D = std::strtoull(d, nullptr, 10);
+  const std::size_t H = std::strtoull(h, nullptr, 10);
+  const std::size_t W = std::strtoull(w, nullptr, 10);
+  if (D <= 1) return Shape{H, W};
+  return Shape{D, H, W};
+}
+
+std::string stem(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const auto base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xfc_cli compress   in.f32 out.xfc D H W [rel_eb]\n"
+               "  xfc_cli decompress in.xfc out.f32\n"
+               "  xfc_cli xcompress  tgt.f32 out.xfc D H W rel_eb "
+               "anchor1.f32 [anchor2.f32 ...]\n"
+               "  xfc_cli xdecompress in.xfc out.f32 D H W "
+               "anchor1.f32 [anchor2.f32 ...]\n"
+               "  xfc_cli info in.xfc\n"
+               "  xfc_cli verify ref.f32 test.f32\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compress" && argc >= 6) {
+      const Shape shape = parse_shape(argv[3 + 1], argv[3 + 2], argv[3 + 3]);
+      const Field field = load_f32(argv[2], shape, stem(argv[2]));
+      SzOptions opt;
+      opt.eb = ErrorBound::relative(argc > 7 ? std::atof(argv[7]) : 1e-3);
+      SzStats stats;
+      const auto stream = sz_compress(field, opt, &stats);
+      write_file(argv[3], stream);
+      std::printf("%s: %zu -> %zu bytes (%.2fx)\n", argv[2],
+                  stats.original_bytes, stats.compressed_bytes,
+                  stats.compression_ratio);
+      return 0;
+    }
+    if (cmd == "decompress" && argc >= 4) {
+      const auto stream = read_file(argv[2]);
+      const Field field = sz_decompress(stream);
+      store_f32(argv[3], field);
+      std::printf("%s: wrote %zu values of field '%s'\n", argv[3],
+                  field.size(), field.name().c_str());
+      return 0;
+    }
+    if (cmd == "xcompress" && argc >= 9) {
+      const Shape shape = parse_shape(argv[4], argv[5], argv[6]);
+      const Field target = load_f32(argv[2], shape, stem(argv[2]));
+      const double rel_eb = std::atof(argv[7]);
+      std::vector<Field> anchor_storage;
+      std::vector<const Field*> anchors;
+      for (int i = 8; i < argc; ++i)
+        anchor_storage.push_back(load_f32(argv[i], shape, stem(argv[i])));
+      for (const Field& a : anchor_storage) anchors.push_back(&a);
+
+      std::printf("training CFNN on %zu anchors ...\n", anchors.size());
+      CfnnConfig cfg{32, 8, 3};
+      CfnnTrainOptions train;
+      train.epochs = 15;
+      train.verbose = true;
+      const CfnnModel model =
+          train_cross_field_model(target, anchors, cfg, train);
+
+      CrossFieldOptions opt;
+      opt.eb = ErrorBound::relative(rel_eb);
+      SzStats stats;
+      const auto stream =
+          cross_field_compress(target, anchors, model, opt, &stats);
+      write_file(argv[3], stream);
+      std::printf("%s: %zu -> %zu bytes (%.2fx, model included)\n", argv[2],
+                  stats.original_bytes, stats.compressed_bytes,
+                  stats.compression_ratio);
+      return 0;
+    }
+    if (cmd == "xdecompress" && argc >= 8) {
+      const Shape shape = parse_shape(argv[4], argv[5], argv[6]);
+      const auto stream = read_file(argv[2]);
+      std::vector<Field> anchor_storage;
+      std::vector<const Field*> anchors;
+      for (int i = 7; i < argc; ++i)
+        anchor_storage.push_back(load_f32(argv[i], shape, stem(argv[i])));
+      for (const Field& a : anchor_storage) anchors.push_back(&a);
+      const Field field = cross_field_decompress(stream, anchors);
+      store_f32(argv[3], field);
+      std::printf("%s: wrote %zu values of field '%s'\n", argv[3],
+                  field.size(), field.name().c_str());
+      return 0;
+    }
+    if (cmd == "info" && argc >= 3) {
+      const auto stream = read_file(argv[2]);
+      const auto parsed = parse_container(stream);
+      const char* names[] = {"sz (dual-quant)", "zfp-style", "cross-field",
+                             "interpolation", "sz (classic)"};
+      std::printf("codec:     %s\n",
+                  names[static_cast<int>(parsed.codec)]);
+      ByteReader in(parsed.body);
+      const Shape shape = read_shape(in);
+      std::printf("shape:    ");
+      for (std::size_t d = 0; d < shape.ndim(); ++d)
+        std::printf(" %zu", shape[d]);
+      std::printf("  (%zu values)\n", shape.size());
+      std::printf("field:     %s\n", in.str().c_str());
+      if (parsed.codec == CodecId::kZfp) {
+        std::printf("bound:     absolute tolerance %.3g\n", in.f64());
+      } else {
+        const int eb_mode = in.u8();
+        const double eb_value = in.f64();
+        const double abs_eb = in.f64();
+        std::printf("bound:     %s %.3g (absolute %.3g)\n",
+                    eb_mode == 0 ? "absolute" : "relative", eb_value,
+                    abs_eb);
+      }
+      std::printf("size:      %zu bytes (%.2fx vs float32, %.3f bits/value)\n",
+                  stream.size(),
+                  static_cast<double>(shape.size() * 4) / stream.size(),
+                  8.0 * stream.size() / static_cast<double>(shape.size()));
+      if (parsed.codec == CodecId::kCrossField) {
+        (void)in.varint();  // radius
+        const std::uint64_t n_anchors = in.varint();
+        std::printf("anchors:  ");
+        for (std::uint64_t i = 0; i < n_anchors; ++i)
+          std::printf(" %s", in.str().c_str());
+        const auto model_bytes = in.blob();
+        std::printf("\nmodel:     %zu bytes embedded\n", model_bytes.size());
+      }
+      return 0;
+    }
+    if (cmd == "verify" && argc >= 4) {
+      const auto ref_data = read_f32_file(argv[2]);
+      const auto test_data = read_f32_file(argv[3]);
+      if (ref_data.size() != test_data.size()) {
+        std::fprintf(stderr, "error: size mismatch (%zu vs %zu values)\n",
+                     ref_data.size(), test_data.size());
+        return 1;
+      }
+      const Shape shape{ref_data.size()};
+      const Field ref("ref", F32Array(shape, std::move(ref_data)));
+      const Field test("test", F32Array(shape, std::move(test_data)));
+      std::printf("max |error|: %.6g\n",
+                  max_abs_error(ref.array().span(), test.array().span()));
+      std::printf("MSE:         %.6g\n",
+                  mse(ref.array().span(), test.array().span()));
+      std::printf("PSNR:        %.2f dB\n", psnr(ref, test));
+      std::printf("NRMSE:       %.6g\n", nrmse(ref, test));
+      return 0;
+    }
+  } catch (const XfcError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

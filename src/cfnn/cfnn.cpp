@@ -1,0 +1,157 @@
+#include "cfnn/cfnn.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv2d.hpp"
+
+namespace xfc {
+
+ChannelNormalizer ChannelNormalizer::fit(const nn::Tensor& t) {
+  ChannelNormalizer n;
+  n.mean.assign(t.c(), 0.0f);
+  n.stddev.assign(t.c(), 1.0f);
+  const std::size_t plane = t.h() * t.w();
+  const std::size_t count = t.n() * plane;
+  if (count == 0) return n;
+  for (std::size_t c = 0; c < t.c(); ++c) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < t.n(); ++b) {
+      const float* p = t.plane(b, c);
+      for (std::size_t i = 0; i < plane; ++i) sum += p[i];
+    }
+    const double mu = sum / static_cast<double>(count);
+    double acc = 0.0;
+    for (std::size_t b = 0; b < t.n(); ++b) {
+      const float* p = t.plane(b, c);
+      for (std::size_t i = 0; i < plane; ++i) {
+        const double d = p[i] - mu;
+        acc += d * d;
+      }
+    }
+    const double sd = std::sqrt(acc / static_cast<double>(count));
+    n.mean[c] = static_cast<float>(mu);
+    n.stddev[c] = static_cast<float>(sd > 1e-20 ? sd : 1.0);
+  }
+  return n;
+}
+
+void ChannelNormalizer::apply(nn::Tensor& t) const {
+  expects(t.c() == mean.size(), "ChannelNormalizer::apply: channel mismatch");
+  const std::size_t plane = t.h() * t.w();
+  for (std::size_t b = 0; b < t.n(); ++b)
+    for (std::size_t c = 0; c < t.c(); ++c) {
+      float* p = t.plane(b, c);
+      const float mu = mean[c];
+      const float inv = 1.0f / stddev[c];
+      for (std::size_t i = 0; i < plane; ++i) p[i] = (p[i] - mu) * inv;
+    }
+}
+
+void ChannelNormalizer::invert(nn::Tensor& t) const {
+  expects(t.c() == mean.size(), "ChannelNormalizer::invert: channel mismatch");
+  const std::size_t plane = t.h() * t.w();
+  for (std::size_t b = 0; b < t.n(); ++b)
+    for (std::size_t c = 0; c < t.c(); ++c) {
+      float* p = t.plane(b, c);
+      const float mu = mean[c];
+      const float sd = stddev[c];
+      for (std::size_t i = 0; i < plane; ++i) p[i] = p[i] * sd + mu;
+    }
+}
+
+CfnnModel::CfnnModel(std::size_t in_channels, std::size_t out_channels,
+                     const CfnnConfig& config, std::uint64_t seed)
+    : in_channels_(in_channels), out_channels_(out_channels), config_(config) {
+  expects(in_channels_ > 0 && out_channels_ > 0, "CfnnModel: zero channels");
+  expects(config.hidden_channels % config.attention_reduction == 0,
+          "CfnnModel: hidden channels must divide attention reduction");
+  Rng rng(seed);
+  const std::size_t h = config.hidden_channels;
+  net_ = std::make_unique<nn::Sequential>();
+  // Paper Fig. 4 pipeline.
+  net_->add(std::make_unique<nn::Conv2D>(in_channels_, h, config.kernel,
+                                         /*groups=*/1, /*bias=*/true, rng));
+  net_->add(std::make_unique<nn::ReLU>());
+  net_->add(std::make_unique<nn::Conv2D>(h, h, config.kernel, /*groups=*/h,
+                                         /*bias=*/true, rng));  // depthwise
+  net_->add(std::make_unique<nn::Conv2D>(h, h, 1, /*groups=*/1,
+                                         /*bias=*/true, rng));  // pointwise
+  net_->add(std::make_unique<nn::ReLU>());
+  net_->add(std::make_unique<nn::ChannelAttention>(
+      h, config.attention_reduction, rng));
+  net_->add(std::make_unique<nn::Conv2D>(h, out_channels_, config.kernel,
+                                         /*groups=*/1, /*bias=*/true, rng));
+
+  input_norm_.mean.assign(in_channels_, 0.0f);
+  input_norm_.stddev.assign(in_channels_, 1.0f);
+  output_norm_.mean.assign(out_channels_, 0.0f);
+  output_norm_.stddev.assign(out_channels_, 1.0f);
+}
+
+std::size_t CfnnModel::byte_size() const { return save_bytes().size(); }
+
+std::vector<std::uint8_t> CfnnModel::save_bytes() const {
+  ByteWriter out;
+  out.varint(in_channels_);
+  out.varint(out_channels_);
+  out.varint(config_.hidden_channels);
+  out.varint(config_.attention_reduction);
+  out.varint(config_.kernel);
+  for (float v : input_norm_.mean) out.f32(v);
+  for (float v : input_norm_.stddev) out.f32(v);
+  for (float v : output_norm_.mean) out.f32(v);
+  for (float v : output_norm_.stddev) out.f32(v);
+  net_->serialize(out);
+  return out.take();
+}
+
+CfnnModel CfnnModel::load_bytes(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  CfnnModel m;
+  m.in_channels_ = in.varint();
+  m.out_channels_ = in.varint();
+  m.config_.hidden_channels = in.varint();
+  m.config_.attention_reduction = in.varint();
+  m.config_.kernel = in.varint();
+  if (m.in_channels_ == 0 || m.out_channels_ == 0 ||
+      m.in_channels_ > 4096 || m.out_channels_ > 4096)
+    throw CorruptStream("CfnnModel: bad channel counts");
+  auto read_vec = [&](std::size_t n) {
+    std::vector<float> v(n);
+    for (float& x : v) x = in.f32();
+    return v;
+  };
+  m.input_norm_.mean = read_vec(m.in_channels_);
+  m.input_norm_.stddev = read_vec(m.in_channels_);
+  m.output_norm_.mean = read_vec(m.out_channels_);
+  m.output_norm_.stddev = read_vec(m.out_channels_);
+  m.net_ = nn::Sequential::deserialize(in);
+  return m;
+}
+
+nn::Tensor CfnnModel::infer(const nn::Tensor& anchor_diffs) const {
+  expects(anchor_diffs.c() == in_channels_,
+          "CfnnModel::infer: input channel mismatch");
+  nn::Tensor out(anchor_diffs.n(), out_channels_, anchor_diffs.h(),
+                 anchor_diffs.w());
+
+  // Slice-by-slice keeps peak memory bounded on large 3D volumes; each
+  // layer's forward is internally parallel and order-deterministic.
+  const std::size_t plane = anchor_diffs.h() * anchor_diffs.w();
+  for (std::size_t s = 0; s < anchor_diffs.n(); ++s) {
+    nn::Tensor x(1, in_channels_, anchor_diffs.h(), anchor_diffs.w());
+    for (std::size_t c = 0; c < in_channels_; ++c)
+      std::copy(anchor_diffs.plane(s, c), anchor_diffs.plane(s, c) + plane,
+                x.plane(0, c));
+    input_norm_.apply(x);
+    nn::Tensor y = const_cast<nn::Sequential&>(*net_).forward(x);
+    output_norm_.invert(y);
+    for (std::size_t c = 0; c < out_channels_; ++c)
+      std::copy(y.plane(0, c), y.plane(0, c) + plane, out.plane(s, c));
+  }
+  return out;
+}
+
+}  // namespace xfc

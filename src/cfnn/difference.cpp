@@ -1,0 +1,87 @@
+#include "cfnn/difference.hpp"
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+
+F32Array backward_difference(const F32Array& values, std::size_t axis) {
+  const Shape& s = values.shape();
+  expects(axis < s.ndim(), "backward_difference: axis out of range");
+  F32Array out(s);
+
+  // Stride of one step along `axis` in the flat row-major layout, and the
+  // extent of that axis.
+  std::size_t stride = 1;
+  for (std::size_t d = s.ndim(); d-- > axis + 1;) stride *= s[d];
+  const std::size_t extent = s[axis];
+
+  const float* src = values.data();
+  float* dst = out.data();
+  parallel_for(0, values.size(), [&](std::size_t i) {
+    const std::size_t coord = (i / stride) % extent;
+    dst[i] = coord == 0 ? 0.0f : src[i] - src[i - stride];
+  });
+  return out;
+}
+
+SliceGeometry slice_geometry(const Shape& shape) {
+  switch (shape.ndim()) {
+    case 2:
+      return {1, shape[0], shape[1]};
+    case 3:
+      return {shape[0], shape[1], shape[2]};
+    default:
+      throw InvalidArgument(
+          "slice_geometry: CFNN supports 2D and 3D fields only");
+  }
+}
+
+nn::Tensor fields_to_difference_tensor(
+    const std::vector<const Field*>& fields) {
+  expects(!fields.empty(), "fields_to_difference_tensor: no fields");
+  const Shape& shape = fields[0]->shape();
+  for (const Field* f : fields)
+    expects(f->shape() == shape,
+            "fields_to_difference_tensor: fields must share a shape");
+
+  const SliceGeometry g = slice_geometry(shape);
+  const std::size_t ndim = shape.ndim();
+  const std::size_t channels = fields.size() * ndim;
+  nn::Tensor t(g.slices, channels, g.height, g.width);
+
+  const std::size_t plane = g.height * g.width;
+  for (std::size_t fi = 0; fi < fields.size(); ++fi) {
+    for (std::size_t axis = 0; axis < ndim; ++axis) {
+      const F32Array diff = backward_difference(fields[fi]->array(), axis);
+      const std::size_t ch = fi * ndim + axis;
+      parallel_for(0, g.slices, [&](std::size_t s) {
+        const float* src = diff.data() + s * plane;
+        float* dst = t.plane(s, ch);
+        std::copy(src, src + plane, dst);
+      });
+    }
+  }
+  return t;
+}
+
+std::vector<F32Array> tensor_to_axis_arrays(const nn::Tensor& t,
+                                            const Shape& shape) {
+  const SliceGeometry g = slice_geometry(shape);
+  expects(t.n() == g.slices && t.h() == g.height && t.w() == g.width,
+          "tensor_to_axis_arrays: tensor does not match shape");
+  const std::size_t plane = g.height * g.width;
+  std::vector<F32Array> axes;
+  axes.reserve(t.c());
+  for (std::size_t ch = 0; ch < t.c(); ++ch) {
+    F32Array a(shape);
+    for (std::size_t s = 0; s < g.slices; ++s) {
+      const float* src = t.plane(s, ch);
+      std::copy(src, src + plane, a.data() + s * plane);
+    }
+    axes.push_back(std::move(a));
+  }
+  return axes;
+}
+
+}  // namespace xfc

@@ -1,0 +1,50 @@
+#ifndef XFC_CFNN_DIFFERENCE_HPP
+#define XFC_CFNN_DIFFERENCE_HPP
+
+/// \file difference.hpp
+/// First-order backward differences and the field <-> tensor adapters used
+/// by the CFNN.
+///
+/// The paper's key representational choice (§III-B): the CFNN never sees
+/// raw values — it maps backward differences of the anchor fields to
+/// backward differences of the target field. Differences are smoother,
+/// better conditioned for normalisation, and — critically — value
+/// predictions assembled from them share Lorenzo's causal footprint
+/// (Fig. 3), so both predictors decode in the same row-major order.
+///
+/// 3D fields are presented to the (2-D convolutional) network slice by
+/// slice along the first extent; the per-axis differences, including the
+/// slice-normal axis, appear as input channels.
+
+#include <vector>
+
+#include "core/field.hpp"
+#include "nn/tensor.hpp"
+
+namespace xfc {
+
+/// Backward difference along `axis`: d(i) = v(i) - v(i - 1), zero on the
+/// leading boundary. Shape is preserved.
+F32Array backward_difference(const F32Array& values, std::size_t axis);
+
+/// Number of slices / image height / width for the tensor presentation of
+/// a field shape (2D: {1, H, W}; 3D: {D, H, W}).
+struct SliceGeometry {
+  std::size_t slices, height, width;
+};
+SliceGeometry slice_geometry(const Shape& shape);
+
+/// Stacks the backward differences of `fields` into an NCHW tensor:
+/// N = slices, channels ordered field-major then axis
+/// (f0.dx, f0.dy[, f0.dz], f1.dx, ...). All fields must share one shape.
+nn::Tensor fields_to_difference_tensor(
+    const std::vector<const Field*>& fields);
+
+/// Unstacks an NCHW tensor of per-axis values (channels = axes) back into
+/// one F32Array per axis with the original field shape.
+std::vector<F32Array> tensor_to_axis_arrays(const nn::Tensor& t,
+                                            const Shape& shape);
+
+}  // namespace xfc
+
+#endif  // XFC_CFNN_DIFFERENCE_HPP

@@ -1,0 +1,121 @@
+#include "cfnn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace xfc {
+
+std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
+                               const nn::Tensor& targets,
+                               const CfnnTrainOptions& options,
+                               std::vector<double>* eval_losses) {
+  expects(inputs.n() == targets.n() && inputs.h() == targets.h() &&
+              inputs.w() == targets.w(),
+          "train_cfnn: input/target geometry mismatch");
+  expects(inputs.c() == model.in_channels() &&
+              targets.c() == model.out_channels(),
+          "train_cfnn: channel mismatch");
+  expects(options.epochs > 0 && options.patches_per_epoch > 0 &&
+              options.batch > 0,
+          "train_cfnn: degenerate training options");
+
+  // Normalisation statistics become part of the model.
+  model.input_norm() = ChannelNormalizer::fit(inputs);
+  model.output_norm() = ChannelNormalizer::fit(targets);
+
+  const std::size_t P =
+      std::min({options.patch, inputs.h(), inputs.w()});
+  const std::size_t cin = model.in_channels();
+  const std::size_t cout = model.out_channels();
+
+  Rng rng(options.seed);
+  nn::Adam adam(model.net().params(), {.lr = options.learning_rate});
+
+  auto copy_patch = [&](const nn::Tensor& src, nn::Tensor& dst,
+                        std::size_t batch_idx, std::size_t s, std::size_t y0,
+                        std::size_t x0) {
+    for (std::size_t c = 0; c < dst.c(); ++c) {
+      const float* sp = src.plane(s, c);
+      for (std::size_t y = 0; y < P; ++y) {
+        const float* row = sp + (y0 + y) * src.w() + x0;
+        float* out = &dst(batch_idx, c, y, 0);
+        std::copy(row, row + P, out);
+      }
+    }
+  };
+
+  // Optional fixed evaluation set: sampled once up front so the per-epoch
+  // eval curve is comparable across epochs.
+  nn::Tensor eval_x, eval_t;
+  if (options.eval_patches > 0 && eval_losses != nullptr) {
+    eval_losses->clear();
+    Rng eval_rng(options.seed ^ 0xE7A1ull);
+    eval_x = nn::Tensor(options.eval_patches, cin, P, P);
+    eval_t = nn::Tensor(options.eval_patches, cout, P, P);
+    for (std::size_t b = 0; b < options.eval_patches; ++b) {
+      const std::size_t s = eval_rng.uniform_index(inputs.n());
+      const std::size_t y0 =
+          inputs.h() == P ? 0 : eval_rng.uniform_index(inputs.h() - P);
+      const std::size_t x0 =
+          inputs.w() == P ? 0 : eval_rng.uniform_index(inputs.w() - P);
+      copy_patch(inputs, eval_x, b, s, y0, x0);
+      copy_patch(targets, eval_t, b, s, y0, x0);
+    }
+    model.input_norm().apply(eval_x);
+    model.output_norm().apply(eval_t);
+  }
+
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(options.epochs);
+
+  const std::size_t batches =
+      (options.patches_per_epoch + options.batch - 1) / options.batch;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (std::size_t bi = 0; bi < batches; ++bi) {
+      nn::Tensor x(options.batch, cin, P, P);
+      nn::Tensor t(options.batch, cout, P, P);
+      for (std::size_t b = 0; b < options.batch; ++b) {
+        const std::size_t s = rng.uniform_index(inputs.n());
+        const std::size_t y0 =
+            inputs.h() == P ? 0 : rng.uniform_index(inputs.h() - P);
+        const std::size_t x0 =
+            inputs.w() == P ? 0 : rng.uniform_index(inputs.w() - P);
+        copy_patch(inputs, x, b, s, y0, x0);
+        copy_patch(targets, t, b, s, y0, x0);
+      }
+      model.input_norm().apply(x);
+      model.output_norm().apply(t);
+
+      model.net().zero_grad();
+      nn::Tensor pred = model.net().forward(x);
+      auto [loss, grad] = nn::mse_loss(pred, t);
+      model.net().backward(grad);
+      adam.step();
+      loss_sum += loss;
+    }
+    const double mean_loss = loss_sum / static_cast<double>(batches);
+    epoch_losses.push_back(mean_loss);
+
+    double eval = 0.0;
+    if (!eval_x.empty() && eval_losses != nullptr) {
+      const nn::Tensor pred = model.net().forward(eval_x);
+      eval = nn::mse_loss(pred, eval_t).first;
+      eval_losses->push_back(eval);
+    }
+    if (options.verbose) {
+      if (!eval_x.empty())
+        std::printf("  epoch %3zu  loss %.6f  eval %.6f\n", epoch + 1,
+                    mean_loss, eval);
+      else
+        std::printf("  epoch %3zu  loss %.6f\n", epoch + 1, mean_loss);
+    }
+  }
+  return epoch_losses;
+}
+
+}  // namespace xfc

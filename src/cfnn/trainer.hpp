@@ -1,0 +1,42 @@
+#ifndef XFC_CFNN_TRAINER_HPP
+#define XFC_CFNN_TRAINER_HPP
+
+/// \file trainer.hpp
+/// Patch-based CFNN training (paper §III-B / Fig. 5): random spatial
+/// patches of the normalised anchor-difference tensor are regressed onto
+/// the matching target-difference patches with MSE + Adam.
+///
+/// Training uses *original* (not decompressed, not prequantized) data so a
+/// single model serves every error bound of a field.
+
+#include <cstdint>
+#include <vector>
+
+#include "cfnn/cfnn.hpp"
+
+namespace xfc {
+
+struct CfnnTrainOptions {
+  std::size_t epochs = 30;
+  std::size_t patches_per_epoch = 256;
+  std::size_t patch = 32;       // square patch edge (clamped to the field)
+  std::size_t batch = 16;       // patches per optimizer step
+  std::size_t eval_patches = 0; // fixed held-out patches per epoch eval
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 0x5EED;
+  bool verbose = false;         // print per-epoch loss to stdout
+};
+
+/// Fits the model's normalisers to `inputs`/`targets`, then trains.
+/// Returns the mean training loss of every epoch (the Fig. 5 curve).
+/// When options.eval_patches > 0 and `eval_losses` is non-null, a fixed
+/// patch set is sampled once and evaluated after every epoch — a far less
+/// noisy curve than the per-epoch training loss.
+std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
+                               const nn::Tensor& targets,
+                               const CfnnTrainOptions& options,
+                               std::vector<double>* eval_losses = nullptr);
+
+}  // namespace xfc
+
+#endif  // XFC_CFNN_TRAINER_HPP

@@ -1,0 +1,47 @@
+#ifndef XFC_CORE_ERROR_HPP
+#define XFC_CORE_ERROR_HPP
+
+/// \file error.hpp
+/// Exception hierarchy for the xfc library. All library errors derive from
+/// xfc::XfcError so callers can catch a single type at the API boundary.
+
+#include <stdexcept>
+#include <string>
+
+namespace xfc {
+
+/// Base class of all exceptions thrown by xfc.
+class XfcError : public std::runtime_error {
+ public:
+  explicit XfcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates an API precondition
+/// (mismatched dimensions, non-positive error bound, ...).
+class InvalidArgument : public XfcError {
+ public:
+  explicit InvalidArgument(const std::string& what) : XfcError(what) {}
+};
+
+/// A compressed stream is malformed: bad magic, truncated payload,
+/// CRC mismatch, or an unknown format version.
+class CorruptStream : public XfcError {
+ public:
+  explicit CorruptStream(const std::string& what) : XfcError(what) {}
+};
+
+/// An operation on the filesystem failed.
+class IoError : public XfcError {
+ public:
+  explicit IoError(const std::string& what) : XfcError(what) {}
+};
+
+/// Throws InvalidArgument with \p message unless \p condition holds.
+/// Used to express API preconditions (cf. CppCoreGuidelines I.6).
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace xfc
+
+#endif  // XFC_CORE_ERROR_HPP

@@ -1,0 +1,32 @@
+#include "core/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfc {
+
+std::pair<float, float> Field::min_max() const {
+  if (data_.empty()) return {0.0f, 0.0f};
+  auto [lo, hi] = std::minmax_element(data_.vec().begin(), data_.vec().end());
+  return {*lo, *hi};
+}
+
+double Field::mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : data_.vec()) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+double Field::stddev() const {
+  if (data_.empty()) return 0.0;
+  const double mu = mean();
+  double acc = 0.0;
+  for (float v : data_.vec()) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(data_.size()));
+}
+
+}  // namespace xfc

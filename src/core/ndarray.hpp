@@ -1,0 +1,141 @@
+#ifndef XFC_CORE_NDARRAY_HPP
+#define XFC_CORE_NDARRAY_HPP
+
+/// \file ndarray.hpp
+/// Minimal owning n-dimensional array used throughout xfc.
+///
+/// Scientific fields in this library are dense, row-major (C-order) arrays of
+/// up to three dimensions. NdArray keeps the common case simple: contiguous
+/// storage, explicit dims, bounds-checked accessors in debug-style `at()` and
+/// unchecked `operator()` for hot loops.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+/// Shape of an array: up to 3 extents. 1D data uses {n}, 2D {h, w},
+/// 3D {d, h, w}; all row-major with the last extent fastest-varying.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> extents) {
+    expects(extents.size() >= 1 && extents.size() <= 3,
+            "Shape supports 1 to 3 dimensions");
+    ndim_ = extents.size();
+    std::size_t i = 0;
+    for (std::size_t e : extents) dims_[i++] = e;
+  }
+  explicit Shape(std::span<const std::size_t> extents) {
+    expects(extents.size() >= 1 && extents.size() <= 3,
+            "Shape supports 1 to 3 dimensions");
+    ndim_ = extents.size();
+    for (std::size_t i = 0; i < ndim_; ++i) dims_[i] = extents[i];
+  }
+
+  std::size_t ndim() const { return ndim_; }
+  std::size_t operator[](std::size_t i) const { return dims_[i]; }
+
+  /// Total number of elements.
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < ndim_; ++i) n *= dims_[i];
+    return ndim_ == 0 ? 0 : n;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (ndim_ != o.ndim_) return false;
+    for (std::size_t i = 0; i < ndim_; ++i)
+      if (dims_[i] != o.dims_[i]) return false;
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+ private:
+  std::size_t ndim_ = 0;
+  std::array<std::size_t, 3> dims_{{0, 0, 0}};
+};
+
+/// Owning, contiguous, row-major n-d array (n <= 3).
+template <typename T>
+class NdArray {
+ public:
+  NdArray() = default;
+
+  /// Allocates a zero-initialised array of the given shape.
+  explicit NdArray(Shape shape) : shape_(shape), data_(shape.size()) {}
+
+  /// Wraps a copy of existing data; data.size() must match shape.size().
+  NdArray(Shape shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    expects(data_.size() == shape_.size(),
+            "NdArray: data size does not match shape");
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return std::span<T>(data_); }
+  std::span<const T> span() const { return std::span<const T>(data_); }
+  std::vector<T>& vec() { return data_; }
+  const std::vector<T>& vec() const { return data_; }
+
+  // -- Unchecked element access (hot paths) --------------------------------
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& operator()(std::size_t i) { return data_[i]; }
+  const T& operator()(std::size_t i) const { return data_[i]; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    return data_[i * shape_[1] + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  // -- Checked element access ----------------------------------------------
+  T& at(std::size_t i, std::size_t j) {
+    expects(shape_.ndim() == 2 && i < shape_[0] && j < shape_[1],
+            "NdArray::at out of range");
+    return (*this)(i, j);
+  }
+  T& at(std::size_t i, std::size_t j, std::size_t k) {
+    expects(shape_.ndim() == 3 && i < shape_[0] && j < shape_[1] &&
+                k < shape_[2],
+            "NdArray::at out of range");
+    return (*this)(i, j, k);
+  }
+
+  bool operator==(const NdArray& o) const {
+    return shape_ == o.shape_ && data_ == o.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using F32Array = NdArray<float>;
+using F64Array = NdArray<double>;
+using I32Array = NdArray<std::int32_t>;
+
+}  // namespace xfc
+
+#endif  // XFC_CORE_NDARRAY_HPP

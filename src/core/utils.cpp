@@ -1,0 +1,31 @@
+#include "core/utils.hpp"
+
+#if defined(XFC_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace xfc {
+
+int hardware_threads() {
+#if defined(XFC_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+#if defined(XFC_HAVE_OPENMP)
+  const std::int64_t b = static_cast<std::int64_t>(begin);
+  const std::int64_t e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = b; i < e; ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+}  // namespace xfc

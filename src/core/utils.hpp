@@ -1,0 +1,53 @@
+#ifndef XFC_CORE_UTILS_HPP
+#define XFC_CORE_UTILS_HPP
+
+/// \file utils.hpp
+/// Small shared helpers: zigzag integer mapping, OpenMP parallel-for
+/// wrapper, and saturating conversions used by the quantization stages.
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+
+namespace xfc {
+
+/// Maps signed to unsigned so small-magnitude values (of either sign) get
+/// small codes: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+inline std::uint32_t zigzag_encode(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+/// Inverse of zigzag_encode.
+inline std::int32_t zigzag_decode(std::uint32_t v) {
+  return static_cast<std::int32_t>(v >> 1) ^
+         -static_cast<std::int32_t>(v & 1);
+}
+
+inline std::uint64_t zigzag_encode64(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode64(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Number of worker threads the OpenMP kernels will use (1 when built
+/// without OpenMP).
+int hardware_threads();
+
+/// Runs body(i) for i in [begin, end), parallelised with OpenMP when
+/// available. `body` must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// ceil(a / b) for positive integers.
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace xfc
+
+#endif  // XFC_CORE_UTILS_HPP

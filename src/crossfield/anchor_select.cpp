@@ -1,0 +1,176 @@
+#include "crossfield/anchor_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cfnn/difference.hpp"
+#include "core/error.hpp"
+
+namespace xfc {
+namespace {
+
+/// Feature matrix columns for one candidate anchor: its per-axis backward
+/// differences and their absolute values.
+struct FeatureSet {
+  std::vector<std::vector<float>> columns;
+};
+
+FeatureSet features_for(const Field& f, std::size_t stride) {
+  FeatureSet fs;
+  const std::size_t ndim = f.shape().ndim();
+  for (std::size_t axis = 0; axis < ndim; ++axis) {
+    const F32Array d = backward_difference(f.array(), axis);
+    std::vector<float> col, abs_col;
+    col.reserve(d.size() / stride + 1);
+    abs_col.reserve(d.size() / stride + 1);
+    for (std::size_t i = 0; i < d.size(); i += stride) {
+      col.push_back(d[i]);
+      abs_col.push_back(std::abs(d[i]));
+    }
+    fs.columns.push_back(std::move(col));
+    fs.columns.push_back(std::move(abs_col));
+  }
+  return fs;
+}
+
+/// R^2 of predicting `y` by ordinary least squares over `columns` (+bias).
+/// Solved via normal equations; the column count stays small (2 * ndim *
+/// #selected), so a dense solve is fine.
+double r_squared(const std::vector<const std::vector<float>*>& columns,
+                 const std::vector<float>& y) {
+  const std::size_t n = y.size();
+  const std::size_t m = columns.size() + 1;
+
+  std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+  std::vector<double> atb(m, 0.0);
+  std::vector<double> row(m, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      row[c] = (*columns[c])[i];
+    row[m - 1] = 1.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = r; c < m; ++c) ata[r][c] += row[r] * row[c];
+      atb[r] += row[r] * y[i];
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < r; ++c) ata[r][c] = ata[c][r];
+  for (std::size_t r = 0; r + 1 < m; ++r) ata[r][r] *= 1.0 + 1e-9;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> x(m, 0.0);
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m; ++r)
+      if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) pivot = r;
+    std::swap(ata[col], ata[pivot]);
+    std::swap(atb[col], atb[pivot]);
+    if (std::abs(ata[col][col]) < 1e-12) continue;
+    for (std::size_t r = col + 1; r < m; ++r) {
+      const double f = ata[r][col] / ata[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < m; ++c) ata[r][c] -= f * ata[col][c];
+      atb[r] -= f * atb[col];
+    }
+  }
+  for (std::size_t col = m; col-- > 0;) {
+    if (std::abs(ata[col][col]) < 1e-12) continue;
+    double acc = atb[col];
+    for (std::size_t c = col + 1; c < m; ++c) acc -= ata[col][c] * x[c];
+    x[col] = acc / ata[col][col];
+  }
+
+  double y_mean = 0.0;
+  for (float v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = x[m - 1];
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      pred += x[c] * (*columns[c])[i];
+    const double dr = y[i] - pred;
+    const double dt = y[i] - y_mean;
+    ss_res += dr * dr;
+    ss_tot += dt * dt;
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return std::clamp(1.0 - ss_res / ss_tot, 0.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<AnchorScore> select_anchors(
+    const Field& target, const std::vector<const Field*>& candidates,
+    const AnchorSelectOptions& options) {
+  expects(target.shape().ndim() >= 2,
+          "select_anchors: target must be 2D or 3D");
+  expects(options.max_anchors >= 1, "select_anchors: max_anchors must be > 0");
+
+  const std::size_t n = target.size();
+  const std::size_t stride =
+      n > options.max_samples ? n / options.max_samples : 1;
+
+  // Response: the target's backward differences, all axes concatenated
+  // (each axis downsampled the same way as the features).
+  const std::size_t ndim = target.shape().ndim();
+  std::vector<std::vector<float>> responses;
+  for (std::size_t axis = 0; axis < ndim; ++axis) {
+    const F32Array d = backward_difference(target.array(), axis);
+    std::vector<float> y;
+    y.reserve(d.size() / stride + 1);
+    for (std::size_t i = 0; i < d.size(); i += stride) y.push_back(d[i]);
+    responses.push_back(std::move(y));
+  }
+
+  struct Candidate {
+    const Field* field;
+    FeatureSet features;
+  };
+  std::vector<Candidate> pool;
+  for (const Field* c : candidates) {
+    expects(c != nullptr, "select_anchors: null candidate");
+    if (c->name() == target.name()) continue;
+    expects(c->shape() == target.shape(),
+            "select_anchors: candidate shape mismatch");
+    pool.push_back({c, features_for(*c, stride)});
+  }
+
+  std::vector<AnchorScore> selected;
+  // Chosen feature columns are owned here so erasing pool entries cannot
+  // dangle any pointer used during evaluation.
+  std::vector<std::vector<float>> chosen_store;
+  double current_r2 = 0.0;
+
+  while (selected.size() < options.max_anchors && !pool.empty()) {
+    double best_r2 = current_r2;
+    std::size_t best = pool.size();
+    for (std::size_t ci = 0; ci < pool.size(); ++ci) {
+      std::vector<const std::vector<float>*> columns;
+      columns.reserve(chosen_store.size() + pool[ci].features.columns.size());
+      for (const auto& col : chosen_store) columns.push_back(&col);
+      for (const auto& col : pool[ci].features.columns)
+        columns.push_back(&col);
+      // Average R^2 across the response axes.
+      double r2 = 0.0;
+      for (const auto& y : responses) r2 += r_squared(columns, y);
+      r2 /= static_cast<double>(responses.size());
+      if (r2 > best_r2) {
+        best_r2 = r2;
+        best = ci;
+      }
+    }
+    if (best == pool.size() || best_r2 - current_r2 < options.min_gain)
+      break;
+
+    for (auto& col : pool[best].features.columns)
+      chosen_store.push_back(std::move(col));
+    selected.push_back({pool[best].field->name(), best_r2 - current_r2,
+                        best_r2});
+    current_r2 = best_r2;
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return selected;
+}
+
+}  // namespace xfc

@@ -1,0 +1,45 @@
+#ifndef XFC_CROSSFIELD_ANCHOR_SELECT_HPP
+#define XFC_CROSSFIELD_ANCHOR_SELECT_HPP
+
+/// \file anchor_select.hpp
+/// Automatic anchor-field selection — the paper's §V future work ("explore
+/// the use of transfer learning to identify more suitable anchor fields").
+///
+/// Training a CFNN per candidate subset is too expensive to use as the
+/// selection criterion, so selection runs on a cheap learnability proxy:
+/// how much variance of the target's backward differences a linear model
+/// over a candidate anchor's differences (and their magnitudes, to catch
+/// sign-free structural coupling) explains on a subsample. Greedy forward
+/// selection then ranks candidates by *marginal* explained variance, so
+/// redundant anchors (e.g. PRES next to T when both track the same latent)
+/// rank below complementary ones.
+
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace xfc {
+
+struct AnchorScore {
+  std::string name;
+  double marginal_r2;    // explained-variance gain when added (0..1)
+  double cumulative_r2;  // total explained variance with the set so far
+};
+
+struct AnchorSelectOptions {
+  std::size_t max_anchors = 3;
+  std::size_t max_samples = 1 << 18;  // subsample cap
+  double min_gain = 0.01;             // stop when the marginal gain drops below
+};
+
+/// Greedily selects up to max_anchors candidates for `target`, returning
+/// them in selection order with their scores. Candidates must share the
+/// target's shape; the target itself is skipped if present.
+std::vector<AnchorScore> select_anchors(
+    const Field& target, const std::vector<const Field*>& candidates,
+    const AnchorSelectOptions& options = {});
+
+}  // namespace xfc
+
+#endif  // XFC_CROSSFIELD_ANCHOR_SELECT_HPP

@@ -1,0 +1,162 @@
+#include "crossfield/multifield.hpp"
+
+#include "core/error.hpp"
+#include "sz/container.hpp"
+
+namespace xfc {
+
+void MultiFieldCompressor::add_field(Field field) {
+  expects(find(field.name()) == nullptr,
+          "MultiFieldCompressor: duplicate field name");
+  fields_.push_back(std::move(field));
+}
+
+void MultiFieldCompressor::configure_target(const std::string& target,
+                                            AnchorConfig config) {
+  expects(find(target) != nullptr,
+          "MultiFieldCompressor: unknown target field");
+  expects(!config.anchors.empty(),
+          "MultiFieldCompressor: anchor list is empty");
+  for (const std::string& a : config.anchors) {
+    expects(find(a) != nullptr, "MultiFieldCompressor: unknown anchor field");
+    expects(a != target, "MultiFieldCompressor: target cannot anchor itself");
+  }
+  configs_[target] = std::move(config);
+}
+
+const Field* MultiFieldCompressor::find(const std::string& name) const {
+  for (const Field& f : fields_)
+    if (f.name() == name) return &f;
+  return nullptr;
+}
+
+std::vector<CompressedField> MultiFieldCompressor::compress_all(
+    const ErrorBound& eb, const SzOptions& baseline) {
+  std::vector<CompressedField> out;
+
+  // Reconstructions are codec-independent under dual quantization
+  // (always dequantize(prequantize(f))), so every field's reconstruction —
+  // including cross-field targets' — is available up front. This is what
+  // makes chained targets (paper Table III: FLUT anchors on LWCF, itself a
+  // target) work: anchors always refer to reconstructed data.
+  SzOptions base = baseline;
+  base.eb = eb;
+  std::map<std::string, Field> reconstructed;
+  for (const Field& f : fields_)
+    reconstructed.emplace(f.name(), sz_reconstruct(f, base));
+
+  // Pass 1: baseline-compress every non-target field.
+  for (const Field& f : fields_) {
+    if (configs_.count(f.name()) != 0) continue;
+    CompressedField cf;
+    cf.name = f.name();
+    cf.cross_field = false;
+    cf.stream = sz_compress(f, base, &cf.stats);
+    out.push_back(std::move(cf));
+  }
+
+  // Pass 2: cross-field targets against reconstructed anchors.
+  for (const Field& f : fields_) {
+    auto it = configs_.find(f.name());
+    if (it == configs_.end()) continue;
+    const AnchorConfig& cfg = it->second;
+
+    std::vector<const Field*> anchors;
+    anchors.reserve(cfg.anchors.size());
+    for (const std::string& name : cfg.anchors)
+      anchors.push_back(&reconstructed.at(name));
+
+    // The CFNN is trained once per target on original data and reused
+    // across error bounds (paper §III-D.2).
+    auto mit = model_cache_.find(f.name());
+    if (mit == model_cache_.end()) {
+      std::vector<const Field*> original_anchors;
+      for (const std::string& name : cfg.anchors)
+        original_anchors.push_back(find(name));
+      CfnnModel model = train_cross_field_model(f, original_anchors,
+                                                cfg.cfnn, cfg.train);
+      mit = model_cache_.emplace(f.name(), std::move(model)).first;
+    }
+
+    CrossFieldOptions copt;
+    copt.eb = eb;
+    CompressedField cf;
+    cf.name = f.name();
+    cf.cross_field = true;
+    cf.stream = cross_field_compress(f, anchors, mit->second, copt, &cf.stats);
+    out.push_back(std::move(cf));
+  }
+  return out;
+}
+
+namespace {
+
+/// Anchor names recorded in a cross-field stream header.
+std::vector<std::string> peek_anchor_names(
+    const std::vector<std::uint8_t>& stream) {
+  const auto parsed = parse_container(stream);
+  ByteReader in(parsed.body);
+  (void)read_shape(in);
+  (void)in.str();     // field name
+  (void)in.u8();      // eb mode
+  (void)in.f64();     // eb value
+  (void)in.f64();     // abs eb
+  (void)in.varint();  // quant radius
+  const std::uint64_t n_anchors = in.varint();
+  std::vector<std::string> names;
+  names.reserve(n_anchors);
+  for (std::uint64_t i = 0; i < n_anchors; ++i) names.push_back(in.str());
+  return names;
+}
+
+}  // namespace
+
+std::vector<Field> MultiFieldCompressor::decompress_all(
+    const std::vector<CompressedField>& compressed) {
+  std::map<std::string, Field> decoded;
+  for (const CompressedField& cf : compressed) {
+    if (cf.cross_field) continue;
+    decoded.emplace(cf.name, sz_decompress(cf.stream));
+  }
+
+  // Cross-field targets may anchor on other cross-field targets (paper
+  // Table III chains FLUT on LWCF), so resolve in dependency order:
+  // repeatedly decode every stream whose anchors are all available.
+  std::vector<const CompressedField*> pending;
+  for (const CompressedField& cf : compressed)
+    if (cf.cross_field) pending.push_back(&cf);
+
+  while (!pending.empty()) {
+    std::vector<const CompressedField*> next;
+    for (const CompressedField* cf : pending) {
+      const auto names = peek_anchor_names(cf->stream);
+      std::vector<const Field*> anchors;
+      bool ready = true;
+      for (const std::string& name : names) {
+        auto it = decoded.find(name);
+        if (it == decoded.end()) {
+          ready = false;
+          break;
+        }
+        anchors.push_back(&it->second);
+      }
+      if (!ready) {
+        next.push_back(cf);
+        continue;
+      }
+      decoded.emplace(cf->name, cross_field_decompress(cf->stream, anchors));
+    }
+    if (next.size() == pending.size())
+      throw CorruptStream(
+          "decompress_all: unresolvable anchor dependency (missing field or "
+          "cyclic anchors)");
+    pending = std::move(next);
+  }
+
+  std::vector<Field> out;
+  out.reserve(compressed.size());
+  for (const CompressedField& cf : compressed) out.push_back(decoded.at(cf.name));
+  return out;
+}
+
+}  // namespace xfc

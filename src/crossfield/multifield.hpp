@@ -1,0 +1,69 @@
+#ifndef XFC_CROSSFIELD_MULTIFIELD_HPP
+#define XFC_CROSSFIELD_MULTIFIELD_HPP
+
+/// \file multifield.hpp
+/// Dataset-level orchestration of the anchor protocol.
+///
+/// A scientific snapshot holds many fields. Fields configured with an
+/// anchor set are compressed with the cross-field pipeline; the rest (in
+/// particular, the anchors themselves) use the baseline. The orchestrator
+/// guarantees the anchor contract: targets always see the *reconstructed*
+/// anchors (identical on encoder and decoder), never the originals.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crossfield/crossfield.hpp"
+#include "sz/compressor.hpp"
+
+namespace xfc {
+
+/// Per-target cross-field configuration (one row of paper Table III).
+struct AnchorConfig {
+  std::vector<std::string> anchors;  // anchor field names, order matters
+  CfnnConfig cfnn;
+  CfnnTrainOptions train;
+};
+
+/// One compressed field of a dataset.
+struct CompressedField {
+  std::string name;
+  bool cross_field = false;
+  std::vector<std::uint8_t> stream;
+  SzStats stats;
+};
+
+class MultiFieldCompressor {
+ public:
+  /// Registers a field (copied).
+  void add_field(Field field);
+
+  /// Marks `target` for cross-field compression with the given anchors
+  /// (which must also be registered fields).
+  void configure_target(const std::string& target, AnchorConfig config);
+
+  /// Compresses every registered field at the given bound. Anchors are
+  /// compressed with `baseline` first; each configured target trains a
+  /// CFNN (or reuses one from a previous call at another bound — models
+  /// are cached per target) and is compressed with the cross-field codec.
+  std::vector<CompressedField> compress_all(const ErrorBound& eb,
+                                            const SzOptions& baseline = {});
+
+  /// Inverse of compress_all: decompresses anchors first, then targets.
+  /// Returns fields in the order of `compressed`.
+  static std::vector<Field> decompress_all(
+      const std::vector<CompressedField>& compressed);
+
+  const Field* find(const std::string& name) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::map<std::string, AnchorConfig> configs_;
+  std::map<std::string, CfnnModel> model_cache_;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_CROSSFIELD_MULTIFIELD_HPP

@@ -1,0 +1,88 @@
+#include "data/dataset.hpp"
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+Shape paper_dims(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kScale: return Shape{98, 1200, 1200};
+    case DatasetKind::kCesm: return Shape{1800, 3600};
+    case DatasetKind::kHurricane: return Shape{100, 500, 500};
+  }
+  throw InvalidArgument("paper_dims: unknown dataset kind");
+}
+
+Shape default_dims(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kScale: return Shape{24, 320, 320};
+    case DatasetKind::kCesm: return Shape{512, 1024};
+    case DatasetKind::kHurricane: return Shape{32, 224, 224};
+  }
+  throw InvalidArgument("default_dims: unknown dataset kind");
+}
+
+std::string dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kScale: return "SCALE";
+    case DatasetKind::kCesm: return "CESM-ATM";
+    case DatasetKind::kHurricane: return "Hurricane";
+  }
+  throw InvalidArgument("dataset_name: unknown dataset kind");
+}
+
+Dataset make_dataset(DatasetKind kind, const Shape& shape,
+                     std::uint64_t seed) {
+  Dataset ds;
+  ds.kind = kind;
+  ds.name = dataset_name(kind);
+  ds.shape = shape;
+  const SyntheticSpec spec{shape, seed};
+  switch (kind) {
+    case DatasetKind::kScale:
+      ds.description = "Climate simulation";
+      ds.fields = make_scale_like(spec);
+      break;
+    case DatasetKind::kCesm:
+      ds.description = "Climate simulation";
+      ds.fields = make_cesm_like(spec);
+      break;
+    case DatasetKind::kHurricane:
+      ds.description = "Weather simulation";
+      ds.fields = make_hurricane_like(spec);
+      break;
+  }
+  return ds;
+}
+
+std::vector<TargetSpec> table3_targets(DatasetKind kind, bool paper_scale) {
+  // Paper-scale widths reproduce Table III parameter counts:
+  //   3D targets (9 input channels):   hidden 120, r 8 -> 32538 (~32871)
+  //   CESM CLDTOT (6 input channels):  hidden 40, r 10 -> 5406  (~5270)
+  //   CESM LWCF (4 input channels):    hidden 40, r 10 -> 4686  (~4470)
+  //   CESM FLUT (8 input channels):    hidden 40, r 10 -> 6126  (~6070)
+  const CfnnConfig cfg3d = paper_scale ? CfnnConfig{120, 8, 3}
+                                       : CfnnConfig{32, 8, 3};
+  const CfnnConfig cfg2d = paper_scale ? CfnnConfig{40, 10, 3}
+                                       : CfnnConfig{24, 8, 3};
+  switch (kind) {
+    case DatasetKind::kScale:
+      return {
+          {"RH", {"T", "QV", "PRES"}, cfg3d},
+          {"W", {"U", "V", "PRES"}, cfg3d},
+      };
+    case DatasetKind::kCesm:
+      return {
+          {"CLDTOT", {"CLDLOW", "CLDMED", "CLDHGH"}, cfg2d},
+          {"LWCF", {"FLUTC", "FLNT"}, cfg2d},
+          {"FLUT", {"FLNT", "FLNTC", "FLUTC", "LWCF"}, cfg2d},
+      };
+    case DatasetKind::kHurricane:
+      return {
+          {"Wf", {"Uf", "Vf", "Pf"}, cfg3d},
+      };
+  }
+  throw InvalidArgument("table3_targets: unknown dataset kind");
+}
+
+}  // namespace xfc

@@ -1,0 +1,62 @@
+#ifndef XFC_DATA_DATASET_HPP
+#define XFC_DATA_DATASET_HPP
+
+/// \file dataset.hpp
+/// Dataset registry: the three evaluation datasets (paper Table I), their
+/// paper dimensions, scaled default dimensions for laptop-class runs, and
+/// the anchor-field configurations of paper Table III.
+
+#include <string>
+#include <vector>
+
+#include "cfnn/cfnn.hpp"
+#include "core/field.hpp"
+#include "data/generators.hpp"
+
+namespace xfc {
+
+enum class DatasetKind { kScale, kCesm, kHurricane };
+
+/// One row of paper Table III: a cross-field target and its anchors.
+struct TargetSpec {
+  std::string target;
+  std::vector<std::string> anchors;
+  CfnnConfig cfnn;  // sized to approximate the paper's model sizes
+};
+
+struct Dataset {
+  DatasetKind kind;
+  std::string name;         // "SCALE", "CESM-ATM", "Hurricane"
+  std::string description;  // Table I description column
+  Shape shape;
+  std::vector<Field> fields;
+
+  const Field* find(const std::string& field_name) const {
+    for (const Field& f : fields)
+      if (f.name() == field_name) return &f;
+    return nullptr;
+  }
+};
+
+/// Paper Table I dimensions.
+Shape paper_dims(DatasetKind kind);
+
+/// Scaled-down defaults used by tests/benches (same aspect flavour, minutes
+/// not hours; pass paper_dims() explicitly to reproduce at full size).
+Shape default_dims(DatasetKind kind);
+
+/// Synthesises a dataset at the given dimensions.
+Dataset make_dataset(DatasetKind kind, const Shape& shape,
+                     std::uint64_t seed = 2024);
+
+/// Table III anchor configurations. `paper_scale` selects CFNN widths that
+/// match the paper's parameter counts (~33k for 3D, ~4.5-6k for CESM);
+/// otherwise a faster small profile is used.
+std::vector<TargetSpec> table3_targets(DatasetKind kind, bool paper_scale);
+
+/// Display name of a dataset kind.
+std::string dataset_name(DatasetKind kind);
+
+}  // namespace xfc
+
+#endif  // XFC_DATA_DATASET_HPP

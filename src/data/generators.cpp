@@ -1,0 +1,241 @@
+#include "data/generators.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+#include "data/noise.hpp"
+
+namespace xfc {
+namespace {
+
+/// Adds iid measurement noise of the given standard deviation.
+void add_noise(F32Array& a, double stddev, Rng& rng) {
+  for (float& v : a.vec()) v += static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace
+
+std::vector<Field> make_scale_like(const SyntheticSpec& spec) {
+  const Shape& s = spec.shape;
+  expects(s.ndim() == 3, "make_scale_like: expected a 3D shape");
+  const std::size_t D = s[0], H = s[1], W = s[2];
+  Rng rng(spec.seed);
+
+  const NoiseSpec big{5, 4, 0.55};
+  const NoiseSpec med{8, 3, 0.5};
+
+  // Latent dynamics: streamfunction psi and velocity potential chi.
+  F32Array psi = value_noise_3d(D, H, W, big, rng);
+  F32Array chi = value_noise_3d(D, H, W, med, rng);
+
+  // Horizontal winds (m/s). Axis 1 = "y", axis 2 = "x".
+  const F32Array dpsi_dy = central_gradient(psi, 1);
+  const F32Array dpsi_dx = central_gradient(psi, 2);
+  const F32Array dchi_dy = central_gradient(chi, 1);
+  const F32Array dchi_dx = central_gradient(chi, 2);
+
+  const double wind_scale = 220.0;  // gradients are O(0.1); target ~±25 m/s
+  F32Array u(s), v(s);
+  parallel_for(0, s.size(), [&](std::size_t i) {
+    u[i] = static_cast<float>(wind_scale * (dpsi_dy[i] + 0.4 * dchi_dx[i]));
+    v[i] = static_cast<float>(wind_scale * (-dpsi_dx[i] + 0.4 * dchi_dy[i]));
+  });
+
+  // Vertical wind from column-integrated horizontal divergence
+  // (anelastic continuity), the physical tie the paper's W <- {U,V,PRES}
+  // anchor choice exploits.
+  const F32Array du_dx = central_gradient(u, 2);
+  const F32Array dv_dy = central_gradient(v, 1);
+  F32Array w(s);
+  const double dz = 0.02;
+  for (std::size_t z = 0; z < D; ++z) {
+    parallel_for(0, H, [&](std::size_t y) {
+      for (std::size_t x = 0; x < W; ++x) {
+        const float below = z == 0 ? 0.0f : w(z - 1, y, x);
+        w(z, y, x) = below - static_cast<float>(
+                                 dz * (du_dx(z, y, x) + dv_dy(z, y, x)));
+      }
+    });
+  }
+
+  // Pressure: hydrostatic base profile + geostrophic coupling to psi.
+  F32Array pres(s);
+  F32Array t(s);
+  F32Array tpert = value_noise_3d(D, H, W, med, rng);
+  parallel_for(0, s.size(), [&](std::size_t i) {
+    const std::size_t z = i / (H * W);
+    const double frac = static_cast<double>(z) / static_cast<double>(D);
+    const double base = 101325.0 * std::exp(-frac * 1.8);
+    pres[i] = static_cast<float>(base + 900.0 * psi[i]);
+    // Temperature: lapse rate + pressure anomaly coupling + perturbation.
+    t[i] = static_cast<float>(288.0 - 60.0 * frac + 0.004 * (pres[i] - base) +
+                              2.5 * tpert[i]);
+  });
+
+  // Humidity: saturation vapour pressure (Magnus), latent relative
+  // humidity in (0, 1), QV as mixing ratio, RH in percent.
+  F32Array rh_latent = value_noise_3d(D, H, W, big, rng);
+  F32Array qv(s), rh(s);
+  parallel_for(0, s.size(), [&](std::size_t i) {
+    const double tc = static_cast<double>(t[i]) - 273.15;
+    const double es = 610.94 * std::exp(17.625 * tc / (tc + 243.04));
+    const double qsat = 0.622 * es / std::max(1.0, pres[i] - 0.378 * es);
+    const double rh_frac =
+        1.0 / (1.0 + std::exp(-1.6 * static_cast<double>(rh_latent[i])));
+    qv[i] = static_cast<float>(qsat * rh_frac);
+    rh[i] = static_cast<float>(100.0 * rh_frac);
+  });
+
+  add_noise(u, 0.12, rng);
+  add_noise(v, 0.12, rng);
+  add_noise(w, 0.002, rng);
+  add_noise(t, 0.05, rng);
+  add_noise(rh, 0.25, rng);
+
+  std::vector<Field> fields;
+  fields.emplace_back("T", std::move(t));
+  fields.emplace_back("QV", std::move(qv));
+  fields.emplace_back("PRES", std::move(pres));
+  fields.emplace_back("RH", std::move(rh));
+  fields.emplace_back("U", std::move(u));
+  fields.emplace_back("V", std::move(v));
+  fields.emplace_back("W", std::move(w));
+  return fields;
+}
+
+std::vector<Field> make_cesm_like(const SyntheticSpec& spec) {
+  const Shape& s = spec.shape;
+  expects(s.ndim() == 2, "make_cesm_like: expected a 2D shape");
+  const std::size_t H = s[0], W = s[1];
+  Rng rng(spec.seed);
+
+  const NoiseSpec cloudy{7, 4, 0.6};
+  const NoiseSpec smooth{5, 3, 0.5};
+
+  // Shared storm-track latent plus per-level structure: the three cloud
+  // levels are correlated but not redundant.
+  F32Array storm = value_noise_2d(H, W, cloudy, rng);
+  auto cloud_level = [&](double weight, double bias) {
+    F32Array own = value_noise_2d(H, W, cloudy, rng);
+    F32Array c(s);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const double z = weight * storm[i] + (1.0 - weight) * own[i] + bias;
+      c[i] = static_cast<float>(1.0 / (1.0 + std::exp(-2.2 * z)));
+    }
+    return c;
+  };
+  F32Array cldlow = cloud_level(0.55, 0.1);
+  F32Array cldmed = cloud_level(0.65, -0.2);
+  F32Array cldhgh = cloud_level(0.6, -0.1);
+
+  // Random-overlap total cloud (the exact identity CLDTOT is defined by).
+  F32Array cldtot(s);
+  parallel_for(0, s.size(), [&](std::size_t i) {
+    cldtot[i] = static_cast<float>(
+        1.0 - (1.0 - cldlow[i]) * (1.0 - cldmed[i]) * (1.0 - cldhgh[i]));
+  });
+
+  // Radiation budget. Latitude = row index.
+  F32Array flntc(s), flutc(s), flnt(s), flut(s), lwcf(s);
+  F32Array rad_noise = value_noise_2d(H, W, smooth, rng);
+  F32Array thin = value_noise_2d(H, W, smooth, rng);
+  parallel_for(0, s.size(), [&](std::size_t i) {
+    const std::size_t row = i / W;
+    const double lat =
+        (static_cast<double>(row) / static_cast<double>(H) - 0.5) * 3.14159;
+    // Clear-sky outgoing longwave: warm tropics emit more.
+    const double clear = 265.0 + 45.0 * std::cos(lat) + 6.0 * rad_noise[i];
+    flntc[i] = static_cast<float>(clear);
+    flutc[i] = static_cast<float>(clear + 2.0 + 0.8 * thin[i]);
+    // Clouds (mostly high cloud) trap longwave.
+    const double trapped = 55.0 * cldhgh[i] + 18.0 * cldmed[i] + 6.0 * cldlow[i];
+    flnt[i] = static_cast<float>(clear - trapped);
+    flut[i] = static_cast<float>(flutc[i] - trapped);
+    lwcf[i] = flutc[i] - flut[i];
+  });
+
+  add_noise(cldtot, 0.0035, rng);
+  add_noise(flut, 0.25, rng);
+  add_noise(lwcf, 0.2, rng);
+
+  std::vector<Field> fields;
+  fields.emplace_back("CLDLOW", std::move(cldlow));
+  fields.emplace_back("CLDMED", std::move(cldmed));
+  fields.emplace_back("CLDHGH", std::move(cldhgh));
+  fields.emplace_back("CLDTOT", std::move(cldtot));
+  fields.emplace_back("FLNT", std::move(flnt));
+  fields.emplace_back("FLNTC", std::move(flntc));
+  fields.emplace_back("FLUTC", std::move(flutc));
+  fields.emplace_back("FLUT", std::move(flut));
+  fields.emplace_back("LWCF", std::move(lwcf));
+  return fields;
+}
+
+std::vector<Field> make_hurricane_like(const SyntheticSpec& spec) {
+  const Shape& s = spec.shape;
+  expects(s.ndim() == 3, "make_hurricane_like: expected a 3D shape");
+  const std::size_t D = s[0], H = s[1], W = s[2];
+  Rng rng(spec.seed);
+
+  const NoiseSpec env{5, 3, 0.5};
+  F32Array env_u = value_noise_3d(D, H, W, env, rng);
+  F32Array env_v = value_noise_3d(D, H, W, env, rng);
+  F32Array turb = value_noise_3d(D, H, W, {10, 3, 0.55}, rng);
+
+  // Vortex geometry: eye drifts and tilts slightly with height.
+  const double cx0 = 0.52 * static_cast<double>(W);
+  const double cy0 = 0.48 * static_cast<double>(H);
+  const double rm = 0.09 * static_cast<double>(std::min(H, W));  // eyewall radius
+  const double vmax = 55.0;   // m/s
+  const double wmax = 9.0;    // m/s updraft
+  const double dp = 6000.0;   // Pa central deficit
+
+  F32Array uf(s), vf(s), wf(s), pf(s);
+  parallel_for(0, D, [&](std::size_t z) {
+    const double zfrac = static_cast<double>(z) / static_cast<double>(D);
+    const double cx = cx0 + 6.0 * zfrac;
+    const double cy = cy0 - 4.0 * zfrac;
+    const double decay = std::exp(-1.2 * zfrac);  // winds weaken aloft
+    for (std::size_t y = 0; y < H; ++y) {
+      for (std::size_t x = 0; x < W; ++x) {
+        const double dx = static_cast<double>(x) - cx;
+        const double dy = static_cast<double>(y) - cy;
+        const double r = std::sqrt(dx * dx + dy * dy) + 1e-6;
+        // Holland-style tangential wind profile.
+        const double vt =
+            vmax * decay * (r / rm) * std::exp(1.0 - r / rm);
+        const double sin_t = dy / r, cos_t = dx / r;
+        uf(z, y, x) = static_cast<float>(-vt * sin_t + 7.0 * env_u(z, y, x));
+        vf(z, y, x) = static_cast<float>(vt * cos_t + 7.0 * env_v(z, y, x));
+        // Eyewall updraft ring, modulated by turbulence; weak subsidence
+        // in the eye.
+        const double ring = std::exp(-0.5 * std::pow((r - rm) / (0.45 * rm), 2));
+        const double updraft = wmax * ring * std::sin(3.14159 * zfrac) *
+                               (1.0 + 0.35 * turb(z, y, x));
+        const double eye = -1.2 * std::exp(-0.5 * std::pow(r / (0.5 * rm), 2));
+        wf(z, y, x) = static_cast<float>(updraft + eye);
+        // Pressure: hydrostatic column + vortex deficit (gradient-wind tie
+        // to the tangential flow).
+        const double base = 100000.0 * std::exp(-1.4 * zfrac);
+        const double deficit = dp * decay * std::exp(-r / rm);
+        pf(z, y, x) = static_cast<float>(base - deficit +
+                                         120.0 * env_u(z, y, x));
+      }
+    }
+  });
+
+  add_noise(uf, 0.15, rng);
+  add_noise(vf, 0.15, rng);
+  add_noise(wf, 0.02, rng);
+  add_noise(pf, 4.0, rng);
+
+  std::vector<Field> fields;
+  fields.emplace_back("Uf", std::move(uf));
+  fields.emplace_back("Vf", std::move(vf));
+  fields.emplace_back("Wf", std::move(wf));
+  fields.emplace_back("Pf", std::move(pf));
+  return fields;
+}
+
+}  // namespace xfc

@@ -1,0 +1,52 @@
+#ifndef XFC_DATA_GENERATORS_HPP
+#define XFC_DATA_GENERATORS_HPP
+
+/// \file generators.hpp
+/// Synthetic stand-ins for the paper's SDRBench datasets (see DESIGN.md
+/// substitution table). Each generator derives its fields from shared
+/// latent processes plus field-specific structure and noise, so the
+/// *cross-field correlation* the paper exploits is present but nonlinear
+/// and imperfect — exactly the regime where CFNN beats both "copy the
+/// anchor" and "use local information only".
+///
+/// Field sets, names and physical flavours match the paper:
+///   SCALE-like:     T, QV, PRES, RH, U, V, W          (3D climate)
+///   CESM-ATM-like:  CLDLOW, CLDMED, CLDHGH, CLDTOT,
+///                   FLNT, FLNTC, FLUTC, FLUT, LWCF    (2D climate)
+///   Hurricane-like: Uf, Vf, Wf, Pf                    (3D weather)
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace xfc {
+
+struct SyntheticSpec {
+  Shape shape;
+  std::uint64_t seed = 2024;
+};
+
+/// 3D climate simulation snapshot (SCALE-LETKF-like).
+/// Winds U/V derive from a shared streamfunction/velocity potential, W from
+/// the column-integrated divergence of (U,V), PRES couples hydrostatics to
+/// the streamfunction, T to pressure, QV to T via Clausius-Clapeyron, and
+/// RH = QV / qsat(T, PRES).
+std::vector<Field> make_scale_like(const SyntheticSpec& spec);
+
+/// 2D atmosphere snapshot (CESM-ATM-like).
+/// Cloud fractions at three levels share latent cloudiness; CLDTOT is their
+/// random-overlap combination; the radiation fields follow the energy
+/// budget identities (LWCF = FLUTC - FLUT, FLUT ~ FLNT) the paper calls out
+/// in §III-A.
+std::vector<Field> make_cesm_like(const SyntheticSpec& spec);
+
+/// 3D hurricane snapshot (ISABEL-like).
+/// A warm-core vortex: tangential winds from a Holland-style profile
+/// (-> Uf, Vf), eyewall updraft ring (-> Wf), and hydrostatic pressure
+/// deficit (-> Pf), all over environmental flow.
+std::vector<Field> make_hurricane_like(const SyntheticSpec& spec);
+
+}  // namespace xfc
+
+#endif  // XFC_DATA_GENERATORS_HPP

@@ -1,0 +1,146 @@
+#include "data/noise.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/utils.hpp"
+
+namespace xfc {
+namespace {
+
+inline double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+/// One octave of 2D value noise from a (cy+1)x(cx+1) lattice.
+void add_octave_2d(F32Array& out, std::size_t cells, double amplitude,
+                   Rng& rng) {
+  const std::size_t h = out.shape()[0], w = out.shape()[1];
+  const std::size_t gy = cells + 1, gx = cells + 1;
+  std::vector<double> lattice(gy * gx);
+  for (double& v : lattice) v = rng.normal();
+
+  const double sy = static_cast<double>(cells) / static_cast<double>(h);
+  const double sx = static_cast<double>(cells) / static_cast<double>(w);
+  parallel_for(0, h, [&](std::size_t y) {
+    const double fy = y * sy;
+    const std::size_t iy = std::min(static_cast<std::size_t>(fy), cells - 1);
+    const double ty = smoothstep(fy - iy);
+    for (std::size_t x = 0; x < w; ++x) {
+      const double fx = x * sx;
+      const std::size_t ix =
+          std::min(static_cast<std::size_t>(fx), cells - 1);
+      const double tx = smoothstep(fx - ix);
+      const double v00 = lattice[iy * gx + ix];
+      const double v01 = lattice[iy * gx + ix + 1];
+      const double v10 = lattice[(iy + 1) * gx + ix];
+      const double v11 = lattice[(iy + 1) * gx + ix + 1];
+      const double v = (v00 * (1 - tx) + v01 * tx) * (1 - ty) +
+                       (v10 * (1 - tx) + v11 * tx) * ty;
+      out(y, x) += static_cast<float>(amplitude * v);
+    }
+  });
+}
+
+/// One octave of 3D value noise.
+void add_octave_3d(F32Array& out, std::size_t cells, double amplitude,
+                   Rng& rng) {
+  const std::size_t d = out.shape()[0], h = out.shape()[1],
+                    w = out.shape()[2];
+  const std::size_t g = cells + 1;
+  std::vector<double> lattice(g * g * g);
+  for (double& v : lattice) v = rng.normal();
+
+  const double sz = static_cast<double>(cells) / static_cast<double>(d);
+  const double sy = static_cast<double>(cells) / static_cast<double>(h);
+  const double sx = static_cast<double>(cells) / static_cast<double>(w);
+  parallel_for(0, d, [&](std::size_t z) {
+    const double fz = z * sz;
+    const std::size_t iz = std::min(static_cast<std::size_t>(fz), cells - 1);
+    const double tz = smoothstep(fz - iz);
+    for (std::size_t y = 0; y < h; ++y) {
+      const double fy = y * sy;
+      const std::size_t iy =
+          std::min(static_cast<std::size_t>(fy), cells - 1);
+      const double ty = smoothstep(fy - iy);
+      for (std::size_t x = 0; x < w; ++x) {
+        const double fx = x * sx;
+        const std::size_t ix =
+            std::min(static_cast<std::size_t>(fx), cells - 1);
+        const double tx = smoothstep(fx - ix);
+        auto at = [&](std::size_t a, std::size_t b, std::size_t c) {
+          return lattice[(a * g + b) * g + c];
+        };
+        const double c00 = at(iz, iy, ix) * (1 - tx) + at(iz, iy, ix + 1) * tx;
+        const double c01 =
+            at(iz, iy + 1, ix) * (1 - tx) + at(iz, iy + 1, ix + 1) * tx;
+        const double c10 =
+            at(iz + 1, iy, ix) * (1 - tx) + at(iz + 1, iy, ix + 1) * tx;
+        const double c11 = at(iz + 1, iy + 1, ix) * (1 - tx) +
+                           at(iz + 1, iy + 1, ix + 1) * tx;
+        const double c0 = c00 * (1 - ty) + c01 * ty;
+        const double c1 = c10 * (1 - ty) + c11 * ty;
+        out(z, y, x) += static_cast<float>(amplitude * (c0 * (1 - tz) + c1 * tz));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+F32Array value_noise_2d(std::size_t h, std::size_t w, const NoiseSpec& spec,
+                        Rng& rng) {
+  expects(h > 0 && w > 0 && spec.base_cells >= 1 && spec.octaves >= 1,
+          "value_noise_2d: bad spec");
+  F32Array out(Shape{h, w});
+  double amplitude = 1.0;
+  std::size_t cells = spec.base_cells;
+  for (std::size_t o = 0; o < spec.octaves; ++o) {
+    add_octave_2d(out, cells, amplitude, rng);
+    amplitude *= spec.persistence;
+    cells *= 2;
+  }
+  return out;
+}
+
+F32Array value_noise_3d(std::size_t d, std::size_t h, std::size_t w,
+                        const NoiseSpec& spec, Rng& rng) {
+  expects(d > 0 && h > 0 && w > 0 && spec.base_cells >= 1 &&
+              spec.octaves >= 1,
+          "value_noise_3d: bad spec");
+  F32Array out(Shape{d, h, w});
+  double amplitude = 1.0;
+  std::size_t cells = spec.base_cells;
+  for (std::size_t o = 0; o < spec.octaves; ++o) {
+    add_octave_3d(out, cells, amplitude, rng);
+    amplitude *= spec.persistence;
+    cells *= 2;
+  }
+  return out;
+}
+
+F32Array central_gradient(const F32Array& a, std::size_t axis) {
+  const Shape& s = a.shape();
+  expects(axis < s.ndim(), "central_gradient: axis out of range");
+  F32Array out(s);
+
+  std::size_t stride = 1;
+  for (std::size_t d = s.ndim(); d-- > axis + 1;) stride *= s[d];
+  const std::size_t extent = s[axis];
+
+  const float* src = a.data();
+  float* dst = out.data();
+  parallel_for(0, a.size(), [&](std::size_t i) {
+    const std::size_t coord = (i / stride) % extent;
+    if (extent == 1) {
+      dst[i] = 0.0f;
+    } else if (coord == 0) {
+      dst[i] = src[i + stride] - src[i];
+    } else if (coord == extent - 1) {
+      dst[i] = src[i] - src[i - stride];
+    } else {
+      dst[i] = 0.5f * (src[i + stride] - src[i - stride]);
+    }
+  });
+  return out;
+}
+
+}  // namespace xfc

@@ -1,0 +1,37 @@
+#ifndef XFC_DATA_NOISE_HPP
+#define XFC_DATA_NOISE_HPP
+
+/// \file noise.hpp
+/// Multi-octave value noise — the latent smooth random fields from which
+/// the synthetic datasets are derived. Value noise (random lattice +
+/// smoothstep interpolation, summed over octaves) gives the band-limited,
+/// multi-scale structure characteristic of the SDRBench climate/weather
+/// fields at a fraction of the cost of spectral synthesis.
+
+#include <cstdint>
+
+#include "core/ndarray.hpp"
+#include "core/rng.hpp"
+
+namespace xfc {
+
+struct NoiseSpec {
+  std::size_t base_cells = 6;  // lattice cells of the coarsest octave
+  std::size_t octaves = 3;     // each octave doubles frequency
+  double persistence = 0.5;    // amplitude decay per octave
+};
+
+/// Smooth random 2D field with ~N(0,1) marginal scale.
+F32Array value_noise_2d(std::size_t h, std::size_t w, const NoiseSpec& spec,
+                        Rng& rng);
+
+/// Smooth random 3D field.
+F32Array value_noise_3d(std::size_t d, std::size_t h, std::size_t w,
+                        const NoiseSpec& spec, Rng& rng);
+
+/// Central-difference partial derivative along `axis` (boundary: one-sided).
+F32Array central_gradient(const F32Array& a, std::size_t axis);
+
+}  // namespace xfc
+
+#endif  // XFC_DATA_NOISE_HPP

@@ -1,0 +1,40 @@
+#include "data/sdr.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+#include "io/file.hpp"
+
+namespace xfc {
+
+Field load_f32(const std::string& path, const Shape& shape,
+               const std::string& field_name) {
+  auto data = read_f32_file(path);
+  if (data.size() != shape.size())
+    throw IoError("load_f32: " + path + " holds " +
+                  std::to_string(data.size()) + " floats, expected " +
+                  std::to_string(shape.size()));
+  return Field(field_name, F32Array(shape, std::move(data)));
+}
+
+Field load_f64_as_f32(const std::string& path, const Shape& shape,
+                      const std::string& field_name) {
+  const auto bytes = read_file(path);
+  if (bytes.size() != shape.size() * sizeof(double))
+    throw IoError("load_f64_as_f32: " + path + " holds " +
+                  std::to_string(bytes.size() / sizeof(double)) +
+                  " doubles, expected " + std::to_string(shape.size()));
+  std::vector<float> data(shape.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double v;
+    std::memcpy(&v, bytes.data() + i * sizeof(double), sizeof(double));
+    data[i] = static_cast<float>(v);
+  }
+  return Field(field_name, F32Array(shape, std::move(data)));
+}
+
+void store_f32(const std::string& path, const Field& field) {
+  write_f32_file(path, field.array().vec());
+}
+
+}  // namespace xfc

@@ -1,0 +1,31 @@
+#ifndef XFC_DATA_SDR_HPP
+#define XFC_DATA_SDR_HPP
+
+/// \file sdr.hpp
+/// SDRBench interoperability: the benchmark distributes each field as a raw
+/// little-endian float32 stream (.f32/.dat) with dimensions given out of
+/// band. With real SDRBench files on disk, the whole harness runs on the
+/// paper's actual data instead of the synthetic stand-ins.
+
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace xfc {
+
+/// Loads a raw float32 field; element count must equal shape.size().
+Field load_f32(const std::string& path, const Shape& shape,
+               const std::string& field_name);
+
+/// Loads a raw float64 field, narrowing to float32 (several SDRBench
+/// datasets — e.g. NYX — ship as doubles; the pipeline is float32).
+Field load_f64_as_f32(const std::string& path, const Shape& shape,
+                      const std::string& field_name);
+
+/// Stores a field as raw float32.
+void store_f32(const std::string& path, const Field& field);
+
+}  // namespace xfc
+
+#endif  // XFC_DATA_SDR_HPP

@@ -1,0 +1,60 @@
+#include "encode/backend.hpp"
+
+#include "core/error.hpp"
+#include "encode/miniflate.hpp"
+#include "encode/rle.hpp"
+
+namespace xfc {
+namespace {
+
+std::vector<std::uint8_t> with_tag(std::uint8_t tag,
+                                   std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 1);
+  out.push_back(tag);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> input,
+                                            LosslessBackend backend) {
+  switch (backend) {
+    case LosslessBackend::kStore:
+      return with_tag(0, std::vector<std::uint8_t>(input.begin(), input.end()));
+    case LosslessBackend::kRle:
+      return with_tag(1, rle_compress(input));
+    case LosslessBackend::kMiniflate:
+      return with_tag(2, miniflate_compress(input));
+    case LosslessBackend::kAuto: {
+      auto best = with_tag(
+          0, std::vector<std::uint8_t>(input.begin(), input.end()));
+      auto rle = with_tag(1, rle_compress(input));
+      if (rle.size() < best.size()) best = std::move(rle);
+      auto mf = with_tag(2, miniflate_compress(input));
+      if (mf.size() < best.size()) best = std::move(mf);
+      return best;
+    }
+  }
+  throw InvalidArgument("lossless_compress: unknown backend");
+}
+
+std::vector<std::uint8_t> lossless_decompress(
+    std::span<const std::uint8_t> input) {
+  if (input.empty()) throw CorruptStream("lossless_decompress: empty input");
+  const std::uint8_t tag = input[0];
+  const auto body = input.subspan(1);
+  switch (tag) {
+    case 0:
+      return std::vector<std::uint8_t>(body.begin(), body.end());
+    case 1:
+      return rle_decompress(body);
+    case 2:
+      return miniflate_decompress(body);
+    default:
+      throw CorruptStream("lossless_decompress: unknown backend tag");
+  }
+}
+
+}  // namespace xfc

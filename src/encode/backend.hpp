@@ -1,0 +1,35 @@
+#ifndef XFC_ENCODE_BACKEND_HPP
+#define XFC_ENCODE_BACKEND_HPP
+
+/// \file backend.hpp
+/// Lossless byte-stream backend selection. The SZ-style pipeline produces a
+/// byte payload (Huffman-coded quantization codes + outliers); this layer
+/// squeezes residual redundancy with a general-purpose coder, picking the
+/// smallest of the enabled candidates per payload.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xfc {
+
+enum class LosslessBackend : std::uint8_t {
+  kStore = 0,      // no further compression
+  kRle = 1,        // run-length only
+  kMiniflate = 2,  // LZSS + Huffman (default)
+  kAuto = 255,     // try all and keep the smallest
+};
+
+/// Compresses with the requested backend (kAuto tries all). The result is
+/// self-describing: the first byte records the backend used.
+std::vector<std::uint8_t> lossless_compress(
+    std::span<const std::uint8_t> input,
+    LosslessBackend backend = LosslessBackend::kAuto);
+
+/// Inverse of lossless_compress.
+std::vector<std::uint8_t> lossless_decompress(
+    std::span<const std::uint8_t> input);
+
+}  // namespace xfc
+
+#endif  // XFC_ENCODE_BACKEND_HPP

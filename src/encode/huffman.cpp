@@ -1,0 +1,286 @@
+#include "encode/huffman.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace xfc {
+namespace {
+
+/// Standard (unlimited) Huffman code lengths via pairing-queue tree build.
+/// Returns per-symbol lengths; zero-frequency symbols get 0.
+std::vector<std::uint8_t> tree_lengths(std::span<const std::uint64_t> freqs) {
+  struct Node {
+    std::uint64_t weight;
+    std::int32_t left;   // < 0: leaf, symbol = -(left+1)
+    std::int32_t right;  // only valid for internal nodes
+  };
+  std::vector<Node> nodes;
+  using QItem = std::pair<std::uint64_t, std::int32_t>;  // (weight, node idx)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  std::size_t used = 0;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    ++used;
+    nodes.push_back({freqs[s], -static_cast<std::int32_t>(s) - 1, 0});
+    pq.emplace(freqs[s], static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  if (used == 0) return lengths;
+  if (used == 1) {
+    for (std::uint32_t s = 0; s < freqs.size(); ++s)
+      if (freqs[s] > 0) lengths[s] = 1;
+    return lengths;
+  }
+  while (pq.size() > 1) {
+    const auto [wa, a] = pq.top();
+    pq.pop();
+    const auto [wb, b] = pq.top();
+    pq.pop();
+    nodes.push_back({wa + wb, a, b});
+    pq.emplace(wa + wb, static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  // Depth-first assign depths. Leaf nodes were pushed first, so any node
+  // with index < used is a leaf (left holds the encoded symbol).
+  const std::int32_t root = pq.top().second;
+  std::vector<std::pair<std::int32_t, std::uint8_t>> stack{{root, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (static_cast<std::size_t>(idx) < used) {
+      lengths[static_cast<std::uint32_t>(-(n.left + 1))] =
+          depth == 0 ? std::uint8_t{1} : depth;
+    } else {
+      stack.push_back({n.left, static_cast<std::uint8_t>(depth + 1)});
+      stack.push_back({n.right, static_cast<std::uint8_t>(depth + 1)});
+    }
+  }
+  return lengths;
+}
+
+/// Optimal length-limited lengths via package-merge. Packages are arena
+/// tree nodes so memory stays O(n * max_bits).
+std::vector<std::uint8_t> package_merge_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_bits) {
+  std::vector<std::uint32_t> used;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s)
+    if (freqs[s] > 0) used.push_back(s);
+
+  struct Item {
+    std::uint64_t weight;
+    std::int32_t a;  // arena index of first child, or -1 for a coin
+    std::int32_t b;  // arena index of second child
+    std::uint32_t coin;  // used-symbol index when a < 0
+  };
+  // Arena of package items across all levels; chosen top-level items are
+  // walked at the end to count per-symbol occurrences.
+  std::vector<Item> arena;
+  std::vector<std::int32_t> prev;  // arena indices of the previous level
+
+  for (unsigned level = 0; level < max_bits; ++level) {
+    std::vector<std::int32_t> items;
+    items.reserve(used.size() + prev.size() / 2);
+    for (std::uint32_t i = 0; i < used.size(); ++i) {
+      arena.push_back({freqs[used[i]], -1, -1, i});
+      items.push_back(static_cast<std::int32_t>(arena.size() - 1));
+    }
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      arena.push_back({arena[prev[i]].weight + arena[prev[i + 1]].weight,
+                       prev[i], prev[i + 1], 0});
+      items.push_back(static_cast<std::int32_t>(arena.size() - 1));
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [&](std::int32_t x, std::int32_t y) {
+                       return arena[x].weight < arena[y].weight;
+                     });
+    prev = std::move(items);
+  }
+
+  const std::size_t take = 2 * used.size() - 2;
+  expects(prev.size() >= take, "package-merge: internal shortage");
+
+  std::vector<std::uint32_t> times(used.size(), 0);
+  std::vector<std::int32_t> stack;
+  for (std::size_t i = 0; i < take; ++i) {
+    stack.push_back(prev[i]);
+    while (!stack.empty()) {
+      const Item& it = arena[stack.back()];
+      stack.pop_back();
+      if (it.a < 0) {
+        ++times[it.coin];
+      } else {
+        stack.push_back(it.a);
+        stack.push_back(it.b);
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  for (std::uint32_t i = 0; i < used.size(); ++i) {
+    expects(times[i] >= 1 && times[i] <= max_bits,
+            "package-merge: invalid resulting length");
+    lengths[used[i]] = static_cast<std::uint8_t>(times[i]);
+  }
+  return lengths;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_bits) {
+  expects(max_bits >= 1 && max_bits <= kMaxHuffmanBits,
+          "huffman_code_lengths: max_bits out of range");
+
+  std::size_t used = 0;
+  for (std::uint64_t f : freqs)
+    if (f > 0) ++used;
+  if (used == 0) return std::vector<std::uint8_t>(freqs.size(), 0);
+  if (used > (std::uint64_t{1} << max_bits))
+    throw InvalidArgument(
+        "huffman_code_lengths: alphabet too large for max_bits");
+
+  // Fast path: the unconstrained optimal code usually already satisfies the
+  // limit; fall back to package-merge only on overflow.
+  auto lengths = tree_lengths(freqs);
+  unsigned max_len = 0;
+  for (std::uint8_t l : lengths) max_len = std::max<unsigned>(max_len, l);
+  if (max_len <= max_bits) return lengths;
+  return package_merge_lengths(freqs, max_bits);
+}
+
+HuffmanCode::HuffmanCode(std::vector<std::uint8_t> lengths)
+    : lengths_(std::move(lengths)) {
+  build_tables();
+}
+
+HuffmanCode HuffmanCode::from_frequencies(std::span<const std::uint64_t> freqs,
+                                          unsigned max_bits) {
+  return HuffmanCode(huffman_code_lengths(freqs, max_bits));
+}
+
+void HuffmanCode::build_tables() {
+  max_len_ = 0;
+  for (std::uint8_t l : lengths_) {
+    expects(l <= kMaxHuffmanBits, "HuffmanCode: length exceeds limit");
+    max_len_ = std::max<unsigned>(max_len_, l);
+  }
+
+  count_.assign(max_len_ + 1, 0);
+  for (std::uint8_t l : lengths_)
+    if (l > 0) ++count_[l];
+
+  // Kraft check: sum 2^-l must not exceed 1, otherwise decode is ambiguous.
+  std::uint64_t kraft = 0;  // in units of 2^-max_len_
+  for (unsigned l = 1; l <= max_len_; ++l)
+    kraft += static_cast<std::uint64_t>(count_[l]) << (max_len_ - l);
+  if (max_len_ > 0 && kraft > (std::uint64_t{1} << max_len_))
+    throw CorruptStream("HuffmanCode: code lengths violate Kraft inequality");
+
+  first_code_.assign(max_len_ + 1, 0);
+  first_index_.assign(max_len_ + 1, 0);
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    code = (code + (l > 1 ? count_[l - 1] : 0)) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += count_[l];
+  }
+
+  sorted_.clear();
+  sorted_.reserve(index);
+  for (unsigned l = 1; l <= max_len_; ++l)
+    for (std::uint32_t s = 0; s < lengths_.size(); ++s)
+      if (lengths_[s] == l) sorted_.push_back(s);
+
+  codes_.assign(lengths_.size(), 0);
+  std::vector<std::uint32_t> next = first_code_;
+  for (std::uint32_t s : sorted_) codes_[s] = next[lengths_[s]]++;
+
+  // Root decode table: one entry per kRootBits-bit prefix resolves every
+  // code of length <= kRootBits in a single peek.
+  root_.assign(std::size_t{1} << kRootBits, RootEntry{0, 0});
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    const unsigned l = lengths_[s];
+    if (l == 0 || l > kRootBits) continue;
+    const std::uint32_t base = codes_[s] << (kRootBits - l);
+    const std::uint32_t span = 1u << (kRootBits - l);
+    for (std::uint32_t i = 0; i < span; ++i)
+      root_[base + i] = RootEntry{s, static_cast<std::uint8_t>(l)};
+  }
+}
+
+void HuffmanCode::encode(BitWriter& bw, std::uint32_t symbol) const {
+  expects(symbol < lengths_.size() && lengths_[symbol] > 0,
+          "HuffmanCode::encode: symbol has no code");
+  bw.put_bits(codes_[symbol], lengths_[symbol]);
+}
+
+std::uint32_t HuffmanCode::decode(BitReader& br) const {
+  if (max_len_ == 0) throw CorruptStream("HuffmanCode::decode: empty codebook");
+  const std::size_t remaining = br.remaining();
+
+  // Fast path: one peek resolves any code of length <= kRootBits.
+  // (peek zero-fills past the end, so only trust entries whose length is
+  // actually available.)
+  if (remaining >= 1) {
+    const RootEntry e =
+        root_[static_cast<std::size_t>(br.peek_bits(kRootBits))];
+    if (e.length != 0 && e.length <= remaining) {
+      br.skip_bits(e.length);
+      return e.symbol;
+    }
+  }
+
+  // Long-code path: peek the full maximum length once and scan lengths.
+  const unsigned avail = static_cast<unsigned>(
+      remaining < max_len_ ? remaining : max_len_);
+  if (avail == 0)
+    throw CorruptStream("HuffmanCode::decode: stream exhausted");
+  const std::uint64_t window = br.peek_bits(avail);
+  for (unsigned l = 1; l <= avail; ++l) {
+    if (count_[l] == 0) continue;
+    const std::uint32_t code =
+        static_cast<std::uint32_t>(window >> (avail - l));
+    if (code >= first_code_[l] && code - first_code_[l] < count_[l]) {
+      br.skip_bits(l);
+      return sorted_[first_index_[l] + (code - first_code_[l])];
+    }
+  }
+  throw CorruptStream("HuffmanCode::decode: invalid code in stream");
+}
+
+void HuffmanCode::serialize(ByteWriter& out) const {
+  // Run-length encode the length array: (length, run) varint pairs.
+  out.varint(lengths_.size());
+  std::size_t i = 0;
+  while (i < lengths_.size()) {
+    std::size_t j = i;
+    while (j < lengths_.size() && lengths_[j] == lengths_[i]) ++j;
+    out.u8(lengths_[i]);
+    out.varint(j - i);
+    i = j;
+  }
+}
+
+HuffmanCode HuffmanCode::deserialize(ByteReader& in) {
+  const std::uint64_t n = in.varint();
+  if (n > (std::uint64_t{1} << 28))
+    throw CorruptStream("HuffmanCode::deserialize: absurd alphabet size");
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(n);
+  while (lengths.size() < n) {
+    const std::uint8_t len = in.u8();
+    const std::uint64_t run = in.varint();
+    if (run == 0 || lengths.size() + run > n)
+      throw CorruptStream("HuffmanCode::deserialize: bad run length");
+    lengths.insert(lengths.end(), run, len);
+  }
+  return HuffmanCode(std::move(lengths));
+}
+
+}  // namespace xfc

@@ -1,0 +1,90 @@
+#ifndef XFC_ENCODE_HUFFMAN_HPP
+#define XFC_ENCODE_HUFFMAN_HPP
+
+/// \file huffman.hpp
+/// Canonical, length-limited Huffman coding.
+///
+/// This is the entropy coder of the SZ-style pipeline (quantization codes)
+/// and of miniflate (literal/length and distance alphabets). Code lengths
+/// are computed with the package-merge algorithm, which yields optimal
+/// length-limited codes; canonical code assignment means only the lengths
+/// need to be serialised.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/bitstream.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+/// Maximum code length supported by the coders. 32 keeps every code well
+/// inside the BitReader's 57-bit peek window even with length prefixes.
+inline constexpr unsigned kMaxHuffmanBits = 32;
+
+/// Computes optimal length-limited code lengths for the given symbol
+/// frequencies (package-merge). Symbols with zero frequency get length 0
+/// (no code). If only one symbol has nonzero frequency it gets length 1.
+///
+/// \throws InvalidArgument if max_bits is too small to represent the
+///         alphabet (needs ceil(log2(#used symbols))).
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_bits = kMaxHuffmanBits);
+
+/// Canonical Huffman codebook: encoder and decoder share this.
+class HuffmanCode {
+ public:
+  HuffmanCode() = default;
+
+  /// Builds the canonical codebook from per-symbol code lengths
+  /// (as produced by huffman_code_lengths).
+  explicit HuffmanCode(std::vector<std::uint8_t> lengths);
+
+  /// Convenience: lengths from frequencies, then canonical codes.
+  static HuffmanCode from_frequencies(std::span<const std::uint64_t> freqs,
+                                      unsigned max_bits = kMaxHuffmanBits);
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+  const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+
+  /// Writes the code for `symbol`; the symbol must have a nonzero length.
+  void encode(BitWriter& bw, std::uint32_t symbol) const;
+
+  /// Reads one symbol.
+  std::uint32_t decode(BitReader& br) const;
+
+  /// Exact encoded size in bits of `symbol`.
+  unsigned length_of(std::uint32_t symbol) const { return lengths_[symbol]; }
+
+  /// Serialises the code lengths (run-length + varint packed).
+  void serialize(ByteWriter& out) const;
+
+  /// Reads a codebook written by serialize().
+  static HuffmanCode deserialize(ByteReader& in);
+
+ private:
+  /// Prefix width of the single-peek root decode table.
+  static constexpr unsigned kRootBits = 11;
+
+  struct RootEntry {
+    std::uint32_t symbol;
+    std::uint8_t length;  // 0: code longer than kRootBits (slow path)
+  };
+
+  void build_tables();
+
+  std::vector<RootEntry> root_;              // fast decode table
+  std::vector<std::uint8_t> lengths_;        // per-symbol code length
+  std::vector<std::uint32_t> codes_;         // per-symbol canonical code
+  // Canonical decode tables, indexed by code length 1..max:
+  std::vector<std::uint32_t> first_code_;    // smallest code of this length
+  std::vector<std::uint32_t> first_index_;   // index of that code in sorted_
+  std::vector<std::uint32_t> count_;         // number of codes of this length
+  std::vector<std::uint32_t> sorted_;        // symbols sorted by (len, sym)
+  unsigned max_len_ = 0;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_ENCODE_HUFFMAN_HPP

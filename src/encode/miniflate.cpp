@@ -1,0 +1,277 @@
+#include "encode/miniflate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "core/error.hpp"
+#include "encode/huffman.hpp"
+#include "io/bitstream.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kWindow = std::size_t{1} << 16;
+constexpr unsigned kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+constexpr std::uint32_t kEob = 256;
+constexpr std::uint32_t kLenCodeBase = 257;
+// Length values are (len - kMinMatch + 1) in [1, 255] -> 16 buckets.
+constexpr std::uint32_t kNumLenCodes = 16;
+constexpr std::uint32_t kLitLenAlphabet = kLenCodeBase + kNumLenCodes;
+// Distances in [1, 65536] -> 32 buckets.
+constexpr std::uint32_t kNumDistCodes = 32;
+
+/// Deflate-style logarithmic bucketing of a positive integer:
+/// codes 0..3 cover v = 1..4 exactly, then each pair of codes covers one
+/// power-of-two range with (code/2 - 1) extra bits.
+struct Bucket {
+  std::uint32_t code;
+  unsigned extra_bits;
+  std::uint32_t extra_val;
+};
+
+inline Bucket bucketize(std::uint32_t v) {
+  if (v <= 4) return {v - 1, 0, 0};
+  const unsigned b = std::bit_width(v - 1) - 1;  // v-1 in [2^b, 2^(b+1))
+  const std::uint32_t sub = ((v - 1) >> (b - 1)) & 1;
+  const std::uint32_t code = 2 * b + sub;
+  const unsigned extra = b - 1;
+  const std::uint32_t base = ((2 + sub) << (b - 1)) + 1;
+  return {code, extra, v - base};
+}
+
+inline std::uint32_t bucket_base(std::uint32_t code) {
+  if (code <= 3) return code + 1;
+  const unsigned b = code / 2;
+  const std::uint32_t sub = code & 1;
+  return ((2 + sub) << (b - 1)) + 1;
+}
+
+inline unsigned bucket_extra_bits(std::uint32_t code) {
+  return code <= 3 ? 0 : code / 2 - 1;
+}
+
+struct Token {
+  std::uint32_t lit_or_len;  // literal byte, or match length when dist > 0
+  std::uint32_t dist;        // 0 for a literal
+};
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+std::size_t max_chain_for(MiniflateLevel level) {
+  switch (level) {
+    case MiniflateLevel::kFast: return 8;
+    case MiniflateLevel::kDefault: return 64;
+    case MiniflateLevel::kBest: return 512;
+  }
+  return 64;
+}
+
+/// Longest match at `pos` against an earlier position from the hash chain.
+std::size_t match_length(std::span<const std::uint8_t> in, std::size_t pos,
+                         std::size_t cand, std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && in[cand + n] == in[pos + n]) ++n;
+  return n;
+}
+
+std::vector<Token> lz_parse(std::span<const std::uint8_t> in,
+                            MiniflateLevel level) {
+  std::vector<Token> tokens;
+  tokens.reserve(in.size() / 3 + 16);
+  const std::size_t max_chain = max_chain_for(level);
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(in.size(), -1);
+
+  auto find_best = [&](std::size_t pos) -> std::pair<std::size_t, std::size_t> {
+    // returns (best_len, best_dist); best_len == 0 means no match
+    if (pos + kMinMatch > in.size()) return {0, 0};
+    const std::size_t limit = std::min(kMaxMatch, in.size() - pos);
+    std::size_t best_len = kMinMatch - 1;
+    std::size_t best_dist = 0;
+    std::int64_t cand = head[hash4(in.data() + pos)];
+    std::size_t chain = 0;
+    while (cand >= 0 && chain < max_chain) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      if (pos - c > kWindow) break;
+      if (in[c + best_len] == in[pos + best_len]) {
+        const std::size_t len = match_length(in, pos, c, limit);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - c;
+          if (len == limit) break;
+        }
+      }
+      cand = prev[c];
+      ++chain;
+    }
+    return best_len >= kMinMatch ? std::make_pair(best_len, best_dist)
+                                 : std::make_pair(std::size_t{0},
+                                                  std::size_t{0});
+  };
+
+  // Every position is inserted into the hash chains exactly once, in order,
+  // just before any search that could reference it.
+  std::size_t next_to_insert = 0;
+  auto insert_up_to = [&](std::size_t end) {
+    for (; next_to_insert < end; ++next_to_insert) {
+      if (next_to_insert + 4 > in.size()) continue;
+      const std::uint32_t h = hash4(in.data() + next_to_insert);
+      prev[next_to_insert] = head[h];
+      head[h] = static_cast<std::int64_t>(next_to_insert);
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    insert_up_to(pos);
+    auto [len, dist] = find_best(pos);
+    if (len >= kMinMatch && pos + 1 < in.size()) {
+      // One-step lazy matching: prefer a strictly longer match at pos+1.
+      insert_up_to(pos + 1);
+      auto [len2, dist2] = find_best(pos + 1);
+      if (len2 > len + 1) {
+        tokens.push_back({in[pos], 0});
+        ++pos;
+        len = len2;
+        dist = dist2;
+      }
+    }
+    if (len >= kMinMatch) {
+      tokens.push_back({static_cast<std::uint32_t>(len),
+                        static_cast<std::uint32_t>(dist)});
+      pos += len;
+    } else {
+      tokens.push_back({in[pos], 0});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> miniflate_compress(
+    std::span<const std::uint8_t> input, MiniflateLevel level) {
+  ByteWriter out;
+  out.varint(input.size());
+  if (input.empty()) {
+    out.u8(0);  // store
+    return out.take();
+  }
+
+  const auto tokens = lz_parse(input, level);
+
+  std::vector<std::uint64_t> litlen_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kNumDistCodes, 0);
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      ++litlen_freq[t.lit_or_len];
+    } else {
+      ++litlen_freq[kLenCodeBase +
+                    bucketize(t.lit_or_len - kMinMatch + 1).code];
+      ++dist_freq[bucketize(t.dist).code];
+    }
+  }
+  ++litlen_freq[kEob];
+
+  const auto litlen = HuffmanCode::from_frequencies(litlen_freq, 15);
+  const auto dist = HuffmanCode::from_frequencies(dist_freq, 15);
+
+  BitWriter bw;
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      litlen.encode(bw, t.lit_or_len);
+    } else {
+      const Bucket lb = bucketize(t.lit_or_len - kMinMatch + 1);
+      litlen.encode(bw, kLenCodeBase + lb.code);
+      bw.put_bits(lb.extra_val, lb.extra_bits);
+      const Bucket db = bucketize(t.dist);
+      dist.encode(bw, db.code);
+      bw.put_bits(db.extra_val, db.extra_bits);
+    }
+  }
+  litlen.encode(bw, kEob);
+  auto payload = bw.take();
+
+  ByteWriter lz;
+  litlen.serialize(lz);
+  dist.serialize(lz);
+  lz.blob(payload);
+  const auto lz_bytes = lz.take();
+
+  if (lz_bytes.size() + 1 < input.size()) {
+    out.u8(1);  // miniflate
+    out.raw(lz_bytes);
+  } else {
+    out.u8(0);  // store: compression did not pay off
+    out.raw(input);
+  }
+  return out.take();
+}
+
+std::vector<std::uint8_t> miniflate_decompress(
+    std::span<const std::uint8_t> input) {
+  ByteReader in(input);
+  const std::uint64_t raw_size = in.varint();
+  if (raw_size > (std::uint64_t{1} << 40))
+    throw CorruptStream("miniflate: absurd declared size");
+  const std::uint8_t method = in.u8();
+
+  if (method == 0) {
+    const auto body = in.raw(raw_size);
+    return std::vector<std::uint8_t>(body.begin(), body.end());
+  }
+  if (method != 1) throw CorruptStream("miniflate: unknown method byte");
+
+  const auto litlen = HuffmanCode::deserialize(in);
+  const auto dist = HuffmanCode::deserialize(in);
+  if (litlen.alphabet_size() != kLitLenAlphabet ||
+      dist.alphabet_size() != kNumDistCodes)
+    throw CorruptStream("miniflate: unexpected alphabet sizes");
+  const auto payload = in.blob();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_size);
+  BitReader br(payload);
+  while (true) {
+    const std::uint32_t sym = litlen.decode(br);
+    if (sym == kEob) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const std::uint32_t lcode = sym - kLenCodeBase;
+    const std::uint32_t lval =
+        bucket_base(lcode) +
+        static_cast<std::uint32_t>(br.get_bits(bucket_extra_bits(lcode)));
+    const std::size_t len = lval + kMinMatch - 1;
+
+    const std::uint32_t dcode = dist.decode(br);
+    const std::uint32_t d =
+        bucket_base(dcode) +
+        static_cast<std::uint32_t>(br.get_bits(bucket_extra_bits(dcode)));
+    if (d == 0 || d > out.size())
+      throw CorruptStream("miniflate: match distance out of range");
+    const std::size_t start = out.size() - d;
+    for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+    if (out.size() > raw_size)
+      throw CorruptStream("miniflate: output exceeds declared size");
+  }
+  if (out.size() != raw_size)
+    throw CorruptStream("miniflate: output size mismatch");
+  return out;
+}
+
+}  // namespace xfc

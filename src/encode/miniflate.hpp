@@ -1,0 +1,39 @@
+#ifndef XFC_ENCODE_MINIFLATE_HPP
+#define XFC_ENCODE_MINIFLATE_HPP
+
+/// \file miniflate.hpp
+/// A from-scratch deflate-style general-purpose byte compressor: LZSS with
+/// hash-chain match search over a 64 KiB window, followed by canonical
+/// Huffman coding of a literal/length alphabet and a distance alphabet.
+///
+/// This is the lossless back end of the SZ-style pipeline (the paper's
+/// stack uses zstd behind SZ3; miniflate plays the same role — squeezing
+/// residual redundancy out of the Huffman-coded quantization codes — so the
+/// relative benefit of better prediction is preserved).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xfc {
+
+/// Match-search effort. Higher levels follow longer hash chains.
+enum class MiniflateLevel : std::uint8_t {
+  kFast = 0,     // chain depth 8
+  kDefault = 1,  // chain depth 64
+  kBest = 2,     // chain depth 512
+};
+
+/// Compresses `input`; output is self-describing (decompress needs nothing
+/// else). Always succeeds; worst case is a few bytes of header overhead.
+std::vector<std::uint8_t> miniflate_compress(
+    std::span<const std::uint8_t> input,
+    MiniflateLevel level = MiniflateLevel::kDefault);
+
+/// Inverse of miniflate_compress. Throws CorruptStream on malformed input.
+std::vector<std::uint8_t> miniflate_decompress(
+    std::span<const std::uint8_t> input);
+
+}  // namespace xfc
+
+#endif  // XFC_ENCODE_MINIFLATE_HPP

@@ -1,0 +1,39 @@
+#include "encode/rle.hpp"
+
+#include "core/error.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> input) {
+  ByteWriter out;
+  out.varint(input.size());
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t j = i;
+    while (j < input.size() && input[j] == input[i]) ++j;
+    out.u8(input[i]);
+    out.varint(j - i);
+    i = j;
+  }
+  return out.take();
+}
+
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> input) {
+  ByteReader in(input);
+  const std::uint64_t raw_size = in.varint();
+  if (raw_size > (std::uint64_t{1} << 40))
+    throw CorruptStream("rle: absurd declared size");
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_size);
+  while (out.size() < raw_size) {
+    const std::uint8_t byte = in.u8();
+    const std::uint64_t run = in.varint();
+    if (run == 0 || out.size() + run > raw_size)
+      throw CorruptStream("rle: bad run length");
+    out.insert(out.end(), run, byte);
+  }
+  return out;
+}
+
+}  // namespace xfc

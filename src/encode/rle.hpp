@@ -1,0 +1,24 @@
+#ifndef XFC_ENCODE_RLE_HPP
+#define XFC_ENCODE_RLE_HPP
+
+/// \file rle.hpp
+/// Simple byte run-length coder. Quantization-code streams from very smooth
+/// fields degenerate into long runs of the zero symbol; RLE is a cheap
+/// alternative backend for that regime and a reference point in ablation
+/// benches.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xfc {
+
+/// Encodes as (byte, varint run) pairs prefixed with the raw size.
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> input);
+
+/// Inverse of rle_compress. Throws CorruptStream on malformed input.
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace xfc
+
+#endif  // XFC_ENCODE_RLE_HPP

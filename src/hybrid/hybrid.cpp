@@ -1,0 +1,242 @@
+#include "hybrid/hybrid.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+namespace {
+
+/// Solves the (k+1)x(k+1) symmetric system A x = b in place via Gaussian
+/// elimination with partial pivoting. k <= 4 in practice.
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::abs(diag) < 1e-12) continue;  // leave singular direction at 0
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / diag;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t col = n; col-- > 0;) {
+    if (std::abs(a[col][col]) < 1e-12) {
+      x[col] = 0.0;
+      continue;
+    }
+    double acc = b[col];
+    for (std::size_t c = col + 1; c < n; ++c) acc -= a[col][c] * x[c];
+    x[col] = acc / a[col][col];
+  }
+  return x;
+}
+
+}  // namespace
+
+HybridModel HybridModel::fit(
+    const std::vector<std::span<const std::int32_t>>& candidates,
+    std::span<const std::int32_t> targets, double lambda,
+    std::size_t max_samples) {
+  expects(!candidates.empty(), "HybridModel::fit: no candidate predictors");
+  const std::size_t k = candidates.size();
+  const std::size_t n = targets.size();
+  for (const auto& c : candidates)
+    expects(c.size() == n, "HybridModel::fit: candidate size mismatch");
+  expects(n > 0, "HybridModel::fit: no samples");
+
+  const std::size_t stride = n > max_samples ? n / max_samples : 1;
+
+  // Normal equations over [candidates..., 1] with ridge on the weights
+  // (not the bias).
+  const std::size_t m = k + 1;
+  std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+  std::vector<double> atb(m, 0.0);
+  std::vector<double> row(m, 1.0);
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; i += stride) {
+    for (std::size_t c = 0; c < k; ++c) row[c] = candidates[c][i];
+    row[k] = 1.0;
+    const double y = targets[i];
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = r; c < m; ++c) ata[r][c] += row[r] * row[c];
+      atb[r] += row[r] * y;
+    }
+    ++used;
+  }
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < r; ++c) ata[r][c] = ata[c][r];
+  const double scale = static_cast<double>(used);
+  for (std::size_t r = 0; r < k; ++r) ata[r][r] += lambda * scale;
+
+  const auto x = solve_dense(std::move(ata), std::move(atb));
+  HybridModel model;
+  model.weights_.assign(x.begin(), x.begin() + k);
+  model.bias_ = x[k];
+  return model;
+}
+
+HybridModel HybridModel::fit_l1(
+    const std::vector<std::span<const std::int32_t>>& candidates,
+    std::span<const std::int32_t> targets, double lambda,
+    std::size_t max_samples, std::size_t iterations) {
+  expects(!candidates.empty() && iterations >= 1,
+          "HybridModel::fit_l1: bad arguments");
+  const std::size_t k = candidates.size();
+  const std::size_t n = targets.size();
+  for (const auto& c : candidates)
+    expects(c.size() == n, "HybridModel::fit_l1: candidate size mismatch");
+  expects(n > 0, "HybridModel::fit_l1: no samples");
+
+  const std::size_t stride = n > max_samples ? n / max_samples : 1;
+  const std::size_t m = k + 1;
+
+  HybridModel model = fit(candidates, targets, lambda, max_samples);
+  std::vector<double> row(m, 1.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // IRLS: weight each sample by 1/max(|residual|, 1) — the Newton step
+    // for the smoothed L1 objective.
+    std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+    std::vector<double> atb(m, 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; i += stride) {
+      double pred = model.bias_;
+      for (std::size_t c = 0; c < k; ++c)
+        pred += model.weights_[c] * candidates[c][i];
+      const double resid = std::abs(pred - targets[i]);
+      const double w = 1.0 / std::max(resid, 1.0);
+      weight_sum += w;
+      for (std::size_t c = 0; c < k; ++c) row[c] = candidates[c][i];
+      row[k] = 1.0;
+      const double y = targets[i];
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c2 = r; c2 < m; ++c2)
+          ata[r][c2] += w * row[r] * row[c2];
+        atb[r] += w * row[r] * y;
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < r; ++c) ata[r][c] = ata[c][r];
+    for (std::size_t r = 0; r < k; ++r) ata[r][r] += lambda * weight_sum;
+
+    const auto x = solve_dense(std::move(ata), std::move(atb));
+    model.weights_.assign(x.begin(), x.begin() + k);
+    model.bias_ = x[k];
+  }
+  return model;
+}
+
+HybridModel HybridModel::single(std::size_t k, std::size_t index) {
+  expects(index < k, "HybridModel::single: index out of range");
+  HybridModel m;
+  m.weights_.assign(k, 0.0);
+  m.weights_[index] = 1.0;
+  return m;
+}
+
+double HybridModel::estimated_bits(
+    const std::vector<std::span<const std::int32_t>>& candidates,
+    std::span<const std::int32_t> targets, std::size_t max_samples) const {
+  expects(candidates.size() == weights_.size(),
+          "HybridModel::estimated_bits: predictor count mismatch");
+  const std::size_t n = targets.size();
+  const std::size_t stride = n > max_samples ? n / max_samples : 1;
+  double bits = 0.0;
+  for (std::size_t i = 0; i < n; i += stride) {
+    double pred = bias_;
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+      pred += weights_[c] * candidates[c][i];
+    const std::int64_t p = static_cast<std::int64_t>(std::nearbyint(pred));
+    const std::int64_t delta = static_cast<std::int64_t>(targets[i]) - p;
+    // Elias-gamma-style proxy for the Huffman cost of the zigzag symbol.
+    bits += 1.0 + std::bit_width(zigzag_encode64(delta));
+  }
+  return bits * static_cast<double>(stride);
+}
+
+HybridModel HybridModel::fit_sgd(
+    const std::vector<std::span<const std::int32_t>>& candidates,
+    std::span<const std::int32_t> targets, std::size_t epochs,
+    double learning_rate, std::vector<double>* epoch_losses) {
+  expects(!candidates.empty() && epochs > 0,
+          "HybridModel::fit_sgd: bad arguments");
+  const std::size_t k = candidates.size();
+  const std::size_t n = targets.size();
+  for (const auto& c : candidates)
+    expects(c.size() == n, "HybridModel::fit_sgd: candidate size mismatch");
+
+  // Scale features by the target RMS so one learning rate works across
+  // error bounds (codes grow as eb shrinks).
+  double rms = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    rms += static_cast<double>(targets[i]) * targets[i];
+  rms = std::sqrt(rms / static_cast<double>(n));
+  const double s = rms > 1e-12 ? 1.0 / rms : 1.0;
+
+  HybridModel model(k);  // start from the uniform average
+  if (epoch_losses != nullptr) epoch_losses->clear();
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Full-batch gradient of the scaled MSE.
+    std::vector<double> gw(k, 0.0);
+    double gb = 0.0;
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double pred = model.bias_;
+      for (std::size_t c = 0; c < k; ++c)
+        pred += model.weights_[c] * candidates[c][i];
+      const double err = (pred - targets[i]) * s;
+      loss += err * err;
+      const double g = 2.0 * err * s;
+      for (std::size_t c = 0; c < k; ++c) gw[c] += g * candidates[c][i];
+      gb += g;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    loss *= inv_n;
+    for (std::size_t c = 0; c < k; ++c)
+      model.weights_[c] -= learning_rate * gw[c] * inv_n;
+    model.bias_ -= learning_rate * gb * inv_n;
+    if (epoch_losses != nullptr) epoch_losses->push_back(loss);
+  }
+  return model;
+}
+
+std::int64_t HybridModel::combine(std::span<const std::int64_t> preds) const {
+  expects(preds.size() == weights_.size(),
+          "HybridModel::combine: predictor count mismatch");
+  double acc = bias_;
+  for (std::size_t c = 0; c < preds.size(); ++c)
+    acc += weights_[c] * static_cast<double>(preds[c]);
+  const double r = std::nearbyint(acc);
+  if (r > static_cast<double>(INT32_MAX)) return INT32_MAX;
+  if (r < static_cast<double>(INT32_MIN)) return INT32_MIN;
+  return static_cast<std::int64_t>(r);
+}
+
+void HybridModel::serialize(ByteWriter& out) const {
+  out.varint(weights_.size());
+  for (double w : weights_) out.f64(w);
+  out.f64(bias_);
+}
+
+HybridModel HybridModel::deserialize(ByteReader& in) {
+  HybridModel m;
+  const std::uint64_t k = in.varint();
+  if (k == 0 || k > 64) throw CorruptStream("HybridModel: bad predictor count");
+  m.weights_.resize(k);
+  for (double& w : m.weights_) w = in.f64();
+  m.bias_ = in.f64();
+  return m;
+}
+
+}  // namespace xfc

@@ -1,0 +1,90 @@
+#ifndef XFC_HYBRID_HYBRID_HPP
+#define XFC_HYBRID_HYBRID_HPP
+
+/// \file hybrid.hpp
+/// The hybrid prediction model (paper §III-D.3): a learned linear
+/// combination of the n+1 candidate predictions (n cross-field directional
+/// predictors + Lorenzo), plus a bias. Deliberately tiny — decompression is
+/// sequential, so the per-point cost must stay near a dot product — and its
+/// parameter count matches the paper's Table III (4 for 2D, 5 for 3D:
+/// n+1 weights + bias).
+///
+/// Two fitting paths:
+///  - fit(): closed-form ridge least squares on a subsample (production);
+///  - fit_sgd(): epoch-based gradient descent exposing the loss curve
+///    (reproduces the right panel of paper Fig. 5).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+class HybridModel {
+ public:
+  HybridModel() = default;
+
+  /// Uniform-average model over `k` predictors (untrained fallback).
+  explicit HybridModel(std::size_t k)
+      : weights_(k, k > 0 ? 1.0 / static_cast<double>(k) : 0.0) {}
+
+  /// Ridge least squares: minimises ||y - Xw - b||^2 + lambda ||w||^2 over
+  /// the provided candidate columns. `candidates[c][i]` is predictor c's
+  /// prediction for point i; `targets[i]` the true quantization code.
+  /// Points are subsampled to at most `max_samples`.
+  static HybridModel fit(
+      const std::vector<std::span<const std::int32_t>>& candidates,
+      std::span<const std::int32_t> targets, double lambda = 1e-3,
+      std::size_t max_samples = 1 << 20);
+
+  /// Robust (L1) fit via iteratively reweighted least squares. Coded size
+  /// tracks log|delta| rather than delta^2, so the L1 objective matches the
+  /// compressor's real cost much better than ridge LS when predictor error
+  /// distributions are heavy-tailed.
+  static HybridModel fit_l1(
+      const std::vector<std::span<const std::int32_t>>& candidates,
+      std::span<const std::int32_t> targets, double lambda = 1e-3,
+      std::size_t max_samples = 1 << 20, std::size_t iterations = 8);
+
+  /// One-hot model: weight 1 on predictor `index`, 0 elsewhere.
+  static HybridModel single(std::size_t k, std::size_t index);
+
+  /// Estimated entropy-coded cost (bits) of predicting `targets` with this
+  /// model over the candidate columns; subsampled. Used to select among
+  /// candidate fits.
+  double estimated_bits(
+      const std::vector<std::span<const std::int32_t>>& candidates,
+      std::span<const std::int32_t> targets,
+      std::size_t max_samples = 1 << 18) const;
+
+  /// Gradient-descent fit returning per-epoch MSE (Fig. 5, right panel).
+  static HybridModel fit_sgd(
+      const std::vector<std::span<const std::int32_t>>& candidates,
+      std::span<const std::int32_t> targets, std::size_t epochs,
+      double learning_rate, std::vector<double>* epoch_losses);
+
+  std::size_t num_predictors() const { return weights_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// Parameter count as reported in Table III (weights + bias).
+  std::size_t param_count() const { return weights_.size() + 1; }
+
+  /// Combines one point's candidate predictions into the final integer
+  /// prediction. Must be bit-identical on encoder and decoder: all math is
+  /// double with serialised coefficients.
+  std::int64_t combine(std::span<const std::int64_t> preds) const;
+
+  void serialize(ByteWriter& out) const;
+  static HybridModel deserialize(ByteReader& in);
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_HYBRID_HYBRID_HPP

@@ -1,0 +1,81 @@
+#ifndef XFC_IO_BITSTREAM_HPP
+#define XFC_IO_BITSTREAM_HPP
+
+/// \file bitstream.hpp
+/// MSB-first bit-granular writer/reader over a byte vector, with a 64-bit
+/// accumulator. This is the transport layer for the Huffman, miniflate and
+/// ZFP coders. Writers append to an internal buffer that the caller takes
+/// with `take()`; readers consume a borrowed span.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+/// Appends bits most-significant-first into a growing byte buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Writes the low `nbits` bits of `value` (MSB of that slice first).
+  /// nbits must be in [0, 64].
+  void put_bits(std::uint64_t value, unsigned nbits);
+
+  /// Writes a single bit (0 or 1).
+  void put_bit(unsigned bit) { put_bits(bit & 1u, 1); }
+
+  /// Flushes the partial byte (zero-padded) and returns the buffer,
+  /// leaving the writer empty and reusable.
+  std::vector<std::uint8_t> take();
+
+  /// Bits written so far (including unflushed).
+  std::size_t bit_count() const { return bytes_.size() * 8 + nbuf_; }
+
+ private:
+  void flush_full_bytes();
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t buf_ = 0;  // accumulates up to 64 bits, MSB side is oldest
+  unsigned nbuf_ = 0;      // valid bits currently in buf_
+};
+
+/// Reads bits most-significant-first from a borrowed byte span.
+/// Reading past the end throws CorruptStream.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `nbits` bits (<= 57 per call, which covers all users) and
+  /// returns them right-aligned.
+  std::uint64_t get_bits(unsigned nbits);
+
+  /// Reads a single bit.
+  unsigned get_bit() { return static_cast<unsigned>(get_bits(1)); }
+
+  /// Peeks up to `nbits` without consuming; bits past the end read as 0.
+  /// Used by the table-driven Huffman decoder.
+  std::uint64_t peek_bits(unsigned nbits) const;
+
+  /// Consumes `nbits` previously peeked bits.
+  void skip_bits(unsigned nbits);
+
+  /// Bits consumed so far.
+  std::size_t position() const { return pos_; }
+
+  /// Total bits available.
+  std::size_t bit_size() const { return data_.size() * 8; }
+
+  /// Bits remaining.
+  std::size_t remaining() const { return bit_size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;  // bit cursor
+};
+
+}  // namespace xfc
+
+#endif  // XFC_IO_BITSTREAM_HPP

@@ -1,0 +1,144 @@
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+void ByteWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u32(bits);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::blob(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  raw(data);
+}
+
+void ByteWriter::str(const std::string& s) {
+  varint(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+std::vector<std::uint8_t> ByteWriter::take() {
+  std::vector<std::uint8_t> out;
+  out.swap(bytes_);
+  return out;
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    need(1);
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 64)
+      throw CorruptStream("ByteReader: varint longer than 64 bits");
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::blob() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::vector<std::uint8_t> out(data_.begin() + pos_,
+                                data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  need(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace xfc

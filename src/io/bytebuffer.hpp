@@ -1,0 +1,88 @@
+#ifndef XFC_IO_BYTEBUFFER_HPP
+#define XFC_IO_BYTEBUFFER_HPP
+
+/// \file bytebuffer.hpp
+/// Byte-granular serialisation used by container headers and model
+/// persistence: little-endian fixed-width integers, IEEE floats, LEB128
+/// varints, length-prefixed strings and blobs.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+/// Appends typed values to an internal byte vector.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+
+  /// Length-prefixed (varint) raw bytes.
+  void blob(std::span<const std::uint8_t> data);
+
+  /// Length-prefixed (varint) UTF-8 string.
+  void str(const std::string& s);
+
+  /// Raw bytes without a length prefix.
+  void raw(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take();
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Consumes typed values from a borrowed byte span; throws CorruptStream on
+/// underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  double f64();
+  std::uint64_t varint();
+  std::vector<std::uint8_t> blob();
+  std::string str();
+
+  /// Borrows `n` raw bytes without copying.
+  std::span<const std::uint8_t> raw(std::size_t n);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw CorruptStream("ByteReader: read past end of buffer");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_IO_BYTEBUFFER_HPP

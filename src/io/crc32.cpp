@@ -1,0 +1,50 @@
+#include "io/crc32.hpp"
+
+#include <array>
+
+namespace xfc {
+namespace {
+
+/// Slice-by-4 lookup tables, generated once at startup.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  const auto& t = tables().t;
+  std::uint32_t c = state_;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    c ^= static_cast<std::uint32_t>(data[i]) |
+         static_cast<std::uint32_t>(data[i + 1]) << 8 |
+         static_cast<std::uint32_t>(data[i + 2]) << 16 |
+         static_cast<std::uint32_t>(data[i + 3]) << 24;
+    c = t[3][c & 0xFF] ^ t[2][(c >> 8) & 0xFF] ^ t[1][(c >> 16) & 0xFF] ^
+        t[0][c >> 24];
+  }
+  for (; i < data.size(); ++i)
+    c = t[0][(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  state_ = c;
+}
+
+}  // namespace xfc

@@ -1,0 +1,35 @@
+#ifndef XFC_IO_CRC32_HPP
+#define XFC_IO_CRC32_HPP
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used to validate compressed
+/// container payloads. Incremental interface so headers and payloads can be
+/// checksummed without concatenation.
+
+#include <cstdint>
+#include <span>
+
+namespace xfc {
+
+class Crc32 {
+ public:
+  /// Feeds more bytes into the running checksum.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Final checksum value for everything fed so far.
+  std::uint32_t value() const { return ~state_; }
+
+  /// One-shot convenience.
+  static std::uint32_t of(std::span<const std::uint8_t> data) {
+    Crc32 c;
+    c.update(data);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_IO_CRC32_HPP

@@ -1,0 +1,48 @@
+#include "io/file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("cannot open file for reading: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size))
+    throw IoError("short read from file: " + path);
+  return bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open file for writing: " + path);
+  if (!bytes.empty() &&
+      !out.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size())))
+    throw IoError("short write to file: " + path);
+}
+
+std::vector<float> read_f32_file(const std::string& path) {
+  const auto bytes = read_file(path);
+  if (bytes.size() % sizeof(float) != 0)
+    throw IoError("file size is not a multiple of 4 (not raw float32): " +
+                  path);
+  std::vector<float> data(bytes.size() / sizeof(float));
+  std::memcpy(data.data(), bytes.data(), bytes.size());
+  return data;
+}
+
+void write_f32_file(const std::string& path, const std::vector<float>& data) {
+  std::vector<std::uint8_t> bytes(data.size() * sizeof(float));
+  std::memcpy(bytes.data(), data.data(), bytes.size());
+  write_file(path, bytes);
+}
+
+}  // namespace xfc

@@ -1,0 +1,30 @@
+#ifndef XFC_IO_FILE_HPP
+#define XFC_IO_FILE_HPP
+
+/// \file file.hpp
+/// Whole-file binary read/write helpers. SDRBench distributes fields as raw
+/// little-endian float32 streams; these helpers are the base of the
+/// dataset loaders and the CLI tool.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xfc {
+
+/// Reads an entire file; throws IoError if it cannot be opened or read.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Writes (truncates) an entire file; throws IoError on failure.
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes);
+
+/// Reads a raw float32 file (SDRBench .f32 / .dat layout).
+std::vector<float> read_f32_file(const std::string& path);
+
+/// Writes a raw float32 file.
+void write_f32_file(const std::string& path, const std::vector<float>& data);
+
+}  // namespace xfc
+
+#endif  // XFC_IO_FILE_HPP

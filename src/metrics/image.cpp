@@ -1,0 +1,110 @@
+#include "metrics/image.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "io/file.hpp"
+
+namespace xfc {
+
+void write_pgm(const std::string& path, const F32Array& plane, float lo,
+               float hi) {
+  expects(plane.shape().ndim() == 2, "write_pgm: expected a 2D array");
+  const std::size_t h = plane.shape()[0], w = plane.shape()[1];
+  const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+
+  std::vector<std::uint8_t> out;
+  char header[64];
+  const int len = std::snprintf(header, sizeof header, "P5\n%zu %zu\n255\n",
+                                w, h);
+  out.insert(out.end(), header, header + len);
+  out.reserve(out.size() + h * w);
+  for (std::size_t i = 0; i < h * w; ++i) {
+    const float v = std::clamp((plane[i] - lo) * scale, 0.0f, 255.0f);
+    out.push_back(static_cast<std::uint8_t>(v));
+  }
+  write_file(path, out);
+}
+
+F32Array extract_slice(const Field& field, std::size_t axis,
+                       std::size_t index) {
+  const Shape& s = field.shape();
+  if (s.ndim() == 2) return field.array();
+  expects(s.ndim() == 3 && axis < 3 && index < s[axis],
+          "extract_slice: bad axis/index");
+
+  std::size_t h, w;
+  if (axis == 0) {
+    h = s[1];
+    w = s[2];
+  } else if (axis == 1) {
+    h = s[0];
+    w = s[2];
+  } else {
+    h = s[0];
+    w = s[1];
+  }
+  F32Array out(Shape{h, w});
+  for (std::size_t a = 0; a < h; ++a)
+    for (std::size_t b = 0; b < w; ++b) {
+      if (axis == 0) out(a, b) = field.array()(index, a, b);
+      else if (axis == 1) out(a, b) = field.array()(a, index, b);
+      else out(a, b) = field.array()(a, b, index);
+    }
+  return out;
+}
+
+void dump_field_slice(const std::string& path, const Field& field,
+                      std::size_t axis, std::size_t index) {
+  const F32Array plane = extract_slice(field, axis, index);
+  const auto [lo, hi] =
+      std::minmax_element(plane.vec().begin(), plane.vec().end());
+  write_pgm(path, plane, *lo, *hi);
+}
+
+namespace {
+
+/// Compact viridis approximation: five control points interpolated in RGB.
+void viridis(float t, std::uint8_t rgb[3]) {
+  static constexpr float kStops[5][3] = {
+      {0.267f, 0.005f, 0.329f},  // deep purple
+      {0.229f, 0.322f, 0.546f},  // blue
+      {0.128f, 0.567f, 0.551f},  // teal
+      {0.369f, 0.789f, 0.383f},  // green
+      {0.993f, 0.906f, 0.144f},  // yellow
+  };
+  t = std::clamp(t, 0.0f, 1.0f) * 4.0f;
+  const int seg = std::min(3, static_cast<int>(t));
+  const float u = t - static_cast<float>(seg);
+  for (int c = 0; c < 3; ++c) {
+    const float v = kStops[seg][c] * (1.0f - u) + kStops[seg + 1][c] * u;
+    rgb[c] = static_cast<std::uint8_t>(std::clamp(v * 255.0f, 0.0f, 255.0f));
+  }
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const F32Array& plane, float lo,
+               float hi) {
+  expects(plane.shape().ndim() == 2, "write_ppm: expected a 2D array");
+  const std::size_t h = plane.shape()[0], w = plane.shape()[1];
+  const float scale = hi > lo ? 1.0f / (hi - lo) : 0.0f;
+
+  std::vector<std::uint8_t> out;
+  char header[64];
+  const int len = std::snprintf(header, sizeof header, "P6\n%zu %zu\n255\n",
+                                w, h);
+  out.insert(out.end(), header, header + len);
+  out.reserve(out.size() + 3 * h * w);
+  std::uint8_t rgb[3];
+  for (std::size_t i = 0; i < h * w; ++i) {
+    viridis((plane[i] - lo) * scale, rgb);
+    out.push_back(rgb[0]);
+    out.push_back(rgb[1]);
+    out.push_back(rgb[2]);
+  }
+  write_file(path, out);
+}
+
+}  // namespace xfc

@@ -1,0 +1,36 @@
+#ifndef XFC_METRICS_IMAGE_HPP
+#define XFC_METRICS_IMAGE_HPP
+
+/// \file image.hpp
+/// PGM image dumps for the paper's visual figures (Figs. 1, 6, 7, 9):
+/// slices of fields are normalised to 8-bit grayscale and written as
+/// binary PGM, viewable anywhere and diffable in CI.
+
+#include <string>
+
+#include "core/field.hpp"
+
+namespace xfc {
+
+/// Writes a 2D array as PGM, mapping [lo, hi] to [0, 255] (values clamped).
+void write_pgm(const std::string& path, const F32Array& plane, float lo,
+               float hi);
+
+/// Extracts slice `index` along `axis` from a 3D field (2D fields pass
+/// through, axis/index ignored).
+F32Array extract_slice(const Field& field, std::size_t axis,
+                       std::size_t index);
+
+/// Convenience: slice + normalise to the slice's own min/max + write.
+void dump_field_slice(const std::string& path, const Field& field,
+                      std::size_t axis, std::size_t index);
+
+/// Writes a 2D array as color PPM using a viridis-like perceptual
+/// colormap over [lo, hi] — closer to the paper's figure rendering than
+/// grayscale, and makes subtle artifacts (Figs. 7/9) visible.
+void write_ppm(const std::string& path, const F32Array& plane, float lo,
+               float hi);
+
+}  // namespace xfc
+
+#endif  // XFC_METRICS_IMAGE_HPP

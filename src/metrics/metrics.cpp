@@ -1,0 +1,162 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+double mse(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size() && !a.empty(), "mse: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size(), "max_abs_error: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a[i]) - b[i]));
+  return worst;
+}
+
+double psnr(const Field& reference, const Field& reconstructed) {
+  const double range = reference.value_range();
+  const double m = mse(reference.array().span(), reconstructed.array().span());
+  if (m <= 0.0) return 999.0;  // identical data: conventional cap
+  if (range <= 0.0) return 0.0;
+  return 20.0 * std::log10(range) - 10.0 * std::log10(m);
+}
+
+double nrmse(const Field& reference, const Field& reconstructed) {
+  const double range = reference.value_range();
+  if (range <= 0.0) return 0.0;
+  return std::sqrt(
+             mse(reference.array().span(), reconstructed.array().span())) /
+         range;
+}
+
+namespace {
+
+/// Mean SSIM of one 2D plane pair over 8x8 windows with stride 4.
+double ssim_plane(const float* a, const float* b, std::size_t h,
+                  std::size_t w, double range) {
+  constexpr std::size_t kWin = 8, kStride = 4;
+  if (h < kWin || w < kWin) return 1.0;
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t y0 = 0; y0 + kWin <= h; y0 += kStride) {
+    for (std::size_t x0 = 0; x0 + kWin <= w; x0 += kStride) {
+      double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+      for (std::size_t y = 0; y < kWin; ++y)
+        for (std::size_t x = 0; x < kWin; ++x) {
+          const double va = a[(y0 + y) * w + x0 + x];
+          const double vb = b[(y0 + y) * w + x0 + x];
+          sa += va;
+          sb += vb;
+          saa += va * va;
+          sbb += vb * vb;
+          sab += va * vb;
+        }
+      const double n = kWin * kWin;
+      const double mua = sa / n, mub = sb / n;
+      const double vara = saa / n - mua * mua;
+      const double varb = sbb / n - mub * mub;
+      const double cov = sab / n - mua * mub;
+      const double s = ((2 * mua * mub + c1) * (2 * cov + c2)) /
+                       ((mua * mua + mub * mub + c1) * (vara + varb + c2));
+      total += s;
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
+}
+
+}  // namespace
+
+double ssim(const Field& reference, const Field& reconstructed) {
+  expects(reference.shape() == reconstructed.shape(), "ssim: shape mismatch");
+  const Shape& s = reference.shape();
+  const double range = reference.value_range();
+  if (range <= 0.0) return 1.0;
+
+  if (s.ndim() == 1)
+    return ssim_plane(reference.data(), reconstructed.data(), 1, s[0], range);
+  if (s.ndim() == 2)
+    return ssim_plane(reference.data(), reconstructed.data(), s[0], s[1],
+                      range);
+
+  const std::size_t plane = s[1] * s[2];
+  double total = 0.0;
+  for (std::size_t z = 0; z < s[0]; ++z)
+    total += ssim_plane(reference.data() + z * plane,
+                        reconstructed.data() + z * plane, s[1], s[2], range);
+  return total / static_cast<double>(s[0]);
+}
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size() && a.size() > 1, "pearson: bad sample sizes");
+  double sa = 0, sb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sa += a[i];
+    sb += b[i];
+  }
+  const double n = static_cast<double>(a.size());
+  const double mua = sa / n, mub = sb / n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mua, db = b[i] - mub;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<const Field*>& fields) {
+  const std::size_t n = fields.size();
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 1.0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r =
+          pearson(fields[i]->array().span(), fields[j]->array().span());
+      m[i][j] = r;
+      m[j][i] = r;
+    }
+  return m;
+}
+
+double sample_entropy(std::span<const float> values, std::size_t bins) {
+  expects(!values.empty() && bins >= 2, "sample_entropy: bad arguments");
+  auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi <= lo) return 0.0;
+  std::vector<std::size_t> hist(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (float v : values) {
+    std::size_t b = static_cast<std::size_t>((v - lo) * scale);
+    if (b >= bins) b = bins - 1;
+    ++hist[b];
+  }
+  const double n = static_cast<double>(values.size());
+  double h = 0.0;
+  for (std::size_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace xfc

@@ -1,0 +1,61 @@
+#ifndef XFC_METRICS_METRICS_HPP
+#define XFC_METRICS_METRICS_HPP
+
+/// \file metrics.hpp
+/// Quality and statistics metrics used throughout the evaluation: PSNR and
+/// SSIM (the paper's distortion metrics), error norms, bit-rate accounting,
+/// Pearson cross-correlation (the Fig. 1 cross-field evidence) and sample
+/// entropy (prediction-quality proxy).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+
+namespace xfc {
+
+/// Mean squared error.
+double mse(std::span<const float> a, std::span<const float> b);
+
+/// Maximum absolute pointwise error — the quantity the error bound caps.
+double max_abs_error(std::span<const float> a, std::span<const float> b);
+
+/// Peak signal-to-noise ratio in dB, peak = value range of `reference`
+/// (the convention used by SDRBench and the paper).
+double psnr(const Field& reference, const Field& reconstructed);
+
+/// Normalised RMSE: rmse / range(reference).
+double nrmse(const Field& reference, const Field& reconstructed);
+
+/// Mean structural similarity over sliding 8x8 windows (stride 4).
+/// 3D fields are treated as stacks of 2D slices along the first extent.
+double ssim(const Field& reference, const Field& reconstructed);
+
+/// Pearson correlation coefficient of two equally sized samples.
+double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Pairwise Pearson correlation matrix of fields (Fig. 1 analysis).
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<const Field*>& fields);
+
+/// Shannon entropy (bits/symbol) of the histogram of `values` quantized
+/// into `bins` equal-width buckets — a proxy for coded size.
+double sample_entropy(std::span<const float> values, std::size_t bins = 4096);
+
+/// Bits per value for a compressed size.
+inline double bit_rate(std::size_t compressed_bytes, std::size_t n_values) {
+  return 8.0 * static_cast<double>(compressed_bytes) /
+         static_cast<double>(n_values);
+}
+
+/// Original/compressed ratio.
+inline double compression_ratio(std::size_t original_bytes,
+                                std::size_t compressed_bytes) {
+  return static_cast<double>(original_bytes) /
+         static_cast<double>(compressed_bytes);
+}
+
+}  // namespace xfc
+
+#endif  // XFC_METRICS_METRICS_HPP

@@ -1,0 +1,200 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "core/utils.hpp"
+
+namespace xfc::nn {
+
+ChannelAttention::ChannelAttention(std::size_t channels, std::size_t reduction,
+                                   Rng& rng)
+    : c_(channels), r_(reduction) {
+  expects(c_ > 0 && r_ > 0 && c_ % r_ == 0,
+          "ChannelAttention: channels must be divisible by reduction");
+  mid_ = c_ / r_;
+  w1_.resize(mid_ * c_);
+  b1_.assign(mid_, 0.0f);
+  w2_.resize(c_ * mid_);
+  b2_.assign(c_, 0.0f);
+  xavier_init(w1_, c_, mid_, rng);
+  xavier_init(w2_, mid_, c_, rng);
+  gw1_.assign(w1_.size(), 0.0f);
+  gb1_.assign(b1_.size(), 0.0f);
+  gw2_.assign(w2_.size(), 0.0f);
+  gb2_.assign(b2_.size(), 0.0f);
+}
+
+void ChannelAttention::mlp_forward(const float* v, float* hidden_pre,
+                                   float* hidden_post, float* out) const {
+  for (std::size_t m = 0; m < mid_; ++m) {
+    double acc = b1_[m];
+    const float* row = w1_.data() + m * c_;
+    for (std::size_t c = 0; c < c_; ++c) acc += row[c] * v[c];
+    hidden_pre[m] = static_cast<float>(acc);
+    hidden_post[m] = acc > 0.0 ? static_cast<float>(acc) : 0.0f;
+  }
+  for (std::size_t c = 0; c < c_; ++c) {
+    double acc = b2_[c];
+    const float* row = w2_.data() + c * mid_;
+    for (std::size_t m = 0; m < mid_; ++m) acc += row[m] * hidden_post[m];
+    out[c] = static_cast<float>(acc);
+  }
+}
+
+Tensor ChannelAttention::forward(const Tensor& x) {
+  expects(x.c() == c_, "ChannelAttention::forward: channel mismatch");
+  input_ = x;
+  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
+
+  avg_.assign(B * c_, 0.0f);
+  mx_.assign(B * c_, 0.0f);
+  argmax_.assign(B * c_, 0);
+  ha_pre_.assign(B * mid_, 0.0f);
+  ha_post_.assign(B * mid_, 0.0f);
+  hm_pre_.assign(B * mid_, 0.0f);
+  hm_post_.assign(B * mid_, 0.0f);
+  scale_.assign(B * c_, 0.0f);
+
+  Tensor y(B, c_, H, W);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t c = 0; c < c_; ++c) {
+      const float* p = x.plane(b, c);
+      double sum = p[0];
+      float best = p[0];
+      std::size_t best_i = 0;
+      for (std::size_t i = 1; i < hw; ++i) {
+        sum += p[i];
+        if (p[i] > best) {
+          best = p[i];
+          best_i = i;
+        }
+      }
+      avg_[b * c_ + c] = static_cast<float>(sum / static_cast<double>(hw));
+      mx_[b * c_ + c] = best;
+      argmax_[b * c_ + c] = best_i;
+    }
+
+    std::vector<float> za(c_), zm(c_);
+    mlp_forward(avg_.data() + b * c_, ha_pre_.data() + b * mid_,
+                ha_post_.data() + b * mid_, za.data());
+    mlp_forward(mx_.data() + b * c_, hm_pre_.data() + b * mid_,
+                hm_post_.data() + b * mid_, zm.data());
+
+    for (std::size_t c = 0; c < c_; ++c) {
+      const double z = static_cast<double>(za[c]) + zm[c];
+      const float s = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
+      scale_[b * c_ + c] = s;
+      const float* in = x.plane(b, c);
+      float* out = y.plane(b, c);
+      for (std::size_t i = 0; i < hw; ++i) out[i] = in[i] * s;
+    }
+  }
+  return y;
+}
+
+Tensor ChannelAttention::backward(const Tensor& grad_out) {
+  const Tensor& x = input_;
+  expects(grad_out.same_shape(x), "ChannelAttention::backward: shape mismatch");
+  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
+
+  Tensor gx(B, c_, H, W);
+  for (std::size_t b = 0; b < B; ++b) {
+    // dL/ds per channel, plus direct path dL/dx = g * s.
+    std::vector<float> dz(c_);
+    for (std::size_t c = 0; c < c_; ++c) {
+      const float* go = grad_out.plane(b, c);
+      const float* in = x.plane(b, c);
+      float* gxi = gx.plane(b, c);
+      const float s = scale_[b * c_ + c];
+      double ds = 0.0;
+      for (std::size_t i = 0; i < hw; ++i) {
+        ds += static_cast<double>(go[i]) * in[i];
+        gxi[i] = go[i] * s;
+      }
+      dz[c] = static_cast<float>(ds * s * (1.0 - s));  // through sigmoid
+    }
+
+    // Shared-MLP backward for one branch; returns dL/d(pooled input).
+    auto mlp_backward = [&](const float* v, const float* hpre,
+                            const float* hpost, std::vector<float>& dv) {
+      std::vector<float> dh(mid_, 0.0f);
+      for (std::size_t c = 0; c < c_; ++c) {
+        const float g = dz[c];
+        float* row_g = gw2_.data() + c * mid_;
+        const float* row_w = w2_.data() + c * mid_;
+        for (std::size_t m = 0; m < mid_; ++m) {
+          row_g[m] += g * hpost[m];
+          dh[m] += g * row_w[m];
+        }
+        gb2_[c] += g;
+      }
+      for (std::size_t m = 0; m < mid_; ++m)
+        if (hpre[m] <= 0.0f) dh[m] = 0.0f;
+      dv.assign(c_, 0.0f);
+      for (std::size_t m = 0; m < mid_; ++m) {
+        const float g = dh[m];
+        if (g == 0.0f) continue;
+        float* row_g = gw1_.data() + m * c_;
+        const float* row_w = w1_.data() + m * c_;
+        for (std::size_t c = 0; c < c_; ++c) {
+          row_g[c] += g * v[c];
+          dv[c] += g * row_w[c];
+        }
+        gb1_[m] += g;
+      }
+    };
+
+    std::vector<float> davg, dmx;
+    mlp_backward(avg_.data() + b * c_, ha_pre_.data() + b * mid_,
+                 ha_post_.data() + b * mid_, davg);
+    mlp_backward(mx_.data() + b * c_, hm_pre_.data() + b * mid_,
+                 hm_post_.data() + b * mid_, dmx);
+
+    for (std::size_t c = 0; c < c_; ++c) {
+      float* gxi = gx.plane(b, c);
+      const float ga = davg[c] / static_cast<float>(hw);
+      for (std::size_t i = 0; i < hw; ++i) gxi[i] += ga;
+      gxi[argmax_[b * c_ + c]] += dmx[c];
+    }
+  }
+  return gx;
+}
+
+std::vector<Param> ChannelAttention::params() {
+  return {{&w1_, &gw1_}, {&b1_, &gb1_}, {&w2_, &gw2_}, {&b2_, &gb2_}};
+}
+
+void ChannelAttention::serialize(ByteWriter& out) const {
+  out.varint(c_);
+  out.varint(r_);
+  for (float w : w1_) out.f32(w);
+  for (float b : b1_) out.f32(b);
+  for (float w : w2_) out.f32(w);
+  for (float b : b2_) out.f32(b);
+}
+
+std::unique_ptr<ChannelAttention> ChannelAttention::deserialize(
+    ByteReader& in) {
+  auto layer = std::unique_ptr<ChannelAttention>(new ChannelAttention());
+  layer->c_ = in.varint();
+  layer->r_ = in.varint();
+  if (layer->c_ == 0 || layer->r_ == 0 || layer->c_ % layer->r_ != 0 ||
+      layer->c_ > (std::size_t{1} << 20))
+    throw CorruptStream("ChannelAttention::deserialize: bad hyperparameters");
+  layer->mid_ = layer->c_ / layer->r_;
+  layer->w1_.resize(layer->mid_ * layer->c_);
+  layer->b1_.resize(layer->mid_);
+  layer->w2_.resize(layer->c_ * layer->mid_);
+  layer->b2_.resize(layer->c_);
+  for (float& w : layer->w1_) w = in.f32();
+  for (float& b : layer->b1_) b = in.f32();
+  for (float& w : layer->w2_) w = in.f32();
+  for (float& b : layer->b2_) b = in.f32();
+  layer->gw1_.assign(layer->w1_.size(), 0.0f);
+  layer->gb1_.assign(layer->b1_.size(), 0.0f);
+  layer->gw2_.assign(layer->w2_.size(), 0.0f);
+  layer->gb2_.assign(layer->b2_.size(), 0.0f);
+  return layer;
+}
+
+}  // namespace xfc::nn

@@ -1,0 +1,196 @@
+#include "nn/conv2d.hpp"
+
+#include "core/utils.hpp"
+
+namespace xfc::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t groups, bool bias, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      groups_(groups),
+      has_bias_(bias) {
+  expects(in_ch_ > 0 && out_ch_ > 0, "Conv2D: zero channels");
+  expects(k_ % 2 == 1 && k_ >= 1, "Conv2D: kernel must be odd");
+  expects(groups_ >= 1 && in_ch_ % groups_ == 0 && out_ch_ % groups_ == 0,
+          "Conv2D: channels must divide groups");
+  const std::size_t icg = in_ch_ / groups_;
+  weight_.resize(out_ch_ * icg * k_ * k_);
+  grad_weight_.assign(weight_.size(), 0.0f);
+  xavier_init(weight_, icg * k_ * k_, (out_ch_ / groups_) * k_ * k_, rng);
+  if (has_bias_) {
+    bias_.assign(out_ch_, 0.0f);
+    grad_bias_.assign(out_ch_, 0.0f);
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x) {
+  expects(x.c() == in_ch_, "Conv2D::forward: channel mismatch");
+  input_ = x;
+  const std::size_t B = x.n(), H = x.h(), W = x.w();
+  const std::size_t icg = in_ch_ / groups_;
+  const std::size_t ocg = out_ch_ / groups_;
+  const std::size_t pad = k_ / 2;
+  Tensor y(B, out_ch_, H, W);
+
+  // One (batch, out-channel) plane per task keeps writes disjoint.
+  parallel_for(0, B * out_ch_, [&](std::size_t task) {
+    const std::size_t b = task / out_ch_;
+    const std::size_t oc = task % out_ch_;
+    const std::size_t g = oc / ocg;
+    float* out = y.plane(b, oc);
+    const float* wbase = weight_.data() + oc * icg * k_ * k_;
+    const float bias = has_bias_ ? bias_[oc] : 0.0f;
+
+    for (std::size_t oy = 0; oy < H; ++oy) {
+      for (std::size_t ox = 0; ox < W; ++ox) {
+        double acc = bias;
+        for (std::size_t ic = 0; ic < icg; ++ic) {
+          const float* in = x.plane(b, g * icg + ic);
+          const float* wk = wbase + ic * k_ * k_;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy + ky) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(H)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox + kx) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(W)) continue;
+              acc += wk[ky * k_ + kx] * in[iy * W + ix];
+            }
+          }
+        }
+        out[oy * W + ox] = static_cast<float>(acc);
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = input_;
+  expects(grad_out.n() == x.n() && grad_out.c() == out_ch_ &&
+              grad_out.h() == x.h() && grad_out.w() == x.w(),
+          "Conv2D::backward: shape mismatch");
+  const std::size_t B = x.n(), H = x.h(), W = x.w();
+  const std::size_t icg = in_ch_ / groups_;
+  const std::size_t ocg = out_ch_ / groups_;
+  const std::size_t pad = k_ / 2;
+
+  // dL/dx: parallel over (batch, in-channel) planes.
+  Tensor gx(B, in_ch_, H, W);
+  parallel_for(0, B * in_ch_, [&](std::size_t task) {
+    const std::size_t b = task / in_ch_;
+    const std::size_t ic_abs = task % in_ch_;
+    const std::size_t g = ic_abs / icg;
+    const std::size_t ic = ic_abs % icg;
+    float* gxi = gx.plane(b, ic_abs);
+    for (std::size_t oc = g * ocg; oc < (g + 1) * ocg; ++oc) {
+      const float* go = grad_out.plane(b, oc);
+      const float* wk = weight_.data() + (oc * icg + ic) * k_ * k_;
+      for (std::size_t oy = 0; oy < H; ++oy) {
+        for (std::size_t ox = 0; ox < W; ++ox) {
+          const float g0 = go[oy * W + ox];
+          if (g0 == 0.0f) continue;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(H)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(W)) continue;
+              gxi[iy * W + ix] += g0 * wk[ky * k_ + kx];
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // dL/dw, dL/db: parallel over output channels (each owns its weight rows).
+  parallel_for(0, out_ch_, [&](std::size_t oc) {
+    const std::size_t g = oc / ocg;
+    float* gw = grad_weight_.data() + oc * icg * k_ * k_;
+    double gb = 0.0;
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* go = grad_out.plane(b, oc);
+      for (std::size_t ic = 0; ic < icg; ++ic) {
+        const float* in = x.plane(b, g * icg + ic);
+        float* gwk = gw + ic * k_ * k_;
+        for (std::size_t oy = 0; oy < H; ++oy) {
+          for (std::size_t ox = 0; ox < W; ++ox) {
+            const float g0 = go[oy * W + ox];
+            if (g0 == 0.0f) continue;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(H)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(W)) continue;
+                gwk[ky * k_ + kx] += g0 * in[iy * W + ix];
+              }
+            }
+          }
+        }
+      }
+      if (has_bias_) {
+        for (std::size_t i = 0; i < H * W; ++i) gb += go[i];
+      }
+    }
+    if (has_bias_) grad_bias_[oc] += static_cast<float>(gb);
+  });
+
+  return gx;
+}
+
+std::vector<Param> Conv2D::params() {
+  std::vector<Param> p{{&weight_, &grad_weight_}};
+  if (has_bias_) p.push_back({&bias_, &grad_bias_});
+  return p;
+}
+
+void Conv2D::serialize(ByteWriter& out) const {
+  out.varint(in_ch_);
+  out.varint(out_ch_);
+  out.varint(k_);
+  out.varint(groups_);
+  out.u8(has_bias_ ? 1 : 0);
+  for (float w : weight_) out.f32(w);
+  for (float b : bias_) out.f32(b);
+}
+
+std::unique_ptr<Conv2D> Conv2D::deserialize(ByteReader& in) {
+  auto layer = std::unique_ptr<Conv2D>(new Conv2D());
+  layer->in_ch_ = in.varint();
+  layer->out_ch_ = in.varint();
+  layer->k_ = in.varint();
+  layer->groups_ = in.varint();
+  layer->has_bias_ = in.u8() != 0;
+  if (layer->in_ch_ == 0 || layer->out_ch_ == 0 || layer->k_ % 2 != 1 ||
+      layer->groups_ == 0 || layer->in_ch_ % layer->groups_ != 0 ||
+      layer->out_ch_ % layer->groups_ != 0)
+    throw CorruptStream("Conv2D::deserialize: bad hyperparameters");
+  const std::size_t nw =
+      layer->out_ch_ * (layer->in_ch_ / layer->groups_) * layer->k_ * layer->k_;
+  if (nw > (std::size_t{1} << 28))
+    throw CorruptStream("Conv2D::deserialize: absurd weight count");
+  layer->weight_.resize(nw);
+  layer->grad_weight_.assign(nw, 0.0f);
+  for (float& w : layer->weight_) w = in.f32();
+  if (layer->has_bias_) {
+    layer->bias_.resize(layer->out_ch_);
+    layer->grad_bias_.assign(layer->out_ch_, 0.0f);
+    for (float& b : layer->bias_) b = in.f32();
+  }
+  return layer;
+}
+
+}  // namespace xfc::nn

@@ -1,0 +1,132 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "core/utils.hpp"
+
+namespace xfc::nn {
+
+void xavier_init(std::vector<float>& w, std::size_t fan_in,
+                 std::size_t fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : w) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+// ---------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y = x;
+  for (float& v : y.vec())
+    if (v < 0.0f) v = 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  expects(grad_out.same_shape(input_), "ReLU::backward: shape mismatch");
+  Tensor gx = grad_out;
+  const float* in = input_.data();
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.size(); ++i)
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  return gx;
+}
+
+void ReLU::serialize(ByteWriter& out) const { (void)out; }
+
+std::unique_ptr<ReLU> ReLU::deserialize(ByteReader& in) {
+  (void)in;
+  return std::make_unique<ReLU>();
+}
+
+// -------------------------------------------------------------- Linear ----
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
+               Rng& rng)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  expects(in_ > 0 && out_ > 0, "Linear: zero-sized layer");
+  weight_.resize(in_ * out_);
+  grad_weight_.assign(weight_.size(), 0.0f);
+  xavier_init(weight_, in_, out_, rng);
+  if (has_bias_) {
+    bias_.assign(out_, 0.0f);
+    grad_bias_.assign(out_, 0.0f);
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  expects(x.c() * x.h() * x.w() == in_,
+          "Linear::forward: input feature count mismatch");
+  input_ = x;
+  Tensor y(x.n(), out_, 1, 1);
+  const std::size_t B = x.n();
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* xi = x.data() + b * in_;
+    float* yo = y.data() + b * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      double acc = has_bias_ ? bias_[o] : 0.0f;
+      const float* wrow = weight_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * xi[i];
+      yo[o] = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  expects(grad_out.n() == input_.n() && grad_out.c() == out_,
+          "Linear::backward: shape mismatch");
+  const std::size_t B = input_.n();
+  Tensor gx(input_.n(), input_.c(), input_.h(), input_.w());
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* xi = input_.data() + b * in_;
+    const float* go = grad_out.data() + b * out_;
+    float* gxi = gx.data() + b * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = go[o];
+      float* gw = grad_weight_.data() + o * in_;
+      const float* wrow = weight_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        gw[i] += g * xi[i];
+        gxi[i] += g * wrow[i];
+      }
+      if (has_bias_) grad_bias_[o] += g;
+    }
+  }
+  return gx;
+}
+
+std::vector<Param> Linear::params() {
+  std::vector<Param> p{{&weight_, &grad_weight_}};
+  if (has_bias_) p.push_back({&bias_, &grad_bias_});
+  return p;
+}
+
+void Linear::serialize(ByteWriter& out) const {
+  out.varint(in_);
+  out.varint(out_);
+  out.u8(has_bias_ ? 1 : 0);
+  for (float w : weight_) out.f32(w);
+  for (float b : bias_) out.f32(b);
+}
+
+std::unique_ptr<Linear> Linear::deserialize(ByteReader& in) {
+  auto layer = std::unique_ptr<Linear>(new Linear());
+  layer->in_ = in.varint();
+  layer->out_ = in.varint();
+  layer->has_bias_ = in.u8() != 0;
+  if (layer->in_ == 0 || layer->out_ == 0 ||
+      layer->in_ * layer->out_ > (std::size_t{1} << 28))
+    throw CorruptStream("Linear::deserialize: bad dimensions");
+  layer->weight_.resize(layer->in_ * layer->out_);
+  layer->grad_weight_.assign(layer->weight_.size(), 0.0f);
+  for (float& w : layer->weight_) w = in.f32();
+  if (layer->has_bias_) {
+    layer->bias_.resize(layer->out_);
+    layer->grad_bias_.assign(layer->out_, 0.0f);
+    for (float& b : layer->bias_) b = in.f32();
+  }
+  return layer;
+}
+
+}  // namespace xfc::nn

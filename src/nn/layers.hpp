@@ -1,0 +1,110 @@
+#ifndef XFC_NN_LAYERS_HPP
+#define XFC_NN_LAYERS_HPP
+
+/// \file layers.hpp
+/// Layer interface and simple layers (ReLU, Linear) of the CNN framework.
+///
+/// Layers own their parameters and parameter gradients. backward() must be
+/// called after forward() on the same input (layers cache activations) and
+/// accumulates parameter gradients; the optimizer consumes them via
+/// params(). No autograd graph — the CFNN is a short static pipeline and
+/// explicit chaining keeps the framework small and auditable.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "io/bytebuffer.hpp"
+#include "nn/tensor.hpp"
+
+namespace xfc::nn {
+
+/// One trainable parameter bundle: values and matching gradient.
+struct Param {
+  std::vector<float>* value;
+  std::vector<float>* grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes outputs; caches whatever backward() needs.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Total trainable scalar count (paper Table III accounting).
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (const Param& p : params()) n += p.value->size();
+    return n;
+  }
+
+  /// Zeroes accumulated gradients.
+  void zero_grad() {
+    for (Param& p : params())
+      std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+  }
+
+  /// Stable identifier for serialization dispatch.
+  virtual std::string kind() const = 0;
+
+  /// Writes hyperparameters + weights.
+  virtual void serialize(ByteWriter& out) const = 0;
+};
+
+/// Element-wise rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "relu"; }
+  void serialize(ByteWriter& out) const override;
+  static std::unique_ptr<ReLU> deserialize(ByteReader& in);
+
+ private:
+  Tensor input_;  // cached for the gradient mask
+};
+
+/// Fully connected layer on flattened (N, C*H*W) inputs; outputs
+/// (N, out_features, 1, 1). Used by tests and as a building block of the
+/// channel-attention MLP.
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, bool bias,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::string kind() const override { return "linear"; }
+  void serialize(ByteWriter& out) const override;
+  static std::unique_ptr<Linear> deserialize(ByteReader& in);
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  Linear() = default;
+
+  std::size_t in_ = 0, out_ = 0;
+  bool has_bias_ = true;
+  std::vector<float> weight_, bias_;        // weight: [out][in]
+  std::vector<float> grad_weight_, grad_bias_;
+  Tensor input_;
+};
+
+/// Xavier/Glorot uniform initialisation used across the framework.
+void xavier_init(std::vector<float>& w, std::size_t fan_in,
+                 std::size_t fan_out, Rng& rng);
+
+}  // namespace xfc::nn
+
+#endif  // XFC_NN_LAYERS_HPP

@@ -1,0 +1,24 @@
+#include "nn/loss.hpp"
+
+#include "core/error.hpp"
+
+namespace xfc::nn {
+
+std::pair<double, Tensor> mse_loss(const Tensor& pred, const Tensor& target) {
+  expects(pred.same_shape(target), "mse_loss: shape mismatch");
+  expects(!pred.empty(), "mse_loss: empty tensors");
+  Tensor grad(pred.n(), pred.c(), pred.h(), pred.w());
+  const float* p = pred.data();
+  const float* t = target.data();
+  float* g = grad.data();
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    loss += d * d;
+    g[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+}  // namespace xfc::nn

@@ -1,0 +1,19 @@
+#ifndef XFC_NN_LOSS_HPP
+#define XFC_NN_LOSS_HPP
+
+/// \file loss.hpp
+/// Mean-squared-error loss, the training objective of both the CFNN and the
+/// hybrid prediction model in the paper (Fig. 5 uses MSE for both curves).
+
+#include <utility>
+
+#include "nn/tensor.hpp"
+
+namespace xfc::nn {
+
+/// Returns (loss, dL/dpred) with mean reduction over all elements.
+std::pair<double, Tensor> mse_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace xfc::nn
+
+#endif  // XFC_NN_LOSS_HPP

@@ -1,0 +1,43 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace xfc::nn {
+
+Adam::Adam(std::vector<Param> params, AdamOptions options)
+    : params_(std::move(params)), opt_(options) {
+  expects(opt_.lr > 0.0, "Adam: learning rate must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0f);
+    v_.emplace_back(p.value->size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opt_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opt_.beta2, static_cast<double>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    std::vector<float>& w = *params_[pi].value;
+    const std::vector<float>& g = *params_[pi].grad;
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double gi = g[i];
+      m[i] = static_cast<float>(opt_.beta1 * m[i] + (1.0 - opt_.beta1) * gi);
+      v[i] =
+          static_cast<float>(opt_.beta2 * v[i] + (1.0 - opt_.beta2) * gi * gi);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      double update = opt_.lr * mhat / (std::sqrt(vhat) + opt_.eps);
+      if (opt_.weight_decay > 0.0) update += opt_.lr * opt_.weight_decay * w[i];
+      w[i] = static_cast<float>(w[i] - update);
+    }
+  }
+}
+
+}  // namespace xfc::nn

@@ -1,0 +1,43 @@
+#ifndef XFC_NN_OPTIMIZER_HPP
+#define XFC_NN_OPTIMIZER_HPP
+
+/// \file optimizer.hpp
+/// Adam optimizer (Kingma & Ba 2015) with bias correction — the standard
+/// choice for training small CNNs like the CFNN.
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace xfc::nn {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style) when nonzero
+};
+
+class Adam {
+ public:
+  /// The parameter list must stay alive and stable for the optimizer's
+  /// lifetime (layers own their storage; Sequential::params views it).
+  explicit Adam(std::vector<Param> params, AdamOptions options = {});
+
+  /// Applies one update from the accumulated gradients, then the caller
+  /// typically zeroes gradients for the next batch.
+  void step();
+
+  std::size_t iterations() const { return t_; }
+
+ private:
+  std::vector<Param> params_;
+  AdamOptions opt_;
+  std::vector<std::vector<float>> m_, v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace xfc::nn
+
+#endif  // XFC_NN_OPTIMIZER_HPP

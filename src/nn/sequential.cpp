@@ -1,0 +1,69 @@
+#include "nn/sequential.hpp"
+
+#include "nn/attention.hpp"
+#include "nn/conv2d.hpp"
+
+namespace xfc::nn {
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_)
+    for (Param& p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Sequential::serialize(ByteWriter& out) const {
+  out.varint(layers_.size());
+  for (const auto& layer : layers_) {
+    out.str(layer->kind());
+    layer->serialize(out);
+  }
+}
+
+std::unique_ptr<Sequential> Sequential::deserialize(ByteReader& in) {
+  auto model = std::make_unique<Sequential>();
+  const std::uint64_t n = in.varint();
+  if (n > 1024) throw CorruptStream("Sequential::deserialize: absurd depth");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string kind = in.str();
+    model->add(deserialize_layer(kind, in));
+  }
+  return model;
+}
+
+std::vector<std::uint8_t> Sequential::save_bytes() const {
+  ByteWriter out;
+  serialize(out);
+  return out.take();
+}
+
+std::unique_ptr<Sequential> Sequential::load_bytes(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  return deserialize(in);
+}
+
+std::unique_ptr<Layer> deserialize_layer(const std::string& kind,
+                                         ByteReader& in) {
+  if (kind == "relu") return ReLU::deserialize(in);
+  if (kind == "linear") return Linear::deserialize(in);
+  if (kind == "conv2d") return Conv2D::deserialize(in);
+  if (kind == "channel_attention") return ChannelAttention::deserialize(in);
+  if (kind == "sequential") return Sequential::deserialize(in);
+  throw CorruptStream("deserialize_layer: unknown layer kind '" + kind + "'");
+}
+
+}  // namespace xfc::nn

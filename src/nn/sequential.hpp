@@ -1,0 +1,49 @@
+#ifndef XFC_NN_SEQUENTIAL_HPP
+#define XFC_NN_SEQUENTIAL_HPP
+
+/// \file sequential.hpp
+/// Ordered layer container: forward chains layers, backward runs them in
+/// reverse. Also the (de)serialisation root for whole models — the
+/// compressed stream embeds exactly these bytes.
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace xfc::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  std::size_t depth() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::string kind() const override { return "sequential"; }
+  void serialize(ByteWriter& out) const override;
+  static std::unique_ptr<Sequential> deserialize(ByteReader& in);
+
+  /// Whole-model convenience wrappers.
+  std::vector<std::uint8_t> save_bytes() const;
+  static std::unique_ptr<Sequential> load_bytes(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Constructs a layer of the given kind from serialized bytes.
+std::unique_ptr<Layer> deserialize_layer(const std::string& kind,
+                                         ByteReader& in);
+
+}  // namespace xfc::nn
+
+#endif  // XFC_NN_SEQUENTIAL_HPP

@@ -1,0 +1,11 @@
+// Model (de)serialisation entry points live with Sequential; this
+// translation unit exists so the build file mirrors the module layout and
+// hosts the free helpers below.
+
+#include "nn/sequential.hpp"
+
+namespace xfc::nn {
+
+// (intentionally empty — see Sequential::save_bytes / load_bytes)
+
+}  // namespace xfc::nn

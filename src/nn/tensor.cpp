@@ -1,0 +1,6 @@
+#include "nn/tensor.hpp"
+
+// Tensor is header-only today; this translation unit anchors the library
+// target.
+
+namespace xfc::nn {}  // namespace xfc::nn

@@ -1,0 +1,65 @@
+#ifndef XFC_NN_TENSOR_HPP
+#define XFC_NN_TENSOR_HPP
+
+/// \file tensor.hpp
+/// NCHW float32 tensor for the from-scratch CNN framework that trains and
+/// runs the paper's CFNN. Deliberately minimal: dense owning storage,
+/// unchecked hot-path accessors, no autograd graph (layers implement
+/// explicit forward/backward).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xfc::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+      : n_(n), c_(c), h_(h), w_(w), data_(n * c * h * w, 0.0f) {}
+
+  std::size_t n() const { return n_; }
+  std::size_t c() const { return c_; }
+  std::size_t h() const { return h_; }
+  std::size_t w() const { return w_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool same_shape(const Tensor& o) const {
+    return n_ == o.n_ && c_ == o.c_ && h_ == o.h_ && w_ == o.w_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator()(std::size_t n, std::size_t c, std::size_t y,
+                    std::size_t x) {
+    return data_[((n * c_ + c) * h_ + y) * w_ + x];
+  }
+  float operator()(std::size_t n, std::size_t c, std::size_t y,
+                   std::size_t x) const {
+    return data_[((n * c_ + c) * h_ + y) * w_ + x];
+  }
+
+  /// Pointer to the start of one (image, channel) plane.
+  float* plane(std::size_t n, std::size_t c) {
+    return data_.data() + (n * c_ + c) * h_ * w_;
+  }
+  const float* plane(std::size_t n, std::size_t c) const {
+    return data_.data() + (n * c_ + c) * h_ * w_;
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace xfc::nn
+
+#endif  // XFC_NN_TENSOR_HPP

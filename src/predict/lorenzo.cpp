@@ -1,0 +1,114 @@
+#include "predict/lorenzo.hpp"
+
+#include <array>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+namespace {
+
+/// Binomial weight row for the Lorenzo stencil: offset o in one dimension
+/// carries C(n, o) with alternating sign folded in by the caller.
+/// n = 1: {1, 1}; n = 2: {1, 2, 1}.
+constexpr std::array<std::int64_t, 3> kBinom1{1, 1, 0};
+constexpr std::array<std::int64_t, 3> kBinom2{1, 2, 1};
+
+inline const std::array<std::int64_t, 3>& binom(LorenzoOrder order) {
+  return order == LorenzoOrder::kOne ? kBinom1 : kBinom2;
+}
+
+inline int layers(LorenzoOrder order) {
+  return order == LorenzoOrder::kOne ? 1 : 2;
+}
+
+}  // namespace
+
+std::int64_t lorenzo_at_1d(const I32Array& codes, std::size_t i,
+                           LorenzoOrder order) {
+  const auto& c = binom(order);
+  const int n = layers(order);
+  std::int64_t pred = 0;
+  for (int di = 1; di <= n; ++di) {
+    if (i < static_cast<std::size_t>(di)) continue;
+    const std::int64_t sign = (di % 2 == 1) ? 1 : -1;
+    pred += sign * c[di] * codes(i - di);
+  }
+  return pred;
+}
+
+std::int64_t lorenzo_at_2d(const I32Array& codes, std::size_t i,
+                           std::size_t j, LorenzoOrder order) {
+  const auto& c = binom(order);
+  const int n = layers(order);
+  std::int64_t pred = 0;
+  for (int di = 0; di <= n; ++di) {
+    if (i < static_cast<std::size_t>(di)) continue;
+    for (int dj = 0; dj <= n; ++dj) {
+      if (di == 0 && dj == 0) continue;
+      if (j < static_cast<std::size_t>(dj)) continue;
+      const std::int64_t sign = ((di + dj) % 2 == 1) ? 1 : -1;
+      pred += sign * c[di] * c[dj] * codes(i - di, j - dj);
+    }
+  }
+  return pred;
+}
+
+std::int64_t lorenzo_at_3d(const I32Array& codes, std::size_t i,
+                           std::size_t j, std::size_t k, LorenzoOrder order) {
+  const auto& c = binom(order);
+  const int n = layers(order);
+  std::int64_t pred = 0;
+  for (int di = 0; di <= n; ++di) {
+    if (i < static_cast<std::size_t>(di)) continue;
+    for (int dj = 0; dj <= n; ++dj) {
+      if (j < static_cast<std::size_t>(dj)) continue;
+      for (int dk = 0; dk <= n; ++dk) {
+        if (di == 0 && dj == 0 && dk == 0) continue;
+        if (k < static_cast<std::size_t>(dk)) continue;
+        const std::int64_t sign = ((di + dj + dk) % 2 == 1) ? 1 : -1;
+        pred += sign * c[di] * c[dj] * c[dk] * codes(i - di, j - dj, k - dk);
+      }
+    }
+  }
+  return pred;
+}
+
+I32Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order) {
+  const Shape& s = codes.shape();
+  I32Array pred(s);
+
+  auto clamp_code = [](std::int64_t v) {
+    // Predictions are linear combinations of int32 codes with small
+    // coefficients; clamp defensively so downstream deltas stay in int64.
+    if (v > INT32_MAX) return static_cast<std::int32_t>(INT32_MAX);
+    if (v < INT32_MIN) return static_cast<std::int32_t>(INT32_MIN);
+    return static_cast<std::int32_t>(v);
+  };
+
+  switch (s.ndim()) {
+    case 1:
+      parallel_for(0, s[0], [&](std::size_t i) {
+        pred(i) = clamp_code(lorenzo_at_1d(codes, i, order));
+      });
+      break;
+    case 2:
+      parallel_for(0, s[0], [&](std::size_t i) {
+        for (std::size_t j = 0; j < s[1]; ++j)
+          pred(i, j) = clamp_code(lorenzo_at_2d(codes, i, j, order));
+      });
+      break;
+    case 3:
+      parallel_for(0, s[0], [&](std::size_t i) {
+        for (std::size_t j = 0; j < s[1]; ++j)
+          for (std::size_t k = 0; k < s[2]; ++k)
+            pred(i, j, k) = clamp_code(lorenzo_at_3d(codes, i, j, k, order));
+      });
+      break;
+    default:
+      throw InvalidArgument("lorenzo_predict_all: unsupported rank");
+  }
+  return pred;
+}
+
+}  // namespace xfc

@@ -1,0 +1,46 @@
+#ifndef XFC_PREDICT_LORENZO_HPP
+#define XFC_PREDICT_LORENZO_HPP
+
+/// \file lorenzo.hpp
+/// Lorenzo-family predictors on quantization codes.
+///
+/// The n-layer Lorenzo predictor estimates a point from the corner of the
+/// (n+1)^d hypercube behind it with binomial weights; layer 1 reproduces
+/// polynomials of degree 0/1 exactly, layer 2 degree 2. It is causal — every
+/// referenced neighbour precedes the point in row-major order — which is the
+/// property the paper relies on (Fig. 3) to run cross-field and Lorenzo
+/// prediction under the same decompression order.
+///
+/// Two entry points per predictor:
+///  - `*_predict_all`: bulk prediction over prequantized codes (the
+///    compression side; embarrassingly parallel thanks to dual quantization).
+///  - `*_at`: single-point prediction reading already-reconstructed codes
+///    (the sequential decompression inner loop).
+///
+/// Out-of-domain neighbours contribute 0, the standard SZ convention.
+
+#include <cstdint>
+
+#include "core/ndarray.hpp"
+
+namespace xfc {
+
+/// Number of Lorenzo layers (1 or 2). Layer 1 is the paper's baseline.
+enum class LorenzoOrder : std::uint8_t { kOne = 1, kTwo = 2 };
+
+/// Predicts every point of `codes` into a same-shape array (compression
+/// side). Supports 1D/2D/3D.
+I32Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order);
+
+/// Single-point prediction for the decompression loop; reads only
+/// lexicographically earlier entries of `codes`.
+std::int64_t lorenzo_at_1d(const I32Array& codes, std::size_t i,
+                           LorenzoOrder order);
+std::int64_t lorenzo_at_2d(const I32Array& codes, std::size_t i,
+                           std::size_t j, LorenzoOrder order);
+std::int64_t lorenzo_at_3d(const I32Array& codes, std::size_t i,
+                           std::size_t j, std::size_t k, LorenzoOrder order);
+
+}  // namespace xfc
+
+#endif  // XFC_PREDICT_LORENZO_HPP

@@ -1,0 +1,177 @@
+#include "predict/regression.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+namespace {
+
+/// Extents of a (possibly partial) block starting at `base`.
+inline std::size_t extent(std::size_t base, std::size_t dim,
+                          std::size_t block) {
+  return base + block <= dim ? block : dim - base;
+}
+
+inline std::int64_t round_to_code(double v) {
+  const double r = std::nearbyint(v);
+  if (r > static_cast<double>(INT32_MAX)) return INT32_MAX;
+  if (r < static_cast<double>(INT32_MIN)) return INT32_MIN;
+  return static_cast<std::int64_t>(r);
+}
+
+}  // namespace
+
+void RegressionPredictor::block_grid(const Shape& shape,
+                                     std::size_t grid[3]) const {
+  grid[0] = grid[1] = grid[2] = 1;
+  for (std::size_t d = 0; d < shape.ndim(); ++d)
+    grid[d] = ceil_div(shape[d], block_);
+}
+
+RegressionPredictor RegressionPredictor::fit(const I32Array& codes,
+                                             std::size_t block) {
+  expects(block >= 2, "RegressionPredictor: block edge must be >= 2");
+  const Shape& s = codes.shape();
+  RegressionPredictor rp;
+  rp.block_ = block;
+  rp.ndim_ = s.ndim();
+  rp.coeffs_per_block_ = 1 + s.ndim();
+
+  std::size_t grid[3];
+  rp.block_grid(s, grid);
+  const std::size_t nblocks = grid[0] * grid[1] * grid[2];
+  rp.coeffs_.assign(nblocks * rp.coeffs_per_block_, 0.0f);
+
+  // Every block is independent.
+  parallel_for(0, nblocks, [&](std::size_t b) {
+    const std::size_t bi = b / (grid[1] * grid[2]);
+    const std::size_t bj = (b / grid[2]) % grid[1];
+    const std::size_t bk = b % grid[2];
+    const std::size_t i0 = bi * block, j0 = bj * block, k0 = bk * block;
+    const std::size_t ni = s.ndim() >= 1 ? extent(i0, s[0], block) : 1;
+    const std::size_t nj = s.ndim() >= 2 ? extent(j0, s[1], block) : 1;
+    const std::size_t nk = s.ndim() >= 3 ? extent(k0, s[2], block) : 1;
+
+    const double ci = (static_cast<double>(ni) - 1.0) / 2.0;
+    const double cj = (static_cast<double>(nj) - 1.0) / 2.0;
+    const double ck = (static_cast<double>(nk) - 1.0) / 2.0;
+
+    double sum = 0.0, sxv = 0.0, syv = 0.0, szv = 0.0;
+    double sxx = 0.0, syy = 0.0, szz = 0.0;
+    for (std::size_t x = 0; x < ni; ++x) {
+      for (std::size_t y = 0; y < nj; ++y) {
+        for (std::size_t z = 0; z < nk; ++z) {
+          double v = 0.0;
+          if (s.ndim() == 1) v = codes(i0 + x);
+          else if (s.ndim() == 2) v = codes(i0 + x, j0 + y);
+          else v = codes(i0 + x, j0 + y, k0 + z);
+          const double dx = static_cast<double>(x) - ci;
+          const double dy = static_cast<double>(y) - cj;
+          const double dz = static_cast<double>(z) - ck;
+          sum += v;
+          sxv += v * dx;
+          syv += v * dy;
+          szv += v * dz;
+          sxx += dx * dx;
+          syy += dy * dy;
+          szz += dz * dz;
+        }
+      }
+    }
+    const double n = static_cast<double>(ni * nj * nk);
+    float* c = rp.coeffs_.data() + b * rp.coeffs_per_block_;
+    c[0] = static_cast<float>(sum / n);
+    // Grid coordinates are mutually orthogonal after centering, so each
+    // slope is an independent 1-D projection. Degenerate extents (1-wide
+    // partial blocks) leave the slope at zero.
+    if (s.ndim() >= 1) c[1] = sxx > 0 ? static_cast<float>(sxv / sxx) : 0.0f;
+    if (s.ndim() >= 2) c[2] = syy > 0 ? static_cast<float>(syv / syy) : 0.0f;
+    if (s.ndim() >= 3) c[3] = szz > 0 ? static_cast<float>(szv / szz) : 0.0f;
+  });
+  return rp;
+}
+
+std::int64_t RegressionPredictor::at(const Shape& shape, std::size_t i,
+                                     std::size_t j, std::size_t k) const {
+  std::size_t grid[3];
+  block_grid(shape, grid);
+  const std::size_t bi = i / block_;
+  const std::size_t bj = shape.ndim() >= 2 ? j / block_ : 0;
+  const std::size_t bk = shape.ndim() >= 3 ? k / block_ : 0;
+  const std::size_t b = (bi * grid[1] + bj) * grid[2] + bk;
+  const float* c = coeffs_.data() + b * coeffs_per_block_;
+
+  const std::size_t i0 = bi * block_;
+  const std::size_t ni = extent(i0, shape[0], block_);
+  const double ci = (static_cast<double>(ni) - 1.0) / 2.0;
+  double v = c[0] + c[1] * (static_cast<double>(i - i0) - ci);
+  if (shape.ndim() >= 2) {
+    const std::size_t j0 = bj * block_;
+    const std::size_t nj = extent(j0, shape[1], block_);
+    const double cj = (static_cast<double>(nj) - 1.0) / 2.0;
+    v += c[2] * (static_cast<double>(j - j0) - cj);
+  }
+  if (shape.ndim() >= 3) {
+    const std::size_t k0 = bk * block_;
+    const std::size_t nk = extent(k0, shape[2], block_);
+    const double ck = (static_cast<double>(nk) - 1.0) / 2.0;
+    v += c[3] * (static_cast<double>(k - k0) - ck);
+  }
+  return round_to_code(v);
+}
+
+I32Array RegressionPredictor::predict_all(const Shape& shape) const {
+  I32Array pred(shape);
+  switch (shape.ndim()) {
+    case 1:
+      parallel_for(0, shape[0], [&](std::size_t i) {
+        pred(i) = static_cast<std::int32_t>(at(shape, i));
+      });
+      break;
+    case 2:
+      parallel_for(0, shape[0], [&](std::size_t i) {
+        for (std::size_t j = 0; j < shape[1]; ++j)
+          pred(i, j) = static_cast<std::int32_t>(at(shape, i, j));
+      });
+      break;
+    case 3:
+      parallel_for(0, shape[0], [&](std::size_t i) {
+        for (std::size_t j = 0; j < shape[1]; ++j)
+          for (std::size_t k = 0; k < shape[2]; ++k)
+            pred(i, j, k) = static_cast<std::int32_t>(at(shape, i, j, k));
+      });
+      break;
+    default:
+      throw InvalidArgument("RegressionPredictor: unsupported rank");
+  }
+  return pred;
+}
+
+void RegressionPredictor::serialize(ByteWriter& out) const {
+  out.varint(block_);
+  out.varint(ndim_);
+  out.varint(coeffs_.size());
+  for (float c : coeffs_) out.f32(c);
+}
+
+RegressionPredictor RegressionPredictor::deserialize(ByteReader& in,
+                                                     const Shape& shape) {
+  RegressionPredictor rp;
+  rp.block_ = in.varint();
+  rp.ndim_ = in.varint();
+  if (rp.block_ < 2 || rp.ndim_ != shape.ndim())
+    throw CorruptStream("RegressionPredictor: bad header");
+  rp.coeffs_per_block_ = 1 + rp.ndim_;
+  const std::uint64_t n = in.varint();
+  std::size_t grid[3];
+  rp.block_grid(shape, grid);
+  if (n != grid[0] * grid[1] * grid[2] * rp.coeffs_per_block_)
+    throw CorruptStream("RegressionPredictor: coefficient count mismatch");
+  rp.coeffs_.resize(n);
+  for (auto& c : rp.coeffs_) c = in.f32();
+  return rp;
+}
+
+}  // namespace xfc

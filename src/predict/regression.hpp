@@ -1,0 +1,63 @@
+#ifndef XFC_PREDICT_REGRESSION_HPP
+#define XFC_PREDICT_REGRESSION_HPP
+
+/// \file regression.hpp
+/// Block-wise linear regression predictor (the second predictor family of
+/// SZ2, Tao et al. 2017). Each B^d block is approximated by a hyperplane
+/// a0 + a1·x + a2·y (+ a3·z) fit by least squares over the prequantized
+/// codes. Prediction depends only on the stored coefficients and the point
+/// position — not on neighbouring values — so it has no decompression-order
+/// constraints and composes with any causal predictor.
+///
+/// Because block coordinate grids are axis-aligned, the centered normal
+/// equations are diagonal and the fit is closed-form per block.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+/// Default block edge, matching SZ2's 6^d regression granularity.
+inline constexpr std::size_t kRegressionBlock = 6;
+
+class RegressionPredictor {
+ public:
+  /// Empty predictor; populate via fit() or deserialize().
+  RegressionPredictor() = default;
+
+  /// Fits one hyperplane per block of `codes` (1D/2D/3D supported).
+  static RegressionPredictor fit(const I32Array& codes,
+                                 std::size_t block = kRegressionBlock);
+
+  /// Predicts every point from the fitted coefficients.
+  I32Array predict_all(const Shape& shape) const;
+
+  /// Single-point prediction (decompression side).
+  std::int64_t at(const Shape& shape, std::size_t i, std::size_t j = 0,
+                  std::size_t k = 0) const;
+
+  std::size_t block() const { return block_; }
+  std::size_t num_blocks() const { return coeffs_.size() / coeffs_per_block_; }
+
+  /// Serialised coefficient footprint in bytes (counts toward the
+  /// compressed size when the pipeline selects regression blocks).
+  std::size_t byte_size() const { return coeffs_.size() * sizeof(float) + 16; }
+
+  void serialize(ByteWriter& out) const;
+  static RegressionPredictor deserialize(ByteReader& in, const Shape& shape);
+
+ private:
+  void block_grid(const Shape& shape, std::size_t grid[3]) const;
+
+  std::size_t block_ = kRegressionBlock;
+  std::size_t ndim_ = 0;
+  std::size_t coeffs_per_block_ = 0;  // 1 + ndim
+  std::vector<float> coeffs_;         // [block-major][a0, a1, ...]
+};
+
+}  // namespace xfc
+
+#endif  // XFC_PREDICT_REGRESSION_HPP

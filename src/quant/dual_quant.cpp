@@ -1,0 +1,50 @@
+#include "quant/dual_quant.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+
+I32Array prequantize(const F32Array& values, double abs_eb) {
+  expects(abs_eb > 0.0, "prequantize: error bound must be positive");
+  I32Array codes(values.shape());
+  const double inv = 1.0 / (2.0 * abs_eb);
+  const float* src = values.data();
+  std::int32_t* dst = codes.data();
+  std::atomic<bool> overflow{false};
+
+  parallel_for(0, values.size(), [&](std::size_t i) {
+    const double scaled = static_cast<double>(src[i]) * inv;
+    const std::int64_t q = std::llround(scaled);
+    if (q >= kMaxQuantCode || q <= -kMaxQuantCode) {
+      overflow.store(true, std::memory_order_relaxed);
+      dst[i] = 0;
+    } else {
+      dst[i] = static_cast<std::int32_t>(q);
+    }
+  });
+
+  if (overflow.load())
+    throw InvalidArgument(
+        "prequantize: error bound too small for the data magnitude "
+        "(quantization code exceeds 2^30)");
+  return codes;
+}
+
+F32Array dequantize(const I32Array& codes, double abs_eb, Shape shape) {
+  expects(shape.size() == codes.size(),
+          "dequantize: shape does not match code count");
+  F32Array values(shape);
+  const double step = 2.0 * abs_eb;
+  const std::int32_t* src = codes.data();
+  float* dst = values.data();
+  parallel_for(0, codes.size(), [&](std::size_t i) {
+    dst[i] = static_cast<float>(static_cast<double>(src[i]) * step);
+  });
+  return values;
+}
+
+}  // namespace xfc

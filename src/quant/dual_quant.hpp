@@ -1,0 +1,39 @@
+#ifndef XFC_QUANT_DUAL_QUANT_HPP
+#define XFC_QUANT_DUAL_QUANT_HPP
+
+/// \file dual_quant.hpp
+/// Dual quantization (cuSZ, Tian et al. 2020), the scheme the paper adopts
+/// to remove the read-after-write dependency of classic SZ:
+///
+///   1. *Prequantization*: every value is snapped to the nearest multiple of
+///      2·eb, producing an integer code q = round(v / 2eb). This alone
+///      guarantees the error bound: |v - 2eb·q| <= eb.
+///   2. *Postquantization*: predictors run on the prequantized codes — which
+///      are bit-identical to what the decompressor reconstructs — so the
+///      prediction deltas (q - pred) carry no additional error and
+///      compression parallelises freely.
+///
+/// Codes are int32. The feasible regime is range/(2eb) < 2^30; beyond that
+/// (absurdly tight bounds) prequantize() throws rather than corrupt data.
+
+#include <cstdint>
+
+#include "core/ndarray.hpp"
+
+namespace xfc {
+
+/// Largest magnitude representable as a quantization code.
+inline constexpr std::int64_t kMaxQuantCode = std::int64_t{1} << 30;
+
+/// Snaps every value to the nearest multiple of twice the absolute error
+/// bound. \throws InvalidArgument if any code would overflow (eb too small
+/// for the data's magnitude).
+I32Array prequantize(const F32Array& values, double abs_eb);
+
+/// Reconstructs values from codes: v̂ = 2·eb·q.
+F32Array dequantize(const I32Array& codes, double abs_eb,
+                    Shape shape);
+
+}  // namespace xfc
+
+#endif  // XFC_QUANT_DUAL_QUANT_HPP

@@ -1,0 +1,6 @@
+#include "quant/error_bound.hpp"
+
+// ErrorBound is header-only today; this translation unit anchors the
+// library target and hosts future non-inline additions.
+
+namespace xfc {}  // namespace xfc

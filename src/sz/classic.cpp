@@ -1,0 +1,205 @@
+#include "sz/classic.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+#include "encode/huffman.hpp"
+#include "io/bitstream.hpp"
+#include "sz/container.hpp"
+
+namespace xfc {
+namespace {
+
+/// Lorenzo prediction over a float reconstruction buffer, matching the
+/// integer-domain stencils in predict/lorenzo.hpp.
+double lorenzo_float(const F32Array& recon, const Shape& s, std::size_t i,
+                     std::size_t j, std::size_t k, LorenzoOrder order) {
+  const int n = order == LorenzoOrder::kOne ? 1 : 2;
+  static constexpr double kBinom[3] = {1.0, 2.0, 1.0};
+  auto coeff = [&](int d) {
+    return order == LorenzoOrder::kOne ? 1.0 : kBinom[d];
+  };
+  double pred = 0.0;
+  if (s.ndim() == 1) {
+    for (int di = 1; di <= n; ++di) {
+      if (i < static_cast<std::size_t>(di)) continue;
+      pred += ((di % 2 == 1) ? 1.0 : -1.0) * coeff(di) * recon(i - di);
+    }
+    return pred;
+  }
+  if (s.ndim() == 2) {
+    for (int di = 0; di <= n; ++di) {
+      if (i < static_cast<std::size_t>(di)) continue;
+      for (int dj = 0; dj <= n; ++dj) {
+        if ((di == 0 && dj == 0) || j < static_cast<std::size_t>(dj))
+          continue;
+        pred += (((di + dj) % 2 == 1) ? 1.0 : -1.0) * coeff(di) * coeff(dj) *
+                recon(i - di, j - dj);
+      }
+    }
+    return pred;
+  }
+  for (int di = 0; di <= n; ++di) {
+    if (i < static_cast<std::size_t>(di)) continue;
+    for (int dj = 0; dj <= n; ++dj) {
+      if (j < static_cast<std::size_t>(dj)) continue;
+      for (int dk = 0; dk <= n; ++dk) {
+        if ((di == 0 && dj == 0 && dk == 0) ||
+            k < static_cast<std::size_t>(dk))
+          continue;
+        pred += (((di + dj + dk) % 2 == 1) ? 1.0 : -1.0) * coeff(di) *
+                coeff(dj) * coeff(dk) * recon(i - di, j - dj, k - dk);
+      }
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> classic_compress(const Field& field,
+                                           const ClassicOptions& options,
+                                           SzStats* stats) {
+  expects(!field.array().empty(), "classic_compress: empty field");
+  const Shape& shape = field.shape();
+  const double abs_eb = options.eb.absolute_for(field.value_range());
+  const double step = 2.0 * abs_eb;
+  const std::uint32_t radius = options.quant_radius;
+  const std::uint32_t alphabet = 2 * radius + 1;
+  const std::uint32_t escape = alphabet - 1;
+
+  // Sequential quantization against the evolving reconstruction.
+  F32Array recon(shape);
+  std::vector<std::uint32_t> symbols(shape.size());
+  std::vector<float> outliers;
+
+  std::size_t flat = 0;
+  auto visit = [&](std::size_t i, std::size_t j, std::size_t k) {
+    const double pred = lorenzo_float(recon, shape, i, j, k, options.order);
+    const double v = field.array()[flat];
+    const std::int64_t q = std::llround((v - pred) / step);
+    const std::uint64_t zz = zigzag_encode64(q);
+    const double rec = pred + step * static_cast<double>(q);
+    // Escape when the symbol leaves the alphabet or the reconstruction is
+    // not actually within bound (extreme cancellation).
+    if (zz >= escape || std::abs(rec - v) > abs_eb) {
+      symbols[flat] = escape;
+      outliers.push_back(static_cast<float>(v));
+      recon[flat] = static_cast<float>(v);  // verbatim: exact
+    } else {
+      symbols[flat] = static_cast<std::uint32_t>(zz);
+      recon[flat] = static_cast<float>(rec);
+    }
+    ++flat;
+  };
+
+  if (shape.ndim() == 1) {
+    for (std::size_t i = 0; i < shape[0]; ++i) visit(i, 0, 0);
+  } else if (shape.ndim() == 2) {
+    for (std::size_t i = 0; i < shape[0]; ++i)
+      for (std::size_t j = 0; j < shape[1]; ++j) visit(i, j, 0);
+  } else {
+    for (std::size_t i = 0; i < shape[0]; ++i)
+      for (std::size_t j = 0; j < shape[1]; ++j)
+        for (std::size_t k = 0; k < shape[2]; ++k) visit(i, j, k);
+  }
+
+  // Entropy coding (same layout spirit as the dual-quant pipeline).
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  for (std::uint32_t s : symbols) ++freqs[s];
+  const auto huffman = HuffmanCode::from_frequencies(freqs);
+
+  ByteWriter payload;
+  huffman.serialize(payload);
+  payload.varint(outliers.size());
+  for (float v : outliers) payload.f32(v);
+  BitWriter bw;
+  for (std::uint32_t s : symbols) huffman.encode(bw, s);
+  payload.blob(bw.take());
+
+  ByteWriter body;
+  write_shape(body, shape);
+  body.str(field.name());
+  body.u8(static_cast<std::uint8_t>(options.eb.mode()));
+  body.f64(options.eb.value());
+  body.f64(abs_eb);
+  body.u8(static_cast<std::uint8_t>(options.order));
+  body.varint(radius);
+  body.blob(lossless_compress(payload.bytes(), options.backend));
+
+  auto stream = frame_container(CodecId::kSzClassic, body.bytes());
+  if (stats != nullptr) {
+    stats->original_bytes = field.size() * sizeof(float);
+    stats->compressed_bytes = stream.size();
+    stats->compression_ratio =
+        static_cast<double>(stats->original_bytes) / stream.size();
+    stats->bit_rate = 8.0 * stream.size() / static_cast<double>(field.size());
+    stats->abs_eb = abs_eb;
+  }
+  return stream;
+}
+
+Field classic_decompress(std::span<const std::uint8_t> stream) {
+  const auto parsed = parse_container(stream);
+  if (parsed.codec != CodecId::kSzClassic)
+    throw CorruptStream("classic_decompress: not a classic-SZ stream");
+  ByteReader in(parsed.body);
+
+  const Shape shape = read_shape(in);
+  const std::string name = in.str();
+  in.u8();
+  in.f64();
+  const double abs_eb = in.f64();
+  if (!(abs_eb > 0.0)) throw CorruptStream("classic_decompress: bad bound");
+  const auto order = static_cast<LorenzoOrder>(in.u8());
+  const std::uint64_t radius = in.varint();
+  if (radius < 2 || radius > (1u << 24))
+    throw CorruptStream("classic_decompress: bad radius");
+  const std::uint32_t escape = 2 * static_cast<std::uint32_t>(radius);
+
+  const auto payload_bytes = lossless_decompress(in.blob());
+  ByteReader payload(payload_bytes);
+  const auto huffman = HuffmanCode::deserialize(payload);
+  if (huffman.alphabet_size() != 2 * radius + 1)
+    throw CorruptStream("classic_decompress: alphabet mismatch");
+  const std::uint64_t n_outliers = payload.varint();
+  std::vector<float> outliers(n_outliers);
+  for (float& v : outliers) v = payload.f32();
+  const auto bits = payload.blob();
+  BitReader br(bits);
+
+  const double step = 2.0 * abs_eb;
+  F32Array recon(shape);
+  std::size_t flat = 0;
+  std::size_t outlier_pos = 0;
+  auto visit = [&](std::size_t i, std::size_t j, std::size_t k) {
+    const std::uint32_t sym = huffman.decode(br);
+    if (sym == escape) {
+      if (outlier_pos >= outliers.size())
+        throw CorruptStream("classic_decompress: outliers exhausted");
+      recon[flat] = outliers[outlier_pos++];
+    } else {
+      const double pred = lorenzo_float(recon, shape, i, j, k, order);
+      const std::int64_t q = zigzag_decode64(sym);
+      recon[flat] =
+          static_cast<float>(pred + step * static_cast<double>(q));
+    }
+    ++flat;
+  };
+
+  if (shape.ndim() == 1) {
+    for (std::size_t i = 0; i < shape[0]; ++i) visit(i, 0, 0);
+  } else if (shape.ndim() == 2) {
+    for (std::size_t i = 0; i < shape[0]; ++i)
+      for (std::size_t j = 0; j < shape[1]; ++j) visit(i, j, 0);
+  } else {
+    for (std::size_t i = 0; i < shape[0]; ++i)
+      for (std::size_t j = 0; j < shape[1]; ++j)
+        for (std::size_t k = 0; k < shape[2]; ++k) visit(i, j, k);
+  }
+
+  return Field(name, std::move(recon));
+}
+
+}  // namespace xfc

@@ -1,0 +1,49 @@
+#ifndef XFC_SZ_CLASSIC_HPP
+#define XFC_SZ_CLASSIC_HPP
+
+/// \file classic.hpp
+/// The *original* SZ quantization scheme (Di & Cappello 2016 / Tao et al.
+/// 2017), kept alongside the dual-quantization pipeline for the paper's
+/// §III-D ablation:
+///
+///   for each point in row-major order:
+///     pred  = Lorenzo(reconstructed neighbours)     <- RAW dependency!
+///     q     = round((v - pred) / 2eb)
+///     v̂     = pred + 2eb*q          if |q| < radius (error <= eb exactly)
+///     v̂     = v (stored verbatim)   otherwise ("unpredictable" point)
+///
+/// Compression is inherently sequential because each prediction reads
+/// *reconstructed* values — precisely the bottleneck dual quantization
+/// removes. In exchange, classic SZ predicts from already-smoothed data,
+/// which can entropy-code slightly better at loose bounds.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+#include "encode/backend.hpp"
+#include "predict/lorenzo.hpp"
+#include "quant/error_bound.hpp"
+#include "sz/compressor.hpp"
+
+namespace xfc {
+
+struct ClassicOptions {
+  ErrorBound eb = ErrorBound::relative(1e-3);
+  LorenzoOrder order = LorenzoOrder::kOne;
+  LosslessBackend backend = LosslessBackend::kAuto;
+  std::uint32_t quant_radius = kDefaultQuantRadius;
+};
+
+/// Compresses with the classic sequential pipeline.
+std::vector<std::uint8_t> classic_compress(const Field& field,
+                                           const ClassicOptions& options,
+                                           SzStats* stats = nullptr);
+
+/// Decompresses a stream produced by classic_compress.
+Field classic_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace xfc
+
+#endif  // XFC_SZ_CLASSIC_HPP

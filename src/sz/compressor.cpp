@@ -1,0 +1,259 @@
+#include "sz/compressor.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+#include "quant/dual_quant.hpp"
+#include "sz/container.hpp"
+
+namespace xfc {
+namespace {
+
+/// Per-block predictor flags for the Lorenzo+regression mode, packed LSB
+/// first. Block order matches RegressionPredictor's block-major layout.
+struct BlockFlags {
+  std::vector<std::uint8_t> bits;
+  std::size_t count = 0;
+
+  void push(bool regression) {
+    if (count % 8 == 0) bits.push_back(0);
+    if (regression) bits[count / 8] |= static_cast<std::uint8_t>(1u << (count % 8));
+    ++count;
+  }
+  bool get(std::size_t i) const { return (bits[i / 8] >> (i % 8)) & 1; }
+};
+
+/// Approximate entropy-coded cost of a delta, in bits.
+inline std::uint64_t delta_cost(std::int64_t delta) {
+  return std::bit_width(zigzag_encode64(delta)) + 1;
+}
+
+std::size_t grid_extent(const Shape& s, std::size_t d, std::size_t block) {
+  return d < s.ndim() ? ceil_div(s[d], block) : 1;
+}
+
+/// Flat block index of a point.
+inline std::size_t block_of(const Shape& s, std::size_t block, std::size_t i,
+                            std::size_t j, std::size_t k) {
+  const std::size_t gj = grid_extent(s, 1, block);
+  const std::size_t gk = grid_extent(s, 2, block);
+  return ((i / block) * gj + (s.ndim() >= 2 ? j / block : 0)) * gk +
+         (s.ndim() >= 3 ? k / block : 0);
+}
+
+/// Chooses Lorenzo vs regression per block by comparing approximate coded
+/// cost, charging regression its coefficient storage.
+BlockFlags choose_blocks(const I32Array& codes, const I32Array& lorenzo,
+                         const I32Array& regression, std::size_t block) {
+  const Shape& s = codes.shape();
+  const std::size_t nblocks = grid_extent(s, 0, block) *
+                              grid_extent(s, 1, block) *
+                              grid_extent(s, 2, block);
+  std::vector<std::uint64_t> cost_l(nblocks, 0), cost_r(nblocks, 0);
+
+  auto add = [&](std::size_t flat, std::size_t b) {
+    const std::int64_t v = codes[flat];
+    cost_l[b] += delta_cost(v - lorenzo[flat]);
+    cost_r[b] += delta_cost(v - regression[flat]);
+  };
+
+  if (s.ndim() == 1) {
+    for (std::size_t i = 0; i < s[0]; ++i)
+      add(i, block_of(s, block, i, 0, 0));
+  } else if (s.ndim() == 2) {
+    for (std::size_t i = 0; i < s[0]; ++i)
+      for (std::size_t j = 0; j < s[1]; ++j)
+        add(i * s[1] + j, block_of(s, block, i, j, 0));
+  } else {
+    for (std::size_t i = 0; i < s[0]; ++i)
+      for (std::size_t j = 0; j < s[1]; ++j)
+        for (std::size_t k = 0; k < s[2]; ++k)
+          add((i * s[1] + j) * s[2] + k, block_of(s, block, i, j, k));
+  }
+
+  // Coefficient storage cost: (1 + ndim) float32 per regression block.
+  const std::uint64_t coeff_bits = (1 + s.ndim()) * 32;
+  BlockFlags flags;
+  for (std::size_t b = 0; b < nblocks; ++b)
+    flags.push(cost_r[b] + coeff_bits < cost_l[b]);
+  return flags;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> sz_compress(const Field& field,
+                                      const SzOptions& options,
+                                      SzStats* stats) {
+  expects(!field.array().empty(), "sz_compress: empty field");
+  const Shape& shape = field.shape();
+  const double abs_eb = options.eb.absolute_for(field.value_range());
+
+  const I32Array codes = prequantize(field.array(), abs_eb);
+
+  I32Array preds;
+  RegressionPredictor reg = RegressionPredictor{};  // populated if needed
+  BlockFlags flags;
+  bool has_regression = false;
+
+  switch (options.predictor) {
+    case SzPredictor::kLorenzo1:
+      preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+      break;
+    case SzPredictor::kLorenzo2:
+      preds = lorenzo_predict_all(codes, LorenzoOrder::kTwo);
+      break;
+    case SzPredictor::kLorenzoRegression: {
+      has_regression = true;
+      const I32Array lorenzo = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+      reg = RegressionPredictor::fit(codes, options.regression_block);
+      const I32Array regp = reg.predict_all(shape);
+      flags = choose_blocks(codes, lorenzo, regp, options.regression_block);
+
+      preds = I32Array(shape);
+      auto pick = [&](std::size_t flat, std::size_t b) {
+        preds[flat] = flags.get(b) ? regp[flat] : lorenzo[flat];
+      };
+      if (shape.ndim() == 1) {
+        for (std::size_t i = 0; i < shape[0]; ++i)
+          pick(i, block_of(shape, options.regression_block, i, 0, 0));
+      } else if (shape.ndim() == 2) {
+        for (std::size_t i = 0; i < shape[0]; ++i)
+          for (std::size_t j = 0; j < shape[1]; ++j)
+            pick(i * shape[1] + j,
+                 block_of(shape, options.regression_block, i, j, 0));
+      } else {
+        for (std::size_t i = 0; i < shape[0]; ++i)
+          for (std::size_t j = 0; j < shape[1]; ++j)
+            for (std::size_t k = 0; k < shape[2]; ++k)
+              pick((i * shape[1] + j) * shape[2] + k,
+                   block_of(shape, options.regression_block, i, j, k));
+      }
+      break;
+    }
+    default:
+      throw InvalidArgument("sz_compress: unknown predictor");
+  }
+
+  const auto payload =
+      encode_deltas(codes.span(), preds.span(), options.quant_radius);
+
+  ByteWriter body;
+  write_shape(body, shape);
+  body.str(field.name());
+  body.u8(static_cast<std::uint8_t>(options.eb.mode()));
+  body.f64(options.eb.value());
+  body.f64(abs_eb);
+  body.u8(static_cast<std::uint8_t>(options.predictor));
+  body.varint(options.quant_radius);
+  if (has_regression) {
+    body.varint(options.regression_block);
+    body.blob(flags.bits);
+    reg.serialize(body);
+  }
+  body.blob(lossless_compress(payload, options.backend));
+
+  auto stream = frame_container(CodecId::kSz, body.bytes());
+
+  if (stats != nullptr) {
+    stats->original_bytes = field.size() * sizeof(float);
+    stats->compressed_bytes = stream.size();
+    stats->compression_ratio =
+        static_cast<double>(stats->original_bytes) / stream.size();
+    stats->bit_rate = 8.0 * stream.size() / static_cast<double>(field.size());
+    stats->abs_eb = abs_eb;
+  }
+  return stream;
+}
+
+Field sz_decompress(std::span<const std::uint8_t> stream) {
+  const auto parsed = parse_container(stream);
+  if (parsed.codec != CodecId::kSz)
+    throw CorruptStream("sz_decompress: not an SZ stream");
+  ByteReader in(parsed.body);
+
+  const Shape shape = read_shape(in);
+  const std::string name = in.str();
+  in.u8();               // eb mode (informational)
+  in.f64();              // eb value (informational)
+  const double abs_eb = in.f64();
+  if (!(abs_eb > 0.0)) throw CorruptStream("sz_decompress: bad error bound");
+  const auto predictor = static_cast<SzPredictor>(in.u8());
+  const std::uint64_t radius = in.varint();
+  if (radius < 2 || radius > (1u << 24))
+    throw CorruptStream("sz_decompress: bad quant radius");
+
+  std::size_t reg_block = 0;
+  std::vector<std::uint8_t> flag_bits;
+  RegressionPredictor reg = RegressionPredictor{};
+  const bool has_regression = predictor == SzPredictor::kLorenzoRegression;
+  if (has_regression) {
+    reg_block = in.varint();
+    if (reg_block < 2) throw CorruptStream("sz_decompress: bad block size");
+    flag_bits = in.blob();
+    reg = RegressionPredictor::deserialize(in, shape);
+  }
+
+  const auto payload = lossless_decompress(in.blob());
+  DeltaDecoder decoder(payload, static_cast<std::uint32_t>(radius));
+
+  const LorenzoOrder order = predictor == SzPredictor::kLorenzo2
+                                 ? LorenzoOrder::kTwo
+                                 : LorenzoOrder::kOne;
+
+  I32Array codes(shape);
+  auto flag_of = [&](std::size_t b) -> bool {
+    if (b / 8 >= flag_bits.size())
+      throw CorruptStream("sz_decompress: block flags truncated");
+    return (flag_bits[b / 8] >> (b % 8)) & 1;
+  };
+
+  // Sequential reconstruction: each prediction reads only earlier codes.
+  if (shape.ndim() == 1) {
+    for (std::size_t i = 0; i < shape[0]; ++i) {
+      std::int64_t pred;
+      if (has_regression && flag_of(block_of(shape, reg_block, i, 0, 0)))
+        pred = reg.at(shape, i);
+      else
+        pred = lorenzo_at_1d(codes, i, order);
+      codes(i) = decoder.next(pred);
+    }
+  } else if (shape.ndim() == 2) {
+    for (std::size_t i = 0; i < shape[0]; ++i) {
+      for (std::size_t j = 0; j < shape[1]; ++j) {
+        std::int64_t pred;
+        if (has_regression && flag_of(block_of(shape, reg_block, i, j, 0)))
+          pred = reg.at(shape, i, j);
+        else
+          pred = lorenzo_at_2d(codes, i, j, order);
+        codes(i, j) = decoder.next(pred);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < shape[0]; ++i) {
+      for (std::size_t j = 0; j < shape[1]; ++j) {
+        for (std::size_t k = 0; k < shape[2]; ++k) {
+          std::int64_t pred;
+          if (has_regression && flag_of(block_of(shape, reg_block, i, j, k)))
+            pred = reg.at(shape, i, j, k);
+          else
+            pred = lorenzo_at_3d(codes, i, j, k, order);
+          codes(i, j, k) = decoder.next(pred);
+        }
+      }
+    }
+  }
+
+  return Field(name, dequantize(codes, abs_eb, shape));
+}
+
+Field sz_reconstruct(const Field& field, const SzOptions& options) {
+  // Dual quantization round-trips exactly: the decompressor's codes equal
+  // the prequantized codes, so reconstruction is just prequant+dequant.
+  const double abs_eb = options.eb.absolute_for(field.value_range());
+  const I32Array codes = prequantize(field.array(), abs_eb);
+  return Field(field.name(), dequantize(codes, abs_eb, field.shape()));
+}
+
+}  // namespace xfc

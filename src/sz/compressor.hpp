@@ -1,0 +1,67 @@
+#ifndef XFC_SZ_COMPRESSOR_HPP
+#define XFC_SZ_COMPRESSOR_HPP
+
+/// \file compressor.hpp
+/// The SZ3-style prediction-based error-bounded compressor with dual
+/// quantization — the paper's baseline ("SZ3 with the Lorenzo predictor,
+/// modified to use dual-quantization"). Pipeline:
+///
+///   prequantize -> predict (parallel, on prequantized codes)
+///     -> zigzag+Huffman delta coding -> lossless backend -> framed stream
+///
+/// Decompression inverts the chain with a single sequential reconstruction
+/// loop (the RAW dependency the paper discusses lives only there).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+#include "encode/backend.hpp"
+#include "predict/lorenzo.hpp"
+#include "predict/regression.hpp"
+#include "quant/error_bound.hpp"
+#include "sz/delta_codec.hpp"
+
+namespace xfc {
+
+/// Local-field predictor selection for the baseline pipeline.
+enum class SzPredictor : std::uint8_t {
+  kLorenzo1 = 0,           // 1-layer Lorenzo (the paper's baseline)
+  kLorenzo2 = 1,           // 2-layer Lorenzo
+  kLorenzoRegression = 2,  // per-block best of Lorenzo-1 and linear fit
+};
+
+struct SzOptions {
+  ErrorBound eb = ErrorBound::relative(1e-3);
+  SzPredictor predictor = SzPredictor::kLorenzo1;
+  LosslessBackend backend = LosslessBackend::kAuto;
+  std::uint32_t quant_radius = kDefaultQuantRadius;
+  std::size_t regression_block = kRegressionBlock;
+};
+
+/// Size/quality accounting for one compression run.
+struct SzStats {
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double compression_ratio = 0.0;
+  double bit_rate = 0.0;  // bits per value
+  double abs_eb = 0.0;    // resolved absolute bound
+};
+
+/// Compresses a field; optional `stats` receives the accounting.
+std::vector<std::uint8_t> sz_compress(const Field& field,
+                                      const SzOptions& options,
+                                      SzStats* stats = nullptr);
+
+/// Decompresses a stream produced by sz_compress.
+Field sz_decompress(std::span<const std::uint8_t> stream);
+
+/// Encoder-side reconstruction: what the decompressor will produce, without
+/// the round trip (dual quantization makes this exact). Used by quality
+/// metrics and by CFNN training set preparation.
+Field sz_reconstruct(const Field& field, const SzOptions& options);
+
+}  // namespace xfc
+
+#endif  // XFC_SZ_COMPRESSOR_HPP

@@ -1,0 +1,47 @@
+#ifndef XFC_SZ_CONTAINER_HPP
+#define XFC_SZ_CONTAINER_HPP
+
+/// \file container.hpp
+/// Outer framing shared by all xfc codecs:
+///
+///   "XFC1" | u8 codec-id | varint body-length | body | u32 CRC-32
+///
+/// The CRC covers everything before it, so truncation and corruption are
+/// both detected before a codec ever parses the body.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ndarray.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+enum class CodecId : std::uint8_t {
+  kSz = 0,          // prediction + dual-quant pipeline
+  kZfp = 1,         // transform-based block codec
+  kCrossField = 2,  // CFNN + hybrid prediction pipeline
+  kInterp = 3,      // interpolation-based pipeline
+  kSzClassic = 4,   // original sequential SZ quantization (ablation)
+};
+
+/// Wraps a codec body in the outer frame.
+std::vector<std::uint8_t> frame_container(CodecId codec,
+                                          std::span<const std::uint8_t> body);
+
+/// Validates the frame (magic, length, CRC) and returns the codec id plus a
+/// view of the body within `stream`.
+struct ParsedContainer {
+  CodecId codec;
+  std::span<const std::uint8_t> body;
+};
+ParsedContainer parse_container(std::span<const std::uint8_t> stream);
+
+/// Shape <-> bytes helpers shared by codec headers.
+void write_shape(ByteWriter& out, const Shape& shape);
+Shape read_shape(ByteReader& in);
+
+}  // namespace xfc
+
+#endif  // XFC_SZ_CONTAINER_HPP

@@ -1,0 +1,96 @@
+#include "sz/delta_codec.hpp"
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+
+std::vector<std::uint8_t> encode_deltas(std::span<const std::int32_t> codes,
+                                        std::span<const std::int32_t> preds,
+                                        std::uint32_t radius) {
+  expects(codes.size() == preds.size(),
+          "encode_deltas: codes/preds size mismatch");
+  expects(radius >= 2 && radius <= (1u << 24),
+          "encode_deltas: radius out of range");
+  const std::uint32_t alphabet = 2 * radius + 1;
+  const std::uint32_t escape = alphabet - 1;
+
+  // Pass 1: symbol frequencies.
+  std::vector<std::uint64_t> freq(alphabet, 0);
+  std::size_t n_outliers = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(codes[i]) - preds[i];
+    const std::uint64_t zz = zigzag_encode64(delta);
+    if (zz < escape) {
+      ++freq[static_cast<std::uint32_t>(zz)];
+    } else {
+      ++freq[escape];
+      ++n_outliers;
+    }
+  }
+
+  const auto huffman = HuffmanCode::from_frequencies(freq);
+
+  // Pass 2: emit.
+  ByteWriter out;
+  huffman.serialize(out);
+  out.varint(n_outliers);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(codes[i]) - preds[i];
+    if (zigzag_encode64(delta) >= escape)
+      out.varint(zigzag_encode(codes[i]));  // full code, exact
+  }
+
+  BitWriter bw;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(codes[i]) - preds[i];
+    const std::uint64_t zz = zigzag_encode64(delta);
+    huffman.encode(bw, zz < escape ? static_cast<std::uint32_t>(zz) : escape);
+  }
+  out.blob(bw.take());
+  return out.take();
+}
+
+DeltaDecoder::DeltaDecoder(std::span<const std::uint8_t> payload,
+                           std::uint32_t radius)
+    : reader_({}) {
+  expects(radius >= 2 && radius <= (1u << 24),
+          "DeltaDecoder: radius out of range");
+  const std::uint32_t alphabet = 2 * radius + 1;
+  escape_symbol_ = alphabet - 1;
+
+  ByteReader in(payload);
+  huffman_ = HuffmanCode::deserialize(in);
+  if (huffman_.alphabet_size() != alphabet)
+    throw CorruptStream("DeltaDecoder: alphabet size mismatch");
+  const std::uint64_t n_outliers = in.varint();
+  if (n_outliers > (std::uint64_t{1} << 36))
+    throw CorruptStream("DeltaDecoder: absurd outlier count");
+  outliers_.reserve(n_outliers);
+  for (std::uint64_t i = 0; i < n_outliers; ++i) {
+    const std::uint64_t zz = in.varint();
+    if (zz > UINT32_MAX) throw CorruptStream("DeltaDecoder: outlier overflow");
+    outliers_.push_back(zigzag_decode(static_cast<std::uint32_t>(zz)));
+  }
+  bits_ = in.blob();
+  reader_ = BitReader(bits_);
+}
+
+std::int32_t DeltaDecoder::next(std::int64_t pred) {
+  const std::uint32_t sym = huffman_.decode(reader_);
+  if (sym == escape_symbol_) {
+    if (outlier_pos_ >= outliers_.size())
+      throw CorruptStream("DeltaDecoder: outlier list exhausted");
+    return outliers_[outlier_pos_++];
+  }
+  const std::int64_t delta = zigzag_decode64(sym);
+  const std::int64_t q = pred + delta;
+  if (q > INT32_MAX || q < INT32_MIN)
+    throw CorruptStream("DeltaDecoder: reconstructed code overflows");
+  return static_cast<std::int32_t>(q);
+}
+
+}  // namespace xfc

@@ -1,0 +1,56 @@
+#ifndef XFC_SZ_DELTA_CODEC_HPP
+#define XFC_SZ_DELTA_CODEC_HPP
+
+/// \file delta_codec.hpp
+/// Entropy coding of prediction deltas (the postquantized values of the
+/// dual-quantization scheme).
+///
+/// Deltas are zigzag-mapped so small magnitudes of either sign get small
+/// symbols, Huffman-coded within a configurable radius, and escaped to a
+/// verbatim outlier list beyond it (the SZ "unpredictable data" mechanism).
+/// Encoding is a bulk operation; decoding is streaming because the
+/// decompressor interleaves symbol decode with prediction.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encode/huffman.hpp"
+#include "io/bitstream.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+
+/// Default radius: deltas with |zigzag| < 2*kDefaultQuantRadius are coded
+/// directly; the alphabet is 2*radius+1 symbols (last one = escape).
+inline constexpr std::uint32_t kDefaultQuantRadius = 32768;
+
+/// Encodes `codes[i] - preds[i]` for all i. The outlier list stores the
+/// full code (not the delta) so decode never needs a second pass.
+/// Layout: huffman table | varint #outliers | zigzag-varint outliers |
+///         blob bitstream.
+std::vector<std::uint8_t> encode_deltas(std::span<const std::int32_t> codes,
+                                        std::span<const std::int32_t> preds,
+                                        std::uint32_t radius);
+
+/// Streaming decoder: call next(pred) once per point, in encode order.
+class DeltaDecoder {
+ public:
+  /// Parses tables and outliers; `payload` must outlive the decoder.
+  DeltaDecoder(std::span<const std::uint8_t> payload, std::uint32_t radius);
+
+  /// Reconstructs the next quantization code given its prediction.
+  std::int32_t next(std::int64_t pred);
+
+ private:
+  HuffmanCode huffman_;
+  std::vector<std::int32_t> outliers_;
+  std::size_t outlier_pos_ = 0;
+  std::vector<std::uint8_t> bits_;  // owned copy of the bitstream blob
+  BitReader reader_;
+  std::uint32_t escape_symbol_;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_SZ_DELTA_CODEC_HPP

@@ -1,0 +1,195 @@
+#include "sz/interpolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/error.hpp"
+#include "quant/dual_quant.hpp"
+#include "sz/container.hpp"
+
+namespace xfc {
+namespace {
+
+/// Shared encoder/decoder traversal. The visitor is called once per point
+/// (except the origin's special first visit) with the point's flat index
+/// and its interpolation prediction; it must return the reconstructed code,
+/// which later predictions read back from `codes`.
+using Visitor = std::function<std::int32_t(std::size_t, std::int64_t)>;
+
+struct AxisRange {
+  std::size_t start, step, limit;
+};
+
+std::int64_t interp_along(const I32Array& codes, const Shape& s,
+                          std::size_t coord[3], std::size_t d,
+                          std::size_t stride, InterpMethod method) {
+  const std::size_t c = coord[d];
+  const std::size_t dim = s[d];
+
+  auto value_at = [&](std::size_t cd) -> std::int64_t {
+    std::size_t idx[3] = {coord[0], coord[1], coord[2]};
+    idx[d] = cd;
+    if (s.ndim() == 1) return codes(idx[0]);
+    if (s.ndim() == 2) return codes(idx[0], idx[1]);
+    return codes(idx[0], idx[1], idx[2]);
+  };
+
+  // c is an odd multiple of stride, so c - stride always exists.
+  const bool has_next = c + stride < dim;
+  if (!has_next) {
+    // Right edge: extrapolate linearly when possible, else copy.
+    if (c >= 3 * stride)
+      return 2 * value_at(c - stride) - value_at(c - 3 * stride);
+    return value_at(c - stride);
+  }
+  if (method == InterpMethod::kLinear)
+    return (value_at(c - stride) + value_at(c + stride) + 1) / 2;
+
+  const bool has_prev2 = c >= 3 * stride;
+  const bool has_next2 = c + 3 * stride < dim;
+  if (has_prev2 && has_next2) {
+    // 4-point cubic spline midpoint weights (-1, 9, 9, -1)/16.
+    const double v = (-static_cast<double>(value_at(c - 3 * stride)) +
+                      9.0 * value_at(c - stride) + 9.0 * value_at(c + stride) -
+                      static_cast<double>(value_at(c + 3 * stride))) /
+                     16.0;
+    return std::llround(v);
+  }
+  return (value_at(c - stride) + value_at(c + stride) + 1) / 2;
+}
+
+void interp_traverse(I32Array& codes, InterpMethod method,
+                     const Visitor& visit) {
+  const Shape& s = codes.shape();
+  std::size_t maxdim = 0;
+  for (std::size_t d = 0; d < s.ndim(); ++d) maxdim = std::max(maxdim, s[d]);
+
+  // Smallest power of two with 2*stride >= maxdim, so the only point on the
+  // initial coarse grid is the origin.
+  std::size_t stride = 1;
+  while (2 * stride < maxdim) stride *= 2;
+
+  codes[0] = visit(0, 0);
+
+  for (; stride >= 1; stride /= 2) {
+    for (std::size_t d = 0; d < s.ndim(); ++d) {
+      AxisRange range[3];
+      for (std::size_t e = 0; e < 3; ++e) {
+        if (e >= s.ndim()) {
+          range[e] = {0, 1, 1};
+        } else if (e == d) {
+          range[e] = {stride, 2 * stride, s[e]};
+        } else if (e < d) {
+          range[e] = {0, stride, s[e]};  // already refined at this level
+        } else {
+          range[e] = {0, 2 * stride, s[e]};  // still coarse
+        }
+      }
+      std::size_t coord[3];
+      for (coord[0] = range[0].start; coord[0] < range[0].limit;
+           coord[0] += range[0].step) {
+        for (coord[1] = range[1].start; coord[1] < range[1].limit;
+             coord[1] += range[1].step) {
+          for (coord[2] = range[2].start; coord[2] < range[2].limit;
+               coord[2] += range[2].step) {
+            const std::int64_t pred =
+                interp_along(codes, s, coord, d, stride, method);
+            const std::size_t flat =
+                s.ndim() == 1 ? coord[0]
+                : s.ndim() == 2
+                    ? coord[0] * s[1] + coord[1]
+                    : (coord[0] * s[1] + coord[1]) * s[2] + coord[2];
+            codes[flat] = visit(flat, pred);
+          }
+        }
+      }
+      if (stride == 1 && d + 1 == s.ndim()) break;
+    }
+    if (stride == 1) break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> interp_compress(const Field& field,
+                                          const InterpOptions& options,
+                                          SzStats* stats) {
+  expects(!field.array().empty(), "interp_compress: empty field");
+  const Shape& shape = field.shape();
+  const double abs_eb = options.eb.absolute_for(field.value_range());
+
+  I32Array codes = prequantize(field.array(), abs_eb);
+
+  // Collect (code, prediction) pairs in traversal order; the codes array is
+  // already final (dual quantization), so visit() just records.
+  std::vector<std::int32_t> seq_codes, seq_preds;
+  seq_codes.reserve(codes.size());
+  seq_preds.reserve(codes.size());
+  interp_traverse(codes, options.method,
+                  [&](std::size_t flat, std::int64_t pred) {
+                    seq_codes.push_back(codes[flat]);
+                    seq_preds.push_back(static_cast<std::int32_t>(std::clamp(
+                        pred, static_cast<std::int64_t>(INT32_MIN),
+                        static_cast<std::int64_t>(INT32_MAX))));
+                    return codes[flat];
+                  });
+  expects(seq_codes.size() == codes.size(),
+          "interp_compress: traversal did not cover the array");
+
+  const auto payload =
+      encode_deltas(seq_codes, seq_preds, options.quant_radius);
+
+  ByteWriter body;
+  write_shape(body, shape);
+  body.str(field.name());
+  body.u8(static_cast<std::uint8_t>(options.eb.mode()));
+  body.f64(options.eb.value());
+  body.f64(abs_eb);
+  body.u8(static_cast<std::uint8_t>(options.method));
+  body.varint(options.quant_radius);
+  body.blob(lossless_compress(payload, options.backend));
+
+  auto stream = frame_container(CodecId::kInterp, body.bytes());
+  if (stats != nullptr) {
+    stats->original_bytes = field.size() * sizeof(float);
+    stats->compressed_bytes = stream.size();
+    stats->compression_ratio =
+        static_cast<double>(stats->original_bytes) / stream.size();
+    stats->bit_rate = 8.0 * stream.size() / static_cast<double>(field.size());
+    stats->abs_eb = abs_eb;
+  }
+  return stream;
+}
+
+Field interp_decompress(std::span<const std::uint8_t> stream) {
+  const auto parsed = parse_container(stream);
+  if (parsed.codec != CodecId::kInterp)
+    throw CorruptStream("interp_decompress: not an interpolation stream");
+  ByteReader in(parsed.body);
+
+  const Shape shape = read_shape(in);
+  const std::string name = in.str();
+  in.u8();
+  in.f64();
+  const double abs_eb = in.f64();
+  if (!(abs_eb > 0.0))
+    throw CorruptStream("interp_decompress: bad error bound");
+  const auto method = static_cast<InterpMethod>(in.u8());
+  const std::uint64_t radius = in.varint();
+  if (radius < 2 || radius > (1u << 24))
+    throw CorruptStream("interp_decompress: bad quant radius");
+
+  const auto payload = lossless_decompress(in.blob());
+  DeltaDecoder decoder(payload, static_cast<std::uint32_t>(radius));
+
+  I32Array codes(shape);
+  interp_traverse(codes, method,
+                  [&](std::size_t, std::int64_t pred) {
+                    return decoder.next(pred);
+                  });
+
+  return Field(name, dequantize(codes, abs_eb, shape));
+}
+
+}  // namespace xfc

@@ -1,0 +1,50 @@
+#ifndef XFC_SZ_INTERPOLATION_HPP
+#define XFC_SZ_INTERPOLATION_HPP
+
+/// \file interpolation.hpp
+/// SZ3-style interpolation-based compressor (Liang et al., "SZ3: A modular
+/// framework...", predictor family the paper cites as [5]).
+///
+/// Points are visited on a level-doubling grid: at each stride level every
+/// axis in turn fills in the midpoints of already-reconstructed points via
+/// 4-point cubic (or linear) spline interpolation. Note the paper's Fig. 3
+/// argument: this traversal is *incompatible* with Lorenzo's row-major
+/// order, which is why the cross-field design sticks to backward
+/// differences. The interpolation pipeline lives here as an independent
+/// codec used in ablation benches.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+#include "encode/backend.hpp"
+#include "quant/error_bound.hpp"
+#include "sz/compressor.hpp"
+#include "sz/delta_codec.hpp"
+
+namespace xfc {
+
+enum class InterpMethod : std::uint8_t {
+  kLinear = 0,
+  kCubic = 1,  // SZ3 default
+};
+
+struct InterpOptions {
+  ErrorBound eb = ErrorBound::relative(1e-3);
+  InterpMethod method = InterpMethod::kCubic;
+  LosslessBackend backend = LosslessBackend::kAuto;
+  std::uint32_t quant_radius = kDefaultQuantRadius;
+};
+
+/// Compresses with the interpolation pipeline.
+std::vector<std::uint8_t> interp_compress(const Field& field,
+                                          const InterpOptions& options,
+                                          SzStats* stats = nullptr);
+
+/// Decompresses a stream produced by interp_compress.
+Field interp_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace xfc
+
+#endif  // XFC_SZ_INTERPOLATION_HPP

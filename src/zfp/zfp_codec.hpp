@@ -1,0 +1,40 @@
+#ifndef XFC_ZFP_ZFP_CODEC_HPP
+#define XFC_ZFP_ZFP_CODEC_HPP
+
+/// \file zfp_codec.hpp
+/// A from-scratch ZFP-style transform codec (Lindstrom 2014), fixed-accuracy
+/// mode: 4^d blocks are converted to a block-local fixed-point
+/// representation, decorrelated with ZFP's integer lifting transform,
+/// mapped to negabinary, and bit-plane coded in sequency order down to a
+/// tolerance-derived cutoff plane.
+///
+/// The codec is format-independent of libzfp (it shares the algorithm, not
+/// the bitstream) and serves as the transform-based baseline in the repo's
+/// rate-distortion benches, mirroring the paper's related-work framing of
+/// SZ (prediction) vs ZFP (transform).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/field.hpp"
+#include "sz/compressor.hpp"
+
+namespace xfc {
+
+struct ZfpOptions {
+  /// Absolute error tolerance (fixed-accuracy mode).
+  double tolerance = 1e-3;
+};
+
+/// Compresses a 1D/2D/3D float field.
+std::vector<std::uint8_t> zfp_compress(const Field& field,
+                                       const ZfpOptions& options,
+                                       SzStats* stats = nullptr);
+
+/// Decompresses a stream produced by zfp_compress.
+Field zfp_decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace xfc
+
+#endif  // XFC_ZFP_ZFP_CODEC_HPP

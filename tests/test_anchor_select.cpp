@@ -1,0 +1,120 @@
+// Tests for automatic anchor selection (paper §V future work).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "crossfield/anchor_select.hpp"
+#include "data/dataset.hpp"
+
+namespace xfc {
+namespace {
+
+/// Builds fields where GOOD linearly drives the target's differences,
+/// PARTIAL drives them weakly, and NOISE is independent.
+struct SelectSet {
+  Field target, good, partial, noise;
+};
+
+SelectSet make_select_set(std::uint64_t seed) {
+  Rng rng(seed);
+  const Shape shape{64, 80};
+  SelectSet s{Field("TGT", F32Array(shape)), Field("GOOD", F32Array(shape)),
+              Field("PARTIAL", F32Array(shape)),
+              Field("NOISE", F32Array(shape))};
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    const double x = static_cast<double>(i % 80) / 7.0;
+    const double y = static_cast<double>(i / 80) / 9.0;
+    const double base = std::sin(x) * std::cos(y) * 12.0;
+    const double weak = std::cos(x * 1.3) * 5.0;
+    s.good.array()[i] = static_cast<float>(base + rng.normal(0, 0.02));
+    s.partial.array()[i] = static_cast<float>(weak + rng.normal(0, 0.02));
+    s.noise.array()[i] = static_cast<float>(rng.normal(0, 3.0));
+    s.target.array()[i] =
+        static_cast<float>(base + 0.3 * weak + rng.normal(0, 0.05));
+  }
+  return s;
+}
+
+TEST(AnchorSelect, RanksInformativeAnchorFirst) {
+  const SelectSet s = make_select_set(1);
+  const auto chosen = select_anchors(
+      s.target, {&s.noise, &s.partial, &s.good}, {.max_anchors = 3});
+  ASSERT_GE(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0].name, "GOOD");
+  EXPECT_GT(chosen[0].marginal_r2, 0.5);
+}
+
+TEST(AnchorSelect, MarginalGainsDecreaseAndCumulate) {
+  const SelectSet s = make_select_set(2);
+  const auto chosen = select_anchors(
+      s.target, {&s.good, &s.partial, &s.noise},
+      {.max_anchors = 3, .min_gain = 0.0001});
+  ASSERT_GE(chosen.size(), 2u);
+  EXPECT_GE(chosen[0].marginal_r2, chosen[1].marginal_r2);
+  for (std::size_t i = 1; i < chosen.size(); ++i)
+    EXPECT_NEAR(chosen[i].cumulative_r2,
+                chosen[i - 1].cumulative_r2 + chosen[i].marginal_r2, 1e-9);
+}
+
+TEST(AnchorSelect, PureNoiseAnchorRejected) {
+  const SelectSet s = make_select_set(3);
+  const auto chosen =
+      select_anchors(s.target, {&s.noise}, {.max_anchors = 1,
+                                            .min_gain = 0.05});
+  EXPECT_TRUE(chosen.empty());
+}
+
+TEST(AnchorSelect, SkipsTargetItself) {
+  const SelectSet s = make_select_set(4);
+  const auto chosen = select_anchors(s.target, {&s.target, &s.good});
+  for (const auto& c : chosen) EXPECT_NE(c.name, "TGT");
+}
+
+TEST(AnchorSelect, RespectsMaxAnchors) {
+  const SelectSet s = make_select_set(5);
+  const auto chosen = select_anchors(
+      s.target, {&s.good, &s.partial, &s.noise},
+      {.max_anchors = 1, .min_gain = 0.0});
+  EXPECT_LE(chosen.size(), 1u);
+}
+
+TEST(AnchorSelect, ValidatesShapes) {
+  Field t("T", F32Array(Shape{16, 16}));
+  Field bad("B", F32Array(Shape{16, 17}));
+  EXPECT_THROW(select_anchors(t, {&bad}), InvalidArgument);
+  Field oned("O", F32Array(Shape{64}));
+  EXPECT_THROW(select_anchors(oned, {&t}), InvalidArgument);
+}
+
+TEST(AnchorSelect, RecoversTable3FlavourOnCesm) {
+  // On the CESM-like dataset, LWCF's best anchors should come from the
+  // radiation family (FLUT/FLUTC/FLNT/FLNTC), not the cloud fractions —
+  // matching the paper's physics-chosen Table III.
+  const auto ds = make_dataset(DatasetKind::kCesm, Shape{96, 128}, 6);
+  const Field* lwcf = ds.find("LWCF");
+  std::vector<const Field*> candidates;
+  for (const Field& f : ds.fields)
+    if (f.name() != "LWCF") candidates.push_back(&f);
+  const auto chosen = select_anchors(*lwcf, candidates, {.max_anchors = 2});
+  ASSERT_GE(chosen.size(), 1u);
+  const std::string& first = chosen[0].name;
+  EXPECT_TRUE(first == "FLUT" || first == "FLUTC" || first == "FLNT" ||
+              first == "FLNTC")
+      << "picked " << first;
+}
+
+TEST(AnchorSelect, DeterministicAcrossCalls) {
+  const SelectSet s = make_select_set(7);
+  const auto a = select_anchors(s.target, {&s.good, &s.partial, &s.noise});
+  const auto b = select_anchors(s.target, {&s.good, &s.partial, &s.noise});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].marginal_r2, b[i].marginal_r2);
+  }
+}
+
+}  // namespace
+}  // namespace xfc

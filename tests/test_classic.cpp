@@ -1,0 +1,126 @@
+// Tests for the classic (sequential, non-dual-quant) SZ pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/classic.hpp"
+#include "test_util.hpp"
+
+namespace xfc {
+namespace {
+
+Field make_field(const Shape& shape, std::uint64_t seed, double noise) {
+  Rng rng(seed);
+  F32Array a(shape);
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(i % w) / 11.0;
+    const double y = static_cast<double>(i / w) / 23.0;
+    a[i] = static_cast<float>(40.0 * std::sin(x) * std::cos(y) +
+                              rng.normal(0.0, noise));
+  }
+  return Field("cls", std::move(a));
+}
+
+using ClassicCase = std::tuple<int, double, LorenzoOrder>;
+
+class ClassicBoundSweep : public ::testing::TestWithParam<ClassicCase> {};
+
+TEST_P(ClassicBoundSweep, ErrorBoundHolds) {
+  const auto& [rank, rel_eb, order] = GetParam();
+  const Shape shape = rank == 1   ? Shape{3001}
+                      : rank == 2 ? Shape{53, 71}
+                                  : Shape{9, 19, 27};
+  const Field field = make_field(shape, 31 + rank, 0.3);
+
+  ClassicOptions opt;
+  opt.eb = ErrorBound::relative(rel_eb);
+  opt.order = order;
+  SzStats stats;
+  const auto stream = classic_compress(field, opt, &stats);
+  const Field out = classic_decompress(stream);
+
+  const double abs_eb = opt.eb.absolute_for(field.value_range());
+  EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, field));
+  EXPECT_EQ(out.name(), field.name());
+  EXPECT_EQ(out.shape(), field.shape());
+  EXPECT_GT(stats.compression_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksBoundsOrders, ClassicBoundSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1e-2, 1e-3, 1e-4),
+                       ::testing::Values(LorenzoOrder::kOne,
+                                         LorenzoOrder::kTwo)));
+
+TEST(Classic, OutlierEscapePathExact) {
+  // A spike train forces escapes; escaped points are stored verbatim.
+  Rng rng(5);
+  F32Array a(Shape{2000});
+  for (std::size_t i = 0; i < 2000; ++i) {
+    a[i] = static_cast<float>(rng.normal(0, 0.1));
+    if (i % 97 == 0) a[i] = static_cast<float>(rng.normal(0, 1e5));
+  }
+  const Field field("spiky", std::move(a));
+  ClassicOptions opt;
+  opt.eb = ErrorBound::absolute(1e-4);
+  opt.quant_radius = 64;
+  const Field out = classic_decompress(classic_compress(field, opt));
+  EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+            test::bound_tolerance(1e-4, field));
+}
+
+TEST(Classic, ComparableRatioToDualQuant) {
+  // Same field, same bound: the two SZ variants should land within ~25% of
+  // each other (they share predictor + entropy coder; only the
+  // quantization order differs).
+  const Field field = make_field(Shape{96, 96}, 8, 0.2);
+  SzOptions dual;
+  dual.eb = ErrorBound::relative(1e-3);
+  ClassicOptions classic;
+  classic.eb = ErrorBound::relative(1e-3);
+  SzStats sd, sc;
+  sz_compress(field, dual, &sd);
+  classic_compress(field, classic, &sc);
+  EXPECT_GT(sc.compression_ratio, sd.compression_ratio * 0.75);
+  EXPECT_LT(sc.compression_ratio, sd.compression_ratio * 1.35);
+}
+
+TEST(Classic, RejectsForeignStreams) {
+  const Field field = make_field(Shape{32, 32}, 9, 0.1);
+  const auto dual_stream = sz_compress(field, SzOptions{});
+  EXPECT_THROW(classic_decompress(dual_stream), CorruptStream);
+
+  const auto classic_stream = classic_compress(field, ClassicOptions{});
+  EXPECT_THROW(sz_decompress(classic_stream), CorruptStream);
+}
+
+TEST(Classic, CorruptStreamDetected) {
+  const Field field = make_field(Shape{40, 40}, 10, 0.1);
+  auto stream = classic_compress(field, ClassicOptions{});
+  stream[stream.size() / 2] ^= 0x20;
+  EXPECT_THROW(classic_decompress(stream), CorruptStream);
+}
+
+TEST(Classic, ConstantField) {
+  F32Array a(Shape{64, 64});
+  for (auto& v : a.vec()) v = -7.5f;
+  const Field field("const", std::move(a));
+  ClassicOptions opt;
+  opt.eb = ErrorBound::relative(1e-3);
+  SzStats stats;
+  const auto stream = classic_compress(field, opt, &stats);
+  const Field out = classic_decompress(stream);
+  EXPECT_GT(stats.compression_ratio, 50.0);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out.array()[i], -7.5f, 2e-3);
+}
+
+}  // namespace
+}  // namespace xfc

@@ -1,0 +1,196 @@
+// Unit tests for src/core: shapes, arrays, fields, RNG, small utilities.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/field.hpp"
+#include "core/ndarray.hpp"
+#include "core/rng.hpp"
+#include "core/utils.hpp"
+
+namespace xfc {
+namespace {
+
+TEST(Shape, SizeAndAccess) {
+  Shape s1{7};
+  EXPECT_EQ(s1.ndim(), 1u);
+  EXPECT_EQ(s1.size(), 7u);
+
+  Shape s2{3, 5};
+  EXPECT_EQ(s2.ndim(), 2u);
+  EXPECT_EQ(s2.size(), 15u);
+  EXPECT_EQ(s2[0], 3u);
+  EXPECT_EQ(s2[1], 5u);
+
+  Shape s3{2, 3, 4};
+  EXPECT_EQ(s3.size(), 24u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, FromSpan) {
+  const std::size_t dims[3] = {4, 5, 6};
+  Shape s(std::span<const std::size_t>(dims, 3));
+  EXPECT_EQ(s.size(), 120u);
+}
+
+TEST(Shape, RejectsBadRank) {
+  EXPECT_THROW(Shape({}), InvalidArgument);
+  EXPECT_THROW(Shape({1, 2, 3, 4}), InvalidArgument);
+}
+
+TEST(NdArray, ZeroInitialised) {
+  F32Array a(Shape{4, 4});
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 0.0f);
+}
+
+TEST(NdArray, RowMajorIndexing) {
+  I32Array a(Shape{3, 4});
+  a(1, 2) = 42;
+  EXPECT_EQ(a[1 * 4 + 2], 42);
+
+  I32Array b(Shape{2, 3, 4});
+  b(1, 2, 3) = 7;
+  EXPECT_EQ(b[(1 * 3 + 2) * 4 + 3], 7);
+}
+
+TEST(NdArray, WrapExistingData) {
+  std::vector<float> v{1, 2, 3, 4, 5, 6};
+  F32Array a(Shape{2, 3}, std::move(v));
+  EXPECT_EQ(a(1, 2), 6.0f);
+  EXPECT_THROW(F32Array(Shape{2, 3}, std::vector<float>{1, 2}),
+               InvalidArgument);
+}
+
+TEST(NdArray, CheckedAccessThrows) {
+  F32Array a(Shape{2, 2});
+  EXPECT_NO_THROW(a.at(1, 1));
+  EXPECT_THROW(a.at(2, 0), InvalidArgument);
+  F32Array b(Shape{2, 2, 2});
+  EXPECT_THROW(b.at(0, 0, 2), InvalidArgument);
+}
+
+TEST(Field, Statistics) {
+  F32Array a(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Field f("demo", std::move(a));
+  EXPECT_EQ(f.name(), "demo");
+  auto [lo, hi] = f.min_max();
+  EXPECT_EQ(lo, 1.0f);
+  EXPECT_EQ(hi, 4.0f);
+  EXPECT_FLOAT_EQ(f.value_range(), 3.0f);
+  EXPECT_DOUBLE_EQ(f.mean(), 2.5);
+  EXPECT_NEAR(f.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Field, EmptyFieldIsSafe) {
+  Field f;
+  EXPECT_EQ(f.value_range(), 0.0f);
+  EXPECT_EQ(f.mean(), 0.0);
+  EXPECT_EQ(f.stddev(), 0.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const auto v = r.uniform_index(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_THROW(r.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(5);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Zigzag, RoundtripAndOrdering) {
+  for (std::int32_t v : {0, -1, 1, -2, 2, 100, -100, INT32_MAX, INT32_MIN})
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  // Small magnitudes map to small codes.
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+TEST(Zigzag, SixtyFourBit) {
+  for (std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1}, INT64_MAX,
+        INT64_MIN, std::int64_t{1} << 40, -(std::int64_t{1} << 40)})
+    EXPECT_EQ(zigzag_decode64(zigzag_encode64(v)), v);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  constexpr std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 100), 1u);
+}
+
+TEST(Expects, ThrowsOnViolation) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  EXPECT_THROW(expects(false, "boom"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xfc

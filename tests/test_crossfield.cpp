@@ -1,0 +1,380 @@
+// End-to-end tests of the cross-field compressor: bound guarantee,
+// encoder/decoder agreement, anchor protocol, multi-field orchestration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "crossfield/crossfield.hpp"
+#include "crossfield/multifield.hpp"
+#include "metrics/metrics.hpp"
+#include "quant/dual_quant.hpp"
+#include "sz/compressor.hpp"
+#include "test_util.hpp"
+
+namespace xfc {
+namespace {
+
+/// Small correlated multi-field set: target is a nonlinear function of the
+/// anchors plus its own structure.
+struct TinySet {
+  Field target;
+  Field a0, a1;
+};
+
+TinySet make_tiny(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  TinySet s{Field("TGT", F32Array(shape)), Field("A0", F32Array(shape)),
+            Field("A1", F32Array(shape))};
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < s.target.size(); ++i) {
+    const double x = static_cast<double>(i % w) / 6.0;
+    const double y = static_cast<double>(i / w) / 9.0;
+    const double base = std::sin(x) * std::cos(y) * 15.0;
+    const double second = std::cos(x * 0.7) * 8.0;
+    s.a0.array()[i] = static_cast<float>(base + rng.normal(0, 0.05));
+    s.a1.array()[i] = static_cast<float>(second + rng.normal(0, 0.05));
+    s.target.array()[i] = static_cast<float>(
+        0.8 * base + 0.3 * second * second / 8.0 + rng.normal(0, 0.05));
+  }
+  return s;
+}
+
+CfnnTrainOptions quick_train() {
+  CfnnTrainOptions t;
+  t.epochs = 6;
+  t.patches_per_epoch = 24;
+  t.patch = 16;
+  t.batch = 8;
+  return t;
+}
+
+CfnnConfig tiny_cfnn() { return CfnnConfig{8, 4, 3}; }
+
+class CrossFieldBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossFieldBound, RoundtripWithinBound2D) {
+  const double rel_eb = GetParam();
+  const TinySet s = make_tiny(Shape{48, 64}, 42);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+
+  const CfnnModel model =
+      train_cross_field_model(s.target, anchors, tiny_cfnn(), quick_train());
+
+  CrossFieldOptions opt;
+  opt.eb = ErrorBound::relative(rel_eb);
+  SzStats stats;
+  const auto stream =
+      cross_field_compress(s.target, anchors, model, opt, &stats);
+  const Field out = cross_field_decompress(stream, anchors);
+
+  const double abs_eb = opt.eb.absolute_for(s.target.value_range());
+  EXPECT_LE(
+      max_abs_error(s.target.array().span(), out.array().span()),
+      test::bound_tolerance(abs_eb, s.target));
+  EXPECT_EQ(out.name(), "TGT");
+  EXPECT_GT(stats.compression_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, CrossFieldBound,
+                         ::testing::Values(5e-3, 1e-3, 5e-4, 1e-4));
+
+TEST(CrossField, RoundtripWithinBound3D) {
+  const TinySet s = make_tiny(Shape{6, 24, 24}, 43);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model =
+      train_cross_field_model(s.target, anchors, tiny_cfnn(), quick_train());
+
+  CrossFieldOptions opt;
+  opt.eb = ErrorBound::relative(1e-3);
+  const auto stream = cross_field_compress(s.target, anchors, model, opt);
+  const Field out = cross_field_decompress(stream, anchors);
+  const double abs_eb = opt.eb.absolute_for(s.target.value_range());
+  EXPECT_LE(max_abs_error(s.target.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, s.target));
+}
+
+TEST(CrossField, DecompressionMatchesPrequantReconstructionExactly) {
+  // Dual quantization: decoded values must be exactly 2*eb*prequant codes.
+  const TinySet s = make_tiny(Shape{32, 32}, 44);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model =
+      train_cross_field_model(s.target, anchors, tiny_cfnn(), quick_train());
+
+  CrossFieldOptions opt;
+  opt.eb = ErrorBound::relative(1e-3);
+  const auto stream = cross_field_compress(s.target, anchors, model, opt);
+  const Field out = cross_field_decompress(stream, anchors);
+
+  const double abs_eb = opt.eb.absolute_for(s.target.value_range());
+  const I32Array codes = prequantize(s.target.array(), abs_eb);
+  const F32Array expect = dequantize(codes, abs_eb, s.target.shape());
+  EXPECT_EQ(out.array().vec(), expect.vec());
+}
+
+TEST(CrossField, UntrainedModelStillBoundCorrect) {
+  // Even a random CFNN cannot break the error bound — only the ratio.
+  const TinySet s = make_tiny(Shape{32, 40}, 45);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model(anchors.size() * 2, 2, tiny_cfnn(), 7);
+
+  CrossFieldOptions opt;
+  opt.eb = ErrorBound::relative(1e-3);
+  const auto stream = cross_field_compress(s.target, anchors, model, opt);
+  const Field out = cross_field_decompress(stream, anchors);
+  const double abs_eb = opt.eb.absolute_for(s.target.value_range());
+  EXPECT_LE(max_abs_error(s.target.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, s.target));
+}
+
+TEST(CrossField, AnchorCountMismatchRejected) {
+  const TinySet s = make_tiny(Shape{32, 32}, 46);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model =
+      train_cross_field_model(s.target, anchors, tiny_cfnn(), quick_train());
+  const auto stream =
+      cross_field_compress(s.target, anchors, model, CrossFieldOptions{});
+
+  const std::vector<const Field*> wrong{&s.a0};
+  EXPECT_THROW(cross_field_decompress(stream, wrong), InvalidArgument);
+}
+
+TEST(CrossField, AnchorNameMismatchRejected) {
+  const TinySet s = make_tiny(Shape{32, 32}, 47);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model =
+      train_cross_field_model(s.target, anchors, tiny_cfnn(), quick_train());
+  const auto stream =
+      cross_field_compress(s.target, anchors, model, CrossFieldOptions{});
+
+  const std::vector<const Field*> swapped{&s.a1, &s.a0};
+  EXPECT_THROW(cross_field_decompress(stream, swapped), InvalidArgument);
+}
+
+TEST(CrossField, CorruptStreamRejected) {
+  const TinySet s = make_tiny(Shape{32, 32}, 48);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model(4, 2, tiny_cfnn(), 3);
+  auto stream =
+      cross_field_compress(s.target, anchors, model, CrossFieldOptions{});
+  stream[stream.size() / 3] ^= 0x08;
+  EXPECT_THROW(cross_field_decompress(stream, anchors), CorruptStream);
+}
+
+TEST(CrossField, ModelGeometryMismatchRejected) {
+  const TinySet s = make_tiny(Shape{32, 32}, 49);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model(6, 2, tiny_cfnn(), 3);  // expects 3 anchors
+  EXPECT_THROW(
+      cross_field_compress(s.target, anchors, model, CrossFieldOptions{}),
+      InvalidArgument);
+}
+
+TEST(CrossField, OneDTargetRejected) {
+  Field t("T", F32Array(Shape{100}));
+  Field a("A", F32Array(Shape{100}));
+  EXPECT_THROW(
+      train_cross_field_model(t, {&a}, tiny_cfnn(), quick_train()),
+      InvalidArgument);
+}
+
+TEST(CrossField, AnalyzeExposesCandidatesAndWeights) {
+  const TinySet s = make_tiny(Shape{40, 40}, 50);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model =
+      train_cross_field_model(s.target, anchors, tiny_cfnn(), quick_train());
+
+  const auto analysis =
+      cross_field_analyze(s.target, anchors, model, CrossFieldOptions{});
+  EXPECT_EQ(analysis.candidates.size(), 3u);  // dx, dy, lorenzo
+  EXPECT_EQ(analysis.diff_codes.size(), 2u);
+  EXPECT_EQ(analysis.hybrid.num_predictors(), 3u);
+  EXPECT_GT(analysis.abs_eb, 0.0);
+  // Weights should roughly sum to 1 on well-correlated predictors.
+  double wsum = 0;
+  for (double w : analysis.hybrid.weights()) wsum += w;
+  EXPECT_NEAR(wsum, 1.0, 0.35);
+}
+
+TEST(MultiField, CompressAllRoundtrips) {
+  const TinySet s = make_tiny(Shape{40, 48}, 51);
+
+  MultiFieldCompressor mfc;
+  mfc.add_field(s.a0);
+  mfc.add_field(s.a1);
+  mfc.add_field(s.target);
+  AnchorConfig cfg;
+  cfg.anchors = {"A0", "A1"};
+  cfg.cfnn = tiny_cfnn();
+  cfg.train = quick_train();
+  mfc.configure_target("TGT", cfg);
+
+  const auto eb = ErrorBound::relative(1e-3);
+  const auto compressed = mfc.compress_all(eb);
+  ASSERT_EQ(compressed.size(), 3u);
+
+  const auto fields = MultiFieldCompressor::decompress_all(compressed);
+  ASSERT_EQ(fields.size(), 3u);
+
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const Field* orig = mfc.find(compressed[i].name);
+    ASSERT_NE(orig, nullptr);
+    const double abs_eb = eb.absolute_for(orig->value_range());
+    EXPECT_LE(
+        max_abs_error(orig->array().span(), fields[i].array().span()),
+        test::bound_tolerance(abs_eb, *orig))
+        << compressed[i].name;
+  }
+}
+
+TEST(MultiField, ModelCacheReusedAcrossBounds) {
+  const TinySet s = make_tiny(Shape{32, 32}, 52);
+  MultiFieldCompressor mfc;
+  mfc.add_field(s.a0);
+  mfc.add_field(s.a1);
+  mfc.add_field(s.target);
+  AnchorConfig cfg;
+  cfg.anchors = {"A0", "A1"};
+  cfg.cfnn = tiny_cfnn();
+  cfg.train = quick_train();
+  mfc.configure_target("TGT", cfg);
+
+  // Two bounds; the second call reuses the cached model (fast) and both
+  // roundtrip correctly.
+  for (double rel : {1e-3, 1e-4}) {
+    const auto compressed = mfc.compress_all(ErrorBound::relative(rel));
+    const auto fields = MultiFieldCompressor::decompress_all(compressed);
+    ASSERT_EQ(fields.size(), 3u);
+  }
+}
+
+TEST(MultiField, ChainedTargetsRoundtrip) {
+  // Mirrors paper Table III: FLUT anchors on LWCF, itself a cross-field
+  // target (LWCF anchored on A0).
+  const TinySet s = make_tiny(Shape{40, 48}, 53);
+  Field chained = s.target;
+  chained.set_name("CHAIN");
+  for (std::size_t i = 0; i < chained.size(); ++i)
+    chained.array()[i] = 0.5f * s.target.array()[i] + 0.2f * s.a0.array()[i];
+
+  MultiFieldCompressor mfc;
+  mfc.add_field(s.a0);
+  mfc.add_field(s.a1);
+  mfc.add_field(s.target);
+  mfc.add_field(chained);
+
+  AnchorConfig cfg1;
+  cfg1.anchors = {"A0", "A1"};
+  cfg1.cfnn = tiny_cfnn();
+  cfg1.train = quick_train();
+  mfc.configure_target("TGT", cfg1);
+
+  AnchorConfig cfg2;
+  cfg2.anchors = {"TGT", "A0"};  // anchors on another cross-field target
+  cfg2.cfnn = tiny_cfnn();
+  cfg2.train = quick_train();
+  mfc.configure_target("CHAIN", cfg2);
+
+  const auto eb = ErrorBound::relative(1e-3);
+  const auto compressed = mfc.compress_all(eb);
+  ASSERT_EQ(compressed.size(), 4u);
+  const auto fields = MultiFieldCompressor::decompress_all(compressed);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const Field* orig = mfc.find(compressed[i].name);
+    const double abs_eb = eb.absolute_for(orig->value_range());
+    EXPECT_LE(max_abs_error(orig->array().span(), fields[i].array().span()),
+              test::bound_tolerance(abs_eb, *orig))
+        << compressed[i].name;
+  }
+}
+
+TEST(MultiField, MissingAnchorStreamDetected) {
+  const TinySet s = make_tiny(Shape{32, 32}, 54);
+  MultiFieldCompressor mfc;
+  mfc.add_field(s.a0);
+  mfc.add_field(s.a1);
+  mfc.add_field(s.target);
+  AnchorConfig cfg;
+  cfg.anchors = {"A0", "A1"};
+  cfg.cfnn = tiny_cfnn();
+  cfg.train = quick_train();
+  mfc.configure_target("TGT", cfg);
+
+  auto compressed = mfc.compress_all(ErrorBound::relative(1e-3));
+  // Drop one anchor's stream: the dependency resolver must throw, not hang.
+  compressed.erase(
+      std::find_if(compressed.begin(), compressed.end(),
+                   [](const CompressedField& cf) { return cf.name == "A0"; }));
+  EXPECT_THROW(MultiFieldCompressor::decompress_all(compressed),
+               CorruptStream);
+}
+
+TEST(CrossField, HybridSelectionNotWorseThanLorenzoAlone) {
+  // The estimated-bits selection must never pick a combination that is
+  // materially worse than plain Lorenzo (Lorenzo is in the candidate set).
+  const TinySet s = make_tiny(Shape{48, 64}, 55);
+  const std::vector<const Field*> anchors{&s.a0, &s.a1};
+  const CfnnModel model(4, 2, tiny_cfnn(), 99);  // untrained: cross is junk
+
+  const auto analysis =
+      cross_field_analyze(s.target, anchors, model, CrossFieldOptions{});
+  std::vector<std::span<const std::int32_t>> spans;
+  for (const auto& c : analysis.candidates) spans.push_back(c.span());
+  const auto lorenzo_only = HybridModel::single(3, 2);
+  EXPECT_LE(analysis.hybrid.estimated_bits(spans, analysis.codes.span()),
+            lorenzo_only.estimated_bits(spans, analysis.codes.span()) *
+                1.0001);
+}
+
+TEST(CrossField, ReconstructedAnchorProtocolEndToEnd) {
+  // The real deployment contract: the encoder sees sz_reconstruct(anchor)
+  // and the decoder sees sz_decompress(sz_compress(anchor)) -- dual
+  // quantization makes these bit-identical, so the round trip must work
+  // across the "two machines".
+  const TinySet s = make_tiny(Shape{40, 48}, 60);
+  SzOptions base;
+  base.eb = ErrorBound::relative(1e-3);
+
+  // Encoder side.
+  const Field enc_a0 = sz_reconstruct(s.a0, base);
+  const Field enc_a1 = sz_reconstruct(s.a1, base);
+  const std::vector<const Field*> enc_anchors{&enc_a0, &enc_a1};
+  const CfnnModel model = train_cross_field_model(s.target, enc_anchors,
+                                                  tiny_cfnn(), quick_train());
+  CrossFieldOptions copt;
+  copt.eb = ErrorBound::relative(1e-3);
+  const auto target_stream =
+      cross_field_compress(s.target, enc_anchors, model, copt);
+  const auto a0_stream = sz_compress(s.a0, base);
+  const auto a1_stream = sz_compress(s.a1, base);
+
+  // Decoder side: only the three streams cross the wire.
+  const Field dec_a0 = sz_decompress(a0_stream);
+  const Field dec_a1 = sz_decompress(a1_stream);
+  EXPECT_EQ(dec_a0.array().vec(), enc_a0.array().vec());  // the contract
+  const std::vector<const Field*> dec_anchors{&dec_a0, &dec_a1};
+  const Field out = cross_field_decompress(target_stream, dec_anchors);
+
+  const double abs_eb = copt.eb.absolute_for(s.target.value_range());
+  EXPECT_LE(max_abs_error(s.target.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, s.target));
+}
+
+TEST(MultiField, ConfigValidation) {
+  MultiFieldCompressor mfc;
+  mfc.add_field(Field("X", F32Array(Shape{8, 8})));
+  EXPECT_THROW(mfc.add_field(Field("X", F32Array(Shape{8, 8}))),
+               InvalidArgument);  // duplicate
+
+  AnchorConfig cfg;
+  cfg.anchors = {"MISSING"};
+  EXPECT_THROW(mfc.configure_target("X", cfg), InvalidArgument);
+
+  cfg.anchors = {"X"};
+  EXPECT_THROW(mfc.configure_target("X", cfg), InvalidArgument);  // self
+}
+
+}  // namespace
+}  // namespace xfc

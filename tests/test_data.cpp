@@ -1,0 +1,265 @@
+// Tests for the synthetic dataset generators: determinism, physical sanity,
+// cross-field correlation (the property the whole paper rests on), SDR IO.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+
+#include "data/dataset.hpp"
+#include "data/noise.hpp"
+#include "data/sdr.hpp"
+#include "io/file.hpp"
+#include "metrics/metrics.hpp"
+
+namespace xfc {
+namespace {
+
+const Shape kTinyScale{6, 48, 48};
+const Shape kTinyCesm{64, 96};
+const Shape kTinyHurricane{8, 48, 48};
+
+TEST(Noise, DeterministicAndSmooth) {
+  Rng r1(5), r2(5);
+  const auto a = value_noise_2d(32, 32, NoiseSpec{}, r1);
+  const auto b = value_noise_2d(32, 32, NoiseSpec{}, r2);
+  EXPECT_EQ(a.vec(), b.vec());
+
+  // Smoothness: neighbouring values are much closer than the global range.
+  float max_step = 0.0f, range_lo = a[0], range_hi = a[0];
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = 0; j + 1 < 32; ++j) {
+      max_step = std::max(max_step, std::abs(a(i, j + 1) - a(i, j)));
+      range_lo = std::min(range_lo, a(i, j));
+      range_hi = std::max(range_hi, a(i, j));
+    }
+  EXPECT_LT(max_step, (range_hi - range_lo) * 0.5f);
+}
+
+TEST(Noise, GradientOfLinearRamp) {
+  F32Array ramp(Shape{8, 8});
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      ramp(i, j) = static_cast<float>(3.0 * i - 2.0 * j);
+  const auto gi = central_gradient(ramp, 0);
+  const auto gj = central_gradient(ramp, 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(gi[i], 3.0f, 1e-5);
+    EXPECT_NEAR(gj[i], -2.0f, 1e-5);
+  }
+}
+
+TEST(Generators, DeterministicAcrossCalls) {
+  const auto a = make_scale_like({kTinyScale, 99});
+  const auto b = make_scale_like({kTinyScale, 99});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].array().vec(), b[i].array().vec()) << a[i].name();
+}
+
+TEST(Generators, SeedChangesData) {
+  const auto a = make_scale_like({kTinyScale, 1});
+  const auto b = make_scale_like({kTinyScale, 2});
+  EXPECT_NE(a[0].array().vec(), b[0].array().vec());
+}
+
+TEST(ScaleLike, FieldInventoryAndShapes) {
+  const auto fields = make_scale_like({kTinyScale, 3});
+  ASSERT_EQ(fields.size(), 7u);
+  const char* names[] = {"T", "QV", "PRES", "RH", "U", "V", "W"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(fields[i].name(), names[i]);
+    EXPECT_EQ(fields[i].shape(), kTinyScale);
+  }
+}
+
+TEST(ScaleLike, PhysicalRanges) {
+  const auto fields = make_scale_like({kTinyScale, 4});
+  auto get = [&](const char* n) -> const Field& {
+    for (const auto& f : fields)
+      if (f.name() == n) return f;
+    throw std::runtime_error("missing field");
+  };
+  // RH is a percentage.
+  auto [rh_lo, rh_hi] = get("RH").min_max();
+  EXPECT_GT(rh_lo, -10.0f);
+  EXPECT_LT(rh_hi, 115.0f);
+  // Temperature: plausible atmosphere kelvins.
+  auto [t_lo, t_hi] = get("T").min_max();
+  EXPECT_GT(t_lo, 150.0f);
+  EXPECT_LT(t_hi, 340.0f);
+  // Pressure positive, below ~1.1 bar.
+  auto [p_lo, p_hi] = get("PRES").min_max();
+  EXPECT_GT(p_lo, 1000.0f);
+  EXPECT_LT(p_hi, 115000.0f);
+  // QV nonnegative (mixing ratio).
+  EXPECT_GE(get("QV").min_max().first, 0.0f);
+}
+
+TEST(ScaleLike, CrossFieldCorrelationExists) {
+  // The paper's premise: anchors carry information about the target.
+  const auto fields = make_scale_like({kTinyScale, 5});
+  const Field* rh = nullptr;
+  const Field* qv = nullptr;
+  for (const auto& f : fields) {
+    if (f.name() == "RH") rh = &f;
+    if (f.name() == "QV") qv = &f;
+  }
+  ASSERT_TRUE(rh && qv);
+  EXPECT_GT(std::abs(pearson(rh->array().span(), qv->array().span())), 0.3);
+}
+
+TEST(CesmLike, FieldInventoryAndIdentities) {
+  const auto fields = make_cesm_like({kTinyCesm, 6});
+  ASSERT_EQ(fields.size(), 9u);
+  auto get = [&](const char* n) -> const Field& {
+    for (const auto& f : fields)
+      if (f.name() == n) return f;
+    throw std::runtime_error("missing field");
+  };
+
+  // Cloud fractions in [0, 1] (CLDTOT has small observation noise).
+  for (const char* n : {"CLDLOW", "CLDMED", "CLDHGH"}) {
+    auto [lo, hi] = get(n).min_max();
+    EXPECT_GE(lo, 0.0f);
+    EXPECT_LE(hi, 1.0f);
+  }
+  auto [tot_lo, tot_hi] = get("CLDTOT").min_max();
+  EXPECT_GT(tot_lo, -0.05f);
+  EXPECT_LT(tot_hi, 1.05f);
+
+  // Random-overlap identity: CLDTOT >= max individual level (up to noise).
+  const auto& tot = get("CLDTOT");
+  const auto& hgh = get("CLDHGH");
+  for (std::size_t i = 0; i < tot.size(); i += 97)
+    EXPECT_GE(tot.array()[i] + 0.05f, hgh.array()[i]);
+
+  // LWCF = FLUTC - FLUT (paper §III-A), up to observation noise.
+  const auto& lwcf = get("LWCF");
+  const auto& flutc = get("FLUTC");
+  const auto& flut = get("FLUT");
+  double worst = 0;
+  for (std::size_t i = 0; i < lwcf.size(); i += 31)
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(flutc.array()[i]) -
+                              flut.array()[i] - lwcf.array()[i]));
+  EXPECT_LT(worst, 3.0);
+}
+
+TEST(CesmLike, CloudRadiationCorrelation) {
+  const auto fields = make_cesm_like({kTinyCesm, 7});
+  const Field* cldhgh = nullptr;
+  const Field* lwcf = nullptr;
+  for (const auto& f : fields) {
+    if (f.name() == "CLDHGH") cldhgh = &f;
+    if (f.name() == "LWCF") lwcf = &f;
+  }
+  ASSERT_TRUE(cldhgh && lwcf);
+  // High cloud traps longwave -> strong positive correlation with LWCF.
+  EXPECT_GT(pearson(cldhgh->array().span(), lwcf->array().span()), 0.5);
+}
+
+TEST(HurricaneLike, FieldInventoryAndVortexStructure) {
+  const auto fields = make_hurricane_like({kTinyHurricane, 8});
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0].name(), "Uf");
+  EXPECT_EQ(fields[1].name(), "Vf");
+  EXPECT_EQ(fields[2].name(), "Wf");
+  EXPECT_EQ(fields[3].name(), "Pf");
+
+  // Pressure has a clear deficit (eye) relative to the domain edge at z=0.
+  const auto& pf = fields[3];
+  const std::size_t H = kTinyHurricane[1], W = kTinyHurricane[2];
+  float centre_min = 1e30f;
+  for (std::size_t y = H / 3; y < 2 * H / 3; ++y)
+    for (std::size_t x = W / 3; x < 2 * W / 3; ++x)
+      centre_min = std::min(centre_min, pf.array()(0, y, x));
+  const float corner = pf.array()(0, 0, 0);
+  EXPECT_LT(centre_min, corner - 500.0f);
+
+  // Wind magnitude is hurricane-scale somewhere.
+  auto [u_lo, u_hi] = fields[0].min_max();
+  EXPECT_GT(std::max(std::abs(u_lo), std::abs(u_hi)), 20.0f);
+}
+
+TEST(Dataset, RegistryMetadata) {
+  for (auto kind : {DatasetKind::kScale, DatasetKind::kCesm,
+                    DatasetKind::kHurricane}) {
+    const Shape p = paper_dims(kind);
+    const Shape d = default_dims(kind);
+    EXPECT_EQ(p.ndim(), d.ndim());
+    EXPECT_GE(p.size(), d.size());
+    EXPECT_FALSE(dataset_name(kind).empty());
+  }
+  // Table I dims.
+  EXPECT_EQ(paper_dims(DatasetKind::kScale), Shape({98, 1200, 1200}));
+  EXPECT_EQ(paper_dims(DatasetKind::kCesm), Shape({1800, 3600}));
+  EXPECT_EQ(paper_dims(DatasetKind::kHurricane), Shape({100, 500, 500}));
+}
+
+TEST(Dataset, MakeDatasetAndFind) {
+  const auto ds = make_dataset(DatasetKind::kCesm, kTinyCesm, 11);
+  EXPECT_EQ(ds.name, "CESM-ATM");
+  EXPECT_NE(ds.find("CLDTOT"), nullptr);
+  EXPECT_EQ(ds.find("NOPE"), nullptr);
+}
+
+TEST(Dataset, Table3TargetsMatchPaper) {
+  const auto scale = table3_targets(DatasetKind::kScale, true);
+  ASSERT_EQ(scale.size(), 2u);
+  EXPECT_EQ(scale[0].target, "RH");
+  EXPECT_EQ(scale[0].anchors,
+            (std::vector<std::string>{"T", "QV", "PRES"}));
+  EXPECT_EQ(scale[1].target, "W");
+
+  const auto cesm = table3_targets(DatasetKind::kCesm, true);
+  ASSERT_EQ(cesm.size(), 3u);
+  EXPECT_EQ(cesm[2].target, "FLUT");
+  EXPECT_EQ(cesm[2].anchors.size(), 4u);
+
+  const auto hur = table3_targets(DatasetKind::kHurricane, true);
+  ASSERT_EQ(hur.size(), 1u);
+  EXPECT_EQ(hur[0].anchors, (std::vector<std::string>{"Uf", "Vf", "Pf"}));
+
+  // Every anchor must exist in the generated dataset.
+  for (auto kind : {DatasetKind::kScale, DatasetKind::kCesm,
+                    DatasetKind::kHurricane}) {
+    const Shape dims = kind == DatasetKind::kCesm ? kTinyCesm : kTinyScale;
+    const auto ds = make_dataset(kind, dims, 1);
+    for (const auto& spec : table3_targets(kind, false)) {
+      EXPECT_NE(ds.find(spec.target), nullptr) << spec.target;
+      for (const auto& a : spec.anchors) EXPECT_NE(ds.find(a), nullptr) << a;
+    }
+  }
+}
+
+TEST(SdrIo, Float64Narrowing) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "xfc_sdr_f64.bin").string();
+  std::vector<double> doubles{1.5, -2.25, 3e30, 0.0, 1e-40};
+  std::vector<std::uint8_t> bytes(doubles.size() * sizeof(double));
+  std::memcpy(bytes.data(), doubles.data(), bytes.size());
+  write_file(path, bytes);
+
+  const Field f = load_f64_as_f32(path, Shape{5}, "dbl");
+  EXPECT_EQ(f.array()[0], 1.5f);
+  EXPECT_EQ(f.array()[1], -2.25f);
+  EXPECT_FLOAT_EQ(f.array()[2], 3e30f);
+  EXPECT_THROW(load_f64_as_f32(path, Shape{6}, "bad"), IoError);
+  std::filesystem::remove(path);
+}
+
+TEST(SdrIo, RoundtripAndValidation) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "xfc_sdr_test.f32").string();
+  const auto ds = make_dataset(DatasetKind::kCesm, Shape{16, 24}, 12);
+  store_f32(path, ds.fields[0]);
+  const Field loaded = load_f32(path, Shape{16, 24}, ds.fields[0].name());
+  EXPECT_EQ(loaded.array().vec(), ds.fields[0].array().vec());
+  EXPECT_THROW(load_f32(path, Shape{16, 25}, "bad"), IoError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xfc

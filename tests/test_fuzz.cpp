@@ -1,0 +1,195 @@
+// Failure-injection / fuzz tests: randomly corrupted or truncated streams
+// must raise XfcError (never crash, hang, or silently return wrong data),
+// and randomized inputs must round-trip across every codec.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "encode/backend.hpp"
+#include "encode/miniflate.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/classic.hpp"
+#include "sz/compressor.hpp"
+#include "sz/interpolation.hpp"
+#include "test_util.hpp"
+#include "zfp/zfp_codec.hpp"
+
+namespace xfc {
+namespace {
+
+Field fuzz_field(std::uint64_t seed) {
+  Rng rng(seed);
+  F32Array a(Shape{48, 56});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(std::sin(i / 9.0) * 25.0 + rng.normal(0, 0.2));
+  }
+  return Field("fuzz", std::move(a));
+}
+
+/// Applies `n_mutations` random byte corruptions.
+std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> bytes,
+                                 Rng& rng, int n_mutations) {
+  for (int m = 0; m < n_mutations; ++m) {
+    const std::size_t pos = rng.uniform_index(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+  }
+  return bytes;
+}
+
+/// Runs `decode` on many corrupted variants of `stream`. Every attempt must
+/// either throw XfcError or (if the flip missed anything load-bearing,
+/// which the CRC makes effectively impossible) reproduce valid output.
+template <typename Decode>
+void corruption_trials(const std::vector<std::uint8_t>& stream,
+                       Decode&& decode, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto corrupted = mutate(stream, rng, 1 + trial % 4);
+    try {
+      decode(corrupted);
+    } catch (const XfcError&) {
+      continue;  // expected
+    }
+  }
+  // Truncations at random points.
+  for (int trial = 0; trial < 30; ++trial) {
+    auto truncated = stream;
+    truncated.resize(rng.uniform_index(stream.size()));
+    try {
+      decode(truncated);
+      FAIL() << "truncated stream decoded without error";
+    } catch (const XfcError&) {
+    }
+  }
+}
+
+TEST(Fuzz, SzStreamCorruption) {
+  const Field f = fuzz_field(1);
+  const auto stream = sz_compress(f, SzOptions{});
+  corruption_trials(stream, [](const auto& s) { sz_decompress(s); }, 101);
+}
+
+TEST(Fuzz, ClassicStreamCorruption) {
+  const Field f = fuzz_field(2);
+  const auto stream = classic_compress(f, ClassicOptions{});
+  corruption_trials(stream, [](const auto& s) { classic_decompress(s); },
+                    102);
+}
+
+TEST(Fuzz, InterpStreamCorruption) {
+  const Field f = fuzz_field(3);
+  const auto stream = interp_compress(f, InterpOptions{});
+  corruption_trials(stream, [](const auto& s) { interp_decompress(s); },
+                    103);
+}
+
+TEST(Fuzz, ZfpStreamCorruption) {
+  const Field f = fuzz_field(4);
+  const auto stream = zfp_compress(f, ZfpOptions{.tolerance = 1e-3});
+  corruption_trials(stream, [](const auto& s) { zfp_decompress(s); }, 104);
+}
+
+TEST(Fuzz, MiniflateGarbageInput) {
+  // Arbitrary bytes fed straight into the decompressor must never crash.
+  Rng rng(105);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(1 + rng.uniform_index(512));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      miniflate_decompress(garbage);
+    } catch (const XfcError&) {
+    }
+  }
+}
+
+TEST(Fuzz, LosslessBackendGarbageInput) {
+  Rng rng(106);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(1 + rng.uniform_index(256));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      lossless_decompress(garbage);
+    } catch (const XfcError&) {
+    }
+  }
+}
+
+class RandomRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomRoundtrip, AllCodecsHoldBoundOnRandomizedFields) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  // Random geometry and random smooth+noise mixture.
+  const std::size_t h = 17 + rng.uniform_index(60);
+  const std::size_t w = 17 + rng.uniform_index(60);
+  F32Array a(Shape{h, w});
+  const double freq = rng.uniform(0.05, 0.6);
+  const double amp = rng.uniform(0.1, 1e4);
+  const double noise = rng.uniform(0.0, amp * 0.02);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(amp * std::sin(freq * static_cast<double>(i)) +
+                              rng.normal(0.0, noise));
+  const Field field("rand", std::move(a));
+  const double rel_eb = std::pow(10.0, -rng.uniform(2.0, 4.5));
+  const double abs_eb = rel_eb * field.value_range();
+
+  {
+    SzOptions opt;
+    opt.eb = ErrorBound::relative(rel_eb);
+    const Field out = sz_decompress(sz_compress(field, opt));
+    EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, field))
+        << "sz seed " << seed;
+  }
+  {
+    ClassicOptions opt;
+    opt.eb = ErrorBound::relative(rel_eb);
+    const Field out = classic_decompress(classic_compress(field, opt));
+    EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, field))
+        << "classic seed " << seed;
+  }
+  {
+    InterpOptions opt;
+    opt.eb = ErrorBound::relative(rel_eb);
+    const Field out = interp_decompress(interp_compress(field, opt));
+    EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, field))
+        << "interp seed " << seed;
+  }
+  {
+    ZfpOptions opt;
+    opt.tolerance = abs_eb;
+    const Field out = zfp_decompress(zfp_compress(field, opt));
+    EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+              abs_eb)
+        << "zfp seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundtrip,
+                         ::testing::Range<std::uint64_t>(1000, 1016));
+
+TEST(Fuzz, MiniflateRandomRoundtrips) {
+  Rng rng(107);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = rng.uniform_index(50000);
+    std::vector<std::uint8_t> data(n);
+    const int mode = trial % 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mode == 0) data[i] = static_cast<std::uint8_t>(rng.next_u64());
+      else if (mode == 1) data[i] = static_cast<std::uint8_t>(i / 100);
+      else if (mode == 2) data[i] = static_cast<std::uint8_t>(
+          rng.uniform_index(3));
+      else data[i] = static_cast<std::uint8_t>((i * i) >> 3);
+    }
+    EXPECT_EQ(miniflate_decompress(miniflate_compress(data)), data)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace xfc

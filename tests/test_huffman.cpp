@@ -1,0 +1,281 @@
+// Unit tests for canonical length-limited Huffman coding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "encode/huffman.hpp"
+
+namespace xfc {
+namespace {
+
+double expected_bits(std::span<const std::uint64_t> freqs,
+                     const std::vector<std::uint8_t>& lengths) {
+  double bits = 0;
+  for (std::size_t s = 0; s < freqs.size(); ++s)
+    bits += static_cast<double>(freqs[s]) * lengths[s];
+  return bits;
+}
+
+double entropy_bits(std::span<const std::uint64_t> freqs) {
+  const double total = std::accumulate(freqs.begin(), freqs.end(), 0.0);
+  double h = 0;
+  for (auto f : freqs) {
+    if (f == 0) continue;
+    const double p = f / total;
+    h -= p * std::log2(p);
+  }
+  return h * total;
+}
+
+bool kraft_ok(const std::vector<std::uint8_t>& lengths) {
+  double sum = 0;
+  for (auto l : lengths)
+    if (l > 0) sum += std::ldexp(1.0, -static_cast<int>(l));
+  return sum <= 1.0 + 1e-12;
+}
+
+TEST(HuffmanLengths, EmptyAndSingleSymbol) {
+  std::vector<std::uint64_t> none(8, 0);
+  auto l0 = huffman_code_lengths(none);
+  for (auto l : l0) EXPECT_EQ(l, 0);
+
+  std::vector<std::uint64_t> one(8, 0);
+  one[3] = 42;
+  auto l1 = huffman_code_lengths(one);
+  EXPECT_EQ(l1[3], 1);
+  for (std::size_t i = 0; i < 8; ++i)
+    if (i != 3) EXPECT_EQ(l1[i], 0);
+}
+
+TEST(HuffmanLengths, TwoSymbolsGetOneBitEach) {
+  std::vector<std::uint64_t> f{10, 0, 90};
+  auto l = huffman_code_lengths(f);
+  EXPECT_EQ(l[0], 1);
+  EXPECT_EQ(l[2], 1);
+}
+
+TEST(HuffmanLengths, UniformPowerOfTwoIsFlat) {
+  std::vector<std::uint64_t> f(16, 5);
+  auto l = huffman_code_lengths(f);
+  for (auto len : l) EXPECT_EQ(len, 4);
+}
+
+TEST(HuffmanLengths, SkewGetsShortCodeAndKraftHolds) {
+  std::vector<std::uint64_t> f{1000, 10, 10, 10, 1};
+  auto l = huffman_code_lengths(f);
+  EXPECT_EQ(l[0], 1);  // dominant symbol
+  EXPECT_TRUE(kraft_ok(l));
+  // Optimality sanity: within one bit/symbol of entropy.
+  const double total = 1031;
+  EXPECT_LE(expected_bits(f, l), entropy_bits(f) + total);
+}
+
+TEST(HuffmanLengths, LengthLimitRespectedOnFibonacciFreqs) {
+  // Fibonacci frequencies force maximal depth in unconstrained Huffman.
+  std::vector<std::uint64_t> f;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    f.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  for (unsigned limit : {8u, 10u, 12u, 16u}) {
+    auto l = huffman_code_lengths(f, limit);
+    for (auto len : l) {
+      EXPECT_GE(len, 1);
+      EXPECT_LE(len, limit);
+    }
+    EXPECT_TRUE(kraft_ok(l));
+  }
+}
+
+TEST(HuffmanLengths, LimitTooSmallThrows) {
+  std::vector<std::uint64_t> f(16, 1);
+  EXPECT_THROW(huffman_code_lengths(f, 3), InvalidArgument);  // 2^3 < 16
+  EXPECT_NO_THROW(huffman_code_lengths(f, 4));
+}
+
+TEST(HuffmanLengths, PackageMergeIsOptimalOnSmallCases) {
+  // Compare constrained cost against brute expectation: with limit equal to
+  // the unconstrained depth, costs must match the unconstrained optimum.
+  std::vector<std::uint64_t> f{5, 9, 12, 13, 16, 45};
+  auto unconstrained = huffman_code_lengths(f, 32);
+  unsigned depth = 0;
+  for (auto l : unconstrained) depth = std::max<unsigned>(depth, l);
+  auto limited = huffman_code_lengths(f, depth);
+  EXPECT_EQ(expected_bits(f, unconstrained), expected_bits(f, limited));
+}
+
+struct CodecCase {
+  std::size_t alphabet;
+  double skew;  // zipf-ish exponent
+};
+
+class HuffmanCodecTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(HuffmanCodecTest, EncodeDecodeRoundtrip) {
+  const auto [alphabet, skew] = GetParam();
+  Rng rng(alphabet * 31 + static_cast<std::uint64_t>(skew * 10));
+
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    // Zipf-flavoured draw.
+    const double u = rng.uniform();
+    const auto s = static_cast<std::uint32_t>(
+        static_cast<double>(alphabet) * std::pow(u, skew));
+    const std::uint32_t sym = std::min<std::uint32_t>(
+        s, static_cast<std::uint32_t>(alphabet - 1));
+    symbols.push_back(sym);
+    ++freqs[sym];
+  }
+
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  BitWriter bw;
+  for (auto s : symbols) code.encode(bw, s);
+  const auto bytes = bw.take();
+
+  BitReader br(bytes);
+  for (auto s : symbols) EXPECT_EQ(code.decode(br), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphabetsAndSkews, HuffmanCodecTest,
+    ::testing::Values(CodecCase{2, 1.0}, CodecCase{3, 2.0}, CodecCase{16, 1.0},
+                      CodecCase{64, 3.0}, CodecCase{256, 1.5},
+                      CodecCase{1024, 4.0}, CodecCase{65537, 6.0}));
+
+TEST(HuffmanCodec, SerializeRoundtripPreservesCodes) {
+  std::vector<std::uint64_t> freqs{7, 1, 0, 3, 3, 0, 0, 19};
+  const auto code = HuffmanCode::from_frequencies(freqs);
+
+  ByteWriter w;
+  code.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto restored = HuffmanCode::deserialize(r);
+
+  EXPECT_EQ(restored.lengths(), code.lengths());
+
+  // Cross encode/decode between the two instances.
+  BitWriter bw;
+  code.encode(bw, 7);
+  code.encode(bw, 0);
+  code.encode(bw, 3);
+  const auto payload = bw.take();
+  BitReader br(payload);
+  EXPECT_EQ(restored.decode(br), 7u);
+  EXPECT_EQ(restored.decode(br), 0u);
+  EXPECT_EQ(restored.decode(br), 3u);
+}
+
+TEST(HuffmanCodec, EncodingUnknownSymbolThrows) {
+  std::vector<std::uint64_t> freqs{5, 0, 5};
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  BitWriter bw;
+  EXPECT_THROW(code.encode(bw, 1), InvalidArgument);  // zero-frequency
+  EXPECT_THROW(code.encode(bw, 9), InvalidArgument);  // out of alphabet
+}
+
+TEST(HuffmanCodec, KraftViolationRejectedAtBuild) {
+  // Three codes of length 1 are impossible.
+  EXPECT_THROW(HuffmanCode({1, 1, 1}), CorruptStream);
+}
+
+TEST(HuffmanCodec, DecodeGarbageThrowsOrTerminates) {
+  std::vector<std::uint64_t> freqs{1, 1, 1};  // lengths {1,2,2}
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  // All-ones stream decodes some symbols then hits end-of-stream.
+  std::vector<std::uint8_t> ones(2, 0xFF);
+  BitReader br(ones);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) code.decode(br);
+      },
+      CorruptStream);
+}
+
+TEST(HuffmanCodec, DeserializeRejectsBadRuns) {
+  ByteWriter w;
+  w.varint(4);  // alphabet 4
+  w.u8(2);
+  w.varint(10);  // run longer than alphabet
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(HuffmanCode::deserialize(r), CorruptStream);
+}
+
+TEST(HuffmanCodec, LongCodesBeyondRootTableRoundtrip) {
+  // Fibonacci frequencies force code lengths far beyond the 11-bit root
+  // decode table, exercising the slow decode path.
+  std::vector<std::uint64_t> f;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 36; ++i) {
+    f.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto code = HuffmanCode::from_frequencies(f);
+  unsigned max_len = 0;
+  for (auto l : code.lengths()) max_len = std::max<unsigned>(max_len, l);
+  ASSERT_GT(max_len, 11u) << "test premise: codes longer than the root table";
+
+  // Every symbol, including the rarest (longest codes), must round-trip.
+  BitWriter bw;
+  for (std::uint32_t s = 0; s < f.size(); ++s) code.encode(bw, s);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (std::uint32_t s = 0; s < f.size(); ++s) EXPECT_EQ(code.decode(br), s);
+}
+
+TEST(HuffmanCodec, LengthOfMatchesTableAndCost) {
+  std::vector<std::uint64_t> f{100, 50, 25, 25};
+  const auto code = HuffmanCode::from_frequencies(f);
+  for (std::uint32_t s = 0; s < 4; ++s)
+    EXPECT_EQ(code.length_of(s), code.lengths()[s]);
+  // Most frequent symbol cannot have a longer code than any other.
+  for (std::uint32_t s = 1; s < 4; ++s)
+    EXPECT_LE(code.length_of(0), code.length_of(s));
+}
+
+TEST(HuffmanCodec, DecodeAtExactStreamEnd) {
+  // A stream ending exactly on a code boundary must decode fully and then
+  // refuse further reads.
+  std::vector<std::uint64_t> f{1, 1, 1, 1};  // 2 bits each
+  const auto code = HuffmanCode::from_frequencies(f);
+  BitWriter bw;
+  for (std::uint32_t s : {0u, 1u, 2u, 3u}) code.encode(bw, s);
+  const auto bytes = bw.take();  // exactly one byte
+  ASSERT_EQ(bytes.size(), 1u);
+  BitReader br(bytes);
+  for (std::uint32_t s : {0u, 1u, 2u, 3u}) EXPECT_EQ(code.decode(br), s);
+  EXPECT_THROW(code.decode(br), CorruptStream);
+}
+
+TEST(HuffmanCodec, LargeAlphabetSparseUse) {
+  // Mirrors the quantization-code regime: huge alphabet, few used symbols.
+  std::vector<std::uint64_t> freqs(65537, 0);
+  freqs[32768] = 100000;  // zero delta dominates
+  freqs[32769] = 5000;
+  freqs[32767] = 5000;
+  freqs[40000] = 3;
+  freqs[65536] = 10;  // escape
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  EXPECT_LE(code.length_of(32768), 2u);
+
+  BitWriter bw;
+  for (std::uint32_t s : {32768u, 40000u, 65536u, 32767u}) code.encode(bw, s);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (std::uint32_t s : {32768u, 40000u, 65536u, 32767u})
+    EXPECT_EQ(code.decode(br), s);
+}
+
+}  // namespace
+}  // namespace xfc

@@ -1,0 +1,214 @@
+// Tests for the hybrid prediction model (linear combiner).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "hybrid/hybrid.hpp"
+
+namespace xfc {
+namespace {
+
+TEST(Hybrid, RecoversKnownLinearCombination) {
+  Rng rng(1);
+  const std::size_t n = 5000;
+  std::vector<std::int32_t> c0(n), c1(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c0[i] = static_cast<std::int32_t>(rng.uniform_index(2000)) - 1000;
+    c1[i] = static_cast<std::int32_t>(rng.uniform_index(2000)) - 1000;
+    y[i] = static_cast<std::int32_t>(
+        std::lround(0.7 * c0[i] + 0.3 * c1[i] + 5.0));
+  }
+  const auto model = HybridModel::fit({c0, c1}, y, /*lambda=*/0.0);
+  EXPECT_NEAR(model.weights()[0], 0.7, 0.01);
+  EXPECT_NEAR(model.weights()[1], 0.3, 0.01);
+  EXPECT_NEAR(model.bias(), 5.0, 0.5);
+}
+
+TEST(Hybrid, CombineRoundsToNearest) {
+  HybridModel m(2);  // weights {0.5, 0.5}, bias 0
+  const std::array<std::int64_t, 2> p{3, 4};
+  EXPECT_EQ(m.combine(p), 4);  // 3.5 -> banker's/nearest even is fine: 4 or 3
+  const std::array<std::int64_t, 2> q{4, 4};
+  EXPECT_EQ(m.combine(q), 4);
+}
+
+TEST(Hybrid, CombineChecksArity) {
+  HybridModel m(3);
+  const std::array<std::int64_t, 2> p{1, 2};
+  EXPECT_THROW(m.combine(p), InvalidArgument);
+}
+
+TEST(Hybrid, RidgeShrinksWeights) {
+  Rng rng(2);
+  const std::size_t n = 2000;
+  std::vector<std::int32_t> c0(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c0[i] = static_cast<std::int32_t>(rng.uniform_index(100)) - 50;
+    y[i] = c0[i];
+  }
+  const auto loose = HybridModel::fit({c0}, y, 0.0);
+  const auto tight = HybridModel::fit({c0}, y, 100.0);
+  EXPECT_GT(loose.weights()[0], tight.weights()[0]);
+}
+
+TEST(Hybrid, FitSubsamplesLargeInputs) {
+  Rng rng(3);
+  const std::size_t n = 1 << 18;
+  std::vector<std::int32_t> c0(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c0[i] = static_cast<std::int32_t>(rng.uniform_index(1000));
+    y[i] = c0[i] * 2;
+  }
+  const auto model = HybridModel::fit({c0}, y, 0.0, /*max_samples=*/1024);
+  EXPECT_NEAR(model.weights()[0], 2.0, 0.05);
+}
+
+TEST(Hybrid, SgdLossDecreasesMonotonically) {
+  Rng rng(4);
+  const std::size_t n = 3000;
+  std::vector<std::int32_t> c0(n), c1(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c0[i] = static_cast<std::int32_t>(rng.uniform_index(200)) - 100;
+    c1[i] = static_cast<std::int32_t>(rng.uniform_index(200)) - 100;
+    y[i] = static_cast<std::int32_t>(std::lround(0.9 * c0[i] - 0.2 * c1[i]));
+  }
+  std::vector<double> losses;
+  const auto model = HybridModel::fit_sgd({c0, c1}, y, 50, 0.5, &losses);
+  ASSERT_EQ(losses.size(), 50u);
+  EXPECT_LT(losses.back(), losses.front());
+  // Most steps should not increase the loss (full-batch GD).
+  int increases = 0;
+  for (std::size_t i = 1; i < losses.size(); ++i)
+    if (losses[i] > losses[i - 1] * 1.001) ++increases;
+  EXPECT_LE(increases, 5);
+}
+
+TEST(Hybrid, SerializeRoundtrip) {
+  Rng rng(5);
+  std::vector<std::int32_t> c0(100), c1(100), c2(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    c0[i] = static_cast<std::int32_t>(i);
+    c1[i] = static_cast<std::int32_t>(2 * i);
+    c2[i] = static_cast<std::int32_t>(rng.uniform_index(50));
+    y[i] = c0[i] + c1[i];
+  }
+  const auto model = HybridModel::fit({c0, c1, c2}, y);
+
+  ByteWriter w;
+  model.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto restored = HybridModel::deserialize(r);
+
+  EXPECT_EQ(restored.weights(), model.weights());
+  EXPECT_EQ(restored.bias(), model.bias());
+  const std::array<std::int64_t, 3> p{10, 20, 30};
+  EXPECT_EQ(restored.combine(p), model.combine(p));
+}
+
+TEST(Hybrid, ParamCountMatchesPaperTable3) {
+  // 2D: 3 predictors + bias = 4; 3D: 4 predictors + bias = 5.
+  EXPECT_EQ(HybridModel(3).param_count(), 4u);
+  EXPECT_EQ(HybridModel(4).param_count(), 5u);
+}
+
+TEST(Hybrid, UniformFallbackAverages) {
+  HybridModel m(4);
+  const std::array<std::int64_t, 4> p{4, 8, 12, 16};
+  EXPECT_EQ(m.combine(p), 10);
+}
+
+TEST(Hybrid, DegenerateConstantCandidate) {
+  // A constant candidate column must not destabilise the solve.
+  std::vector<std::int32_t> c0(500, 7), y(500);
+  for (std::size_t i = 0; i < 500; ++i)
+    y[i] = static_cast<std::int32_t>(i % 13);
+  const auto model = HybridModel::fit({c0}, y);
+  // Prediction should approximate the mean of y.
+  const std::array<std::int64_t, 1> p{7};
+  EXPECT_NEAR(static_cast<double>(model.combine(p)), 6.0, 1.5);
+}
+
+TEST(Hybrid, L1FitRecoversLinearCombination) {
+  Rng rng(6);
+  const std::size_t n = 4000;
+  std::vector<std::int32_t> c0(n), c1(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c0[i] = static_cast<std::int32_t>(rng.uniform_index(1000)) - 500;
+    c1[i] = static_cast<std::int32_t>(rng.uniform_index(1000)) - 500;
+    y[i] = static_cast<std::int32_t>(std::lround(0.4 * c0[i] + 0.6 * c1[i]));
+  }
+  const auto model = HybridModel::fit_l1({c0, c1}, y, 1e-6);
+  EXPECT_NEAR(model.weights()[0], 0.4, 0.03);
+  EXPECT_NEAR(model.weights()[1], 0.6, 0.03);
+}
+
+TEST(Hybrid, L1FitRobustToOutlierTail) {
+  // One predictor is right for 99% of points; the other matches only the
+  // 1% huge-magnitude tail. LS chases the tail; L1 should stick with the
+  // majority predictor.
+  Rng rng(7);
+  const std::size_t n = 20000;
+  std::vector<std::int32_t> good(n), tail(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto base =
+        static_cast<std::int32_t>(rng.uniform_index(100)) - 50;
+    y[i] = base;
+    good[i] = base + static_cast<std::int32_t>(rng.uniform_index(3)) - 1;
+    tail[i] = 0;
+    if (i % 100 == 0) {
+      y[i] = static_cast<std::int32_t>(rng.uniform_index(100000));
+      tail[i] = y[i];
+      good[i] = 0;
+    }
+  }
+  const auto ls = HybridModel::fit({good, tail}, y, 1e-6);
+  const auto l1 = HybridModel::fit_l1({good, tail}, y, 1e-6);
+  EXPECT_GT(l1.weights()[0], 0.85);             // majority predictor
+  EXPECT_GT(ls.weights()[1], l1.weights()[1]);  // LS chases the tail more
+}
+
+TEST(Hybrid, SingleIsOneHot) {
+  const auto m = HybridModel::single(3, 1);
+  EXPECT_EQ(m.weights(), (std::vector<double>{0.0, 1.0, 0.0}));
+  const std::array<std::int64_t, 3> p{5, 9, 2};
+  EXPECT_EQ(m.combine(p), 9);
+  EXPECT_THROW(HybridModel::single(3, 3), InvalidArgument);
+}
+
+TEST(Hybrid, EstimatedBitsOrdersPredictorsCorrectly) {
+  Rng rng(8);
+  const std::size_t n = 5000;
+  std::vector<std::int32_t> good(n), bad(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<std::int32_t>(rng.uniform_index(2000)) - 1000;
+    good[i] = y[i] + static_cast<std::int32_t>(rng.uniform_index(5)) - 2;
+    bad[i] = y[i] + static_cast<std::int32_t>(rng.uniform_index(512)) - 256;
+  }
+  const auto pick_good = HybridModel::single(2, 0);
+  const auto pick_bad = HybridModel::single(2, 1);
+  EXPECT_LT(pick_good.estimated_bits({good, bad}, y),
+            pick_bad.estimated_bits({good, bad}, y));
+}
+
+TEST(Hybrid, EstimatedBitsZeroForPerfectPrediction) {
+  std::vector<std::int32_t> c(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) c[i] = y[i] = static_cast<int>(i);
+  const auto m = HybridModel::single(1, 0);
+  // perfect prediction: every delta is 0 -> 1 bit/sample by the proxy
+  EXPECT_EQ(m.estimated_bits({c}, y), 100.0);
+}
+
+TEST(Hybrid, DeserializeRejectsBadCounts) {
+  ByteWriter w;
+  w.varint(0);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(HybridModel::deserialize(r), CorruptStream);
+}
+
+}  // namespace
+}  // namespace xfc

@@ -1,0 +1,185 @@
+// Cross-module integration tests: full pipelines on each synthetic dataset,
+// codec dispatch, baseline-vs-cross-field behaviour at small scale.
+
+#include <gtest/gtest.h>
+
+#include "crossfield/crossfield.hpp"
+#include "crossfield/multifield.hpp"
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/compressor.hpp"
+#include "sz/interpolation.hpp"
+#include "zfp/zfp_codec.hpp"
+#include "test_util.hpp"
+
+namespace xfc {
+namespace {
+
+CfnnTrainOptions quick_train() {
+  CfnnTrainOptions t;
+  t.epochs = 8;
+  t.patches_per_epoch = 32;
+  t.patch = 24;
+  t.batch = 8;
+  return t;
+}
+
+struct KindCase {
+  DatasetKind kind;
+  Shape dims;
+};
+
+class DatasetPipeline : public ::testing::TestWithParam<int> {};
+
+KindCase case_for(int i) {
+  switch (i) {
+    case 0: return {DatasetKind::kScale, Shape{6, 64, 64}};
+    case 1: return {DatasetKind::kCesm, Shape{96, 128}};
+    default: return {DatasetKind::kHurricane, Shape{8, 64, 64}};
+  }
+}
+
+TEST_P(DatasetPipeline, BaselineRoundtripsEveryField) {
+  const auto [kind, dims] = case_for(GetParam());
+  const auto ds = make_dataset(kind, dims, 21);
+  SzOptions opt;
+  opt.eb = ErrorBound::relative(1e-3);
+  for (const Field& f : ds.fields) {
+    const auto stream = sz_compress(f, opt);
+    const Field out = sz_decompress(stream);
+    const double abs_eb = opt.eb.absolute_for(f.value_range());
+    EXPECT_LE(max_abs_error(f.array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, f))
+        << ds.name << "/" << f.name();
+    EXPECT_GT(psnr(f, out), 40.0) << ds.name << "/" << f.name();
+  }
+}
+
+TEST_P(DatasetPipeline, CrossFieldRoundtripsEveryTable3Target) {
+  const auto [kind, dims] = case_for(GetParam());
+  const auto ds = make_dataset(kind, dims, 22);
+  for (const auto& spec : table3_targets(kind, false)) {
+    const Field* target = ds.find(spec.target);
+    ASSERT_NE(target, nullptr);
+    std::vector<const Field*> anchors;
+    for (const auto& a : spec.anchors) anchors.push_back(ds.find(a));
+
+    CfnnConfig small{8, 4, 3};
+    const CfnnModel model =
+        train_cross_field_model(*target, anchors, small, quick_train());
+
+    CrossFieldOptions opt;
+    opt.eb = ErrorBound::relative(1e-3);
+    SzStats stats;
+    const auto stream =
+        cross_field_compress(*target, anchors, model, opt, &stats);
+    const Field out = cross_field_decompress(stream, anchors);
+
+    const double abs_eb = opt.eb.absolute_for(target->value_range());
+    EXPECT_LE(max_abs_error(target->array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, *target))
+        << ds.name << "/" << spec.target;
+    EXPECT_GT(stats.compression_ratio, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetPipeline,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Integration, AllCodecsProduceDistinctDispatchableStreams) {
+  const auto ds = make_dataset(DatasetKind::kCesm, Shape{64, 64}, 23);
+  const Field& f = ds.fields[0];
+
+  const auto sz = sz_compress(f, SzOptions{});
+  const auto zfp = zfp_compress(f, ZfpOptions{.tolerance = 1e-3});
+  const auto interp = interp_compress(f, InterpOptions{});
+
+  // Each decoder accepts its own stream and rejects the others.
+  EXPECT_NO_THROW(sz_decompress(sz));
+  EXPECT_THROW(sz_decompress(zfp), CorruptStream);
+  EXPECT_THROW(zfp_decompress(interp), CorruptStream);
+  EXPECT_THROW(interp_decompress(sz), CorruptStream);
+  EXPECT_NO_THROW(zfp_decompress(zfp));
+  EXPECT_NO_THROW(interp_decompress(interp));
+}
+
+TEST(Integration, TrainedCrossFieldBeatsUntrainedOnCorrelatedData) {
+  // On strongly cross-correlated fields, a trained CFNN should produce
+  // fewer delta bits than a random one. Compare compressed sizes.
+  const auto ds = make_dataset(DatasetKind::kCesm, Shape{128, 160}, 24);
+  const auto spec = table3_targets(DatasetKind::kCesm, false)[1];  // LWCF
+  const Field* target = ds.find(spec.target);
+  std::vector<const Field*> anchors;
+  for (const auto& a : spec.anchors) anchors.push_back(ds.find(a));
+
+  CfnnConfig small{16, 4, 3};
+  const CfnnModel trained =
+      train_cross_field_model(*target, anchors, small, quick_train());
+  const CfnnModel untrained(anchors.size() * 2, 2, small, 12345);
+
+  CrossFieldOptions opt;
+  opt.eb = ErrorBound::relative(1e-3);
+  SzStats st, su;
+  cross_field_compress(*target, anchors, trained, opt, &st);
+  cross_field_compress(*target, anchors, untrained, opt, &su);
+  EXPECT_LT(st.compressed_bytes, su.compressed_bytes);
+}
+
+TEST(Integration, HybridWeightsFavourInformativePredictors) {
+  // LWCF is nearly FLUTC - FLUT: cross-field directions should carry
+  // substantial weight after training.
+  const auto ds = make_dataset(DatasetKind::kCesm, Shape{128, 160}, 25);
+  const auto spec = table3_targets(DatasetKind::kCesm, false)[1];
+  const Field* target = ds.find(spec.target);
+  std::vector<const Field*> anchors;
+  for (const auto& a : spec.anchors) anchors.push_back(ds.find(a));
+
+  const CfnnModel model = train_cross_field_model(
+      *target, anchors, CfnnConfig{16, 4, 3}, quick_train());
+  const auto analysis =
+      cross_field_analyze(*target, anchors, model, CrossFieldOptions{});
+
+  // All 3 candidate weights exist and are finite; Lorenzo weight is not
+  // everything (some cross-field contribution).
+  const auto& w = analysis.hybrid.weights();
+  ASSERT_EQ(w.size(), 3u);
+  double cross = std::abs(w[0]) + std::abs(w[1]);
+  EXPECT_GT(cross, 0.02);
+}
+
+TEST(Integration, MultiFieldOnRealisticDatasetRoundtrips) {
+  const auto ds = make_dataset(DatasetKind::kHurricane, Shape{6, 48, 48}, 26);
+  MultiFieldCompressor mfc;
+  for (const Field& f : ds.fields) mfc.add_field(f);
+  const auto spec = table3_targets(DatasetKind::kHurricane, false)[0];
+  AnchorConfig cfg;
+  cfg.anchors = spec.anchors;
+  cfg.cfnn = CfnnConfig{8, 4, 3};
+  cfg.train = quick_train();
+  mfc.configure_target(spec.target, cfg);
+
+  const auto eb = ErrorBound::relative(2e-3);
+  const auto compressed = mfc.compress_all(eb);
+  ASSERT_EQ(compressed.size(), ds.fields.size());
+  const auto fields = MultiFieldCompressor::decompress_all(compressed);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const Field* orig = mfc.find(compressed[i].name);
+    const double abs_eb = eb.absolute_for(orig->value_range());
+    EXPECT_LE(max_abs_error(orig->array().span(), fields[i].array().span()),
+              test::bound_tolerance(abs_eb, *orig));
+  }
+}
+
+TEST(Integration, StatsConsistentAcrossCodecs) {
+  const auto ds = make_dataset(DatasetKind::kCesm, Shape{96, 96}, 27);
+  const Field& f = ds.fields[4];  // FLNT
+  SzStats a, b;
+  const auto s1 = sz_compress(f, SzOptions{}, &a);
+  const auto s2 = interp_compress(f, InterpOptions{}, &b);
+  EXPECT_EQ(a.original_bytes, b.original_bytes);
+  EXPECT_EQ(a.compressed_bytes, s1.size());
+  EXPECT_EQ(b.compressed_bytes, s2.size());
+}
+
+}  // namespace
+}  // namespace xfc

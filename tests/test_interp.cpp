@@ -1,0 +1,104 @@
+// Tests for the interpolation-based pipeline (SZ3-style level traversal).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/interpolation.hpp"
+#include "test_util.hpp"
+
+namespace xfc {
+namespace {
+
+Field wave_field(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  F32Array a(shape);
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(i % w) / 17.0;
+    const double y = static_cast<double>((i / w) % 97) / 29.0;
+    a[i] = static_cast<float>(std::sin(x) * std::cos(y) * 80.0 +
+                              rng.normal(0.0, 0.05));
+  }
+  return Field("wave", std::move(a));
+}
+
+using InterpCase = std::tuple<int /*rank*/, double /*eb*/, InterpMethod>;
+
+class InterpBoundSweep : public ::testing::TestWithParam<InterpCase> {};
+
+TEST_P(InterpBoundSweep, ErrorBoundHolds) {
+  const auto& [rank, rel_eb, method] = GetParam();
+  const Shape shape = rank == 1   ? Shape{2039}   // prime: stresses edges
+                      : rank == 2 ? Shape{61, 67}
+                                  : Shape{9, 21, 33};
+  const Field field = wave_field(shape, 7 + rank);
+
+  InterpOptions opt;
+  opt.eb = ErrorBound::relative(rel_eb);
+  opt.method = method;
+  SzStats stats;
+  const auto stream = interp_compress(field, opt, &stats);
+  const Field out = interp_decompress(stream);
+
+  const double abs_eb = opt.eb.absolute_for(field.value_range());
+  EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, field));
+  EXPECT_EQ(out.shape(), field.shape());
+  EXPECT_GT(stats.compression_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksBoundsMethods, InterpBoundSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1e-2, 1e-3, 1e-4),
+                       ::testing::Values(InterpMethod::kLinear,
+                                         InterpMethod::kCubic)));
+
+TEST(Interp, TinyShapesCovered) {
+  for (auto shape : {Shape{1}, Shape{2}, Shape{3}, Shape{1, 1}, Shape{2, 3},
+                     Shape{1, 5}, Shape{2, 2, 2}, Shape{1, 1, 7}}) {
+    Field f("tiny", F32Array(shape));
+    for (std::size_t i = 0; i < f.size(); ++i)
+      f.array()[i] = static_cast<float>(i * 1.5);
+    InterpOptions opt;
+    opt.eb = ErrorBound::absolute(0.01);
+    const auto stream = interp_compress(f, opt);
+    const Field out = interp_decompress(stream);
+    EXPECT_LE(max_abs_error(f.array().span(), out.array().span()),
+              0.01 * (1.0 + 1e-9))
+        << "shape ndim " << shape.ndim();
+  }
+}
+
+TEST(Interp, CubicBeatsLinearOnSmoothData) {
+  // Pure smooth signal: cubic interpolation predicts better, so it should
+  // compress at least as well.
+  F32Array a(Shape{128, 128});
+  for (std::size_t i = 0; i < 128; ++i)
+    for (std::size_t j = 0; j < 128; ++j)
+      a(i, j) = static_cast<float>(std::sin(i / 9.0) * std::cos(j / 11.0));
+  const Field f("smooth", std::move(a));
+
+  InterpOptions lin, cub;
+  lin.method = InterpMethod::kLinear;
+  cub.method = InterpMethod::kCubic;
+  lin.eb = cub.eb = ErrorBound::relative(1e-4);
+  SzStats sl, sc;
+  interp_compress(f, lin, &sl);
+  interp_compress(f, cub, &sc);
+  EXPECT_GE(sc.compression_ratio, sl.compression_ratio * 0.95);
+}
+
+TEST(Interp, CorruptStreamThrows) {
+  const Field f = wave_field(Shape{40, 40}, 3);
+  auto stream = interp_compress(f, InterpOptions{});
+  stream[stream.size() / 2] ^= 0x10;
+  EXPECT_THROW(interp_decompress(stream), CorruptStream);
+}
+
+}  // namespace
+}  // namespace xfc

@@ -1,0 +1,249 @@
+// Unit tests for src/io: bit streams, byte buffers, CRC32, file IO.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "io/bitstream.hpp"
+#include "io/bytebuffer.hpp"
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+
+namespace xfc {
+namespace {
+
+TEST(BitStream, SingleBits) {
+  BitWriter bw;
+  const unsigned pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  for (unsigned b : pattern) bw.put_bit(b);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (unsigned b : pattern) EXPECT_EQ(br.get_bit(), b);
+}
+
+TEST(BitStream, MsbFirstByteLayout) {
+  BitWriter bw;
+  bw.put_bits(0b1011, 4);
+  bw.put_bits(0b0010, 4);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110010);
+}
+
+TEST(BitStream, PartialByteZeroPadded) {
+  BitWriter bw;
+  bw.put_bits(0b101, 3);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+class BitWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitWidthTest, RoundtripRandomValues) {
+  const unsigned width = GetParam();
+  Rng rng(width * 7919 + 1);
+  std::vector<std::uint64_t> values(200);
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  for (auto& v : values) v = rng.next_u64() & mask;
+
+  BitWriter bw;
+  for (auto v : values) bw.put_bits(v, width);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (auto v : values) {
+    if (width <= 57) {
+      EXPECT_EQ(br.get_bits(width), v);
+    } else {
+      // Wide values read in two chunks.
+      const std::uint64_t hi = br.get_bits(32);
+      const std::uint64_t lo = br.get_bits(width - 32);
+      EXPECT_EQ((hi << (width - 32)) | lo, v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u, 9u, 13u,
+                                           16u, 23u, 31u, 32u, 33u, 48u, 57u,
+                                           64u));
+
+TEST(BitStream, MixedWidthsRoundtrip) {
+  Rng rng(99);
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned w = 1 + static_cast<unsigned>(rng.uniform_index(57));
+    const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+    items.emplace_back(rng.next_u64() & mask, w);
+  }
+  BitWriter bw;
+  for (auto [v, w] : items) bw.put_bits(v, w);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (auto [v, w] : items) EXPECT_EQ(br.get_bits(w), v);
+}
+
+TEST(BitStream, PeekDoesNotConsume) {
+  BitWriter bw;
+  bw.put_bits(0xABCD, 16);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.peek_bits(8), 0xABu);
+  EXPECT_EQ(br.peek_bits(16), 0xABCDu);
+  EXPECT_EQ(br.get_bits(16), 0xABCDu);
+}
+
+TEST(BitStream, PeekPastEndReadsZero) {
+  BitWriter bw;
+  bw.put_bits(0xFF, 8);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  br.skip_bits(8);
+  EXPECT_EQ(br.peek_bits(8), 0u);  // past end: zero-fill
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter bw;
+  bw.put_bits(0x3, 2);
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  br.get_bits(8);  // padded byte exists
+  EXPECT_THROW(br.get_bits(1), CorruptStream);
+  EXPECT_THROW(br.skip_bits(1), CorruptStream);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.put_bits(0, 13);
+  EXPECT_EQ(bw.bit_count(), 13u);
+}
+
+TEST(BitStream, WriterReusableAfterTake) {
+  BitWriter bw;
+  bw.put_bits(0xAA, 8);
+  EXPECT_EQ(bw.take().size(), 1u);
+  bw.put_bits(0x55, 8);
+  const auto again = bw.take();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], 0x55);
+}
+
+TEST(ByteBuffer, FixedWidthRoundtrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-12345);
+  w.i64(-99999999999ll);
+  w.f32(3.25f);
+  w.f64(-2.5e300);
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.i64(), -99999999999ll);
+  EXPECT_EQ(r.f32(), 3.25f);
+  EXPECT_EQ(r.f64(), -2.5e300);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, VarintBoundaries) {
+  ByteWriter w;
+  const std::uint64_t cases[] = {0,    1,    127,        128,
+                                 300,  16383, 16384,     UINT32_MAX,
+                                 UINT64_MAX, 0x7F, 0x80};
+  for (auto v : cases) w.varint(v);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  for (auto v : cases) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(ByteBuffer, BlobAndString) {
+  ByteWriter w;
+  std::vector<std::uint8_t> payload{1, 2, 3, 250};
+  w.blob(payload);
+  w.str("hello xfc");
+  w.blob({});  // empty blob
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_EQ(r.str(), "hello xfc");
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(ByteBuffer, UnderrunThrows) {
+  ByteWriter w;
+  w.u16(7);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.u32(), CorruptStream);
+}
+
+TEST(ByteBuffer, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(bad);
+  EXPECT_THROW(r.varint(), CorruptStream);
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(Crc32::of({p, s.size()}), 0xCBF43926u);
+
+  EXPECT_EQ(Crc32::of({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng rng(3);
+  std::vector<std::uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  Crc32 inc;
+  inc.update({data.data(), 100});
+  inc.update({data.data() + 100, 900});
+  EXPECT_EQ(inc.value(), Crc32::of(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0x5A);
+  const auto before = Crc32::of(data);
+  data[33] ^= 0x04;
+  EXPECT_NE(Crc32::of(data), before);
+}
+
+TEST(FileIo, RoundtripAndErrors) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xfc_io_test.bin").string();
+  std::vector<std::uint8_t> payload{0, 1, 2, 255, 128};
+  write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_file(path), IoError);
+}
+
+TEST(FileIo, Float32Roundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xfc_io_test.f32").string();
+  std::vector<float> values{1.5f, -2.25f, 0.0f, 3e20f};
+  write_f32_file(path, values);
+  EXPECT_EQ(read_f32_file(path), values);
+
+  // Non-multiple-of-4 file is rejected.
+  write_file(path, {1, 2, 3});
+  EXPECT_THROW(read_f32_file(path), IoError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xfc

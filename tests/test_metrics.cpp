@@ -1,0 +1,205 @@
+// Tests for the metrics module: PSNR/SSIM identities, correlation,
+// entropy, image dumps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/rng.hpp"
+#include "io/file.hpp"
+#include "metrics/image.hpp"
+#include "metrics/metrics.hpp"
+
+namespace xfc {
+namespace {
+
+Field noisy_field(const Shape& shape, double sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  F32Array a(shape);
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(std::sin(static_cast<double>(i % w) / 5.0) *
+                                  10.0 +
+                              rng.normal(0.0, sigma));
+  return Field("nf", std::move(a));
+}
+
+TEST(Mse, KnownValue) {
+  std::vector<float> a{1, 2, 3}, b{2, 2, 5};
+  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 0.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 2.0);
+}
+
+TEST(Mse, SizeMismatchThrows) {
+  std::vector<float> a{1}, b{1, 2};
+  EXPECT_THROW(mse(a, b), InvalidArgument);
+}
+
+TEST(Psnr, IdenticalFieldsCapAt999) {
+  const Field f = noisy_field(Shape{32, 32}, 1.0, 1);
+  EXPECT_EQ(psnr(f, f), 999.0);
+}
+
+TEST(Psnr, KnownUniformError) {
+  // Error of constant c on range R: PSNR = 20 log10(R / c).
+  F32Array a(Shape{100});
+  for (std::size_t i = 0; i < 100; ++i)
+    a[i] = static_cast<float>(i);  // range 99
+  Field ref("r", a);
+  F32Array b = a;
+  for (auto& v : b.vec()) v += 0.5f;
+  Field rec("x", std::move(b));
+  EXPECT_NEAR(psnr(ref, rec), 20.0 * std::log10(99.0 / 0.5), 1e-6);
+}
+
+TEST(Psnr, DecreasesWithMoreNoise) {
+  const Field ref = noisy_field(Shape{64, 64}, 0.0, 2);
+  Field small = ref, large = ref;
+  Rng rng(3);
+  for (auto& v : small.array().vec())
+    v += static_cast<float>(rng.normal(0, 0.01));
+  for (auto& v : large.array().vec())
+    v += static_cast<float>(rng.normal(0, 0.5));
+  EXPECT_GT(psnr(ref, small), psnr(ref, large));
+}
+
+TEST(Nrmse, ScaleInvariantMeaning) {
+  const Field ref = noisy_field(Shape{64, 64}, 0.0, 4);
+  Field rec = ref;
+  for (auto& v : rec.array().vec()) v += 0.1f;
+  const double n = nrmse(ref, rec);
+  EXPECT_NEAR(n, 0.1 / ref.value_range(), 1e-6);
+}
+
+TEST(Ssim, IdentityIsOne) {
+  const Field f = noisy_field(Shape{32, 48}, 1.0, 5);
+  EXPECT_NEAR(ssim(f, f), 1.0, 1e-9);
+}
+
+TEST(Ssim, DegradesWithDistortion) {
+  const Field ref = noisy_field(Shape{64, 64}, 0.5, 6);
+  Field mild = ref, severe = ref;
+  Rng rng(7);
+  for (auto& v : mild.array().vec())
+    v += static_cast<float>(rng.normal(0, 0.05));
+  for (auto& v : severe.array().vec())
+    v += static_cast<float>(rng.normal(0, 3.0));
+  EXPECT_GT(ssim(ref, mild), ssim(ref, severe));
+  EXPECT_LT(ssim(ref, severe), 0.99);
+}
+
+TEST(Ssim, WorksOn3D) {
+  const Field ref = noisy_field(Shape{4, 32, 32}, 0.5, 8);
+  EXPECT_NEAR(ssim(ref, ref), 1.0, 1e-9);
+}
+
+TEST(Pearson, PerfectAndInverseCorrelation) {
+  std::vector<float> a{1, 2, 3, 4, 5};
+  std::vector<float> b{2, 4, 6, 8, 10};
+  std::vector<float> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  Rng rng(9);
+  std::vector<float> a(10000), b(10000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  EXPECT_LT(std::abs(pearson(a, b)), 0.05);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  std::vector<float> a{3, 3, 3}, b{1, 2, 3};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(CorrelationMatrix, SymmetricWithUnitDiagonal) {
+  const Field f1 = noisy_field(Shape{32, 32}, 0.5, 10);
+  const Field f2 = noisy_field(Shape{32, 32}, 0.5, 11);
+  const Field f3 = noisy_field(Shape{32, 32}, 0.5, 12);
+  const auto m = correlation_matrix({&f1, &f2, &f3});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(m[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m[i][j], m[j][i]);
+  }
+}
+
+TEST(SampleEntropy, BoundsAndOrdering) {
+  Rng rng(13);
+  std::vector<float> uniform(20000), constant(20000, 5.0f);
+  for (auto& v : uniform) v = static_cast<float>(rng.uniform());
+  const double hu = sample_entropy(uniform, 256);
+  EXPECT_GT(hu, 7.0);   // near log2(256)
+  EXPECT_LE(hu, 8.0);
+  EXPECT_EQ(sample_entropy(constant, 256), 0.0);
+}
+
+TEST(BitrateHelpers, Arithmetic) {
+  EXPECT_DOUBLE_EQ(bit_rate(1000, 1000), 8.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(4000, 1000), 4.0);
+}
+
+TEST(Image, PgmWriteAndSliceExtraction) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "xfc_img_test.pgm").string();
+
+  Field f("vol", F32Array(Shape{3, 8, 10}));
+  for (std::size_t z = 0; z < 3; ++z)
+    for (std::size_t y = 0; y < 8; ++y)
+      for (std::size_t x = 0; x < 10; ++x)
+        f.array()(z, y, x) = static_cast<float>(z * 100 + y * 10 + x);
+
+  const auto slice = extract_slice(f, 0, 1);
+  EXPECT_EQ(slice.shape(), Shape({8, 10}));
+  EXPECT_EQ(slice(2, 3), 123.0f);
+
+  const auto slice1 = extract_slice(f, 1, 4);
+  EXPECT_EQ(slice1.shape(), Shape({3, 10}));
+  EXPECT_EQ(slice1(2, 7), 247.0f);
+
+  dump_field_slice(path, f, 0, 0);
+  const auto bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 15u);
+  EXPECT_EQ(bytes[0], 'P');
+  EXPECT_EQ(bytes[1], '5');
+  std::filesystem::remove(path);
+}
+
+TEST(Image, PpmColormapOutput) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "xfc_img_test.ppm").string();
+  F32Array plane(Shape{2, 3}, {0.0f, 2.0f, 4.0f, 6.0f, 8.0f, 10.0f});
+  write_ppm(path, plane, 0.0f, 10.0f);
+  const auto bytes = read_file(path);
+  // Header "P6\n3 2\n255\n" = 11 bytes + 6 RGB triplets.
+  ASSERT_EQ(bytes.size(), 11u + 18u);
+  EXPECT_EQ(bytes[0], 'P');
+  EXPECT_EQ(bytes[1], '6');
+  // Viridis endpoints: low end dark purple (B > R > G), high end yellow
+  // (R ~ G >> B).
+  EXPECT_GT(bytes[11 + 2], bytes[11 + 1]);           // first pixel: B > G
+  EXPECT_GT(bytes[11 + 15], 200);                    // last pixel: R high
+  EXPECT_LT(bytes[11 + 17], 100);                    // last pixel: B low
+  std::filesystem::remove(path);
+}
+
+TEST(Image, PgmValueMapping) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "xfc_img_map.pgm").string();
+  F32Array plane(Shape{1, 3}, {0.0f, 5.0f, 10.0f});
+  write_pgm(path, plane, 0.0f, 10.0f);
+  const auto bytes = read_file(path);
+  // Header "P5\n3 1\n255\n" = 11 bytes, then 0, 127/128, 255.
+  ASSERT_EQ(bytes.size(), 11u + 3u);
+  EXPECT_EQ(bytes[11], 0);
+  EXPECT_NEAR(bytes[12], 127.5, 1.0);
+  EXPECT_EQ(bytes[13], 255);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xfc

@@ -1,0 +1,179 @@
+// Unit tests for the miniflate byte compressor, RLE and backend selection.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "encode/backend.hpp"
+#include "encode/miniflate.hpp"
+#include "encode/rle.hpp"
+#include "io/bytebuffer.hpp"
+
+namespace xfc {
+namespace {
+
+std::vector<std::uint8_t> make_input(const std::string& kind, std::size_t n,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> data(n);
+  if (kind == "zeros") {
+    // all zero
+  } else if (kind == "random") {
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  } else if (kind == "text") {
+    const std::string words[] = {"lossy ", "compression ", "scientific ",
+                                 "data ", "cross-field ", "prediction "};
+    std::string s;
+    while (s.size() < n) s += words[rng.uniform_index(6)];
+    std::memcpy(data.data(), s.data(), n);
+  } else if (kind == "periodic") {
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = static_cast<std::uint8_t>((i % 37) * 7);
+  } else if (kind == "lowentropy") {
+    for (auto& b : data)
+      b = static_cast<std::uint8_t>(rng.uniform_index(4) * 3);
+  }
+  return data;
+}
+
+struct FlateCase {
+  const char* kind;
+  std::size_t size;
+};
+
+class MiniflateRoundtrip : public ::testing::TestWithParam<FlateCase> {};
+
+TEST_P(MiniflateRoundtrip, Exact) {
+  const auto [kind, size] = GetParam();
+  const auto input = make_input(kind, size, size * 131 + 7);
+  const auto compressed = miniflate_compress(input);
+  const auto output = miniflate_decompress(compressed);
+  EXPECT_EQ(output, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, MiniflateRoundtrip,
+    ::testing::Values(FlateCase{"zeros", 0}, FlateCase{"zeros", 1},
+                      FlateCase{"zeros", 3}, FlateCase{"zeros", 100000},
+                      FlateCase{"random", 5}, FlateCase{"random", 4096},
+                      FlateCase{"random", 200000}, FlateCase{"text", 10000},
+                      FlateCase{"text", 120000}, FlateCase{"periodic", 64},
+                      FlateCase{"periodic", 65536},
+                      FlateCase{"periodic", 300000},
+                      FlateCase{"lowentropy", 50000}));
+
+TEST(Miniflate, CompressesRepetitiveData) {
+  const auto input = make_input("periodic", 100000, 1);
+  const auto compressed = miniflate_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 10);
+}
+
+TEST(Miniflate, CompressesTextSubstantially) {
+  const auto input = make_input("text", 100000, 2);
+  const auto compressed = miniflate_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST(Miniflate, StoresIncompressibleDataWithTinyOverhead) {
+  const auto input = make_input("random", 10000, 3);
+  const auto compressed = miniflate_compress(input);
+  EXPECT_LE(compressed.size(), input.size() + 16);
+}
+
+TEST(Miniflate, AllLevelsRoundtrip) {
+  const auto input = make_input("text", 50000, 4);
+  for (auto level : {MiniflateLevel::kFast, MiniflateLevel::kDefault,
+                     MiniflateLevel::kBest}) {
+    const auto compressed = miniflate_compress(input, level);
+    EXPECT_EQ(miniflate_decompress(compressed), input);
+  }
+}
+
+TEST(Miniflate, BestLevelNotWorseThanFastOnStructuredData) {
+  const auto input = make_input("text", 120000, 5);
+  const auto fast = miniflate_compress(input, MiniflateLevel::kFast);
+  const auto best = miniflate_compress(input, MiniflateLevel::kBest);
+  EXPECT_LE(best.size(), fast.size() + 64);
+}
+
+TEST(Miniflate, LongMatchAtWindowBoundary) {
+  // A block recurring just inside the 64 KiB window.
+  std::vector<std::uint8_t> input;
+  const auto block = make_input("random", 300, 6);
+  input.insert(input.end(), block.begin(), block.end());
+  input.resize(65536 + 100, 0x77);
+  input.insert(input.end(), block.begin(), block.end());
+  const auto compressed = miniflate_compress(input);
+  EXPECT_EQ(miniflate_decompress(compressed), input);
+}
+
+TEST(Miniflate, TruncatedStreamThrows) {
+  const auto input = make_input("text", 10000, 7);
+  auto compressed = miniflate_compress(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(miniflate_decompress(compressed), CorruptStream);
+}
+
+TEST(Miniflate, CorruptMethodByteThrows) {
+  const auto input = make_input("text", 100, 8);
+  auto compressed = miniflate_compress(input);
+  // varint(100) is one byte; method byte follows.
+  compressed[1] = 99;
+  EXPECT_THROW(miniflate_decompress(compressed), CorruptStream);
+}
+
+TEST(Miniflate, EmptyInputThrowsOnDecodeOfEmptyBuffer) {
+  EXPECT_THROW(miniflate_decompress({}), CorruptStream);
+}
+
+TEST(Rle, RoundtripRunsAndSingles) {
+  for (const char* kind : {"zeros", "random", "periodic", "lowentropy"}) {
+    const auto input = make_input(kind, 5000, 11);
+    EXPECT_EQ(rle_decompress(rle_compress(input)), input);
+  }
+  EXPECT_TRUE(rle_decompress(rle_compress({})).empty());
+}
+
+TEST(Rle, CompressesConstantRuns) {
+  const auto input = make_input("zeros", 100000, 12);
+  EXPECT_LT(rle_compress(input).size(), 32u);
+}
+
+TEST(Rle, BadRunThrows) {
+  ByteWriter w;
+  w.varint(10);  // declared size 10
+  w.u8(5);
+  w.varint(20);  // run exceeds declared size
+  auto bytes = w.take();
+  EXPECT_THROW(rle_decompress(bytes), CorruptStream);
+}
+
+TEST(Backend, AutoPicksSmallest) {
+  // Constant data: RLE wins by a mile; auto must be at least as good.
+  const auto constant = make_input("zeros", 50000, 13);
+  const auto rle = lossless_compress(constant, LosslessBackend::kRle);
+  const auto autod = lossless_compress(constant, LosslessBackend::kAuto);
+  EXPECT_LE(autod.size(), rle.size());
+  EXPECT_EQ(lossless_decompress(autod), constant);
+}
+
+TEST(Backend, EveryBackendRoundtrips) {
+  const auto input = make_input("text", 20000, 14);
+  for (auto b : {LosslessBackend::kStore, LosslessBackend::kRle,
+                 LosslessBackend::kMiniflate, LosslessBackend::kAuto}) {
+    const auto c = lossless_compress(input, b);
+    EXPECT_EQ(lossless_decompress(c), input);
+  }
+}
+
+TEST(Backend, UnknownTagThrows) {
+  std::vector<std::uint8_t> bogus{42, 1, 2, 3};
+  EXPECT_THROW(lossless_decompress(bogus), CorruptStream);
+  EXPECT_THROW(lossless_decompress({}), CorruptStream);
+}
+
+}  // namespace
+}  // namespace xfc

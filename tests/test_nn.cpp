@@ -1,0 +1,432 @@
+// Tests for the CNN framework: layer semantics, finite-difference gradient
+// checks, optimizer convergence, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace xfc::nn {
+namespace {
+
+Tensor random_tensor(std::size_t n, std::size_t c, std::size_t h,
+                     std::size_t w, Rng& rng, double scale = 1.0) {
+  Tensor t(n, c, h, w);
+  for (auto& v : t.vec()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+/// Scalar loss used by the gradient checks: sum of elementwise products
+/// with a fixed random "probe" tensor (gives dense, nontrivial gradients).
+double probe_loss(const Tensor& y, const Tensor& probe) {
+  double s = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    s += static_cast<double>(y.vec()[i]) * probe.vec()[i];
+  return s;
+}
+
+/// Checks dL/d(input) and dL/d(params) against central finite differences.
+void check_gradients(Layer& layer, Tensor x, double tol = 2e-2,
+                     double fd_eps = 1e-3) {
+  Rng rng(12345);
+  Tensor y = layer.forward(x);
+  Tensor probe = random_tensor(y.n(), y.c(), y.h(), y.w(), rng);
+
+  layer.zero_grad();
+  layer.forward(x);  // refresh caches
+  Tensor gx = layer.backward(probe);
+
+  // Input gradient check on a sample of coordinates.
+  for (std::size_t trial = 0; trial < 24; ++trial) {
+    const std::size_t i = rng.uniform_index(x.size());
+    const float orig = x.vec()[i];
+    x.vec()[i] = orig + static_cast<float>(fd_eps);
+    const double lp = probe_loss(layer.forward(x), probe);
+    x.vec()[i] = orig - static_cast<float>(fd_eps);
+    const double lm = probe_loss(layer.forward(x), probe);
+    x.vec()[i] = orig;
+    const double fd = (lp - lm) / (2 * fd_eps);
+    EXPECT_NEAR(gx.vec()[i], fd, tol * std::max(1.0, std::abs(fd)))
+        << "input grad at " << i;
+  }
+
+  // Parameter gradient check.
+  layer.zero_grad();
+  layer.forward(x);
+  layer.backward(probe);
+  auto params = layer.params();
+  for (auto& p : params) {
+    for (std::size_t trial = 0; trial < 12 && trial < p.value->size();
+         ++trial) {
+      const std::size_t i = rng.uniform_index(p.value->size());
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + static_cast<float>(fd_eps);
+      const double lp = probe_loss(layer.forward(x), probe);
+      (*p.value)[i] = orig - static_cast<float>(fd_eps);
+      const double lm = probe_loss(layer.forward(x), probe);
+      (*p.value)[i] = orig;
+      const double fd = (lp - lm) / (2 * fd_eps);
+      EXPECT_NEAR((*p.grad)[i], fd, tol * std::max(1.0, std::abs(fd)))
+          << "param grad at " << i;
+    }
+  }
+}
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t(2, 3, 4, 5);
+  EXPECT_EQ(t.size(), 120u);
+  t(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t.vec()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+  EXPECT_EQ(t.plane(1, 2)[3 * 5 + 4], 9.0f);
+}
+
+TEST(ReLULayer, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x(1, 1, 1, 4);
+  x.vec() = {-1.0f, 0.0f, 2.0f, -0.5f};
+  const Tensor y = relu.forward(x);
+  EXPECT_EQ(y.vec(), (std::vector<float>{0.0f, 0.0f, 2.0f, 0.0f}));
+}
+
+TEST(ReLULayer, BackwardMasks) {
+  ReLU relu;
+  Tensor x(1, 1, 1, 4);
+  x.vec() = {-1.0f, 0.5f, 2.0f, -3.0f};
+  relu.forward(x);
+  Tensor g(1, 1, 1, 4);
+  g.vec() = {1.0f, 1.0f, 1.0f, 1.0f};
+  const Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx.vec(), (std::vector<float>{0.0f, 1.0f, 1.0f, 0.0f}));
+}
+
+TEST(LinearLayer, KnownComputation) {
+  Rng rng(1);
+  Linear lin(2, 1, true, rng);
+  auto params = lin.params();
+  (*params[0].value) = {3.0f, -2.0f};  // weight
+  (*params[1].value) = {0.5f};         // bias
+  Tensor x(1, 2, 1, 1);
+  x.vec() = {4.0f, 1.0f};
+  const Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.vec()[0], 3.0f * 4.0f - 2.0f * 1.0f + 0.5f);
+}
+
+TEST(LinearLayer, GradientCheck) {
+  Rng rng(2);
+  Linear lin(6, 4, true, rng);
+  check_gradients(lin, random_tensor(3, 6, 1, 1, rng));
+}
+
+TEST(Conv2DLayer, IdentityKernelPassesThrough) {
+  Rng rng(3);
+  Conv2D conv(1, 1, 3, 1, false, rng);
+  auto params = conv.params();
+  std::fill(params[0].value->begin(), params[0].value->end(), 0.0f);
+  (*params[0].value)[4] = 1.0f;  // centre tap
+  Tensor x = random_tensor(1, 1, 5, 7, rng);
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(y.vec()[i], x.vec()[i], 1e-6);
+}
+
+TEST(Conv2DLayer, KnownSmallConvolution) {
+  Rng rng(4);
+  Conv2D conv(1, 1, 3, 1, false, rng);
+  auto params = conv.params();
+  std::fill(params[0].value->begin(), params[0].value->end(), 1.0f);
+  Tensor x(1, 1, 3, 3);
+  for (std::size_t i = 0; i < 9; ++i) x.vec()[i] = 1.0f;
+  const Tensor y = conv.forward(x);
+  // Centre sees all 9 ones, corner sees 4 (zero padding).
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 1), 6.0f);
+}
+
+TEST(Conv2DLayer, PointwiseMixesChannelsOnly) {
+  Rng rng(5);
+  Conv2D conv(2, 1, 1, 1, false, rng);
+  auto params = conv.params();
+  (*params[0].value) = {2.0f, -1.0f};
+  Tensor x(1, 2, 2, 2);
+  for (std::size_t i = 0; i < 4; ++i) x.plane(0, 0)[i] = 3.0f;
+  for (std::size_t i = 0; i < 4; ++i) x.plane(0, 1)[i] = 5.0f;
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FLOAT_EQ(y.plane(0, 0)[i], 2.0f * 3.0f - 1.0f * 5.0f);
+}
+
+TEST(Conv2DLayer, DepthwiseKeepsChannelsIndependent) {
+  Rng rng(6);
+  Conv2D conv(2, 2, 3, 2, false, rng);  // depthwise
+  auto params = conv.params();
+  // Channel 0: identity; channel 1: zero.
+  std::fill(params[0].value->begin(), params[0].value->end(), 0.0f);
+  (*params[0].value)[4] = 1.0f;
+  Tensor x = random_tensor(1, 2, 4, 4, rng);
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(y.plane(0, 0)[i], x.plane(0, 0)[i], 1e-6);
+    EXPECT_EQ(y.plane(0, 1)[i], 0.0f);
+  }
+}
+
+TEST(Conv2DLayer, GradientCheckStandard) {
+  Rng rng(7);
+  Conv2D conv(3, 4, 3, 1, true, rng);
+  check_gradients(conv, random_tensor(2, 3, 5, 6, rng));
+}
+
+TEST(Conv2DLayer, GradientCheckDepthwise) {
+  Rng rng(8);
+  Conv2D conv(4, 4, 3, 4, true, rng);
+  check_gradients(conv, random_tensor(2, 4, 5, 5, rng));
+}
+
+TEST(Conv2DLayer, GradientCheckGrouped) {
+  Rng rng(9);
+  Conv2D conv(4, 6, 3, 2, true, rng);
+  check_gradients(conv, random_tensor(1, 4, 6, 4, rng));
+}
+
+TEST(Conv2DLayer, GradientCheckPointwise) {
+  Rng rng(10);
+  Conv2D conv(5, 3, 1, 1, true, rng);
+  check_gradients(conv, random_tensor(2, 5, 4, 4, rng));
+}
+
+TEST(Conv2DLayer, RejectsBadHyperparameters) {
+  Rng rng(11);
+  EXPECT_THROW(Conv2D(3, 4, 2, 1, true, rng), InvalidArgument);  // even k
+  EXPECT_THROW(Conv2D(3, 4, 3, 2, true, rng), InvalidArgument);  // 3 % 2
+}
+
+TEST(ChannelAttentionLayer, OutputIsScaledInput) {
+  Rng rng(12);
+  ChannelAttention att(4, 2, rng);
+  Tensor x = random_tensor(2, 4, 6, 6, rng);
+  const Tensor y = att.forward(x);
+  // Each output plane must be a scalar multiple of its input plane,
+  // with the scalar in (0, 1) (sigmoid output).
+  for (std::size_t b = 0; b < 2; ++b)
+    for (std::size_t c = 0; c < 4; ++c) {
+      const float* xi = x.plane(b, c);
+      const float* yi = y.plane(b, c);
+      // find a nonzero reference element
+      std::size_t r = 0;
+      while (r < 36 && std::abs(xi[r]) < 1e-3) ++r;
+      ASSERT_LT(r, 36u);
+      const float s = yi[r] / xi[r];
+      EXPECT_GT(s, 0.0f);
+      EXPECT_LT(s, 1.0f);
+      for (std::size_t i = 0; i < 36; ++i)
+        EXPECT_NEAR(yi[i], xi[i] * s, 1e-4);
+    }
+}
+
+TEST(ChannelAttentionLayer, GradientCheck) {
+  Rng rng(13);
+  ChannelAttention att(4, 2, rng);
+  check_gradients(att, random_tensor(2, 4, 5, 5, rng), 4e-2);
+}
+
+TEST(ChannelAttentionLayer, RejectsIndivisibleReduction) {
+  Rng rng(14);
+  EXPECT_THROW(ChannelAttention(5, 2, rng), InvalidArgument);
+}
+
+TEST(SequentialModel, GradientCheckThroughStack) {
+  Rng rng(15);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2D>(2, 4, 3, 1, true, rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<Conv2D>(4, 4, 3, 4, true, rng));  // depthwise
+  seq.add(std::make_unique<Conv2D>(4, 4, 1, 1, true, rng));  // pointwise
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<ChannelAttention>(4, 2, rng));
+  seq.add(std::make_unique<Conv2D>(4, 1, 3, 1, true, rng));
+  check_gradients(seq, random_tensor(1, 2, 6, 6, rng), 5e-2);
+}
+
+TEST(SequentialModel, ParamCountSumsLayers) {
+  Rng rng(16);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2D>(2, 3, 3, 1, true, rng));  // 2*3*9+3 = 57
+  seq.add(std::make_unique<Linear>(4, 2, true, rng));        // 8+2 = 10
+  EXPECT_EQ(seq.param_count(), 67u);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor a(1, 1, 1, 2), b(1, 1, 1, 2);
+  a.vec() = {1.0f, 3.0f};
+  b.vec() = {0.0f, 1.0f};
+  auto [loss, grad] = mse_loss(a, b);
+  EXPECT_DOUBLE_EQ(loss, (1.0 + 4.0) / 2.0);
+  EXPECT_FLOAT_EQ(grad.vec()[0], 2.0f * 1.0f / 2.0f);
+  EXPECT_FLOAT_EQ(grad.vec()[1], 2.0f * 2.0f / 2.0f);
+}
+
+TEST(AdamOptimizer, ConvergesOnQuadratic) {
+  // Minimise ||w - target||^2 using the Param plumbing directly.
+  std::vector<float> w{5.0f, -3.0f, 8.0f};
+  std::vector<float> g(3, 0.0f);
+  const std::vector<float> target{1.0f, 2.0f, -1.0f};
+  Adam adam({{&w, &g}}, {.lr = 0.05});
+  for (int it = 0; it < 2000; ++it) {
+    for (std::size_t i = 0; i < 3; ++i) g[i] = 2.0f * (w[i] - target[i]);
+    adam.step();
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], target[i], 1e-2);
+}
+
+TEST(AdamOptimizer, TrainsTinyCnnToFitMapping) {
+  Rng rng(17);
+  Sequential net;
+  net.add(std::make_unique<Conv2D>(1, 4, 3, 1, true, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Conv2D>(4, 1, 3, 1, true, rng));
+
+  // Learn a 2x blur-free scaling: y = 2x (learnable by convs).
+  Tensor x = random_tensor(4, 1, 8, 8, rng, 0.5);
+  Tensor y = x;
+  for (auto& v : y.vec()) v *= 2.0f;
+
+  Adam adam(net.params(), {.lr = 2e-2});
+  double first = 0, last = 0;
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    net.zero_grad();
+    auto [loss, grad] = mse_loss(net.forward(x), y);
+    net.backward(grad);
+    adam.step();
+    if (epoch == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.05);
+}
+
+TEST(AdamOptimizer, DecoupledWeightDecayShrinksWeights) {
+  std::vector<float> w{10.0f, -10.0f};
+  std::vector<float> g(2, 0.0f);  // zero gradient: only decay acts
+  Adam adam({{&w, &g}}, {.lr = 0.1, .weight_decay = 0.1});
+  for (int it = 0; it < 100; ++it) adam.step();
+  EXPECT_LT(std::abs(w[0]), 10.0f);
+  EXPECT_LT(std::abs(w[1]), 10.0f);
+  EXPECT_GT(w[0], 0.0f);  // decay shrinks, never flips sign this fast
+}
+
+TEST(AdamOptimizer, IterationCounter) {
+  std::vector<float> w{1.0f};
+  std::vector<float> g{0.0f};
+  Adam adam({{&w, &g}}, AdamOptions{});
+  EXPECT_EQ(adam.iterations(), 0u);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.iterations(), 2u);
+}
+
+TEST(LinearLayer, NoBiasVariant) {
+  Rng rng(20);
+  Linear lin(3, 2, /*bias=*/false, rng);
+  EXPECT_EQ(lin.params().size(), 1u);  // weights only
+  EXPECT_EQ(lin.param_count(), 6u);
+  check_gradients(lin, random_tensor(2, 3, 1, 1, rng));
+}
+
+TEST(Conv2DLayer, NoBiasGradientCheck) {
+  Rng rng(21);
+  Conv2D conv(2, 3, 3, 1, /*bias=*/false, rng);
+  EXPECT_EQ(conv.params().size(), 1u);
+  check_gradients(conv, random_tensor(1, 2, 5, 5, rng));
+}
+
+TEST(SequentialModel, ZeroGradClearsAllParams) {
+  Rng rng(22);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2D>(1, 2, 3, 1, true, rng));
+  seq.add(std::make_unique<ChannelAttention>(2, 2, rng));
+
+  Tensor x = random_tensor(1, 1, 6, 6, rng);
+  Tensor y = seq.forward(x);
+  Tensor probe = random_tensor(y.n(), y.c(), y.h(), y.w(), rng);
+  seq.backward(probe);
+
+  bool any_nonzero = false;
+  for (auto& p : seq.params())
+    for (float v : *p.grad)
+      if (v != 0.0f) any_nonzero = true;
+  ASSERT_TRUE(any_nonzero);
+
+  seq.zero_grad();
+  for (auto& p : seq.params())
+    for (float v : *p.grad) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ChannelAttentionLayer, SerializeRoundtripForwardEquality) {
+  Rng rng(23);
+  ChannelAttention att(4, 2, rng);
+  ByteWriter w;
+  att.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  auto restored = ChannelAttention::deserialize(r);
+
+  Tensor x = random_tensor(2, 4, 5, 5, rng);
+  const Tensor y1 = att.forward(x);
+  const Tensor y2 = restored->forward(x);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_EQ(y1.vec()[i], y2.vec()[i]);
+}
+
+TEST(MseLoss, RejectsMismatchedShapes) {
+  Tensor a(1, 1, 2, 2), b(1, 1, 2, 3);
+  EXPECT_THROW(mse_loss(a, b), InvalidArgument);
+}
+
+TEST(Serialization, SequentialRoundtripPreservesForward) {
+  Rng rng(18);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2D>(2, 4, 3, 1, true, rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<ChannelAttention>(4, 2, rng));
+  seq.add(std::make_unique<Conv2D>(4, 2, 1, 1, true, rng));
+
+  const auto bytes = seq.save_bytes();
+  auto restored = Sequential::load_bytes(bytes);
+  EXPECT_EQ(restored->param_count(), seq.param_count());
+
+  Tensor x = random_tensor(1, 2, 5, 5, rng);
+  const Tensor y1 = seq.forward(x);
+  const Tensor y2 = restored->forward(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_EQ(y1.vec()[i], y2.vec()[i]);  // bit-exact
+}
+
+TEST(Serialization, UnknownLayerKindThrows) {
+  ByteWriter w;
+  w.varint(1);
+  w.str("warp_drive");
+  const auto bytes = w.take();
+  EXPECT_THROW(Sequential::load_bytes(bytes), CorruptStream);
+}
+
+TEST(Serialization, TruncatedModelThrows) {
+  Rng rng(19);
+  Sequential seq;
+  seq.add(std::make_unique<Conv2D>(2, 4, 3, 1, true, rng));
+  auto bytes = seq.save_bytes();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(Sequential::load_bytes(bytes), CorruptStream);
+}
+
+}  // namespace
+}  // namespace xfc::nn

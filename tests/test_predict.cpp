@@ -1,0 +1,207 @@
+// Unit tests for the Lorenzo and regression predictors.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "io/bytebuffer.hpp"
+#include "predict/lorenzo.hpp"
+#include "predict/regression.hpp"
+
+namespace xfc {
+namespace {
+
+/// Fills a 2D array with a polynomial a + b*i + c*j + d*i*j + e*i^2 + f*j^2.
+I32Array poly2d(std::size_t h, std::size_t w, int a, int b, int c, int d,
+                int e, int f) {
+  I32Array out(Shape{h, w});
+  for (std::size_t i = 0; i < h; ++i)
+    for (std::size_t j = 0; j < w; ++j)
+      out(i, j) = static_cast<std::int32_t>(
+          a + b * static_cast<int>(i) + c * static_cast<int>(j) +
+          d * static_cast<int>(i * j) + e * static_cast<int>(i * i) +
+          f * static_cast<int>(j * j));
+  return out;
+}
+
+TEST(Lorenzo1, ExactOnConstant2D) {
+  const auto codes = poly2d(8, 9, 5, 0, 0, 0, 0, 0);
+  const auto pred = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+  // Interior points are predicted exactly; boundary misses the constant.
+  for (std::size_t i = 1; i < 8; ++i)
+    for (std::size_t j = 1; j < 9; ++j) EXPECT_EQ(pred(i, j), codes(i, j));
+}
+
+TEST(Lorenzo1, ExactOnLinear2D) {
+  // 1-layer Lorenzo annihilates polynomials of total degree <= 1; the
+  // bilinear i*j term needs the 2-layer stencil (checked below).
+  const auto codes = poly2d(10, 10, 3, 2, -4, 0, 0, 0);
+  const auto pred = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+  for (std::size_t i = 1; i < 10; ++i)
+    for (std::size_t j = 1; j < 10; ++j) EXPECT_EQ(pred(i, j), codes(i, j));
+}
+
+TEST(Lorenzo1, ExactOnBilinearCrossTerm) {
+  const auto codes = poly2d(10, 10, 3, 2, -4, 5, 0, 0);
+  const auto pred2 = lorenzo_predict_all(codes, LorenzoOrder::kTwo);
+  for (std::size_t i = 2; i < 10; ++i)
+    for (std::size_t j = 2; j < 10; ++j) EXPECT_EQ(pred2(i, j), codes(i, j));
+}
+
+TEST(Lorenzo2, ExactOnQuadratic2D) {
+  const auto codes = poly2d(12, 12, 1, 2, 3, -2, 4, -1);
+  const auto pred1 = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+  const auto pred2 = lorenzo_predict_all(codes, LorenzoOrder::kTwo);
+  bool l1_misses = false;
+  for (std::size_t i = 2; i < 12; ++i)
+    for (std::size_t j = 2; j < 12; ++j) {
+      EXPECT_EQ(pred2(i, j), codes(i, j));
+      if (pred1(i, j) != codes(i, j)) l1_misses = true;
+    }
+  EXPECT_TRUE(l1_misses);  // quadratics genuinely need layer 2
+}
+
+TEST(Lorenzo1, ExactOnLinear1D3D) {
+  // 1D: layer 1 reproduces constants (previous value), layer 2 linears.
+  I32Array con(Shape{32});
+  for (std::size_t i = 0; i < 32; ++i) con(i) = 9;
+  const auto pc = lorenzo_predict_all(con, LorenzoOrder::kOne);
+  for (std::size_t i = 1; i < 32; ++i) EXPECT_EQ(pc(i), con(i));
+
+  I32Array one(Shape{32});
+  for (std::size_t i = 0; i < 32; ++i)
+    one(i) = 7 + 3 * static_cast<int>(i);
+  const auto p1 = lorenzo_predict_all(one, LorenzoOrder::kTwo);
+  for (std::size_t i = 2; i < 32; ++i) EXPECT_EQ(p1(i), one(i));
+
+  I32Array tri(Shape{5, 6, 7});
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      for (std::size_t k = 0; k < 7; ++k)
+        tri(i, j, k) =
+            static_cast<std::int32_t>(11 + 2 * i + 3 * j - k);
+  const auto p3 = lorenzo_predict_all(tri, LorenzoOrder::kOne);
+  for (std::size_t i = 1; i < 5; ++i)
+    for (std::size_t j = 1; j < 6; ++j)
+      for (std::size_t k = 1; k < 7; ++k)
+        EXPECT_EQ(p3(i, j, k), tri(i, j, k));
+}
+
+TEST(Lorenzo, BoundaryUsesZeroConvention) {
+  I32Array codes(Shape{4, 4});
+  for (auto& v : codes.vec()) v = 10;
+  // At the origin no neighbours exist -> prediction 0.
+  EXPECT_EQ(lorenzo_at_2d(codes, 0, 0, LorenzoOrder::kOne), 0);
+  // First row: only the left neighbour exists.
+  EXPECT_EQ(lorenzo_at_2d(codes, 0, 1, LorenzoOrder::kOne), 10);
+  // First column: only the upper neighbour.
+  EXPECT_EQ(lorenzo_at_2d(codes, 1, 0, LorenzoOrder::kOne), 10);
+}
+
+TEST(Lorenzo, PredictAllMatchesPointwise) {
+  Rng rng(4);
+  I32Array codes(Shape{9, 11});
+  for (auto& v : codes.vec())
+    v = static_cast<std::int32_t>(rng.uniform_index(2000)) - 1000;
+  for (auto order : {LorenzoOrder::kOne, LorenzoOrder::kTwo}) {
+    const auto bulk = lorenzo_predict_all(codes, order);
+    for (std::size_t i = 0; i < 9; ++i)
+      for (std::size_t j = 0; j < 11; ++j)
+        EXPECT_EQ(bulk(i, j), lorenzo_at_2d(codes, i, j, order));
+  }
+}
+
+TEST(Lorenzo, PredictAllMatchesPointwise3D) {
+  Rng rng(5);
+  I32Array codes(Shape{4, 5, 6});
+  for (auto& v : codes.vec())
+    v = static_cast<std::int32_t>(rng.uniform_index(500)) - 250;
+  for (auto order : {LorenzoOrder::kOne, LorenzoOrder::kTwo}) {
+    const auto bulk = lorenzo_predict_all(codes, order);
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 5; ++j)
+        for (std::size_t k = 0; k < 6; ++k)
+          EXPECT_EQ(bulk(i, j, k), lorenzo_at_3d(codes, i, j, k, order));
+  }
+}
+
+TEST(Regression, RecoversExactPlanePerBlock) {
+  // A globally linear field is reproduced exactly by block regression
+  // (up to coefficient float32 rounding).
+  const auto codes = poly2d(24, 30, 100, 7, -3, 0, 0, 0);
+  const auto reg = RegressionPredictor::fit(codes, 6);
+  const auto pred = reg.predict_all(codes.shape());
+  for (std::size_t i = 0; i < 24; ++i)
+    for (std::size_t j = 0; j < 30; ++j)
+      EXPECT_NEAR(pred(i, j), codes(i, j), 1);
+}
+
+TEST(Regression, PartialEdgeBlocksHandled) {
+  const auto codes = poly2d(13, 17, 5, 2, 1, 0, 0, 0);  // not multiples of 6
+  const auto reg = RegressionPredictor::fit(codes, 6);
+  const auto pred = reg.predict_all(codes.shape());
+  for (std::size_t i = 0; i < 13; ++i)
+    for (std::size_t j = 0; j < 17; ++j)
+      EXPECT_NEAR(pred(i, j), codes(i, j), 1);
+}
+
+TEST(Regression, ThreeDPlane) {
+  I32Array codes(Shape{7, 8, 9});
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      for (std::size_t k = 0; k < 9; ++k)
+        codes(i, j, k) =
+            static_cast<std::int32_t>(10 + 4 * i - 2 * j + 3 * k);
+  const auto reg = RegressionPredictor::fit(codes, 4);
+  const auto pred = reg.predict_all(codes.shape());
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    EXPECT_NEAR(pred[i], codes[i], 1);
+}
+
+TEST(Regression, PredictAllMatchesAt) {
+  Rng rng(6);
+  I32Array codes(Shape{15, 14});
+  for (auto& v : codes.vec())
+    v = static_cast<std::int32_t>(rng.uniform_index(100));
+  const auto reg = RegressionPredictor::fit(codes, 5);
+  const auto bulk = reg.predict_all(codes.shape());
+  for (std::size_t i = 0; i < 15; ++i)
+    for (std::size_t j = 0; j < 14; ++j)
+      EXPECT_EQ(bulk(i, j), reg.at(codes.shape(), i, j));
+}
+
+TEST(Regression, SerializeRoundtrip) {
+  Rng rng(7);
+  I32Array codes(Shape{10, 12});
+  for (auto& v : codes.vec())
+    v = static_cast<std::int32_t>(rng.uniform_index(1000));
+  const auto reg = RegressionPredictor::fit(codes, 6);
+
+  ByteWriter w;
+  reg.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto restored = RegressionPredictor::deserialize(r, codes.shape());
+
+  const auto a = reg.predict_all(codes.shape());
+  const auto b = restored.predict_all(codes.shape());
+  EXPECT_EQ(a.vec(), b.vec());
+}
+
+TEST(Regression, DeserializeRejectsMismatchedShape) {
+  I32Array codes(Shape{10, 12});
+  const auto reg = RegressionPredictor::fit(codes, 6);
+  ByteWriter w;
+  reg.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(RegressionPredictor::deserialize(r, Shape{20, 24}),
+               CorruptStream);
+}
+
+TEST(Regression, RejectsTinyBlock) {
+  I32Array codes(Shape{8, 8});
+  EXPECT_THROW(RegressionPredictor::fit(codes, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace xfc

@@ -1,0 +1,194 @@
+// Cross-cutting property tests: determinism of every codec, cross-codec
+// reconstruction invariants of dual quantization, coder self-consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "crossfield/crossfield.hpp"
+#include "data/dataset.hpp"
+#include "encode/huffman.hpp"
+#include "encode/miniflate.hpp"
+#include "io/bitstream.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/classic.hpp"
+#include "sz/compressor.hpp"
+#include "sz/interpolation.hpp"
+#include "zfp/zfp_codec.hpp"
+
+namespace xfc {
+namespace {
+
+Field prop_field(std::uint64_t seed) {
+  Rng rng(seed);
+  F32Array a(Shape{40, 52});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(std::sin(i / 7.0) * 30.0 +
+                              rng.normal(0.0, 0.15));
+  return Field("prop", std::move(a));
+}
+
+TEST(Determinism, SzStreamsAreBitIdenticalAcrossRuns) {
+  const Field f = prop_field(1);
+  EXPECT_EQ(sz_compress(f, SzOptions{}), sz_compress(f, SzOptions{}));
+}
+
+TEST(Determinism, ClassicInterpZfpStreamsAreBitIdentical) {
+  const Field f = prop_field(2);
+  EXPECT_EQ(classic_compress(f, ClassicOptions{}),
+            classic_compress(f, ClassicOptions{}));
+  EXPECT_EQ(interp_compress(f, InterpOptions{}),
+            interp_compress(f, InterpOptions{}));
+  EXPECT_EQ(zfp_compress(f, ZfpOptions{.tolerance = 1e-3}),
+            zfp_compress(f, ZfpOptions{.tolerance = 1e-3}));
+}
+
+TEST(Determinism, CrossFieldStreamBitIdenticalGivenSameModel) {
+  const Field t = prop_field(3);
+  Field a0 = prop_field(4);
+  a0.set_name("A0");
+  const std::vector<const Field*> anchors{&a0};
+  const CfnnModel model(2, 2, CfnnConfig{8, 4, 3}, 42);
+  CrossFieldOptions opt;
+  EXPECT_EQ(cross_field_compress(t, anchors, model, opt),
+            cross_field_compress(t, anchors, model, opt));
+}
+
+TEST(Determinism, TrainingIsSeedDeterministic) {
+  const Field t = prop_field(5);
+  Field a0 = prop_field(6);
+  a0.set_name("A0");
+  const std::vector<const Field*> anchors{&a0};
+  CfnnTrainOptions train;
+  train.epochs = 3;
+  train.patches_per_epoch = 16;
+  train.patch = 16;
+  train.batch = 8;
+  const CfnnModel m1 =
+      train_cross_field_model(t, anchors, CfnnConfig{8, 4, 3}, train);
+  const CfnnModel m2 =
+      train_cross_field_model(t, anchors, CfnnConfig{8, 4, 3}, train);
+  EXPECT_EQ(m1.save_bytes(), m2.save_bytes());
+}
+
+TEST(DualQuantInvariant, AllPredictionCodecsShareOneReconstruction) {
+  // Dual quantization means the reconstruction depends only on (field, eb),
+  // not on the predictor: sz, interp, and cross-field all decode to
+  // exactly dequantize(prequantize(field)).
+  const Field f = prop_field(7);
+  SzOptions sopt;
+  sopt.eb = ErrorBound::relative(1e-3);
+  const Field expected = sz_reconstruct(f, sopt);
+
+  const Field via_sz = sz_decompress(sz_compress(f, sopt));
+  EXPECT_EQ(via_sz.array().vec(), expected.array().vec());
+
+  InterpOptions iopt;
+  iopt.eb = ErrorBound::relative(1e-3);
+  const Field via_interp = interp_decompress(interp_compress(f, iopt));
+  EXPECT_EQ(via_interp.array().vec(), expected.array().vec());
+
+  SzOptions s2 = sopt;
+  s2.predictor = SzPredictor::kLorenzoRegression;
+  const Field via_reg = sz_decompress(sz_compress(f, s2));
+  EXPECT_EQ(via_reg.array().vec(), expected.array().vec());
+}
+
+TEST(DualQuantInvariant, PsnrIdenticalAcrossPredictorsAtSameBound) {
+  // Corollary the paper uses to report only ratios in Table II: quality
+  // metrics are exactly equal for baseline and ours at the same bound.
+  const Field f = prop_field(8);
+  SzOptions sopt;
+  sopt.eb = ErrorBound::relative(5e-4);
+  InterpOptions iopt;
+  iopt.eb = ErrorBound::relative(5e-4);
+  const Field a = sz_decompress(sz_compress(f, sopt));
+  const Field b = interp_decompress(interp_compress(f, iopt));
+  EXPECT_EQ(psnr(f, a), psnr(f, b));
+  EXPECT_EQ(ssim(f, a), ssim(f, b));
+}
+
+TEST(Monotonicity, PsnrIncreasesAsBoundTightens) {
+  const Field f = prop_field(9);
+  double last_psnr = 0.0;
+  for (double eb : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    SzOptions opt;
+    opt.eb = ErrorBound::relative(eb);
+    const Field out = sz_decompress(sz_compress(f, opt));
+    const double p = psnr(f, out);
+    EXPECT_GT(p, last_psnr);
+    last_psnr = p;
+  }
+}
+
+TEST(Monotonicity, CompressedSizeGrowsAsBoundTightens) {
+  const Field f = prop_field(10);
+  std::size_t last = 0;
+  for (double eb : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    SzOptions opt;
+    opt.eb = ErrorBound::relative(eb);
+    const std::size_t size = sz_compress(f, opt).size();
+    EXPECT_GT(size, last);
+    last = size;
+  }
+}
+
+TEST(HuffmanInvariant, StreamLengthEqualsSumOfCodeLengths) {
+  Rng rng(11);
+  std::vector<std::uint64_t> freqs(64, 0);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 3000; ++i) {
+    const auto s = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(63, rng.uniform_index(40) *
+                                        rng.uniform_index(3)));
+    symbols.push_back(s);
+    ++freqs[s];
+  }
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  BitWriter bw;
+  std::size_t expected_bits = 0;
+  for (auto s : symbols) {
+    code.encode(bw, s);
+    expected_bits += code.length_of(s);
+  }
+  EXPECT_EQ(bw.bit_count(), expected_bits);
+}
+
+TEST(MiniflateInvariant, CompressionIsIdempotentlySafe) {
+  // Compressing already-compressed data must still round-trip and must not
+  // blow up in size.
+  Rng rng(12);
+  std::vector<std::uint8_t> data(30000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i / 64);
+  const auto once = miniflate_compress(data);
+  const auto twice = miniflate_compress(once);
+  EXPECT_LE(twice.size(), once.size() + 64);
+  EXPECT_EQ(miniflate_decompress(miniflate_decompress(twice)), data);
+}
+
+TEST(ZfpInvariant, DecompressionIsDeterministic) {
+  const Field f = prop_field(13);
+  const auto stream = zfp_compress(f, ZfpOptions{.tolerance = 1e-2});
+  const Field a = zfp_decompress(stream);
+  const Field b = zfp_decompress(stream);
+  EXPECT_EQ(a.array().vec(), b.array().vec());
+}
+
+TEST(Generators, AllKindsDeterministicAcrossCalls) {
+  for (auto kind : {DatasetKind::kScale, DatasetKind::kCesm,
+                    DatasetKind::kHurricane}) {
+    const Shape dims = kind == DatasetKind::kCesm ? Shape{48, 64}
+                                                  : Shape{4, 32, 32};
+    const auto a = make_dataset(kind, dims, 77);
+    const auto b = make_dataset(kind, dims, 77);
+    ASSERT_EQ(a.fields.size(), b.fields.size());
+    for (std::size_t i = 0; i < a.fields.size(); ++i)
+      EXPECT_EQ(a.fields[i].array().vec(), b.fields[i].array().vec())
+          << dataset_name(kind) << "/" << a.fields[i].name();
+  }
+}
+
+}  // namespace
+}  // namespace xfc

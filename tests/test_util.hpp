@@ -1,0 +1,30 @@
+#ifndef XFC_TESTS_TEST_UTIL_HPP
+#define XFC_TESTS_TEST_UTIL_HPP
+
+/// Shared test helpers.
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/field.hpp"
+
+namespace xfc::test {
+
+/// Error-bound assertion tolerance.
+///
+/// Dual quantization reconstructs values as 2*eb*q computed in double and
+/// stored as float32. The nearest multiple of 2*eb is generally not exactly
+/// representable in float32, so the achievable guarantee is
+///   |x - x̂| <= eb + ulp32(|x̂|)/2,
+/// exactly as in cuSZ (the paper's quantizer). The added term is
+/// max|value| * 2^-24.
+inline double bound_tolerance(double abs_eb, const Field& field) {
+  auto [lo, hi] = field.min_max();
+  const double maxabs =
+      std::max(std::abs(static_cast<double>(lo)), std::abs(static_cast<double>(hi)));
+  return abs_eb * (1.0 + 1e-9) + maxabs * 6.0e-8;
+}
+
+}  // namespace xfc::test
+
+#endif  // XFC_TESTS_TEST_UTIL_HPP
