@@ -1,0 +1,91 @@
+#ifndef XFC_BENCH_BENCH_JSON_HPP
+#define XFC_BENCH_BENCH_JSON_HPP
+
+/// \file bench_json.hpp
+/// Minimal wall-clock benchmark harness with machine-readable output.
+///
+/// Every perf-tracked bench funnels its measurements through BenchJson so
+/// the repo's performance trajectory (BENCH_*.json at the repo root, plus
+/// per-run artifacts under --outdir) is reproducible with one command and
+/// diffable across PRs. Records are intentionally tiny:
+///   {"name": ..., "wall_ms": ..., "bytes_per_sec": ...}
+/// where bytes_per_sec is 0 for benches without a natural byte volume.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xfc::bench {
+
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs fn() until at least `min_ms` of wall clock and `min_iters` calls
+/// have elapsed; returns mean wall milliseconds per call.
+template <class F>
+double time_ms(F&& fn, double min_ms = 300.0, int min_iters = 3) {
+  // One untimed warmup call settles lazy initialisation (thread pool,
+  // scratch arenas, page faults on freshly allocated buffers).
+  fn();
+  const double t0 = now_ms();
+  int iters = 0;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = now_ms() - t0;
+  } while (elapsed < min_ms || iters < min_iters);
+  return elapsed / static_cast<double>(iters);
+}
+
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0.0;
+  double bytes_per_sec = 0.0;
+};
+
+class BenchJson {
+ public:
+  /// Records one measurement and echoes it to stdout as a table row.
+  void add(std::string name, double wall_ms, double processed_bytes = 0.0) {
+    const double bps =
+        wall_ms > 0.0 ? processed_bytes / (wall_ms / 1000.0) : 0.0;
+    std::printf("%-28s %12.3f ms %14.1f MB/s\n", name.c_str(), wall_ms,
+                bps / (1024.0 * 1024.0));
+    std::fflush(stdout);
+    records_.push_back({std::move(name), wall_ms, bps});
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Writes all records as a JSON array to `path`; returns false on I/O
+  /// failure (benches warn but do not abort — the table already printed).
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"bytes_per_sec\": %.1f}%s\n",
+                   r.name.c_str(), r.wall_ms, r.bytes_per_sec,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace xfc::bench
+
+#endif  // XFC_BENCH_BENCH_JSON_HPP

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "cfnn/difference.hpp"
 #include "hybrid/hybrid.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   CfnnTrainOptions train = bench_train(opt.full);
   train.eval_patches = 64;  // fixed held-out set: smooth Fig. 5-style curve
   std::vector<double> eval_losses;
+  const double t_train0 = now_ms();
   const auto losses = train_cfnn(model, inputs, targets, train, &eval_losses);
+  const double train_ms = now_ms() - t_train0;
   std::printf("%-8s %-16s %-16s\n", "epoch", "train MSE", "eval MSE (fixed)");
   for (std::size_t e = 0; e < losses.size(); ++e)
     std::printf("%-8zu %-16.6f %-16.6f\n", e + 1, losses[e],
@@ -59,5 +62,16 @@ int main(int argc, char** argv) {
   std::printf("\nsummary: CFNN loss dropped %.2fx, hybrid loss dropped "
               "%.2fx (paper: steady decline, no stagnation)\n",
               drop_cfnn, drop_hyb);
+
+  // Wall-clock record for the perf trajectory: bytes/sec counts every
+  // training sample the CFNN consumed (patches * patch^2 * channels).
+  const double patch_bytes =
+      static_cast<double>(train.epochs) * train.patches_per_epoch *
+      train.patch * train.patch * inputs.c() * sizeof(float);
+  print_rule();
+  BenchJson json;
+  json.add("cfnn_training_fig5", train_ms, patch_bytes);
+  const std::string out_path = opt.outdir + "/fig5_training.json";
+  if (json.write(out_path)) std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -1,14 +1,23 @@
-// Pipeline-stage throughput microbenchmarks (google-benchmark). The paper's
-// §III-D motivates dual quantization with compression-side parallelism;
-// these benches quantify each stage and the end-to-end codecs.
+// Pipeline-stage throughput benchmarks. The paper's §III-D motivates dual
+// quantization with compression-side parallelism; these benches quantify
+// each stage, the end-to-end codecs, and the CFNN compute core that
+// dominates cross-field compression. Results are printed as a table and
+// written as machine-readable JSON ({name, wall_ms, bytes_per_sec}) to
+// <outdir>/throughput.json so the perf trajectory is diffable across PRs
+// (see BENCH_pr1.json at the repo root).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "cfnn/cfnn.hpp"
+#include "cfnn/trainer.hpp"
 #include "core/rng.hpp"
 #include "data/dataset.hpp"
-#include "encode/backend.hpp"
 #include "encode/huffman.hpp"
 #include "encode/miniflate.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
 #include "predict/lorenzo.hpp"
 #include "quant/dual_quant.hpp"
 #include "sz/compressor.hpp"
@@ -19,6 +28,7 @@
 namespace {
 
 using namespace xfc;
+using namespace xfc::bench;
 
 const Field& bench_field() {
   static const Field field = [] {
@@ -30,102 +40,104 @@ const Field& bench_field() {
   return field;
 }
 
-void BM_Prequantize(benchmark::State& state) {
-  const Field& f = bench_field();
-  const double eb = 1e-3 * f.value_range();
-  for (auto _ : state)
-    benchmark::DoNotOptimize(prequantize(f.array(), eb));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_Prequantize);
-
-void BM_LorenzoPredictAll(benchmark::State& state) {
-  const Field& f = bench_field();
-  const I32Array codes = prequantize(f.array(), 1e-3 * f.value_range());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        lorenzo_predict_all(codes, LorenzoOrder::kOne));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_LorenzoPredictAll);
-
-void BM_DeltaEncode(benchmark::State& state) {
-  const Field& f = bench_field();
-  const I32Array codes = prequantize(f.array(), 1e-3 * f.value_range());
-  const I32Array preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        encode_deltas(codes.span(), preds.span(), kDefaultQuantRadius));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_DeltaEncode);
-
-void BM_SzCompress(benchmark::State& state) {
-  const Field& f = bench_field();
-  SzOptions opt;
-  for (auto _ : state) benchmark::DoNotOptimize(sz_compress(f, opt));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_SzCompress);
-
-void BM_SzDecompress(benchmark::State& state) {
-  const Field& f = bench_field();
-  const auto stream = sz_compress(f, SzOptions{});
-  for (auto _ : state) benchmark::DoNotOptimize(sz_decompress(stream));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_SzDecompress);
-
-void BM_InterpCompress(benchmark::State& state) {
-  const Field& f = bench_field();
-  InterpOptions opt;
-  for (auto _ : state) benchmark::DoNotOptimize(interp_compress(f, opt));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_InterpCompress);
-
-void BM_ZfpCompress(benchmark::State& state) {
-  const Field& f = bench_field();
-  ZfpOptions opt;
-  opt.tolerance = 1e-3 * f.value_range();
-  for (auto _ : state) benchmark::DoNotOptimize(zfp_compress(f, opt));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          f.size() * sizeof(float));
-}
-BENCHMARK(BM_ZfpCompress);
-
-void BM_MiniflateRoundtrip(benchmark::State& state) {
-  Rng rng(3);
-  std::vector<std::uint8_t> data(1 << 20);
-  for (std::size_t i = 0; i < data.size(); ++i)
-    data[i] = static_cast<std::uint8_t>((i % 251) ^ (rng.uniform() < 0.05
-                                                          ? rng.next_u64()
-                                                          : 0));
-  for (auto _ : state) {
-    auto c = miniflate_compress(data);
-    benchmark::DoNotOptimize(miniflate_decompress(c));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          data.size());
-}
-BENCHMARK(BM_MiniflateRoundtrip);
-
-void BM_HuffmanBuild(benchmark::State& state) {
-  Rng rng(4);
-  std::vector<std::uint64_t> freqs(65537, 0);
-  for (int i = 0; i < 100000; ++i)
-    ++freqs[32768 + static_cast<int>(rng.normal(0, 40))];
-  for (auto _ : state)
-    benchmark::DoNotOptimize(HuffmanCode::from_frequencies(freqs));
-}
-BENCHMARK(BM_HuffmanBuild);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+  BenchJson json;
+  const Field& f = bench_field();
+  const double field_bytes = static_cast<double>(f.size()) * sizeof(float);
+
+  print_header("pipeline-stage throughput  [CESM-like FLUT 512x512]");
+
+  {
+    const double eb = 1e-3 * f.value_range();
+    json.add("prequantize",
+             time_ms([&] { prequantize(f.array(), eb); }), field_bytes);
+  }
+  const I32Array codes = prequantize(f.array(), 1e-3 * f.value_range());
+  json.add("lorenzo_predict_all",
+           time_ms([&] { lorenzo_predict_all(codes, LorenzoOrder::kOne); }),
+           field_bytes);
+  {
+    const I32Array preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+    json.add("delta_encode",
+             time_ms([&] {
+               encode_deltas(codes.span(), preds.span(), kDefaultQuantRadius);
+             }),
+             field_bytes);
+  }
+  json.add("sz_compress", time_ms([&] { sz_compress(f, SzOptions{}); }),
+           field_bytes);
+  {
+    const auto stream = sz_compress(f, SzOptions{});
+    json.add("sz_decompress", time_ms([&] { sz_decompress(stream); }),
+             field_bytes);
+  }
+  json.add("interp_compress",
+           time_ms([&] { interp_compress(f, InterpOptions{}); }), field_bytes);
+  {
+    ZfpOptions zopt;
+    zopt.tolerance = 1e-3 * f.value_range();
+    json.add("zfp_compress", time_ms([&] { zfp_compress(f, zopt); }),
+             field_bytes);
+  }
+  {
+    Rng rng(3);
+    std::vector<std::uint8_t> data(1 << 20);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::uint8_t>(
+          (i % 251) ^ (rng.uniform() < 0.05 ? rng.next_u64() : 0));
+    json.add("miniflate_roundtrip",
+             time_ms([&] {
+               auto c = miniflate_compress(data);
+               miniflate_decompress(c);
+             }),
+             static_cast<double>(data.size()));
+  }
+  {
+    Rng rng(4);
+    std::vector<std::uint64_t> freqs(65537, 0);
+    for (int i = 0; i < 100000; ++i)
+      ++freqs[32768 + static_cast<int>(rng.normal(0, 40))];
+    json.add("huffman_build",
+             time_ms([&] { HuffmanCode::from_frequencies(freqs); }));
+  }
+
+  print_header("CFNN compute core  [4->3 ch, hidden 8, k3, 256x256 slice]");
+
+  {
+    // Inference geometry mirroring a Hurricane Wf <- {Uf,Vf,Pf} target on a
+    // bench-scale slice: the per-slice forward pass inside CfnnModel::infer.
+    CfnnModel model(4, 3, CfnnConfig{8, 8, 3}, 99);
+    nn::Tensor x(1, 4, 256, 256);
+    Rng rng(5);
+    for (auto& v : x.vec()) v = static_cast<float>(rng.normal());
+    const double slice_bytes =
+        static_cast<double>(x.size()) * sizeof(float);
+    json.add("cfnn_forward_256",
+             time_ms([&] { model.infer(x); }), slice_bytes);
+
+    // One training step (forward + backward + Adam) on a 16x32x32 batch —
+    // the unit of work that dominates xfc_bench_fig5_training.
+    nn::Tensor xb(16, 4, 32, 32), tb(16, 3, 32, 32);
+    for (auto& v : xb.vec()) v = static_cast<float>(rng.normal());
+    for (auto& v : tb.vec()) v = static_cast<float>(rng.normal());
+    nn::Adam adam(model.net().params(), {.lr = 1e-3});
+    json.add("cfnn_train_step_b16",
+             time_ms([&] {
+               model.net().zero_grad();
+               auto [loss, grad] = nn::mse_loss(model.net().forward(xb), tb);
+               model.net().backward(grad);
+               adam.step();
+             }),
+             static_cast<double>(xb.size()) * sizeof(float));
+  }
+
+  const std::string out = opt.outdir + "/throughput.json";
+  if (json.write(out))
+    std::printf("\nwrote %s\n", out.c_str());
+  else
+    std::printf("\nwarning: could not write %s\n", out.c_str());
+  return 0;
+}

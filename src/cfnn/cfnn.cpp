@@ -138,10 +138,12 @@ nn::Tensor CfnnModel::infer(const nn::Tensor& anchor_diffs) const {
                  anchor_diffs.w());
 
   // Slice-by-slice keeps peak memory bounded on large 3D volumes; each
-  // layer's forward is internally parallel and order-deterministic.
+  // layer's forward is internally parallel and order-deterministic. The
+  // staging slice is reused across iterations (fully overwritten each
+  // time), so a volume pays one allocation, not one per slice.
   const std::size_t plane = anchor_diffs.h() * anchor_diffs.w();
+  nn::Tensor x(1, in_channels_, anchor_diffs.h(), anchor_diffs.w());
   for (std::size_t s = 0; s < anchor_diffs.n(); ++s) {
-    nn::Tensor x(1, in_channels_, anchor_diffs.h(), anchor_diffs.w());
     for (std::size_t c = 0; c < in_channels_; ++c)
       std::copy(anchor_diffs.plane(s, c), anchor_diffs.plane(s, c) + plane,
                 x.plane(0, c));

@@ -18,9 +18,12 @@ F32Array backward_difference(const F32Array& values, std::size_t axis) {
 
   const float* src = values.data();
   float* dst = out.data();
-  parallel_for(0, values.size(), [&](std::size_t i) {
-    const std::size_t coord = (i / stride) % extent;
-    dst[i] = coord == 0 ? 0.0f : src[i] - src[i - stride];
+  parallel_for_chunked(0, values.size(), 0, [&](std::size_t lo,
+                                                std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t coord = (i / stride) % extent;
+      dst[i] = coord == 0 ? 0.0f : src[i] - src[i - stride];
+    }
   });
   return out;
 }
@@ -55,10 +58,13 @@ nn::Tensor fields_to_difference_tensor(
     for (std::size_t axis = 0; axis < ndim; ++axis) {
       const F32Array diff = backward_difference(fields[fi]->array(), axis);
       const std::size_t ch = fi * ndim + axis;
-      parallel_for(0, g.slices, [&](std::size_t s) {
-        const float* src = diff.data() + s * plane;
-        float* dst = t.plane(s, ch);
-        std::copy(src, src + plane, dst);
+      parallel_for_chunked(0, g.slices, 1, [&](std::size_t lo,
+                                               std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const float* src = diff.data() + s * plane;
+          float* dst = t.plane(s, ch);
+          std::copy(src, src + plane, dst);
+        }
       });
     }
   }

@@ -74,11 +74,14 @@ std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
 
   const std::size_t batches =
       (options.patches_per_epoch + options.batch - 1) / options.batch;
+  // Batch staging buffers live across the whole run: copy_patch overwrites
+  // every element, so reusing them avoids a per-batch allocate+zero of the
+  // largest tensors in the loop.
+  nn::Tensor x(options.batch, cin, P, P);
+  nn::Tensor t(options.batch, cout, P, P);
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     double loss_sum = 0.0;
     for (std::size_t bi = 0; bi < batches; ++bi) {
-      nn::Tensor x(options.batch, cin, P, P);
-      nn::Tensor t(options.batch, cout, P, P);
       for (std::size_t b = 0; b < options.batch; ++b) {
         const std::size_t s = rng.uniform_index(inputs.n());
         const std::size_t y0 =

@@ -1,31 +1,171 @@
 #include "core/utils.hpp"
 
-#if defined(XFC_HAVE_OPENMP)
-#include <omp.h>
-#endif
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace xfc {
+namespace {
+
+/// Persistent worker pool behind parallel_for_chunked. One pool per
+/// process, created on first parallel call; workers sleep between jobs.
+/// Work is a contiguous chunk-index range claimed via an atomic cursor, so
+/// a job costs one wakeup broadcast plus one fetch_add per chunk instead of
+/// a std::function invocation per element.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool(hardware_threads() - 1);
+    return pool;
+  }
+
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs chunk_body(c) for every c in [0, nchunks), distributing chunks
+  /// over the workers and the calling thread. Blocks until all complete.
+  /// Concurrent top-level calls from distinct application threads
+  /// serialize on run_mutex_ (each still executes in parallel internally).
+  void run(std::size_t nchunks,
+           const std::function<void(std::size_t)>& chunk_body) {
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    // Shared ownership keeps the job alive for workers that wake after
+    // run() has returned; done == nchunks implies every chunk was claimed,
+    // so such stragglers see an exhausted cursor and never call the body.
+    auto job = std::make_shared<Job>();
+    job->body = &chunk_body;
+    job->nchunks = nchunks;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      job_ = job;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+
+    // The caller is a full participant, so a pool of N workers serves N+1
+    // concurrent chunks and small jobs never pay a context switch.
+    drain(*job);
+
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->nchunks;
+    });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t nchunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+  };
+
+  explicit ThreadPool(int workers) {
+    workers_.reserve(workers > 0 ? workers : 0);
+    for (int i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void drain(Job& job) {
+    for (;;) {
+      const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.nchunks) break;
+      (*job.body)(c);
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.nchunks) {
+        // Pairs with cv_done_.wait in run(); lock avoids a missed wakeup.
+        std::lock_guard<std::mutex> lock(m_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;  // snapshot under the lock: coherent with `seen`
+      }
+      if (job) drain(*job);
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  // one top-level job at a time
+  std::mutex m_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::shared_ptr<Job> job_;
+};
+
+/// True while the current thread is executing a parallel body; nested
+/// parallel calls then run inline instead of deadlocking on the pool.
+thread_local bool g_in_parallel_body = false;
+
+}  // namespace
 
 int hardware_threads() {
-#if defined(XFC_HAVE_OPENMP)
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
+  static const int n = [] {
+    if (const char* env = std::getenv("XFC_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1 && v <= 1024) return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return n;
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const int threads = hardware_threads();
+  if (grain == 0) {
+    // ~4 chunks per thread balances load without shredding cache locality.
+    grain = threads > 1 ? ceil_div(n, static_cast<std::size_t>(threads) * 4)
+                        : n;
+    if (grain == 0) grain = 1;
+  }
+  const std::size_t nchunks = ceil_div(n, grain);
+  if (threads <= 1 || nchunks <= 1 || g_in_parallel_body) {
+    body(begin, end);
+    return;
+  }
+  ThreadPool::instance().run(nchunks, [&](std::size_t c) {
+    g_in_parallel_body = true;
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    body(lo, hi);
+    g_in_parallel_body = false;
+  });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
-#if defined(XFC_HAVE_OPENMP)
-  const std::int64_t b = static_cast<std::int64_t>(begin);
-  const std::int64_t e = static_cast<std::int64_t>(end);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = b; i < e; ++i) {
-    body(static_cast<std::size_t>(i));
-  }
-#else
-  for (std::size_t i = begin; i < end; ++i) body(i);
-#endif
+  parallel_for_chunked(begin, end, 0,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) body(i);
+                       });
 }
 
 }  // namespace xfc

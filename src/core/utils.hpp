@@ -2,8 +2,9 @@
 #define XFC_CORE_UTILS_HPP
 
 /// \file utils.hpp
-/// Small shared helpers: zigzag integer mapping, OpenMP parallel-for
-/// wrapper, and saturating conversions used by the quantization stages.
+/// Small shared helpers: zigzag integer mapping, the chunked thread-pool
+/// parallel-for used by every hot loop, and saturating conversions used by
+/// the quantization stages.
 
 #include <cstdint>
 #include <cstddef>
@@ -34,12 +35,23 @@ inline std::int64_t zigzag_decode64(std::uint64_t v) {
          -static_cast<std::int64_t>(v & 1);
 }
 
-/// Number of worker threads the OpenMP kernels will use (1 when built
-/// without OpenMP).
+/// Number of worker threads the parallel kernels will use. Honors the
+/// XFC_THREADS environment variable (read once) and falls back to
+/// std::thread::hardware_concurrency().
 int hardware_threads();
 
-/// Runs body(i) for i in [begin, end), parallelised with OpenMP when
-/// available. `body` must be safe to invoke concurrently for distinct i.
+/// Runs body(lo, hi) over disjoint subranges covering [begin, end), in
+/// parallel on a persistent thread pool. `grain` is the target subrange
+/// length per dispatch (0 picks one that amortises dispatch overhead).
+/// Bodies of distinct subranges must be safe to run concurrently and must
+/// not throw. Nested calls from inside a body run sequentially inline.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Per-index convenience wrapper over parallel_for_chunked. Prefer the
+/// chunked form in hot loops: this one still pays a std::function call per
+/// index inside each chunk.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

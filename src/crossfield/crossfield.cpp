@@ -48,14 +48,18 @@ std::vector<I32Array> quantize_diff_predictions(const nn::Tensor& diffs,
     I32Array q(shape);
     const float* src = a.data();
     std::int32_t* dst = q.data();
-    parallel_for(0, a.size(), [&](std::size_t idx) {
-      const double scaled = static_cast<double>(src[idx]) * inv;
-      // Saturate rather than throw: a wild CFNN output must not be able to
-      // crash decompression; the hybrid fit will down-weight it anyway.
-      double r = std::nearbyint(scaled);
-      if (r > static_cast<double>(kMaxQuantCode)) r = static_cast<double>(kMaxQuantCode);
-      if (r < -static_cast<double>(kMaxQuantCode)) r = -static_cast<double>(kMaxQuantCode);
-      dst[idx] = static_cast<std::int32_t>(r);
+    parallel_for_chunked(0, a.size(), 0, [&](std::size_t lo,
+                                             std::size_t hi) {
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        const double scaled = static_cast<double>(src[idx]) * inv;
+        // Saturate rather than throw: a wild CFNN output must not be able
+        // to crash decompression; the hybrid fit will down-weight it
+        // anyway.
+        double r = std::nearbyint(scaled);
+        if (r > static_cast<double>(kMaxQuantCode)) r = static_cast<double>(kMaxQuantCode);
+        if (r < -static_cast<double>(kMaxQuantCode)) r = -static_cast<double>(kMaxQuantCode);
+        dst[idx] = static_cast<std::int32_t>(r);
+      }
     });
     out.push_back(std::move(q));
   }
@@ -107,25 +111,29 @@ CrossFieldAnalysis cross_field_analyze(
     I32Array cand(shape);
     const I32Array& dq = a.diff_codes[axis];
     if (ndim == 2) {
-      parallel_for(0, shape[0], [&](std::size_t i) {
-        for (std::size_t j = 0; j < shape[1]; ++j) {
-          const std::int64_t v =
-              neighbor_code(a.codes, shape, i, j, 0, axis) + dq(i, j);
-          cand(i, j) = static_cast<std::int32_t>(
-              std::clamp(v, static_cast<std::int64_t>(INT32_MIN),
-                         static_cast<std::int64_t>(INT32_MAX)));
-        }
-      });
-    } else {
-      parallel_for(0, shape[0], [&](std::size_t i) {
-        for (std::size_t j = 0; j < shape[1]; ++j)
-          for (std::size_t k = 0; k < shape[2]; ++k) {
+      parallel_for_chunked(0, shape[0], 0, [&](std::size_t lo,
+                                               std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < shape[1]; ++j) {
             const std::int64_t v =
-                neighbor_code(a.codes, shape, i, j, k, axis) + dq(i, j, k);
-            cand(i, j, k) = static_cast<std::int32_t>(
+                neighbor_code(a.codes, shape, i, j, 0, axis) + dq(i, j);
+            cand(i, j) = static_cast<std::int32_t>(
                 std::clamp(v, static_cast<std::int64_t>(INT32_MIN),
                            static_cast<std::int64_t>(INT32_MAX)));
           }
+      });
+    } else {
+      parallel_for_chunked(0, shape[0], 0, [&](std::size_t lo,
+                                               std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < shape[1]; ++j)
+            for (std::size_t k = 0; k < shape[2]; ++k) {
+              const std::int64_t v =
+                  neighbor_code(a.codes, shape, i, j, k, axis) + dq(i, j, k);
+              cand(i, j, k) = static_cast<std::int32_t>(
+                  std::clamp(v, static_cast<std::int64_t>(INT32_MIN),
+                             static_cast<std::int64_t>(INT32_MAX)));
+            }
       });
     }
     a.candidates.push_back(std::move(cand));
@@ -177,11 +185,14 @@ std::vector<std::uint8_t> cross_field_compress(
 
   // Final per-point integer predictions from the hybrid combination.
   I32Array preds(shape);
-  parallel_for(0, preds.size(), [&](std::size_t idx) {
-    std::array<std::int64_t, 4> c{};
-    for (std::size_t p = 0; p < k; ++p) c[p] = a.candidates[p][idx];
-    preds[idx] = static_cast<std::int32_t>(
-        a.hybrid.combine(std::span<const std::int64_t>(c.data(), k)));
+  parallel_for_chunked(0, preds.size(), 0, [&](std::size_t lo,
+                                               std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      std::array<std::int64_t, 4> c{};
+      for (std::size_t p = 0; p < k; ++p) c[p] = a.candidates[p][idx];
+      preds[idx] = static_cast<std::int32_t>(
+          a.hybrid.combine(std::span<const std::int64_t>(c.data(), k)));
+    }
   });
 
   const auto payload =

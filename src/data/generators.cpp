@@ -37,9 +37,11 @@ std::vector<Field> make_scale_like(const SyntheticSpec& spec) {
 
   const double wind_scale = 220.0;  // gradients are O(0.1); target ~±25 m/s
   F32Array u(s), v(s);
-  parallel_for(0, s.size(), [&](std::size_t i) {
-    u[i] = static_cast<float>(wind_scale * (dpsi_dy[i] + 0.4 * dchi_dx[i]));
-    v[i] = static_cast<float>(wind_scale * (-dpsi_dx[i] + 0.4 * dchi_dy[i]));
+  parallel_for_chunked(0, s.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      u[i] = static_cast<float>(wind_scale * (dpsi_dy[i] + 0.4 * dchi_dx[i]));
+      v[i] = static_cast<float>(wind_scale * (-dpsi_dx[i] + 0.4 * dchi_dy[i]));
+    }
   });
 
   // Vertical wind from column-integrated horizontal divergence
@@ -50,12 +52,13 @@ std::vector<Field> make_scale_like(const SyntheticSpec& spec) {
   F32Array w(s);
   const double dz = 0.02;
   for (std::size_t z = 0; z < D; ++z) {
-    parallel_for(0, H, [&](std::size_t y) {
-      for (std::size_t x = 0; x < W; ++x) {
-        const float below = z == 0 ? 0.0f : w(z - 1, y, x);
-        w(z, y, x) = below - static_cast<float>(
-                                 dz * (du_dx(z, y, x) + dv_dy(z, y, x)));
-      }
+    parallel_for_chunked(0, H, 0, [&](std::size_t ylo, std::size_t yhi) {
+      for (std::size_t y = ylo; y < yhi; ++y)
+        for (std::size_t x = 0; x < W; ++x) {
+          const float below = z == 0 ? 0.0f : w(z - 1, y, x);
+          w(z, y, x) = below - static_cast<float>(
+                                   dz * (du_dx(z, y, x) + dv_dy(z, y, x)));
+        }
     });
   }
 
@@ -63,28 +66,32 @@ std::vector<Field> make_scale_like(const SyntheticSpec& spec) {
   F32Array pres(s);
   F32Array t(s);
   F32Array tpert = value_noise_3d(D, H, W, med, rng);
-  parallel_for(0, s.size(), [&](std::size_t i) {
-    const std::size_t z = i / (H * W);
-    const double frac = static_cast<double>(z) / static_cast<double>(D);
-    const double base = 101325.0 * std::exp(-frac * 1.8);
-    pres[i] = static_cast<float>(base + 900.0 * psi[i]);
-    // Temperature: lapse rate + pressure anomaly coupling + perturbation.
-    t[i] = static_cast<float>(288.0 - 60.0 * frac + 0.004 * (pres[i] - base) +
-                              2.5 * tpert[i]);
+  parallel_for_chunked(0, s.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t z = i / (H * W);
+      const double frac = static_cast<double>(z) / static_cast<double>(D);
+      const double base = 101325.0 * std::exp(-frac * 1.8);
+      pres[i] = static_cast<float>(base + 900.0 * psi[i]);
+      // Temperature: lapse rate + pressure anomaly coupling + perturbation.
+      t[i] = static_cast<float>(288.0 - 60.0 * frac +
+                                0.004 * (pres[i] - base) + 2.5 * tpert[i]);
+    }
   });
 
   // Humidity: saturation vapour pressure (Magnus), latent relative
   // humidity in (0, 1), QV as mixing ratio, RH in percent.
   F32Array rh_latent = value_noise_3d(D, H, W, big, rng);
   F32Array qv(s), rh(s);
-  parallel_for(0, s.size(), [&](std::size_t i) {
-    const double tc = static_cast<double>(t[i]) - 273.15;
-    const double es = 610.94 * std::exp(17.625 * tc / (tc + 243.04));
-    const double qsat = 0.622 * es / std::max(1.0, pres[i] - 0.378 * es);
-    const double rh_frac =
-        1.0 / (1.0 + std::exp(-1.6 * static_cast<double>(rh_latent[i])));
-    qv[i] = static_cast<float>(qsat * rh_frac);
-    rh[i] = static_cast<float>(100.0 * rh_frac);
+  parallel_for_chunked(0, s.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double tc = static_cast<double>(t[i]) - 273.15;
+      const double es = 610.94 * std::exp(17.625 * tc / (tc + 243.04));
+      const double qsat = 0.622 * es / std::max(1.0, pres[i] - 0.378 * es);
+      const double rh_frac =
+          1.0 / (1.0 + std::exp(-1.6 * static_cast<double>(rh_latent[i])));
+      qv[i] = static_cast<float>(qsat * rh_frac);
+      rh[i] = static_cast<float>(100.0 * rh_frac);
+    }
   });
 
   add_noise(u, 0.12, rng);
@@ -131,28 +138,32 @@ std::vector<Field> make_cesm_like(const SyntheticSpec& spec) {
 
   // Random-overlap total cloud (the exact identity CLDTOT is defined by).
   F32Array cldtot(s);
-  parallel_for(0, s.size(), [&](std::size_t i) {
-    cldtot[i] = static_cast<float>(
-        1.0 - (1.0 - cldlow[i]) * (1.0 - cldmed[i]) * (1.0 - cldhgh[i]));
+  parallel_for_chunked(0, s.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      cldtot[i] = static_cast<float>(
+          1.0 - (1.0 - cldlow[i]) * (1.0 - cldmed[i]) * (1.0 - cldhgh[i]));
   });
 
   // Radiation budget. Latitude = row index.
   F32Array flntc(s), flutc(s), flnt(s), flut(s), lwcf(s);
   F32Array rad_noise = value_noise_2d(H, W, smooth, rng);
   F32Array thin = value_noise_2d(H, W, smooth, rng);
-  parallel_for(0, s.size(), [&](std::size_t i) {
-    const std::size_t row = i / W;
-    const double lat =
-        (static_cast<double>(row) / static_cast<double>(H) - 0.5) * 3.14159;
-    // Clear-sky outgoing longwave: warm tropics emit more.
-    const double clear = 265.0 + 45.0 * std::cos(lat) + 6.0 * rad_noise[i];
-    flntc[i] = static_cast<float>(clear);
-    flutc[i] = static_cast<float>(clear + 2.0 + 0.8 * thin[i]);
-    // Clouds (mostly high cloud) trap longwave.
-    const double trapped = 55.0 * cldhgh[i] + 18.0 * cldmed[i] + 6.0 * cldlow[i];
-    flnt[i] = static_cast<float>(clear - trapped);
-    flut[i] = static_cast<float>(flutc[i] - trapped);
-    lwcf[i] = flutc[i] - flut[i];
+  parallel_for_chunked(0, s.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t row = i / W;
+      const double lat =
+          (static_cast<double>(row) / static_cast<double>(H) - 0.5) * 3.14159;
+      // Clear-sky outgoing longwave: warm tropics emit more.
+      const double clear = 265.0 + 45.0 * std::cos(lat) + 6.0 * rad_noise[i];
+      flntc[i] = static_cast<float>(clear);
+      flutc[i] = static_cast<float>(clear + 2.0 + 0.8 * thin[i]);
+      // Clouds (mostly high cloud) trap longwave.
+      const double trapped =
+          55.0 * cldhgh[i] + 18.0 * cldmed[i] + 6.0 * cldlow[i];
+      flnt[i] = static_cast<float>(clear - trapped);
+      flut[i] = static_cast<float>(flutc[i] - trapped);
+      lwcf[i] = flutc[i] - flut[i];
+    }
   });
 
   add_noise(cldtot, 0.0035, rng);
@@ -192,7 +203,8 @@ std::vector<Field> make_hurricane_like(const SyntheticSpec& spec) {
   const double dp = 6000.0;   // Pa central deficit
 
   F32Array uf(s), vf(s), wf(s), pf(s);
-  parallel_for(0, D, [&](std::size_t z) {
+  parallel_for_chunked(0, D, 0, [&](std::size_t zlo, std::size_t zhi) {
+  for (std::size_t z = zlo; z < zhi; ++z) {
     const double zfrac = static_cast<double>(z) / static_cast<double>(D);
     const double cx = cx0 + 6.0 * zfrac;
     const double cy = cy0 - 4.0 * zfrac;
@@ -223,6 +235,7 @@ std::vector<Field> make_hurricane_like(const SyntheticSpec& spec) {
                                          120.0 * env_u(z, y, x));
       }
     }
+  }
   });
 
   add_noise(uf, 0.15, rng);

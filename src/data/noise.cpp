@@ -20,7 +20,8 @@ void add_octave_2d(F32Array& out, std::size_t cells, double amplitude,
 
   const double sy = static_cast<double>(cells) / static_cast<double>(h);
   const double sx = static_cast<double>(cells) / static_cast<double>(w);
-  parallel_for(0, h, [&](std::size_t y) {
+  parallel_for_chunked(0, h, 0, [&](std::size_t ylo, std::size_t yhi) {
+  for (std::size_t y = ylo; y < yhi; ++y) {
     const double fy = y * sy;
     const std::size_t iy = std::min(static_cast<std::size_t>(fy), cells - 1);
     const double ty = smoothstep(fy - iy);
@@ -37,6 +38,7 @@ void add_octave_2d(F32Array& out, std::size_t cells, double amplitude,
                        (v10 * (1 - tx) + v11 * tx) * ty;
       out(y, x) += static_cast<float>(amplitude * v);
     }
+  }
   });
 }
 
@@ -52,7 +54,8 @@ void add_octave_3d(F32Array& out, std::size_t cells, double amplitude,
   const double sz = static_cast<double>(cells) / static_cast<double>(d);
   const double sy = static_cast<double>(cells) / static_cast<double>(h);
   const double sx = static_cast<double>(cells) / static_cast<double>(w);
-  parallel_for(0, d, [&](std::size_t z) {
+  parallel_for_chunked(0, d, 0, [&](std::size_t zlo, std::size_t zhi) {
+  for (std::size_t z = zlo; z < zhi; ++z) {
     const double fz = z * sz;
     const std::size_t iz = std::min(static_cast<std::size_t>(fz), cells - 1);
     const double tz = smoothstep(fz - iz);
@@ -81,6 +84,7 @@ void add_octave_3d(F32Array& out, std::size_t cells, double amplitude,
         out(z, y, x) += static_cast<float>(amplitude * (c0 * (1 - tz) + c1 * tz));
       }
     }
+  }
   });
 }
 
@@ -128,16 +132,18 @@ F32Array central_gradient(const F32Array& a, std::size_t axis) {
 
   const float* src = a.data();
   float* dst = out.data();
-  parallel_for(0, a.size(), [&](std::size_t i) {
-    const std::size_t coord = (i / stride) % extent;
-    if (extent == 1) {
-      dst[i] = 0.0f;
-    } else if (coord == 0) {
-      dst[i] = src[i + stride] - src[i];
-    } else if (coord == extent - 1) {
-      dst[i] = src[i] - src[i - stride];
-    } else {
-      dst[i] = 0.5f * (src[i + stride] - src[i - stride]);
+  parallel_for_chunked(0, a.size(), 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t coord = (i / stride) % extent;
+      if (extent == 1) {
+        dst[i] = 0.0f;
+      } else if (coord == 0) {
+        dst[i] = src[i + stride] - src[i];
+      } else if (coord == extent - 1) {
+        dst[i] = src[i] - src[i - stride];
+      } else {
+        dst[i] = 0.5f * (src[i + stride] - src[i - stride]);
+      }
     }
   });
   return out;

@@ -1,6 +1,9 @@
 #include "nn/conv2d.hpp"
 
 #include "core/utils.hpp"
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
+#include "nn/workspace.hpp"
 
 namespace xfc::nn {
 
@@ -25,48 +28,53 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   }
 }
 
+// The convolution is lowered onto GEMM via im2col (see im2col.hpp for the
+// exact factorisation). Work is dispatched one (image, group) block per
+// task; blocks write disjoint output planes, and each pool thread stages
+// its column matrix in its own scratch arena. Pointwise (k == 1) layers
+// skip im2col entirely — the input planes already are the column matrix.
+
 Tensor Conv2D::forward(const Tensor& x) {
   expects(x.c() == in_ch_, "Conv2D::forward: channel mismatch");
   input_ = x;
-  const std::size_t B = x.n(), H = x.h(), W = x.w();
+  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
   const std::size_t icg = in_ch_ / groups_;
   const std::size_t ocg = out_ch_ / groups_;
-  const std::size_t pad = k_ / 2;
+  const std::size_t k2 = k_ * k_;
   Tensor y(B, out_ch_, H, W);
 
-  // One (batch, out-channel) plane per task keeps writes disjoint.
-  parallel_for(0, B * out_ch_, [&](std::size_t task) {
-    const std::size_t b = task / out_ch_;
-    const std::size_t oc = task % out_ch_;
-    const std::size_t g = oc / ocg;
-    float* out = y.plane(b, oc);
-    const float* wbase = weight_.data() + oc * icg * k_ * k_;
-    const float bias = has_bias_ ? bias_[oc] : 0.0f;
-
-    for (std::size_t oy = 0; oy < H; ++oy) {
-      for (std::size_t ox = 0; ox < W; ++ox) {
-        double acc = bias;
-        for (std::size_t ic = 0; ic < icg; ++ic) {
-          const float* in = x.plane(b, g * icg + ic);
-          const float* wk = wbase + ic * k_ * k_;
-          for (std::size_t ky = 0; ky < k_; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy + ky) -
-                static_cast<std::ptrdiff_t>(pad);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(H)) continue;
-            for (std::size_t kx = 0; kx < k_; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox + kx) -
-                  static_cast<std::ptrdiff_t>(pad);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(W)) continue;
-              acc += wk[ky * k_ + kx] * in[iy * W + ix];
-            }
-          }
-        }
-        out[oy * W + ox] = static_cast<float>(acc);
+  parallel_for_chunked(0, B * groups_, 1, [&](std::size_t lo,
+                                              std::size_t hi) {
+    Workspace& ws = tls_workspace();
+    for (std::size_t task = lo; task < hi; ++task) {
+      const std::size_t b = task / groups_;
+      const std::size_t g = task % groups_;
+      const float* xg = x.plane(b, g * icg);
+      float* yg = y.plane(b, g * ocg);
+      const float* wg = weight_.data() + g * ocg * icg * k2;
+      if (k_ == 1) {
+        sgemm(false, false, ocg, hw, icg, 1.0f, wg, icg, xg, hw, 0.0f, yg,
+              hw);
+      } else {
+        const ScratchScope scope(ws);
+        float* col = ws.acquire(icg * k2 * hw);
+        im2col(xg, icg, H, W, k_, col);
+        sgemm(false, false, ocg, hw, icg * k2, 1.0f, wg, icg * k2, col, hw,
+              0.0f, yg, hw);
       }
     }
   });
+
+  if (has_bias_) {
+    parallel_for_chunked(0, B * out_ch_, 0, [&](std::size_t lo,
+                                                std::size_t hi) {
+      for (std::size_t task = lo; task < hi; ++task) {
+        float* out = y.plane(task / out_ch_, task % out_ch_);
+        const float bv = bias_[task % out_ch_];
+        for (std::size_t i = 0; i < hw; ++i) out[i] += bv;
+      }
+    });
+  }
   return y;
 }
 
@@ -75,79 +83,84 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   expects(grad_out.n() == x.n() && grad_out.c() == out_ch_ &&
               grad_out.h() == x.h() && grad_out.w() == x.w(),
           "Conv2D::backward: shape mismatch");
-  const std::size_t B = x.n(), H = x.h(), W = x.w();
+  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
   const std::size_t icg = in_ch_ / groups_;
   const std::size_t ocg = out_ch_ / groups_;
-  const std::size_t pad = k_ / 2;
+  const std::size_t k2 = k_ * k_;
 
-  // dL/dx: parallel over (batch, in-channel) planes.
   Tensor gx(B, in_ch_, H, W);
-  parallel_for(0, B * in_ch_, [&](std::size_t task) {
-    const std::size_t b = task / in_ch_;
-    const std::size_t ic_abs = task % in_ch_;
-    const std::size_t g = ic_abs / icg;
-    const std::size_t ic = ic_abs % icg;
-    float* gxi = gx.plane(b, ic_abs);
-    for (std::size_t oc = g * ocg; oc < (g + 1) * ocg; ++oc) {
-      const float* go = grad_out.plane(b, oc);
-      const float* wk = weight_.data() + (oc * icg + ic) * k_ * k_;
-      for (std::size_t oy = 0; oy < H; ++oy) {
-        for (std::size_t ox = 0; ox < W; ++ox) {
-          const float g0 = go[oy * W + ox];
-          if (g0 == 0.0f) continue;
-          for (std::size_t ky = 0; ky < k_; ++ky) {
-            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
-                                      static_cast<std::ptrdiff_t>(pad);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(H)) continue;
-            for (std::size_t kx = 0; kx < k_; ++kx) {
-              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kx) -
-                                        static_cast<std::ptrdiff_t>(pad);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(W)) continue;
-              gxi[iy * W + ix] += g0 * wk[ky * k_ + kx];
-            }
-          }
-        }
-      }
-    }
-  });
 
-  // dL/dw, dL/db: parallel over output channels (each owns its weight rows).
-  parallel_for(0, out_ch_, [&](std::size_t oc) {
-    const std::size_t g = oc / ocg;
-    float* gw = grad_weight_.data() + oc * icg * k_ * k_;
-    double gb = 0.0;
-    for (std::size_t b = 0; b < B; ++b) {
-      const float* go = grad_out.plane(b, oc);
-      for (std::size_t ic = 0; ic < icg; ++ic) {
-        const float* in = x.plane(b, g * icg + ic);
-        float* gwk = gw + ic * k_ * k_;
-        for (std::size_t oy = 0; oy < H; ++oy) {
-          for (std::size_t ox = 0; ox < W; ++ox) {
-            const float g0 = go[oy * W + ox];
-            if (g0 == 0.0f) continue;
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy + ky) -
-                  static_cast<std::ptrdiff_t>(pad);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(H)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox + kx) -
-                    static_cast<std::ptrdiff_t>(pad);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(W)) continue;
-                gwk[ky * k_ + kx] += g0 * in[iy * W + ix];
-              }
-            }
-          }
-        }
-      }
-      if (has_bias_) {
-        for (std::size_t i = 0; i < H * W; ++i) gb += go[i];
-      }
+  // Runs the full backward of one (image, group) block, accumulating the
+  // weight gradient into gw_base (+= semantics). gx planes are disjoint
+  // per block, so only gw_base determines what may run concurrently.
+  auto backward_block = [&](std::size_t b, std::size_t g, float* gw_base) {
+    Workspace& ws = tls_workspace();
+    const float* xg = x.plane(b, g * icg);
+    const float* gog = grad_out.plane(b, g * ocg);
+    const float* wg = weight_.data() + g * ocg * icg * k2;
+    float* gwg = gw_base + g * ocg * icg * k2;
+    float* gxg = gx.plane(b, g * icg);
+    if (k_ == 1) {
+      // dL/dx = W^T dY; dL/dW += dY x^T.
+      sgemm(true, false, icg, hw, ocg, 1.0f, wg, icg, gog, hw, 0.0f, gxg,
+            hw);
+      sgemm(false, true, ocg, icg, hw, 1.0f, gog, hw, xg, hw, 1.0f, gwg,
+            icg);
+    } else {
+      const ScratchScope scope(ws);
+      float* col = ws.acquire(icg * k2 * hw);
+      float* dcol = ws.acquire(icg * k2 * hw);
+      // dL/dcol = W^T dY, scattered back through col2im.
+      sgemm(true, false, icg * k2, hw, ocg, 1.0f, wg, icg * k2, gog, hw,
+            0.0f, dcol, hw);
+      col2im(dcol, icg, H, W, k_, gxg);
+      // dL/dW += dY col^T.
+      im2col(xg, icg, H, W, k_, col);
+      sgemm(false, true, ocg, icg * k2, hw, 1.0f, gog, hw, col, hw, 1.0f,
+            gwg, icg * k2);
     }
-    if (has_bias_) grad_bias_[oc] += static_cast<float>(gb);
-  });
+  };
 
+  // Images run in parallel, each owning a zeroed weight-gradient
+  // accumulator (weights are a few KB — cheap next to the GEMMs) that is
+  // reduced serially in image order afterwards. The same structure runs
+  // at every thread count, so backward numerics — and therefore the
+  // trained model bytes a compressed stream embeds — are independent of
+  // XFC_THREADS: thread-invariant output is part of the codec's
+  // reproducibility contract. Single-image backward (B == 1) keeps
+  // group-level parallelism instead.
+  std::vector<std::vector<float>> gw_acc(B);
+  if (B == 1) {
+    gw_acc[0].assign(weight_.size(), 0.0f);
+    parallel_for_chunked(0, groups_, 1,
+                         [&](std::size_t glo, std::size_t ghi) {
+      for (std::size_t g = glo; g < ghi; ++g)
+        backward_block(0, g, gw_acc[0].data());
+    });
+  } else {
+    parallel_for_chunked(0, B, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t b = lo; b < hi; ++b) {
+        gw_acc[b].assign(weight_.size(), 0.0f);
+        for (std::size_t g = 0; g < groups_; ++g)
+          backward_block(b, g, gw_acc[b].data());
+      }
+    });
+  }
+  for (const std::vector<float>& gw : gw_acc)
+    for (std::size_t i = 0; i < gw.size(); ++i) grad_weight_[i] += gw[i];
+
+  if (has_bias_) {
+    parallel_for_chunked(0, out_ch_, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t oc = lo; oc < hi; ++oc) {
+        double gb = 0.0;
+        for (std::size_t b = 0; b < B; ++b) {
+          const float* go = grad_out.plane(b, oc);
+          for (std::size_t i = 0; i < hw; ++i) gb += go[i];
+        }
+        grad_bias_[oc] += static_cast<float>(gb);
+      }
+    });
+  }
   return gx;
 }
 

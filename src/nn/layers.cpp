@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/utils.hpp"
+#include "nn/gemm.hpp"
 
 namespace xfc::nn {
 
@@ -54,20 +55,22 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
   }
 }
 
+// Both passes are single GEMMs on the same kernel Conv2D lowers onto
+// (weight stored [out][in], inputs flattened to [batch][in]).
+
 Tensor Linear::forward(const Tensor& x) {
   expects(x.c() * x.h() * x.w() == in_,
           "Linear::forward: input feature count mismatch");
   input_ = x;
-  Tensor y(x.n(), out_, 1, 1);
   const std::size_t B = x.n();
-  for (std::size_t b = 0; b < B; ++b) {
-    const float* xi = x.data() + b * in_;
-    float* yo = y.data() + b * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      double acc = has_bias_ ? bias_[o] : 0.0f;
-      const float* wrow = weight_.data() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * xi[i];
-      yo[o] = static_cast<float>(acc);
+  Tensor y(B, out_, 1, 1);
+  // Y = X W^T.
+  sgemm(false, true, B, out_, in_, 1.0f, x.data(), in_, weight_.data(), in_,
+        0.0f, y.data(), out_);
+  if (has_bias_) {
+    for (std::size_t b = 0; b < B; ++b) {
+      float* yo = y.data() + b * out_;
+      for (std::size_t o = 0; o < out_; ++o) yo[o] += bias_[o];
     }
   }
   return y;
@@ -78,19 +81,15 @@ Tensor Linear::backward(const Tensor& grad_out) {
           "Linear::backward: shape mismatch");
   const std::size_t B = input_.n();
   Tensor gx(input_.n(), input_.c(), input_.h(), input_.w());
-  for (std::size_t b = 0; b < B; ++b) {
-    const float* xi = input_.data() + b * in_;
-    const float* go = grad_out.data() + b * out_;
-    float* gxi = gx.data() + b * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = go[o];
-      float* gw = grad_weight_.data() + o * in_;
-      const float* wrow = weight_.data() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) {
-        gw[i] += g * xi[i];
-        gxi[i] += g * wrow[i];
-      }
-      if (has_bias_) grad_bias_[o] += g;
+  // dL/dx = dY W ; dL/dW += dY^T X.
+  sgemm(false, false, B, in_, out_, 1.0f, grad_out.data(), out_,
+        weight_.data(), in_, 0.0f, gx.data(), in_);
+  sgemm(true, false, out_, in_, B, 1.0f, grad_out.data(), out_,
+        input_.data(), in_, 1.0f, grad_weight_.data(), in_);
+  if (has_bias_) {
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* go = grad_out.data() + b * out_;
+      for (std::size_t o = 0; o < out_; ++o) grad_bias_[o] += go[o];
     }
   }
   return gx;

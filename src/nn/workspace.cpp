@@ -1,0 +1,10 @@
+#include "nn/workspace.hpp"
+
+namespace xfc::nn {
+
+Workspace& tls_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace xfc::nn

@@ -1,0 +1,77 @@
+#ifndef XFC_NN_WORKSPACE_HPP
+#define XFC_NN_WORKSPACE_HPP
+
+/// \file workspace.hpp
+/// Per-thread scratch-buffer arena for the NN hot paths.
+///
+/// im2col buffers, GEMM packing panels, and layer activations are needed
+/// for microseconds at a time but sized in megabytes; allocating them per
+/// forward call dominated small-batch profiles. The arena hands out slab
+/// positions by acquire order: after a rewind, the i-th acquire returns
+/// the same (grown-to-fit) slab as last time, so steady-state training
+/// loops perform zero heap allocations.
+///
+/// Access pattern (stack discipline, enforced by ScratchScope):
+///   Workspace& ws = tls_workspace();
+///   ScratchScope scope(ws);          // rewinds on scope exit
+///   float* buf = ws.acquire(n);      // valid until scope exit
+///
+/// Each thread owns its arena (tls_workspace), so pool workers never
+/// contend; nested scopes (Sequential -> Conv2D -> sgemm) stack cleanly.
+
+#include <cstddef>
+#include <vector>
+
+namespace xfc::nn {
+
+class Workspace {
+ public:
+  /// Scratch buffer of >= n floats. Contents are undefined. Valid until
+  /// the enclosing ScratchScope exits.
+  float* acquire(std::size_t n) {
+    if (cursor_ == slabs_.size()) slabs_.emplace_back();
+    std::vector<float>& slab = slabs_[cursor_++];
+    if (slab.size() < n) slab.resize(n);
+    return slab.data();
+  }
+
+  std::size_t mark() const { return cursor_; }
+  void rewind(std::size_t m) { cursor_ = m; }
+
+  /// Total floats currently reserved across all slabs (diagnostics).
+  std::size_t floats_reserved() const {
+    std::size_t total = 0;
+    for (const auto& s : slabs_) total += s.size();
+    return total;
+  }
+
+  /// Frees every slab (tests / memory-pressure handling).
+  void clear() {
+    slabs_.clear();
+    cursor_ = 0;
+  }
+
+ private:
+  std::vector<std::vector<float>> slabs_;
+  std::size_t cursor_ = 0;
+};
+
+/// RAII rewind guard; see file comment for the usage pattern.
+class ScratchScope {
+ public:
+  explicit ScratchScope(Workspace& ws) : ws_(ws), mark_(ws.mark()) {}
+  ~ScratchScope() { ws_.rewind(mark_); }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+ private:
+  Workspace& ws_;
+  std::size_t mark_;
+};
+
+/// The calling thread's arena.
+Workspace& tls_workspace();
+
+}  // namespace xfc::nn
+
+#endif  // XFC_NN_WORKSPACE_HPP

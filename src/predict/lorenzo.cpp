@@ -88,21 +88,25 @@ I32Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order) {
 
   switch (s.ndim()) {
     case 1:
-      parallel_for(0, s[0], [&](std::size_t i) {
-        pred(i) = clamp_code(lorenzo_at_1d(codes, i, order));
+      parallel_for_chunked(0, s[0], 0, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          pred(i) = clamp_code(lorenzo_at_1d(codes, i, order));
       });
       break;
     case 2:
-      parallel_for(0, s[0], [&](std::size_t i) {
-        for (std::size_t j = 0; j < s[1]; ++j)
-          pred(i, j) = clamp_code(lorenzo_at_2d(codes, i, j, order));
+      parallel_for_chunked(0, s[0], 0, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < s[1]; ++j)
+            pred(i, j) = clamp_code(lorenzo_at_2d(codes, i, j, order));
       });
       break;
     case 3:
-      parallel_for(0, s[0], [&](std::size_t i) {
-        for (std::size_t j = 0; j < s[1]; ++j)
-          for (std::size_t k = 0; k < s[2]; ++k)
-            pred(i, j, k) = clamp_code(lorenzo_at_3d(codes, i, j, k, order));
+      parallel_for_chunked(0, s[0], 0, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < s[1]; ++j)
+            for (std::size_t k = 0; k < s[2]; ++k)
+              pred(i, j, k) =
+                  clamp_code(lorenzo_at_3d(codes, i, j, k, order));
       });
       break;
     default:

@@ -45,7 +45,7 @@ RegressionPredictor RegressionPredictor::fit(const I32Array& codes,
   rp.coeffs_.assign(nblocks * rp.coeffs_per_block_, 0.0f);
 
   // Every block is independent.
-  parallel_for(0, nblocks, [&](std::size_t b) {
+  auto fit_block = [&](std::size_t b) {
     const std::size_t bi = b / (grid[1] * grid[2]);
     const std::size_t bj = (b / grid[2]) % grid[1];
     const std::size_t bk = b % grid[2];
@@ -89,7 +89,8 @@ RegressionPredictor RegressionPredictor::fit(const I32Array& codes,
     if (s.ndim() >= 1) c[1] = sxx > 0 ? static_cast<float>(sxv / sxx) : 0.0f;
     if (s.ndim() >= 2) c[2] = syy > 0 ? static_cast<float>(syv / syy) : 0.0f;
     if (s.ndim() >= 3) c[3] = szz > 0 ? static_cast<float>(szv / szz) : 0.0f;
-  });
+  };
+  parallel_for(0, nblocks, fit_block);
   return rp;
 }
 
@@ -126,21 +127,27 @@ I32Array RegressionPredictor::predict_all(const Shape& shape) const {
   I32Array pred(shape);
   switch (shape.ndim()) {
     case 1:
-      parallel_for(0, shape[0], [&](std::size_t i) {
-        pred(i) = static_cast<std::int32_t>(at(shape, i));
+      parallel_for_chunked(0, shape[0], 0,
+                           [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          pred(i) = static_cast<std::int32_t>(at(shape, i));
       });
       break;
     case 2:
-      parallel_for(0, shape[0], [&](std::size_t i) {
-        for (std::size_t j = 0; j < shape[1]; ++j)
-          pred(i, j) = static_cast<std::int32_t>(at(shape, i, j));
+      parallel_for_chunked(0, shape[0], 0,
+                           [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < shape[1]; ++j)
+            pred(i, j) = static_cast<std::int32_t>(at(shape, i, j));
       });
       break;
     case 3:
-      parallel_for(0, shape[0], [&](std::size_t i) {
-        for (std::size_t j = 0; j < shape[1]; ++j)
-          for (std::size_t k = 0; k < shape[2]; ++k)
-            pred(i, j, k) = static_cast<std::int32_t>(at(shape, i, j, k));
+      parallel_for_chunked(0, shape[0], 0,
+                           [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < shape[1]; ++j)
+            for (std::size_t k = 0; k < shape[2]; ++k)
+              pred(i, j, k) = static_cast<std::int32_t>(at(shape, i, j, k));
       });
       break;
     default:

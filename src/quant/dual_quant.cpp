@@ -16,14 +16,17 @@ I32Array prequantize(const F32Array& values, double abs_eb) {
   std::int32_t* dst = codes.data();
   std::atomic<bool> overflow{false};
 
-  parallel_for(0, values.size(), [&](std::size_t i) {
-    const double scaled = static_cast<double>(src[i]) * inv;
-    const std::int64_t q = std::llround(scaled);
-    if (q >= kMaxQuantCode || q <= -kMaxQuantCode) {
-      overflow.store(true, std::memory_order_relaxed);
-      dst[i] = 0;
-    } else {
-      dst[i] = static_cast<std::int32_t>(q);
+  parallel_for_chunked(0, values.size(), 0, [&](std::size_t lo,
+                                                std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double scaled = static_cast<double>(src[i]) * inv;
+      const std::int64_t q = std::llround(scaled);
+      if (q >= kMaxQuantCode || q <= -kMaxQuantCode) {
+        overflow.store(true, std::memory_order_relaxed);
+        dst[i] = 0;
+      } else {
+        dst[i] = static_cast<std::int32_t>(q);
+      }
     }
   });
 
@@ -41,8 +44,10 @@ F32Array dequantize(const I32Array& codes, double abs_eb, Shape shape) {
   const double step = 2.0 * abs_eb;
   const std::int32_t* src = codes.data();
   float* dst = values.data();
-  parallel_for(0, codes.size(), [&](std::size_t i) {
-    dst[i] = static_cast<float>(static_cast<double>(src[i]) * step);
+  parallel_for_chunked(0, codes.size(), 0, [&](std::size_t lo,
+                                               std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      dst[i] = static_cast<float>(static_cast<double>(src[i]) * step);
   });
   return values;
 }

@@ -181,6 +181,44 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelForChunked, ChunksPartitionTheRange) {
+  constexpr std::size_t n = 4099;  // prime: uneven final chunk
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunked(0, n, 64, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi, n);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForChunked, NonzeroBeginRespected) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_chunked(17, 93, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(hits[i].load(), i >= 17 && i < 93 ? 1 : 0) << i;
+}
+
+TEST(ParallelForChunked, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for_chunked(9, 9, 4,
+                       [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunked, NestedCallsRunInline) {
+  std::atomic<int> total{0};
+  parallel_for_chunked(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      parallel_for_chunked(0, 10, 2, [&](std::size_t ilo, std::size_t ihi) {
+        total.fetch_add(static_cast<int>(ihi - ilo));
+      });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
 TEST(CeilDiv, Basics) {
   EXPECT_EQ(ceil_div(10, 3), 4u);
   EXPECT_EQ(ceil_div(9, 3), 3u);

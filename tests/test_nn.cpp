@@ -204,6 +204,21 @@ TEST(Conv2DLayer, GradientCheckPointwise) {
   check_gradients(conv, random_tensor(2, 5, 4, 4, rng));
 }
 
+// The k=5 / batched-grouped cases route through every im2col+GEMM code
+// path (wide halo, grouped weight blocks, per-image weight-grad GEMMs).
+
+TEST(Conv2DLayer, GradientCheckKernel5) {
+  Rng rng(30);
+  Conv2D conv(2, 3, 5, 1, true, rng);
+  check_gradients(conv, random_tensor(2, 2, 7, 6, rng));
+}
+
+TEST(Conv2DLayer, GradientCheckGroupedBatched) {
+  Rng rng(31);
+  Conv2D conv(6, 4, 3, 2, true, rng);
+  check_gradients(conv, random_tensor(3, 6, 5, 7, rng));
+}
+
 TEST(Conv2DLayer, RejectsBadHyperparameters) {
   Rng rng(11);
   EXPECT_THROW(Conv2D(3, 4, 2, 1, true, rng), InvalidArgument);  // even k
