@@ -31,8 +31,9 @@ namespace {
 
 /// Compressed payload size (bytes) of coding `codes` against `preds`.
 std::size_t coded_size(const I32Array& codes, const I32Array& preds) {
-  const auto payload =
-      encode_deltas(codes.span(), preds.span(), kDefaultQuantRadius);
+  const std::vector<std::int64_t> p64(preds.span().begin(),
+                                      preds.span().end());
+  const auto payload = encode_deltas(codes.span(), p64, kDefaultQuantRadius);
   return lossless_compress(payload, LosslessBackend::kAuto).size();
 }
 
@@ -128,8 +129,10 @@ int main(int argc, char** argv) {
 
   print_header("A4: lossless backend behind the delta coder (Wf payload)");
   {
-    const auto payload = encode_deltas(analysis.codes.span(),
-                                       analysis.candidates[ndim].span(),
+    const std::vector<std::int64_t> lorenzo64(
+        analysis.candidates[ndim].span().begin(),
+        analysis.candidates[ndim].span().end());
+    const auto payload = encode_deltas(analysis.codes.span(), lorenzo64,
                                        kDefaultQuantRadius);
     std::printf("%-12s %14s\n", "backend", "bytes");
     print_rule(28);

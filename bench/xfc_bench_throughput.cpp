@@ -22,6 +22,7 @@
 #include "quant/dual_quant.hpp"
 #include "sz/compressor.hpp"
 #include "sz/delta_codec.hpp"
+#include "sz/fused_encode.hpp"
 #include "sz/interpolation.hpp"
 #include "zfp/zfp_codec.hpp"
 
@@ -60,13 +61,19 @@ int main(int argc, char** argv) {
            time_ms([&] { lorenzo_predict_all(codes, LorenzoOrder::kOne); }),
            field_bytes);
   {
-    const I32Array preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+    const I64Array preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
     json.add("delta_encode",
              time_ms([&] {
                encode_deltas(codes.span(), preds.span(), kDefaultQuantRadius);
              }),
              field_bytes);
   }
+  json.add("fused_quant_predict_encode",
+           time_ms([&] {
+             fused_lorenzo_encode(f.array(), 1e-3 * f.value_range(),
+                                  LorenzoOrder::kOne, kDefaultQuantRadius);
+           }),
+           field_bytes);
   json.add("sz_compress", time_ms([&] { sz_compress(f, SzOptions{}); }),
            field_bytes);
   {

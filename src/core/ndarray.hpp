@@ -135,6 +135,7 @@ class NdArray {
 using F32Array = NdArray<float>;
 using F64Array = NdArray<double>;
 using I32Array = NdArray<std::int32_t>;
+using I64Array = NdArray<std::int64_t>;
 
 }  // namespace xfc
 

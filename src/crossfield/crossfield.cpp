@@ -138,7 +138,21 @@ CrossFieldAnalysis cross_field_analyze(
     }
     a.candidates.push_back(std::move(cand));
   }
-  a.candidates.push_back(lorenzo_predict_all(a.codes, LorenzoOrder::kOne));
+  {
+    // Candidates are stored clamped to int32; the decoder applies the same
+    // clamp to its unclamped lorenzo_at_* predictions, so both sides see
+    // identical candidate values.
+    const I64Array lorenzo = lorenzo_predict_all(a.codes, LorenzoOrder::kOne);
+    I32Array cand(shape);
+    parallel_for_chunked(0, cand.size(), 0, [&](std::size_t lo,
+                                                std::size_t hi) {
+      for (std::size_t idx = lo; idx < hi; ++idx)
+        cand[idx] = static_cast<std::int32_t>(
+            std::clamp(lorenzo[idx], static_cast<std::int64_t>(INT32_MIN),
+                       static_cast<std::int64_t>(INT32_MAX)));
+    });
+    a.candidates.push_back(std::move(cand));
+  }
 
   // Fit the hybrid combination. Squared error is a poor proxy for coded
   // size (it is dominated by the outlier tail, while Huffman cost follows
@@ -183,15 +197,18 @@ std::vector<std::uint8_t> cross_field_compress(
   const std::size_t ndim = shape.ndim();
   const std::size_t k = a.candidates.size();
 
-  // Final per-point integer predictions from the hybrid combination.
-  I32Array preds(shape);
+  // Final per-point integer predictions from the hybrid combination, kept
+  // in int64: the decoder feeds combine() straight into DeltaDecoder::next,
+  // and narrowing here would diverge from it whenever a combination leaves
+  // the int32 range.
+  I64Array preds(shape);
   parallel_for_chunked(0, preds.size(), 0, [&](std::size_t lo,
                                                std::size_t hi) {
     for (std::size_t idx = lo; idx < hi; ++idx) {
       std::array<std::int64_t, 4> c{};
       for (std::size_t p = 0; p < k; ++p) c[p] = a.candidates[p][idx];
-      preds[idx] = static_cast<std::int32_t>(
-          a.hybrid.combine(std::span<const std::int64_t>(c.data(), k)));
+      preds[idx] =
+          a.hybrid.combine(std::span<const std::int64_t>(c.data(), k));
     }
   });
 

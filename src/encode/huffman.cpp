@@ -191,11 +191,13 @@ void HuffmanCode::build_tables() {
     index += count_[l];
   }
 
-  sorted_.clear();
-  sorted_.reserve(index);
-  for (unsigned l = 1; l <= max_len_; ++l)
-    for (std::uint32_t s = 0; s < lengths_.size(); ++s)
-      if (lengths_[s] == l) sorted_.push_back(s);
+  // Counting sort by (length, symbol): one pass over the alphabet instead
+  // of max_len_ passes — this build runs on both the compress and the
+  // decompress side for every stream.
+  sorted_.assign(index, 0);
+  std::vector<std::uint32_t> fill = first_index_;
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s)
+    if (lengths_[s] > 0) sorted_[fill[lengths_[s]]++] = s;
 
   codes_.assign(lengths_.size(), 0);
   std::vector<std::uint32_t> next = first_code_;
@@ -214,29 +216,21 @@ void HuffmanCode::build_tables() {
   }
 }
 
-void HuffmanCode::encode(BitWriter& bw, std::uint32_t symbol) const {
-  expects(symbol < lengths_.size() && lengths_[symbol] > 0,
-          "HuffmanCode::encode: symbol has no code");
-  bw.put_bits(codes_[symbol], lengths_[symbol]);
+void HuffmanCode::encode_all(BitWriter& bw,
+                             std::span<const std::uint32_t> symbols) const {
+  std::uint64_t total_bits = 0;
+  for (std::uint32_t s : symbols) {
+    expects(s < lengths_.size() && lengths_[s] > 0,
+            "HuffmanCode::encode_all: symbol has no code");
+    total_bits += lengths_[s];
+  }
+  bw.reserve_bits(total_bits);
+  for (std::uint32_t s : symbols) bw.put_bits(codes_[s], lengths_[s]);
 }
 
-std::uint32_t HuffmanCode::decode(BitReader& br) const {
-  if (max_len_ == 0) throw CorruptStream("HuffmanCode::decode: empty codebook");
-  const std::size_t remaining = br.remaining();
-
-  // Fast path: one peek resolves any code of length <= kRootBits.
-  // (peek zero-fills past the end, so only trust entries whose length is
-  // actually available.)
-  if (remaining >= 1) {
-    const RootEntry e =
-        root_[static_cast<std::size_t>(br.peek_bits(kRootBits))];
-    if (e.length != 0 && e.length <= remaining) {
-      br.skip_bits(e.length);
-      return e.symbol;
-    }
-  }
-
+std::uint32_t HuffmanCode::decode_slow(BitReader& br) const {
   // Long-code path: peek the full maximum length once and scan lengths.
+  const std::size_t remaining = br.remaining();
   const unsigned avail = static_cast<unsigned>(
       remaining < max_len_ ? remaining : max_len_);
   if (avail == 0)

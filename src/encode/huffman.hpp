@@ -49,10 +49,37 @@ class HuffmanCode {
   const std::vector<std::uint8_t>& lengths() const { return lengths_; }
 
   /// Writes the code for `symbol`; the symbol must have a nonzero length.
-  void encode(BitWriter& bw, std::uint32_t symbol) const;
+  void encode(BitWriter& bw, std::uint32_t symbol) const {
+    expects(symbol < lengths_.size() && lengths_[symbol] > 0,
+            "HuffmanCode::encode: symbol has no code");
+    bw.put_bits(codes_[symbol], lengths_[symbol]);
+  }
 
-  /// Reads one symbol.
-  std::uint32_t decode(BitReader& br) const;
+  /// Bulk append: writes the codes of all `symbols` back to back. This is
+  /// the entropy-coder emit loop of the SZ pipelines — everything inlines
+  /// into one pass over the symbol array with word-granular stores.
+  void encode_all(BitWriter& bw, std::span<const std::uint32_t> symbols) const;
+
+  /// Reads one symbol. Header-inline: this is the per-point hot path of
+  /// sequential decompression.
+  std::uint32_t decode(BitReader& br) const {
+    if (max_len_ == 0)
+      throw CorruptStream("HuffmanCode::decode: empty codebook");
+    const std::size_t remaining = br.remaining();
+
+    // Fast path: one peek resolves any code of length <= kRootBits.
+    // (peek zero-fills past the end, so only trust entries whose length is
+    // actually available.)
+    if (remaining >= 1) {
+      const RootEntry e =
+          root_[static_cast<std::size_t>(br.peek_bits(kRootBits))];
+      if (e.length != 0 && e.length <= remaining) {
+        br.skip_bits(e.length);
+        return e.symbol;
+      }
+    }
+    return decode_slow(br);
+  }
 
   /// Exact encoded size in bits of `symbol`.
   unsigned length_of(std::uint32_t symbol) const { return lengths_[symbol]; }
@@ -73,6 +100,9 @@ class HuffmanCode {
   };
 
   void build_tables();
+
+  /// Long-code (> kRootBits) and end-of-stream decode path.
+  std::uint32_t decode_slow(BitReader& br) const;
 
   std::vector<RootEntry> root_;              // fast decode table
   std::vector<std::uint8_t> lengths_;        // per-symbol code length

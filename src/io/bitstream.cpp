@@ -2,44 +2,12 @@
 
 namespace xfc {
 
-void BitWriter::put_bits(std::uint64_t value, unsigned nbits) {
-  expects(nbits <= 64, "BitWriter::put_bits: nbits > 64");
-  if (nbits == 0) return;
-  if (nbits < 64) value &= (1ull << nbits) - 1;
-
-  // Split so the accumulator never holds more than 64 valid bits.
-  if (nbuf_ + nbits > 64) {
-    const unsigned first = 64 - nbuf_;
-    if (first > 0) {
-      buf_ = (buf_ << first) | (value >> (nbits - first));
-      nbuf_ = 64;
-    }
-    flush_full_bytes();
-    const unsigned rest = nbits - first;
-    if (rest < 64) value &= (1ull << rest) - 1;
-    buf_ = (buf_ << rest) | value;
-    nbuf_ += rest;
-  } else if (nbits == 64) {
-    // Only reachable with an empty accumulator (nbuf_ + 64 <= 64); a
-    // 64-bit shift would be undefined behaviour.
-    buf_ = value;
-    nbuf_ = 64;
-  } else {
-    buf_ = (buf_ << nbits) | value;
-    nbuf_ += nbits;
-  }
-  flush_full_bytes();
-}
-
-void BitWriter::flush_full_bytes() {
+std::vector<std::uint8_t> BitWriter::take() {
   while (nbuf_ >= 8) {
     bytes_.push_back(
         static_cast<std::uint8_t>((buf_ >> (nbuf_ - 8)) & 0xFFu));
     nbuf_ -= 8;
   }
-}
-
-std::vector<std::uint8_t> BitWriter::take() {
   if (nbuf_ > 0) {
     bytes_.push_back(
         static_cast<std::uint8_t>((buf_ << (8 - nbuf_)) & 0xFFu));
@@ -51,36 +19,13 @@ std::vector<std::uint8_t> BitWriter::take() {
   return out;
 }
 
-std::uint64_t BitReader::get_bits(unsigned nbits) {
-  expects(nbits <= 57, "BitReader::get_bits: nbits > 57");
-  if (nbits == 0) return 0;
-  if (pos_ + nbits > bit_size())
-    throw CorruptStream("BitReader: read past end of stream");
-  const std::uint64_t v = peek_bits(nbits);
-  pos_ += nbits;
-  return v;
-}
-
-std::uint64_t BitReader::peek_bits(unsigned nbits) const {
-  expects(nbits <= 57, "BitReader::peek_bits: nbits > 57");
-  if (nbits == 0) return 0;
-  const std::size_t byte = pos_ >> 3;
-  const unsigned bit = static_cast<unsigned>(pos_ & 7);
-
-  // Load up to 8 bytes starting at `byte`; bytes past the end read as 0.
+std::uint64_t BitReader::tail_window(std::size_t byte) const {
   std::uint64_t window = 0;
   const std::size_t avail = data_.size() > byte ? data_.size() - byte : 0;
   const std::size_t n = avail < 8 ? avail : 8;
   for (std::size_t i = 0; i < n; ++i)
     window |= static_cast<std::uint64_t>(data_[byte + i]) << (56 - 8 * i);
-
-  return (window << bit) >> (64 - nbits);
-}
-
-void BitReader::skip_bits(unsigned nbits) {
-  if (pos_ + nbits > bit_size())
-    throw CorruptStream("BitReader: skip past end of stream");
-  pos_ += nbits;
+  return window;
 }
 
 }  // namespace xfc

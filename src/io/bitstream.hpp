@@ -6,14 +6,33 @@
 /// accumulator. This is the transport layer for the Huffman, miniflate and
 /// ZFP coders. Writers append to an internal buffer that the caller takes
 /// with `take()`; readers consume a borrowed span.
+///
+/// Both sides are word-based: the writer spills its accumulator as one
+/// 8-byte big-endian store when it fills (instead of per-byte push_back),
+/// and the reader peeks through a single unaligned 64-bit load whenever 8
+/// bytes are available. The hot entry points live in this header so the
+/// entropy-coder inner loops inline them.
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "core/error.hpp"
 
 namespace xfc {
+namespace detail {
+
+/// Host value -> big-endian (MSB-first) byte order.
+inline std::uint64_t to_big_endian(std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little)
+    return __builtin_bswap64(v);
+  else
+    return v;
+}
+
+}  // namespace detail
 
 /// Appends bits most-significant-first into a growing byte buffer.
 class BitWriter {
@@ -22,10 +41,31 @@ class BitWriter {
 
   /// Writes the low `nbits` bits of `value` (MSB of that slice first).
   /// nbits must be in [0, 64].
-  void put_bits(std::uint64_t value, unsigned nbits);
+  void put_bits(std::uint64_t value, unsigned nbits) {
+    expects(nbits <= 64, "BitWriter::put_bits: nbits > 64");
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (std::uint64_t{1} << nbits) - 1;
+    const unsigned total = nbuf_ + nbits;
+    if (total < 64) {
+      buf_ = (buf_ << nbits) | value;
+      nbuf_ = total;
+      return;
+    }
+    // Spill exactly one full word; the remainder restarts the accumulator.
+    const unsigned rest = total - 64;
+    const unsigned take = nbits - rest;  // bits of `value` that fit: 1..64
+    const std::uint64_t word =
+        take == 64 ? value : (buf_ << take) | (value >> rest);
+    append_word(word);
+    nbuf_ = rest;
+    buf_ = rest > 0 ? (value & ((std::uint64_t{1} << rest) - 1)) : 0;
+  }
 
   /// Writes a single bit (0 or 1).
   void put_bit(unsigned bit) { put_bits(bit & 1u, 1); }
+
+  /// Grows the backing buffer ahead of a bulk append of ~`nbits` bits.
+  void reserve_bits(std::size_t nbits) { bytes_.reserve(bytes_.size() + nbits / 8 + 8); }
 
   /// Flushes the partial byte (zero-padded) and returns the buffer,
   /// leaving the writer empty and reusable.
@@ -35,7 +75,13 @@ class BitWriter {
   std::size_t bit_count() const { return bytes_.size() * 8 + nbuf_; }
 
  private:
-  void flush_full_bytes();
+  /// Appends 8 bytes, MSB of `w` first.
+  void append_word(std::uint64_t w) {
+    const std::size_t n = bytes_.size();
+    bytes_.resize(n + 8);
+    const std::uint64_t be = detail::to_big_endian(w);
+    std::memcpy(bytes_.data() + n, &be, 8);
+  }
 
   std::vector<std::uint8_t> bytes_;
   std::uint64_t buf_ = 0;  // accumulates up to 64 bits, MSB side is oldest
@@ -50,17 +96,42 @@ class BitReader {
 
   /// Reads `nbits` bits (<= 57 per call, which covers all users) and
   /// returns them right-aligned.
-  std::uint64_t get_bits(unsigned nbits);
+  std::uint64_t get_bits(unsigned nbits) {
+    expects(nbits <= 57, "BitReader::get_bits: nbits > 57");
+    if (nbits == 0) return 0;
+    if (pos_ + nbits > bit_size())
+      throw CorruptStream("BitReader: read past end of stream");
+    const std::uint64_t v = peek_bits(nbits);
+    pos_ += nbits;
+    return v;
+  }
 
   /// Reads a single bit.
   unsigned get_bit() { return static_cast<unsigned>(get_bits(1)); }
 
   /// Peeks up to `nbits` without consuming; bits past the end read as 0.
   /// Used by the table-driven Huffman decoder.
-  std::uint64_t peek_bits(unsigned nbits) const;
+  std::uint64_t peek_bits(unsigned nbits) const {
+    expects(nbits <= 57, "BitReader::peek_bits: nbits > 57");
+    if (nbits == 0) return 0;
+    const std::size_t byte = pos_ >> 3;
+    const unsigned bit = static_cast<unsigned>(pos_ & 7);
+    std::uint64_t window;
+    if (byte + 8 <= data_.size()) {
+      std::memcpy(&window, data_.data() + byte, 8);
+      window = detail::to_big_endian(window);
+    } else {
+      window = tail_window(byte);
+    }
+    return (window << bit) >> (64 - nbits);
+  }
 
   /// Consumes `nbits` previously peeked bits.
-  void skip_bits(unsigned nbits);
+  void skip_bits(unsigned nbits) {
+    if (pos_ + nbits > bit_size())
+      throw CorruptStream("BitReader: skip past end of stream");
+    pos_ += nbits;
+  }
 
   /// Bits consumed so far.
   std::size_t position() const { return pos_; }
@@ -72,6 +143,10 @@ class BitReader {
   std::size_t remaining() const { return bit_size() - pos_; }
 
  private:
+  /// Byte-at-a-time window assembly for the last < 8 bytes of the stream;
+  /// bytes past the end read as 0.
+  std::uint64_t tail_window(std::size_t byte) const;
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;  // bit cursor
 };

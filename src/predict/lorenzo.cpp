@@ -1,6 +1,7 @@
 #include "predict/lorenzo.hpp"
 
 #include <array>
+#include <vector>
 
 #include "core/error.hpp"
 #include "core/utils.hpp"
@@ -22,7 +23,40 @@ inline int layers(LorenzoOrder order) {
   return order == LorenzoOrder::kOne ? 1 : 2;
 }
 
+/// Shared all-zero row substituted for out-of-domain neighbour rows, so the
+/// interior loops of the row kernels stay branch-free. Grows to the widest
+/// row seen by this thread and is only ever read.
+const std::int32_t* zero_row(std::size_t W) {
+  static thread_local std::vector<std::int32_t> z;
+  if (z.size() < W) z.assign(W, 0);
+  return z.data();
+}
+
 }  // namespace
+
+const LorenzoStencil& lorenzo_stencil(LorenzoOrder order, std::size_t ndim) {
+  expects(ndim >= 1 && ndim <= 3, "lorenzo_stencil: unsupported rank");
+  static const std::array<LorenzoStencil, 6> table = [] {
+    std::array<LorenzoStencil, 6> t{};
+    for (LorenzoOrder o : {LorenzoOrder::kOne, LorenzoOrder::kTwo}) {
+      const auto& c = binom(o);
+      const int n = layers(o);
+      for (std::size_t nd = 1; nd <= 3; ++nd) {
+        LorenzoStencil& st =
+            t[(o == LorenzoOrder::kTwo ? 3 : 0) + (nd - 1)];
+        for (int di = 0; di <= (nd >= 1 ? n : 0); ++di)
+          for (int dj = 0; dj <= (nd >= 2 ? n : 0); ++dj)
+            for (int dk = 0; dk <= (nd >= 3 ? n : 0); ++dk) {
+              if (di == 0 && dj == 0 && dk == 0) continue;
+              const std::int64_t sign = ((di + dj + dk) % 2 == 1) ? 1 : -1;
+              st.w[di][dj][dk] = sign * c[di] * c[dj] * c[dk];
+            }
+      }
+    }
+    return t;
+  }();
+  return table[(order == LorenzoOrder::kTwo ? 3 : 0) + (ndim - 1)];
+}
 
 std::int64_t lorenzo_at_1d(const I32Array& codes, std::size_t i,
                            LorenzoOrder order) {
@@ -74,39 +108,143 @@ std::int64_t lorenzo_at_3d(const I32Array& codes, std::size_t i,
   return pred;
 }
 
-I32Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order) {
-  const Shape& s = codes.shape();
-  I32Array pred(s);
+void lorenzo_predict_row_2d(const std::int32_t* cur, const std::int32_t* p1,
+                            const std::int32_t* p2, std::size_t W,
+                            LorenzoOrder order, std::int64_t* pred) {
+  const int n = layers(order);
+  const LorenzoStencil& st = lorenzo_stencil(order, 2);
+  const std::int32_t* z = zero_row(W);
+  const std::int32_t* rows[3] = {cur, p1 != nullptr ? p1 : z,
+                                 p2 != nullptr ? p2 : z};
 
-  auto clamp_code = [](std::int64_t v) {
-    // Predictions are linear combinations of int32 codes with small
-    // coefficients; clamp defensively so downstream deltas stay in int64.
-    if (v > INT32_MAX) return static_cast<std::int32_t>(INT32_MAX);
-    if (v < INT32_MIN) return static_cast<std::int32_t>(INT32_MIN);
-    return static_cast<std::int32_t>(v);
-  };
+  // Left boundary: offsets clipped to dj <= j.
+  const std::size_t nb = std::min<std::size_t>(n, W);
+  for (std::size_t j = 0; j < nb; ++j) {
+    std::int64_t p = 0;
+    for (int di = 0; di <= n; ++di)
+      for (int dj = di == 0 ? 1 : 0;
+           dj <= n && static_cast<std::size_t>(dj) <= j; ++dj)
+        p += st.w[di][dj][0] * rows[di][j - dj];
+    pred[j] = p;
+  }
+
+  // Interior: full stencil, no bounds checks. Operands widen to int64
+  // *before* any multiply: codes reach ±2^30, so 32-bit products here
+  // would overflow (UB).
+  if (order == LorenzoOrder::kOne) {
+    // Hand-written ±1 form of the order-1 stencil (predict-all-vs-at tests
+    // pin it against the shared definition).
+    const std::int32_t* a = rows[1];
+    for (std::size_t j = 1; j < W; ++j)
+      pred[j] = static_cast<std::int64_t>(a[j]) + cur[j - 1] - a[j - 1];
+  } else {
+    const std::int32_t* a = rows[1];
+    const std::int32_t* b = rows[2];
+    const std::int64_t w01 = st.w[0][1][0], w02 = st.w[0][2][0];
+    const std::int64_t w10 = st.w[1][0][0], w11 = st.w[1][1][0],
+                       w12 = st.w[1][2][0];
+    const std::int64_t w20 = st.w[2][0][0], w21 = st.w[2][1][0],
+                       w22 = st.w[2][2][0];
+    for (std::size_t j = 2; j < W; ++j) {
+      const std::int64_t c0 = cur[j - 1], c1 = cur[j - 2];
+      const std::int64_t a0 = a[j], a1 = a[j - 1], a2 = a[j - 2];
+      const std::int64_t b0 = b[j], b1 = b[j - 1], b2 = b[j - 2];
+      pred[j] = w01 * c0 + w02 * c1 + w10 * a0 + w11 * a1 + w12 * a2 +
+                w20 * b0 + w21 * b1 + w22 * b2;
+    }
+  }
+}
+
+void lorenzo_predict_row_3d(const std::int32_t* const rows_in[3][3],
+                            std::size_t W, LorenzoOrder order,
+                            std::int64_t* pred) {
+  const int n = layers(order);
+  const LorenzoStencil& st = lorenzo_stencil(order, 3);
+  const std::int32_t* z = zero_row(W);
+  const std::int32_t* r[3][3];
+  for (int di = 0; di < 3; ++di)
+    for (int dj = 0; dj < 3; ++dj)
+      r[di][dj] = (di <= n && dj <= n && rows_in[di][dj] != nullptr)
+                      ? rows_in[di][dj]
+                      : z;
+
+  // Front boundary along k: offsets clipped to dk <= k.
+  const std::size_t nb = std::min<std::size_t>(n, W);
+  for (std::size_t k = 0; k < nb; ++k) {
+    std::int64_t p = 0;
+    for (int di = 0; di <= n; ++di)
+      for (int dj = 0; dj <= n; ++dj)
+        for (int dk = (di == 0 && dj == 0) ? 1 : 0;
+             dk <= n && static_cast<std::size_t>(dk) <= k; ++dk)
+          p += st.w[di][dj][dk] * r[di][dj][k - dk];
+    pred[k] = p;
+  }
+
+  if (order == LorenzoOrder::kOne) {
+    // Hand-written ±1 form of the order-1 stencil (predict-all-vs-at tests
+    // pin it against the shared definition).
+    const std::int32_t* cur = r[0][0];
+    const std::int32_t* r01 = r[0][1];
+    const std::int32_t* r10 = r[1][0];
+    const std::int32_t* r11 = r[1][1];
+    for (std::size_t k = 1; k < W; ++k)
+      pred[k] = static_cast<std::int64_t>(cur[k - 1]) + r01[k] - r01[k - 1] +
+                r10[k] - r10[k - 1] - static_cast<std::int64_t>(r11[k]) +
+                r11[k - 1];
+  } else {
+    // Order 2: 26-term stencil straight off the shared weights
+    // (st.w[0][0][0] == 0 folds the excluded origin into the loop).
+    for (std::size_t k = 2; k < W; ++k) {
+      std::int64_t p = 0;
+      for (int di = 0; di <= 2; ++di)
+        for (int dj = 0; dj <= 2; ++dj) {
+          const std::int32_t* rr = r[di][dj];
+          const std::int64_t* ww = st.w[di][dj];
+          p += ww[0] * rr[k] + ww[1] * rr[k - 1] + ww[2] * rr[k - 2];
+        }
+      pred[k] = p;
+    }
+  }
+}
+
+I64Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order) {
+  const Shape& s = codes.shape();
+  I64Array pred(s);
+  const int n = layers(order);
 
   switch (s.ndim()) {
-    case 1:
+    case 1: {
+      const LorenzoStencil& st = lorenzo_stencil(order, 1);
       parallel_for_chunked(0, s[0], 0, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i)
-          pred(i) = clamp_code(lorenzo_at_1d(codes, i, order));
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::int64_t p = 0;
+          for (int di = 1; di <= n && static_cast<std::size_t>(di) <= i; ++di)
+            p += st.w[di][0][0] * codes(i - di);
+          pred(i) = p;
+        }
       });
       break;
+    }
     case 2:
       parallel_for_chunked(0, s[0], 0, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-          for (std::size_t j = 0; j < s[1]; ++j)
-            pred(i, j) = clamp_code(lorenzo_at_2d(codes, i, j, order));
+          lorenzo_predict_row_2d(
+              &codes(i, 0), i >= 1 ? &codes(i - 1, 0) : nullptr,
+              i >= 2 ? &codes(i - 2, 0) : nullptr, s[1], order, &pred(i, 0));
       });
       break;
     case 3:
       parallel_for_chunked(0, s[0], 0, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-          for (std::size_t j = 0; j < s[1]; ++j)
-            for (std::size_t k = 0; k < s[2]; ++k)
-              pred(i, j, k) =
-                  clamp_code(lorenzo_at_3d(codes, i, j, k, order));
+          for (std::size_t j = 0; j < s[1]; ++j) {
+            const std::int32_t* rows[3][3] = {};
+            for (int di = 0; di <= n; ++di)
+              for (int dj = 0; dj <= n; ++dj)
+                if (i >= static_cast<std::size_t>(di) &&
+                    j >= static_cast<std::size_t>(dj))
+                  rows[di][dj] = &codes(i - di, j - dj, 0);
+            lorenzo_predict_row_3d(rows, s[2], order, &pred(i, j, 0));
+          }
       });
       break;
     default:

@@ -11,11 +11,22 @@
 /// property the paper relies on (Fig. 3) to run cross-field and Lorenzo
 /// prediction under the same decompression order.
 ///
-/// Two entry points per predictor:
+/// Predictions are int64 everywhere: they are linear combinations of int32
+/// codes with small coefficients and can exceed the int32 range, and the
+/// encoder must delta-encode against exactly the values the sequential
+/// decompressor will recompute. (A previous revision clamped the bulk
+/// predictions to int32 while the decoder predicted unclamped — the two
+/// sides must share one prediction definition.)
+///
+/// Entry points:
 ///  - `*_predict_all`: bulk prediction over prequantized codes (the
 ///    compression side; embarrassingly parallel thanks to dual quantization).
-///  - `*_at`: single-point prediction reading already-reconstructed codes
-///    (the sequential decompression inner loop).
+///  - `lorenzo_predict_row_{2,3}d`: one row of bulk predictions from
+///    neighbour-row pointers — the building block predict_all and the fused
+///    quantize+predict+encode pass share.
+///  - `*_at`: single-point prediction reading already-reconstructed codes;
+///    the naive reference for tests and the boundary/fallback path of the
+///    sequential decompression loop.
 ///
 /// Out-of-domain neighbours contribute 0, the standard SZ convention.
 
@@ -28,12 +39,42 @@ namespace xfc {
 /// Number of Lorenzo layers (1 or 2). Layer 1 is the paper's baseline.
 enum class LorenzoOrder : std::uint8_t { kOne = 1, kTwo = 2 };
 
-/// Predicts every point of `codes` into a same-shape array (compression
-/// side). Supports 1D/2D/3D.
-I32Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order);
+/// Stencil weights of the n-layer predictor: w[di][dj][dk] is the
+/// coefficient of codes(i-di, j-dj, k-dk). Entries beyond the rank or the
+/// order are 0, as is w[0][0][0] (the predicted point itself). This is the
+/// single weight definition every prediction path — bulk, fused encode,
+/// and sequential decode — derives from, so encoder and decoder cannot
+/// drift apart.
+struct LorenzoStencil {
+  std::int64_t w[3][3][3];
+};
 
-/// Single-point prediction for the decompression loop; reads only
-/// lexicographically earlier entries of `codes`.
+/// Returns the cached stencil for (order, ndim); callers in per-row loops
+/// can hold the reference without rebuilding weights.
+const LorenzoStencil& lorenzo_stencil(LorenzoOrder order, std::size_t ndim);
+
+/// Predicts every point of `codes` into a same-shape int64 array
+/// (compression side). Supports 1D/2D/3D.
+I64Array lorenzo_predict_all(const I32Array& codes, LorenzoOrder order);
+
+/// Predicts one row of `W` points. `cur` is the current row (only entries
+/// left of the predicted point are read), `p1`/`p2` the rows one/two steps
+/// back along the outer dimension; pass nullptr for rows outside the domain
+/// (they contribute 0). `p2` is ignored for order 1. A 1D array is a single
+/// row with p1 == p2 == nullptr.
+void lorenzo_predict_row_2d(const std::int32_t* cur, const std::int32_t* p1,
+                            const std::int32_t* p2, std::size_t W,
+                            LorenzoOrder order, std::int64_t* pred);
+
+/// 3D variant: `rows[di][dj]` points at row (i - di, j - dj) of the code
+/// grid (k contiguous), or nullptr when outside the domain; rows[0][0] is
+/// the current row. Entries with di or dj beyond the order are ignored.
+void lorenzo_predict_row_3d(const std::int32_t* const rows[3][3],
+                            std::size_t W, LorenzoOrder order,
+                            std::int64_t* pred);
+
+/// Single-point prediction reading only lexicographically earlier entries
+/// of `codes`; the test reference and decompression boundary path.
 std::int64_t lorenzo_at_1d(const I32Array& codes, std::size_t i,
                            LorenzoOrder order);
 std::int64_t lorenzo_at_2d(const I32Array& codes, std::size_t i,

@@ -16,6 +16,7 @@ inline std::size_t extent(std::size_t base, std::size_t dim,
 
 inline std::int64_t round_to_code(double v) {
   const double r = std::nearbyint(v);
+  if (!std::isfinite(r)) return 0;  // degenerate coefficients predict 0
   if (r > static_cast<double>(INT32_MAX)) return INT32_MAX;
   if (r < static_cast<double>(INT32_MIN)) return INT32_MIN;
   return static_cast<std::int64_t>(r);
@@ -123,14 +124,13 @@ std::int64_t RegressionPredictor::at(const Shape& shape, std::size_t i,
   return round_to_code(v);
 }
 
-I32Array RegressionPredictor::predict_all(const Shape& shape) const {
-  I32Array pred(shape);
+I64Array RegressionPredictor::predict_all(const Shape& shape) const {
+  I64Array pred(shape);
   switch (shape.ndim()) {
     case 1:
       parallel_for_chunked(0, shape[0], 0,
                            [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i)
-          pred(i) = static_cast<std::int32_t>(at(shape, i));
+        for (std::size_t i = lo; i < hi; ++i) pred(i) = at(shape, i);
       });
       break;
     case 2:
@@ -138,7 +138,7 @@ I32Array RegressionPredictor::predict_all(const Shape& shape) const {
                            [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
           for (std::size_t j = 0; j < shape[1]; ++j)
-            pred(i, j) = static_cast<std::int32_t>(at(shape, i, j));
+            pred(i, j) = at(shape, i, j);
       });
       break;
     case 3:
@@ -147,7 +147,7 @@ I32Array RegressionPredictor::predict_all(const Shape& shape) const {
         for (std::size_t i = lo; i < hi; ++i)
           for (std::size_t j = 0; j < shape[1]; ++j)
             for (std::size_t k = 0; k < shape[2]; ++k)
-              pred(i, j, k) = static_cast<std::int32_t>(at(shape, i, j, k));
+              pred(i, j, k) = at(shape, i, j, k);
       });
       break;
     default:

@@ -32,8 +32,10 @@ class RegressionPredictor {
   static RegressionPredictor fit(const I32Array& codes,
                                  std::size_t block = kRegressionBlock);
 
-  /// Predicts every point from the fitted coefficients.
-  I32Array predict_all(const Shape& shape) const;
+  /// Predicts every point from the fitted coefficients. Values are exactly
+  /// what the decompressor's at() recomputes — int64, never narrowed — so
+  /// deltas encoded against them reconstruct losslessly.
+  I64Array predict_all(const Shape& shape) const;
 
   /// Single-point prediction (decompression side).
   std::int64_t at(const Shape& shape, std::size_t i, std::size_t j = 0,

@@ -19,21 +19,15 @@ I32Array prequantize(const F32Array& values, double abs_eb) {
   parallel_for_chunked(0, values.size(), 0, [&](std::size_t lo,
                                                 std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      const double scaled = static_cast<double>(src[i]) * inv;
-      const std::int64_t q = std::llround(scaled);
-      if (q >= kMaxQuantCode || q <= -kMaxQuantCode) {
+      if (!quantize_value(src[i], inv, dst[i]))
         overflow.store(true, std::memory_order_relaxed);
-        dst[i] = 0;
-      } else {
-        dst[i] = static_cast<std::int32_t>(q);
-      }
     }
   });
 
   if (overflow.load())
     throw InvalidArgument(
         "prequantize: error bound too small for the data magnitude "
-        "(quantization code exceeds 2^30)");
+        "(quantization code magnitude exceeds 2^30)");
   return codes;
 }
 

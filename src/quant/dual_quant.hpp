@@ -13,17 +13,34 @@
 ///      prediction deltas (q - pred) carry no additional error and
 ///      compression parallelises freely.
 ///
-/// Codes are int32. The feasible regime is range/(2eb) < 2^30; beyond that
-/// (absurdly tight bounds) prequantize() throws rather than corrupt data.
+/// Codes are int32. The feasible regime is range/(2eb) <= 2^30 (inclusive);
+/// beyond that (absurdly tight bounds) prequantize() throws rather than
+/// corrupt data.
 
+#include <cmath>
 #include <cstdint>
 
 #include "core/ndarray.hpp"
 
 namespace xfc {
 
-/// Largest magnitude representable as a quantization code.
+/// Largest magnitude representable as a quantization code (inclusive:
+/// |q| == kMaxQuantCode is a valid code).
 inline constexpr std::int64_t kMaxQuantCode = std::int64_t{1} << 30;
+
+/// Quantizes a single value given `inv` = 1/(2·eb). Writes the code and
+/// returns false when the code magnitude exceeds kMaxQuantCode (the bound
+/// the array-level prequantize() turns into an InvalidArgument). Shared by
+/// prequantize() and the fused compression pass so both snap identically.
+inline bool quantize_value(float v, double inv, std::int32_t& out) {
+  const std::int64_t q = std::llround(static_cast<double>(v) * inv);
+  if (q > kMaxQuantCode || q < -kMaxQuantCode) {
+    out = 0;
+    return false;
+  }
+  out = static_cast<std::int32_t>(q);
+  return true;
+}
 
 /// Snaps every value to the nearest multiple of twice the absolute error
 /// bound. \throws InvalidArgument if any code would overflow (eb too small

@@ -115,7 +115,7 @@ std::vector<std::uint8_t> classic_compress(const Field& field,
   payload.varint(outliers.size());
   for (float v : outliers) payload.f32(v);
   BitWriter bw;
-  for (std::uint32_t s : symbols) huffman.encode(bw, s);
+  huffman.encode_all(bw, symbols);
   payload.blob(bw.take());
 
   ByteWriter body;

@@ -7,6 +7,7 @@
 #include "core/utils.hpp"
 #include "quant/dual_quant.hpp"
 #include "sz/container.hpp"
+#include "sz/fused_encode.hpp"
 
 namespace xfc {
 namespace {
@@ -45,8 +46,8 @@ inline std::size_t block_of(const Shape& s, std::size_t block, std::size_t i,
 
 /// Chooses Lorenzo vs regression per block by comparing approximate coded
 /// cost, charging regression its coefficient storage.
-BlockFlags choose_blocks(const I32Array& codes, const I32Array& lorenzo,
-                         const I32Array& regression, std::size_t block) {
+BlockFlags choose_blocks(const I32Array& codes, const I64Array& lorenzo,
+                         const I64Array& regression, std::size_t block) {
   const Shape& s = codes.shape();
   const std::size_t nblocks = grid_extent(s, 0, block) *
                               grid_extent(s, 1, block) *
@@ -81,6 +82,123 @@ BlockFlags choose_blocks(const I32Array& codes, const I32Array& lorenzo,
   return flags;
 }
 
+/// Sequential Lorenzo reconstruction. The naive per-point lorenzo_at_* calls
+/// pay six bounds checks per voxel; here boundary handling is hoisted out of
+/// the inner loops (missing neighbour rows are substituted with a zero row)
+/// and the interior runs the full stencil unchecked. Predictions are
+/// bit-identical to lorenzo_at_* — the property tests pin this.
+void decode_lorenzo_sequential(I32Array& codes, DeltaDecoder& decoder,
+                               LorenzoOrder order) {
+  const Shape& s = codes.shape();
+  const bool o1 = order == LorenzoOrder::kOne;
+
+  if (s.ndim() == 1) {
+    std::int64_t prev1 = 0, prev2 = 0;
+    for (std::size_t x = 0; x < s[0]; ++x) {
+      std::int64_t pred;
+      if (o1)
+        pred = x >= 1 ? prev1 : 0;
+      else
+        pred = x >= 2 ? 2 * prev1 - prev2 : (x == 1 ? 2 * prev1 : 0);
+      const std::int32_t c = decoder.next(pred);
+      codes(x) = c;
+      prev2 = prev1;
+      prev1 = c;
+    }
+    return;
+  }
+
+  if (s.ndim() == 2) {
+    const std::size_t W = s[1];
+    const std::vector<std::int32_t> zeros(W, 0);
+    for (std::size_t i = 0; i < s[0]; ++i) {
+      std::int32_t* cur = &codes(i, 0);
+      const std::int32_t* p1 = i >= 1 ? cur - W : zeros.data();
+      const std::int32_t* p2 = i >= 2 ? cur - 2 * W : zeros.data();
+      if (o1) {
+        cur[0] = decoder.next(p1[0]);
+        for (std::size_t j = 1; j < W; ++j)
+          cur[j] = decoder.next(static_cast<std::int64_t>(p1[j]) +
+                                cur[j - 1] - p1[j - 1]);
+      } else {
+        // Coefficients come from the shared stencil definition; operands
+        // widen to int64 before any multiply (codes reach ±2^30, so 32-bit
+        // products would overflow — UB).
+        const LorenzoStencil& st = lorenzo_stencil(order, 2);
+        const std::int64_t w01 = st.w[0][1][0], w02 = st.w[0][2][0];
+        const std::int64_t w10 = st.w[1][0][0], w11 = st.w[1][1][0],
+                           w12 = st.w[1][2][0];
+        const std::int64_t w20 = st.w[2][0][0], w21 = st.w[2][1][0],
+                           w22 = st.w[2][2][0];
+        cur[0] = decoder.next(w10 * p1[0] + w20 * p2[0]);
+        if (W >= 2)
+          cur[1] = decoder.next(w01 * cur[0] + w10 * p1[1] + w11 * p1[0] +
+                                w20 * p2[1] + w21 * p2[0]);
+        for (std::size_t j = 2; j < W; ++j) {
+          const std::int64_t c0 = cur[j - 1], c1 = cur[j - 2];
+          const std::int64_t a0 = p1[j], a1 = p1[j - 1], a2 = p1[j - 2];
+          const std::int64_t b0 = p2[j], b1 = p2[j - 1], b2 = p2[j - 2];
+          cur[j] = decoder.next(w01 * c0 + w02 * c1 + w10 * a0 + w11 * a1 +
+                                w12 * a2 + w20 * b0 + w21 * b1 + w22 * b2);
+        }
+      }
+    }
+    return;
+  }
+
+  const std::size_t W = s[2];
+  const std::vector<std::int32_t> zeros(W, 0);
+  const LorenzoStencil& st = lorenzo_stencil(order, 3);
+  const int n = o1 ? 1 : 2;
+  for (std::size_t i = 0; i < s[0]; ++i) {
+    for (std::size_t j = 0; j < s[1]; ++j) {
+      std::int32_t* cur = &codes(i, j, 0);
+      const std::int32_t* r[3][3];
+      for (int di = 0; di <= n; ++di)
+        for (int dj = 0; dj <= n; ++dj)
+          r[di][dj] = (i >= static_cast<std::size_t>(di) &&
+                       j >= static_cast<std::size_t>(dj))
+                          ? &codes(i - di, j - dj, 0)
+                          : zeros.data();
+      r[0][0] = cur;
+
+      // Front boundary along k: offsets clipped to dk <= k.
+      const std::size_t nb = std::min<std::size_t>(n, W);
+      for (std::size_t k = 0; k < nb; ++k) {
+        std::int64_t pred = 0;
+        for (int di = 0; di <= n; ++di)
+          for (int dj = 0; dj <= n; ++dj)
+            for (int dk = (di == 0 && dj == 0) ? 1 : 0;
+                 dk <= n && static_cast<std::size_t>(dk) <= k; ++dk)
+              pred += st.w[di][dj][dk] * r[di][dj][k - dk];
+        cur[k] = decoder.next(pred);
+      }
+
+      if (o1) {
+        const std::int32_t* r01 = r[0][1];
+        const std::int32_t* r10 = r[1][0];
+        const std::int32_t* r11 = r[1][1];
+        for (std::size_t k = 1; k < W; ++k)
+          cur[k] = decoder.next(static_cast<std::int64_t>(cur[k - 1]) +
+                                r01[k] - r01[k - 1] + r10[k] - r10[k - 1] -
+                                static_cast<std::int64_t>(r11[k]) +
+                                r11[k - 1]);
+      } else {
+        for (std::size_t k = 2; k < W; ++k) {
+          std::int64_t pred = 0;
+          for (int di = 0; di <= 2; ++di)
+            for (int dj = 0; dj <= 2; ++dj) {
+              const std::int32_t* rr = r[di][dj];
+              const std::int64_t* ww = st.w[di][dj];
+              pred += ww[0] * rr[k] + ww[1] * rr[k - 1] + ww[2] * rr[k - 2];
+            }
+          cur[k] = decoder.next(pred);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> sz_compress(const Field& field,
@@ -90,28 +208,31 @@ std::vector<std::uint8_t> sz_compress(const Field& field,
   const Shape& shape = field.shape();
   const double abs_eb = options.eb.absolute_for(field.value_range());
 
-  const I32Array codes = prequantize(field.array(), abs_eb);
-
-  I32Array preds;
   RegressionPredictor reg = RegressionPredictor{};  // populated if needed
   BlockFlags flags;
   bool has_regression = false;
+  std::vector<std::uint8_t> payload;
 
   switch (options.predictor) {
     case SzPredictor::kLorenzo1:
-      preds = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+    case SzPredictor::kLorenzo2: {
+      const LorenzoOrder order = options.predictor == SzPredictor::kLorenzo2
+                                     ? LorenzoOrder::kTwo
+                                     : LorenzoOrder::kOne;
+      payload = fused_lorenzo_encode(field.array(), abs_eb, order,
+                                     options.quant_radius)
+                    .payload;
       break;
-    case SzPredictor::kLorenzo2:
-      preds = lorenzo_predict_all(codes, LorenzoOrder::kTwo);
-      break;
+    }
     case SzPredictor::kLorenzoRegression: {
       has_regression = true;
-      const I32Array lorenzo = lorenzo_predict_all(codes, LorenzoOrder::kOne);
+      const I32Array codes = prequantize(field.array(), abs_eb);
+      const I64Array lorenzo = lorenzo_predict_all(codes, LorenzoOrder::kOne);
       reg = RegressionPredictor::fit(codes, options.regression_block);
-      const I32Array regp = reg.predict_all(shape);
+      const I64Array regp = reg.predict_all(shape);
       flags = choose_blocks(codes, lorenzo, regp, options.regression_block);
 
-      preds = I32Array(shape);
+      I64Array preds(shape);
       auto pick = [&](std::size_t flat, std::size_t b) {
         preds[flat] = flags.get(b) ? regp[flat] : lorenzo[flat];
       };
@@ -130,14 +251,12 @@ std::vector<std::uint8_t> sz_compress(const Field& field,
               pick((i * shape[1] + j) * shape[2] + k,
                    block_of(shape, options.regression_block, i, j, k));
       }
+      payload = encode_deltas(codes.span(), preds.span(), options.quant_radius);
       break;
     }
     default:
       throw InvalidArgument("sz_compress: unknown predictor");
   }
-
-  const auto payload =
-      encode_deltas(codes.span(), preds.span(), options.quant_radius);
 
   ByteWriter body;
   write_shape(body, shape);
@@ -179,7 +298,11 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
   in.f64();              // eb value (informational)
   const double abs_eb = in.f64();
   if (!(abs_eb > 0.0)) throw CorruptStream("sz_decompress: bad error bound");
-  const auto predictor = static_cast<SzPredictor>(in.u8());
+  const std::uint8_t predictor_byte = in.u8();
+  if (predictor_byte >
+      static_cast<std::uint8_t>(SzPredictor::kLorenzoRegression))
+    throw CorruptStream("sz_decompress: unknown predictor byte");
+  const auto predictor = static_cast<SzPredictor>(predictor_byte);
   const std::uint64_t radius = in.varint();
   if (radius < 2 || radius > (1u << 24))
     throw CorruptStream("sz_decompress: bad quant radius");
@@ -203,6 +326,12 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
                                  : LorenzoOrder::kOne;
 
   I32Array codes(shape);
+
+  if (!has_regression) {
+    decode_lorenzo_sequential(codes, decoder, order);
+    return Field(name, dequantize(codes, abs_eb, shape));
+  }
+
   auto flag_of = [&](std::size_t b) -> bool {
     if (b / 8 >= flag_bits.size())
       throw CorruptStream("sz_decompress: block flags truncated");
@@ -213,7 +342,7 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
   if (shape.ndim() == 1) {
     for (std::size_t i = 0; i < shape[0]; ++i) {
       std::int64_t pred;
-      if (has_regression && flag_of(block_of(shape, reg_block, i, 0, 0)))
+      if (flag_of(block_of(shape, reg_block, i, 0, 0)))
         pred = reg.at(shape, i);
       else
         pred = lorenzo_at_1d(codes, i, order);
@@ -223,7 +352,7 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
     for (std::size_t i = 0; i < shape[0]; ++i) {
       for (std::size_t j = 0; j < shape[1]; ++j) {
         std::int64_t pred;
-        if (has_regression && flag_of(block_of(shape, reg_block, i, j, 0)))
+        if (flag_of(block_of(shape, reg_block, i, j, 0)))
           pred = reg.at(shape, i, j);
         else
           pred = lorenzo_at_2d(codes, i, j, order);
@@ -235,7 +364,7 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
       for (std::size_t j = 0; j < shape[1]; ++j) {
         for (std::size_t k = 0; k < shape[2]; ++k) {
           std::int64_t pred;
-          if (has_regression && flag_of(block_of(shape, reg_block, i, j, k)))
+          if (flag_of(block_of(shape, reg_block, i, j, k)))
             pred = reg.at(shape, i, j, k);
           else
             pred = lorenzo_at_3d(codes, i, j, k, order);

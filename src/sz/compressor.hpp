@@ -9,8 +9,15 @@
 ///   prequantize -> predict (parallel, on prequantized codes)
 ///     -> zigzag+Huffman delta coding -> lossless backend -> framed stream
 ///
+/// For the pure Lorenzo modes the first three stages run as one fused
+/// sweep over the field (sz/fused_encode.hpp); the Lorenzo+regression mode
+/// keeps the staged form because block selection needs both full
+/// prediction arrays. Predictions are int64 on both sides — the encoder
+/// delta-codes against exactly the values the decompressor recomputes.
+///
 /// Decompression inverts the chain with a single sequential reconstruction
-/// loop (the RAW dependency the paper discusses lives only there).
+/// loop (the RAW dependency the paper discusses lives only there),
+/// fast-pathed through interior-row Lorenzo kernels.
 
 #include <cstdint>
 #include <span>

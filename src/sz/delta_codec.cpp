@@ -1,12 +1,33 @@
 #include "sz/delta_codec.hpp"
 
 #include "core/error.hpp"
-#include "core/utils.hpp"
 
 namespace xfc {
 
+std::vector<std::uint8_t> assemble_delta_payload(
+    std::uint32_t radius, std::span<const std::uint32_t> symbols,
+    std::span<const std::uint64_t> freq,
+    std::span<const std::uint8_t> outlier_bytes, std::size_t n_outliers) {
+  expects(radius >= 2 && radius <= (1u << 24),
+          "assemble_delta_payload: radius out of range");
+  expects(freq.size() == 2 * static_cast<std::size_t>(radius) + 1,
+          "assemble_delta_payload: histogram size mismatch");
+
+  const auto huffman = HuffmanCode::from_frequencies(freq);
+
+  ByteWriter out;
+  huffman.serialize(out);
+  out.varint(n_outliers);
+  out.raw(outlier_bytes);
+
+  BitWriter bw;
+  huffman.encode_all(bw, symbols);
+  out.blob(bw.take());
+  return out.take();
+}
+
 std::vector<std::uint8_t> encode_deltas(std::span<const std::int32_t> codes,
-                                        std::span<const std::int32_t> preds,
+                                        std::span<const std::int64_t> preds,
                                         std::uint32_t radius) {
   expects(codes.size() == preds.size(),
           "encode_deltas: codes/preds size mismatch");
@@ -15,43 +36,20 @@ std::vector<std::uint8_t> encode_deltas(std::span<const std::int32_t> codes,
   const std::uint32_t alphabet = 2 * radius + 1;
   const std::uint32_t escape = alphabet - 1;
 
-  // Pass 1: symbol frequencies.
+  // One pass: symbol per point, histogram, and the escape outlier list.
+  std::vector<std::uint32_t> symbols(codes.size());
   std::vector<std::uint64_t> freq(alphabet, 0);
+  ByteWriter outliers;
   std::size_t n_outliers = 0;
   for (std::size_t i = 0; i < codes.size(); ++i) {
-    const std::int64_t delta =
-        static_cast<std::int64_t>(codes[i]) - preds[i];
-    const std::uint64_t zz = zigzag_encode64(delta);
-    if (zz < escape) {
-      ++freq[static_cast<std::uint32_t>(zz)];
-    } else {
-      ++freq[escape];
-      ++n_outliers;
-    }
+    const std::uint32_t sym =
+        delta_symbolize(codes[i], preds[i], escape, outliers, n_outliers);
+    symbols[i] = sym;
+    ++freq[sym];
   }
 
-  const auto huffman = HuffmanCode::from_frequencies(freq);
-
-  // Pass 2: emit.
-  ByteWriter out;
-  huffman.serialize(out);
-  out.varint(n_outliers);
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    const std::int64_t delta =
-        static_cast<std::int64_t>(codes[i]) - preds[i];
-    if (zigzag_encode64(delta) >= escape)
-      out.varint(zigzag_encode(codes[i]));  // full code, exact
-  }
-
-  BitWriter bw;
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    const std::int64_t delta =
-        static_cast<std::int64_t>(codes[i]) - preds[i];
-    const std::uint64_t zz = zigzag_encode64(delta);
-    huffman.encode(bw, zz < escape ? static_cast<std::uint32_t>(zz) : escape);
-  }
-  out.blob(bw.take());
-  return out.take();
+  return assemble_delta_payload(radius, symbols, freq, outliers.bytes(),
+                                n_outliers);
 }
 
 DeltaDecoder::DeltaDecoder(std::span<const std::uint8_t> payload,
@@ -77,20 +75,6 @@ DeltaDecoder::DeltaDecoder(std::span<const std::uint8_t> payload,
   }
   bits_ = in.blob();
   reader_ = BitReader(bits_);
-}
-
-std::int32_t DeltaDecoder::next(std::int64_t pred) {
-  const std::uint32_t sym = huffman_.decode(reader_);
-  if (sym == escape_symbol_) {
-    if (outlier_pos_ >= outliers_.size())
-      throw CorruptStream("DeltaDecoder: outlier list exhausted");
-    return outliers_[outlier_pos_++];
-  }
-  const std::int64_t delta = zigzag_decode64(sym);
-  const std::int64_t q = pred + delta;
-  if (q > INT32_MAX || q < INT32_MIN)
-    throw CorruptStream("DeltaDecoder: reconstructed code overflows");
-  return static_cast<std::int32_t>(q);
 }
 
 }  // namespace xfc

@@ -8,13 +8,21 @@
 /// Deltas are zigzag-mapped so small magnitudes of either sign get small
 /// symbols, Huffman-coded within a configurable radius, and escaped to a
 /// verbatim outlier list beyond it (the SZ "unpredictable data" mechanism).
+/// Predictions are int64 — exactly the values the sequential decompressor
+/// recomputes — so encode and decode agree bit-for-bit even when a
+/// prediction leaves the int32 code range.
+///
 /// Encoding is a bulk operation; decoding is streaming because the
-/// decompressor interleaves symbol decode with prediction.
+/// decompressor interleaves symbol decode with prediction. The encoder is
+/// split into symbolization (delta -> symbol/outlier/histogram, exposed so
+/// fused pipelines can run it inside their quantize+predict pass) and
+/// payload assembly (Huffman build + bulk bit emission).
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/utils.hpp"
 #include "encode/huffman.hpp"
 #include "io/bitstream.hpp"
 #include "io/bytebuffer.hpp"
@@ -25,12 +33,37 @@ namespace xfc {
 /// directly; the alphabet is 2*radius+1 symbols (last one = escape).
 inline constexpr std::uint32_t kDefaultQuantRadius = 32768;
 
-/// Encodes `codes[i] - preds[i]` for all i. The outlier list stores the
-/// full code (not the delta) so decode never needs a second pass.
+/// Maps one (code, prediction) pair to its entropy-coder symbol. Escaping
+/// pairs append the verbatim code to `outliers` and count in `n_outliers`;
+/// `escape` is 2*radius (the last symbol of the alphabet). Callers stream
+/// this over their points and histogram the returned symbols.
+inline std::uint32_t delta_symbolize(std::int32_t code, std::int64_t pred,
+                                     std::uint32_t escape, ByteWriter& outliers,
+                                     std::size_t& n_outliers) {
+  const std::uint64_t zz =
+      zigzag_encode64(static_cast<std::int64_t>(code) - pred);
+  if (zz < escape) return static_cast<std::uint32_t>(zz);
+  outliers.varint(zigzag_encode(code));
+  ++n_outliers;
+  return escape;
+}
+
+/// Builds the final payload from symbolization results.
 /// Layout: huffman table | varint #outliers | zigzag-varint outliers |
 ///         blob bitstream.
+/// `outlier_bytes` is the concatenation (in point order) of the varints
+/// produced by delta_symbolize.
+std::vector<std::uint8_t> assemble_delta_payload(
+    std::uint32_t radius, std::span<const std::uint32_t> symbols,
+    std::span<const std::uint64_t> freq,
+    std::span<const std::uint8_t> outlier_bytes, std::size_t n_outliers);
+
+/// Encodes `codes[i] - preds[i]` for all i (the serial reference
+/// composition; the SZ compressor's fused pass produces identical bytes).
+/// The outlier list stores the full code (not the delta) so decode never
+/// needs a second pass.
 std::vector<std::uint8_t> encode_deltas(std::span<const std::int32_t> codes,
-                                        std::span<const std::int32_t> preds,
+                                        std::span<const std::int64_t> preds,
                                         std::uint32_t radius);
 
 /// Streaming decoder: call next(pred) once per point, in encode order.
@@ -40,7 +73,19 @@ class DeltaDecoder {
   DeltaDecoder(std::span<const std::uint8_t> payload, std::uint32_t radius);
 
   /// Reconstructs the next quantization code given its prediction.
-  std::int32_t next(std::int64_t pred);
+  std::int32_t next(std::int64_t pred) {
+    const std::uint32_t sym = huffman_.decode(reader_);
+    if (sym == escape_symbol_) {
+      if (outlier_pos_ >= outliers_.size())
+        throw CorruptStream("DeltaDecoder: outlier list exhausted");
+      return outliers_[outlier_pos_++];
+    }
+    const std::int64_t delta = zigzag_decode64(sym);
+    const std::int64_t q = pred + delta;
+    if (q > INT32_MAX || q < INT32_MIN)
+      throw CorruptStream("DeltaDecoder: reconstructed code overflows");
+    return static_cast<std::int32_t>(q);
+  }
 
  private:
   HuffmanCode huffman_;

@@ -1,0 +1,178 @@
+#include "sz/fused_encode.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+#include "quant/dual_quant.hpp"
+#include "sz/delta_codec.hpp"
+
+namespace xfc {
+namespace {
+
+/// Per-range accumulation state. Outlier varints and the histogram are
+/// range-local during the parallel sweep and merged in range order, which
+/// keeps the merged result independent of the partition.
+struct RangeState {
+  std::vector<std::uint64_t> freq;
+  ByteWriter outliers;
+  std::size_t n_outliers = 0;
+  bool overflow = false;
+};
+
+/// Histograms wider than this are counted in a serial pass over the symbol
+/// array instead of per-range (a 2^24 radius would otherwise cost 256 MiB
+/// of histogram per range).
+constexpr std::size_t kMaxFusedHistogram = std::size_t{1} << 20;
+
+inline int layers(LorenzoOrder order) {
+  return order == LorenzoOrder::kOne ? 1 : 2;
+}
+
+}  // namespace
+
+FusedLorenzoEncode fused_lorenzo_encode(const F32Array& values, double abs_eb,
+                                        LorenzoOrder order,
+                                        std::uint32_t radius) {
+  expects(abs_eb > 0.0, "fused_lorenzo_encode: error bound must be positive");
+  expects(radius >= 2 && radius <= (1u << 24),
+          "fused_lorenzo_encode: radius out of range");
+  expects(!values.empty(), "fused_lorenzo_encode: empty input");
+  const Shape& s = values.shape();
+  expects(s.ndim() >= 1 && s.ndim() <= 3,
+          "fused_lorenzo_encode: unsupported rank");
+
+  const std::size_t n = values.size();
+  const std::uint32_t alphabet = 2 * radius + 1;
+  const std::uint32_t escape = alphabet - 1;
+  const double inv = 1.0 / (2.0 * abs_eb);
+  const int nl = layers(order);
+  const float* src = values.data();
+
+  FusedLorenzoEncode result{I32Array(s), {}};
+  std::int32_t* codes = result.codes.data();
+  std::vector<std::uint32_t> symbols(n);
+  const bool fused_hist = alphabet <= kMaxFusedHistogram;
+
+  // Even split of the outer dimension; each range owns rows [lo, hi).
+  const std::size_t outer = s[0];
+  const std::size_t nranges = std::min<std::size_t>(
+      outer, std::max(1, hardware_threads()) * 2);
+  std::vector<RangeState> ranges(nranges);
+
+  parallel_for_chunked(0, nranges, 1, [&](std::size_t rlo, std::size_t rhi) {
+    for (std::size_t r = rlo; r < rhi; ++r) {
+      RangeState& st = ranges[r];
+      if (fused_hist) st.freq.assign(alphabet, 0);
+      const std::size_t lo = outer * r / nranges;
+      const std::size_t hi = outer * (r + 1) / nranges;
+      bool overflow = false;
+
+      auto emit = [&](std::size_t flat, std::int64_t pred) {
+        const std::uint32_t sym = delta_symbolize(
+            codes[flat], pred, escape, st.outliers, st.n_outliers);
+        symbols[flat] = sym;
+        if (fused_hist) ++st.freq[sym];
+      };
+
+      if (s.ndim() == 1) {
+        // Scalar halo: re-quantize the up-to-two predecessors of lo.
+        std::int64_t prev1 = 0, prev2 = 0;
+        if (lo >= 1) {
+          std::int32_t q;
+          overflow |= !quantize_value(src[lo - 1], inv, q);
+          prev1 = q;
+        }
+        if (lo >= 2) {
+          std::int32_t q;
+          overflow |= !quantize_value(src[lo - 2], inv, q);
+          prev2 = q;
+        }
+        for (std::size_t x = lo; x < hi; ++x) {
+          overflow |= !quantize_value(src[x], inv, codes[x]);
+          std::int64_t pred = 0;
+          if (order == LorenzoOrder::kOne) {
+            if (x >= 1) pred = prev1;
+          } else {
+            if (x >= 2) pred = 2 * prev1 - prev2;
+            else if (x == 1) pred = 2 * prev1;
+          }
+          emit(x, pred);
+          prev2 = prev1;
+          prev1 = codes[x];
+        }
+      } else {
+        // 2D rows or 3D planes: `row_len` elements per outer index.
+        const std::size_t row_len = s.ndim() == 2 ? s[1] : s[1] * s[2];
+        const std::size_t halo_lo = lo - std::min<std::size_t>(nl, lo);
+        std::vector<std::int32_t> halo((lo - halo_lo) * row_len);
+        for (std::size_t i = halo_lo; i < lo; ++i)
+          for (std::size_t e = 0; e < row_len; ++e)
+            overflow |= !quantize_value(src[i * row_len + e], inv,
+                                        halo[(i - halo_lo) * row_len + e]);
+        auto outer_ptr = [&](std::size_t i) -> const std::int32_t* {
+          return i >= lo ? codes + i * row_len
+                         : halo.data() + (i - halo_lo) * row_len;
+        };
+
+        std::vector<std::int64_t> pred(s.ndim() == 2 ? s[1] : s[2]);
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::int32_t* cur = codes + i * row_len;
+          for (std::size_t e = 0; e < row_len; ++e)
+            overflow |= !quantize_value(src[i * row_len + e], inv, cur[e]);
+
+          if (s.ndim() == 2) {
+            lorenzo_predict_row_2d(cur, i >= 1 ? outer_ptr(i - 1) : nullptr,
+                                   i >= 2 ? outer_ptr(i - 2) : nullptr, s[1],
+                                   order, pred.data());
+            for (std::size_t j = 0; j < s[1]; ++j)
+              emit(i * row_len + j, pred[j]);
+          } else {
+            const std::size_t W = s[2];
+            for (std::size_t j = 0; j < s[1]; ++j) {
+              const std::int32_t* rows[3][3] = {};
+              for (int di = 0; di <= nl; ++di)
+                for (int dj = 0; dj <= nl; ++dj)
+                  if (i >= static_cast<std::size_t>(di) &&
+                      j >= static_cast<std::size_t>(dj))
+                    rows[di][dj] = outer_ptr(i - di) + (j - dj) * W;
+              lorenzo_predict_row_3d(rows, W, order, pred.data());
+              for (std::size_t k = 0; k < W; ++k)
+                emit((i * s[1] + j) * W + k, pred[k]);
+            }
+          }
+        }
+      }
+      st.overflow = overflow;
+    }
+  });
+
+  for (const RangeState& st : ranges)
+    if (st.overflow)
+      throw InvalidArgument(
+          "prequantize: error bound too small for the data magnitude "
+          "(quantization code magnitude exceeds 2^30)");
+
+  // Merge range-local state in range order.
+  std::vector<std::uint64_t> freq;
+  if (fused_hist) {
+    freq = std::move(ranges[0].freq);
+    for (std::size_t r = 1; r < nranges; ++r)
+      for (std::size_t a = 0; a < alphabet; ++a) freq[a] += ranges[r].freq[a];
+  } else {
+    freq.assign(alphabet, 0);
+    for (std::uint32_t sym : symbols) ++freq[sym];
+  }
+  ByteWriter outlier_bytes;
+  std::size_t n_outliers = 0;
+  for (RangeState& st : ranges) {
+    outlier_bytes.raw(st.outliers.bytes());
+    n_outliers += st.n_outliers;
+  }
+
+  result.payload = assemble_delta_payload(radius, symbols, freq,
+                                          outlier_bytes.bytes(), n_outliers);
+  return result;
+}
+
+}  // namespace xfc

@@ -1,0 +1,43 @@
+#ifndef XFC_SZ_FUSED_ENCODE_HPP
+#define XFC_SZ_FUSED_ENCODE_HPP
+
+/// \file fused_encode.hpp
+/// Fused prequantize -> Lorenzo-predict -> delta-symbolize pass.
+///
+/// The unfused pipeline streams the field four times (quantize writes codes,
+/// predict reads codes and writes preds, the histogram pass reads both, the
+/// emit pass reads both again and recomputes every delta). This pass reads
+/// the float field once and produces the prequantized codes, the per-point
+/// entropy symbols, the symbol histogram and the escape outlier list in a
+/// single sweep; only the Huffman bit emission (which needs the final code
+/// table) remains as a second, symbol-array pass.
+///
+/// Parallelism: outer-dimension ranges are processed independently; each
+/// range re-quantizes its up-to-two predecessor rows/planes locally (dual
+/// quantization makes that exact), so the result is bit-identical for every
+/// XFC_THREADS value and to the serial reference composition
+/// `encode_deltas(prequantize(v), lorenzo_predict_all(prequantize(v)))`.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray.hpp"
+#include "predict/lorenzo.hpp"
+
+namespace xfc {
+
+struct FusedLorenzoEncode {
+  I32Array codes;                     // prequantized codes
+  std::vector<std::uint8_t> payload;  // delta-codec payload (see delta_codec.hpp)
+};
+
+/// Runs the fused pass over `values` (1D/2D/3D) with the given absolute
+/// error bound. \throws InvalidArgument on quant-code overflow, exactly as
+/// prequantize() would.
+FusedLorenzoEncode fused_lorenzo_encode(const F32Array& values, double abs_eb,
+                                        LorenzoOrder order,
+                                        std::uint32_t radius);
+
+}  // namespace xfc
+
+#endif  // XFC_SZ_FUSED_ENCODE_HPP

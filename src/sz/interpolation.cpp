@@ -122,16 +122,17 @@ std::vector<std::uint8_t> interp_compress(const Field& field,
   I32Array codes = prequantize(field.array(), abs_eb);
 
   // Collect (code, prediction) pairs in traversal order; the codes array is
-  // already final (dual quantization), so visit() just records.
-  std::vector<std::int32_t> seq_codes, seq_preds;
+  // already final (dual quantization), so visit() just records. Predictions
+  // stay int64: the decoder feeds the identical unclamped values to
+  // DeltaDecoder::next, and the two sides must agree bit-for-bit.
+  std::vector<std::int32_t> seq_codes;
+  std::vector<std::int64_t> seq_preds;
   seq_codes.reserve(codes.size());
   seq_preds.reserve(codes.size());
   interp_traverse(codes, options.method,
                   [&](std::size_t flat, std::int64_t pred) {
                     seq_codes.push_back(codes[flat]);
-                    seq_preds.push_back(static_cast<std::int32_t>(std::clamp(
-                        pred, static_cast<std::int64_t>(INT32_MIN),
-                        static_cast<std::int64_t>(INT32_MAX))));
+                    seq_preds.push_back(pred);
                     return codes[flat];
                   });
   expects(seq_codes.size() == codes.size(),
@@ -175,7 +176,10 @@ Field interp_decompress(std::span<const std::uint8_t> stream) {
   const double abs_eb = in.f64();
   if (!(abs_eb > 0.0))
     throw CorruptStream("interp_decompress: bad error bound");
-  const auto method = static_cast<InterpMethod>(in.u8());
+  const std::uint8_t method_byte = in.u8();
+  if (method_byte > static_cast<std::uint8_t>(InterpMethod::kCubic))
+    throw CorruptStream("interp_decompress: unknown interpolation method");
+  const auto method = static_cast<InterpMethod>(method_byte);
   const std::uint64_t radius = in.varint();
   if (radius < 2 || radius > (1u << 24))
     throw CorruptStream("interp_decompress: bad quant radius");

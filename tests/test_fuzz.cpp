@@ -105,6 +105,18 @@ TEST(Fuzz, MiniflateGarbageInput) {
   }
 }
 
+TEST(LosslessBackend, AutoCompressesEntropyFlatButMatchStructuredData) {
+  // A repeated 0..255 ramp has exactly 8 bits/byte of order-0 entropy and
+  // no RLE runs, but is hugely LZ-compressible; the kAuto backend-selection
+  // probes must not store such data raw.
+  std::vector<std::uint8_t> ramp(std::size_t{1} << 16);
+  for (std::size_t i = 0; i < ramp.size(); ++i)
+    ramp[i] = static_cast<std::uint8_t>(i & 0xFF);
+  const auto out = lossless_compress(ramp, LosslessBackend::kAuto);
+  EXPECT_LT(out.size(), ramp.size() / 10);
+  EXPECT_EQ(lossless_decompress(out), ramp);
+}
+
 TEST(Fuzz, LosslessBackendGarbageInput) {
   Rng rng(106);
   for (int trial = 0; trial < 200; ++trial) {

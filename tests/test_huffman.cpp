@@ -150,6 +150,35 @@ INSTANTIATE_TEST_SUITE_P(
                       CodecCase{64, 3.0}, CodecCase{256, 1.5},
                       CodecCase{1024, 4.0}, CodecCase{65537, 6.0}));
 
+TEST(HuffmanCodec, EncodeAllMatchesPerSymbolEncode) {
+  // The bulk emit path must produce exactly the bytes of symbol-at-a-time
+  // encoding — the delta codec relies on this for stream stability.
+  Rng rng(99);
+  std::vector<std::uint64_t> freqs(300, 0);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 4000; ++i) {
+    const auto s =
+        static_cast<std::uint32_t>(rng.uniform_index(300) * rng.uniform());
+    symbols.push_back(s);
+    ++freqs[s];
+  }
+  const auto code = HuffmanCode::from_frequencies(freqs);
+
+  BitWriter one;
+  for (auto s : symbols) code.encode(one, s);
+  BitWriter bulk;
+  code.encode_all(bulk, symbols);
+  EXPECT_EQ(bulk.take(), one.take());
+}
+
+TEST(HuffmanCodec, EncodeAllRejectsUncodedSymbol) {
+  std::vector<std::uint64_t> freqs{5, 0, 5};
+  const auto code = HuffmanCode::from_frequencies(freqs);
+  BitWriter bw;
+  const std::vector<std::uint32_t> bad{0, 1, 2};
+  EXPECT_THROW(code.encode_all(bw, bad), InvalidArgument);
+}
+
 TEST(HuffmanCodec, SerializeRoundtripPreservesCodes) {
   std::vector<std::uint64_t> freqs{7, 1, 0, 3, 3, 0, 0, 19};
   const auto code = HuffmanCode::from_frequencies(freqs);

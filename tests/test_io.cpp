@@ -41,6 +41,32 @@ TEST(BitStream, PartialByteZeroPadded) {
   EXPECT_EQ(bytes[0], 0b10100000);
 }
 
+TEST(BitStream, MixedWidthWordBoundarySpills) {
+  // Mixed-width writes that straddle the 64-bit accumulator spill in every
+  // alignment, with bit_count checked after each append.
+  Rng rng(4242);
+  struct Item {
+    std::uint64_t v;
+    unsigned w;
+  };
+  std::vector<Item> items;
+  for (int i = 0; i < 3000; ++i) {
+    const unsigned w = 1 + static_cast<unsigned>(rng.uniform_index(57));
+    items.push_back({rng.next_u64() & ((std::uint64_t{1} << w) - 1), w});
+  }
+  BitWriter bw;
+  std::size_t bits = 0;
+  for (const Item& it : items) {
+    bw.put_bits(it.v, it.w);
+    bits += it.w;
+    ASSERT_EQ(bw.bit_count(), bits);
+  }
+  const auto bytes = bw.take();
+  EXPECT_EQ(bytes.size(), (bits + 7) / 8);
+  BitReader br(bytes);
+  for (const Item& it : items) ASSERT_EQ(br.get_bits(it.w), it.v);
+}
+
 class BitWidthTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(BitWidthTest, RoundtripRandomValues) {

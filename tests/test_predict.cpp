@@ -124,6 +124,49 @@ TEST(Lorenzo, PredictAllMatchesPointwise3D) {
   }
 }
 
+TEST(Lorenzo, BulkMatchesAtOnExtremeMagnitudeCodes) {
+  // Regression test for the encoder/decoder prediction divergence: bulk
+  // predictions (the encoder side) used to be clamped to int32 while
+  // lorenzo_at_* (the decoder side) predicts in unclamped int64. Codes at
+  // ±2^30 drive predictions past the int32 range, where the two must still
+  // agree exactly.
+  const std::int32_t big = std::int32_t{1} << 30;
+
+  I32Array one(Shape{32});
+  for (std::size_t i = 0; i < 32; ++i) one(i) = (i % 2 == 0) ? big : -big;
+  I32Array two(Shape{12, 13});
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 13; ++j)
+      two(i, j) = ((i + j) % 2 == 0) ? big : -big;
+  I32Array tri(Shape{5, 6, 7});
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      for (std::size_t k = 0; k < 7; ++k)
+        tri(i, j, k) = ((i + j + k) % 2 == 0) ? big : -big;
+
+  bool left_int32 = false;
+  for (auto order : {LorenzoOrder::kOne, LorenzoOrder::kTwo}) {
+    const auto p1 = lorenzo_predict_all(one, order);
+    for (std::size_t i = 0; i < 32; ++i)
+      ASSERT_EQ(p1(i), lorenzo_at_1d(one, i, order)) << "1d i=" << i;
+    const auto p2 = lorenzo_predict_all(two, order);
+    for (std::size_t i = 0; i < 12; ++i)
+      for (std::size_t j = 0; j < 13; ++j) {
+        ASSERT_EQ(p2(i, j), lorenzo_at_2d(two, i, j, order))
+            << "2d " << i << "," << j;
+        if (p2(i, j) > INT32_MAX || p2(i, j) < INT32_MIN) left_int32 = true;
+      }
+    const auto p3 = lorenzo_predict_all(tri, order);
+    for (std::size_t i = 0; i < 5; ++i)
+      for (std::size_t j = 0; j < 6; ++j)
+        for (std::size_t k = 0; k < 7; ++k)
+          ASSERT_EQ(p3(i, j, k), lorenzo_at_3d(tri, i, j, k, order))
+              << "3d " << i << "," << j << "," << k;
+  }
+  // The premise of the test: some predictions genuinely leave int32.
+  EXPECT_TRUE(left_int32);
+}
+
 TEST(Regression, RecoversExactPlanePerBlock) {
   // A globally linear field is reproduced exactly by block regression
   // (up to coefficient float32 rounding).

@@ -134,6 +134,39 @@ TEST(Monotonicity, CompressedSizeGrowsAsBoundTightens) {
   }
 }
 
+TEST(DualQuantInvariant, ExtremeMagnitudeFieldsRoundTripWithinBound) {
+  // Values scaled so quantization codes reach the ±2^30 limit (inclusive
+  // after the boundary fix). Order-2 Lorenzo predictions on such codes
+  // leave the int32 range; encoder and decoder must still agree, and the
+  // reconstruction must honor the bound exactly.
+  const double abs_eb = 0.5;  // step 1.0: values ARE the codes
+  const float big = 1073741824.0f;  // 2^30, exactly representable
+
+  F32Array flat(Shape{16, 16});
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 16; ++j)
+      flat(i, j) = ((i + j) % 2 == 0) ? big : -big;
+  F32Array ramp(Shape{256});
+  for (std::size_t i = 0; i < 256; ++i)
+    ramp[i] = ((i % 3 == 0) ? 1.0f : -1.0f) *
+              (big - 1024.0f * static_cast<float>(i));
+
+  for (const F32Array* a : {&flat, &ramp}) {
+    const Field field("extreme", *a);
+    for (auto predictor : {SzPredictor::kLorenzo1, SzPredictor::kLorenzo2,
+                           SzPredictor::kLorenzoRegression}) {
+      SzOptions opt;
+      opt.eb = ErrorBound::absolute(abs_eb);
+      opt.predictor = predictor;
+      const Field out = sz_decompress(sz_compress(field, opt));
+      EXPECT_LE(max_abs_error(field.array().span(), out.array().span()),
+                abs_eb)
+          << "ndim " << a->shape().ndim() << " predictor "
+          << static_cast<int>(predictor);
+    }
+  }
+}
+
 TEST(HuffmanInvariant, StreamLengthEqualsSumOfCodeLengths) {
   Rng rng(11);
   std::vector<std::uint64_t> freqs(64, 0);

@@ -70,6 +70,19 @@ TEST(Prequant, OverflowThrows) {
   EXPECT_THROW(prequantize(v, 1e-6), InvalidArgument);
 }
 
+TEST(Prequant, BoundaryCodeAccepted) {
+  // |q| == kMaxQuantCode is a valid code (the documented 2^30 bound is
+  // inclusive); one step beyond still throws.
+  const float big = 1073741824.0f;  // 2^30, exactly representable
+  F32Array v(Shape{2}, {big, -big});
+  const I32Array codes = prequantize(v, 0.5);  // step 1.0
+  EXPECT_EQ(codes[0], static_cast<std::int32_t>(kMaxQuantCode));
+  EXPECT_EQ(codes[1], static_cast<std::int32_t>(-kMaxQuantCode));
+
+  F32Array over(Shape{1}, {1.5f * big});
+  EXPECT_THROW(prequantize(over, 0.5), InvalidArgument);
+}
+
 TEST(Prequant, RejectsNonPositiveBound) {
   F32Array v(Shape{2}, {1.0f, 2.0f});
   EXPECT_THROW(prequantize(v, 0.0), InvalidArgument);

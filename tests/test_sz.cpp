@@ -8,8 +8,10 @@
 
 #include "core/rng.hpp"
 #include "metrics/metrics.hpp"
+#include "quant/dual_quant.hpp"
 #include "sz/compressor.hpp"
 #include "sz/container.hpp"
+#include "sz/fused_encode.hpp"
 #include "test_util.hpp"
 
 namespace xfc {
@@ -157,7 +159,7 @@ TEST(DeltaCodec, RoundtripWithEscapes) {
   const std::uint32_t radius = 8;
   std::vector<std::int32_t> codes{5,  6,    7,  1000000, 8,
                                   -3, -900, 10, 11,      12};
-  std::vector<std::int32_t> preds{5, 5, 5, 5, 5, 0, 0, 10, 10, 10};
+  std::vector<std::int64_t> preds{5, 5, 5, 5, 5, 0, 0, 10, 10, 10};
   const auto payload = encode_deltas(codes, preds, radius);
 
   DeltaDecoder decoder(payload, radius);
@@ -171,7 +173,7 @@ TEST(DeltaCodec, EscapeThresholdBoundary) {
   const std::uint32_t radius = 4;  // escape symbol index 8
   // zigzag: delta 4 -> 8 (escape), delta -4 -> 7 (direct).
   std::vector<std::int32_t> codes{4, -4};
-  std::vector<std::int32_t> preds{0, 0};
+  std::vector<std::int64_t> preds{0, 0};
   const auto payload = encode_deltas(codes, preds, radius);
   DeltaDecoder decoder(payload, radius);
   EXPECT_EQ(decoder.next(0), 4);
@@ -180,15 +182,121 @@ TEST(DeltaCodec, EscapeThresholdBoundary) {
 
 TEST(DeltaCodec, MismatchedSizesRejected) {
   std::vector<std::int32_t> codes{1, 2, 3};
-  std::vector<std::int32_t> preds{1, 2};
+  std::vector<std::int64_t> preds{1, 2};
+  std::vector<std::int64_t> preds3{1, 2, 3};
   EXPECT_THROW(encode_deltas(codes, preds, 8), InvalidArgument);
-  EXPECT_THROW(encode_deltas(codes, codes, 1), InvalidArgument);
+  EXPECT_THROW(encode_deltas(codes, preds3, 1), InvalidArgument);
 }
 
 TEST(DeltaCodec, WrongRadiusAtDecodeDetected) {
   std::vector<std::int32_t> codes{1, 2, 3, 4};
-  const auto payload = encode_deltas(codes, codes, 16);
+  std::vector<std::int64_t> preds{1, 2, 3, 4};
+  const auto payload = encode_deltas(codes, preds, 16);
   EXPECT_THROW(DeltaDecoder(payload, 32), CorruptStream);
+}
+
+TEST(DeltaCodec, ExtremeCodesRoundTripWithLorenzoPredictions) {
+  // Regression test for the encoder/decoder prediction divergence: the
+  // encoder used to clamp bulk Lorenzo predictions to int32 while the
+  // decoder predicted in unclamped int64, so a freshly encoded stream with
+  // codes near the int32 limit failed to decode. This mirrors exactly what
+  // sz_compress/sz_decompress do per point.
+  const std::uint32_t radius = 1u << 24;
+  I32Array codes(Shape{64});
+  for (std::size_t i = 0; i < 64; ++i)
+    codes(i) = (i % 2 == 0 ? 1 : -1) * (INT32_MAX - static_cast<int>(i));
+
+  for (auto order : {LorenzoOrder::kOne, LorenzoOrder::kTwo}) {
+    const I64Array preds = lorenzo_predict_all(codes, order);
+    const auto payload = encode_deltas(codes.span(), preds.span(), radius);
+    DeltaDecoder decoder(payload, radius);
+    I32Array out(Shape{64});
+    for (std::size_t i = 0; i < 64; ++i)
+      out(i) = decoder.next(lorenzo_at_1d(out, i, order));
+    EXPECT_EQ(out.vec(), codes.vec());
+  }
+}
+
+TEST(DeltaCodec, SingleSymbolAlphabetRoundtrip) {
+  // Perfect prediction everywhere: exactly one used Huffman symbol.
+  std::vector<std::int32_t> codes(100, 7);
+  std::vector<std::int64_t> preds(100, 7);
+  const auto payload = encode_deltas(codes, preds, 8);
+  DeltaDecoder decoder(payload, 8);
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    EXPECT_EQ(decoder.next(preds[i]), codes[i]);
+}
+
+TEST(DeltaCodec, EscapeOnlyAlphabetRoundtrip) {
+  // Every delta beyond the radius: the alphabet degenerates to the escape
+  // symbol alone and all values travel through the outlier list.
+  std::vector<std::int32_t> codes{100000, -100000, 90000, -90001};
+  std::vector<std::int64_t> preds{0, 0, 0, 0};
+  const auto payload = encode_deltas(codes, preds, 4);
+  DeltaDecoder decoder(payload, 4);
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    EXPECT_EQ(decoder.next(preds[i]), codes[i]);
+}
+
+TEST(DeltaCodec, TinyRadiusRoundtrip) {
+  const std::uint32_t radius = 2;  // smallest legal radius
+  std::vector<std::int32_t> codes{0, 1, -1, 2, -2, 5, 0, 1};
+  std::vector<std::int64_t> preds{0, 0, 0, 0, 0, 0, 0, 0};
+  const auto payload = encode_deltas(codes, preds, radius);
+  DeltaDecoder decoder(payload, radius);
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    EXPECT_EQ(decoder.next(preds[i]), codes[i]);
+}
+
+TEST(Sz, FusedEncodeMatchesSerialReference) {
+  // The fused quantize+predict+symbolize pass must produce byte-identical
+  // payloads to the serial reference composition, for every rank and order
+  // — and therefore for every XFC_THREADS value (the *_mt4 ctest variant
+  // re-runs this with a live pool).
+  for (auto shape : {Shape{4096}, Shape{64, 96}, Shape{12, 24, 24},
+                     Shape{1, 64}, Shape{2, 2}, Shape{3, 3, 3}}) {
+    const Field field = make_field("smooth", shape, 321 + shape.ndim());
+    const double abs_eb = 1e-3 * field.value_range();
+    for (auto order : {LorenzoOrder::kOne, LorenzoOrder::kTwo}) {
+      const auto fused = fused_lorenzo_encode(field.array(), abs_eb, order,
+                                              kDefaultQuantRadius);
+      const I32Array codes = prequantize(field.array(), abs_eb);
+      const I64Array preds = lorenzo_predict_all(codes, order);
+      const auto reference =
+          encode_deltas(codes.span(), preds.span(), kDefaultQuantRadius);
+      EXPECT_EQ(fused.codes.vec(), codes.vec())
+          << "ndim " << shape.ndim() << " order " << static_cast<int>(order);
+      EXPECT_EQ(fused.payload, reference)
+          << "ndim " << shape.ndim() << " order " << static_cast<int>(order);
+    }
+  }
+}
+
+TEST(Sz, FusedEncodeRejectsEmptyInput) {
+  EXPECT_THROW(fused_lorenzo_encode(F32Array(Shape{1, 0}), 0.5,
+                                    LorenzoOrder::kOne, 8),
+               InvalidArgument);
+}
+
+TEST(Sz, UnknownPredictorByteThrows) {
+  // A syntactically valid container whose predictor byte is out of range
+  // must be rejected, not silently decoded as Lorenzo garbage.
+  ByteWriter body;
+  write_shape(body, Shape{4, 4});
+  body.str("x");
+  body.u8(0);       // eb mode
+  body.f64(1e-3);   // eb value
+  body.f64(0.5);    // abs eb
+  body.u8(7);       // invalid predictor
+  body.varint(kDefaultQuantRadius);
+  body.blob({});
+  const auto stream = frame_container(CodecId::kSz, body.bytes());
+  try {
+    sz_decompress(stream);
+    FAIL() << "unknown predictor byte decoded without error";
+  } catch (const CorruptStream& e) {
+    EXPECT_NE(std::string(e.what()).find("predictor"), std::string::npos);
+  }
 }
 
 TEST(Sz, DegenerateExtents) {
