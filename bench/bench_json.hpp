@@ -19,6 +19,26 @@
 
 namespace xfc::bench {
 
+/// JSON string escaping for record names (the CLI feeds user-derived field
+/// names through add_value).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 inline double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -47,6 +67,10 @@ struct BenchRecord {
   std::string name;
   double wall_ms = 0.0;
   double bytes_per_sec = 0.0;
+  /// Plain metric record ({"name", "value"}) rather than a timing — used by
+  /// the CLI's --json mode for sizes, ratios and error bounds.
+  bool value_only = false;
+  double value = 0.0;
 };
 
 class BenchJson {
@@ -61,6 +85,17 @@ class BenchJson {
     records_.push_back({std::move(name), wall_ms, bps});
   }
 
+  /// Records a non-timing metric, echoed as a table row.
+  void add_value(std::string name, double value) {
+    std::printf("%-28s %14.6g\n", name.c_str(), value);
+    std::fflush(stdout);
+    BenchRecord r;
+    r.name = std::move(name);
+    r.value_only = true;
+    r.value = value;
+    records_.push_back(std::move(r));
+  }
+
   const std::vector<BenchRecord>& records() const { return records_; }
 
   /// Writes all records as a JSON array to `path`; returns false on I/O
@@ -71,11 +106,16 @@ class BenchJson {
     std::fprintf(f, "[\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
-      std::fprintf(f,
-                   "  {\"name\": \"%s\", \"wall_ms\": %.6f, "
-                   "\"bytes_per_sec\": %.1f}%s\n",
-                   r.name.c_str(), r.wall_ms, r.bytes_per_sec,
-                   i + 1 < records_.size() ? "," : "");
+      const char* sep = i + 1 < records_.size() ? "," : "";
+      const std::string name = json_escape(r.name);
+      if (r.value_only)
+        std::fprintf(f, "  {\"name\": \"%s\", \"value\": %.6g}%s\n",
+                     name.c_str(), r.value, sep);
+      else
+        std::fprintf(f,
+                     "  {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                     "\"bytes_per_sec\": %.1f}%s\n",
+                     name.c_str(), r.wall_ms, r.bytes_per_sec, sep);
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
 #include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "cfnn/cfnn.hpp"
@@ -101,6 +103,12 @@ int main(int argc, char** argv) {
                miniflate_decompress(c);
              }),
              static_cast<double>(data.size()));
+    // Decompress-only: the match-copy hot loop, isolated from the
+    // hash-chain matcher that dominates the roundtrip number.
+    const auto compressed = miniflate_compress(data);
+    json.add("miniflate_decompress",
+             time_ms([&] { miniflate_decompress(compressed); }),
+             static_cast<double>(data.size()));
   }
   {
     Rng rng(4);
@@ -109,6 +117,54 @@ int main(int argc, char** argv) {
       ++freqs[32768 + static_cast<int>(rng.normal(0, 40))];
     json.add("huffman_build",
              time_ms([&] { HuffmanCode::from_frequencies(freqs); }));
+  }
+
+  print_header("XFA1 tiled archive  [same 512x512 field; tile-count scaling]");
+
+  {
+    // Monolithic decode is the "before" column for the tiled entries: same
+    // field, same codec, one sequential stream vs an indexed tile grid.
+    // Tile sizes 128^2 and 64^2 give 16 and 64 independent tiles; decode
+    // parallelism scales with XFC_THREADS (set XFC_THREADS=4 to reproduce
+    // BENCH_pr3.json).
+    for (const std::size_t edge : {std::size_t{128}, std::size_t{64}}) {
+      ArchiveFieldOptions opts;
+      opts.tile = Shape{edge, edge};
+      const std::string tag = "_t" + std::to_string(edge);
+
+      VectorSink sink;
+      ArchiveWriter writer(sink);
+      writer.add_field(f, opts);
+      writer.finish();
+      const auto archive = sink.take();
+
+      json.add("archive_write" + tag,
+               time_ms([&] {
+                 VectorSink s;
+                 ArchiveWriter w(s);
+                 w.add_field(f, opts);
+                 w.finish();
+               }),
+               field_bytes);
+
+      // Open once, query many times — the random-access serving pattern.
+      const ArchiveReader reader = ArchiveReader::open_memory(archive);
+      json.add("archive_decode_full" + tag,
+               time_ms([&] { reader.read_field(f.name()); }), field_bytes);
+      if (edge == 128) {
+        // 1/16th-of-the-field regions (a 128^2 box). Tile-aligned touches
+        // exactly one tile; the offset variant straddles four — the
+        // worst-case read amplification for a region of this size.
+        const std::size_t alo[] = {128, 128}, ahi[] = {256, 256};
+        json.add("archive_read_region_16th" + tag,
+                 time_ms([&] { reader.read_region(f.name(), alo, ahi); }),
+                 field_bytes / 16.0);
+        const std::size_t slo[] = {192, 192}, shi[] = {320, 320};
+        json.add("archive_region_straddle" + tag,
+                 time_ms([&] { reader.read_region(f.name(), slo, shi); }),
+                 field_bytes / 16.0);
+      }
+    }
   }
 
   print_header("CFNN compute core  [4->3 ch, hidden 8, k3, 256x256 slice]");

@@ -9,13 +9,26 @@
 //   xfc_cli info       in.xfc                       (stream header dump)
 //   xfc_cli verify     ref.f32 test.f32             (PSNR/SSIM/max error)
 //
-// For 2D data pass D=1 (a leading extent of 1 is dropped).
+// Tiled archives (XFA1, random access + tile-parallel decode):
+//   xfc_cli archive create  out.xfa D H W rel_eb in1.f32 [in2.f32 ...]
+//   xfc_cli archive extract in.xfa FIELD out.f32
+//   xfc_cli archive region  in.xfa FIELD out.f32 lo0 hi0 [lo1 hi1 [lo2 hi2]]
+//   xfc_cli archive info    in.xfa
+//
+// For 2D data pass D=1 (a leading extent of 1 is dropped). Global flags:
+//   --json FILE   machine-readable stats (bench_json records)
+//   --tile N      archive tile edge per axis (default 256^2 / 64^3)
+//   --codec C     archive tile codec: sz | classic | interp | zfp
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "archive/tile.hpp"
+#include "bench/bench_json.hpp"
 #include "crossfield/crossfield.hpp"
 #include "data/sdr.hpp"
 #include "io/file.hpp"
@@ -26,6 +39,60 @@
 namespace {
 
 using namespace xfc;
+
+const char* codec_names[] = {"sz (dual-quant)", "zfp-style", "cross-field",
+                             "interpolation", "sz (classic)"};
+
+/// Flags shared across subcommands, stripped from argv before positional
+/// parsing so they may appear anywhere on the command line.
+struct CliFlags {
+  std::string json_path;       // --json FILE
+  std::size_t tile_edge = 0;   // --tile N (0 = default tile shape)
+  std::string codec = "sz";    // --codec C
+};
+
+CliFlags strip_flags(std::vector<std::string>& args) {
+  CliFlags flags;
+  std::vector<std::string> kept;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const bool is_flag = args[i] == "--json" || args[i] == "--tile" ||
+                         args[i] == "--codec";
+    if (is_flag && i + 1 >= args.size())
+      throw InvalidArgument(args[i] + " needs a value");
+    if (args[i] == "--json") {
+      flags.json_path = args[++i];
+    } else if (args[i] == "--tile") {
+      const std::string& v = args[++i];
+      char* end = nullptr;
+      flags.tile_edge = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || flags.tile_edge == 0)
+        throw InvalidArgument("--tile wants a positive integer, got: " + v);
+    } else if (args[i] == "--codec") {
+      flags.codec = args[++i];
+    } else {
+      kept.push_back(args[i]);
+    }
+  }
+  args = std::move(kept);
+  return flags;
+}
+
+CodecId parse_codec(const std::string& name) {
+  if (name == "sz") return CodecId::kSz;
+  if (name == "classic") return CodecId::kSzClassic;
+  if (name == "interp") return CodecId::kInterp;
+  if (name == "zfp") return CodecId::kZfp;
+  throw InvalidArgument("unknown --codec (want sz|classic|interp|zfp): " +
+                        name);
+}
+
+/// Writes collected stats when --json was given; warns on I/O failure.
+void finish_json(const bench::BenchJson& json, const CliFlags& flags) {
+  if (flags.json_path.empty()) return;
+  if (!json.write(flags.json_path))
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 flags.json_path.c_str());
+}
 
 Shape parse_shape(const char* d, const char* h, const char* w) {
   const std::size_t D = std::strtoull(d, nullptr, 10);
@@ -52,45 +119,214 @@ int usage() {
                "  xfc_cli xdecompress in.xfc out.f32 D H W "
                "anchor1.f32 [anchor2.f32 ...]\n"
                "  xfc_cli info in.xfc\n"
-               "  xfc_cli verify ref.f32 test.f32\n");
+               "  xfc_cli verify ref.f32 test.f32\n"
+               "  xfc_cli archive create  out.xfa D H W rel_eb in1.f32 "
+               "[in2.f32 ...]\n"
+               "  xfc_cli archive extract in.xfa FIELD out.f32\n"
+               "  xfc_cli archive region  in.xfa FIELD out.f32 "
+               "lo0 hi0 [lo1 hi1 [lo2 hi2]]\n"
+               "  xfc_cli archive info    in.xfa\n"
+               "flags: --json FILE  --tile N  --codec sz|classic|interp|zfp\n");
   return 2;
+}
+
+int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
+  bench::BenchJson json;
+  const std::string& sub = args[0];
+
+  if (sub == "create" && args.size() >= 7) {
+    const Shape shape =
+        parse_shape(args[2].c_str(), args[3].c_str(), args[4].c_str());
+    const double rel_eb = std::atof(args[5].c_str());
+
+    ArchiveFieldOptions opts;
+    opts.eb = ErrorBound::relative(rel_eb);
+    opts.codec = parse_codec(flags.codec);
+    if (flags.tile_edge > 0) {
+      std::vector<std::size_t> t(shape.ndim(), flags.tile_edge);
+      opts.tile = Shape(std::span<const std::size_t>(t.data(), t.size()));
+    }
+
+    FileSink sink(args[1]);
+    ArchiveWriter writer(sink);
+    std::size_t original = 0;
+    const double t0 = bench::now_ms();
+    for (std::size_t i = 6; i < args.size(); ++i) {
+      const Field field = load_f32(args[i], shape, stem(args[i]));
+      original += field.size() * sizeof(float);
+      writer.add_field(field, opts);
+    }
+    writer.finish();
+    const double wall = bench::now_ms() - t0;
+
+    const double ratio = static_cast<double>(original) / sink.size();
+    std::printf("%s: %zu fields, %zu -> %zu bytes (%.2fx)\n",
+                args[1].c_str(), writer.fields_written(), original,
+                sink.size(), ratio);
+    json.add("archive_create", wall, static_cast<double>(original));
+    json.add_value("archive_bytes", static_cast<double>(sink.size()));
+    json.add_value("archive_ratio", ratio);
+    finish_json(json, flags);
+    return 0;
+  }
+
+  if (sub == "extract" && args.size() >= 4) {
+    ArchiveReader reader = ArchiveReader::open_file(args[1]);
+    const double t0 = bench::now_ms();
+    const Field field = reader.read_field(args[2]);
+    const double wall = bench::now_ms() - t0;
+    store_f32(args[3], field);
+    std::printf("%s: wrote %zu values of field '%s'\n", args[3].c_str(),
+                field.size(), field.name().c_str());
+    json.add("archive_extract", wall,
+             static_cast<double>(field.size() * sizeof(float)));
+    finish_json(json, flags);
+    return 0;
+  }
+
+  if (sub == "region" && args.size() >= 6) {
+    ArchiveReader reader = ArchiveReader::open_file(args[1]);
+    const ArchiveFieldInfo* info = reader.find(args[2]);
+    if (info == nullptr) {
+      std::fprintf(stderr, "error: no such field: %s\n", args[2].c_str());
+      return 1;
+    }
+    const std::size_t ndim = info->shape.ndim();
+    if (args.size() != 4 + 2 * ndim) {
+      std::fprintf(stderr, "error: field is %zuD; need %zu bounds\n", ndim,
+                   2 * ndim);
+      return 1;
+    }
+    std::size_t lo[3], hi[3];
+    for (std::size_t d = 0; d < ndim; ++d) {
+      lo[d] = std::strtoull(args[4 + 2 * d].c_str(), nullptr, 10);
+      hi[d] = std::strtoull(args[5 + 2 * d].c_str(), nullptr, 10);
+    }
+    const double t0 = bench::now_ms();
+    const Field region =
+        reader.read_region(args[2], std::span<const std::size_t>(lo, ndim),
+                           std::span<const std::size_t>(hi, ndim));
+    const double wall = bench::now_ms() - t0;
+    store_f32(args[3], region);
+    std::printf("%s: wrote %zu values of region of '%s'\n", args[3].c_str(),
+                region.size(), args[2].c_str());
+    json.add("archive_region", wall,
+             static_cast<double>(region.size() * sizeof(float)));
+    finish_json(json, flags);
+    return 0;
+  }
+
+  if (sub == "info" && args.size() >= 2) {
+    ArchiveReader reader = ArchiveReader::open_file(args[1]);
+    std::printf("fields:    %zu\n", reader.fields().size());
+    std::size_t total_compressed = 0;
+    std::size_t total_values = 0;
+    for (const ArchiveFieldInfo& f : reader.fields()) {
+      total_compressed += f.compressed_bytes();
+      total_values += f.shape.size();
+    }
+    for (const ArchiveFieldInfo& f : reader.fields()) {
+      std::printf("  %-12s %-16s", f.name.c_str(),
+                  codec_names[static_cast<int>(f.codec)]);
+      std::printf(" shape");
+      for (std::size_t d = 0; d < f.shape.ndim(); ++d)
+        std::printf(" %zu", f.shape[d]);
+      std::printf("  tile");
+      for (std::size_t d = 0; d < f.tile.ndim(); ++d)
+        std::printf(" %zu", f.tile[d]);
+      const std::size_t compressed = f.compressed_bytes();
+      std::printf("  %zu tiles  %zu bytes (%.2fx)  abs_eb %.3g",
+                  f.tiles.size(), compressed,
+                  static_cast<double>(f.shape.size() * 4) / compressed,
+                  f.abs_eb);
+      if (!f.anchors.empty()) {
+        std::printf("  anchors");
+        for (const std::string& a : f.anchors) std::printf(" %s", a.c_str());
+      }
+      std::printf("\n");
+    }
+    if (!flags.json_path.empty()) {
+      json.add_value("archive_fields",
+                     static_cast<double>(reader.fields().size()));
+      json.add_value("tile_bytes_total",
+                     static_cast<double>(total_compressed));
+      json.add_value("ratio", static_cast<double>(total_values * 4) /
+                                  static_cast<double>(total_compressed));
+      for (const ArchiveFieldInfo& f : reader.fields())
+        json.add_value(f.name + "_bytes",
+                       static_cast<double>(f.compressed_bytes()));
+      finish_json(json, flags);
+    }
+    return 0;
+  }
+
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
+  std::vector<std::string> all(argv + 1, argv + argc);
   try {
-    if (cmd == "compress" && argc >= 6) {
-      const Shape shape = parse_shape(argv[3 + 1], argv[3 + 2], argv[3 + 3]);
-      const Field field = load_f32(argv[2], shape, stem(argv[2]));
+    const CliFlags flags = strip_flags(all);
+    if (all.size() < 2) return usage();
+    const std::string cmd = all[0];
+    // Positional arguments after the command, re-exposed with the historic
+    // argv numbering (arg(i) below corresponds to the old argv[i]).
+    auto arg = [&](std::size_t i) -> const std::string& {
+      return all[i - 1];
+    };
+    const std::size_t nargs = all.size() + 1;  // historic argc equivalent
+    if (cmd == "archive")
+      return run_archive(
+          std::vector<std::string>(all.begin() + 1, all.end()), flags);
+    bench::BenchJson json;
+    if (cmd == "compress" && nargs >= 7) {
+      const Shape shape =
+          parse_shape(arg(4).c_str(), arg(5).c_str(), arg(6).c_str());
+      const Field field = load_f32(arg(2), shape, stem(arg(2)));
       SzOptions opt;
-      opt.eb = ErrorBound::relative(argc > 7 ? std::atof(argv[7]) : 1e-3);
+      opt.eb = ErrorBound::relative(nargs > 7 ? std::atof(arg(7).c_str())
+                                              : 1e-3);
       SzStats stats;
+      const double t0 = bench::now_ms();
       const auto stream = sz_compress(field, opt, &stats);
-      write_file(argv[3], stream);
-      std::printf("%s: %zu -> %zu bytes (%.2fx)\n", argv[2],
+      const double wall = bench::now_ms() - t0;
+      write_file(arg(3), stream);
+      std::printf("%s: %zu -> %zu bytes (%.2fx)\n", arg(2).c_str(),
                   stats.original_bytes, stats.compressed_bytes,
                   stats.compression_ratio);
+      json.add("compress", wall, static_cast<double>(stats.original_bytes));
+      json.add_value("compressed_bytes",
+                     static_cast<double>(stats.compressed_bytes));
+      json.add_value("ratio", stats.compression_ratio);
+      json.add_value("bit_rate", stats.bit_rate);
+      json.add_value("abs_eb", stats.abs_eb);
+      finish_json(json, flags);
       return 0;
     }
-    if (cmd == "decompress" && argc >= 4) {
-      const auto stream = read_file(argv[2]);
+    if (cmd == "decompress" && nargs >= 4) {
+      const auto stream = read_file(arg(2));
+      const double t0 = bench::now_ms();
       const Field field = sz_decompress(stream);
-      store_f32(argv[3], field);
-      std::printf("%s: wrote %zu values of field '%s'\n", argv[3],
+      const double wall = bench::now_ms() - t0;
+      store_f32(arg(3), field);
+      std::printf("%s: wrote %zu values of field '%s'\n", arg(3).c_str(),
                   field.size(), field.name().c_str());
+      json.add("decompress", wall,
+               static_cast<double>(field.size() * sizeof(float)));
+      finish_json(json, flags);
       return 0;
     }
-    if (cmd == "xcompress" && argc >= 9) {
-      const Shape shape = parse_shape(argv[4], argv[5], argv[6]);
-      const Field target = load_f32(argv[2], shape, stem(argv[2]));
-      const double rel_eb = std::atof(argv[7]);
+    if (cmd == "xcompress" && nargs >= 9) {
+      const Shape shape =
+          parse_shape(arg(4).c_str(), arg(5).c_str(), arg(6).c_str());
+      const Field target = load_f32(arg(2), shape, stem(arg(2)));
+      const double rel_eb = std::atof(arg(7).c_str());
       std::vector<Field> anchor_storage;
       std::vector<const Field*> anchors;
-      for (int i = 8; i < argc; ++i)
-        anchor_storage.push_back(load_f32(argv[i], shape, stem(argv[i])));
+      for (std::size_t i = 8; i <= nargs - 1; ++i)
+        anchor_storage.push_back(load_f32(arg(i), shape, stem(arg(i))));
       for (const Field& a : anchor_storage) anchors.push_back(&a);
 
       std::printf("training CFNN on %zu anchors ...\n", anchors.size());
@@ -98,41 +334,58 @@ int main(int argc, char** argv) {
       CfnnTrainOptions train;
       train.epochs = 15;
       train.verbose = true;
+      const double t0 = bench::now_ms();
       const CfnnModel model =
           train_cross_field_model(target, anchors, cfg, train);
+      const double train_wall = bench::now_ms() - t0;
 
       CrossFieldOptions opt;
       opt.eb = ErrorBound::relative(rel_eb);
       SzStats stats;
+      const double t1 = bench::now_ms();
       const auto stream =
           cross_field_compress(target, anchors, model, opt, &stats);
-      write_file(argv[3], stream);
-      std::printf("%s: %zu -> %zu bytes (%.2fx, model included)\n", argv[2],
-                  stats.original_bytes, stats.compressed_bytes,
-                  stats.compression_ratio);
+      const double wall = bench::now_ms() - t1;
+      write_file(arg(3), stream);
+      std::printf("%s: %zu -> %zu bytes (%.2fx, model included)\n",
+                  arg(2).c_str(), stats.original_bytes,
+                  stats.compressed_bytes, stats.compression_ratio);
+      json.add("cfnn_train", train_wall);
+      json.add("xcompress", wall,
+               static_cast<double>(stats.original_bytes));
+      json.add_value("compressed_bytes",
+                     static_cast<double>(stats.compressed_bytes));
+      json.add_value("ratio", stats.compression_ratio);
+      json.add_value("bit_rate", stats.bit_rate);
+      json.add_value("abs_eb", stats.abs_eb);
+      finish_json(json, flags);
       return 0;
     }
-    if (cmd == "xdecompress" && argc >= 8) {
-      const Shape shape = parse_shape(argv[4], argv[5], argv[6]);
-      const auto stream = read_file(argv[2]);
+    if (cmd == "xdecompress" && nargs >= 8) {
+      const Shape shape =
+          parse_shape(arg(4).c_str(), arg(5).c_str(), arg(6).c_str());
+      const auto stream = read_file(arg(2));
       std::vector<Field> anchor_storage;
       std::vector<const Field*> anchors;
-      for (int i = 7; i < argc; ++i)
-        anchor_storage.push_back(load_f32(argv[i], shape, stem(argv[i])));
+      for (std::size_t i = 7; i <= nargs - 1; ++i)
+        anchor_storage.push_back(load_f32(arg(i), shape, stem(arg(i))));
       for (const Field& a : anchor_storage) anchors.push_back(&a);
+      const double t0 = bench::now_ms();
       const Field field = cross_field_decompress(stream, anchors);
-      store_f32(argv[3], field);
-      std::printf("%s: wrote %zu values of field '%s'\n", argv[3],
+      const double wall = bench::now_ms() - t0;
+      store_f32(arg(3), field);
+      std::printf("%s: wrote %zu values of field '%s'\n", arg(3).c_str(),
                   field.size(), field.name().c_str());
+      json.add("xdecompress", wall,
+               static_cast<double>(field.size() * sizeof(float)));
+      finish_json(json, flags);
       return 0;
     }
-    if (cmd == "info" && argc >= 3) {
-      const auto stream = read_file(argv[2]);
+    if (cmd == "info" && nargs >= 3) {
+      const auto stream = read_file(arg(2));
       const auto parsed = parse_container(stream);
-      const char* names[] = {"sz (dual-quant)", "zfp-style", "cross-field",
-                             "interpolation", "sz (classic)"};
       std::printf("codec:     %s\n",
-                  names[static_cast<int>(parsed.codec)]);
+                  codec_names[static_cast<int>(parsed.codec)]);
       ByteReader in(parsed.body);
       const Shape shape = read_shape(in);
       std::printf("shape:    ");
@@ -163,11 +416,17 @@ int main(int argc, char** argv) {
         const auto model_bytes = in.blob();
         std::printf("\nmodel:     %zu bytes embedded\n", model_bytes.size());
       }
+      json.add_value("stream_bytes", static_cast<double>(stream.size()));
+      json.add_value("ratio",
+                     static_cast<double>(shape.size() * 4) / stream.size());
+      json.add_value("bits_per_value",
+                     8.0 * stream.size() / static_cast<double>(shape.size()));
+      finish_json(json, flags);
       return 0;
     }
-    if (cmd == "verify" && argc >= 4) {
-      const auto ref_data = read_f32_file(argv[2]);
-      const auto test_data = read_f32_file(argv[3]);
+    if (cmd == "verify" && nargs >= 4) {
+      const auto ref_data = read_f32_file(arg(2));
+      const auto test_data = read_f32_file(arg(3));
       if (ref_data.size() != test_data.size()) {
         std::fprintf(stderr, "error: size mismatch (%zu vs %zu values)\n",
                      ref_data.size(), test_data.size());
@@ -176,12 +435,20 @@ int main(int argc, char** argv) {
       const Shape shape{ref_data.size()};
       const Field ref("ref", F32Array(shape, std::move(ref_data)));
       const Field test("test", F32Array(shape, std::move(test_data)));
-      std::printf("max |error|: %.6g\n",
-                  max_abs_error(ref.array().span(), test.array().span()));
-      std::printf("MSE:         %.6g\n",
-                  mse(ref.array().span(), test.array().span()));
-      std::printf("PSNR:        %.2f dB\n", psnr(ref, test));
-      std::printf("NRMSE:       %.6g\n", nrmse(ref, test));
+      const double max_err =
+          max_abs_error(ref.array().span(), test.array().span());
+      const double mse_v = mse(ref.array().span(), test.array().span());
+      const double psnr_v = psnr(ref, test);
+      const double nrmse_v = nrmse(ref, test);
+      std::printf("max |error|: %.6g\n", max_err);
+      std::printf("MSE:         %.6g\n", mse_v);
+      std::printf("PSNR:        %.2f dB\n", psnr_v);
+      std::printf("NRMSE:       %.6g\n", nrmse_v);
+      json.add_value("max_abs_error", max_err);
+      json.add_value("mse", mse_v);
+      json.add_value("psnr", psnr_v);
+      json.add_value("nrmse", nrmse_v);
+      finish_json(json, flags);
       return 0;
     }
   } catch (const XfcError& e) {

@@ -1,0 +1,390 @@
+#include "archive/archive_reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "archive/tile.hpp"
+#include "core/error.hpp"
+#include "core/utils.hpp"
+#include "crossfield/crossfield.hpp"
+#include "io/crc32.hpp"
+#include "sz/classic.hpp"
+#include "sz/compressor.hpp"
+#include "sz/interpolation.hpp"
+#include "zfp/zfp_codec.hpp"
+
+namespace xfc {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'X', 'F', 'A', '1'};
+constexpr std::array<std::uint8_t, 4> kFooterMagic{'X', 'F', 'A', 'F'};
+
+// Caps that turn absurd index declarations into CorruptStream before any
+// proportional allocation happens (same discipline as parse_container).
+constexpr std::uint64_t kMaxFields = 1u << 20;
+constexpr std::uint64_t kMaxAnchors = 255;
+
+void check_not_visiting(const std::vector<std::string>& visiting,
+                        const std::string& name) {
+  if (std::find(visiting.begin(), visiting.end(), name) != visiting.end())
+    throw CorruptStream("archive: cyclic anchor dependency");
+}
+
+}  // namespace
+
+std::uint32_t archive_tile_crc(const std::string& field_name,
+                               std::uint64_t ordinal,
+                               std::span<const std::uint8_t> body) {
+  Crc32 crc;
+  crc.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(field_name.data()),
+      field_name.size()));
+  std::uint8_t ord[8];
+  for (int i = 0; i < 8; ++i)
+    ord[i] = static_cast<std::uint8_t>(ordinal >> (8 * i));
+  crc.update(ord);
+  crc.update(body);
+  return crc.value();
+}
+
+Field archive_decode_tile(std::span<const std::uint8_t> body, CodecId expected,
+                          const std::vector<const Field*>& anchors) {
+  // The codec byte sits right after the 4-byte XFC1 magic; peeking it here
+  // avoids a full parse_container (its CRC pass over the body) just for
+  // this check — the codec's own decompress validates the frame anyway,
+  // and the archive-level tile CRC already ran in tile_bytes().
+  if (body.size() < 5 ||
+      body[4] != static_cast<std::uint8_t>(expected))
+    throw CorruptStream("archive: tile codec disagrees with the index");
+  switch (expected) {
+    case CodecId::kSz:
+      return sz_decompress(body);
+    case CodecId::kSzClassic:
+      return classic_decompress(body);
+    case CodecId::kInterp:
+      return interp_decompress(body);
+    case CodecId::kZfp:
+      return zfp_decompress(body);
+    case CodecId::kCrossField:
+      return cross_field_decompress(body, anchors);
+  }
+  throw CorruptStream("archive: unsupported tile codec");
+}
+
+ArchiveReader::ArchiveReader(std::unique_ptr<ByteSource> source)
+    : source_(std::move(source)) {
+  parse_index();
+}
+
+ArchiveReader ArchiveReader::open_file(const std::string& path) {
+  return ArchiveReader(std::make_unique<FileSource>(path));
+}
+
+ArchiveReader ArchiveReader::open_memory(std::span<const std::uint8_t> bytes) {
+  return ArchiveReader(std::make_unique<MemorySource>(bytes));
+}
+
+void ArchiveReader::parse_index() {
+  const std::size_t total = source_->size();
+  if (total < kArchiveHeaderSize + kFooterMagic.size() + kArchiveTrailerSize)
+    throw CorruptStream("archive: stream too short");
+
+  const auto head = source_->read_vec(0, kArchiveHeaderSize);
+  for (std::size_t i = 0; i < 4; ++i)
+    if (head[i] != kMagic[i])
+      throw CorruptStream("archive: bad magic (not an XFA archive)");
+  if (head[4] != kArchiveVersion)
+    throw CorruptStream("archive: unsupported version");
+
+  const auto tail =
+      source_->read_vec(total - kArchiveTrailerSize, kArchiveTrailerSize);
+  ByteReader tr(tail);
+  const std::uint32_t footer_crc = tr.u32();
+  const std::uint64_t footer_offset = tr.u64();
+  const std::uint64_t footer_size = tr.u64();
+  const auto trailer_magic = tr.raw(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    if (trailer_magic[i] != kMagic[i])
+      throw CorruptStream("archive: bad trailer magic (truncated archive?)");
+
+  const std::uint64_t body_end = total - kArchiveTrailerSize;
+  if (footer_offset < kArchiveHeaderSize || footer_offset > body_end ||
+      footer_size != body_end - footer_offset)
+    throw CorruptStream("archive: footer bounds out of range");
+
+  const auto footer = source_->read_vec(footer_offset, footer_size);
+  if (Crc32::of(footer) != footer_crc)
+    throw CorruptStream("archive: footer CRC mismatch (corrupted index)");
+
+  ByteReader in(footer);
+  const auto fmagic = in.raw(4);
+  for (std::size_t i = 0; i < 4; ++i)
+    if (fmagic[i] != kFooterMagic[i])
+      throw CorruptStream("archive: bad footer magic");
+
+  const std::uint64_t n_fields = in.varint();
+  // Declared counts are checked against the bytes actually present before
+  // any proportional allocation (a crafted index must not buy allocations
+  // it did not pay for in footer bytes); the smallest field record is well
+  // over 8 bytes.
+  if (n_fields > kMaxFields || n_fields > in.remaining() / 8)
+    throw CorruptStream("archive: absurd field count");
+  fields_.reserve(n_fields);
+
+  std::set<std::string> seen_names;
+  for (std::uint64_t fi = 0; fi < n_fields; ++fi) {
+    ArchiveFieldInfo f;
+    f.name = in.str();
+    if (f.name.empty()) throw CorruptStream("archive: empty field name");
+    if (!seen_names.insert(f.name).second)
+      throw CorruptStream("archive: duplicate field name in index");
+
+    const std::uint8_t codec = in.u8();
+    if (codec > static_cast<std::uint8_t>(CodecId::kSzClassic))
+      throw CorruptStream("archive: unknown codec id in index");
+    f.codec = static_cast<CodecId>(codec);
+    const std::uint8_t flags = in.u8();
+    if (flags > 1) throw CorruptStream("archive: unknown field flags");
+    f.cross_field = flags != 0;
+    if (f.cross_field != (f.codec == CodecId::kCrossField))
+      throw CorruptStream("archive: cross-field flag/codec mismatch");
+
+    f.eb_mode = in.u8();
+    if (f.eb_mode > 1) throw CorruptStream("archive: bad error-bound mode");
+    f.eb_value = in.f64();
+    f.abs_eb = in.f64();
+    if (!(f.abs_eb > 0.0) || !std::isfinite(f.abs_eb))
+      throw CorruptStream("archive: bad absolute error bound");
+
+    f.shape = read_shape(in);
+    f.tile = read_shape(in);
+    if (f.tile.ndim() != f.shape.ndim())
+      throw CorruptStream("archive: tile rank disagrees with field rank");
+
+    if (f.cross_field) {
+      const std::uint64_t n_anchors = in.varint();
+      if (n_anchors == 0 || n_anchors > kMaxAnchors)
+        throw CorruptStream("archive: bad anchor count");
+      for (std::uint64_t i = 0; i < n_anchors; ++i) {
+        f.anchors.push_back(in.str());
+        if (f.anchors.back().empty() || f.anchors.back() == f.name)
+          throw CorruptStream("archive: bad anchor name");
+      }
+    }
+
+    const TileGrid grid(f.shape, f.tile);
+    const std::uint64_t n_tiles = in.varint();
+    if (n_tiles != grid.num_tiles())
+      throw CorruptStream(
+          "archive: tile count disagrees with the field geometry");
+    // Each entry is at least 1+1+4 bytes; a geometry engineered to claim
+    // billions of tiles runs out of footer long before the reserve.
+    if (n_tiles > in.remaining() / 6)
+      throw CorruptStream("archive: tile index exceeds the footer");
+    f.tiles.reserve(n_tiles);
+    for (std::uint64_t i = 0; i < n_tiles; ++i) {
+      ArchiveTileInfo t;
+      t.offset = in.varint();
+      t.size = in.varint();
+      t.crc = in.u32();
+      if (t.offset < kArchiveHeaderSize || t.offset > footer_offset ||
+          t.size > footer_offset - t.offset)
+        throw CorruptStream("archive: tile body out of bounds");
+      f.tiles.push_back(t);
+    }
+    fields_.push_back(std::move(f));
+  }
+  if (!in.exhausted())
+    throw CorruptStream("archive: trailing bytes after the field index");
+}
+
+const ArchiveFieldInfo* ArchiveReader::find(const std::string& name) const {
+  for (const ArchiveFieldInfo& f : fields_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const ArchiveFieldInfo& ArchiveReader::require(const std::string& name) const {
+  const ArchiveFieldInfo* info = find(name);
+  if (info == nullptr)
+    throw InvalidArgument("archive: no such field: " + name);
+  return *info;
+}
+
+std::vector<std::uint8_t> ArchiveReader::tile_bytes(
+    const ArchiveFieldInfo& info, std::size_t ordinal) const {
+  const ArchiveTileInfo& t = info.tiles[ordinal];
+  auto body = source_->read_vec(t.offset, t.size);
+  if (archive_tile_crc(info.name, ordinal, body) != t.crc)
+    throw CorruptStream("archive: tile CRC mismatch (corrupted or shuffled "
+                        "index)");
+  return body;
+}
+
+Field ArchiveReader::decode_full(const ArchiveFieldInfo& info,
+                                 std::map<std::string, Field>& cache,
+                                 std::vector<std::string>& visiting) const {
+  check_not_visiting(visiting, info.name);
+  visiting.push_back(info.name);
+
+  // Resolve anchors first (cached, so a shared anchor decodes once).
+  std::vector<const Field*> anchor_fields;
+  for (const std::string& a : info.anchors) {
+    const ArchiveFieldInfo* ai = find(a);
+    if (ai == nullptr)
+      throw CorruptStream("archive: anchor field missing from archive: " + a);
+    if (ai->shape != info.shape)
+      throw CorruptStream("archive: anchor shape disagrees with target");
+    auto it = cache.find(a);
+    if (it == cache.end()) {
+      Field dec = decode_full(*ai, cache, visiting);
+      it = cache.emplace(a, std::move(dec)).first;
+    }
+    anchor_fields.push_back(&it->second);
+  }
+
+  const TileGrid grid(info.shape, info.tile);
+  F32Array out(info.shape);
+  for_each_tile_parallel(0, grid.num_tiles(), [&](std::size_t t) {
+    const TileBox box = grid.box(t);
+    const auto body = tile_bytes(info, t);
+    std::vector<Field> anchor_tiles;
+    std::vector<const Field*> anchor_ptrs;
+    anchor_tiles.reserve(anchor_fields.size());
+    for (const Field* a : anchor_fields)
+      anchor_tiles.emplace_back(a->name(), extract_tile(a->array(), box));
+    for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
+
+    const Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+    if (tile.shape() != box.extents)
+      throw CorruptStream("archive: tile shape disagrees with the index");
+    insert_tile(out, box, tile.array());
+  });
+
+  visiting.pop_back();
+  return Field(info.name, std::move(out));
+}
+
+Field ArchiveReader::decode_region(const ArchiveFieldInfo& info,
+                                   std::span<const std::size_t> lo,
+                                   std::span<const std::size_t> hi,
+                                   std::vector<std::string> visiting) const {
+  check_not_visiting(visiting, info.name);
+  visiting.push_back(info.name);
+  const std::size_t ndim = info.shape.ndim();
+  expects(lo.size() == ndim && hi.size() == ndim,
+          "read_region: bounds rank must match the field rank");
+  for (std::size_t d = 0; d < ndim; ++d)
+    expects(lo[d] < hi[d] && hi[d] <= info.shape[d],
+            "read_region: empty or out-of-bounds region");
+
+  std::size_t region_dims[3];
+  for (std::size_t d = 0; d < ndim; ++d) region_dims[d] = hi[d] - lo[d];
+  F32Array out(Shape(std::span<const std::size_t>(region_dims, ndim)));
+
+  const TileGrid grid(info.shape, info.tile);
+
+  // Cross-field tiles decode whole tile boxes, so the anchors must cover
+  // the tile-aligned expansion of [lo, hi), not just the query itself.
+  // Each anchor's covering region decodes ONCE per query (recursively —
+  // anchor grids need not align with this field's) and tiles crop from it.
+  std::size_t cover_lo[3] = {0, 0, 0};
+  std::vector<Field> anchor_regions;
+  anchor_regions.reserve(info.anchors.size());
+  if (!info.anchors.empty()) {
+    std::size_t cover_hi[3];
+    for (std::size_t d = 0; d < ndim; ++d) {
+      cover_lo[d] = (lo[d] / info.tile[d]) * info.tile[d];
+      cover_hi[d] =
+          std::min(info.shape[d], ceil_div(hi[d], info.tile[d]) * info.tile[d]);
+    }
+    for (const std::string& a : info.anchors) {
+      const ArchiveFieldInfo* ai = find(a);
+      if (ai == nullptr)
+        throw CorruptStream("archive: anchor field missing from archive: " +
+                            a);
+      if (ai->shape != info.shape)
+        throw CorruptStream("archive: anchor shape disagrees with target");
+      anchor_regions.push_back(decode_region(
+          *ai, std::span<const std::size_t>(cover_lo, ndim),
+          std::span<const std::size_t>(cover_hi, ndim), visiting));
+    }
+  }
+
+  for_each_tile_parallel(grid.tiles_in_region(lo, hi), [&](std::size_t t) {
+    const TileBox box = grid.box(t);
+    const auto body = tile_bytes(info, t);
+
+    std::vector<Field> anchor_tiles;
+    std::vector<const Field*> anchor_ptrs;
+    anchor_tiles.reserve(anchor_regions.size());
+    for (const Field& ar : anchor_regions) {
+      F32Array at(box.extents);
+      std::size_t zero[3] = {0, 0, 0};
+      std::size_t src_lo[3];
+      for (std::size_t d = 0; d < ndim; ++d)
+        src_lo[d] = box.lo[d] - cover_lo[d];
+      copy_region(at, zero, ar.array(), src_lo, box.extents);
+      anchor_tiles.emplace_back(ar.name(), std::move(at));
+    }
+    for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
+
+    const Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+    if (tile.shape() != box.extents)
+      throw CorruptStream("archive: tile shape disagrees with the index");
+
+    // Copy the intersection of this tile with [lo, hi) into the output.
+    std::size_t src_lo[3], dst_lo[3], inter_dims[3];
+    for (std::size_t d = 0; d < ndim; ++d) {
+      const std::size_t ilo = std::max(lo[d], box.lo[d]);
+      const std::size_t ihi = std::min(hi[d], box.lo[d] + box.extents[d]);
+      src_lo[d] = ilo - box.lo[d];
+      dst_lo[d] = ilo - lo[d];
+      inter_dims[d] = ihi - ilo;
+    }
+    copy_region(out, dst_lo, tile.array(), src_lo,
+                Shape(std::span<const std::size_t>(inter_dims, ndim)));
+  });
+
+  return Field(info.name, std::move(out));
+}
+
+Field ArchiveReader::read_field(const std::string& name) const {
+  std::map<std::string, Field> cache;
+  std::vector<std::string> visiting;
+  return decode_full(require(name), cache, visiting);
+}
+
+Field ArchiveReader::read_region(const std::string& name,
+                                 std::span<const std::size_t> lo,
+                                 std::span<const std::size_t> hi) const {
+  return decode_region(require(name), lo, hi, {});
+}
+
+std::vector<Field> ArchiveReader::read_all() const {
+  // Only fields some other field anchors on need to live in the cache;
+  // everything else moves straight into the output, keeping peak memory at
+  // one copy of the dataset plus the anchor set.
+  std::set<std::string> anchored;
+  for (const ArchiveFieldInfo& info : fields_)
+    for (const std::string& a : info.anchors) anchored.insert(a);
+
+  std::map<std::string, Field> cache;
+  std::vector<Field> out;
+  out.reserve(fields_.size());
+  for (const ArchiveFieldInfo& info : fields_) {
+    auto it = cache.find(info.name);
+    if (it != cache.end()) {
+      out.push_back(it->second);
+      continue;
+    }
+    std::vector<std::string> visiting;
+    Field dec = decode_full(info, cache, visiting);
+    if (anchored.count(info.name) != 0) cache.emplace(info.name, dec);
+    out.push_back(std::move(dec));
+  }
+  return out;
+}
+
+}  // namespace xfc

@@ -1,0 +1,128 @@
+#ifndef XFC_ARCHIVE_ARCHIVE_READER_HPP
+#define XFC_ARCHIVE_ARCHIVE_READER_HPP
+
+/// \file archive_reader.hpp
+/// Seek-and-decode side of the XFA1 tiled archive (layout documented in
+/// archive_writer.hpp). A reader validates the header/trailer magics and the
+/// footer CRC once, then serves three access paths off the tile index:
+///
+///   read_all()     — every field, decoded tile-parallel, anchors resolved
+///                    in dependency order (mirrors decompress_all).
+///   read_field(n)  — one field; cross-field targets pull in only their
+///                    anchor fields.
+///   read_region(n, lo, hi) — only the tiles intersecting [lo, hi) are
+///                    read and decoded; output is bit-identical to cropping
+///                    a full decode (tiles are independent streams).
+///
+/// Every access path verifies the per-tile CRC before parsing a body, and
+/// every malformed-archive condition — truncation, bit flips, shuffled or
+/// cross-wired index entries, anchor cycles — surfaces as CorruptStream.
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+#include "io/stream.hpp"
+#include "sz/container.hpp"
+
+namespace xfc {
+
+/// Format constants shared by the writer and reader.
+inline constexpr std::uint8_t kArchiveVersion = 1;
+inline constexpr std::size_t kArchiveHeaderSize = 5;   // "XFA1" + version
+inline constexpr std::size_t kArchiveTrailerSize = 24;  // crc+off+size+magic
+
+/// Position-dependent tile checksum: CRC-32 over (field name, LE64 tile
+/// ordinal, body bytes). Because the field and ordinal are mixed in, an
+/// index whose entries were shuffled or pointed at another tile's (valid)
+/// body still fails verification.
+std::uint32_t archive_tile_crc(const std::string& field_name,
+                               std::uint64_t ordinal,
+                               std::span<const std::uint8_t> body);
+
+/// Decodes one self-contained tile body through whichever codec framed it.
+/// `anchors` feed cross-field bodies and are ignored by the rest; pass the
+/// expected codec to reject a body whose frame disagrees with the index.
+Field archive_decode_tile(std::span<const std::uint8_t> body, CodecId expected,
+                          const std::vector<const Field*>& anchors = {});
+
+struct ArchiveTileInfo {
+  std::uint64_t offset = 0;  // absolute file offset of the tile body
+  std::uint64_t size = 0;    // body length in bytes
+  std::uint32_t crc = 0;     // archive_tile_crc of the body
+};
+
+struct ArchiveFieldInfo {
+  std::string name;
+  CodecId codec = CodecId::kSz;
+  bool cross_field = false;
+  std::uint8_t eb_mode = 0;  // ErrorBoundMode as written
+  double eb_value = 0.0;
+  double abs_eb = 0.0;       // resolved absolute bound (whole field)
+  Shape shape;
+  Shape tile;
+  std::vector<std::string> anchors;       // cross-field targets only
+  std::vector<ArchiveTileInfo> tiles;     // row-major grid order
+
+  std::size_t compressed_bytes() const {
+    std::size_t total = 0;
+    for (const ArchiveTileInfo& t : tiles) total += t.size;
+    return total;
+  }
+};
+
+class ArchiveReader {
+ public:
+  /// Takes ownership of an arbitrary source; validates and parses the index.
+  explicit ArchiveReader(std::unique_ptr<ByteSource> source);
+
+  /// Opens a file-backed archive (seekable reads via RandomAccessFile).
+  static ArchiveReader open_file(const std::string& path);
+
+  /// Borrows an in-memory archive; `bytes` must outlive the reader.
+  static ArchiveReader open_memory(std::span<const std::uint8_t> bytes);
+
+  const std::vector<ArchiveFieldInfo>& fields() const { return fields_; }
+  const ArchiveFieldInfo* find(const std::string& name) const;
+
+  /// Full decode of one field (tile-parallel). Cross-field targets decode
+  /// their anchors first; the anchor tiles handed to the codec are the
+  /// reader's own decoded tiles, which match the writer's reconstructions
+  /// bit-exactly (the tiled anchor contract).
+  Field read_field(const std::string& name) const;
+
+  /// Decodes only the tiles intersecting the half-open region [lo, hi)
+  /// (rank-sized bounds) and returns the assembled (hi-lo)-shaped field.
+  /// Bit-identical to cropping read_field's output.
+  Field read_region(const std::string& name, std::span<const std::size_t> lo,
+                    std::span<const std::size_t> hi) const;
+
+  /// Decodes every field, in archive order, sharing one anchor cache.
+  std::vector<Field> read_all() const;
+
+ private:
+  void parse_index();
+  const ArchiveFieldInfo& require(const std::string& name) const;
+  std::vector<std::uint8_t> tile_bytes(const ArchiveFieldInfo& info,
+                                       std::size_t ordinal) const;
+  Field decode_full(const ArchiveFieldInfo& info,
+                    std::map<std::string, Field>& cache,
+                    std::vector<std::string>& visiting) const;
+  // `visiting` is the anchor chain of the current recursion path (passed
+  // by value — each path owns its copy); revisiting a name means the index
+  // declares an anchor cycle.
+  Field decode_region(const ArchiveFieldInfo& info,
+                      std::span<const std::size_t> lo,
+                      std::span<const std::size_t> hi,
+                      std::vector<std::string> visiting) const;
+
+  std::unique_ptr<ByteSource> source_;
+  std::vector<ArchiveFieldInfo> fields_;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_ARCHIVE_ARCHIVE_READER_HPP

@@ -1,0 +1,235 @@
+#include "archive/archive_writer.hpp"
+
+#include <algorithm>
+
+#include "archive/archive_reader.hpp"
+#include "archive/tile.hpp"
+#include "core/error.hpp"
+#include "core/utils.hpp"
+#include "io/crc32.hpp"
+#include "sz/classic.hpp"
+#include "sz/interpolation.hpp"
+#include "zfp/zfp_codec.hpp"
+
+namespace xfc {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic{'X', 'F', 'A', '1'};
+constexpr std::array<std::uint8_t, 4> kFooterMagic{'X', 'F', 'A', 'F'};
+
+std::vector<std::uint8_t> compress_tile(
+    const Field& tile_field, CodecId codec, double abs_eb,
+    const ArchiveFieldOptions& options,
+    const std::vector<const Field*>& anchors, const CfnnModel* model) {
+  // Every tile is coded at the field-level *absolute* bound so the tiled
+  // round trip satisfies exactly the ErrorBound the caller configured —
+  // resolving a relative bound per tile would retarget it to each tile's
+  // local value range.
+  switch (codec) {
+    case CodecId::kSz: {
+      SzOptions o;
+      o.eb = ErrorBound::absolute(abs_eb);
+      o.predictor = options.predictor;
+      o.backend = options.backend;
+      o.quant_radius = options.quant_radius;
+      return sz_compress(tile_field, o);
+    }
+    case CodecId::kSzClassic: {
+      ClassicOptions o;
+      o.eb = ErrorBound::absolute(abs_eb);
+      o.backend = options.backend;
+      o.quant_radius = options.quant_radius;
+      return classic_compress(tile_field, o);
+    }
+    case CodecId::kInterp: {
+      InterpOptions o;
+      o.eb = ErrorBound::absolute(abs_eb);
+      o.backend = options.backend;
+      o.quant_radius = options.quant_radius;
+      return interp_compress(tile_field, o);
+    }
+    case CodecId::kZfp: {
+      ZfpOptions o;
+      o.tolerance = abs_eb;
+      return zfp_compress(tile_field, o);
+    }
+    case CodecId::kCrossField: {
+      CrossFieldOptions o;
+      o.eb = ErrorBound::absolute(abs_eb);
+      o.backend = options.backend;
+      o.quant_radius = options.quant_radius;
+      return cross_field_compress(tile_field, anchors, *model, o);
+    }
+  }
+  throw InvalidArgument("ArchiveWriter: unsupported tile codec");
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(ByteSink& sink) : sink_(sink) {
+  ByteWriter head;
+  head.raw(kMagic);
+  head.u8(kArchiveVersion);
+  sink_.append(head.bytes());
+}
+
+const Field* ArchiveWriter::reconstruction(const std::string& name) const {
+  const auto it = reconstructions_.find(name);
+  return it == reconstructions_.end() ? nullptr : &it->second;
+}
+
+void ArchiveWriter::write_tiles(const Field& field,
+                                const ArchiveFieldOptions& options,
+                                FieldEntry& entry,
+                                const std::vector<const Field*>& anchor_recons,
+                                const CfnnModel* model) {
+  expects(!finished_, "ArchiveWriter: archive already finished");
+  for (const FieldEntry& f : fields_)
+    expects(f.name != field.name(), "ArchiveWriter: duplicate field name");
+  expects(!field.name().empty(), "ArchiveWriter: field must be named");
+
+  const Shape tile_shape = options.tile.ndim() == 0
+                               ? TileGrid::default_tile(field.shape())
+                               : options.tile;
+  const TileGrid grid(field.shape(), tile_shape);
+
+  entry.name = field.name();
+  entry.codec = anchor_recons.empty() ? options.codec : CodecId::kCrossField;
+  entry.cross_field = !anchor_recons.empty();
+  entry.eb_mode = static_cast<std::uint8_t>(options.eb.mode());
+  entry.eb_value = options.eb.value();
+  entry.abs_eb = options.eb.absolute_for(field.value_range());
+  entry.shape = field.shape();
+  entry.tile = tile_shape;
+
+  const bool keep = options.keep_reconstruction;
+  F32Array recon;
+  if (keep) recon = F32Array(field.shape());
+
+  // One batch of tiles is in flight at a time: the batch compresses (and,
+  // when retained, decodes back) in parallel, then its bodies are appended
+  // to the sink sequentially so offsets are deterministic. The batch is a
+  // grid row, widened to a few tiles per worker when rows are narrower
+  // than the pool (a 1D field's "row" is a single tile), so memory stays
+  // bounded by O(max(row, threads)) tiles independent of archive size.
+  const std::size_t row_tiles = grid.num_tiles() / grid.tiles_along(0);
+  const std::size_t batch =
+      std::max(row_tiles,
+               std::min(grid.num_tiles(),
+                        4 * static_cast<std::size_t>(hardware_threads())));
+  for (std::size_t lo = 0; lo < grid.num_tiles(); lo += batch) {
+    const std::size_t hi = std::min(lo + batch, grid.num_tiles());
+    std::vector<std::vector<std::uint8_t>> bodies(hi - lo);
+
+    for_each_tile_parallel(lo, hi, [&](std::size_t t) {
+      const TileBox box = grid.box(t);
+      const Field tile_field(field.name(), extract_tile(field.array(), box));
+      std::vector<Field> anchor_tiles;
+      std::vector<const Field*> anchor_ptrs;
+      anchor_tiles.reserve(anchor_recons.size());
+      for (const Field* a_full : anchor_recons)
+        anchor_tiles.emplace_back(a_full->name(),
+                                  extract_tile(a_full->array(), box));
+      for (const Field& a_tile : anchor_tiles)
+        anchor_ptrs.push_back(&a_tile);
+
+      bodies[t - lo] = compress_tile(tile_field, entry.codec, entry.abs_eb,
+                                     options, anchor_ptrs, model);
+      if (keep) {
+        // The retained reconstruction is the decode of the bytes just
+        // produced — exact for every codec (zfp included), so targets
+        // anchored on this field see the decoder's bytes.
+        const Field dec =
+            archive_decode_tile(bodies[t - lo], entry.codec, anchor_ptrs);
+        insert_tile(recon, box, dec.array());
+      }
+    });
+
+    for (std::size_t t = lo; t < hi; ++t) {
+      const auto& body = bodies[t - lo];
+      TileEntry te;
+      te.offset = sink_.size();
+      te.size = body.size();
+      te.crc = archive_tile_crc(entry.name, t, body);
+      entry.tiles.push_back(te);
+      sink_.append(body);
+    }
+  }
+
+  if (keep)
+    reconstructions_.emplace(field.name(),
+                             Field(field.name(), std::move(recon)));
+}
+
+void ArchiveWriter::add_field(const Field& field,
+                              const ArchiveFieldOptions& options) {
+  expects(options.codec != CodecId::kCrossField,
+          "ArchiveWriter: use add_cross_field for cross-field targets");
+  FieldEntry entry;
+  write_tiles(field, options, entry, {}, nullptr);
+  fields_.push_back(std::move(entry));
+}
+
+void ArchiveWriter::add_cross_field(
+    const Field& target, const std::vector<std::string>& anchor_names,
+    const CfnnModel& model, const ArchiveFieldOptions& options) {
+  expects(!anchor_names.empty(),
+          "ArchiveWriter: cross-field target needs at least one anchor");
+  std::vector<const Field*> anchors;
+  anchors.reserve(anchor_names.size());
+  for (const std::string& name : anchor_names) {
+    const Field* recon = reconstruction(name);
+    expects(recon != nullptr,
+            "ArchiveWriter: anchor was not added with keep_reconstruction");
+    expects(recon->shape() == target.shape(),
+            "ArchiveWriter: anchor shape does not match the target");
+    anchors.push_back(recon);
+  }
+  FieldEntry entry;
+  entry.anchors = anchor_names;
+  write_tiles(target, options, entry, anchors, &model);
+  fields_.push_back(std::move(entry));
+}
+
+void ArchiveWriter::finish() {
+  expects(!finished_, "ArchiveWriter: archive already finished");
+  finished_ = true;
+
+  ByteWriter footer;
+  footer.raw(kFooterMagic);
+  footer.varint(fields_.size());
+  for (const FieldEntry& f : fields_) {
+    footer.str(f.name);
+    footer.u8(static_cast<std::uint8_t>(f.codec));
+    footer.u8(f.cross_field ? 1 : 0);
+    footer.u8(f.eb_mode);
+    footer.f64(f.eb_value);
+    footer.f64(f.abs_eb);
+    write_shape(footer, f.shape);
+    write_shape(footer, f.tile);
+    if (f.cross_field) {
+      footer.varint(f.anchors.size());
+      for (const std::string& a : f.anchors) footer.str(a);
+    }
+    footer.varint(f.tiles.size());
+    for (const TileEntry& t : f.tiles) {
+      footer.varint(t.offset);
+      footer.varint(t.size);
+      footer.u32(t.crc);
+    }
+  }
+
+  const std::uint64_t footer_offset = sink_.size();
+  const std::uint32_t footer_crc = Crc32::of(footer.bytes());
+  sink_.append(footer.bytes());
+
+  ByteWriter trailer;
+  trailer.u32(footer_crc);
+  trailer.u64(footer_offset);
+  trailer.u64(footer.size());
+  trailer.raw(kMagic);
+  sink_.append(trailer.bytes());
+  sink_.flush();
+}
+
+}  // namespace xfc

@@ -89,6 +89,77 @@ std::vector<CompressedField> MultiFieldCompressor::compress_all(
   return out;
 }
 
+void MultiFieldCompressor::write_archive(ArchiveWriter& writer,
+                                         const ErrorBound& eb,
+                                         const ArchiveFieldOptions& base) {
+  // Fields that later tiles anchor on must keep their reconstructions in
+  // the writer (that is the tiled anchor contract: the encoder codes each
+  // target tile against exactly the bytes the reader will decode).
+  std::vector<std::string> anchored;
+  for (const auto& [target, cfg] : configs_)
+    for (const std::string& a : cfg.anchors) anchored.push_back(a);
+  const auto is_anchored = [&](const std::string& name) {
+    for (const std::string& a : anchored)
+      if (a == name) return true;
+    return false;
+  };
+
+  ArchiveFieldOptions opts = base;
+  opts.eb = eb;
+
+  // Pass 1: every non-target field, retaining reconstructions of anchors.
+  for (const Field& f : fields_) {
+    if (configs_.count(f.name()) != 0) continue;
+    opts.keep_reconstruction = is_anchored(f.name());
+    writer.add_field(f, opts);
+  }
+
+  // Pass 2: targets in dependency order — a target is writable once all of
+  // its anchors have reconstructions in the writer (chained targets, paper
+  // Table III, resolve over multiple rounds).
+  std::vector<const Field*> pending;
+  for (const Field& f : fields_)
+    if (configs_.count(f.name()) != 0) pending.push_back(&f);
+
+  while (!pending.empty()) {
+    std::vector<const Field*> next;
+    for (const Field* f : pending) {
+      const AnchorConfig& cfg = configs_.at(f->name());
+      bool ready = true;
+      for (const std::string& a : cfg.anchors)
+        if (writer.reconstruction(a) == nullptr) ready = false;
+      if (!ready) {
+        next.push_back(f);
+        continue;
+      }
+      // Same model policy as compress_all: train once per target on
+      // original data, reuse across bounds.
+      auto mit = model_cache_.find(f->name());
+      if (mit == model_cache_.end()) {
+        std::vector<const Field*> original_anchors;
+        for (const std::string& a : cfg.anchors) {
+          const Field* orig = find(a);
+          // configure_target guarantees this today; the gate above only
+          // proves the *writer* knows the anchor, so keep the registry
+          // check explicit rather than dereferencing blind.
+          expects(orig != nullptr,
+                  "write_archive: anchor field not registered");
+          original_anchors.push_back(orig);
+        }
+        CfnnModel model =
+            train_cross_field_model(*f, original_anchors, cfg.cfnn, cfg.train);
+        mit = model_cache_.emplace(f->name(), std::move(model)).first;
+      }
+      opts.keep_reconstruction = is_anchored(f->name());
+      writer.add_cross_field(*f, cfg.anchors, mit->second, opts);
+    }
+    expects(next.size() < pending.size(),
+            "write_archive: unresolvable anchor dependency (missing field "
+            "or cyclic anchors)");
+    pending = std::move(next);
+  }
+}
+
 namespace {
 
 /// Anchor names recorded in a cross-field stream header.

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/archive_writer.hpp"
 #include "crossfield/crossfield.hpp"
 #include "sz/compressor.hpp"
 
@@ -55,6 +56,17 @@ class MultiFieldCompressor {
   /// Returns fields in the order of `compressed`.
   static std::vector<Field> decompress_all(
       const std::vector<CompressedField>& compressed);
+
+  /// Tiled-archive counterpart of compress_all: writes every registered
+  /// field into `writer` at bound `eb` (tile shape / codec / backend from
+  /// `base`; base.eb is ignored). The anchor contract survives tiling:
+  /// anchors are written first with their reconstructions retained, and
+  /// each target tile is coded against the identical reconstructed anchor
+  /// tiles the archive reader will decode. Chained targets resolve in
+  /// dependency order; CFNN models are trained on original data and cached
+  /// per target (shared with compress_all). The caller owns finish().
+  void write_archive(ArchiveWriter& writer, const ErrorBound& eb,
+                     const ArchiveFieldOptions& base = {});
 
   const Field* find(const std::string& name) const;
 

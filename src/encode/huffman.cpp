@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <queue>
 
 #include "core/error.hpp"
@@ -153,8 +154,11 @@ std::vector<std::uint8_t> huffman_code_lengths(
 }
 
 HuffmanCode::HuffmanCode(std::vector<std::uint8_t> lengths)
+    : HuffmanCode(std::move(lengths), /*build_encode=*/true) {}
+
+HuffmanCode::HuffmanCode(std::vector<std::uint8_t> lengths, bool build_encode)
     : lengths_(std::move(lengths)) {
-  build_tables();
+  build_tables(build_encode);
 }
 
 HuffmanCode HuffmanCode::from_frequencies(std::span<const std::uint64_t> freqs,
@@ -162,16 +166,37 @@ HuffmanCode HuffmanCode::from_frequencies(std::span<const std::uint64_t> freqs,
   return HuffmanCode(huffman_code_lengths(freqs, max_bits));
 }
 
-void HuffmanCode::build_tables() {
+void HuffmanCode::build_tables(bool build_encode) {
+  // Delta alphabets are radius-sized (65k symbols) while a typical stream —
+  // and especially a typical archive *tile* — uses a few dozen of them. One
+  // pass over the dense length array collects the used symbols; every
+  // later stage runs over that subset, so table build costs O(alphabet)
+  // once instead of five times.
   max_len_ = 0;
-  for (std::uint8_t l : lengths_) {
-    expects(l <= kMaxHuffmanBits, "HuffmanCode: length exceeds limit");
-    max_len_ = std::max<unsigned>(max_len_, l);
+  count_.assign(kMaxHuffmanBits + 1, 0);
+  std::vector<std::uint32_t> used;
+  used.reserve(512);
+  const std::size_t n = lengths_.size();
+  for (std::size_t s = 0; s < n;) {
+    // Zero runs dominate the array; skip them eight symbols per load.
+    if (s + 8 <= n) {
+      std::uint64_t w;
+      std::memcpy(&w, lengths_.data() + s, 8);
+      if (w == 0) {
+        s += 8;
+        continue;
+      }
+    }
+    const std::uint8_t l = lengths_[s];
+    if (l != 0) {
+      expects(l <= kMaxHuffmanBits, "HuffmanCode: length exceeds limit");
+      ++count_[l];
+      max_len_ = std::max<unsigned>(max_len_, l);
+      used.push_back(static_cast<std::uint32_t>(s));
+    }
+    ++s;
   }
-
-  count_.assign(max_len_ + 1, 0);
-  for (std::uint8_t l : lengths_)
-    if (l > 0) ++count_[l];
+  count_.resize(max_len_ + 1);
 
   // Kraft check: sum 2^-l must not exceed 1, otherwise decode is ambiguous.
   std::uint64_t kraft = 0;  // in units of 2^-max_len_
@@ -191,33 +216,45 @@ void HuffmanCode::build_tables() {
     index += count_[l];
   }
 
-  // Counting sort by (length, symbol): one pass over the alphabet instead
-  // of max_len_ passes — this build runs on both the compress and the
-  // decompress side for every stream.
+  // Counting sort by (length, symbol): used symbols are already in symbol
+  // order, so placing them through the per-length cursors yields the
+  // canonical ordering directly.
   sorted_.assign(index, 0);
   std::vector<std::uint32_t> fill = first_index_;
-  for (std::uint32_t s = 0; s < lengths_.size(); ++s)
-    if (lengths_[s] > 0) sorted_[fill[lengths_[s]]++] = s;
+  for (std::uint32_t s : used) sorted_[fill[lengths_[s]]++] = s;
 
-  codes_.assign(lengths_.size(), 0);
+  // Canonical code values in sorted order; only encoders need them spread
+  // into a dense per-symbol array.
+  std::vector<std::uint32_t> canon(sorted_.size());
   std::vector<std::uint32_t> next = first_code_;
-  for (std::uint32_t s : sorted_) codes_[s] = next[lengths_[s]]++;
+  for (std::size_t i = 0; i < sorted_.size(); ++i)
+    canon[i] = next[lengths_[sorted_[i]]]++;
+
+  codes_.clear();
+  if (build_encode) {
+    codes_.assign(lengths_.size(), 0);
+    for (std::size_t i = 0; i < sorted_.size(); ++i)
+      codes_[sorted_[i]] = canon[i];
+  }
 
   // Root decode table: one entry per kRootBits-bit prefix resolves every
   // code of length <= kRootBits in a single peek.
   root_.assign(std::size_t{1} << kRootBits, RootEntry{0, 0});
-  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const std::uint32_t s = sorted_[i];
     const unsigned l = lengths_[s];
-    if (l == 0 || l > kRootBits) continue;
-    const std::uint32_t base = codes_[s] << (kRootBits - l);
+    if (l > kRootBits) continue;
+    const std::uint32_t base = canon[i] << (kRootBits - l);
     const std::uint32_t span = 1u << (kRootBits - l);
-    for (std::uint32_t i = 0; i < span; ++i)
-      root_[base + i] = RootEntry{s, static_cast<std::uint8_t>(l)};
+    for (std::uint32_t j = 0; j < span; ++j)
+      root_[base + j] = RootEntry{s, static_cast<std::uint8_t>(l)};
   }
 }
 
 void HuffmanCode::encode_all(BitWriter& bw,
                              std::span<const std::uint32_t> symbols) const {
+  expects(codes_.size() == lengths_.size() || symbols.empty(),
+          "HuffmanCode::encode_all: decode-only codebook");
   std::uint64_t total_bits = 0;
   for (std::uint32_t s : symbols) {
     expects(s < lengths_.size() && lengths_[s] > 0,
@@ -274,7 +311,7 @@ HuffmanCode HuffmanCode::deserialize(ByteReader& in) {
       throw CorruptStream("HuffmanCode::deserialize: bad run length");
     lengths.insert(lengths.end(), run, len);
   }
-  return HuffmanCode(std::move(lengths));
+  return HuffmanCode(std::move(lengths), /*build_encode=*/false);
 }
 
 }  // namespace xfc

@@ -52,6 +52,7 @@ class HuffmanCode {
   void encode(BitWriter& bw, std::uint32_t symbol) const {
     expects(symbol < lengths_.size() && lengths_[symbol] > 0,
             "HuffmanCode::encode: symbol has no code");
+    expects(!codes_.empty(), "HuffmanCode::encode: decode-only codebook");
     bw.put_bits(codes_[symbol], lengths_[symbol]);
   }
 
@@ -87,7 +88,10 @@ class HuffmanCode {
   /// Serialises the code lengths (run-length + varint packed).
   void serialize(ByteWriter& out) const;
 
-  /// Reads a codebook written by serialize().
+  /// Reads a codebook written by serialize(). The result is decode-only:
+  /// the dense per-symbol encode array (1 word per alphabet entry — 256KB
+  /// at delta-codec radius) is skipped, which matters when archive readers
+  /// rebuild a codebook per tile. Calling encode on it throws.
   static HuffmanCode deserialize(ByteReader& in);
 
  private:
@@ -99,7 +103,9 @@ class HuffmanCode {
     std::uint8_t length;  // 0: code longer than kRootBits (slow path)
   };
 
-  void build_tables();
+  HuffmanCode(std::vector<std::uint8_t> lengths, bool build_encode);
+
+  void build_tables(bool build_encode);
 
   /// Long-code (> kRootBits) and end-of-stream decode path.
   std::uint32_t decode_slow(BitReader& br) const;

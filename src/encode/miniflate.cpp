@@ -234,6 +234,12 @@ std::vector<std::uint8_t> miniflate_decompress(
     return std::vector<std::uint8_t>(body.begin(), body.end());
   }
   if (method != 1) throw CorruptStream("miniflate: unknown method byte");
+  // The output buffer below is sized (and zero-filled) up front, so the
+  // declared size must be plausible for the bytes present: a match symbol
+  // costs at least one payload bit and emits at most kMaxMatch bytes, so
+  // genuine streams can never exceed 8 * kMaxMatch bytes per input byte.
+  if (raw_size > (in.remaining() + 1) * (8 * kMaxMatch))
+    throw CorruptStream("miniflate: declared size exceeds maximum expansion");
 
   const auto litlen = HuffmanCode::deserialize(in);
   const auto dist = HuffmanCode::deserialize(in);
@@ -242,14 +248,21 @@ std::vector<std::uint8_t> miniflate_decompress(
     throw CorruptStream("miniflate: unexpected alphabet sizes");
   const auto payload = in.blob();
 
-  std::vector<std::uint8_t> out;
-  out.reserve(raw_size);
+  // The output is pre-sized to the declared length and filled through a
+  // cursor: every bounds decision happens before bytes move, and the match
+  // copies below may then run as whole-chunk memcpys instead of per-byte
+  // push_backs (the decompress hot loop — see ROADMAP "miniflate
+  // throughput").
+  std::vector<std::uint8_t> out(raw_size);
+  std::size_t pos = 0;
   BitReader br(payload);
   while (true) {
     const std::uint32_t sym = litlen.decode(br);
     if (sym == kEob) break;
     if (sym < 256) {
-      out.push_back(static_cast<std::uint8_t>(sym));
+      if (pos >= raw_size)
+        throw CorruptStream("miniflate: output exceeds declared size");
+      out[pos++] = static_cast<std::uint8_t>(sym);
       continue;
     }
     const std::uint32_t lcode = sym - kLenCodeBase;
@@ -262,14 +275,33 @@ std::vector<std::uint8_t> miniflate_decompress(
     const std::uint32_t d =
         bucket_base(dcode) +
         static_cast<std::uint32_t>(br.get_bits(bucket_extra_bits(dcode)));
-    if (d == 0 || d > out.size())
+    if (d == 0 || d > pos)
       throw CorruptStream("miniflate: match distance out of range");
-    const std::size_t start = out.size() - d;
-    for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
-    if (out.size() > raw_size)
+    if (len > raw_size - pos)
       throw CorruptStream("miniflate: output exceeds declared size");
+
+    std::uint8_t* dst = out.data() + pos;
+    const std::uint8_t* src = dst - d;
+    if (d >= len) {
+      // Disjoint: one straight copy.
+      std::memcpy(dst, src, len);
+    } else {
+      // Overlapping match (distance < length): the already-written prefix
+      // repeats with period d. Doubling copies are overlap-safe because
+      // each round reads only bytes written before it started, and the
+      // copied span grows d -> 2d -> 4d ... so the tail is O(log) rounds
+      // of memcpy instead of len byte moves.
+      std::size_t filled = d;
+      std::memcpy(dst, src, d);
+      while (filled < len) {
+        const std::size_t chunk = std::min(filled, len - filled);
+        std::memcpy(dst + filled, dst, chunk);
+        filled += chunk;
+      }
+    }
+    pos += len;
   }
-  if (out.size() != raw_size)
+  if (pos != raw_size)
     throw CorruptStream("miniflate: output size mismatch");
   return out;
 }

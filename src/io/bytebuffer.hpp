@@ -75,7 +75,9 @@ class ByteReader {
 
  private:
   void need(std::size_t n) const {
-    if (pos_ + n > data_.size())
+    // Compare against the remaining byte count rather than `pos_ + n`: a
+    // hostile varint length near SIZE_MAX would wrap the sum and pass.
+    if (n > data_.size() - pos_)
       throw CorruptStream("ByteReader: read past end of buffer");
   }
 

@@ -45,4 +45,23 @@ void write_f32_file(const std::string& path, const std::vector<float>& data) {
   write_file(path, bytes);
 }
 
+RandomAccessFile::RandomAccessFile(const std::string& path)
+    : in_(path, std::ios::binary | std::ios::ate), path_(path) {
+  if (!in_) throw IoError("cannot open file for reading: " + path);
+  size_ = static_cast<std::size_t>(in_.tellg());
+}
+
+void RandomAccessFile::read_at(std::size_t offset,
+                               std::span<std::uint8_t> out) const {
+  if (offset > size_ || out.size() > size_ - offset)
+    throw IoError("read_at past end of file: " + path_);
+  if (out.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  if (!in_.read(reinterpret_cast<char*>(out.data()),
+                static_cast<std::streamsize>(out.size())))
+    throw IoError("short read from file: " + path_);
+}
+
 }  // namespace xfc

@@ -7,6 +7,9 @@
 /// dataset loaders and the CLI tool.
 
 #include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,28 @@ std::vector<float> read_f32_file(const std::string& path);
 
 /// Writes a raw float32 file.
 void write_f32_file(const std::string& path, const std::vector<float>& data);
+
+/// Seekable random-access reads over an open file. The archive reader uses
+/// this to pull individual tile bodies out of multi-gigabyte archives
+/// without ever loading the whole file. Thread-safe: concurrent read_at
+/// calls serialize on an internal mutex (one shared seek cursor).
+class RandomAccessFile {
+ public:
+  /// Opens for reading; throws IoError if the file cannot be opened.
+  explicit RandomAccessFile(const std::string& path);
+
+  std::size_t size() const { return size_; }
+
+  /// Reads exactly out.size() bytes starting at `offset`; throws IoError on
+  /// a short read or an out-of-bounds range.
+  void read_at(std::size_t offset, std::span<std::uint8_t> out) const;
+
+ private:
+  mutable std::ifstream in_;
+  mutable std::mutex mutex_;
+  std::size_t size_ = 0;
+  std::string path_;
+};
 
 }  // namespace xfc
 

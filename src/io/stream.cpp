@@ -1,0 +1,38 @@
+#include "io/stream.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace xfc {
+
+void VectorSink::append(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+FileSink::FileSink(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw IoError("cannot open file for writing: " + path);
+}
+
+void FileSink::append(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  if (!out_.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size())))
+    throw IoError("short write to file: " + path_);
+  written_ += data.size();
+}
+
+void FileSink::flush() {
+  out_.flush();
+  if (!out_) throw IoError("flush failed: " + path_);
+}
+
+void MemorySource::read_at(std::size_t offset,
+                           std::span<std::uint8_t> out) const {
+  if (offset > data_.size() || out.size() > data_.size() - offset)
+    throw CorruptStream("MemorySource: read past end of archive");
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+}  // namespace xfc

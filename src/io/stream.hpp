@@ -1,0 +1,110 @@
+#ifndef XFC_IO_STREAM_HPP
+#define XFC_IO_STREAM_HPP
+
+/// \file stream.hpp
+/// Byte-source/sink abstractions decoupling the archive subsystem from its
+/// storage: an ArchiveWriter appends through a ByteSink (memory vector or
+/// streaming file) and an ArchiveReader seeks through a ByteSource (borrowed
+/// span or random-access file). Both interfaces are deliberately tiny —
+/// append-only on the write side, positional reads on the read side — so a
+/// future network- or object-store-backed implementation slots in without
+/// touching the format code.
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/file.hpp"
+
+namespace xfc {
+
+/// Append-only byte sink. `size()` doubles as the write cursor: the archive
+/// writer records tile offsets by reading it before each append.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void append(std::span<const std::uint8_t> data) = 0;
+  virtual std::size_t size() const = 0;
+  /// Forces buffered bytes to durable storage; no-op for unbuffered sinks.
+  /// The archive writer calls this once from finish().
+  virtual void flush() {}
+};
+
+/// In-memory sink; `take()` hands the accumulated archive to the caller.
+class VectorSink final : public ByteSink {
+ public:
+  void append(std::span<const std::uint8_t> data) override;
+  std::size_t size() const override { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Streaming file sink: bytes hit the OS as they are appended, so writer
+/// memory stays bounded no matter how large the archive grows. Throws
+/// IoError on open/write failure; `flush()` forces buffered data out (the
+/// archive writer calls it from finish()).
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(const std::string& path);
+  void append(std::span<const std::uint8_t> data) override;
+  std::size_t size() const override { return written_; }
+  void flush() override;
+
+ private:
+  std::ofstream out_;
+  std::size_t written_ = 0;
+  std::string path_;
+};
+
+/// Positional-read byte source.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual std::size_t size() const = 0;
+  /// Reads exactly out.size() bytes at `offset`; throws (IoError or
+  /// CorruptStream) if the range is out of bounds.
+  virtual void read_at(std::size_t offset,
+                       std::span<std::uint8_t> out) const = 0;
+
+  /// Convenience: allocate-and-read.
+  std::vector<std::uint8_t> read_vec(std::size_t offset,
+                                     std::size_t n) const {
+    std::vector<std::uint8_t> out(n);
+    read_at(offset, out);
+    return out;
+  }
+};
+
+/// Borrows an in-memory archive; the span must outlive the source.
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(std::span<const std::uint8_t> data) : data_(data) {}
+  std::size_t size() const override { return data_.size(); }
+  void read_at(std::size_t offset, std::span<std::uint8_t> out) const override;
+
+ private:
+  std::span<const std::uint8_t> data_;
+};
+
+/// File-backed source over RandomAccessFile (thread-safe positional reads).
+class FileSource final : public ByteSource {
+ public:
+  explicit FileSource(const std::string& path) : file_(path) {}
+  std::size_t size() const override { return file_.size(); }
+  void read_at(std::size_t offset, std::span<std::uint8_t> out) const override {
+    file_.read_at(offset, out);
+  }
+
+ private:
+  RandomAccessFile file_;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_IO_STREAM_HPP

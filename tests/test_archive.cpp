@@ -1,0 +1,430 @@
+// XFA1 tiled-archive tests: grid geometry, per-codec round trips at the
+// monolithic error bound, region reads bit-identical to cropped full
+// decodes, the tiled anchor contract for cross-field targets, and the
+// file-backed path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "archive/tile.hpp"
+#include "core/rng.hpp"
+#include "crossfield/multifield.hpp"
+#include "io/file.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/compressor.hpp"
+#include "test_util.hpp"
+
+namespace xfc {
+namespace {
+
+Field smooth_field(const std::string& name, const Shape& shape,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  F32Array a(shape);
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(i % w) / 7.0;
+    const double y = static_cast<double>(i / w) / 11.0;
+    a[i] = static_cast<float>(std::sin(x) * std::cos(y) * 20.0 +
+                              rng.normal(0, 0.1));
+  }
+  return Field(name, std::move(a));
+}
+
+CfnnTrainOptions quick_train() {
+  CfnnTrainOptions t;
+  t.epochs = 4;
+  t.patches_per_epoch = 16;
+  t.patch = 16;
+  t.batch = 8;
+  return t;
+}
+
+// -- Tile grid geometry ------------------------------------------------------
+
+TEST(TileGrid, CountsAndRaggedBoxes) {
+  const TileGrid g(Shape{70, 90}, Shape{32, 32});
+  EXPECT_EQ(g.tiles_along(0), 3u);
+  EXPECT_EQ(g.tiles_along(1), 3u);
+  EXPECT_EQ(g.num_tiles(), 9u);
+
+  const TileBox first = g.box(0);
+  EXPECT_EQ(first.lo[0], 0u);
+  EXPECT_EQ(first.extents, (Shape{32, 32}));
+
+  // Bottom-right corner tile is ragged on both axes: 70-64=6, 90-64=26.
+  const TileBox last = g.box(8);
+  EXPECT_EQ(last.lo[0], 64u);
+  EXPECT_EQ(last.lo[1], 64u);
+  EXPECT_EQ(last.extents, (Shape{6, 26}));
+
+  // Every point is covered exactly once.
+  std::vector<int> hits(70 * 90, 0);
+  for (std::size_t t = 0; t < g.num_tiles(); ++t) {
+    const TileBox b = g.box(t);
+    for (std::size_t i = 0; i < b.extents[0]; ++i)
+      for (std::size_t j = 0; j < b.extents[1]; ++j)
+        ++hits[(b.lo[0] + i) * 90 + b.lo[1] + j];
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TileGrid, DefaultTileClipsToField) {
+  EXPECT_EQ(TileGrid::default_tile(Shape{100}), (Shape{100}));
+  EXPECT_EQ(TileGrid::default_tile(Shape{512, 512}), (Shape{256, 256}));
+  EXPECT_EQ(TileGrid::default_tile(Shape{40, 700}), (Shape{40, 256}));
+  EXPECT_EQ(TileGrid::default_tile(Shape{100, 100, 100}), (Shape{64, 64, 64}));
+}
+
+TEST(TileGrid, TilesInRegion) {
+  const TileGrid g(Shape{64, 64}, Shape{16, 16});  // 4x4 grid
+  // A region strictly inside tile (1,2).
+  const std::size_t lo1[] = {18, 36}, hi1[] = {30, 44};
+  EXPECT_EQ(g.tiles_in_region(lo1, hi1), (std::vector<std::size_t>{6}));
+  // A region straddling a 2x2 block of tiles.
+  const std::size_t lo2[] = {15, 15}, hi2[] = {17, 17};
+  EXPECT_EQ(g.tiles_in_region(lo2, hi2),
+            (std::vector<std::size_t>{0, 1, 4, 5}));
+  // The whole field touches every tile.
+  const std::size_t lo3[] = {0, 0}, hi3[] = {64, 64};
+  EXPECT_EQ(g.tiles_in_region(lo3, hi3).size(), 16u);
+}
+
+TEST(TileGrid, ExtractInsertRoundTrip3D) {
+  const Field f = smooth_field("f", Shape{9, 10, 11}, 1);
+  const TileGrid g(f.shape(), Shape{4, 4, 4});
+  F32Array rebuilt(f.shape());
+  for (std::size_t t = 0; t < g.num_tiles(); ++t) {
+    const TileBox b = g.box(t);
+    insert_tile(rebuilt, b, extract_tile(f.array(), b));
+  }
+  EXPECT_EQ(rebuilt, f.array());
+}
+
+// -- Round trips per codec ---------------------------------------------------
+
+class ArchiveCodecRoundtrip : public ::testing::TestWithParam<CodecId> {};
+
+TEST_P(ArchiveCodecRoundtrip, TiledRoundTripHoldsMonolithicBound) {
+  // 70x90 with 32x32 tiles: ragged tiles on both axes.
+  const Field f = smooth_field("fld", Shape{70, 90}, 7);
+  ArchiveFieldOptions opts;
+  opts.codec = GetParam();
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{32, 32};
+
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(f, opts);
+  writer.finish();
+  const auto bytes = sink.take();
+
+  ArchiveReader reader = ArchiveReader::open_memory(bytes);
+  ASSERT_EQ(reader.fields().size(), 1u);
+  EXPECT_EQ(reader.fields()[0].tiles.size(), 9u);
+
+  const Field out = reader.read_field("fld");
+  EXPECT_EQ(out.name(), "fld");
+  ASSERT_EQ(out.shape(), f.shape());
+  // The configured bound is resolved against the FULL field's range, so
+  // the tiled round trip must satisfy exactly the monolithic guarantee.
+  const double abs_eb = opts.eb.absolute_for(f.value_range());
+  EXPECT_LE(max_abs_error(f.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, ArchiveCodecRoundtrip,
+                         ::testing::Values(CodecId::kSz, CodecId::kSzClassic,
+                                           CodecId::kInterp, CodecId::kZfp));
+
+TEST(Archive, TiledSzReconstructionMatchesMonolithic) {
+  // Dual quantization is pointwise, so the tiled decode must be
+  // bit-identical to the monolithic reconstruction at the same absolute
+  // bound — the property that makes tiling transparent to anchors.
+  const Field f = smooth_field("fld", Shape{60, 44}, 9);
+  const double abs_eb = 1e-3 * f.value_range();
+
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::absolute(abs_eb);
+  opts.tile = Shape{16, 16};
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(f, opts);
+  writer.finish();
+  const auto bytes = sink.take();
+  const Field tiled = ArchiveReader::open_memory(bytes).read_field("fld");
+
+  SzOptions mono;
+  mono.eb = ErrorBound::absolute(abs_eb);
+  const Field ref = sz_reconstruct(f, mono);
+  EXPECT_EQ(tiled.array(), ref.array());
+}
+
+TEST(Archive, RoundTrip1DAnd3D) {
+  for (const Shape& shape : {Shape{5000}, Shape{20, 24, 28}}) {
+    const Field f = smooth_field("f", shape, 11);
+    ArchiveFieldOptions opts;
+    opts.tile = shape.ndim() == 1 ? Shape{700} : Shape{8, 8, 8};
+    VectorSink sink;
+    ArchiveWriter writer(sink);
+    writer.add_field(f, opts);
+    writer.finish();
+    const auto bytes = sink.take();
+    const Field out = ArchiveReader::open_memory(bytes).read_field("f");
+    const double abs_eb = opts.eb.absolute_for(f.value_range());
+    EXPECT_LE(max_abs_error(f.array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, f))
+        << shape.ndim() << "D";
+  }
+}
+
+// -- Region reads ------------------------------------------------------------
+
+TEST(Archive, ReadRegionBitIdenticalToCroppedFullDecode) {
+  const Field f = smooth_field("fld", Shape{70, 90}, 13);
+  ArchiveFieldOptions opts;
+  opts.tile = Shape{32, 32};
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(f, opts);
+  writer.finish();
+  const auto bytes = sink.take();
+  ArchiveReader reader = ArchiveReader::open_memory(bytes);
+  const Field full = reader.read_field("fld");
+
+  Rng rng(17);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::size_t lo[2], hi[2];
+    for (int d = 0; d < 2; ++d) {
+      const std::size_t n = f.shape()[d];
+      lo[d] = rng.uniform_index(n - 1);
+      hi[d] = lo[d] + 1 + rng.uniform_index(n - lo[d]);
+    }
+    const Field region = reader.read_region("fld", lo, hi);
+    ASSERT_EQ(region.shape(), (Shape{hi[0] - lo[0], hi[1] - lo[1]}));
+    for (std::size_t i = 0; i < region.shape()[0]; ++i)
+      ASSERT_EQ(0, std::memcmp(&region.array()(i, 0),
+                               &full.array()(lo[0] + i, lo[1]),
+                               region.shape()[1] * sizeof(float)))
+          << "trial " << trial << " row " << i;
+  }
+}
+
+TEST(Archive, ReadRegion3D) {
+  const Field f = smooth_field("fld", Shape{20, 24, 28}, 19);
+  ArchiveFieldOptions opts;
+  opts.tile = Shape{8, 8, 8};
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(f, opts);
+  writer.finish();
+  const auto bytes = sink.take();
+  ArchiveReader reader = ArchiveReader::open_memory(bytes);
+  const Field full = reader.read_field("fld");
+
+  const std::size_t lo[] = {3, 6, 9}, hi[] = {14, 20, 25};
+  const Field region = reader.read_region("fld", lo, hi);
+  ASSERT_EQ(region.shape(), (Shape{11, 14, 16}));
+  for (std::size_t i = 0; i < 11; ++i)
+    for (std::size_t j = 0; j < 14; ++j)
+      for (std::size_t k = 0; k < 16; ++k)
+        ASSERT_EQ(region.array()(i, j, k),
+                  full.array()(lo[0] + i, lo[1] + j, lo[2] + k));
+}
+
+TEST(Archive, ReadRegionRejectsBadBounds) {
+  const Field f = smooth_field("fld", Shape{40, 40}, 23);
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(f, ArchiveFieldOptions{});
+  writer.finish();
+  const auto bytes = sink.take();
+  ArchiveReader reader = ArchiveReader::open_memory(bytes);
+  const std::size_t lo_bad[] = {10, 10}, hi_bad[] = {10, 20};  // empty
+  EXPECT_THROW(reader.read_region("fld", lo_bad, hi_bad), InvalidArgument);
+  const std::size_t lo_oob[] = {0, 0}, hi_oob[] = {41, 40};
+  EXPECT_THROW(reader.read_region("fld", lo_oob, hi_oob), InvalidArgument);
+  EXPECT_THROW(reader.read_field("nope"), InvalidArgument);
+}
+
+// -- Cross-field tiling ------------------------------------------------------
+
+struct TinySet {
+  Field target;
+  Field a0, a1;
+};
+
+TinySet make_tiny(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  TinySet s{Field("TGT", F32Array(shape)), Field("A0", F32Array(shape)),
+            Field("A1", F32Array(shape))};
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < s.target.size(); ++i) {
+    const double x = static_cast<double>(i % w) / 6.0;
+    const double y = static_cast<double>(i / w) / 9.0;
+    const double base = std::sin(x) * std::cos(y) * 15.0;
+    const double second = std::cos(x * 0.7) * 8.0;
+    s.a0.array()[i] = static_cast<float>(base + rng.normal(0, 0.05));
+    s.a1.array()[i] = static_cast<float>(second + rng.normal(0, 0.05));
+    s.target.array()[i] = static_cast<float>(
+        0.8 * base + 0.3 * second * second / 8.0 + rng.normal(0, 0.05));
+  }
+  return s;
+}
+
+TEST(Archive, CrossFieldTiledAnchorContract) {
+  const TinySet s = make_tiny(Shape{40, 48}, 31);
+  const auto eb = ErrorBound::relative(1e-3);
+
+  const CfnnModel model = train_cross_field_model(
+      s.target, {&s.a0, &s.a1}, CfnnConfig{8, 4, 3}, quick_train());
+
+  ArchiveFieldOptions aopts;
+  aopts.eb = eb;
+  aopts.tile = Shape{16, 16};
+  aopts.keep_reconstruction = true;
+
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(s.a0, aopts);
+  writer.add_field(s.a1, aopts);
+  writer.add_cross_field(s.target, {"A0", "A1"}, model, aopts);
+  writer.finish();
+
+  // The writer retained decoder-identical reconstructions; grab the
+  // target's before the sink is consumed.
+  ASSERT_NE(writer.reconstruction("TGT"), nullptr);
+  const Field encoder_side = *writer.reconstruction("TGT");
+  const auto bytes = sink.take();
+
+  ArchiveReader reader = ArchiveReader::open_memory(bytes);
+  ASSERT_EQ(reader.fields().size(), 3u);
+  EXPECT_TRUE(reader.find("TGT")->cross_field);
+  EXPECT_EQ(reader.find("TGT")->anchors,
+            (std::vector<std::string>{"A0", "A1"}));
+
+  // Anchor contract under tiling: encoder- and decoder-side target
+  // reconstructions must be bit-identical.
+  const Field decoded = reader.read_field("TGT");
+  EXPECT_EQ(decoded.array(), encoder_side.array());
+
+  const double abs_eb = eb.absolute_for(s.target.value_range());
+  EXPECT_LE(max_abs_error(s.target.array().span(), decoded.array().span()),
+            test::bound_tolerance(abs_eb, s.target));
+
+  // Region read of a cross-field target (pulls anchor tiles recursively)
+  // matches the cropped full decode bit-for-bit.
+  const std::size_t lo[] = {10, 12}, hi[] = {30, 40};
+  const Field region = reader.read_region("TGT", lo, hi);
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 28; ++j)
+      ASSERT_EQ(region.array()(i, j),
+                decoded.array()(lo[0] + i, lo[1] + j));
+}
+
+TEST(Archive, MultiFieldWriteArchiveRoundTrips) {
+  const TinySet s = make_tiny(Shape{40, 48}, 37);
+  MultiFieldCompressor mfc;
+  mfc.add_field(s.a0);
+  mfc.add_field(s.a1);
+  mfc.add_field(s.target);
+  AnchorConfig cfg;
+  cfg.anchors = {"A0", "A1"};
+  cfg.cfnn = CfnnConfig{8, 4, 3};
+  cfg.train = quick_train();
+  mfc.configure_target("TGT", cfg);
+
+  const auto eb = ErrorBound::relative(1e-3);
+  ArchiveFieldOptions base;
+  base.tile = Shape{16, 16};
+
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  mfc.write_archive(writer, eb, base);
+  writer.finish();
+  const auto bytes = sink.take();
+
+  ArchiveReader reader = ArchiveReader::open_memory(bytes);
+  const auto fields = reader.read_all();
+  ASSERT_EQ(fields.size(), 3u);
+  for (const Field& out : fields) {
+    const Field* orig = mfc.find(out.name());
+    ASSERT_NE(orig, nullptr);
+    const double abs_eb = eb.absolute_for(orig->value_range());
+    EXPECT_LE(max_abs_error(orig->array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, *orig))
+        << out.name();
+  }
+}
+
+// -- Writer API misuse -------------------------------------------------------
+
+TEST(Archive, WriterRejectsMisuse) {
+  const Field f = smooth_field("fld", Shape{20, 20}, 41);
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  writer.add_field(f, ArchiveFieldOptions{});
+  EXPECT_THROW(writer.add_field(f, ArchiveFieldOptions{}), InvalidArgument)
+      << "duplicate name";
+
+  ArchiveFieldOptions xopts;
+  xopts.codec = CodecId::kCrossField;
+  Field g = smooth_field("g", Shape{20, 20}, 42);
+  EXPECT_THROW(writer.add_field(g, xopts), InvalidArgument);
+
+  const CfnnModel model = train_cross_field_model(
+      g, {&f}, CfnnConfig{8, 4, 3}, quick_train());
+  // Anchor "fld" was not added with keep_reconstruction.
+  EXPECT_THROW(writer.add_cross_field(g, {"fld"}, model, ArchiveFieldOptions{}),
+               InvalidArgument);
+
+  writer.finish();
+  EXPECT_THROW(writer.finish(), InvalidArgument);
+  EXPECT_THROW(writer.add_field(g, ArchiveFieldOptions{}), InvalidArgument);
+}
+
+// -- File-backed path --------------------------------------------------------
+
+TEST(Archive, FileBackedWriteAndSeekingRead) {
+  const std::string path = ::testing::TempDir() + "xfc_test_archive.xfa";
+  const Field f = smooth_field("fld", Shape{64, 64}, 43);
+  {
+    FileSink sink(path);
+    ArchiveWriter writer(sink);
+    ArchiveFieldOptions opts;
+    opts.tile = Shape{32, 32};
+    writer.add_field(f, opts);
+    writer.finish();
+  }
+  ArchiveReader reader = ArchiveReader::open_file(path);
+  const Field full = reader.read_field("fld");
+  const double abs_eb =
+      ArchiveFieldOptions{}.eb.absolute_for(f.value_range());
+  EXPECT_LE(max_abs_error(f.array().span(), full.array().span()),
+            test::bound_tolerance(abs_eb, f));
+
+  const std::size_t lo[] = {40, 8}, hi[] = {64, 33};
+  const Field region = reader.read_region("fld", lo, hi);
+  for (std::size_t i = 0; i < region.shape()[0]; ++i)
+    for (std::size_t j = 0; j < region.shape()[1]; ++j)
+      ASSERT_EQ(region.array()(i, j), full.array()(lo[0] + i, lo[1] + j));
+  std::remove(path.c_str());
+}
+
+// -- Index self-protection ---------------------------------------------------
+
+TEST(Archive, TileCrcIsPositionAndFieldDependent) {
+  const std::vector<std::uint8_t> body{1, 2, 3, 4, 5};
+  const auto base = archive_tile_crc("A", 0, body);
+  EXPECT_NE(base, archive_tile_crc("A", 1, body));
+  EXPECT_NE(base, archive_tile_crc("B", 0, body));
+  EXPECT_EQ(base, archive_tile_crc("A", 0, body));
+}
+
+}  // namespace
+}  // namespace xfc

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
 #include "core/rng.hpp"
+#include "io/crc32.hpp"
 #include "data/dataset.hpp"
 #include "encode/backend.hpp"
 #include "encode/miniflate.hpp"
@@ -90,6 +95,172 @@ TEST(Fuzz, ZfpStreamCorruption) {
   const Field f = fuzz_field(4);
   const auto stream = zfp_compress(f, ZfpOptions{.tolerance = 1e-3});
   corruption_trials(stream, [](const auto& s) { zfp_decompress(s); }, 104);
+}
+
+/// A small two-field XFA1 archive with several tiles per field.
+std::vector<std::uint8_t> fuzz_archive() {
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.tile = Shape{16, 16};
+  writer.add_field(fuzz_field(21), opts);
+  Field second = fuzz_field(22);
+  second.set_name("fuzz2");
+  opts.codec = CodecId::kInterp;
+  writer.add_field(second, opts);
+  writer.finish();
+  return sink.take();
+}
+
+void expect_archive_corrupt(const std::vector<std::uint8_t>& bytes) {
+  try {
+    ArchiveReader::open_memory(bytes).read_all();
+    FAIL() << "malformed archive decoded without error";
+  } catch (const CorruptStream&) {
+    // The archive contract is stricter than the generic codecs': every
+    // malformed-archive failure must be CorruptStream specifically.
+  }
+}
+
+TEST(Fuzz, ArchiveCorruption) {
+  const auto archive = fuzz_archive();
+  // Validate the pristine stream first so the trials below fail for the
+  // right reason.
+  ASSERT_EQ(ArchiveReader::open_memory(archive).read_all().size(), 2u);
+
+  Rng rng(201);
+  int decoded_fine = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto corrupted = mutate(archive, rng, 1 + trial % 4);
+    try {
+      ArchiveReader::open_memory(corrupted).read_all();
+      ++decoded_fine;  // flip must have hit dead padding — CRCs make this
+                       // effectively impossible
+    } catch (const CorruptStream&) {
+    }
+  }
+  EXPECT_EQ(decoded_fine, 0);
+}
+
+TEST(Fuzz, ArchiveTruncation) {
+  const auto archive = fuzz_archive();
+  Rng rng(202);
+  for (int trial = 0; trial < 60; ++trial)
+    expect_archive_corrupt(std::vector<std::uint8_t>(
+        archive.begin(),
+        archive.begin() + rng.uniform_index(archive.size())));
+}
+
+TEST(Fuzz, ArchiveShuffledIndexEntriesRejected) {
+  // Swap the first two tile entries of the first field inside the footer
+  // and re-seal the footer CRC: every entry still points at a valid XFC1
+  // body whose stored CRC matches its *original* ordinal, so only the
+  // position-dependent tile checksum can notice the shuffle. Works for any
+  // tile sizes (entries swap wholesale), unlike a body swap which needs an
+  // equal-size pair.
+  const auto archive = fuzz_archive();
+  const std::size_t total = archive.size();
+  ByteReader tr(std::span<const std::uint8_t>(archive).subspan(total - 24));
+  tr.u32();  // old footer CRC
+  const std::uint64_t foff = tr.u64();
+  const std::uint64_t fsize = tr.u64();
+  std::vector<std::uint8_t> footer(
+      archive.begin() + static_cast<std::ptrdiff_t>(foff),
+      archive.begin() + static_cast<std::ptrdiff_t>(foff + fsize));
+
+  // Walk the footer to the first field's tile entries (format documented
+  // in archive_writer.hpp).
+  ByteReader in(footer);
+  in.raw(4);                    // "XFAF"
+  ASSERT_GE(in.varint(), 1u);   // field count
+  in.str();                     // name
+  in.u8();                      // codec
+  in.u8();                      // flags (fuzz_archive targets are plain)
+  in.u8();                      // eb mode
+  in.f64();                     // eb value
+  in.f64();                     // abs eb
+  (void)read_shape(in);
+  (void)read_shape(in);
+  ASSERT_GE(in.varint(), 2u);   // tile count
+  const std::size_t e0 = in.position();
+  in.varint(); in.varint(); in.u32();
+  const std::size_t e1 = in.position();
+  in.varint(); in.varint(); in.u32();
+  const std::size_t e2 = in.position();
+
+  std::vector<std::uint8_t> shuffled;
+  shuffled.reserve(footer.size());
+  shuffled.insert(shuffled.end(), footer.begin(), footer.begin() + e0);
+  shuffled.insert(shuffled.end(), footer.begin() + e1, footer.begin() + e2);
+  shuffled.insert(shuffled.end(), footer.begin() + e0, footer.begin() + e1);
+  shuffled.insert(shuffled.end(), footer.begin() + e2, footer.end());
+  ASSERT_EQ(shuffled.size(), footer.size());
+
+  auto bytes = archive;
+  std::copy(shuffled.begin(), shuffled.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(foff));
+  const std::uint32_t crc = Crc32::of(shuffled);
+  for (int i = 0; i < 4; ++i)
+    bytes[total - 24 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+
+  // The re-sealed index parses cleanly; decode must still fail.
+  expect_archive_corrupt(bytes);
+}
+
+TEST(Fuzz, ArchiveAbsurdTileCountRejectedBeforeAllocation) {
+  // A CRC-valid index declaring a {2^18, 2^18} field with 1x1 tiles claims
+  // 2^36 tile entries — the geometry check passes, so the byte-budget
+  // check must reject it before reserving terabytes.
+  const std::array<std::uint8_t, 4> head{'X', 'F', 'A', '1'};
+  const std::array<std::uint8_t, 4> fmagic{'X', 'F', 'A', 'F'};
+
+  ByteWriter footer;
+  footer.raw(fmagic);
+  footer.varint(1);  // one field
+  footer.str("f");
+  footer.u8(0);  // codec kSz
+  footer.u8(0);  // flags
+  footer.u8(0);  // eb mode
+  footer.f64(1e-3);
+  footer.f64(1e-3);
+  write_shape(footer, Shape{std::size_t{1} << 18, std::size_t{1} << 18});
+  write_shape(footer, Shape{1, 1});
+  footer.varint(std::uint64_t{1} << 36);  // tile count (matches geometry)
+
+  ByteWriter archive;
+  archive.raw(head);
+  archive.u8(1);  // version
+  const std::uint64_t footer_offset = archive.size();
+  archive.raw(footer.bytes());
+  archive.u32(Crc32::of(footer.bytes()));
+  archive.u64(footer_offset);
+  archive.u64(footer.size());
+  archive.raw(head);
+
+  EXPECT_THROW(ArchiveReader::open_memory(archive.bytes()), CorruptStream);
+}
+
+TEST(Fuzz, MiniflateAbsurdDeclaredSizeRejected) {
+  // Declared size within the absolute cap but far beyond what the present
+  // bytes could expand to must fail before the output buffer is sized.
+  ByteWriter w;
+  w.varint(std::uint64_t{1} << 39);
+  w.u8(1);  // miniflate method
+  w.u8(0);  // truncated table junk
+  EXPECT_THROW(miniflate_decompress(w.bytes()), CorruptStream);
+}
+
+TEST(Fuzz, ArchiveGarbageInput) {
+  Rng rng(203);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(1 + rng.uniform_index(512));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    try {
+      ArchiveReader::open_memory(garbage).read_all();
+      FAIL() << "garbage decoded as an archive";
+    } catch (const CorruptStream&) {
+    }
+  }
 }
 
 TEST(Fuzz, MiniflateGarbageInput) {
