@@ -1,0 +1,146 @@
+// Loopback QPS/latency bench for the XFS archive-serving subsystem.
+//
+// Builds an in-memory XFA1 archive (CESM-like 512x512 field at 64^2 and
+// 128^2 tiles), then measures three layers:
+//
+//   1. the raw per-tile decode entry point (ArchiveReader::read_tile) —
+//      the per-tile fixed costs the decode scratch arena targets,
+//   2. the service layer with a cold vs warm decoded-tile cache — the
+//      cache's amortization of the expensive decode paths, and
+//   3. real HTTP over loopback (keep-alive client) — end-to-end region
+//      QPS and latency including socket + parse + serialize overhead.
+//
+// JSON lands in <outdir>/serve.json; the checked-in BENCH_pr4.json at the
+// repo root adds before/after numbers for the records that existed before
+// this PR (see ROADMAP "Performance").
+
+#include <cstdio>
+
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "archive/tile.hpp"
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "data/dataset.hpp"
+#include "server/http.hpp"
+#include "server/service.hpp"
+
+namespace {
+
+using namespace xfc;
+using namespace xfc::bench;
+
+std::shared_ptr<const ArchiveReader> build_archive(
+    std::vector<std::uint8_t>& storage) {
+  auto ds = make_dataset(DatasetKind::kCesm, Shape{512, 512}, 7);
+  Field field = ds.fields[0];
+
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{64, 64};
+  field.set_name("flut64");
+  writer.add_field(field, opts);
+  opts.tile = Shape{128, 128};
+  field.set_name("flut128");
+  writer.add_field(field, opts);
+  writer.finish();
+  storage = sink.take();
+  return std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(storage));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+  BenchJson json;
+
+  std::vector<std::uint8_t> storage;
+  const auto reader = build_archive(storage);
+  const ArchiveFieldInfo& f64 = *reader->find("flut64");
+  const double tile_bytes = 64.0 * 64.0 * sizeof(float);
+
+  print_header("per-tile decode  [512x512 field, 64^2 tiles]");
+  {
+    // The scratch-arena target: decode every tile through the public
+    // per-tile entry point (what the cache calls on every miss).
+    const std::size_t n_tiles = f64.tiles.size();
+    const double per_pass = time_ms([&] {
+      for (std::size_t t = 0; t < n_tiles; ++t) reader->read_tile(f64, t);
+    });
+    json.add("archive_tile_decode_64", per_pass / n_tiles, tile_bytes);
+  }
+
+  print_header("service layer  [64x64-aligned region, 4 tiles]");
+  const std::string region_target =
+      "/field/flut64/region?lo=64,64&hi=192,192";
+  server::HttpRequest region_request;
+  region_request.method = "GET";
+  region_request.path = "/field/flut64/region";
+  region_request.query = "lo=64,64&hi=192,192";
+  const double region_bytes = 128.0 * 128.0 * sizeof(float);
+  {
+    // Cold: a fresh cache every call — every tile decodes.
+    const double cold = time_ms([&] {
+      server::ArchiveService service(reader);
+      const auto resp = service.handle(region_request);
+      if (resp.status != 200) std::abort();
+    });
+    json.add("serve_region_cold", cold, region_bytes);
+
+    // Warm: same service, tiles cached — the steady state of hot regions.
+    server::ArchiveService service(reader);
+    (void)service.handle(region_request);
+    const double warm = time_ms([&] {
+      const auto resp = service.handle(region_request);
+      if (resp.status != 200) std::abort();
+    });
+    json.add("serve_region_warm", warm, region_bytes);
+    json.add_value("serve_warm_speedup", cold / warm);
+  }
+
+  print_header("HTTP loopback  [keep-alive client, warm cache]");
+  {
+    server::ArchiveService service(reader);
+    server::HttpServer http(
+        server::HttpConfig{},
+        [&service](const server::HttpRequest& r) { return service.handle(r); });
+    http.start();
+    server::HttpClient client("127.0.0.1", http.port());
+
+    (void)client.get(region_target);  // prime cache + connection
+    const double per_request = time_ms([&] {
+      const auto resp = client.get(region_target);
+      if (resp.status != 200) std::abort();
+    });
+    json.add("serve_http_region", per_request, region_bytes);
+    json.add_value("serve_http_qps", 1000.0 / per_request);
+
+    const double healthz = time_ms([&] {
+      if (client.get("/healthz").status != 200) std::abort();
+    });
+    json.add("serve_http_healthz", healthz);
+
+    // Sweep distinct straddling regions so tiles keep entering the cache.
+    const double sweep = time_ms([&] {
+      for (std::size_t i = 0; i < 8; ++i) {
+        const std::size_t lo = 32 + 8 * i;
+        const auto resp = client.get(
+            "/field/flut128/region?lo=" + std::to_string(lo) + ",0&hi=" +
+            std::to_string(lo + 96) + ",512");
+        if (resp.status != 200) std::abort();
+      }
+    });
+    json.add("serve_http_straddle_x8", sweep, 8 * 96.0 * 512 * 4);
+    http.stop();
+  }
+
+  const std::string out = opt.outdir + "/serve.json";
+  if (json.write(out))
+    std::printf("\nwrote %s\n", out.c_str());
+  else
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  return 0;
+}

@@ -15,24 +15,38 @@
 //   xfc_cli archive region  in.xfa FIELD out.f32 lo0 hi0 [lo1 hi1 [lo2 hi2]]
 //   xfc_cli archive info    in.xfa
 //
+// Archive serving (XFS: HTTP region queries through the decoded-tile cache):
+//   xfc_cli serve in.xfa [--port P] [--cache-mb M] [--threads N]
+//
 // For 2D data pass D=1 (a leading extent of 1 is dropped). Global flags:
 //   --json FILE   machine-readable stats (bench_json records)
 //   --tile N      archive tile edge per axis (default 256^2 / 64^3)
 //   --codec C     archive tile codec: sz | classic | interp | zfp
+//   --port P      serve: TCP port (default 8080)
+//   --cache-mb M  serve: decoded-tile cache budget in MiB (default 256)
+//   --threads N   serve: worker-pool width (default: hardware)
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
 #include "archive/tile.hpp"
 #include "bench/bench_json.hpp"
+#include "core/utils.hpp"
 #include "crossfield/crossfield.hpp"
 #include "data/sdr.hpp"
 #include "io/file.hpp"
 #include "metrics/metrics.hpp"
+#include "server/http.hpp"
+#include "server/service.hpp"
 #include "sz/compressor.hpp"
 #include "sz/container.hpp"
 
@@ -49,26 +63,42 @@ struct CliFlags {
   std::string json_path;       // --json FILE
   std::size_t tile_edge = 0;   // --tile N (0 = default tile shape)
   std::string codec = "sz";    // --codec C
+  std::size_t port = 8080;     // --port P (serve)
+  std::size_t cache_mb = 256;  // --cache-mb M (serve)
+  std::size_t threads = 0;     // --threads N (serve; 0 = hardware)
 };
 
 CliFlags strip_flags(std::vector<std::string>& args) {
   CliFlags flags;
   std::vector<std::string> kept;
+  auto positive_int = [](const std::string& flag, const std::string& v,
+                         bool allow_zero) {
+    char* end = nullptr;
+    const std::size_t n = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || (n == 0 && !allow_zero))
+      throw InvalidArgument(flag + " wants a positive integer, got: " + v);
+    return n;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const bool is_flag = args[i] == "--json" || args[i] == "--tile" ||
-                         args[i] == "--codec";
+                         args[i] == "--codec" || args[i] == "--port" ||
+                         args[i] == "--cache-mb" || args[i] == "--threads";
     if (is_flag && i + 1 >= args.size())
       throw InvalidArgument(args[i] + " needs a value");
     if (args[i] == "--json") {
       flags.json_path = args[++i];
     } else if (args[i] == "--tile") {
-      const std::string& v = args[++i];
-      char* end = nullptr;
-      flags.tile_edge = std::strtoull(v.c_str(), &end, 10);
-      if (end == v.c_str() || *end != '\0' || flags.tile_edge == 0)
-        throw InvalidArgument("--tile wants a positive integer, got: " + v);
+      flags.tile_edge = positive_int("--tile", args[++i], false);
     } else if (args[i] == "--codec") {
       flags.codec = args[++i];
+    } else if (args[i] == "--port") {
+      flags.port = positive_int("--port", args[++i], false);
+      if (flags.port > 65535)
+        throw InvalidArgument("--port must be <= 65535");
+    } else if (args[i] == "--cache-mb") {
+      flags.cache_mb = positive_int("--cache-mb", args[++i], false);
+    } else if (args[i] == "--threads") {
+      flags.threads = positive_int("--threads", args[++i], false);
     } else {
       kept.push_back(args[i]);
     }
@@ -126,8 +156,62 @@ int usage() {
                "  xfc_cli archive region  in.xfa FIELD out.f32 "
                "lo0 hi0 [lo1 hi1 [lo2 hi2]]\n"
                "  xfc_cli archive info    in.xfa\n"
-               "flags: --json FILE  --tile N  --codec sz|classic|interp|zfp\n");
+               "  xfc_cli serve in.xfa [--port P] [--cache-mb M] "
+               "[--threads N]\n"
+               "flags: --json FILE  --tile N  --codec sz|classic|interp|zfp\n"
+               "       --port P  --cache-mb M  --threads N\n");
   return 2;
+}
+
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void handle_stop_signal(int) { g_stop_serving = 1; }
+
+int run_serve(const std::string& archive_path, const CliFlags& flags) {
+  // The pool sizes itself on first use; pin it before anything parallel
+  // runs so --threads governs both tile decode and request handling.
+  if (flags.threads > 0) {
+    const std::string n = std::to_string(flags.threads);
+    setenv("XFC_THREADS", n.c_str(), 1);
+  }
+
+  auto reader = std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_file(archive_path));
+  server::ServiceConfig service_config;
+  service_config.cache_bytes = flags.cache_mb << 20;
+  server::ArchiveService service(reader, service_config);
+
+  server::HttpConfig http_config;
+  http_config.port = static_cast<std::uint16_t>(flags.port);
+  server::HttpServer http(http_config,
+                          [&service](const server::HttpRequest& request) {
+                            return service.handle(request);
+                          });
+  http.start();
+
+  std::printf("XFS: serving %s on http://127.0.0.1:%u/\n",
+              archive_path.c_str(), http.port());
+  std::printf("     %zu fields, cache %zu MiB, %d pool threads\n",
+              reader->fields().size(), flags.cache_mb, hardware_threads());
+  std::printf("     endpoints: /fields /field/<name>/region?lo=..&hi=.. "
+              "/stats /healthz\n");
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_serving == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  http.stop();
+
+  const server::HttpServerStats hs = http.stats();
+  const server::TileCacheStats cs = service.cache().stats();
+  std::printf("\nstopped: %llu requests (%llu bad), cache %llu hits / "
+              "%llu misses / %llu evictions\n",
+              static_cast<unsigned long long>(hs.requests),
+              static_cast<unsigned long long>(hs.bad_requests),
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions));
+  return 0;
 }
 
 int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
@@ -280,6 +364,7 @@ int main(int argc, char** argv) {
     if (cmd == "archive")
       return run_archive(
           std::vector<std::string>(all.begin() + 1, all.end()), flags);
+    if (cmd == "serve") return run_serve(all[1], flags);
     bench::BenchJson json;
     if (cmd == "compress" && nargs >= 7) {
       const Shape shape =

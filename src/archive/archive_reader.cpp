@@ -33,6 +33,45 @@ void check_not_visiting(const std::vector<std::string>& visiting,
 
 }  // namespace
 
+void validate_anchor_graph(const std::vector<ArchiveFieldInfo>& fields) {
+  std::map<std::string, const ArchiveFieldInfo*> by_name;
+  for (const ArchiveFieldInfo& f : fields) by_name[f.name] = &f;
+
+  // Iterative three-color DFS (anchor chains may be as long as the field
+  // count, so no recursion).
+  enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::map<std::string, std::uint8_t> color;
+  for (const ArchiveFieldInfo& root : fields) {
+    if (color[root.name] != kWhite) continue;
+    // Stack of (field, next anchor index to visit).
+    std::vector<std::pair<const ArchiveFieldInfo*, std::size_t>> stack;
+    color[root.name] = kGray;
+    stack.emplace_back(&root, 0);
+    while (!stack.empty()) {
+      auto& [f, next] = stack.back();
+      if (next == f->anchors.size()) {
+        color[f->name] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& a = f->anchors[next++];
+      const auto it = by_name.find(a);
+      if (it == by_name.end())
+        throw CorruptStream("archive: anchor field missing from archive: " +
+                            a);
+      if (it->second->shape != f->shape)
+        throw CorruptStream("archive: anchor shape disagrees with target");
+      std::uint8_t& c = color[a];
+      if (c == kGray)
+        throw CorruptStream("archive: cyclic anchor dependency");
+      if (c == kWhite) {
+        c = kGray;
+        stack.emplace_back(it->second, 0);
+      }
+    }
+  }
+}
+
 std::uint32_t archive_tile_crc(const std::string& field_name,
                                std::uint64_t ordinal,
                                std::span<const std::uint8_t> body) {
@@ -334,20 +373,97 @@ Field ArchiveReader::decode_region(const ArchiveFieldInfo& info,
     if (tile.shape() != box.extents)
       throw CorruptStream("archive: tile shape disagrees with the index");
 
-    // Copy the intersection of this tile with [lo, hi) into the output.
-    std::size_t src_lo[3], dst_lo[3], inter_dims[3];
-    for (std::size_t d = 0; d < ndim; ++d) {
-      const std::size_t ilo = std::max(lo[d], box.lo[d]);
-      const std::size_t ihi = std::min(hi[d], box.lo[d] + box.extents[d]);
-      src_lo[d] = ilo - box.lo[d];
-      dst_lo[d] = ilo - lo[d];
-      inter_dims[d] = ihi - ilo;
-    }
-    copy_region(out, dst_lo, tile.array(), src_lo,
-                Shape(std::span<const std::size_t>(inter_dims, ndim)));
+    copy_tile_into_region(out, lo, hi, tile.array(), box);
   });
 
   return Field(info.name, std::move(out));
+}
+
+Field ArchiveReader::decode_tile_impl(const ArchiveFieldInfo& info,
+                                      std::size_t ordinal,
+                                      const TileFetch& fetch,
+                                      std::vector<std::string>& visiting) const {
+  expects(ordinal < info.tiles.size(), "read_tile: tile ordinal out of range");
+  const TileGrid grid(info.shape, info.tile);
+  const TileBox box = grid.box(ordinal);
+
+  std::vector<Field> anchor_tiles;
+  std::vector<const Field*> anchor_ptrs;
+  if (!info.anchors.empty()) {
+    check_not_visiting(visiting, info.name);
+    visiting.push_back(info.name);
+    anchor_tiles.reserve(info.anchors.size());
+    for (const std::string& a : info.anchors) {
+      const ArchiveFieldInfo* ai = find(a);
+      if (ai == nullptr)
+        throw CorruptStream("archive: anchor field missing from archive: " +
+                            a);
+      if (ai->shape != info.shape)
+        throw CorruptStream("archive: anchor shape disagrees with target");
+      anchor_tiles.push_back(assemble_anchor_box(*ai, box, fetch, visiting));
+    }
+    for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
+    visiting.pop_back();
+  }
+
+  const auto body = tile_bytes(info, ordinal);
+  Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+  if (tile.shape() != box.extents)
+    throw CorruptStream("archive: tile shape disagrees with the index");
+  return tile;
+}
+
+Field ArchiveReader::assemble_anchor_box(const ArchiveFieldInfo& anchor,
+                                         const TileBox& box,
+                                         const TileFetch& fetch,
+                                         std::vector<std::string>& visiting)
+    const {
+  const std::size_t ndim = anchor.shape.ndim();
+  std::size_t hi[3];
+  for (std::size_t d = 0; d < ndim; ++d) hi[d] = box.lo[d] + box.extents[d];
+
+  // The anchor's grid need not align with the target's; cover the target
+  // box with whichever anchor tiles intersect it and crop each into place.
+  const TileGrid grid(anchor.shape, anchor.tile);
+  F32Array out(box.extents);
+  const auto tiles = grid.tiles_in_region(
+      std::span<const std::size_t>(box.lo.data(), ndim),
+      std::span<const std::size_t>(hi, ndim));
+  for (const std::size_t t : tiles) {
+    const TileBox abox = grid.box(t);
+    std::shared_ptr<const Field> fetched;
+    Field local;
+    const Field* tile;
+    if (fetch) {
+      fetched = fetch(anchor, t);
+      if (fetched == nullptr)
+        throw CorruptStream("archive: anchor tile fetch returned nothing");
+      tile = fetched.get();
+      if (tile->shape() != abox.extents)
+        throw CorruptStream("archive: fetched anchor tile shape mismatch");
+    } else {
+      local = decode_tile_impl(anchor, t, fetch, visiting);
+      tile = &local;
+    }
+
+    copy_tile_into_region(out,
+                          std::span<const std::size_t>(box.lo.data(), ndim),
+                          std::span<const std::size_t>(hi, ndim),
+                          tile->array(), abox);
+  }
+  return Field(anchor.name, std::move(out));
+}
+
+Field ArchiveReader::read_tile(const ArchiveFieldInfo& info,
+                               std::size_t ordinal,
+                               const TileFetch& fetch) const {
+  std::vector<std::string> visiting;
+  return decode_tile_impl(info, ordinal, fetch, visiting);
+}
+
+Field ArchiveReader::read_tile(const std::string& name,
+                               std::size_t ordinal) const {
+  return read_tile(require(name), ordinal, {});
 }
 
 Field ArchiveReader::read_field(const std::string& name) const {

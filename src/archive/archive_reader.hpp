@@ -18,6 +18,7 @@
 /// every malformed-archive condition — truncation, bit flips, shuffled or
 /// cross-wired index entries, anchor cycles — surfaces as CorruptStream.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -29,6 +30,8 @@
 #include "sz/container.hpp"
 
 namespace xfc {
+
+struct TileBox;  // archive/tile.hpp
 
 /// Format constants shared by the writer and reader.
 inline constexpr std::uint8_t kArchiveVersion = 1;
@@ -74,6 +77,22 @@ struct ArchiveFieldInfo {
   }
 };
 
+/// Throws CorruptStream if the fields' anchor references dangle, disagree
+/// on shape, or form a cycle. The serving layer's tile cache calls this
+/// once per archive so its per-tile decode recursion (and the single-flight
+/// waits that follow anchor edges across threads) is guaranteed to walk a
+/// DAG and terminate.
+void validate_anchor_graph(const std::vector<ArchiveFieldInfo>& fields);
+
+/// Anchor-tile provider for ArchiveReader::read_tile: returns the decoded
+/// tile `ordinal` of `field`'s own grid. A serving-layer cache injects
+/// itself here so anchor tiles decode once and get shared across requests.
+/// Callers supplying a fetcher must have validated the anchor graph
+/// (validate_anchor_graph) — the fetcher, not the reader, owns cycle
+/// prevention on that path.
+using TileFetch = std::function<std::shared_ptr<const Field>(
+    const ArchiveFieldInfo& field, std::size_t ordinal)>;
+
 class ArchiveReader {
  public:
   /// Takes ownership of an arbitrary source; validates and parses the index.
@@ -103,11 +122,32 @@ class ArchiveReader {
   /// Decodes every field, in archive order, sharing one anchor cache.
   std::vector<Field> read_all() const;
 
+  /// Decodes exactly one tile (row-major grid ordinal) of one field — the
+  /// serving layer's unit of work. Thread-safe: the reader is immutable
+  /// after construction and file-backed sources use positional reads, so
+  /// any number of threads may decode tiles of one reader concurrently.
+  /// Cross-field tiles assemble their anchor boxes from whole anchor tiles:
+  /// through `fetch` when given (a cache sharing decoded tiles), else by
+  /// decoding the anchor tiles directly (cycles surface as CorruptStream).
+  /// Either way the bytes are identical to the corresponding crop of
+  /// read_field — tiles are independent streams.
+  Field read_tile(const ArchiveFieldInfo& info, std::size_t ordinal,
+                  const TileFetch& fetch = {}) const;
+
+  /// Name-keyed convenience overload.
+  Field read_tile(const std::string& name, std::size_t ordinal) const;
+
  private:
   void parse_index();
   const ArchiveFieldInfo& require(const std::string& name) const;
   std::vector<std::uint8_t> tile_bytes(const ArchiveFieldInfo& info,
                                        std::size_t ordinal) const;
+  Field decode_tile_impl(const ArchiveFieldInfo& info, std::size_t ordinal,
+                         const TileFetch& fetch,
+                         std::vector<std::string>& visiting) const;
+  Field assemble_anchor_box(const ArchiveFieldInfo& anchor, const TileBox& box,
+                            const TileFetch& fetch,
+                            std::vector<std::string>& visiting) const;
   Field decode_full(const ArchiveFieldInfo& info,
                     std::map<std::string, Field>& cache,
                     std::vector<std::string>& visiting) const;

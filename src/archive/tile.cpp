@@ -1,5 +1,6 @@
 #include "archive/tile.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <mutex>
@@ -119,6 +120,23 @@ void copy_region(F32Array& dst, const std::size_t* dst_lo,
                 src_lo[2],
             row);
   }
+}
+
+void copy_tile_into_region(F32Array& dst, std::span<const std::size_t> lo,
+                           std::span<const std::size_t> hi,
+                           const F32Array& tile, const TileBox& box) {
+  const std::size_t ndim = lo.size();
+  std::size_t src_lo[3], dst_lo[3], inter_dims[3];
+  for (std::size_t d = 0; d < ndim; ++d) {
+    const std::size_t ilo = std::max(lo[d], box.lo[d]);
+    const std::size_t ihi = std::min(hi[d], box.lo[d] + box.extents[d]);
+    if (ihi <= ilo) return;  // no overlap on this axis: nothing to copy
+    src_lo[d] = ilo - box.lo[d];
+    dst_lo[d] = ilo - lo[d];
+    inter_dims[d] = ihi - ilo;
+  }
+  copy_region(dst, dst_lo, tile, src_lo,
+              Shape(std::span<const std::size_t>(inter_dims, ndim)));
 }
 
 void for_each_tile_parallel(std::span<const std::size_t> tiles,

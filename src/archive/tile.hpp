@@ -82,6 +82,16 @@ void copy_region(F32Array& dst, const std::size_t* dst_lo,
                  const F32Array& src, const std::size_t* src_lo,
                  const Shape& extents);
 
+/// Copies the part of a decoded tile (shaped `box.extents`, positioned at
+/// `box` in its field) that intersects the half-open region [lo, hi) into
+/// `dst`, a (hi-lo)-shaped array whose origin corresponds to `lo`. The
+/// single definition of region assembly shared by read_region, cross-field
+/// anchor-box assembly, and the XFS serving layer — which must all remain
+/// bit-identical to each other. No-op when tile and region do not overlap.
+void copy_tile_into_region(F32Array& dst, std::span<const std::size_t> lo,
+                           std::span<const std::size_t> hi,
+                           const F32Array& tile, const TileBox& box);
+
 /// Runs body(t) for every tile ordinal in `tiles` on the thread pool,
 /// funnelling the first thrown exception back to the caller (pool bodies
 /// must not throw). Shared by the writer's row compression and the

@@ -148,7 +148,7 @@ nn::Tensor CfnnModel::infer(const nn::Tensor& anchor_diffs) const {
       std::copy(anchor_diffs.plane(s, c), anchor_diffs.plane(s, c) + plane,
                 x.plane(0, c));
     input_norm_.apply(x);
-    nn::Tensor y = const_cast<nn::Sequential&>(*net_).forward(x);
+    nn::Tensor y = net_->infer(x);
     output_norm_.invert(y);
     for (std::size_t c = 0; c < out_channels_; ++c)
       std::copy(y.plane(0, c), y.plane(0, c) + plane, out.plane(s, c));

@@ -6,6 +6,7 @@
 #include "cfnn/difference.hpp"
 #include "core/error.hpp"
 #include "core/utils.hpp"
+#include "encode/backend.hpp"
 #include "quant/dual_quant.hpp"
 #include "sz/container.hpp"
 #include "sz/delta_codec.hpp"
@@ -273,8 +274,7 @@ Field cross_field_decompress(std::span<const std::uint8_t> stream,
           "' does not match stream anchor '" + an + "'");
   }
 
-  const auto model_bytes = in.blob();
-  const CfnnModel model = CfnnModel::load_bytes(model_bytes);
+  const CfnnModel model = CfnnModel::load_bytes(in.blob_view());
   const HybridModel hybrid = HybridModel::deserialize(in);
   const std::size_t ndim = shape.ndim();
   if (hybrid.num_predictors() != ndim + 1 ||
@@ -282,7 +282,9 @@ Field cross_field_decompress(std::span<const std::uint8_t> stream,
       model.out_channels() != ndim)
     throw CorruptStream("cross_field_decompress: model geometry mismatch");
 
-  const auto payload = lossless_decompress(in.blob());
+  nn::Workspace& ws = nn::tls_workspace();
+  const nn::ScratchScope scratch(ws);
+  const auto payload = lossless_decompress_view(in.blob_view(), ws);
   DeltaDecoder decoder(payload, static_cast<std::uint32_t>(radius));
 
   // Recompute the CFNN difference predictions from the shared anchors.

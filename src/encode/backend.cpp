@@ -116,4 +116,29 @@ std::vector<std::uint8_t> lossless_decompress(
   }
 }
 
+std::span<const std::uint8_t> lossless_decompress_view(
+    std::span<const std::uint8_t> input, nn::Workspace& ws) {
+  if (input.empty()) throw CorruptStream("lossless_decompress: empty input");
+  const std::uint8_t tag = input[0];
+  const auto body = input.subspan(1);
+  switch (tag) {
+    case 0:
+      return body;
+    case 1: {
+      const std::size_t n = rle_raw_size(body);
+      const std::span<std::uint8_t> dst(ws.acquire_bytes(n), n);
+      rle_decompress_into(body, dst);
+      return dst;
+    }
+    case 2: {
+      const std::size_t n = miniflate_raw_size(body);
+      const std::span<std::uint8_t> dst(ws.acquire_bytes(n), n);
+      miniflate_decompress_into(body, dst);
+      return dst;
+    }
+    default:
+      throw CorruptStream("lossless_decompress: unknown backend tag");
+  }
+}
+
 }  // namespace xfc

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "nn/workspace.hpp"
+
 namespace xfc {
 
 enum class LosslessBackend : std::uint8_t {
@@ -29,6 +31,14 @@ std::vector<std::uint8_t> lossless_compress(
 /// Inverse of lossless_compress.
 std::vector<std::uint8_t> lossless_decompress(
     std::span<const std::uint8_t> input);
+
+/// Allocation-free inverse of lossless_compress for hot decode paths (the
+/// archive decodes thousands of small tile payloads): stored (kStore)
+/// payloads return a zero-copy view of `input` itself; rle/miniflate
+/// payloads decode into scratch acquired from `ws`. The view is valid while
+/// `input` and the caller's enclosing ScratchScope both live.
+std::span<const std::uint8_t> lossless_decompress_view(
+    std::span<const std::uint8_t> input, nn::Workspace& ws);
 
 }  // namespace xfc
 

@@ -221,39 +221,54 @@ std::vector<std::uint8_t> miniflate_compress(
   return out.take();
 }
 
-std::vector<std::uint8_t> miniflate_decompress(
-    std::span<const std::uint8_t> input) {
+std::size_t miniflate_raw_size(std::span<const std::uint8_t> input) {
   ByteReader in(input);
   const std::uint64_t raw_size = in.varint();
   if (raw_size > (std::uint64_t{1} << 40))
     throw CorruptStream("miniflate: absurd declared size");
   const std::uint8_t method = in.u8();
+  if (method > 1) throw CorruptStream("miniflate: unknown method byte");
+  // The output buffer is sized to the declaration before any byte decodes,
+  // so the declared size must be plausible for the bytes present: a match
+  // symbol costs at least one payload bit and emits at most kMaxMatch
+  // bytes, so genuine streams can never exceed 8 * kMaxMatch bytes per
+  // input byte (stored streams carry their bytes verbatim).
+  if (method == 0) {
+    if (raw_size > in.remaining())
+      throw CorruptStream("miniflate: stored size exceeds the stream");
+  } else if (raw_size > (in.remaining() + 1) * (8 * kMaxMatch)) {
+    throw CorruptStream("miniflate: declared size exceeds maximum expansion");
+  }
+  return static_cast<std::size_t>(raw_size);
+}
+
+void miniflate_decompress_into(std::span<const std::uint8_t> input,
+                               std::span<std::uint8_t> out) {
+  ByteReader in(input);
+  const std::uint64_t raw_size = in.varint();
+  expects(out.size() == raw_size,
+          "miniflate_decompress_into: output span size mismatch");
+  const std::uint8_t method = in.u8();
 
   if (method == 0) {
     const auto body = in.raw(raw_size);
-    return std::vector<std::uint8_t>(body.begin(), body.end());
+    std::memcpy(out.data(), body.data(), raw_size);
+    return;
   }
   if (method != 1) throw CorruptStream("miniflate: unknown method byte");
-  // The output buffer below is sized (and zero-filled) up front, so the
-  // declared size must be plausible for the bytes present: a match symbol
-  // costs at least one payload bit and emits at most kMaxMatch bytes, so
-  // genuine streams can never exceed 8 * kMaxMatch bytes per input byte.
-  if (raw_size > (in.remaining() + 1) * (8 * kMaxMatch))
-    throw CorruptStream("miniflate: declared size exceeds maximum expansion");
 
   const auto litlen = HuffmanCode::deserialize(in);
   const auto dist = HuffmanCode::deserialize(in);
   if (litlen.alphabet_size() != kLitLenAlphabet ||
       dist.alphabet_size() != kNumDistCodes)
     throw CorruptStream("miniflate: unexpected alphabet sizes");
-  const auto payload = in.blob();
+  const auto payload = in.blob_view();
 
   // The output is pre-sized to the declared length and filled through a
   // cursor: every bounds decision happens before bytes move, and the match
   // copies below may then run as whole-chunk memcpys instead of per-byte
   // push_backs (the decompress hot loop — see ROADMAP "miniflate
   // throughput").
-  std::vector<std::uint8_t> out(raw_size);
   std::size_t pos = 0;
   BitReader br(payload);
   while (true) {
@@ -303,6 +318,12 @@ std::vector<std::uint8_t> miniflate_decompress(
   }
   if (pos != raw_size)
     throw CorruptStream("miniflate: output size mismatch");
+}
+
+std::vector<std::uint8_t> miniflate_decompress(
+    std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out(miniflate_raw_size(input));
+  miniflate_decompress_into(input, out);
   return out;
 }
 

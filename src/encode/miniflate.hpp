@@ -34,6 +34,15 @@ std::vector<std::uint8_t> miniflate_compress(
 std::vector<std::uint8_t> miniflate_decompress(
     std::span<const std::uint8_t> input);
 
+/// Declared decompressed size of a miniflate stream, validated against the
+/// absurd-size and maximum-expansion caps. Lets callers place the output in
+/// caller-owned (e.g. scratch-arena) storage before decoding.
+std::size_t miniflate_raw_size(std::span<const std::uint8_t> input);
+
+/// Decompresses into `out`, whose size must equal miniflate_raw_size(input).
+void miniflate_decompress_into(std::span<const std::uint8_t> input,
+                               std::span<std::uint8_t> out);
+
 }  // namespace xfc
 
 #endif  // XFC_ENCODE_MINIFLATE_HPP

@@ -1,5 +1,7 @@
 #include "encode/rle.hpp"
 
+#include <cstring>
+
 #include "core/error.hpp"
 #include "io/bytebuffer.hpp"
 
@@ -19,20 +21,47 @@ std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> input) {
   return out.take();
 }
 
-std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> input) {
+std::size_t rle_raw_size(std::span<const std::uint8_t> input) {
   ByteReader in(input);
   const std::uint64_t raw_size = in.varint();
   if (raw_size > (std::uint64_t{1} << 40))
     throw CorruptStream("rle: absurd declared size");
-  std::vector<std::uint8_t> out;
-  out.reserve(raw_size);
-  while (out.size() < raw_size) {
+  // Callers size (and zero-fill) their output from this value, so the
+  // declaration must be backed by actual runs before anything allocates:
+  // unlike miniflate there is no per-input-byte expansion bound (one
+  // 2-byte pair may legally declare any run), so walk the pairs — O(input)
+  // and allocation-free — instead of trusting the header.
+  std::uint64_t total = 0;
+  while (total < raw_size) {
+    in.u8();
+    const std::uint64_t run = in.varint();
+    if (run == 0 || run > raw_size - total)
+      throw CorruptStream("rle: bad run length");
+    total += run;
+  }
+  return static_cast<std::size_t>(raw_size);
+}
+
+void rle_decompress_into(std::span<const std::uint8_t> input,
+                         std::span<std::uint8_t> out) {
+  ByteReader in(input);
+  const std::uint64_t raw_size = in.varint();
+  expects(out.size() == raw_size,
+          "rle_decompress_into: output span size mismatch");
+  std::size_t pos = 0;
+  while (pos < raw_size) {
     const std::uint8_t byte = in.u8();
     const std::uint64_t run = in.varint();
-    if (run == 0 || out.size() + run > raw_size)
+    if (run == 0 || run > raw_size - pos)
       throw CorruptStream("rle: bad run length");
-    out.insert(out.end(), run, byte);
+    std::memset(out.data() + pos, byte, run);
+    pos += run;
   }
+}
+
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out(rle_raw_size(input));
+  rle_decompress_into(input, out);
   return out;
 }
 

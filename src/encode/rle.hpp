@@ -19,6 +19,15 @@ std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> input);
 /// Inverse of rle_compress. Throws CorruptStream on malformed input.
 std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> input);
 
+/// Declared decompressed size of an rle stream (validated against the
+/// absurd-size cap). Lets callers place the output in caller-owned (e.g.
+/// scratch-arena) storage before decoding.
+std::size_t rle_raw_size(std::span<const std::uint8_t> input);
+
+/// Decompresses into `out`, whose size must equal rle_raw_size(input).
+void rle_decompress_into(std::span<const std::uint8_t> input,
+                         std::span<std::uint8_t> out);
+
 }  // namespace xfc
 
 #endif  // XFC_ENCODE_RLE_HPP

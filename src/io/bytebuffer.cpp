@@ -126,6 +126,14 @@ std::vector<std::uint8_t> ByteReader::blob() {
   return out;
 }
 
+std::span<const std::uint8_t> ByteReader::blob_view() {
+  const std::uint64_t n = varint();
+  need(n);
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string ByteReader::str() {
   const std::uint64_t n = varint();
   need(n);

@@ -64,6 +64,9 @@ class ByteReader {
   double f64();
   std::uint64_t varint();
   std::vector<std::uint8_t> blob();
+  /// Zero-copy blob: borrows the length-prefixed bytes from the underlying
+  /// buffer (valid only while that buffer lives).
+  std::span<const std::uint8_t> blob_view();
   std::string str();
 
   /// Borrows `n` raw bytes without copying.

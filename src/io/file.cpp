@@ -1,7 +1,12 @@
 #include "io/file.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "core/error.hpp"
 
@@ -45,23 +50,40 @@ void write_f32_file(const std::string& path, const std::vector<float>& data) {
   write_file(path, bytes);
 }
 
-RandomAccessFile::RandomAccessFile(const std::string& path)
-    : in_(path, std::ios::binary | std::ios::ate), path_(path) {
-  if (!in_) throw IoError("cannot open file for reading: " + path);
-  size_ = static_cast<std::size_t>(in_.tellg());
+RandomAccessFile::RandomAccessFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) throw IoError("cannot open file for reading: " + path);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0 || st.st_size < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("cannot stat file: " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 void RandomAccessFile::read_at(std::size_t offset,
                                std::span<std::uint8_t> out) const {
   if (offset > size_ || out.size() > size_ - offset)
     throw IoError("read_at past end of file: " + path_);
-  if (out.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(offset));
-  if (!in_.read(reinterpret_cast<char*>(out.data()),
-                static_cast<std::streamsize>(out.size())))
-    throw IoError("short read from file: " + path_);
+  std::uint8_t* dst = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n =
+        ::pread(fd_, dst, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("read failed: " + path_);
+    }
+    if (n == 0) throw IoError("short read from file: " + path_);
+    dst += n;
+    offset += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
 }
 
 }  // namespace xfc

@@ -7,8 +7,6 @@
 /// dataset loaders and the CLI tool.
 
 #include <cstdint>
-#include <fstream>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,12 +28,17 @@ void write_f32_file(const std::string& path, const std::vector<float>& data);
 
 /// Seekable random-access reads over an open file. The archive reader uses
 /// this to pull individual tile bodies out of multi-gigabyte archives
-/// without ever loading the whole file. Thread-safe: concurrent read_at
-/// calls serialize on an internal mutex (one shared seek cursor).
+/// without ever loading the whole file. Thread-safe: reads are positional
+/// (pread), so any number of threads may call read_at concurrently with no
+/// shared cursor and no serialization.
 class RandomAccessFile {
  public:
   /// Opens for reading; throws IoError if the file cannot be opened.
   explicit RandomAccessFile(const std::string& path);
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
 
   std::size_t size() const { return size_; }
 
@@ -44,8 +47,7 @@ class RandomAccessFile {
   void read_at(std::size_t offset, std::span<std::uint8_t> out) const;
 
  private:
-  mutable std::ifstream in_;
-  mutable std::mutex mutex_;
+  int fd_ = -1;
   std::size_t size_ = 0;
   std::string path_;
 };

@@ -92,6 +92,40 @@ Tensor ChannelAttention::forward(const Tensor& x) {
   return y;
 }
 
+Tensor ChannelAttention::infer(const Tensor& x) const {
+  expects(x.c() == c_, "ChannelAttention::forward: channel mismatch");
+  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
+
+  // Same math as forward(), staged in locals instead of the backward
+  // caches so concurrent inference never touches shared state.
+  std::vector<float> avg(c_), mx(c_), hidden_pre(mid_), hidden_post(mid_);
+  std::vector<float> za(c_), zm(c_);
+  Tensor y(B, c_, H, W);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t c = 0; c < c_; ++c) {
+      const float* p = x.plane(b, c);
+      double sum = p[0];
+      float best = p[0];
+      for (std::size_t i = 1; i < hw; ++i) {
+        sum += p[i];
+        if (p[i] > best) best = p[i];
+      }
+      avg[c] = static_cast<float>(sum / static_cast<double>(hw));
+      mx[c] = best;
+    }
+    mlp_forward(avg.data(), hidden_pre.data(), hidden_post.data(), za.data());
+    mlp_forward(mx.data(), hidden_pre.data(), hidden_post.data(), zm.data());
+    for (std::size_t c = 0; c < c_; ++c) {
+      const double z = static_cast<double>(za[c]) + zm[c];
+      const float s = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
+      const float* in = x.plane(b, c);
+      float* out = y.plane(b, c);
+      for (std::size_t i = 0; i < hw; ++i) out[i] = in[i] * s;
+    }
+  }
+  return y;
+}
+
 Tensor ChannelAttention::backward(const Tensor& grad_out) {
   const Tensor& x = input_;
   expects(grad_out.same_shape(x), "ChannelAttention::backward: shape mismatch");

@@ -20,6 +20,7 @@ class ChannelAttention final : public Layer {
   ChannelAttention(std::size_t channels, std::size_t reduction, Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param> params() override;
   std::string kind() const override { return "channel_attention"; }

@@ -35,8 +35,12 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
 // skip im2col entirely — the input planes already are the column matrix.
 
 Tensor Conv2D::forward(const Tensor& x) {
-  expects(x.c() == in_ch_, "Conv2D::forward: channel mismatch");
   input_ = x;
+  return infer(x);
+}
+
+Tensor Conv2D::infer(const Tensor& x) const {
+  expects(x.c() == in_ch_, "Conv2D::forward: channel mismatch");
   const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
   const std::size_t icg = in_ch_ / groups_;
   const std::size_t ocg = out_ch_ / groups_;

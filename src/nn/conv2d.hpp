@@ -22,6 +22,7 @@ class Conv2D final : public Layer {
          std::size_t kernel, std::size_t groups, bool bias, Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param> params() override;
   std::string kind() const override { return "conv2d"; }

@@ -17,6 +17,10 @@ void xavier_init(std::vector<float>& w, std::size_t fan_in,
 
 Tensor ReLU::forward(const Tensor& x) {
   input_ = x;
+  return infer(x);
+}
+
+Tensor ReLU::infer(const Tensor& x) const {
   Tensor y = x;
   for (float& v : y.vec())
     if (v < 0.0f) v = 0.0f;
@@ -59,9 +63,13 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
 // (weight stored [out][in], inputs flattened to [batch][in]).
 
 Tensor Linear::forward(const Tensor& x) {
+  input_ = x;
+  return infer(x);
+}
+
+Tensor Linear::infer(const Tensor& x) const {
   expects(x.c() * x.h() * x.w() == in_,
           "Linear::forward: input feature count mismatch");
-  input_ = x;
   const std::size_t B = x.n();
   Tensor y(B, out_, 1, 1);
   // Y = X W^T.

@@ -34,6 +34,12 @@ class Layer {
   /// Computes outputs; caches whatever backward() needs.
   virtual Tensor forward(const Tensor& x) = 0;
 
+  /// Inference-only forward: same outputs as forward(), but const and
+  /// cache-free, so one model may serve any number of threads at once
+  /// (the archive writer compresses cross-field tiles in parallel against
+  /// a shared CFNN, and the XFS serving layer decodes concurrently).
+  virtual Tensor infer(const Tensor& x) const = 0;
+
   /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
@@ -64,6 +70,7 @@ class Layer {
 class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::string kind() const override { return "relu"; }
   void serialize(ByteWriter& out) const override;
@@ -82,6 +89,7 @@ class Linear final : public Layer {
          Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param> params() override;
   std::string kind() const override { return "linear"; }

@@ -11,6 +11,12 @@ Tensor Sequential::forward(const Tensor& x) {
   return cur;
 }
 
+Tensor Sequential::infer(const Tensor& x) const {
+  Tensor cur = x;
+  for (const auto& layer : layers_) cur = layer->infer(cur);
+  return cur;
+}
+
 Tensor Sequential::backward(const Tensor& grad_out) {
   Tensor cur = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)

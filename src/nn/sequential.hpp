@@ -25,6 +25,7 @@ class Sequential final : public Layer {
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
   Tensor forward(const Tensor& x) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param> params() override;
   std::string kind() const override { return "sequential"; }

@@ -2,14 +2,15 @@
 #define XFC_NN_WORKSPACE_HPP
 
 /// \file workspace.hpp
-/// Per-thread scratch-buffer arena for the NN hot paths.
+/// Per-thread scratch-buffer arena for the NN and codec hot paths.
 ///
-/// im2col buffers, GEMM packing panels, and layer activations are needed
-/// for microseconds at a time but sized in megabytes; allocating them per
-/// forward call dominated small-batch profiles. The arena hands out slab
+/// im2col buffers, GEMM packing panels, layer activations and per-tile
+/// decode payloads are needed for microseconds at a time but allocated on
+/// every call; that malloc+zero traffic dominated small-batch NN profiles
+/// and the archive's per-tile decode setup. The arena hands out slab
 /// positions by acquire order: after a rewind, the i-th acquire returns
 /// the same (grown-to-fit) slab as last time, so steady-state training
-/// loops perform zero heap allocations.
+/// loops and tile-decode loops perform zero heap allocations.
 ///
 /// Access pattern (stack discipline, enforced by ScratchScope):
 ///   Workspace& ws = tls_workspace();
@@ -20,26 +21,42 @@
 /// contend; nested scopes (Sequential -> Conv2D -> sgemm) stack cleanly.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace xfc::nn {
 
 class Workspace {
  public:
-  /// Scratch buffer of >= n floats. Contents are undefined. Valid until
-  /// the enclosing ScratchScope exits.
-  float* acquire(std::size_t n) {
+  /// Scratch buffer of >= n bytes (aligned for any scalar type: every
+  /// acquire starts at a fresh slab's allocation). Contents are undefined.
+  /// Valid until the enclosing ScratchScope exits.
+  std::uint8_t* acquire_bytes(std::size_t n) {
     if (cursor_ == slabs_.size()) slabs_.emplace_back();
-    std::vector<float>& slab = slabs_[cursor_++];
+    std::vector<std::uint8_t>& slab = slabs_[cursor_++];
     if (slab.size() < n) slab.resize(n);
     return slab.data();
   }
+
+  /// Typed scratch of >= n elements of trivially-destructible T.
+  template <class T>
+  T* acquire_as(std::size_t n) {
+    return reinterpret_cast<T*>(acquire_bytes(n * sizeof(T)));
+  }
+
+  /// Scratch buffer of >= n floats (the original NN-path interface).
+  float* acquire(std::size_t n) { return acquire_as<float>(n); }
 
   std::size_t mark() const { return cursor_; }
   void rewind(std::size_t m) { cursor_ = m; }
 
   /// Total floats currently reserved across all slabs (diagnostics).
   std::size_t floats_reserved() const {
+    return bytes_reserved() / sizeof(float);
+  }
+
+  /// Total bytes currently reserved across all slabs (diagnostics).
+  std::size_t bytes_reserved() const {
     std::size_t total = 0;
     for (const auto& s : slabs_) total += s.size();
     return total;
@@ -52,7 +69,7 @@ class Workspace {
   }
 
  private:
-  std::vector<std::vector<float>> slabs_;
+  std::vector<std::vector<std::uint8_t>> slabs_;
   std::size_t cursor_ = 0;
 };
 

@@ -1,0 +1,799 @@
+#include "server/http.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "core/utils.hpp"
+
+namespace xfc::server {
+namespace {
+
+// Parser caps below the request-size cap: a request line or header block
+// that needs more than this is not traffic we serve.
+constexpr std::size_t kMaxTargetBytes = 8u << 10;
+constexpr std::size_t kMaxHeaders = 100;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+bool is_token_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') ||
+         std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+std::string trim_ows(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+enum class Parse { kIncomplete, kRequest, kError };
+
+/// Tries to cut one complete request off the front of `in`. On kRequest the
+/// consumed bytes are erased (pipelined followers stay). On kError,
+/// `error_status` carries the 4xx/5xx to answer before closing. `http10`
+/// reports the request's minor version for the keep-alive default.
+Parse parse_request(std::string& in, std::size_t cap, HttpRequest& req,
+                    int& error_status, bool& http10) {
+  const std::size_t head_end = in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (in.size() > cap) {
+      error_status = 431;
+      return Parse::kError;
+    }
+    return Parse::kIncomplete;
+  }
+
+  // Request line.
+  const std::size_t line_end = in.find("\r\n");
+  const std::string line = in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    error_status = 400;
+    return Parse::kError;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (method.empty() || method.size() > 16) {
+    error_status = 400;
+    return Parse::kError;
+  }
+  for (char c : method)
+    if (!is_token_char(c)) {
+      error_status = 400;
+      return Parse::kError;
+    }
+  if (target.size() > kMaxTargetBytes) {
+    error_status = 414;
+    return Parse::kError;
+  }
+  if (target.empty() || target[0] != '/' || target.find(' ') != std::string::npos) {
+    error_status = 400;
+    return Parse::kError;
+  }
+  for (char c : target)
+    if (static_cast<unsigned char>(c) <= 0x20 ||
+        static_cast<unsigned char>(c) == 0x7f) {
+      error_status = 400;
+      return Parse::kError;
+    }
+  if (version == "HTTP/1.1") {
+    http10 = false;
+  } else if (version == "HTTP/1.0") {
+    http10 = true;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    error_status = 505;
+    return Parse::kError;
+  } else {
+    error_status = 400;
+    return Parse::kError;
+  }
+
+  // Header block.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    std::size_t eol = in.find("\r\n", pos);
+    if (eol > head_end) eol = head_end;
+    const std::string hline = in.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (hline.empty() || hline[0] == ' ' || hline[0] == '\t') {
+      error_status = 400;  // obs-fold / stray whitespace: reject
+      return Parse::kError;
+    }
+    const std::size_t colon = hline.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      error_status = 400;
+      return Parse::kError;
+    }
+    const std::string name = hline.substr(0, colon);
+    for (char c : name)
+      if (!is_token_char(c)) {
+        error_status = 400;
+        return Parse::kError;
+      }
+    headers.emplace_back(name, trim_ows(hline.substr(colon + 1)));
+    if (headers.size() > kMaxHeaders) {
+      error_status = 431;
+      return Parse::kError;
+    }
+  }
+
+  // Body framing.
+  std::size_t content_length = 0;
+  bool have_content_length = false;
+  for (const auto& [name, value] : headers) {
+    if (iequals(name, "transfer-encoding")) {
+      error_status = 501;  // chunked bodies are not served here
+      return Parse::kError;
+    }
+    if (iequals(name, "content-length")) {
+      // Repeated Content-Length is the classic request-smuggling framing
+      // violation (RFC 9112 §6.3): reject rather than pick one.
+      if (have_content_length || value.empty() || value.size() > 12) {
+        error_status = 400;
+        return Parse::kError;
+      }
+      std::size_t v = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          error_status = 400;
+          return Parse::kError;
+        }
+        v = v * 10 + static_cast<std::size_t>(c - '0');
+      }
+      content_length = v;
+      have_content_length = true;
+    }
+  }
+  const std::size_t total = head_end + 4 + content_length;
+  if (total > cap) {
+    error_status = 413;
+    return Parse::kError;
+  }
+  if (in.size() < total) return Parse::kIncomplete;
+
+  const std::size_t qpos = target.find('?');
+  std::string raw_path =
+      qpos == std::string::npos ? target : target.substr(0, qpos);
+  req = HttpRequest{};
+  if (!url_decode(raw_path, req.path)) {
+    error_status = 400;
+    return Parse::kError;
+  }
+  req.query = qpos == std::string::npos ? std::string() : target.substr(qpos + 1);
+  req.method = method;
+  req.headers = std::move(headers);
+  req.body = in.substr(head_end + 4, content_length);
+  in.erase(0, total);
+  return Parse::kRequest;
+}
+
+bool write_all(int fd, const std::string& data, int stall_timeout_ms) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // A reader that stalls longer than this forfeits the response.
+      // Writes are synchronous on the handling thread, so this bound is
+      // also the worst case one slow client can hold a worker (or, for a
+      // single-request round, the event loop — see the ROADMAP "XFS
+      // serving depth" item on async response queues).
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, stall_timeout_ms) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string serialize_response(const HttpResponse& resp, bool keep_alive) {
+  std::string out;
+  out.reserve(resp.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += reason_phrase(resp.status);
+  out += "\r\nContent-Type: ";
+  out += resp.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(resp.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  for (const auto& [name, value] : resp.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+int make_listener(const HttpConfig& config, std::uint16_t& bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw IoError("http: cannot create socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError("http: bad bind address: " + config.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    throw IoError("http: cannot bind/listen on " + config.bind_address + ":" +
+                  std::to_string(config.port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw IoError("http: getsockname failed");
+  }
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  for (const auto& [n, v] : headers)
+    if (iequals(n, name)) return &v;
+  return nullptr;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::json(std::string body) {
+  HttpResponse r;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+bool url_decode(const std::string& in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out += in[i];
+      continue;
+    }
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    if (i + 2 >= in.size()) return false;
+    const int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return true;
+}
+
+bool parse_query(const std::string& query,
+                 std::vector<std::pair<std::string, std::string>>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string part = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(part, "");
+    } else {
+      std::string value;
+      if (!url_decode(part.substr(eq + 1), value)) return false;
+      out.emplace_back(part.substr(0, eq), value);
+    }
+  }
+  return true;
+}
+
+// -- Server ------------------------------------------------------------------
+
+struct HttpServer::Conn {
+  int fd = -1;
+  std::string in;
+  bool http10 = false;
+  bool close_after = false;  // write failure or Connection: close
+  bool peer_eof = false;     // peer half-closed; serve what is buffered
+  std::chrono::steady_clock::time_point last_active;
+  // Staged by the parser for the current dispatch round.
+  HttpRequest req;
+};
+
+HttpServer::HttpServer(HttpConfig config, HttpHandler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  listen_fd_ = make_listener(config_, port_);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    throw IoError("http: cannot create epoll/eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listener
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = 1;  // wakeup
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  expects(listen_fd_ >= 0,
+          "HttpServer::start: server was stopped; construct a new one");
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped): release the sockets here.
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return;
+  }
+  stopping_.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  thread_.join();
+  for (std::size_t i = 0; i < conns_.size(); ++i)
+    if (conns_[i]) close_conn(i);
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void HttpServer::close_conn(std::size_t slot) {
+  Conn* c = conns_[slot].get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  ::close(c->fd);
+  conns_[slot].reset();
+  open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
+  // Drain every complete request buffered on the touched connections; a
+  // round may unlock the next pipelined request on the same connection, so
+  // iterate until nothing parses.
+  while (!touched.empty()) {
+    std::vector<std::size_t> ready;
+    for (const std::size_t slot : touched) {
+      Conn* c = conns_[slot].get();
+      if (c == nullptr) continue;
+      int error_status = 0;
+      switch (parse_request(c->in, config_.max_request_bytes, c->req,
+                            error_status, c->http10)) {
+        case Parse::kIncomplete:
+          // Nothing more will ever arrive on a half-closed connection.
+          if (c->peer_eof) close_conn(slot);
+          break;
+        case Parse::kError: {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          HttpResponse err = HttpResponse::text(
+              error_status, std::string(reason_phrase(error_status)) + "\n");
+          write_all(c->fd, serialize_response(err, false),
+                    config_.write_stall_timeout_ms);
+          // Lingering close: closing with unread bytes in the receive
+          // queue turns into an RST that can destroy the error response
+          // before the client reads it. Half-close our side, then drain
+          // what the peer is still sending — briefly timed (best effort;
+          // the fd is non-blocking and this runs on the event loop, so a
+          // hostile slow sender must not stall it for long).
+          ::shutdown(c->fd, SHUT_WR);
+          char drain[16384];
+          int polls_left = 5;  // <= 250 ms waiting for the peer's tail
+          for (int rounds = 0; rounds < 256; ++rounds) {  // <= 4 MB discard
+            const ssize_t r = ::read(c->fd, drain, sizeof drain);
+            if (r == 0) break;   // FIN seen: close cannot RST the reply
+            if (r > 0) continue;  // discard in-flight request bytes
+            if (errno == EINTR) continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK) break;
+            if (polls_left-- == 0) break;
+            pollfd p{c->fd, POLLIN, 0};
+            if (::poll(&p, 1, 50) <= 0) break;
+          }
+          close_conn(slot);
+          break;
+        }
+        case Parse::kRequest:
+          ready.push_back(slot);
+          break;
+      }
+    }
+    touched.clear();
+
+    if (ready.empty()) return;
+    requests_.fetch_add(ready.size(), std::memory_order_relaxed);
+
+    // One ready request runs right here; a batch fans out over the shared
+    // worker pool (handlers run concurrently, so they must be thread-safe).
+    auto run_one = [&](std::size_t slot) {
+      Conn& c = *conns_[slot];
+      HttpResponse resp;
+      try {
+        resp = handler_(c.req);
+      } catch (const std::exception& e) {
+        handler_errors_.fetch_add(1, std::memory_order_relaxed);
+        resp = HttpResponse::text(500,
+                                  std::string("internal error: ") + e.what() +
+                                      "\n");
+      } catch (...) {
+        handler_errors_.fetch_add(1, std::memory_order_relaxed);
+        resp = HttpResponse::text(500, "internal error\n");
+      }
+      const std::string* conn_hdr = c.req.header("connection");
+      bool keep = !c.http10;
+      if (conn_hdr != nullptr) {
+        if (iequals(*conn_hdr, "close")) keep = false;
+        if (iequals(*conn_hdr, "keep-alive")) keep = true;
+      }
+      if (!write_all(c.fd, serialize_response(resp, keep),
+                     config_.write_stall_timeout_ms) ||
+          !keep)
+        c.close_after = true;
+      c.last_active = std::chrono::steady_clock::now();
+    };
+    if (ready.size() == 1) {
+      run_one(ready[0]);
+    } else {
+      parallel_for(0, ready.size(),
+                   [&](std::size_t i) { run_one(ready[i]); });
+    }
+
+    for (const std::size_t slot : ready) {
+      Conn* c = conns_[slot].get();
+      if (c->close_after) {
+        close_conn(slot);
+      } else if (!c->in.empty()) {
+        touched.push_back(slot);  // maybe another pipelined request
+      } else if (c->peer_eof) {
+        close_conn(slot);  // served everything the peer sent
+      }
+    }
+  }
+}
+
+void HttpServer::loop() {
+  std::vector<epoll_event> events(64);
+  std::vector<std::size_t> touched;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 1000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    touched.clear();
+    const auto now = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == 1) {  // wakeup eventfd
+        std::uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      if (tag == 0) {  // listener
+        for (;;) {
+          const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          if (open_.load(std::memory_order_relaxed) >=
+              config_.max_connections) {
+            ::close(fd);
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          auto conn = std::make_unique<Conn>();
+          conn->fd = fd;
+          conn->last_active = now;
+          std::size_t slot = conns_.size();
+          for (std::size_t s = 0; s < conns_.size(); ++s)
+            if (!conns_[s]) {
+              slot = s;
+              break;
+            }
+          if (slot == conns_.size()) conns_.emplace_back(nullptr);
+          conns_[slot] = std::move(conn);
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.u64 = slot + 2;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+          open_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+
+      const std::size_t slot = static_cast<std::size_t>(tag - 2);
+      if (slot >= conns_.size() || !conns_[slot]) continue;
+      Conn* c = conns_[slot].get();
+      bool closed = false;
+      char buf[16384];
+      // Bounded per wake so one firehose connection cannot starve the
+      // loop. Past the high watermark we stop reading (backpressure, not
+      // byte-dropping — the buffer may hold many legitimate pipelined
+      // requests): epoll is level-triggered, so once handle_ready consumes
+      // the buffer the remaining socket data re-fires the loop; a single
+      // request larger than the cap still gets its 431/413 from the parser.
+      for (int rounds = 0; rounds < 64; ++rounds) {
+        if (c->in.size() > config_.max_request_bytes + sizeof buf) break;
+        const ssize_t r = ::read(c->fd, buf, sizeof buf);
+        if (r > 0) {
+          c->in.append(buf, static_cast<std::size_t>(r));
+          continue;
+        }
+        if (r == 0) {
+          closed = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) closed = true;
+        break;
+      }
+      // EOF is a half-close: the peer may still be reading, and the buffer
+      // may hold complete (even pipelined) requests plus an oversized one
+      // owed a 431 — the parser stage decides, and kIncomplete + peer_eof
+      // closes the connection.
+      if (closed) c->peer_eof = true;
+      c->last_active = now;
+      touched.push_back(slot);
+    }
+
+    handle_ready(touched);
+
+    // Reap idle keep-alive connections.
+    for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
+      Conn* c = conns_[slot].get();
+      if (c != nullptr &&
+          now - c->last_active >
+              std::chrono::milliseconds(config_.idle_timeout_ms))
+        close_conn(slot);
+    }
+  }
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.handler_errors = handler_errors_.load(std::memory_order_relaxed);
+  s.rejected_connections = rejected_.load(std::memory_order_relaxed);
+  s.open_connections = open_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// -- Client ------------------------------------------------------------------
+
+namespace {
+
+int connect_blocking(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw IoError("http client: cannot create socket");
+  timeval tv{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError("http client: bad host (dotted quad expected): " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw IoError("http client: cannot connect to " + host + ":" +
+                  std::to_string(port));
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  fd_ = connect_blocking(host_, port_);
+  buf_.clear();
+}
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+HttpClientResponse HttpClient::get(const std::string& target) {
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host_ +
+                              "\r\nConnection: keep-alive\r\n\r\n";
+  for (int attempt = 0;; ++attempt) {
+    ensure_connected();
+    if (!send_all(fd_, request)) {
+      disconnect();
+      if (attempt == 0) continue;  // stale keep-alive: reconnect once
+      throw IoError("http client: send failed");
+    }
+
+    // Read until the header block is complete.
+    std::size_t head_end;
+    bool died = false;
+    while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      char tmp[8192];
+      const ssize_t r = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (r <= 0) {
+        died = true;
+        break;
+      }
+      buf_.append(tmp, static_cast<std::size_t>(r));
+    }
+    if (died) {
+      const bool nothing_received = buf_.empty();
+      disconnect();
+      if (attempt == 0 && nothing_received) continue;
+      throw IoError("http client: connection closed mid-response");
+    }
+
+    HttpClientResponse resp;
+    const std::string head = buf_.substr(0, head_end);
+    if (head.rfind("HTTP/1.", 0) != 0 || head.size() < 12)
+      throw IoError("http client: malformed status line");
+    resp.status = std::atoi(head.c_str() + 9);
+
+    std::size_t content_length = 0;
+    bool server_closes = false;
+    std::size_t pos = head.find("\r\n");
+    while (pos != std::string::npos && pos < head.size()) {
+      const std::size_t eol0 = head.find("\r\n", pos + 2);
+      const std::string hline =
+          head.substr(pos + 2, (eol0 == std::string::npos ? head.size()
+                                                          : eol0) -
+                                   pos - 2);
+      pos = eol0;
+      const std::size_t colon = hline.find(':');
+      if (colon == std::string::npos) continue;
+      const std::string name = hline.substr(0, colon);
+      const std::string value = trim_ows(hline.substr(colon + 1));
+      if (iequals(name, "content-length"))
+        content_length = static_cast<std::size_t>(
+            std::strtoull(value.c_str(), nullptr, 10));
+      else if (iequals(name, "content-type"))
+        resp.content_type = value;
+      else if (iequals(name, "connection") && iequals(value, "close"))
+        server_closes = true;
+    }
+
+    const std::size_t total = head_end + 4 + content_length;
+    while (buf_.size() < total) {
+      char tmp[16384];
+      const ssize_t r = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (r <= 0) {
+        disconnect();
+        throw IoError("http client: connection closed mid-body");
+      }
+      buf_.append(tmp, static_cast<std::size_t>(r));
+    }
+    resp.body = buf_.substr(head_end + 4, content_length);
+    buf_.erase(0, total);
+    if (server_closes) disconnect();
+    return resp;
+  }
+}
+
+std::string http_raw_exchange(const std::string& host, std::uint16_t port,
+                              const std::string& bytes,
+                              std::size_t max_reply) {
+  const int fd = connect_blocking(host, port);
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  send_all(fd, bytes);
+  ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char tmp[8192];
+  while (reply.size() < max_reply) {
+    const ssize_t r = ::recv(fd, tmp, sizeof tmp, 0);
+    if (r <= 0) break;
+    reply.append(tmp, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace xfc::server

@@ -1,0 +1,185 @@
+#ifndef XFC_SERVER_HTTP_HPP
+#define XFC_SERVER_HTTP_HPP
+
+/// \file http.hpp
+/// Dependency-free minimal HTTP/1.1 server for the XFS archive-serving
+/// subsystem, plus the tiny blocking client the tests and the loopback
+/// bench drive it with.
+///
+/// Shape: one event-loop thread owns the listening socket and every
+/// connection (epoll, non-blocking reads, keep-alive, idle timeouts).
+/// Complete requests are handed to the application handler; when several
+/// connections have requests ready in the same wake-up, the batch fans out
+/// over the process-wide parallel_for thread pool, so request handling
+/// shares workers with the archive's tile-parallel decode instead of
+/// spawning a second pool. Handlers must therefore be thread-safe.
+///
+/// The parser is deliberately strict and hardened: malformed request
+/// lines/headers answer 400, oversized requests 413/431, unsupported
+/// transfer encodings 501 — never a crash, never unbounded buffering
+/// (request size is capped; see HttpConfig). Anything that smells like a
+/// framing violation closes the connection after the error response.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace xfc::server {
+
+struct HttpConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = pick an ephemeral port (see HttpServer::port)
+  /// Cap on one request (request line + headers + body). Requests growing
+  /// past this answer 431/413 and the connection closes.
+  std::size_t max_request_bytes = 64u << 10;
+  /// Accepted connections beyond this are closed immediately.
+  std::size_t max_connections = 256;
+  /// Keep-alive connections idle longer than this are closed.
+  int idle_timeout_ms = 30'000;
+  /// A client that stops reading its response forfeits it after this long
+  /// (responses are written synchronously by the handling thread).
+  int write_stall_timeout_ms = 5'000;
+};
+
+struct HttpRequest {
+  std::string method;  // e.g. "GET"
+  std::string path;    // decoded-from-target path component ("/fields")
+  std::string query;   // raw query string without '?' ("lo=0,0&hi=8,8")
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::vector<std::pair<std::string, std::string>> headers;  // extras
+  std::string body;
+
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse json(std::string body);
+};
+
+/// Application entry point; runs on pool workers (or the event-loop thread
+/// when only one request is ready) and must be thread-safe. Exceptions are
+/// turned into a 500 response.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t requests = 0;       // complete requests handed to the handler
+  std::uint64_t bad_requests = 0;   // parser-rejected (4xx before dispatch)
+  std::uint64_t handler_errors = 0; // handler threw (answered 500)
+  std::uint64_t rejected_connections = 0;  // over max_connections
+  std::uint64_t open_connections = 0;      // current
+};
+
+class HttpServer {
+ public:
+  /// Binds and listens immediately (throws IoError on failure) but serves
+  /// nothing until start().
+  HttpServer(HttpConfig config, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Spawns the event-loop thread. Idempotent while running; a stopped
+  /// server cannot be restarted (stop() releases the sockets) — construct
+  /// a new one.
+  void start();
+
+  /// Stops the loop, closes every connection. Idempotent; called by the
+  /// destructor.
+  void stop();
+
+  /// Actual bound port (resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+
+  HttpServerStats stats() const;
+
+ private:
+  struct Conn;
+  void loop();
+  void close_conn(std::size_t slot);
+  void handle_ready(std::vector<std::size_t>& ready);
+
+  HttpConfig config_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd poked by stop()
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Conn>> conns_;  // slot-indexed, nullable
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> handler_errors_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> open_{0};
+};
+
+// -- Client (tests / loopback bench) ----------------------------------------
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 client with one keep-alive connection;
+/// reconnects transparently if the server closed it. Not thread-safe.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues a GET and reads the full response; throws IoError on transport
+  /// failure or an unparseable response.
+  HttpClientResponse get(const std::string& target);
+
+ private:
+  void ensure_connected();
+  void disconnect();
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the previous response
+};
+
+/// Sends raw bytes to (host, port), shuts down the write side, and returns
+/// whatever the server answers until it closes (capped at `max_reply`).
+/// This is the fuzz-suite hammer: it makes no attempt to speak HTTP.
+std::string http_raw_exchange(const std::string& host, std::uint16_t port,
+                              const std::string& bytes,
+                              std::size_t max_reply = 1u << 20);
+
+// -- URL / query helpers (parse-hardened, shared with the service layer) ----
+
+/// Percent-decodes `in`; returns false on a malformed escape. '+' is left
+/// as-is (we only decode paths, not form bodies).
+bool url_decode(const std::string& in, std::string& out);
+
+/// Splits "a=1&b=2" into pairs (no decoding of keys; values are
+/// percent-decoded). Returns false on a malformed escape.
+bool parse_query(const std::string& query,
+                 std::vector<std::pair<std::string, std::string>>& out);
+
+}  // namespace xfc::server
+
+#endif  // XFC_SERVER_HTTP_HPP

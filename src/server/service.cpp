@@ -1,0 +1,261 @@
+#include "server/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "archive/tile.hpp"
+#include "core/error.hpp"
+
+namespace xfc::server {
+namespace {
+
+const char* codec_name(CodecId codec) {
+  switch (codec) {
+    case CodecId::kSz: return "sz";
+    case CodecId::kZfp: return "zfp";
+    case CodecId::kCrossField: return "crossfield";
+    case CodecId::kInterp: return "interp";
+    case CodecId::kSzClassic: return "classic";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string shape_json(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t d = 0; d < shape.ndim(); ++d) {
+    if (d != 0) out += ',';
+    out += std::to_string(shape[d]);
+  }
+  return out + "]";
+}
+
+/// Parses "12,34" (rank entries) into bounds; false on any malformed part.
+bool parse_bounds(const std::string& text, std::size_t ndim,
+                  std::size_t out[3]) {
+  std::size_t pos = 0;
+  for (std::size_t d = 0; d < ndim; ++d) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma == pos || comma - pos > 12) return false;
+    std::size_t v = 0;
+    for (std::size_t i = pos; i < comma; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      v = v * 10 + static_cast<std::size_t>(text[i] - '0');
+    }
+    out[d] = v;
+    pos = comma + 1;
+    if (d + 1 < ndim && comma == text.size()) return false;
+  }
+  return pos > text.size();  // every byte consumed, no trailing components
+}
+
+}  // namespace
+
+ArchiveService::ArchiveService(std::shared_ptr<const ArchiveReader> reader,
+                               ServiceConfig config)
+    : reader_(std::move(reader)),
+      config_(config),
+      cache_(TileCacheConfig{config.cache_bytes, config.cache_shards}) {
+  expects(reader_ != nullptr, "ArchiveService: null reader");
+  archive_id_ = cache_.add_archive(reader_);
+}
+
+HttpResponse ArchiveService::handle(const HttpRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (request.method != "GET") {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(405, "only GET is served here\n");
+  }
+  const std::string& path = request.path;
+  if (path == "/healthz") return HttpResponse::text(200, "ok\n");
+  if (path == "/fields") return handle_fields();
+  if (path == "/stats") return handle_stats();
+
+  // /field/<name>/region
+  constexpr const char* kPrefix = "/field/";
+  constexpr const char* kSuffix = "/region";
+  if (path.rfind(kPrefix, 0) == 0 && path.size() > 7 + 7 &&
+      path.compare(path.size() - 7, 7, kSuffix) == 0) {
+    const std::string name = path.substr(7, path.size() - 7 - 7);
+    if (!name.empty() && name.find('/') == std::string::npos)
+      return handle_region(name, request.query);
+  }
+  client_errors_.fetch_add(1, std::memory_order_relaxed);
+  return HttpResponse::text(404, "no such endpoint\n");
+}
+
+HttpResponse ArchiveService::handle_fields() const {
+  std::string out = "[";
+  bool first = true;
+  for (const ArchiveFieldInfo& f : reader_->fields()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": \"" + json_escape(f.name) + "\"";
+    out += ", \"codec\": \"" + std::string(codec_name(f.codec)) + "\"";
+    out += ", \"shape\": " + shape_json(f.shape);
+    out += ", \"tile\": " + shape_json(f.tile);
+    out += ", \"tiles\": " + std::to_string(f.tiles.size());
+    out += ", \"compressed_bytes\": " + std::to_string(f.compressed_bytes());
+    char eb[32];
+    std::snprintf(eb, sizeof eb, "%.9g", f.abs_eb);
+    out += ", \"abs_eb\": " + std::string(eb);
+    out += ", \"anchors\": [";
+    for (std::size_t i = 0; i < f.anchors.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "\"" + json_escape(f.anchors[i]) + "\"";
+    }
+    out += "]}";
+  }
+  out += "\n]\n";
+  return HttpResponse::json(std::move(out));
+}
+
+HttpResponse ArchiveService::handle_region(const std::string& field_name,
+                                           const std::string& query) {
+  region_requests_.fetch_add(1, std::memory_order_relaxed);
+  const ArchiveFieldInfo* info = reader_->find(field_name);
+  if (info == nullptr) {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(404, "no such field: " + field_name + "\n");
+  }
+  const std::size_t ndim = info->shape.ndim();
+
+  std::vector<std::pair<std::string, std::string>> params;
+  if (!parse_query(query, params)) {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(400, "malformed query string\n");
+  }
+  std::string lo_text, hi_text, fmt = "f32";
+  for (const auto& [key, value] : params) {
+    if (key == "lo") lo_text = value;
+    else if (key == "hi") hi_text = value;
+    else if (key == "fmt") fmt = value;
+  }
+  if (fmt != "f32" && fmt != "json") {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(400, "fmt must be f32 or json\n");
+  }
+  std::size_t lo[3], hi[3];
+  if (!parse_bounds(lo_text, ndim, lo) || !parse_bounds(hi_text, ndim, hi)) {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(
+        400, "lo/hi must each give " + std::to_string(ndim) +
+                 " comma-separated bounds\n");
+  }
+  std::size_t region_dims[3];
+  std::size_t region_values = 1;
+  for (std::size_t d = 0; d < ndim; ++d) {
+    if (lo[d] >= hi[d] || hi[d] > info->shape[d]) {
+      client_errors_.fetch_add(1, std::memory_order_relaxed);
+      return HttpResponse::text(400, "empty or out-of-bounds region\n");
+    }
+    region_dims[d] = hi[d] - lo[d];
+    region_values *= region_dims[d];
+  }
+  const std::size_t value_cap =
+      fmt == "json" ? config_.max_json_values : config_.max_region_values;
+  if (region_values > value_cap) {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(
+        413, "region of " + std::to_string(region_values) +
+                 " values exceeds the response cap of " +
+                 std::to_string(value_cap) + " for fmt=" + fmt + "\n");
+  }
+
+  // Assemble the region from cached decoded tiles — the exact analogue of
+  // ArchiveReader::read_region's crop-and-copy (same copy_tile_into_region
+  // helper), so the bytes match it.
+  F32Array out(Shape(std::span<const std::size_t>(region_dims, ndim)));
+  const TileGrid grid(info->shape, info->tile);
+  const std::size_t field_index =
+      static_cast<std::size_t>(info - reader_->fields().data());
+  try {
+    const auto tiles =
+        grid.tiles_in_region(std::span<const std::size_t>(lo, ndim),
+                             std::span<const std::size_t>(hi, ndim));
+    for (const std::size_t t : tiles) {
+      const std::shared_ptr<const Field> tile =
+          cache_.get(archive_id_, field_index, t);
+      copy_tile_into_region(out, std::span<const std::size_t>(lo, ndim),
+                            std::span<const std::size_t>(hi, ndim),
+                            tile->array(), grid.box(t));
+    }
+  } catch (const CorruptStream& e) {
+    return HttpResponse::text(500,
+                              std::string("archive error: ") + e.what() +
+                                  "\n");
+  }
+
+  std::string shape_list;
+  for (std::size_t d = 0; d < ndim; ++d) {
+    if (d != 0) shape_list += ',';
+    shape_list += std::to_string(region_dims[d]);
+  }
+
+  HttpResponse resp;
+  if (fmt == "f32") {
+    resp.content_type = "application/octet-stream";
+    resp.body.assign(reinterpret_cast<const char*>(out.data()),
+                     out.size() * sizeof(float));
+    resp.headers.emplace_back("X-Xfc-Shape", shape_list);
+    resp.headers.emplace_back("X-Xfc-Field", info->name);
+  } else {
+    std::string body = "{\"field\": \"" + json_escape(info->name) +
+                       "\", \"shape\": [" + shape_list + "], \"values\": [";
+    char num[32];
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (i != 0) body += ',';
+      std::snprintf(num, sizeof num, "%.9g", static_cast<double>(out[i]));
+      body += num;
+    }
+    body += "]}\n";
+    resp = HttpResponse::json(std::move(body));
+  }
+  bytes_served_.fetch_add(resp.body.size(), std::memory_order_relaxed);
+  return resp;
+}
+
+HttpResponse ArchiveService::handle_stats() const {
+  const TileCacheStats c = cache_.stats();
+  std::string out = "{\n";
+  out += "  \"requests\": " + std::to_string(requests_.load()) + ",\n";
+  out += "  \"region_requests\": " + std::to_string(region_requests_.load()) +
+         ",\n";
+  out += "  \"client_errors\": " + std::to_string(client_errors_.load()) +
+         ",\n";
+  out += "  \"bytes_served\": " + std::to_string(bytes_served_.load()) +
+         ",\n";
+  out += "  \"cache\": {\n";
+  out += "    \"hits\": " + std::to_string(c.hits) + ",\n";
+  out += "    \"misses\": " + std::to_string(c.misses) + ",\n";
+  out += "    \"evictions\": " + std::to_string(c.evictions) + ",\n";
+  out += "    \"inflight_waits\": " + std::to_string(c.inflight_waits) +
+         ",\n";
+  out += "    \"decode_errors\": " + std::to_string(c.decode_errors) + ",\n";
+  out += "    \"entries\": " + std::to_string(c.entries) + ",\n";
+  out += "    \"bytes\": " + std::to_string(c.bytes) + ",\n";
+  out += "    \"capacity_bytes\": " + std::to_string(cache_.capacity_bytes()) +
+         "\n  }\n}\n";
+  return HttpResponse::json(std::move(out));
+}
+
+}  // namespace xfc::server

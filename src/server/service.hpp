@@ -1,0 +1,75 @@
+#ifndef XFC_SERVER_SERVICE_HPP
+#define XFC_SERVER_SERVICE_HPP
+
+/// \file service.hpp
+/// XFS endpoints: the glue between the HTTP layer and one XFA1 archive,
+/// with every region read served through the sharded decoded-tile cache.
+///
+///   GET /healthz                      -> 200 "ok"
+///   GET /fields                       -> JSON index of the archive
+///   GET /field/<name>/region?lo=..&hi=..[&fmt=f32|json]
+///       Half-open region [lo, hi) of the named field (comma-separated
+///       per-axis bounds, rank must match). fmt=f32 (default) answers the
+///       raw little-endian float32 values (row-major, X-Xfc-Shape header
+///       carries the extents); fmt=json answers {"shape":[..],
+///       "values":[..]}. Bytes are bit-identical to
+///       ArchiveReader::read_region on the same archive.
+///   GET /stats                        -> JSON cache + request counters
+///
+/// handle() is thread-safe (the HTTP layer fans request batches over the
+/// worker pool): the reader is immutable, the cache locks internally, and
+/// service counters are atomics.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "archive/archive_reader.hpp"
+#include "server/http.hpp"
+#include "server/tile_cache.hpp"
+
+namespace xfc::server {
+
+struct ServiceConfig {
+  std::size_t cache_bytes = 256u << 20;
+  std::size_t cache_shards = 8;
+  /// Response-side caps, mirroring the request-side ones in HttpConfig: a
+  /// region query larger than this answers 413 instead of materializing an
+  /// arbitrarily large response. fmt=json costs ~13 bytes/value (vs 4 raw),
+  /// hence its much lower ceiling.
+  std::size_t max_region_values = 16u << 20;  // 64 MiB of f32 per response
+  std::size_t max_json_values = 1u << 20;
+};
+
+class ArchiveService {
+ public:
+  explicit ArchiveService(std::shared_ptr<const ArchiveReader> reader,
+                          ServiceConfig config = {});
+
+  /// Routes one request; never throws (internal failures answer 4xx/5xx).
+  HttpResponse handle(const HttpRequest& request);
+
+  const TileCache& cache() const { return cache_; }
+  const ArchiveReader& reader() const { return *reader_; }
+
+ private:
+  HttpResponse handle_fields() const;
+  HttpResponse handle_region(const std::string& field_name,
+                             const std::string& query);
+  HttpResponse handle_stats() const;
+
+  std::shared_ptr<const ArchiveReader> reader_;
+  ServiceConfig config_;
+  TileCache cache_;
+  std::uint64_t archive_id_ = 0;
+
+  mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> region_requests_{0};
+  mutable std::atomic<std::uint64_t> client_errors_{0};
+  mutable std::atomic<std::uint64_t> bytes_served_{0};
+};
+
+}  // namespace xfc::server
+
+#endif  // XFC_SERVER_SERVICE_HPP

@@ -1,0 +1,230 @@
+#include "server/tile_cache.hpp"
+
+#include <condition_variable>
+#include <list>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace xfc::server {
+namespace {
+
+/// Fixed per-entry accounting overhead (map node, LRU node, Field header),
+/// so a budget of N bytes cannot be defeated by millions of tiny tiles.
+constexpr std::size_t kEntryOverhead = 160;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+struct TileCache::Shard {
+  /// Rendezvous for threads that missed while another thread decodes.
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const Field> value;
+    std::exception_ptr error;
+  };
+
+  struct Entry {
+    std::shared_ptr<const Field> value;   // null while decoding
+    std::shared_ptr<InFlight> inflight;   // null once ready
+    std::list<Key>::iterator lru_it{};    // valid once ready
+    std::size_t bytes = 0;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          mix64(k.archive * 0x9e3779b97f4a7c15ULL ^
+                (static_cast<std::uint64_t>(k.field) << 40) ^ k.ordinal));
+    }
+  };
+
+  std::mutex m;
+  std::unordered_map<Key, Entry, KeyHash> map;
+  std::list<Key> lru;  // front = most recently used; in-flight keys absent
+  std::size_t bytes = 0;
+  std::size_t budget = 0;
+};
+
+TileCache::TileCache(TileCacheConfig config)
+    : capacity_bytes_(config.capacity_bytes),
+      n_shards_(config.shards == 0 ? 1 : config.shards),
+      shards_(new Shard[config.shards == 0 ? 1 : config.shards]) {
+  for (std::size_t i = 0; i < n_shards_; ++i)
+    shards_[i].budget = capacity_bytes_ / n_shards_;
+}
+
+TileCache::~TileCache() = default;
+
+TileCache::Shard& TileCache::shard_for(const Key& key) const {
+  return shards_[Shard::KeyHash{}(key) % n_shards_];
+}
+
+std::uint64_t TileCache::add_archive(
+    std::shared_ptr<const ArchiveReader> reader) {
+  expects(reader != nullptr, "TileCache: null reader");
+  // An acyclic anchor graph is what makes the recursive anchor gets (and
+  // the cross-thread waits they can chain into) provably deadlock-free.
+  validate_anchor_graph(reader->fields());
+  const std::lock_guard<std::mutex> lock(archives_mutex_);
+  archives_.push_back(std::move(reader));
+  return archives_.size() - 1;
+}
+
+std::shared_ptr<const ArchiveReader> TileCache::archive(
+    std::uint64_t archive_id) const {
+  const std::lock_guard<std::mutex> lock(archives_mutex_);
+  if (archive_id >= archives_.size()) return nullptr;
+  return archives_[archive_id];
+}
+
+std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
+                                            const std::string& field,
+                                            std::size_t ordinal) {
+  const auto reader = archive(archive_id);
+  if (reader == nullptr)
+    throw InvalidArgument("TileCache: unknown archive id");
+  const auto& fields = reader->fields();
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].name == field) return get(archive_id, i, ordinal);
+  throw InvalidArgument("TileCache: no such field: " + field);
+}
+
+std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
+                                            std::size_t field_index,
+                                            std::size_t ordinal) {
+  const auto reader = archive(archive_id);
+  if (reader == nullptr)
+    throw InvalidArgument("TileCache: unknown archive id");
+  const auto& fields = reader->fields();
+  if (field_index >= fields.size())
+    throw InvalidArgument("TileCache: field index out of range");
+  if (ordinal >= fields[field_index].tiles.size())
+    throw InvalidArgument("TileCache: tile ordinal out of range");
+  return get_by_key(
+      reader,
+      Key{archive_id, static_cast<std::uint32_t>(field_index), ordinal});
+}
+
+std::shared_ptr<const Field> TileCache::get_by_key(
+    const std::shared_ptr<const ArchiveReader>& reader, const Key& key) {
+  Shard& sh = shard_for(key);
+  std::unique_lock<std::mutex> lock(sh.m);
+  const auto it = sh.map.find(key);
+  if (it != sh.map.end()) {
+    Shard::Entry& e = it->second;
+    if (e.value != nullptr) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return e.value;
+    }
+    // Another thread is decoding this tile right now: wait for its result
+    // instead of decoding it again (single-flight).
+    const auto inflight = e.inflight;
+    inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    std::unique_lock<std::mutex> wait_lock(inflight->m);
+    inflight->cv.wait(wait_lock, [&] { return inflight->done; });
+    if (inflight->error) std::rethrow_exception(inflight->error);
+    return inflight->value;
+  }
+
+  // Cold tile: this thread becomes the decode leader for the key.
+  const auto inflight = std::make_shared<Shard::InFlight>();
+  sh.map.emplace(key, Shard::Entry{nullptr, inflight, {}, 0});
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+
+  std::shared_ptr<const Field> value;
+  try {
+    const ArchiveFieldInfo& info = reader->fields()[key.field];
+    // Anchor tiles resolve back through the cache, so a cross-field decode
+    // both reuses and populates the anchor's entries.
+    const TileFetch fetch = [this, &key, &reader](
+                                const ArchiveFieldInfo& anchor,
+                                std::size_t ord) {
+      const auto& fields = reader->fields();
+      const std::size_t idx = static_cast<std::size_t>(&anchor - fields.data());
+      if (idx >= fields.size())
+        throw InvalidArgument("TileCache: anchor info not from this archive");
+      return get_by_key(
+          reader, Key{key.archive, static_cast<std::uint32_t>(idx), ord});
+    };
+    value = std::make_shared<const Field>(
+        reader->read_tile(info, key.ordinal, fetch));
+  } catch (...) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    {
+      // Drop the pending entry so the next request retries the decode.
+      const std::lock_guard<std::mutex> relock(sh.m);
+      sh.map.erase(key);
+    }
+    {
+      const std::lock_guard<std::mutex> wait_lock(inflight->m);
+      inflight->done = true;
+      inflight->error = std::current_exception();
+    }
+    inflight->cv.notify_all();
+    throw;
+  }
+
+  const std::size_t entry_bytes =
+      value->size() * sizeof(float) + kEntryOverhead;
+  {
+    const std::lock_guard<std::mutex> relock(sh.m);
+    Shard::Entry& e = sh.map[key];  // still pending: only the leader resolves
+    e.value = value;
+    e.inflight.reset();
+    e.bytes = entry_bytes;
+    sh.lru.push_front(key);
+    e.lru_it = sh.lru.begin();
+    sh.bytes += entry_bytes;
+    // Evict cold tail entries down to budget. The entry just inserted is
+    // never the victim (it is at the front and the loop keeps >= 1 entry),
+    // so even a tile bigger than the whole budget serves from cache while
+    // it is the hot one.
+    while (sh.bytes > sh.budget && sh.lru.size() > 1) {
+      const Key victim = sh.lru.back();
+      const auto vit = sh.map.find(victim);
+      sh.bytes -= vit->second.bytes;
+      sh.map.erase(vit);
+      sh.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> wait_lock(inflight->m);
+    inflight->done = true;
+    inflight->value = value;
+  }
+  inflight->cv.notify_all();
+  return value;
+}
+
+TileCacheStats TileCache::stats() const {
+  TileCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n_shards_; ++i) {
+    Shard& sh = shards_[i];
+    const std::lock_guard<std::mutex> lock(sh.m);
+    s.entries += sh.lru.size();
+    s.bytes += sh.bytes;
+  }
+  return s;
+}
+
+}  // namespace xfc::server

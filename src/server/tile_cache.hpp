@@ -1,0 +1,121 @@
+#ifndef XFC_SERVER_TILE_CACHE_HPP
+#define XFC_SERVER_TILE_CACHE_HPP
+
+/// \file tile_cache.hpp
+/// Sharded, byte-budgeted LRU cache of decoded archive tiles — the memory
+/// layer of the XFS serving subsystem. Region queries touch the same hot
+/// tiles over and over; decoding a tile (entropy decode, CFNN cross-field
+/// reconstruction) costs milliseconds while copying a cached tile costs
+/// microseconds, so the cache is what turns the archive's random access
+/// into sub-millisecond repeat reads.
+///
+/// Keys are (archive, field, tile ordinal). Entries are immutable decoded
+/// tiles handed out as shared_ptr<const Field>, so eviction never
+/// invalidates a response that is still being assembled.
+///
+/// Single-flight: when N threads miss on the same cold tile, exactly one
+/// decodes it; the rest block on the in-flight entry and share the result.
+/// Cross-field tiles resolve their anchor tiles back through the cache
+/// (get() hands the reader a TileFetch bound to itself), so anchors are
+/// decoded once and shared too. The anchor graph is validated acyclic at
+/// add_archive() time, which is what guarantees the recursive gets — and
+/// the cross-thread single-flight waits that follow anchor edges — always
+/// terminate.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "archive/archive_reader.hpp"
+#include "core/field.hpp"
+
+namespace xfc::server {
+
+struct TileCacheConfig {
+  /// Target decoded-tile budget across all shards. A shard may transiently
+  /// exceed its slice while a response to an oversized tile is in flight.
+  std::size_t capacity_bytes = 256u << 20;
+  /// Lock shard count, used as-is (0 is clamped to 1; any count works —
+  /// keys map by hash modulo). More shards = less contention between
+  /// unrelated tiles; 8 is plenty below ~32 threads.
+  std::size_t shards = 8;
+};
+
+struct TileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;          // == decodes started
+  std::uint64_t evictions = 0;
+  std::uint64_t inflight_waits = 0;  // blocked on another thread's decode
+  std::uint64_t decode_errors = 0;
+  std::uint64_t entries = 0;         // current
+  std::uint64_t bytes = 0;           // current decoded-tile bytes
+};
+
+class TileCache {
+ public:
+  explicit TileCache(TileCacheConfig config = {});
+  ~TileCache();
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Registers an archive and returns the id used in keys. Validates the
+  /// anchor graph (throws CorruptStream on cycles/dangles — see file
+  /// comment). The reader is shared so it outlives any in-flight decode.
+  std::uint64_t add_archive(std::shared_ptr<const ArchiveReader> reader);
+
+  /// Returns the decoded tile, decoding at most once per key no matter how
+  /// many threads ask concurrently. Throws InvalidArgument for an unknown
+  /// archive/field/ordinal; decode failures propagate to every waiter and
+  /// are not cached (the next get retries).
+  std::shared_ptr<const Field> get(std::uint64_t archive_id,
+                                   const std::string& field,
+                                   std::size_t ordinal);
+
+  /// Hot-path overload: `field_index` is the position in the reader's
+  /// fields() (resolve once per request, not once per tile — the name
+  /// overload pays an O(fields) string scan on every call).
+  std::shared_ptr<const Field> get(std::uint64_t archive_id,
+                                   std::size_t field_index,
+                                   std::size_t ordinal);
+
+  /// Reader registered under `archive_id` (nullptr if unknown).
+  std::shared_ptr<const ArchiveReader> archive(std::uint64_t archive_id) const;
+
+  TileCacheStats stats() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Shard;
+  struct Key {
+    std::uint64_t archive = 0;
+    std::uint32_t field = 0;  // index into the reader's fields()
+    std::uint64_t ordinal = 0;
+    bool operator==(const Key&) const = default;
+  };
+
+  std::shared_ptr<const Field> get_by_key(
+      const std::shared_ptr<const ArchiveReader>& reader, const Key& key);
+  Shard& shard_for(const Key& key) const;
+
+  std::size_t capacity_bytes_;
+  std::size_t n_shards_;
+  std::unique_ptr<Shard[]> shards_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> inflight_waits_{0};
+  mutable std::atomic<std::uint64_t> decode_errors_{0};
+
+  // Registered archives; append-only under archives_mutex_.
+  mutable std::mutex archives_mutex_;
+  std::vector<std::shared_ptr<const ArchiveReader>> archives_;
+};
+
+}  // namespace xfc::server
+
+#endif  // XFC_SERVER_TILE_CACHE_HPP

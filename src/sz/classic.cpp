@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/utils.hpp"
+#include "encode/backend.hpp"
 #include "encode/huffman.hpp"
 #include "io/bitstream.hpp"
 #include "sz/container.hpp"
@@ -158,16 +159,16 @@ Field classic_decompress(std::span<const std::uint8_t> stream) {
     throw CorruptStream("classic_decompress: bad radius");
   const std::uint32_t escape = 2 * static_cast<std::uint32_t>(radius);
 
-  const auto payload_bytes = lossless_decompress(in.blob());
-  ByteReader payload(payload_bytes);
+  nn::Workspace& ws = nn::tls_workspace();
+  const nn::ScratchScope scratch(ws);
+  ByteReader payload(lossless_decompress_view(in.blob_view(), ws));
   const auto huffman = HuffmanCode::deserialize(payload);
   if (huffman.alphabet_size() != 2 * radius + 1)
     throw CorruptStream("classic_decompress: alphabet mismatch");
   const std::uint64_t n_outliers = payload.varint();
   std::vector<float> outliers(n_outliers);
   for (float& v : outliers) v = payload.f32();
-  const auto bits = payload.blob();
-  BitReader br(bits);
+  BitReader br(payload.blob_view());
 
   const double step = 2.0 * abs_eb;
   F32Array recon(shape);

@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "core/utils.hpp"
+#include "encode/backend.hpp"
 #include "quant/dual_quant.hpp"
 #include "sz/container.hpp"
 #include "sz/fused_encode.hpp"
@@ -308,17 +309,22 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
     throw CorruptStream("sz_decompress: bad quant radius");
 
   std::size_t reg_block = 0;
-  std::vector<std::uint8_t> flag_bits;
+  std::span<const std::uint8_t> flag_bits;
   RegressionPredictor reg = RegressionPredictor{};
   const bool has_regression = predictor == SzPredictor::kLorenzoRegression;
   if (has_regression) {
     reg_block = in.varint();
     if (reg_block < 2) throw CorruptStream("sz_decompress: bad block size");
-    flag_bits = in.blob();
+    flag_bits = in.blob_view();
     reg = RegressionPredictor::deserialize(in, shape);
   }
 
-  const auto payload = lossless_decompress(in.blob());
+  // Per-tile archive decodes hit this path thousands of times; the payload
+  // lands in the calling thread's scratch arena (or, for stored payloads,
+  // stays a zero-copy view of `stream`) instead of a fresh allocation.
+  nn::Workspace& ws = nn::tls_workspace();
+  const nn::ScratchScope scratch(ws);
+  const auto payload = lossless_decompress_view(in.blob_view(), ws);
   DeltaDecoder decoder(payload, static_cast<std::uint32_t>(radius));
 
   const LorenzoOrder order = predictor == SzPredictor::kLorenzo2

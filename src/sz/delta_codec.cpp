@@ -73,8 +73,7 @@ DeltaDecoder::DeltaDecoder(std::span<const std::uint8_t> payload,
     if (zz > UINT32_MAX) throw CorruptStream("DeltaDecoder: outlier overflow");
     outliers_.push_back(zigzag_decode(static_cast<std::uint32_t>(zz)));
   }
-  bits_ = in.blob();
-  reader_ = BitReader(bits_);
+  reader_ = BitReader(in.blob_view());
 }
 
 }  // namespace xfc

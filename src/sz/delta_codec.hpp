@@ -91,8 +91,7 @@ class DeltaDecoder {
   HuffmanCode huffman_;
   std::vector<std::int32_t> outliers_;
   std::size_t outlier_pos_ = 0;
-  std::vector<std::uint8_t> bits_;  // owned copy of the bitstream blob
-  BitReader reader_;
+  BitReader reader_;  // borrows the bitstream blob inside `payload`
   std::uint32_t escape_symbol_;
 };
 

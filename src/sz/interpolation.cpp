@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "core/error.hpp"
+#include "encode/backend.hpp"
 #include "quant/dual_quant.hpp"
 #include "sz/container.hpp"
 
@@ -184,7 +185,9 @@ Field interp_decompress(std::span<const std::uint8_t> stream) {
   if (radius < 2 || radius > (1u << 24))
     throw CorruptStream("interp_decompress: bad quant radius");
 
-  const auto payload = lossless_decompress(in.blob());
+  nn::Workspace& ws = nn::tls_workspace();
+  const nn::ScratchScope scratch(ws);
+  const auto payload = lossless_decompress_view(in.blob_view(), ws);
   DeltaDecoder decoder(payload, static_cast<std::uint32_t>(radius));
 
   I32Array codes(shape);

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
@@ -413,6 +415,61 @@ TEST(Archive, FileBackedWriteAndSeekingRead) {
   for (std::size_t i = 0; i < region.shape()[0]; ++i)
     for (std::size_t j = 0; j < region.shape()[1]; ++j)
       ASSERT_EQ(region.array()(i, j), full.array()(lo[0] + i, lo[1] + j));
+  std::remove(path.c_str());
+}
+
+TEST(Archive, ConcurrentReadsFromOneFileBackedReader) {
+  // Regression for the shared-fd seek+read race: RandomAccessFile used one
+  // seek cursor behind a mutex; tile reads now use positional pread, so
+  // many threads hammering one reader must all see the single-threaded
+  // bytes. (Pre-fix the mutex hid the race; this pins the contract so a
+  // future "optimization" back to a shared cursor fails loudly.)
+  const std::string path = ::testing::TempDir() + "xfc_test_archive_mt.xfa";
+  const Field f = smooth_field("fld", Shape{128, 128}, 77);
+  {
+    FileSink sink(path);
+    ArchiveWriter writer(sink);
+    ArchiveFieldOptions opts;
+    opts.tile = Shape{16, 16};  // 64 tiles: plenty of concurrent read_at
+    writer.add_field(f, opts);
+    writer.finish();
+  }
+  const ArchiveReader reader = ArchiveReader::open_file(path);
+  const Field expected = reader.read_field("fld");
+  const ArchiveFieldInfo& info = *reader.find("fld");
+
+  constexpr int kThreads = 8;
+  std::atomic<int> at_gate{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      at_gate.fetch_add(1);
+      while (at_gate.load() < kThreads) std::this_thread::yield();
+      // Mix whole-field (tile-parallel), region, and single-tile reads.
+      const Field full = reader.read_field("fld");
+      if (full.array() != expected.array()) failures.fetch_add(1);
+      const std::size_t lo[] = {static_cast<std::size_t>(8 * i), 24};
+      const std::size_t hi[] = {lo[0] + 40, 120};
+      const Field region = reader.read_region("fld", lo, hi);
+      for (std::size_t r = 0; r < 40 && failures.load() == 0; ++r)
+        for (std::size_t c = 0; c < 96; ++c)
+          if (region.array()(r, c) !=
+              expected.array()(lo[0] + r, 24 + c)) {
+            failures.fetch_add(1);
+            break;
+          }
+      const Field tile = reader.read_tile(info, static_cast<std::size_t>(i),
+                                          {});
+      const TileGrid grid(info.shape, info.tile);
+      if (tile.array() !=
+          extract_tile(expected.array(), grid.box(i)))
+        failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
   std::remove(path.c_str());
 }
 

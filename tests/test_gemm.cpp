@@ -288,5 +288,31 @@ TEST(WorkspaceArena, GrowsSlabWhenAskedForMore) {
   EXPECT_GE(ws.floats_reserved(), 4096u);
 }
 
+TEST(WorkspaceArena, TypedAcquiresShareTheSlabSequence) {
+  // The decode paths take bytes and int64 scratch from the same arena the
+  // NN path takes floats from; acquire order, not element type, names the
+  // slab.
+  Workspace ws;
+  std::uint8_t* bytes = nullptr;
+  std::int64_t* words = nullptr;
+  {
+    const ScratchScope scope(ws);
+    bytes = ws.acquire_bytes(1000);
+    words = ws.acquire_as<std::int64_t>(100);
+    ASSERT_NE(bytes, nullptr);
+    ASSERT_NE(words, nullptr);
+    for (std::size_t i = 0; i < 1000; ++i) bytes[i] = 0xAB;
+    for (std::size_t i = 0; i < 100; ++i) words[i] = -7;
+  }
+  {
+    const ScratchScope scope(ws);
+    // Same acquire order, same slabs — even at different types.
+    EXPECT_EQ(ws.acquire_as<float>(250),
+              reinterpret_cast<float*>(bytes));
+    EXPECT_EQ(ws.acquire_bytes(800), reinterpret_cast<std::uint8_t*>(words));
+  }
+  EXPECT_GE(ws.bytes_reserved(), 1000u + 100 * sizeof(std::int64_t));
+}
+
 }  // namespace
 }  // namespace xfc::nn

@@ -1,0 +1,622 @@
+// XFS serving-subsystem tests: the sharded decoded-tile cache (bit-identity
+// with direct reads, single-flight decode under contention, LRU eviction at
+// tiny budgets, anchor resolution through the cache), the per-tile decode
+// entry point, anchor-graph validation, and the HTTP layer (endpoints over
+// real loopback sockets, keep-alive/pipelining, and a malformed-request
+// fuzz suite that must answer clean 4xx/5xx without killing the server).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "archive/tile.hpp"
+#include "core/rng.hpp"
+#include "crossfield/crossfield.hpp"
+#include "server/http.hpp"
+#include "server/service.hpp"
+#include "server/tile_cache.hpp"
+#include "test_util.hpp"
+
+namespace xfc {
+namespace {
+
+using server::ArchiveService;
+using server::HttpClient;
+using server::HttpRequest;
+using server::HttpResponse;
+using server::HttpServer;
+using server::TileCache;
+using server::TileCacheConfig;
+
+Field smooth_field(const std::string& name, const Shape& shape,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  F32Array a(shape);
+  const std::size_t w = shape[shape.ndim() - 1];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(i % w) / 7.0;
+    const double y = static_cast<double>(i / w) / 11.0;
+    a[i] = static_cast<float>(std::sin(x) * std::cos(y) * 20.0 +
+                              rng.normal(0, 0.1));
+  }
+  return Field(name, std::move(a));
+}
+
+/// Archive with one field per codec, 32x32 tiles over a ragged 70x90 grid.
+std::shared_ptr<const ArchiveReader> make_multi_codec_archive(
+    std::vector<std::uint8_t>& storage) {
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{32, 32};
+  const std::pair<const char*, CodecId> codecs[] = {
+      {"f_sz", CodecId::kSz},
+      {"f_classic", CodecId::kSzClassic},
+      {"f_interp", CodecId::kInterp},
+      {"f_zfp", CodecId::kZfp},
+  };
+  std::uint64_t seed = 7;
+  for (const auto& [name, codec] : codecs) {
+    opts.codec = codec;
+    writer.add_field(smooth_field(name, Shape{70, 90}, seed++), opts);
+  }
+  writer.finish();
+  storage = sink.take();
+  return std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(storage));
+}
+
+/// Anchor pair + cross-field target (16x16 tiles, quick CFNN).
+std::shared_ptr<const ArchiveReader> make_cross_field_archive(
+    std::vector<std::uint8_t>& storage) {
+  const Shape shape{40, 48};
+  Rng rng(31);
+  Field target("TGT", F32Array(shape));
+  Field a0("A0", F32Array(shape));
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const double x = static_cast<double>(i % 48) / 6.0;
+    const double y = static_cast<double>(i / 48) / 9.0;
+    const double base = std::sin(x) * std::cos(y) * 15.0;
+    a0.array()[i] = static_cast<float>(base + rng.normal(0, 0.05));
+    target.array()[i] = static_cast<float>(0.8 * base + rng.normal(0, 0.05));
+  }
+  CfnnTrainOptions train;
+  train.epochs = 4;
+  train.patches_per_epoch = 16;
+  train.patch = 16;
+  train.batch = 8;
+  const CfnnModel model =
+      train_cross_field_model(target, {&a0}, CfnnConfig{8, 4, 3}, train);
+
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{16, 16};
+  opts.keep_reconstruction = true;
+  writer.add_field(a0, opts);
+  writer.add_cross_field(target, {"A0"}, model, opts);
+  writer.finish();
+  storage = sink.take();
+  return std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(storage));
+}
+
+HttpRequest region_request(const std::string& field, const std::string& lo,
+                           const std::string& hi,
+                           const std::string& fmt = "") {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/field/" + field + "/region";
+  req.query = "lo=" + lo + "&hi=" + hi;
+  if (!fmt.empty()) req.query += "&fmt=" + fmt;
+  return req;
+}
+
+std::string field_bytes(const Field& f) {
+  return std::string(reinterpret_cast<const char*>(f.data()),
+                     f.size() * sizeof(float));
+}
+
+// -- read_tile: the public per-tile decode entry point -----------------------
+
+TEST(ReadTile, MatchesFullDecodeCropPerCodec) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  for (const ArchiveFieldInfo& info : reader->fields()) {
+    const Field full = reader->read_field(info.name);
+    const TileGrid grid(info.shape, info.tile);
+    for (std::size_t t = 0; t < grid.num_tiles(); ++t) {
+      const Field tile = reader->read_tile(info, t, {});
+      const TileBox box = grid.box(t);
+      ASSERT_EQ(tile.shape(), box.extents);
+      const F32Array crop = extract_tile(full.array(), box);
+      ASSERT_EQ(tile.array(), crop) << info.name << " tile " << t;
+    }
+  }
+}
+
+TEST(ReadTile, CrossFieldResolvesAnchorsItself) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_cross_field_archive(storage);
+  const ArchiveFieldInfo& tgt = *reader->find("TGT");
+  const Field full = reader->read_field("TGT");
+  const TileGrid grid(tgt.shape, tgt.tile);
+  for (std::size_t t = 0; t < grid.num_tiles(); ++t) {
+    const Field tile = reader->read_tile(tgt, t, {});
+    ASSERT_EQ(tile.array(), extract_tile(full.array(), grid.box(t)));
+  }
+}
+
+TEST(ReadTile, RejectsOutOfRangeOrdinal) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  EXPECT_THROW(reader->read_tile("f_sz", 1u << 20), InvalidArgument);
+}
+
+// -- Anchor graph validation -------------------------------------------------
+
+ArchiveFieldInfo synthetic_field(const std::string& name,
+                                 std::vector<std::string> anchors) {
+  ArchiveFieldInfo f;
+  f.name = name;
+  f.shape = Shape{8, 8};
+  f.tile = Shape{8, 8};
+  f.anchors = std::move(anchors);
+  return f;
+}
+
+TEST(AnchorGraph, AcceptsDagsRejectsCyclesAndDangles) {
+  // Diamond DAG: D -> B -> A, D -> C -> A.
+  EXPECT_NO_THROW(validate_anchor_graph(
+      {synthetic_field("A", {}), synthetic_field("B", {"A"}),
+       synthetic_field("C", {"A"}), synthetic_field("D", {"B", "C"})}));
+
+  // Two-cycle.
+  EXPECT_THROW(validate_anchor_graph({synthetic_field("A", {"B"}),
+                                      synthetic_field("B", {"A"})}),
+               CorruptStream);
+
+  // Self-loop.
+  EXPECT_THROW(validate_anchor_graph({synthetic_field("A", {"A"})}),
+               CorruptStream);
+
+  // Dangling anchor reference.
+  EXPECT_THROW(validate_anchor_graph({synthetic_field("A", {"missing"})}),
+               CorruptStream);
+
+  // Shape mismatch between target and anchor.
+  auto big = synthetic_field("B", {"A"});
+  big.shape = Shape{16, 16};
+  EXPECT_THROW(validate_anchor_graph({synthetic_field("A", {}), big}),
+               CorruptStream);
+}
+
+// -- Tile cache --------------------------------------------------------------
+
+TEST(TileCacheTest, ServesBitIdenticalTilesAndCountsHits) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  TileCache cache(TileCacheConfig{8u << 20, 4});
+  const std::uint64_t id = cache.add_archive(reader);
+
+  const ArchiveFieldInfo& info = *reader->find("f_sz");
+  const Field direct = reader->read_tile(info, 3, {});
+  const auto cached = cache.get(id, "f_sz", 3);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->array(), direct.array());
+
+  // Second get is a hit returning the same object.
+  const auto again = cache.get(id, "f_sz", 3);
+  EXPECT_EQ(again.get(), cached.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  EXPECT_THROW(cache.get(id, "nope", 0), InvalidArgument);
+  EXPECT_THROW(cache.get(id, "f_sz", 1u << 20), InvalidArgument);
+  EXPECT_THROW(cache.get(id + 100, "f_sz", 0), InvalidArgument);
+}
+
+TEST(TileCacheTest, SingleFlightDecodesColdTileOnce) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  TileCache cache(TileCacheConfig{8u << 20, 4});
+  const std::uint64_t id = cache.add_archive(reader);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> at_gate{0};
+  std::vector<std::shared_ptr<const Field>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // Spin barrier so every thread requests the cold tile together.
+      at_gate.fetch_add(1);
+      while (at_gate.load() < kThreads) std::this_thread::yield();
+      results[i] = cache.get(id, "f_interp", 2);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(results[i].get(), results[0].get()) << "thread " << i;
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u) << "cold tile must decode exactly once";
+  EXPECT_EQ(stats.hits + stats.inflight_waits,
+            static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(results[0]->array(),
+            reader->read_tile(*reader->find("f_interp"), 2, {}).array());
+}
+
+TEST(TileCacheTest, LruEvictsAtTinyBudget) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  // Budget for roughly three 32x32 tiles; one shard so LRU order is global.
+  const std::size_t tile_bytes = 32 * 32 * sizeof(float);
+  TileCache cache(TileCacheConfig{3 * tile_bytes + 512, 1});
+  const std::uint64_t id = cache.add_archive(reader);
+
+  for (std::size_t t = 0; t < 6; ++t) cache.get(id, "f_sz", t);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 3 * tile_bytes + 512);
+  EXPECT_LT(stats.entries, 6u);
+
+  // Tile 0 was the coldest; it must have been evicted and re-decode.
+  cache.get(id, "f_sz", 0);
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 7u);
+
+  // The most recent tile (5) must still be resident.
+  cache.get(id, "f_sz", 5);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TileCacheTest, CrossFieldAnchorsResolveThroughCache) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_cross_field_archive(storage);
+  TileCache cache(TileCacheConfig{8u << 20, 2});
+  const std::uint64_t id = cache.add_archive(reader);
+
+  const ArchiveFieldInfo& tgt = *reader->find("TGT");
+  const Field direct = reader->read_tile(tgt, 1, {});
+  const auto cached = cache.get(id, "TGT", 1);
+  EXPECT_EQ(cached->array(), direct.array());
+
+  // Decoding the target tile populated its anchor tile too (2 misses: the
+  // target and one A0 tile — same grid geometry, so exactly one).
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // The anchor's tile is now a hit for direct anchor reads.
+  cache.get(id, "A0", 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+// -- Service endpoints (no sockets) ------------------------------------------
+
+class ServiceRegionPerCodec : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServiceRegionPerCodec, ResponseBytesMatchDirectReadRegion) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  ArchiveService service(reader);
+  const std::string field = GetParam();
+
+  // Tile-interior, tile-straddling, and edge-clipped (ragged tile) regions.
+  const struct {
+    const char* lo;
+    const char* hi;
+    std::size_t lo_v[2], hi_v[2];
+  } cases[] = {
+      {"34,36", "60,62", {34, 36}, {60, 62}},
+      {"0,0", "70,90", {0, 0}, {70, 90}},
+      {"65,80", "70,90", {65, 80}, {70, 90}},
+      {"31,31", "33,33", {31, 31}, {33, 33}},
+  };
+  for (const auto& c : cases) {
+    const HttpResponse resp =
+        service.handle(region_request(field, c.lo, c.hi));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    EXPECT_EQ(resp.content_type, "application/octet-stream");
+    const Field direct = reader->read_region(
+        field, std::span<const std::size_t>(c.lo_v, 2),
+        std::span<const std::size_t>(c.hi_v, 2));
+    EXPECT_EQ(resp.body, field_bytes(direct))
+        << field << " [" << c.lo << ") x [" << c.hi << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, ServiceRegionPerCodec,
+                         ::testing::Values("f_sz", "f_classic", "f_interp",
+                                           "f_zfp"));
+
+TEST(Service, CrossFieldRegionMatchesDirectReadRegion) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_cross_field_archive(storage);
+  ArchiveService service(reader);
+
+  const HttpResponse resp =
+      service.handle(region_request("TGT", "10,12", "30,40"));
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  const std::size_t lo[] = {10, 12}, hi[] = {30, 40};
+  EXPECT_EQ(resp.body, field_bytes(reader->read_region("TGT", lo, hi)));
+  EXPECT_GT(service.cache().stats().entries, 0u);
+}
+
+TEST(Service, ConcurrentColdRegionRequestsAgreeWithDirectRead) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_cross_field_archive(storage);
+  ArchiveService service(reader);
+  const std::size_t lo[] = {0, 0}, hi[] = {40, 48};
+  const std::string expected = field_bytes(reader->read_region("TGT", lo, hi));
+
+  constexpr int kThreads = 6;
+  std::atomic<int> at_gate{0};
+  std::vector<std::string> bodies(kThreads);
+  std::vector<int> statuses(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      at_gate.fetch_add(1);
+      while (at_gate.load() < kThreads) std::this_thread::yield();
+      const HttpResponse r =
+          service.handle(region_request("TGT", "0,0", "40,48"));
+      statuses[i] = r.status;
+      bodies[i] = r.body;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(statuses[i], 200);
+    EXPECT_EQ(bodies[i], expected) << "thread " << i;
+  }
+  // Single-flight: each TGT tile and each anchor tile decoded exactly once
+  // (same 16x16 grid on both fields => 2 * num_tiles misses).
+  const TileGrid grid(Shape{40, 48}, Shape{16, 16});
+  EXPECT_EQ(service.cache().stats().misses, 2 * grid.num_tiles());
+}
+
+TEST(Service, JsonFormatAndValidation) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  ArchiveService service(reader);
+
+  const HttpResponse json =
+      service.handle(region_request("f_sz", "0,0", "2,2", "json"));
+  ASSERT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"shape\": [2,2]"), std::string::npos);
+  EXPECT_NE(json.body.find("\"values\": ["), std::string::npos);
+
+  // /fields lists every field with its geometry.
+  HttpRequest fields_req;
+  fields_req.method = "GET";
+  fields_req.path = "/fields";
+  const HttpResponse fields = service.handle(fields_req);
+  ASSERT_EQ(fields.status, 200);
+  for (const char* name : {"f_sz", "f_classic", "f_interp", "f_zfp"})
+    EXPECT_NE(fields.body.find(name), std::string::npos);
+  EXPECT_NE(fields.body.find("\"shape\": [70,90]"), std::string::npos);
+
+  // Bad requests answer 4xx, never throw.
+  EXPECT_EQ(service.handle(region_request("nope", "0,0", "2,2")).status, 404);
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0", "99,99")).status,
+            400);
+  EXPECT_EQ(service.handle(region_request("f_sz", "5,5", "5,5")).status, 400);
+  EXPECT_EQ(service.handle(region_request("f_sz", "0", "2,2")).status, 400);
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0,0", "2,2,2")).status,
+            400);
+  EXPECT_EQ(service.handle(region_request("f_sz", "a,b", "2,2")).status, 400);
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0", "2,2", "xml")).status,
+            400);
+  HttpRequest post = region_request("f_sz", "0,0", "2,2");
+  post.method = "POST";
+  EXPECT_EQ(service.handle(post).status, 405);
+}
+
+TEST(Service, RegionResponseSizeIsCapped) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  server::ServiceConfig config;
+  config.max_region_values = 1000;  // 70x90 field = 6300 values
+  config.max_json_values = 16;
+  ArchiveService service(reader, config);
+
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0", "70,90")).status,
+            413);
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0", "5,5", "json"))
+                .status,
+            413);
+  // Within the caps both formats still serve.
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0", "20,20")).status,
+            200);
+  EXPECT_EQ(service.handle(region_request("f_sz", "0,0", "4,4", "json"))
+                .status,
+            200);
+}
+
+// -- HTTP over real loopback sockets -----------------------------------------
+
+struct LoopbackServer {
+  std::vector<std::uint8_t> storage;
+  std::shared_ptr<const ArchiveReader> reader;
+  std::unique_ptr<ArchiveService> service;
+  std::unique_ptr<HttpServer> http;
+
+  LoopbackServer() {
+    reader = make_multi_codec_archive(storage);
+    service = std::make_unique<ArchiveService>(reader);
+    server::HttpConfig config;
+    config.max_request_bytes = 16u << 10;
+    http = std::make_unique<HttpServer>(
+        config,
+        [this](const HttpRequest& r) { return service->handle(r); });
+    http->start();
+  }
+  ~LoopbackServer() { http->stop(); }
+  std::uint16_t port() const { return http->port(); }
+};
+
+TEST(Http, ServesEndpointsOverLoopback) {
+  LoopbackServer s;
+  HttpClient client("127.0.0.1", s.port());
+
+  EXPECT_EQ(client.get("/healthz").status, 200);
+
+  const auto fields = client.get("/fields");
+  EXPECT_EQ(fields.status, 200);
+  EXPECT_EQ(fields.content_type, "application/json");
+  EXPECT_NE(fields.body.find("f_interp"), std::string::npos);
+
+  // The acceptance pin: HTTP region bytes == ArchiveReader::read_region.
+  const auto region = client.get("/field/f_sz/region?lo=10,20&hi=50,70");
+  ASSERT_EQ(region.status, 200);
+  const std::size_t lo[] = {10, 20}, hi[] = {50, 70};
+  EXPECT_EQ(region.body, field_bytes(s.reader->read_region("f_sz", lo, hi)));
+
+  // Repeat request is served from cache, still identical.
+  const auto warm = client.get("/field/f_sz/region?lo=10,20&hi=50,70");
+  EXPECT_EQ(warm.body, region.body);
+  EXPECT_GT(s.service->cache().stats().hits, 0u);
+
+  const auto stats = client.get("/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"cache\""), std::string::npos);
+
+  EXPECT_EQ(client.get("/nope").status, 404);
+  EXPECT_EQ(client.get("/field/f_sz/region?lo=0,0&hi=999,999").status, 400);
+
+  const auto hs = s.http->stats();
+  EXPECT_GE(hs.requests, 7u);
+  EXPECT_EQ(hs.bad_requests, 0u);
+}
+
+TEST(Http, KeepAliveServesManyRequestsOnOneConnection) {
+  LoopbackServer s;
+  HttpClient client("127.0.0.1", s.port());
+  for (int i = 0; i < 32; ++i)
+    ASSERT_EQ(client.get("/healthz").status, 200) << "request " << i;
+  // One client, one connection: keep-alive actually held.
+  EXPECT_EQ(s.http->stats().accepted, 1u);
+}
+
+TEST(Http, PipelinedRequestsEachGetAResponse) {
+  LoopbackServer s;
+  const std::string two =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  const std::string reply = server::http_raw_exchange("127.0.0.1", s.port(), two);
+  std::size_t count = 0, pos = 0;
+  while ((pos = reply.find("HTTP/1.1 200", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Http, FuzzMalformedRequestsAnswerCleanErrorsAndServerSurvives) {
+  LoopbackServer s;
+
+  const struct {
+    const char* name;
+    std::string payload;
+    const char* expect_prefix;  // "" = connection close with no bytes is ok
+  } cases[] = {
+      {"not-http", "garbage\r\n\r\n", "HTTP/1.1 400"},
+      {"spaces-only", "   \r\n\r\n", "HTTP/1.1 400"},
+      {"bad-version", "GET / HTTP/9.9\r\n\r\n", "HTTP/1.1 505"},
+      {"not-http-at-all", "SSH-2.0-OpenSSH_9.0\r\n\r\n", "HTTP/1.1 400"},
+      {"ctl-in-method", std::string("G\x01T / HTTP/1.1\r\n\r\n"),
+       "HTTP/1.1 400"},
+      {"no-target", "GET HTTP/1.1\r\n\r\n", "HTTP/1.1 400"},
+      {"relative-target", "GET nope HTTP/1.1\r\n\r\n", "HTTP/1.1 400"},
+      {"bad-escape", "GET /%zz HTTP/1.1\r\n\r\n", "HTTP/1.1 400"},
+      {"obs-fold", "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n", "HTTP/1.1 400"},
+      {"colonless-header", "GET / HTTP/1.1\r\nnope\r\n\r\n", "HTTP/1.1 400"},
+      {"bad-content-length",
+       "GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", "HTTP/1.1 400"},
+      {"huge-content-length",
+       "GET / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", "HTTP/1.1 413"},
+      {"chunked", "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       "HTTP/1.1 501"},
+      {"dup-content-length",
+       "GET / HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 4\r\n\r\n",
+       "HTTP/1.1 400"},
+      {"long-target",
+       "GET /" + std::string(20000, 'a') + " HTTP/1.1\r\n\r\n",
+       "HTTP/1.1 414"},
+      {"oversized-headers",
+       "GET / HTTP/1.1\r\n" +
+           [] {
+             std::string h;
+             for (int i = 0; i < 200; ++i)
+               h += "X-Pad-" + std::to_string(i) + ": " +
+                    std::string(400, 'y') + "\r\n";
+             return h;
+           }() +
+           "\r\n",
+       "HTTP/1.1 431"},
+      {"truncated", "GET /healthz HT", ""},
+      {"empty", "", ""},
+      {"nul-bytes", std::string("\0\0\0\0", 4), ""},
+  };
+
+  for (const auto& c : cases) {
+    const std::string reply =
+        server::http_raw_exchange("127.0.0.1", s.port(), c.payload);
+    if (c.expect_prefix[0] == '\0') {
+      EXPECT_TRUE(reply.empty() || reply.rfind("HTTP/1.1 4", 0) == 0)
+          << c.name << " got: " << reply.substr(0, 40);
+    } else {
+      EXPECT_EQ(reply.rfind(c.expect_prefix, 0), 0u)
+          << c.name << " got: " << reply.substr(0, 40);
+    }
+    // The server must survive every one of these and keep serving.
+    HttpClient probe("127.0.0.1", s.port());
+    ASSERT_EQ(probe.get("/healthz").status, 200) << "dead after " << c.name;
+  }
+  EXPECT_GT(s.http->stats().bad_requests, 0u);
+}
+
+TEST(Http, ConcurrentClientsGetConsistentRegions) {
+  LoopbackServer s;
+  const std::size_t lo[] = {0, 0}, hi[] = {70, 90};
+  const std::string expected =
+      field_bytes(s.reader->read_region("f_classic", lo, hi));
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      HttpClient client("127.0.0.1", s.port());
+      for (int r = 0; r < 4; ++r) {
+        const auto resp =
+            client.get("/field/f_classic/region?lo=0,0&hi=70,90");
+        if (resp.status != 200 || resp.body != expected) ++failures[i];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) EXPECT_EQ(failures[i], 0);
+
+  // 70x90 over 32x32 tiles = 9 tiles; every one decoded exactly once.
+  EXPECT_EQ(s.service->cache().stats().misses, 9u);
+}
+
+}  // namespace
+}  // namespace xfc
