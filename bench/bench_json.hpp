@@ -45,10 +45,25 @@ inline double now_ms() {
       .count();
 }
 
+/// Process-wide measurement budget. Benches run each stage until both
+/// limits are met; the bench-smoke ctest drops them to one iteration so the
+/// bench binaries stay exercised by CI without CI paying bench runtimes.
+inline double& bench_min_ms() {
+  static double v = 300.0;
+  return v;
+}
+inline int& bench_min_iters() {
+  static int v = 3;
+  return v;
+}
+
 /// Runs fn() until at least `min_ms` of wall clock and `min_iters` calls
-/// have elapsed; returns mean wall milliseconds per call.
+/// have elapsed (defaults: the process-wide budget above); returns mean
+/// wall milliseconds per call.
 template <class F>
-double time_ms(F&& fn, double min_ms = 300.0, int min_iters = 3) {
+double time_ms(F&& fn, double min_ms = -1.0, int min_iters = -1) {
+  if (min_ms < 0.0) min_ms = bench_min_ms();
+  if (min_iters < 0) min_iters = bench_min_iters();
   // One untimed warmup call settles lazy initialisation (thread pool,
   // scratch arenas, page faults on freshly allocated buffers).
   fn();

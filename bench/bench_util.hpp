@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "cfnn/difference.hpp"
 #include "crossfield/crossfield.hpp"
 #include "data/dataset.hpp"
@@ -32,6 +33,7 @@ namespace xfc::bench {
 
 struct BenchOptions {
   bool full = false;
+  bool smoke = false;  // 1 iteration per stage (the bench-smoke ctest)
   std::uint64_t seed = 2024;
   std::string outdir = "xfc_artifacts";
 };
@@ -42,14 +44,20 @@ inline BenchOptions parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--full") {
       opt.full = true;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       opt.seed = std::stoull(argv[++i]);
     } else if (arg == "--outdir" && i + 1 < argc) {
       opt.outdir = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("flags: --full  --seed N  --outdir DIR\n");
+      std::printf("flags: --full  --smoke  --seed N  --outdir DIR\n");
       std::exit(0);
     }
+  }
+  if (opt.smoke) {
+    bench_min_ms() = 0.0;
+    bench_min_iters() = 1;
   }
   std::filesystem::create_directories(opt.outdir);
   return opt;

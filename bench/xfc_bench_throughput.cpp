@@ -18,6 +18,7 @@
 #include "data/dataset.hpp"
 #include "encode/huffman.hpp"
 #include "encode/miniflate.hpp"
+#include "nn/attention.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "predict/lorenzo.hpp"
@@ -97,6 +98,21 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < data.size(); ++i)
       data[i] = static_cast<std::uint8_t>(
           (i % 251) ^ (rng.uniform() < 0.05 ? rng.next_u64() : 0));
+    // Compress-only: the hash-chain matcher — the dominant cost of
+    // archive_write and of every payload the kAuto gate deflates.
+    json.add("miniflate_compress",
+             time_ms([&] { miniflate_compress(data); }),
+             static_cast<double>(data.size()));
+    json.add("miniflate_compress_fast",
+             time_ms([&] {
+               miniflate_compress(data, MiniflateLevel::kFast);
+             }),
+             static_cast<double>(data.size()));
+    json.add("miniflate_compress_best",
+             time_ms([&] {
+               miniflate_compress(data, MiniflateLevel::kBest);
+             }),
+             static_cast<double>(data.size()));
     json.add("miniflate_roundtrip",
              time_ms([&] {
                auto c = miniflate_compress(data);
@@ -168,6 +184,19 @@ int main(int argc, char** argv) {
   }
 
   print_header("CFNN compute core  [4->3 ch, hidden 8, k3, 256x256 slice]");
+
+  {
+    // ChannelAttention in isolation, at the paper-scale channel width (96
+    // channels, reduction 8): per-plane avg/max pooling + shared MLP +
+    // sigmoid rescale — the reduction-bound stage of CFNN forward.
+    Rng arng(6);
+    nn::ChannelAttention attn(96, 8, arng);
+    nn::Tensor ax(1, 96, 128, 128);
+    for (auto& v : ax.vec()) v = static_cast<float>(arng.normal());
+    json.add("channel_attention",
+             time_ms([&] { attn.infer(ax); }),
+             static_cast<double>(ax.size()) * sizeof(float));
+  }
 
   {
     // Inference geometry mirroring a Hurricane Wf <- {Uf,Vf,Pf} target on a

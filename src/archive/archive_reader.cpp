@@ -295,6 +295,9 @@ Field ArchiveReader::decode_full(const ArchiveFieldInfo& info,
       anchor_tiles.emplace_back(a->name(), extract_tile(a->array(), box));
     for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
 
+    // tile_bytes() verified the archive tile CRC over this exact body, so
+    // the container's inner CRC is redundant — skip it.
+    const TrustedParseScope trusted;
     const Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
     if (tile.shape() != box.extents)
       throw CorruptStream("archive: tile shape disagrees with the index");
@@ -369,6 +372,7 @@ Field ArchiveReader::decode_region(const ArchiveFieldInfo& info,
     }
     for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
 
+    const TrustedParseScope trusted;  // archive tile CRC subsumes the inner
     const Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
     if (tile.shape() != box.extents)
       throw CorruptStream("archive: tile shape disagrees with the index");
@@ -407,6 +411,7 @@ Field ArchiveReader::decode_tile_impl(const ArchiveFieldInfo& info,
   }
 
   const auto body = tile_bytes(info, ordinal);
+  const TrustedParseScope trusted;  // archive tile CRC subsumes the inner
   Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
   if (tile.shape() != box.extents)
     throw CorruptStream("archive: tile shape disagrees with the index");

@@ -138,7 +138,9 @@ void ArchiveWriter::write_tiles(const Field& field,
       if (keep) {
         // The retained reconstruction is the decode of the bytes just
         // produced — exact for every codec (zfp included), so targets
-        // anchored on this field see the decoder's bytes.
+        // anchored on this field see the decoder's bytes. The bytes never
+        // left this stack frame, so the container CRC proves nothing here.
+        const TrustedParseScope trusted;
         const Field dec =
             archive_decode_tile(bodies[t - lo], entry.codec, anchor_ptrs);
         insert_tile(recon, box, dec.array());

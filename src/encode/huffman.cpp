@@ -249,6 +249,33 @@ void HuffmanCode::build_tables(bool build_encode) {
     for (std::uint32_t j = 0; j < span; ++j)
       root_[base + j] = RootEntry{s, static_cast<std::uint8_t>(l)};
   }
+
+  // Two-symbol root table: wherever the first code leaves room inside the
+  // same kRootBits window, resolve the following code too, so decode_pair
+  // serves two symbols per peek. Built off root_, one lookup per prefix —
+  // but only for decode-side (deserialized) codebooks: encoders build a
+  // codebook per tile and never pair-decode with it, and decode_pair
+  // degrades gracefully (single root lookup) when the table is absent.
+  pair_.clear();
+  unsigned min_len = max_len_;
+  for (unsigned l = 1; l <= max_len_; ++l)
+    if (count_[l] != 0) {
+      min_len = l;
+      break;
+    }
+  if (!build_encode && max_len_ > 0 && 2 * min_len <= kRootBits) {
+    constexpr std::uint32_t kMask = (1u << kRootBits) - 1;
+    pair_.assign(std::size_t{1} << kRootBits, PairEntry{0, 0, 0});
+    for (std::size_t idx = 0; idx < pair_.size(); ++idx) {
+      const RootEntry e1 = root_[idx];
+      if (e1.length == 0 || e1.length >= kRootBits) continue;
+      const RootEntry e2 =
+          root_[(static_cast<std::uint32_t>(idx) << e1.length) & kMask];
+      if (e2.length == 0 || e1.length + e2.length > kRootBits) continue;
+      pair_[idx] = PairEntry{e1.symbol, e2.symbol,
+                             static_cast<std::uint8_t>(e1.length + e2.length)};
+    }
+  }
 }
 
 void HuffmanCode::encode_all(BitWriter& bw,
@@ -298,7 +325,10 @@ void HuffmanCode::serialize(ByteWriter& out) const {
   }
 }
 
-HuffmanCode HuffmanCode::deserialize(ByteReader& in) {
+namespace {
+
+/// Parses the serialized length array (shared by both deserialize paths).
+std::vector<std::uint8_t> parse_lengths(ByteReader& in) {
   const std::uint64_t n = in.varint();
   if (n > (std::uint64_t{1} << 28))
     throw CorruptStream("HuffmanCode::deserialize: absurd alphabet size");
@@ -311,7 +341,55 @@ HuffmanCode HuffmanCode::deserialize(ByteReader& in) {
       throw CorruptStream("HuffmanCode::deserialize: bad run length");
     lengths.insert(lengths.end(), run, len);
   }
-  return HuffmanCode(std::move(lengths), /*build_encode=*/false);
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCode HuffmanCode::deserialize(ByteReader& in) {
+  return HuffmanCode(parse_lengths(in), /*build_encode=*/false);
+}
+
+std::shared_ptr<const HuffmanCode> HuffmanCode::deserialize_cached(
+    ByteReader& in) {
+  // Per-thread cache keyed by the serialized bytes themselves (they are
+  // run-length packed, so keys are tens of bytes). Tiles of one archive
+  // field typically share one codebook; with N pool workers the canonical
+  // tables build O(N) times per field instead of once per tile. Thread
+  // locality keeps the decode hot path lock-free.
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<std::uint8_t> key;
+    std::shared_ptr<const HuffmanCode> code;
+  };
+  constexpr std::size_t kCacheSlots = 64;
+  thread_local std::vector<Entry> cache;
+  thread_local std::size_t next_slot = 0;
+
+  const std::size_t mark = in.position();
+  auto lengths = parse_lengths(in);
+  const auto key = in.consumed_since(mark);
+
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a
+  for (const std::uint8_t b : key) h = (h ^ b) * 1099511628211ull;
+
+  for (const Entry& e : cache) {
+    if (e.hash != h || e.key.size() != key.size()) continue;
+    if (std::memcmp(e.key.data(), key.data(), key.size()) == 0) return e.code;
+  }
+
+  auto built = std::make_shared<const HuffmanCode>(
+      HuffmanCode(std::move(lengths), /*build_encode=*/false));
+  if (cache.size() < kCacheSlots) {
+    cache.push_back(Entry{h, {key.begin(), key.end()}, built});
+  } else {
+    // Ring replacement: cheap, and pathological workloads (more than
+    // kCacheSlots distinct codebooks in flight per thread) only lose the
+    // amortisation, never correctness.
+    cache[next_slot] = Entry{h, {key.begin(), key.end()}, built};
+    next_slot = (next_slot + 1) % kCacheSlots;
+  }
+  return built;
 }
 
 }  // namespace xfc

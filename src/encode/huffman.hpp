@@ -11,6 +11,7 @@
 /// need to be serialised.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -75,11 +76,48 @@ class HuffmanCode {
       const RootEntry e =
           root_[static_cast<std::size_t>(br.peek_bits(kRootBits))];
       if (e.length != 0 && e.length <= remaining) {
-        br.skip_bits(e.length);
+        br.skip_bits_verified(e.length);
         return e.symbol;
       }
     }
     return decode_slow(br);
+  }
+
+  /// Batched decode: reads one or two symbols with a single peek and
+  /// returns how many were read (s2 is set only when 2). Two adjacent
+  /// codes resolve together whenever both fit the kRootBits window — the
+  /// common case for the dense low-entropy alphabets of the delta codec —
+  /// halving the per-symbol peek/skip overhead. Callers whose first symbol
+  /// may be followed by non-Huffman bits (miniflate's length extra bits)
+  /// pass `first_limit`: a pair is only consumed when s1 < first_limit,
+  /// so the second code is guaranteed to sit flush against the first.
+  unsigned decode_pair(BitReader& br, std::uint32_t& s1, std::uint32_t& s2,
+                       std::uint32_t first_limit = UINT32_MAX) const {
+    const std::size_t remaining = br.remaining();
+    if (remaining >= 1 && max_len_ != 0) {
+      // One peek serves both outcomes: the pair table and the single-symbol
+      // root table index the same kRootBits window, so a pair miss costs
+      // nothing over a plain decode().
+      const auto idx = static_cast<std::size_t>(br.peek_bits(kRootBits));
+      if (!pair_.empty()) {
+        const PairEntry p = pair_[idx];
+        if (p.total_length != 0 && p.total_length <= remaining &&
+            p.sym1 < first_limit) {
+          br.skip_bits_verified(p.total_length);
+          s1 = p.sym1;
+          s2 = p.sym2;
+          return 2;
+        }
+      }
+      const RootEntry e = root_[idx];
+      if (e.length != 0 && e.length <= remaining) {
+        br.skip_bits_verified(e.length);
+        s1 = e.symbol;
+        return 1;
+      }
+    }
+    s1 = decode(br);
+    return 1;
   }
 
   /// Exact encoded size in bits of `symbol`.
@@ -94,6 +132,13 @@ class HuffmanCode {
   /// rebuild a codebook per tile. Calling encode on it throws.
   static HuffmanCode deserialize(ByteReader& in);
 
+  /// Like deserialize(), but served from a small per-thread cache keyed by
+  /// the serialized codebook bytes: archive tiles of one field usually
+  /// carry identical codebooks, so the canonical tables build once per
+  /// (thread, field) instead of once per tile. The returned codebook is
+  /// immutable and safe to share.
+  static std::shared_ptr<const HuffmanCode> deserialize_cached(ByteReader& in);
+
  private:
   /// Prefix width of the single-peek root decode table.
   static constexpr unsigned kRootBits = 11;
@@ -101,6 +146,13 @@ class HuffmanCode {
   struct RootEntry {
     std::uint32_t symbol;
     std::uint8_t length;  // 0: code longer than kRootBits (slow path)
+  };
+
+  /// Two-symbol root table: both codes of a pair resolved by one peek.
+  struct PairEntry {
+    std::uint32_t sym1;
+    std::uint32_t sym2;
+    std::uint8_t total_length;  // 0: no complete pair under this prefix
   };
 
   HuffmanCode(std::vector<std::uint8_t> lengths, bool build_encode);
@@ -111,6 +163,7 @@ class HuffmanCode {
   std::uint32_t decode_slow(BitReader& br) const;
 
   std::vector<RootEntry> root_;              // fast decode table
+  std::vector<PairEntry> pair_;              // two-symbol fast decode table
   std::vector<std::uint8_t> lengths_;        // per-symbol code length
   std::vector<std::uint32_t> codes_;         // per-symbol canonical code
   // Canonical decode tables, indexed by code length 1..max:

@@ -4,11 +4,14 @@
 #include <array>
 #include <bit>
 #include <cstring>
+#include <memory>
 
 #include "core/error.hpp"
+#include "core/utils.hpp"
 #include "encode/huffman.hpp"
 #include "io/bitstream.hpp"
 #include "io/bytebuffer.hpp"
+#include "nn/workspace.hpp"
 
 namespace xfc {
 namespace {
@@ -16,7 +19,7 @@ namespace {
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = 258;
 constexpr std::size_t kWindow = std::size_t{1} << 16;
-constexpr unsigned kHashBits = 15;
+constexpr unsigned kHashBits = 16;
 constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
 
 constexpr std::uint32_t kEob = 256;
@@ -68,120 +71,229 @@ std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-std::size_t max_chain_for(MiniflateLevel level) {
-  switch (level) {
-    case MiniflateLevel::kFast: return 8;
-    case MiniflateLevel::kDefault: return 64;
-    case MiniflateLevel::kBest: return 512;
-  }
-  return 64;
+std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
 }
 
-/// Longest match at `pos` against an earlier position from the hash chain.
-std::size_t match_length(std::span<const std::uint8_t> in, std::size_t pos,
-                         std::size_t cand, std::size_t limit) {
+/// Per-level parser tuning (the shape of zlib's per-level table).
+/// `nice_len` stops a chain search once a match this long is found;
+/// `good_len` quarters the chain budget when the search is only trying to
+/// improve an already-good match; `max_lazy` disables the lookahead search
+/// for matches already at least this long; `insert_cap` (greedy parse
+/// only) skips chain inserts inside matches longer than it — repetitive
+/// inputs would otherwise spend their time maintaining chains nobody
+/// searches.
+struct LevelParams {
+  std::size_t max_chain;
+  std::size_t nice_len;
+  std::size_t good_len;
+  std::size_t max_lazy;
+  std::size_t insert_cap;
+  bool lazy;
+};
+
+LevelParams params_for(MiniflateLevel level) {
+  switch (level) {
+    case MiniflateLevel::kFast: return {8, 32, 4, 0, 32, false};
+    case MiniflateLevel::kDefault: return {48, 128, 8, 16, 0, true};
+    case MiniflateLevel::kBest: return {256, kMaxMatch, 32, kMaxMatch, 0, true};
+  }
+  return {48, 128, 8, 16, 0, true};
+}
+
+/// Length of the common prefix of `a` and `b`, up to `limit` — eight bytes
+/// per step through unaligned 64-bit loads; the XOR's first set bit locates
+/// the mismatching byte.
+std::size_t match_extend(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t limit) {
   std::size_t n = 0;
-  while (n < limit && in[cand + n] == in[pos + n]) ++n;
+  while (n + 8 <= limit) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + n, 8);
+    std::memcpy(&y, b + n, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff != 0) {
+      if constexpr (std::endian::native == std::endian::little)
+        return n + (static_cast<unsigned>(std::countr_zero(diff)) >> 3);
+      else
+        return n + (static_cast<unsigned>(std::countl_zero(diff)) >> 3);
+    }
+    n += 8;
+  }
+  while (n < limit && a[n] == b[n]) ++n;
   return n;
 }
 
-std::vector<Token> lz_parse(std::span<const std::uint8_t> in,
-                            MiniflateLevel level) {
-  std::vector<Token> tokens;
-  tokens.reserve(in.size() / 3 + 16);
-  const std::size_t max_chain = max_chain_for(level);
+/// LZ-parses one independent block into `out` (caller guarantees room for
+/// one token per input byte); returns the token count. Hash-chain state
+/// lives in the calling thread's scratch arena, so steady-state compress
+/// loops (the archive writer's tile batches, the kAuto gate) allocate
+/// nothing. Positions are block-relative and fit int32 because blocks are
+/// capped at kMiniflateSplitBlock by the callers.
+std::size_t lz_parse_block(std::span<const std::uint8_t> in,
+                           const LevelParams& P, Token* out) {
+  const std::uint8_t* const base = in.data();
+  const std::size_t n = in.size();
 
-  std::vector<std::int64_t> head(kHashSize, -1);
-  std::vector<std::int64_t> prev(in.size(), -1);
+  nn::Workspace& ws = nn::tls_workspace();
+  const nn::ScratchScope scratch(ws);
+  std::int32_t* head = ws.acquire_as<std::int32_t>(kHashSize);
+  std::int32_t* prev = ws.acquire_as<std::int32_t>(n);
+  std::memset(head, 0xff, kHashSize * sizeof(std::int32_t));
+  // `prev` needs no init: prev[c] is read only for positions already
+  // threaded into a chain, and inserting writes prev[c] first.
 
-  auto find_best = [&](std::size_t pos) -> std::pair<std::size_t, std::size_t> {
-    // returns (best_len, best_dist); best_len == 0 means no match
-    if (pos + kMinMatch > in.size()) return {0, 0};
-    const std::size_t limit = std::min(kMaxMatch, in.size() - pos);
-    std::size_t best_len = kMinMatch - 1;
+  // Only matches strictly longer than `min_len` are reported (the lazy
+  // lookahead seeds it with the current match so almost every candidate
+  // dies on the single-byte reject); returns (best_len, best_dist),
+  // best_len == 0 meaning no (improving) match.
+  auto find_best = [&](std::size_t pos,
+                       std::size_t min_len) -> std::pair<std::size_t,
+                                                         std::size_t> {
+    if (pos + kMinMatch > n) return {0, 0};
+    const std::size_t limit = std::min(kMaxMatch, n - pos);
+    std::size_t best_len = std::max(kMinMatch - 1, min_len);
+    if (best_len >= limit) return {0, 0};
+    const std::uint8_t* const cur = base + pos;
+    const std::uint32_t first4 = load32(cur);
     std::size_t best_dist = 0;
-    std::int64_t cand = head[hash4(in.data() + pos)];
-    std::size_t chain = 0;
-    while (cand >= 0 && chain < max_chain) {
+    std::int32_t cand = head[hash4(cur)];
+    std::size_t chain = P.max_chain;
+    if (best_len >= P.good_len) chain >>= 2;
+    while (cand >= 0 && chain-- > 0) {
       const std::size_t c = static_cast<std::size_t>(cand);
       if (pos - c > kWindow) break;
-      if (in[c + best_len] == in[pos + best_len]) {
-        const std::size_t len = match_length(in, pos, c, limit);
+      const std::uint8_t* const cp = base + c;
+      // Two cheap rejects before the real extension: the four bytes ending
+      // where an improving match must still agree (one wider than zlib's
+      // single-byte check — it also kills near-miss candidates whose
+      // mismatch sits just before best_len), and the four bytes the hash
+      // hashed (collisions and stale chains fail here).
+      if (load32(cp + best_len - 3) == load32(cur + best_len - 3) &&
+          load32(cp) == first4) {
+        const std::size_t len = match_extend(cp, cur, limit);
         if (len > best_len) {
           best_len = len;
           best_dist = pos - c;
-          if (len == limit) break;
+          if (len >= P.nice_len || len == limit) break;
+          if (len >= P.good_len) chain >>= 2;
         }
       }
       cand = prev[c];
-      ++chain;
     }
-    return best_len >= kMinMatch ? std::make_pair(best_len, best_dist)
-                                 : std::make_pair(std::size_t{0},
-                                                  std::size_t{0});
+    return best_dist != 0 ? std::make_pair(best_len, best_dist)
+                          : std::make_pair(std::size_t{0}, std::size_t{0});
   };
 
-  // Every position is inserted into the hash chains exactly once, in order,
-  // just before any search that could reference it.
+  // Every searched position is inserted into the hash chains exactly once,
+  // in order, just before any search that could reference it. (The greedy
+  // parse may skip positions entirely; skipped positions are never on a
+  // chain, so their prev slots are never read.)
+  const std::size_t insert_stop = n >= kMinMatch ? n - kMinMatch + 1 : 0;
   std::size_t next_to_insert = 0;
   auto insert_up_to = [&](std::size_t end) {
-    for (; next_to_insert < end; ++next_to_insert) {
-      if (next_to_insert + 4 > in.size()) continue;
-      const std::uint32_t h = hash4(in.data() + next_to_insert);
+    const std::size_t stop = std::min(end, insert_stop);
+    for (; next_to_insert < stop; ++next_to_insert) {
+      const std::uint32_t h = hash4(base + next_to_insert);
       prev[next_to_insert] = head[h];
-      head[h] = static_cast<std::int64_t>(next_to_insert);
+      head[h] = static_cast<std::int32_t>(next_to_insert);
     }
+    if (end > next_to_insert) next_to_insert = end;
   };
 
   std::size_t pos = 0;
-  while (pos < in.size()) {
+  std::size_t ntok = 0;
+  while (pos < n) {
     insert_up_to(pos);
-    auto [len, dist] = find_best(pos);
-    if (len >= kMinMatch && pos + 1 < in.size()) {
+    auto [len, dist] = find_best(pos, 0);
+    if (P.lazy && len >= kMinMatch && len < P.max_lazy && pos + 1 < n) {
       // One-step lazy matching: prefer a strictly longer match at pos+1.
+      // Seeding the search with `len` means it reports improvements only.
       insert_up_to(pos + 1);
-      auto [len2, dist2] = find_best(pos + 1);
-      if (len2 > len + 1) {
-        tokens.push_back({in[pos], 0});
+      auto [len2, dist2] = find_best(pos + 1, len);
+      if (len2 != 0) {
+        out[ntok++] = {base[pos], 0};
         ++pos;
         len = len2;
         dist = dist2;
       }
     }
     if (len >= kMinMatch) {
-      tokens.push_back({static_cast<std::uint32_t>(len),
-                        static_cast<std::uint32_t>(dist)});
+      out[ntok++] = {static_cast<std::uint32_t>(len),
+                     static_cast<std::uint32_t>(dist)};
+      if (P.insert_cap != 0 && len > P.insert_cap) {
+        // Greedy fast path: thread only the first two positions of a long
+        // match into the chains and skip the interior.
+        insert_up_to(pos + 2);
+        next_to_insert = std::max(next_to_insert, pos + len);
+      }
       pos += len;
     } else {
-      tokens.push_back({in[pos], 0});
+      out[ntok++] = {base[pos], 0};
       ++pos;
     }
   }
-  return tokens;
+  return ntok;
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> miniflate_compress(
-    std::span<const std::uint8_t> input, MiniflateLevel level) {
+std::vector<std::uint8_t> miniflate_compress_blocked(
+    std::span<const std::uint8_t> input, MiniflateLevel level,
+    std::size_t split_block) {
   ByteWriter out;
   out.varint(input.size());
   if (input.empty()) {
     out.u8(0);  // store
     return out.take();
   }
+  if (split_block == 0) split_block = kMiniflateSplitBlock;
+  // Block-relative positions are threaded through int32 chain links.
+  split_block = std::min(split_block, std::size_t{1} << 30);
 
-  const auto tokens = lz_parse(input, level);
+  // Independently parsed blocks: block b covers bytes
+  // [b * split_block, ...) and matches never cross the boundary. Each
+  // block parses into a worst-case-sized staging buffer in its worker's
+  // scratch arena (every token covers >= 1 input byte, so one block never
+  // needs more than split_block entries), and only the tokens actually
+  // emitted are kept on the heap — transient memory tracks the real token
+  // count, not 8 bytes per input byte. Block geometry depends only on the
+  // input size, so the stitched stream is deterministic — identical bytes
+  // for any XFC_THREADS.
+  const std::size_t n = input.size();
+  const std::size_t nblocks = ceil_div(n, split_block);
+  const LevelParams P = params_for(level);
+  std::vector<std::vector<Token>> tokens(nblocks);
+  parallel_for_chunked(0, nblocks, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const std::size_t off = b * split_block;
+      const std::size_t len = std::min(split_block, n - off);
+      nn::Workspace& ws = nn::tls_workspace();
+      const nn::ScratchScope scratch(ws);
+      Token* staging = ws.acquire_as<Token>(len);
+      const std::size_t ntok =
+          lz_parse_block(input.subspan(off, len), P, staging);
+      tokens[b].assign(staging, staging + ntok);
+    }
+  });
 
+  // One shared Huffman pass over every block's tokens, in block order: the
+  // output format (single token stream, one codebook pair, one EOB) is
+  // exactly what the single-block writer produced, so old streams and new
+  // streams decode through the same loop.
   std::vector<std::uint64_t> litlen_freq(kLitLenAlphabet, 0);
   std::vector<std::uint64_t> dist_freq(kNumDistCodes, 0);
-  for (const Token& t : tokens) {
-    if (t.dist == 0) {
-      ++litlen_freq[t.lit_or_len];
-    } else {
-      ++litlen_freq[kLenCodeBase +
-                    bucketize(t.lit_or_len - kMinMatch + 1).code];
-      ++dist_freq[bucketize(t.dist).code];
+  for (const std::vector<Token>& blk : tokens) {
+    for (const Token& t : blk) {
+      if (t.dist == 0) {
+        ++litlen_freq[t.lit_or_len];
+      } else {
+        ++litlen_freq[kLenCodeBase +
+                      bucketize(t.lit_or_len - kMinMatch + 1).code];
+        ++dist_freq[bucketize(t.dist).code];
+      }
     }
   }
   ++litlen_freq[kEob];
@@ -190,16 +302,18 @@ std::vector<std::uint8_t> miniflate_compress(
   const auto dist = HuffmanCode::from_frequencies(dist_freq, 15);
 
   BitWriter bw;
-  for (const Token& t : tokens) {
-    if (t.dist == 0) {
-      litlen.encode(bw, t.lit_or_len);
-    } else {
-      const Bucket lb = bucketize(t.lit_or_len - kMinMatch + 1);
-      litlen.encode(bw, kLenCodeBase + lb.code);
-      bw.put_bits(lb.extra_val, lb.extra_bits);
-      const Bucket db = bucketize(t.dist);
-      dist.encode(bw, db.code);
-      bw.put_bits(db.extra_val, db.extra_bits);
+  for (const std::vector<Token>& blk : tokens) {
+    for (const Token& t : blk) {
+      if (t.dist == 0) {
+        litlen.encode(bw, t.lit_or_len);
+      } else {
+        const Bucket lb = bucketize(t.lit_or_len - kMinMatch + 1);
+        litlen.encode(bw, kLenCodeBase + lb.code);
+        bw.put_bits(lb.extra_val, lb.extra_bits);
+        const Bucket db = bucketize(t.dist);
+        dist.encode(bw, db.code);
+        bw.put_bits(db.extra_val, db.extra_bits);
+      }
     }
   }
   litlen.encode(bw, kEob);
@@ -219,6 +333,11 @@ std::vector<std::uint8_t> miniflate_compress(
     out.raw(input);
   }
   return out.take();
+}
+
+std::vector<std::uint8_t> miniflate_compress(
+    std::span<const std::uint8_t> input, MiniflateLevel level) {
+  return miniflate_compress_blocked(input, level, kMiniflateSplitBlock);
 }
 
 std::size_t miniflate_raw_size(std::span<const std::uint8_t> input) {
@@ -252,13 +371,17 @@ void miniflate_decompress_into(std::span<const std::uint8_t> input,
 
   if (method == 0) {
     const auto body = in.raw(raw_size);
-    std::memcpy(out.data(), body.data(), raw_size);
+    // raw_size can be 0 (empty stream), where span data() may be null —
+    // memcpy requires non-null pointers even for zero lengths.
+    if (raw_size != 0) std::memcpy(out.data(), body.data(), raw_size);
     return;
   }
   if (method != 1) throw CorruptStream("miniflate: unknown method byte");
 
-  const auto litlen = HuffmanCode::deserialize(in);
-  const auto dist = HuffmanCode::deserialize(in);
+  const auto litlen_cb = HuffmanCode::deserialize_cached(in);
+  const auto dist_cb = HuffmanCode::deserialize_cached(in);
+  const HuffmanCode& litlen = *litlen_cb;
+  const HuffmanCode& dist = *dist_cb;
   if (litlen.alphabet_size() != kLitLenAlphabet ||
       dist.alphabet_size() != kNumDistCodes)
     throw CorruptStream("miniflate: unexpected alphabet sizes");
@@ -271,8 +394,29 @@ void miniflate_decompress_into(std::span<const std::uint8_t> input,
   // throughput").
   std::size_t pos = 0;
   BitReader br(payload);
+  // Literal/length symbols decode in pairs when the next two codes fit one
+  // peek window; a pair only forms when the first symbol is a literal
+  // (first_limit=256), because a length symbol is followed by extra bits,
+  // not by another litlen code. The buffered second symbol may itself be a
+  // length code or EOB — it simply serves on the next iteration. Pairing
+  // is only attempted right after a literal: literals cluster, matches
+  // follow matches, so match-heavy streams skip the pair-table probe that
+  // would almost never hit for them.
+  std::uint32_t buffered = 0;
+  bool has_buffered = false;
+  bool after_literal = true;
   while (true) {
-    const std::uint32_t sym = litlen.decode(br);
+    std::uint32_t sym;
+    if (has_buffered) {
+      sym = buffered;
+      has_buffered = false;
+    } else if (after_literal) {
+      if (litlen.decode_pair(br, sym, buffered, 256) == 2)
+        has_buffered = true;
+    } else {
+      sym = litlen.decode(br);
+    }
+    after_literal = sym < 256;
     if (sym == kEob) break;
     if (sym < 256) {
       if (pos >= raw_size)

@@ -17,18 +17,35 @@
 
 namespace xfc {
 
-/// Match-search effort. Higher levels follow longer hash chains.
+/// Match-search effort. Higher levels follow longer hash chains; kFast
+/// uses a greedy parse that skips chain inserts inside long matches, the
+/// other levels a lazy (one-token lookahead) parse.
 enum class MiniflateLevel : std::uint8_t {
-  kFast = 0,     // chain depth 8
-  kDefault = 1,  // chain depth 64
-  kBest = 2,     // chain depth 512
+  kFast = 0,     // chain depth 8, greedy
+  kDefault = 1,  // chain depth 64, lazy
+  kBest = 2,     // chain depth 512, lazy
 };
+
+/// Inputs longer than this split into independently parsed blocks of this
+/// size, dispatched over the thread pool. Blocks never match across their
+/// boundary, so the stitched token stream stays a valid single-stream
+/// miniflate payload (the output format is unchanged and deterministic —
+/// byte-identical for any XFC_THREADS). Exposed for the boundary tests.
+inline constexpr std::size_t kMiniflateSplitBlock = std::size_t{1} << 18;
 
 /// Compresses `input`; output is self-describing (decompress needs nothing
 /// else). Always succeeds; worst case is a few bytes of header overhead.
 std::vector<std::uint8_t> miniflate_compress(
     std::span<const std::uint8_t> input,
     MiniflateLevel level = MiniflateLevel::kDefault);
+
+/// Test/bench hook: like miniflate_compress but with an explicit block
+/// size (0 = kMiniflateSplitBlock). The block-split byte-equality tests
+/// compare an unsplit parse (`split_block` >= input size) against split
+/// parses of the same input.
+std::vector<std::uint8_t> miniflate_compress_blocked(
+    std::span<const std::uint8_t> input, MiniflateLevel level,
+    std::size_t split_block);
 
 /// Inverse of miniflate_compress. Throws CorruptStream on malformed input.
 std::vector<std::uint8_t> miniflate_decompress(

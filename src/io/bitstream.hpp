@@ -133,6 +133,12 @@ class BitReader {
     pos_ += nbits;
   }
 
+  /// Consumes `nbits` the caller has already checked against remaining()
+  /// — the table-driven Huffman decoders verify an entry's length before
+  /// committing, so the per-symbol hot path skips the redundant bounds
+  /// test.
+  void skip_bits_verified(unsigned nbits) { pos_ += nbits; }
+
   /// Bits consumed so far.
   std::size_t position() const { return pos_; }
 

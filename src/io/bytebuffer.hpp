@@ -76,6 +76,12 @@ class ByteReader {
   std::size_t remaining() const { return data_.size() - pos_; }
   bool exhausted() const { return pos_ == data_.size(); }
 
+  /// Borrows the bytes consumed since an earlier position() value — the
+  /// cache key of HuffmanCode::deserialize_cached.
+  std::span<const std::uint8_t> consumed_since(std::size_t mark) const {
+    return data_.subspan(mark, pos_ - mark);
+  }
+
  private:
   void need(std::size_t n) const {
     // Compare against the remaining byte count rather than `pos_ + n`: a

@@ -41,6 +41,34 @@ void ChannelAttention::mlp_forward(const float* v, float* hidden_pre,
   }
 }
 
+namespace {
+
+/// Fused single-pass plane reduction: running sum and max (with position)
+/// in one sweep. The sum MUST accumulate serially left-to-right in double:
+/// ChannelAttention::infer feeds the cross-field codec, whose decoder
+/// recomputes the encoder's predictions bit-exactly (crossfield.cpp pins
+/// this) — changing the summation order would change ulps of the pooled
+/// average and silently corrupt pre-existing kCrossField streams (guarded
+/// by test_golden's cross-field archive).
+void pool_plane(const float* p, std::size_t hw, float& avg_out,
+                float& max_out, std::size_t& argmax_out) {
+  double sum = p[0];
+  float best = p[0];
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < hw; ++i) {
+    sum += p[i];
+    if (p[i] > best) {
+      best = p[i];
+      best_i = i;
+    }
+  }
+  avg_out = static_cast<float>(sum / static_cast<double>(hw));
+  max_out = best;
+  argmax_out = best_i;
+}
+
+}  // namespace
+
 Tensor ChannelAttention::forward(const Tensor& x) {
   expects(x.c() == c_, "ChannelAttention::forward: channel mismatch");
   input_ = x;
@@ -55,40 +83,36 @@ Tensor ChannelAttention::forward(const Tensor& x) {
   hm_post_.assign(B * mid_, 0.0f);
   scale_.assign(B * c_, 0.0f);
 
-  Tensor y(B, c_, H, W);
+  // Stage 1: every (batch, channel) plane pools independently — the
+  // avg/max reductions are the bulk of the layer's work now that the convs
+  // are GEMM-lowered, so they fan out over the pool.
+  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t bc = lo; bc < hi; ++bc)
+      pool_plane(x.plane(bc / c_, bc % c_), hw, avg_[bc], mx_[bc],
+                 argmax_[bc]);
+  });
+
+  // Stage 2: the shared MLP per batch element (tiny: 2*c_*mid_ MACs).
+  std::vector<float> za(B * c_), zm(B * c_);
   for (std::size_t b = 0; b < B; ++b) {
-    for (std::size_t c = 0; c < c_; ++c) {
-      const float* p = x.plane(b, c);
-      double sum = p[0];
-      float best = p[0];
-      std::size_t best_i = 0;
-      for (std::size_t i = 1; i < hw; ++i) {
-        sum += p[i];
-        if (p[i] > best) {
-          best = p[i];
-          best_i = i;
-        }
-      }
-      avg_[b * c_ + c] = static_cast<float>(sum / static_cast<double>(hw));
-      mx_[b * c_ + c] = best;
-      argmax_[b * c_ + c] = best_i;
-    }
-
-    std::vector<float> za(c_), zm(c_);
     mlp_forward(avg_.data() + b * c_, ha_pre_.data() + b * mid_,
-                ha_post_.data() + b * mid_, za.data());
+                ha_post_.data() + b * mid_, za.data() + b * c_);
     mlp_forward(mx_.data() + b * c_, hm_pre_.data() + b * mid_,
-                hm_post_.data() + b * mid_, zm.data());
+                hm_post_.data() + b * mid_, zm.data() + b * c_);
+  }
 
-    for (std::size_t c = 0; c < c_; ++c) {
-      const double z = static_cast<double>(za[c]) + zm[c];
+  // Stage 3: per-plane sigmoid rescale, again plane-parallel.
+  Tensor y(B, c_, H, W);
+  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t bc = lo; bc < hi; ++bc) {
+      const double z = static_cast<double>(za[bc]) + zm[bc];
       const float s = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
-      scale_[b * c_ + c] = s;
-      const float* in = x.plane(b, c);
-      float* out = y.plane(b, c);
+      scale_[bc] = s;
+      const float* in = x.plane(bc / c_, bc % c_);
+      float* out = y.plane(bc / c_, bc % c_);
       for (std::size_t i = 0; i < hw; ++i) out[i] = in[i] * s;
     }
-  }
+  });
   return y;
 }
 
@@ -98,31 +122,31 @@ Tensor ChannelAttention::infer(const Tensor& x) const {
 
   // Same math as forward(), staged in locals instead of the backward
   // caches so concurrent inference never touches shared state.
-  std::vector<float> avg(c_), mx(c_), hidden_pre(mid_), hidden_post(mid_);
-  std::vector<float> za(c_), zm(c_);
-  Tensor y(B, c_, H, W);
+  std::vector<float> avg(B * c_), mx(B * c_);
+  std::vector<float> za(B * c_), zm(B * c_);
+  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
+    std::size_t scratch_arg = 0;
+    for (std::size_t bc = lo; bc < hi; ++bc)
+      pool_plane(x.plane(bc / c_, bc % c_), hw, avg[bc], mx[bc],
+                 scratch_arg);
+  });
   for (std::size_t b = 0; b < B; ++b) {
-    for (std::size_t c = 0; c < c_; ++c) {
-      const float* p = x.plane(b, c);
-      double sum = p[0];
-      float best = p[0];
-      for (std::size_t i = 1; i < hw; ++i) {
-        sum += p[i];
-        if (p[i] > best) best = p[i];
-      }
-      avg[c] = static_cast<float>(sum / static_cast<double>(hw));
-      mx[c] = best;
-    }
-    mlp_forward(avg.data(), hidden_pre.data(), hidden_post.data(), za.data());
-    mlp_forward(mx.data(), hidden_pre.data(), hidden_post.data(), zm.data());
-    for (std::size_t c = 0; c < c_; ++c) {
-      const double z = static_cast<double>(za[c]) + zm[c];
+    std::vector<float> hidden_pre(mid_), hidden_post(mid_);
+    mlp_forward(avg.data() + b * c_, hidden_pre.data(), hidden_post.data(),
+                za.data() + b * c_);
+    mlp_forward(mx.data() + b * c_, hidden_pre.data(), hidden_post.data(),
+                zm.data() + b * c_);
+  }
+  Tensor y(B, c_, H, W);
+  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t bc = lo; bc < hi; ++bc) {
+      const double z = static_cast<double>(za[bc]) + zm[bc];
       const float s = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
-      const float* in = x.plane(b, c);
-      float* out = y.plane(b, c);
+      const float* in = x.plane(bc / c_, bc % c_);
+      float* out = y.plane(bc / c_, bc % c_);
       for (std::size_t i = 0; i < hw; ++i) out[i] = in[i] * s;
     }
-  }
+  });
   return y;
 }
 

@@ -29,6 +29,7 @@ const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 204: return "No Content";
+    case 304: return "Not Modified";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
@@ -290,6 +291,12 @@ int make_listener(const HttpConfig& config, std::uint16_t& bound_port) {
 }  // namespace
 
 const std::string* HttpRequest::header(const std::string& name) const {
+  for (const auto& [n, v] : headers)
+    if (iequals(n, name)) return &v;
+  return nullptr;
+}
+
+const std::string* HttpClientResponse::header(const std::string& name) const {
   for (const auto& [n, v] : headers)
     if (iequals(n, name)) return &v;
   return nullptr;
@@ -700,10 +707,14 @@ void HttpClient::disconnect() {
   buf_.clear();
 }
 
-HttpClientResponse HttpClient::get(const std::string& target) {
-  const std::string request = "GET " + target +
-                              " HTTP/1.1\r\nHost: " + host_ +
-                              "\r\nConnection: keep-alive\r\n\r\n";
+HttpClientResponse HttpClient::get(
+    const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nConnection: keep-alive\r\n";
+  for (const auto& [name, value] : extra_headers)
+    request += name + ": " + value + "\r\n";
+  request += "\r\n";
   for (int attempt = 0;; ++attempt) {
     ensure_connected();
     if (!send_all(fd_, request)) {
@@ -758,6 +769,7 @@ HttpClientResponse HttpClient::get(const std::string& target) {
         resp.content_type = value;
       else if (iequals(name, "connection") && iequals(value, "close"))
         server_closes = true;
+      resp.headers.emplace_back(name, value);
     }
 
     const std::size_t total = head_end + 4 + content_length;

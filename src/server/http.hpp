@@ -135,7 +135,11 @@ class HttpServer {
 struct HttpClientResponse {
   int status = 0;
   std::string content_type;
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(const std::string& name) const;
 };
 
 /// Minimal blocking HTTP/1.1 client with one keep-alive connection;
@@ -148,9 +152,13 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Issues a GET and reads the full response; throws IoError on transport
-  /// failure or an unparseable response.
-  HttpClientResponse get(const std::string& target);
+  /// Issues a GET (with optional extra request headers, e.g.
+  /// If-None-Match) and reads the full response; throws IoError on
+  /// transport failure or an unparseable response.
+  HttpClientResponse get(
+      const std::string& target,
+      const std::vector<std::pair<std::string, std::string>>&
+          extra_headers = {});
 
  private:
   void ensure_connected();

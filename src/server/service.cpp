@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "archive/tile.hpp"
 #include "core/error.hpp"
+#include "io/crc32.hpp"
 
 namespace xfc::server {
 namespace {
@@ -46,6 +48,29 @@ std::string shape_json(const Shape& shape) {
     out += std::to_string(shape[d]);
   }
   return out + "]";
+}
+
+/// True when `header` (an If-None-Match value: `*` or a comma-separated
+/// entity-tag list) matches `etag`. Weak-validator prefixes (`W/`) never
+/// match — the region tag is strong, and strong comparison is what makes a
+/// 304 safe for byte-range-equivalent uses.
+bool etag_matches(const std::string& header, const std::string& etag) {
+  std::size_t pos = 0;
+  while (pos < header.size()) {
+    while (pos < header.size() &&
+           (header[pos] == ' ' || header[pos] == '\t' || header[pos] == ','))
+      ++pos;
+    std::size_t end = header.find(',', pos);
+    if (end == std::string::npos) end = header.size();
+    std::size_t last = end;
+    while (last > pos &&
+           (header[last - 1] == ' ' || header[last - 1] == '\t'))
+      --last;
+    const std::string candidate = header.substr(pos, last - pos);
+    if (candidate == "*" || candidate == etag) return true;
+    pos = end;
+  }
+  return false;
 }
 
 /// Parses "12,34" (rank entries) into bounds; false on any malformed part.
@@ -97,7 +122,7 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
       path.compare(path.size() - 7, 7, kSuffix) == 0) {
     const std::string name = path.substr(7, path.size() - 7 - 7);
     if (!name.empty() && name.find('/') == std::string::npos)
-      return handle_region(name, request.query);
+      return handle_region(name, request);
   }
   client_errors_.fetch_add(1, std::memory_order_relaxed);
   return HttpResponse::text(404, "no such endpoint\n");
@@ -130,7 +155,7 @@ HttpResponse ArchiveService::handle_fields() const {
 }
 
 HttpResponse ArchiveService::handle_region(const std::string& field_name,
-                                           const std::string& query) {
+                                           const HttpRequest& request) {
   region_requests_.fetch_add(1, std::memory_order_relaxed);
   const ArchiveFieldInfo* info = reader_->find(field_name);
   if (info == nullptr) {
@@ -140,7 +165,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
   const std::size_t ndim = info->shape.ndim();
 
   std::vector<std::pair<std::string, std::string>> params;
-  if (!parse_query(query, params)) {
+  if (!parse_query(request.query, params)) {
     client_errors_.fetch_add(1, std::memory_order_relaxed);
     return HttpResponse::text(400, "malformed query string\n");
   }
@@ -181,17 +206,77 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
                  std::to_string(value_cap) + " for fmt=" + fmt + "\n");
   }
 
+  const TileGrid grid(info->shape, info->tile);
+  const auto tiles =
+      grid.tiles_in_region(std::span<const std::size_t>(lo, ndim),
+                           std::span<const std::size_t>(hi, ndim));
+
+  // Strong ETag from the index's per-tile CRCs (plus the query geometry
+  // and format): the response bytes are a pure function of the covered
+  // tile bodies — and, for cross-field targets, of their anchors' tile
+  // bodies, so the whole anchor closure's tile CRCs fold in too (coarsely:
+  // every anchor tile, not just the covering ones — an anchor re-encode
+  // may invalidate more tags than strictly necessary, but a 304 can never
+  // validate stale bytes). Equal tags therefore imply byte-identical
+  // responses, and computing the tag needs no tile decode at all — a 304
+  // costs only the index walk.
+  Crc32 etag_crc;
+  etag_crc.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(info->name.data()),
+      info->name.size()));
+  std::uint8_t geom[1 + 2 * 3 * 8];
+  geom[0] = fmt == "json" ? 1 : 0;
+  std::size_t gpos = 1;
+  for (std::size_t d = 0; d < ndim; ++d)
+    for (const std::size_t v : {lo[d], hi[d]})
+      for (unsigned byte = 0; byte < 8; ++byte)
+        geom[gpos++] = static_cast<std::uint8_t>(v >> (8 * byte));
+  etag_crc.update(std::span<const std::uint8_t>(geom, gpos));
+  auto fold_crc = [&etag_crc](std::uint32_t crc) {
+    const std::uint8_t c4[4] = {static_cast<std::uint8_t>(crc),
+                                static_cast<std::uint8_t>(crc >> 8),
+                                static_cast<std::uint8_t>(crc >> 16),
+                                static_cast<std::uint8_t>(crc >> 24)};
+    etag_crc.update(c4);
+  };
+  for (const std::size_t t : tiles) fold_crc(info->tiles[t].crc);
+  if (!info->anchors.empty()) {
+    // Anchor closure, breadth-first; the cache's add_archive already
+    // validated the anchor graph as a DAG, so this terminates.
+    std::vector<const ArchiveFieldInfo*> queue{info};
+    std::set<std::string> seen{info->name};
+    while (!queue.empty()) {
+      const ArchiveFieldInfo* f = queue.back();
+      queue.pop_back();
+      for (const std::string& a : f->anchors) {
+        if (!seen.insert(a).second) continue;
+        const ArchiveFieldInfo* ai = reader_->find(a);
+        if (ai == nullptr) continue;  // unreachable post-validation
+        for (const ArchiveTileInfo& t : ai->tiles) fold_crc(t.crc);
+        queue.push_back(ai);
+      }
+    }
+  }
+  char etag_buf[16];
+  std::snprintf(etag_buf, sizeof etag_buf, "\"%08x\"", etag_crc.value());
+  const std::string etag(etag_buf);
+
+  if (const std::string* inm = request.header("If-None-Match");
+      inm != nullptr && etag_matches(*inm, etag)) {
+    not_modified_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse resp;
+    resp.status = 304;
+    resp.headers.emplace_back("ETag", etag);
+    return resp;
+  }
+
   // Assemble the region from cached decoded tiles — the exact analogue of
   // ArchiveReader::read_region's crop-and-copy (same copy_tile_into_region
   // helper), so the bytes match it.
   F32Array out(Shape(std::span<const std::size_t>(region_dims, ndim)));
-  const TileGrid grid(info->shape, info->tile);
   const std::size_t field_index =
       static_cast<std::size_t>(info - reader_->fields().data());
   try {
-    const auto tiles =
-        grid.tiles_in_region(std::span<const std::size_t>(lo, ndim),
-                             std::span<const std::size_t>(hi, ndim));
     for (const std::size_t t : tiles) {
       const std::shared_ptr<const Field> tile =
           cache_.get(archive_id_, field_index, t);
@@ -218,6 +303,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
                      out.size() * sizeof(float));
     resp.headers.emplace_back("X-Xfc-Shape", shape_list);
     resp.headers.emplace_back("X-Xfc-Field", info->name);
+    resp.headers.emplace_back("ETag", etag);
   } else {
     std::string body = "{\"field\": \"" + json_escape(info->name) +
                        "\", \"shape\": [" + shape_list + "], \"values\": [";
@@ -229,6 +315,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     }
     body += "]}\n";
     resp = HttpResponse::json(std::move(body));
+    resp.headers.emplace_back("ETag", etag);
   }
   bytes_served_.fetch_add(resp.body.size(), std::memory_order_relaxed);
   return resp;
@@ -243,6 +330,8 @@ HttpResponse ArchiveService::handle_stats() const {
   out += "  \"client_errors\": " + std::to_string(client_errors_.load()) +
          ",\n";
   out += "  \"bytes_served\": " + std::to_string(bytes_served_.load()) +
+         ",\n";
+  out += "  \"not_modified\": " + std::to_string(not_modified_.load()) +
          ",\n";
   out += "  \"cache\": {\n";
   out += "    \"hits\": " + std::to_string(c.hits) + ",\n";

@@ -13,7 +13,9 @@
 ///       raw little-endian float32 values (row-major, X-Xfc-Shape header
 ///       carries the extents); fmt=json answers {"shape":[..],
 ///       "values":[..]}. Bytes are bit-identical to
-///       ArchiveReader::read_region on the same archive.
+///       ArchiveReader::read_region on the same archive. Responses carry a
+///       strong ETag derived from the covered tiles' index CRCs;
+///       If-None-Match answers 304 without decoding a single tile.
 ///   GET /stats                        -> JSON cache + request counters
 ///
 /// handle() is thread-safe (the HTTP layer fans request batches over the
@@ -56,7 +58,7 @@ class ArchiveService {
  private:
   HttpResponse handle_fields() const;
   HttpResponse handle_region(const std::string& field_name,
-                             const std::string& query);
+                             const HttpRequest& request);
   HttpResponse handle_stats() const;
 
   std::shared_ptr<const ArchiveReader> reader_;
@@ -68,6 +70,7 @@ class ArchiveService {
   mutable std::atomic<std::uint64_t> region_requests_{0};
   mutable std::atomic<std::uint64_t> client_errors_{0};
   mutable std::atomic<std::uint64_t> bytes_served_{0};
+  mutable std::atomic<std::uint64_t> not_modified_{0};
 };
 
 }  // namespace xfc::server

@@ -162,8 +162,8 @@ Field classic_decompress(std::span<const std::uint8_t> stream) {
   nn::Workspace& ws = nn::tls_workspace();
   const nn::ScratchScope scratch(ws);
   ByteReader payload(lossless_decompress_view(in.blob_view(), ws));
-  const auto huffman = HuffmanCode::deserialize(payload);
-  if (huffman.alphabet_size() != 2 * radius + 1)
+  const auto huffman = HuffmanCode::deserialize_cached(payload);
+  if (huffman->alphabet_size() != 2 * radius + 1)
     throw CorruptStream("classic_decompress: alphabet mismatch");
   const std::uint64_t n_outliers = payload.varint();
   std::vector<float> outliers(n_outliers);
@@ -175,7 +175,7 @@ Field classic_decompress(std::span<const std::uint8_t> stream) {
   std::size_t flat = 0;
   std::size_t outlier_pos = 0;
   auto visit = [&](std::size_t i, std::size_t j, std::size_t k) {
-    const std::uint32_t sym = huffman.decode(br);
+    const std::uint32_t sym = huffman->decode(br);
     if (sym == escape) {
       if (outlier_pos >= outliers.size())
         throw CorruptStream("classic_decompress: outliers exhausted");

@@ -8,7 +8,14 @@
 namespace xfc {
 namespace {
 constexpr std::array<std::uint8_t, 4> kMagic{'X', 'F', 'C', '1'};
+
+thread_local int trusted_parse_depth = 0;
 }
+
+TrustedParseScope::TrustedParseScope() { ++trusted_parse_depth; }
+TrustedParseScope::~TrustedParseScope() { --trusted_parse_depth; }
+
+bool container_parse_trusted() { return trusted_parse_depth > 0; }
 
 std::vector<std::uint8_t> frame_container(CodecId codec,
                                           std::span<const std::uint8_t> body) {
@@ -39,9 +46,15 @@ ParsedContainer parse_container(std::span<const std::uint8_t> stream) {
 
   const std::size_t crc_pos = in.position();
   const std::uint32_t expected = in.u32();
-  const std::uint32_t actual = Crc32::of(stream.subspan(0, crc_pos));
-  if (expected != actual)
-    throw CorruptStream("container: CRC mismatch (corrupted stream)");
+  // Under a TrustedParseScope an outer checksum (the archive's per-tile
+  // CRC) already covered these exact bytes, CRC word included; hashing
+  // them again per tile was the second-largest fixed cost of archive
+  // decode.
+  if (!container_parse_trusted()) {
+    const std::uint32_t actual = Crc32::of(stream.subspan(0, crc_pos));
+    if (expected != actual)
+      throw CorruptStream("container: CRC mismatch (corrupted stream)");
+  }
   return {static_cast<CodecId>(codec), body};
 }
 

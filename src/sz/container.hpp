@@ -31,12 +31,33 @@ std::vector<std::uint8_t> frame_container(CodecId codec,
                                           std::span<const std::uint8_t> body);
 
 /// Validates the frame (magic, length, CRC) and returns the codec id plus a
-/// view of the body within `stream`.
+/// view of the body within `stream`. Under an active TrustedParseScope the
+/// CRC pass is skipped (every structural check still runs).
 struct ParsedContainer {
   CodecId codec;
   std::span<const std::uint8_t> body;
 };
 ParsedContainer parse_container(std::span<const std::uint8_t> stream);
+
+/// RAII marker: while alive on this thread, parse_container trusts that an
+/// outer integrity check already covered the stream bytes and skips its CRC
+/// pass (magic/codec/length validation still runs — only the checksum walk
+/// is elided). The archive reader holds one around each tile-body decode:
+/// the per-tile archive CRC it just verified covers the full XFC1 container
+/// including the container's own CRC word, so re-hashing the same bytes
+/// buys nothing. Scopes nest; the flag is thread-local, so worker threads
+/// decoding tiles in parallel never affect each other.
+class TrustedParseScope {
+ public:
+  TrustedParseScope();
+  ~TrustedParseScope();
+  TrustedParseScope(const TrustedParseScope&) = delete;
+  TrustedParseScope& operator=(const TrustedParseScope&) = delete;
+};
+
+/// True while any TrustedParseScope lives on this thread (exposed for
+/// tests).
+bool container_parse_trusted();
 
 /// Shape <-> bytes helpers shared by codec headers.
 void write_shape(ByteWriter& out, const Shape& shape);

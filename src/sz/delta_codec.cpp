@@ -61,8 +61,8 @@ DeltaDecoder::DeltaDecoder(std::span<const std::uint8_t> payload,
   escape_symbol_ = alphabet - 1;
 
   ByteReader in(payload);
-  huffman_ = HuffmanCode::deserialize(in);
-  if (huffman_.alphabet_size() != alphabet)
+  huffman_ = HuffmanCode::deserialize_cached(in);
+  if (huffman_->alphabet_size() != alphabet)
     throw CorruptStream("DeltaDecoder: alphabet size mismatch");
   const std::uint64_t n_outliers = in.varint();
   if (n_outliers > (std::uint64_t{1} << 36))

@@ -19,6 +19,7 @@
 /// payload assembly (Huffman build + bulk bit emission).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -69,12 +70,29 @@ std::vector<std::uint8_t> encode_deltas(std::span<const std::int32_t> codes,
 /// Streaming decoder: call next(pred) once per point, in encode order.
 class DeltaDecoder {
  public:
-  /// Parses tables and outliers; `payload` must outlive the decoder.
+  /// Parses tables and outliers; `payload` must outlive the decoder. The
+  /// Huffman decode tables come from the per-thread codebook cache
+  /// (HuffmanCode::deserialize_cached): archive tiles of one field share a
+  /// codebook, so the tables build once per thread, not once per tile.
   DeltaDecoder(std::span<const std::uint8_t> payload, std::uint32_t radius);
 
   /// Reconstructs the next quantization code given its prediction.
+  /// Symbols decode in pairs (one bit-window peek resolves two codes when
+  /// both fit); the second symbol of a pair waits in a one-slot buffer.
+  /// Decoding ahead is sound because symbol boundaries never depend on
+  /// predictions — only the reconstruction does.
   std::int32_t next(std::int64_t pred) {
-    const std::uint32_t sym = huffman_.decode(reader_);
+    std::uint32_t sym;
+    if (has_pending_) {
+      sym = pending_;
+      has_pending_ = false;
+    } else {
+      std::uint32_t second;
+      if (huffman_->decode_pair(reader_, sym, second) == 2) {
+        pending_ = second;
+        has_pending_ = true;
+      }
+    }
     if (sym == escape_symbol_) {
       if (outlier_pos_ >= outliers_.size())
         throw CorruptStream("DeltaDecoder: outlier list exhausted");
@@ -88,11 +106,13 @@ class DeltaDecoder {
   }
 
  private:
-  HuffmanCode huffman_;
+  std::shared_ptr<const HuffmanCode> huffman_;
   std::vector<std::int32_t> outliers_;
   std::size_t outlier_pos_ = 0;
   BitReader reader_;  // borrows the bitstream blob inside `payload`
   std::uint32_t escape_symbol_;
+  std::uint32_t pending_ = 0;  // second symbol of a decoded pair
+  bool has_pending_ = false;
 };
 
 }  // namespace xfc

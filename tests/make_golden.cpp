@@ -1,0 +1,168 @@
+// One-off generator (not part of the build): emits tests/golden_streams.hpp
+// from the encoders of the checkout it is compiled against. Run from the
+// repo root, e.g.:
+//   g++ -std=c++20 -O2 -Isrc tests/make_golden.cpp build/libxfc.a -lpthread \
+//       -o /tmp/make_golden && /tmp/make_golden
+// The checked-in header was generated at the PR 4 head (pre-PR5 encoders).
+// Do NOT regenerate it casually: the bytes are the backward-compat contract
+// that test_golden.cpp pins. Compressed bytes + decoded-output CRCs pin that
+// streams written before the PR still decode bit-identically after it.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "cfnn/cfnn.hpp"
+#include "crossfield/crossfield.hpp"
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+#include "encode/miniflate.hpp"
+#include "io/crc32.hpp"
+#include "io/stream.hpp"
+#include "sz/compressor.hpp"
+#include "sz/interpolation.hpp"
+
+using namespace xfc;
+
+namespace {
+
+std::vector<std::uint8_t> golden_input(std::size_t n) {
+  Rng rng(1234);
+  std::vector<std::uint8_t> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = static_cast<std::uint8_t>(
+        (i % 113) * 3 ^ (rng.uniform() < 0.07 ? rng.next_u64() : 0));
+  return data;
+}
+
+void emit_array(std::FILE* f, const char* name,
+                const std::vector<std::uint8_t>& bytes) {
+  std::fprintf(f, "inline constexpr unsigned char %s[] = {", name);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i % 16 == 0) std::fprintf(f, "\n    ");
+    std::fprintf(f, "0x%02x,", bytes[i]);
+  }
+  std::fprintf(f, "\n};\n");
+}
+
+std::uint32_t field_crc(const Field& fld) {
+  return Crc32::of(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(fld.array().data()),
+      fld.size() * sizeof(float)));
+}
+
+}  // namespace
+
+int main() {
+  std::FILE* f = std::fopen("tests/golden_streams.hpp", "w");
+  std::fprintf(f,
+      "#ifndef XFC_TESTS_GOLDEN_STREAMS_HPP\n"
+      "#define XFC_TESTS_GOLDEN_STREAMS_HPP\n\n"
+      "// Golden streams written by the PR-4-era encoders (generated once,\n"
+      "// before the PR 5 lossless-tail rebuild; see test_golden.cpp).\n"
+      "// These bytes are a format contract: every future decoder must\n"
+      "// decode them bit-identically. Do not regenerate without a format\n"
+      "// version bump.\n\n"
+      "#include <cstdint>\n\n"
+      "namespace xfc::golden {\n\n"
+      "inline constexpr std::size_t kMiniflateInputSize = 20000;\n"
+      "inline constexpr std::uint64_t kMiniflateInputSeed = 1234;\n\n");
+
+  const auto input = golden_input(20000);
+  std::fprintf(f, "inline constexpr std::uint32_t kMiniflateInputCrc = 0x%08xu;\n\n",
+               Crc32::of(input));
+  emit_array(f, "kMiniflateFast",
+             miniflate_compress(input, MiniflateLevel::kFast));
+  emit_array(f, "kMiniflateDefault",
+             miniflate_compress(input, MiniflateLevel::kDefault));
+  emit_array(f, "kMiniflateBest",
+             miniflate_compress(input, MiniflateLevel::kBest));
+
+  auto ds = make_dataset(DatasetKind::kCesm, Shape{96, 96}, 7);
+  const Field& fld = ds.fields[0];
+
+  const auto sz_stream = sz_compress(fld, SzOptions{});
+  emit_array(f, "kSzStream", sz_stream);
+  std::fprintf(f, "inline constexpr std::uint32_t kSzDecodedCrc = 0x%08xu;\n\n",
+               field_crc(sz_decompress(sz_stream)));
+
+  const auto interp_stream = interp_compress(fld, InterpOptions{});
+  emit_array(f, "kInterpStream", interp_stream);
+  std::fprintf(f, "inline constexpr std::uint32_t kInterpDecodedCrc = 0x%08xu;\n\n",
+               field_crc(interp_decompress(interp_stream)));
+
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.tile = Shape{48, 48};
+  writer.add_field(fld, opts);
+  ArchiveFieldOptions iopts;
+  iopts.tile = Shape{48, 48};
+  iopts.codec = CodecId::kInterp;
+  writer.add_field(ds.fields[1], iopts);
+  writer.finish();
+  const auto archive = sink.take();
+  emit_array(f, "kArchive", archive);
+  {
+    const ArchiveReader reader = ArchiveReader::open_memory(archive);
+    std::fprintf(f,
+        "inline constexpr std::uint32_t kArchiveField0Crc = 0x%08xu;\n",
+        field_crc(reader.read_field(reader.fields()[0].name)));
+    std::fprintf(f,
+        "inline constexpr std::uint32_t kArchiveField1Crc = 0x%08xu;\n\n",
+        field_crc(reader.read_field(reader.fields()[1].name)));
+  }
+  // Cross-field archive: pins that ArchiveReader + cross_field_decompress
+  // (including CfnnModel::infer's floating-point evaluation order, which
+  // the decoder replays bit-exactly against the encoder's predictions)
+  // keep decoding pre-PR streams identically.
+  {
+    Rng rng(2718);
+    const Shape shape{40, 48};
+    Field a0("A0", F32Array(shape)), a1("A1", F32Array(shape)),
+        target("TGT", F32Array(shape));
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+      const double base = std::sin(0.11 * static_cast<double>(i % 48)) *
+                          std::cos(0.07 * static_cast<double>(i / 48));
+      const double second = std::cos(0.05 * static_cast<double>(i % 48));
+      a0.array()[i] = static_cast<float>(base + rng.normal(0, 0.05));
+      a1.array()[i] = static_cast<float>(second + rng.normal(0, 0.05));
+      target.array()[i] = static_cast<float>(
+          0.8 * base + 0.3 * second * second / 8.0 + rng.normal(0, 0.05));
+    }
+    CfnnTrainOptions train;
+    train.epochs = 4;
+    train.patches_per_epoch = 16;
+    train.patch = 16;
+    train.batch = 8;
+    const CfnnModel model = train_cross_field_model(
+        target, {&a0, &a1}, CfnnConfig{8, 4, 3}, train);
+
+    ArchiveFieldOptions aopts;
+    aopts.tile = Shape{16, 16};
+    aopts.keep_reconstruction = true;
+    VectorSink xsink;
+    ArchiveWriter xwriter(xsink);
+    xwriter.add_field(a0, aopts);
+    xwriter.add_field(a1, aopts);
+    xwriter.add_cross_field(target, {"A0", "A1"}, model, aopts);
+    xwriter.finish();
+    const auto xarchive = xsink.take();
+    emit_array(f, "kCrossFieldArchive", xarchive);
+    const ArchiveReader xreader = ArchiveReader::open_memory(xarchive);
+    std::fprintf(f,
+        "inline constexpr std::uint32_t kCrossFieldTargetCrc = 0x%08xu;\n",
+        field_crc(xreader.read_field("TGT")));
+    std::fprintf(f,
+        "inline constexpr std::uint32_t kCrossFieldAnchor0Crc = 0x%08xu;\n\n",
+        field_crc(xreader.read_field("A0")));
+  }
+
+  std::fprintf(f, "}  // namespace xfc::golden\n\n#endif\n");
+  std::fclose(f);
+  std::printf("wrote tests/golden_streams.hpp (%zu-byte archive)\n",
+              archive.size());
+  return 0;
+}

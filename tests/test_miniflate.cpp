@@ -129,6 +129,88 @@ TEST(Miniflate, EmptyInputThrowsOnDecodeOfEmptyBuffer) {
   EXPECT_THROW(miniflate_decompress({}), CorruptStream);
 }
 
+TEST(Miniflate, BlockSplitBoundarySizes) {
+  // Inputs at and around the split threshold: the last block may be a
+  // single byte, and the 1-block/2-block transition must be seamless.
+  for (const std::size_t n :
+       {kMiniflateSplitBlock - 1, kMiniflateSplitBlock,
+        kMiniflateSplitBlock + 1, 2 * kMiniflateSplitBlock - 1,
+        2 * kMiniflateSplitBlock, 2 * kMiniflateSplitBlock + 1}) {
+    for (const char* kind : {"text", "periodic"}) {
+      const auto input = make_input(kind, n, n);
+      for (auto level : {MiniflateLevel::kFast, MiniflateLevel::kDefault}) {
+        const auto compressed = miniflate_compress(input, level);
+        EXPECT_EQ(miniflate_decompress(compressed), input)
+            << kind << " size " << n;
+      }
+    }
+  }
+}
+
+TEST(Miniflate, BlockSplitDecodesIdenticallyToSingleBlock) {
+  // The block-split parse must stay invisible downstream: both the split
+  // and the unsplit stream decode to the same bytes, and the split stream
+  // is identical whichever thread count produced it (pinned by the mt4
+  // ctest variant re-running this test under XFC_THREADS=4 — block
+  // geometry depends only on the input size).
+  const std::size_t n = 3 * kMiniflateSplitBlock + 137;
+  for (const char* kind : {"text", "periodic", "random"}) {
+    const auto input = make_input(kind, n, 99);
+    for (auto level : {MiniflateLevel::kFast, MiniflateLevel::kDefault}) {
+      const auto split = miniflate_compress_blocked(input, level, 0);
+      const auto single = miniflate_compress_blocked(input, level, n);
+      EXPECT_EQ(miniflate_decompress(split), input) << kind;
+      EXPECT_EQ(miniflate_decompress(single), input) << kind;
+      // And the default entry point is the split parse.
+      EXPECT_EQ(miniflate_compress(input, level), split) << kind;
+    }
+  }
+}
+
+TEST(Miniflate, FuzzRoundtripAcrossLevelsAndShapes) {
+  // Structured/pathological fuzz over all three levels: random sizes,
+  // random content classes, incompressible tails, and repeat floods.
+  Rng rng(20260727);
+  const char* kinds[] = {"zeros", "random", "text", "periodic", "lowentropy"};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = rng.uniform_index(1 << 16);
+    const auto input = make_input(kinds[trial % 5], n, trial * 7919 + 1);
+    for (auto level : {MiniflateLevel::kFast, MiniflateLevel::kDefault,
+                       MiniflateLevel::kBest}) {
+      const auto compressed = miniflate_compress(input, level);
+      ASSERT_EQ(miniflate_decompress(compressed), input)
+          << kinds[trial % 5] << " n=" << n;
+    }
+  }
+}
+
+TEST(Miniflate, PathologicalRepeatsRoundtripAndStayTiny) {
+  // Worst cases for a hash-chain matcher: one byte repeated (every chain
+  // entry collides), a two-byte alternation, and a kMinMatch-period loop.
+  for (const std::size_t period : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    std::vector<std::uint8_t> input(500000);
+    for (std::size_t i = 0; i < input.size(); ++i)
+      input[i] = static_cast<std::uint8_t>((i % period) * 31 + 7);
+    for (auto level : {MiniflateLevel::kFast, MiniflateLevel::kDefault,
+                       MiniflateLevel::kBest}) {
+      const auto compressed = miniflate_compress(input, level);
+      EXPECT_LT(compressed.size(), input.size() / 50) << "period " << period;
+      ASSERT_EQ(miniflate_decompress(compressed), input);
+    }
+  }
+}
+
+TEST(Miniflate, IncompressibleInputAcrossLevels) {
+  const auto input = make_input("random", 300000, 4242);
+  for (auto level : {MiniflateLevel::kFast, MiniflateLevel::kDefault,
+                     MiniflateLevel::kBest}) {
+    const auto compressed = miniflate_compress(input, level);
+    EXPECT_LE(compressed.size(), input.size() + 16);
+    ASSERT_EQ(miniflate_decompress(compressed), input);
+  }
+}
+
 TEST(Rle, RoundtripRunsAndSingles) {
   for (const char* kind : {"zeros", "random", "periodic", "lowentropy"}) {
     const auto input = make_input(kind, 5000, 11);

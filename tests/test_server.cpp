@@ -449,6 +449,79 @@ TEST(Service, RegionResponseSizeIsCapped) {
             200);
 }
 
+TEST(Service, RegionEtagIsStrongAndStable) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  ArchiveService service(reader);
+
+  auto etag_of = [](const HttpResponse& r) {
+    for (const auto& [n, v] : r.headers)
+      if (n == "ETag") return v;
+    return std::string();
+  };
+
+  const auto r1 = service.handle(region_request("f_sz", "10,20", "50,70"));
+  ASSERT_EQ(r1.status, 200);
+  const std::string etag = etag_of(r1);
+  ASSERT_FALSE(etag.empty());
+  ASSERT_EQ(etag.front(), '"');
+  ASSERT_EQ(etag.back(), '"');
+
+  // Same query -> same tag; different geometry or format -> different tag.
+  EXPECT_EQ(etag_of(service.handle(region_request("f_sz", "10,20", "50,70"))),
+            etag);
+  EXPECT_NE(etag_of(service.handle(region_request("f_sz", "10,20", "50,71"))),
+            etag);
+  EXPECT_NE(etag_of(service.handle(
+                region_request("f_sz", "10,20", "50,70", "json"))),
+            etag);
+
+  // If-None-Match with the tag answers 304 with no body and no decode.
+  HttpRequest req = region_request("f_sz", "10,20", "50,70");
+  req.headers.emplace_back("If-None-Match", etag);
+  const auto not_modified = service.handle(req);
+  EXPECT_EQ(not_modified.status, 304);
+  EXPECT_TRUE(not_modified.body.empty());
+  EXPECT_EQ(etag_of(not_modified), etag);
+
+  // A list of tags and the * wildcard both match per RFC 9110.
+  req.headers.back().second = "\"deadbeef\", " + etag;
+  EXPECT_EQ(service.handle(req).status, 304);
+  req.headers.back().second = "*";
+  EXPECT_EQ(service.handle(req).status, 304);
+  // A non-matching tag serves the full response.
+  req.headers.back().second = "\"deadbeef\"";
+  EXPECT_EQ(service.handle(req).status, 200);
+}
+
+TEST(Service, CrossFieldRegionEtagFoldsAnchorTiles) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_cross_field_archive(storage);
+  ArchiveService service(reader);
+
+  auto etag_of = [](const HttpResponse& r) {
+    for (const auto& [n, v] : r.headers)
+      if (n == "ETag") return v;
+    return std::string();
+  };
+
+  // Cross-field regions revalidate like any other (the tag folds the
+  // anchor closure's tile CRCs — response bytes depend on anchor bodies
+  // too, so a target-tiles-only tag could 304 stale data after an anchor
+  // re-encode).
+  const auto r1 = service.handle(region_request("TGT", "4,4", "20,28"));
+  ASSERT_EQ(r1.status, 200);
+  const std::string etag = etag_of(r1);
+  ASSERT_FALSE(etag.empty());
+  EXPECT_EQ(etag_of(service.handle(region_request("TGT", "4,4", "20,28"))),
+            etag);
+  HttpRequest req = region_request("TGT", "4,4", "20,28");
+  req.headers.emplace_back("If-None-Match", etag);
+  const auto revalidated = service.handle(req);
+  EXPECT_EQ(revalidated.status, 304);
+  EXPECT_TRUE(revalidated.body.empty());
+}
+
 // -- HTTP over real loopback sockets -----------------------------------------
 
 struct LoopbackServer {
@@ -503,6 +576,35 @@ TEST(Http, ServesEndpointsOverLoopback) {
   const auto hs = s.http->stats();
   EXPECT_GE(hs.requests, 7u);
   EXPECT_EQ(hs.bad_requests, 0u);
+}
+
+TEST(Http, ConditionalGetOverLoopback) {
+  LoopbackServer s;
+  HttpClient client("127.0.0.1", s.port());
+
+  const auto cold = client.get("/field/f_sz/region?lo=10,20&hi=50,70");
+  ASSERT_EQ(cold.status, 200);
+  const std::string* etag = cold.header("ETag");
+  ASSERT_NE(etag, nullptr);
+
+  // Revalidation with the tag costs a 304 and no region bytes.
+  const auto revalidated = client.get("/field/f_sz/region?lo=10,20&hi=50,70",
+                                      {{"If-None-Match", *etag}});
+  EXPECT_EQ(revalidated.status, 304);
+  EXPECT_TRUE(revalidated.body.empty());
+  const std::string* etag2 = revalidated.header("ETag");
+  ASSERT_NE(etag2, nullptr);
+  EXPECT_EQ(*etag2, *etag);
+
+  // A stale tag re-serves the full (bit-identical) response.
+  const auto stale = client.get("/field/f_sz/region?lo=10,20&hi=50,70",
+                                {{"If-None-Match", "\"00000000\""}});
+  EXPECT_EQ(stale.status, 200);
+  EXPECT_EQ(stale.body, cold.body);
+
+  // The stats endpoint accounts the 304s.
+  const auto stats = client.get("/stats");
+  EXPECT_NE(stats.body.find("\"not_modified\": 1"), std::string::npos);
 }
 
 TEST(Http, KeepAliveServesManyRequestsOnOneConnection) {

@@ -351,6 +351,41 @@ TEST(SzContainer, FrameParsesOwnOutput) {
             body);
 }
 
+TEST(SzContainer, TrustedParseScopeSkipsOnlyTheCrc) {
+  std::vector<std::uint8_t> body{9, 8, 7, 6};
+  auto framed = frame_container(CodecId::kSz, body);
+  // Corrupt only the CRC word (the last 4 bytes): the frame structure
+  // stays valid, so the difference between the two paths is exactly the
+  // checksum walk.
+  framed[framed.size() - 1] ^= 0xFF;
+
+  EXPECT_FALSE(container_parse_trusted());
+  EXPECT_THROW(parse_container(framed), CorruptStream);
+  {
+    const TrustedParseScope trusted;
+    EXPECT_TRUE(container_parse_trusted());
+    const auto parsed = parse_container(framed);
+    EXPECT_EQ(std::vector<std::uint8_t>(parsed.body.begin(),
+                                        parsed.body.end()),
+              body);
+    {
+      const TrustedParseScope nested;  // scopes nest
+      EXPECT_TRUE(container_parse_trusted());
+    }
+    EXPECT_TRUE(container_parse_trusted());
+
+    // Structural violations are still rejected under trust.
+    auto bad_magic = framed;
+    bad_magic[0] = 'Y';
+    EXPECT_THROW(parse_container(bad_magic), CorruptStream);
+    auto truncated = framed;
+    truncated.resize(truncated.size() - 6);
+    EXPECT_THROW(parse_container(truncated), CorruptStream);
+  }
+  EXPECT_FALSE(container_parse_trusted());
+  EXPECT_THROW(parse_container(framed), CorruptStream);
+}
+
 TEST(SzContainer, EmptyOrShortStreamRejected) {
   EXPECT_THROW(parse_container({}), CorruptStream);
   std::vector<std::uint8_t> tiny{'X', 'F', 'C', '1'};
