@@ -108,7 +108,14 @@ int main(int argc, char** argv) {
         server::HttpConfig{},
         [&service](const server::HttpRequest& r) { return service.handle(r); });
     http.start();
-    server::HttpClient client("127.0.0.1", http.port());
+    // Retries configured the way an operational client would run: a
+    // loopback bench never needs them, but they must cost nothing on the
+    // happy path — the timings below keep that honest.
+    server::HttpClientConfig client_config;
+    client_config.max_retries = 3;
+    client_config.backoff_base_ms = 5;
+    client_config.backoff_max_ms = 100;
+    server::HttpClient client("127.0.0.1", http.port(), client_config);
 
     (void)client.get(region_target);  // prime cache + connection
     const double per_request = time_ms([&] {

@@ -14,9 +14,15 @@
 //   xfc_cli archive extract in.xfa FIELD out.f32
 //   xfc_cli archive region  in.xfa FIELD out.f32 lo0 hi0 [lo1 hi1 [lo2 hi2]]
 //   xfc_cli archive info    in.xfa
+//   xfc_cli archive verify  in.xfa            (CRC-walk every tile; exit 1
+//                                              when any tile is damaged)
+//   xfc_cli archive repair  in.xfa out.xfa    (salvage intact tiles into a
+//                                              fresh archive)
 //
 // Archive serving (XFS: HTTP region queries through the decoded-tile cache):
 //   xfc_cli serve in.xfa [--port P] [--cache-mb M] [--threads N]
+// SIGTERM/SIGQUIT drain gracefully (stop accepting, finish in-flight);
+// SIGINT stops immediately.
 //
 // For 2D data pass D=1 (a leading extent of 1 is dropped). Global flags:
 //   --json FILE   machine-readable stats (bench_json records)
@@ -38,6 +44,7 @@
 
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
+#include "archive/repair.hpp"
 #include "archive/tile.hpp"
 #include "bench/bench_json.hpp"
 #include "core/utils.hpp"
@@ -156,6 +163,8 @@ int usage() {
                "  xfc_cli archive region  in.xfa FIELD out.f32 "
                "lo0 hi0 [lo1 hi1 [lo2 hi2]]\n"
                "  xfc_cli archive info    in.xfa\n"
+               "  xfc_cli archive verify  in.xfa\n"
+               "  xfc_cli archive repair  in.xfa out.xfa\n"
                "  xfc_cli serve in.xfa [--port P] [--cache-mb M] "
                "[--threads N]\n"
                "flags: --json FILE  --tile N  --codec sz|classic|interp|zfp\n"
@@ -163,9 +172,11 @@ int usage() {
   return 2;
 }
 
-volatile std::sig_atomic_t g_stop_serving = 0;
+volatile std::sig_atomic_t g_stop_serving = 0;   // SIGINT: stop now
+volatile std::sig_atomic_t g_drain_serving = 0;  // SIGTERM/SIGQUIT: drain
 
 void handle_stop_signal(int) { g_stop_serving = 1; }
+void handle_drain_signal(int) { g_drain_serving = 1; }
 
 int run_serve(const std::string& archive_path, const CliFlags& flags) {
   // The pool sizes itself on first use; pin it before anything parallel
@@ -194,13 +205,24 @@ int run_serve(const std::string& archive_path, const CliFlags& flags) {
   std::printf("     %zu fields, cache %zu MiB, %d pool threads\n",
               reader->fields().size(), flags.cache_mb, hardware_threads());
   std::printf("     endpoints: /fields /field/<name>/region?lo=..&hi=.. "
-              "/stats /healthz\n");
+              "/stats /healthz /readyz\n");
 
   std::signal(SIGINT, handle_stop_signal);
-  std::signal(SIGTERM, handle_stop_signal);
-  while (g_stop_serving == 0)
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGQUIT, handle_drain_signal);
+  while (g_stop_serving == 0 && g_drain_serving == 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
-  http.stop();
+  if (g_drain_serving != 0 && g_stop_serving == 0) {
+    // Graceful: flip /readyz to "draining" so load balancers route away,
+    // stop accepting, and let in-flight requests finish.
+    service.set_ready(false);
+    std::printf("\ndraining (finishing in-flight requests)...\n");
+    const bool clean = http.drain();
+    std::printf(clean ? "drained cleanly\n"
+                      : "drain deadline expired; stopped hard\n");
+  } else {
+    http.stop();
+  }
 
   const server::HttpServerStats hs = http.stats();
   const server::TileCacheStats cs = service.cache().stats();
@@ -339,6 +361,60 @@ int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
       for (const ArchiveFieldInfo& f : reader.fields())
         json.add_value(f.name + "_bytes",
                        static_cast<double>(f.compressed_bytes()));
+      finish_json(json, flags);
+    }
+    return 0;
+  }
+
+  if (sub == "verify" && args.size() >= 2) {
+    ArchiveReader reader = ArchiveReader::open_file(args[1]);
+    const double t0 = bench::now_ms();
+    const ArchiveScrubReport report = reader.scrub();
+    const double wall = bench::now_ms() - t0;
+    std::printf("%s: %zu/%zu tiles ok\n", args[1].c_str(), report.tiles_ok,
+                report.tiles_total);
+    for (const ArchiveTileError& e : report.errors)
+      std::printf("  BAD field '%s' tile %zu @%llu: %s\n", e.field.c_str(),
+                  e.ordinal, static_cast<unsigned long long>(e.offset),
+                  e.message.c_str());
+    if (!flags.json_path.empty()) {
+      json.add("archive_verify", wall,
+               static_cast<double>(report.tiles_total));
+      json.add_value("scrub_tiles_total",
+                     static_cast<double>(report.tiles_total));
+      json.add_value("scrub_tiles_ok", static_cast<double>(report.tiles_ok));
+      json.add_value("scrub_errors",
+                     static_cast<double>(report.errors.size()));
+      finish_json(json, flags);
+    }
+    return report.clean() ? 0 : 1;
+  }
+
+  if (sub == "repair" && args.size() >= 3) {
+    ArchiveReader reader = ArchiveReader::open_file(args[1]);
+    FileSink sink(args[2]);
+    const RepairReport report = archive_repair(reader, sink);
+    for (const RepairFieldOutcome& f : report.fields) {
+      const char* verb =
+          f.action == RepairFieldOutcome::Action::kIntact    ? "intact "
+          : f.action == RepairFieldOutcome::Action::kPatched ? "patched"
+                                                             : "DROPPED";
+      std::printf("  %s %-12s %zu/%zu tiles salvaged", verb, f.name.c_str(),
+                  f.tiles_salvaged, f.tiles_total);
+      if (!f.reason.empty()) std::printf("  (%s)", f.reason.c_str());
+      std::printf("\n");
+    }
+    std::printf("%s: %zu tiles salvaged, %zu patched, %zu field(s) "
+                "dropped\n",
+                args[2].c_str(), report.tiles_salvaged, report.tiles_patched,
+                report.fields_dropped);
+    if (!flags.json_path.empty()) {
+      json.add_value("repair_tiles_salvaged",
+                     static_cast<double>(report.tiles_salvaged));
+      json.add_value("repair_tiles_patched",
+                     static_cast<double>(report.tiles_patched));
+      json.add_value("repair_fields_dropped",
+                     static_cast<double>(report.fields_dropped));
       finish_json(json, flags);
     }
     return 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <mutex>
 #include <set>
 
 #include "archive/tile.hpp"
@@ -29,6 +31,28 @@ void check_not_visiting(const std::vector<std::string>& visiting,
                         const std::string& name) {
   if (std::find(visiting.begin(), visiting.end(), name) != visiting.end())
     throw CorruptStream("archive: cyclic anchor dependency");
+}
+
+/// Operator-grade location suffix appended to every tile-path error: which
+/// field, which grid ordinal, which file offset the bad bytes live at.
+std::string tile_context(const ArchiveFieldInfo& info, std::size_t ordinal) {
+  return " [field '" + info.name + "' tile " + std::to_string(ordinal) +
+         " @offset " + std::to_string(info.tiles[ordinal].offset) + "]";
+}
+
+/// Rethrows the in-flight exception with the tile location appended,
+/// preserving its type so callers keep matching on CorruptStream/IoError.
+[[noreturn]] void rethrow_with_tile_context(const ArchiveFieldInfo& info,
+                                            std::size_t ordinal) {
+  const std::string ctx = tile_context(info, ordinal);
+  try {
+    throw;
+  } catch (const CorruptStream& e) {
+    throw CorruptStream(e.what() + ctx);
+  } catch (const IoError& e) {
+    throw IoError(e.what() + ctx);
+  }
+  // Anything else (InvalidArgument, std::bad_alloc) propagates untouched.
 }
 
 }  // namespace
@@ -254,11 +278,24 @@ const ArchiveFieldInfo& ArchiveReader::require(const std::string& name) const {
 std::vector<std::uint8_t> ArchiveReader::tile_bytes(
     const ArchiveFieldInfo& info, std::size_t ordinal) const {
   const ArchiveTileInfo& t = info.tiles[ordinal];
-  auto body = source_->read_vec(t.offset, t.size);
+  std::vector<std::uint8_t> body;
+  try {
+    body = source_->read_vec(t.offset, t.size);
+  } catch (...) {
+    rethrow_with_tile_context(info, ordinal);
+  }
   if (archive_tile_crc(info.name, ordinal, body) != t.crc)
     throw CorruptStream("archive: tile CRC mismatch (corrupted or shuffled "
-                        "index)");
+                        "index)" +
+                        tile_context(info, ordinal));
   return body;
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_tile_bytes(
+    const ArchiveFieldInfo& info, std::size_t ordinal) const {
+  expects(ordinal < info.tiles.size(),
+          "read_tile_bytes: tile ordinal out of range");
+  return tile_bytes(info, ordinal);
 }
 
 Field ArchiveReader::decode_full(const ArchiveFieldInfo& info,
@@ -298,9 +335,15 @@ Field ArchiveReader::decode_full(const ArchiveFieldInfo& info,
     // tile_bytes() verified the archive tile CRC over this exact body, so
     // the container's inner CRC is redundant — skip it.
     const TrustedParseScope trusted;
-    const Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+    Field tile;
+    try {
+      tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+    } catch (...) {
+      rethrow_with_tile_context(info, t);
+    }
     if (tile.shape() != box.extents)
-      throw CorruptStream("archive: tile shape disagrees with the index");
+      throw CorruptStream("archive: tile shape disagrees with the index" +
+                          tile_context(info, t));
     insert_tile(out, box, tile.array());
   });
 
@@ -373,9 +416,15 @@ Field ArchiveReader::decode_region(const ArchiveFieldInfo& info,
     for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
 
     const TrustedParseScope trusted;  // archive tile CRC subsumes the inner
-    const Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+    Field tile;
+    try {
+      tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+    } catch (...) {
+      rethrow_with_tile_context(info, t);
+    }
     if (tile.shape() != box.extents)
-      throw CorruptStream("archive: tile shape disagrees with the index");
+      throw CorruptStream("archive: tile shape disagrees with the index" +
+                          tile_context(info, t));
 
     copy_tile_into_region(out, lo, hi, tile.array(), box);
   });
@@ -412,9 +461,15 @@ Field ArchiveReader::decode_tile_impl(const ArchiveFieldInfo& info,
 
   const auto body = tile_bytes(info, ordinal);
   const TrustedParseScope trusted;  // archive tile CRC subsumes the inner
-  Field tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+  Field tile;
+  try {
+    tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+  } catch (...) {
+    rethrow_with_tile_context(info, ordinal);
+  }
   if (tile.shape() != box.extents)
-    throw CorruptStream("archive: tile shape disagrees with the index");
+    throw CorruptStream("archive: tile shape disagrees with the index" +
+                        tile_context(info, ordinal));
   return tile;
 }
 
@@ -506,6 +561,193 @@ std::vector<Field> ArchiveReader::read_all() const {
     out.push_back(std::move(dec));
   }
   return out;
+}
+
+namespace {
+
+/// Deterministic report order regardless of decode-thread interleaving.
+void sort_tile_errors(std::vector<ArchiveTileError>& errors) {
+  std::sort(errors.begin(), errors.end(),
+            [](const ArchiveTileError& a, const ArchiveTileError& b) {
+              if (a.field != b.field) return a.field < b.field;
+              return a.ordinal < b.ordinal;
+            });
+}
+
+/// Does the half-open box [a_lo, a_lo+a_ext) intersect [b_lo, b_lo+b_ext)?
+bool boxes_intersect(const TileBox& a, const TileBox& b) {
+  for (std::size_t d = 0; d < a.extents.ndim(); ++d) {
+    if (a.lo[d] + a.extents[d] <= b.lo[d]) return false;
+    if (b.lo[d] + b.extents[d] <= a.lo[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Field ArchiveReader::decode_region_partial(
+    const ArchiveFieldInfo& info, std::span<const std::size_t> lo,
+    std::span<const std::size_t> hi, ArchiveReadReport& report,
+    TileFillPolicy fill, std::vector<std::string> visiting) const {
+  check_not_visiting(visiting, info.name);
+  visiting.push_back(info.name);
+  const std::size_t ndim = info.shape.ndim();
+  expects(lo.size() == ndim && hi.size() == ndim,
+          "read_region: bounds rank must match the field rank");
+  for (std::size_t d = 0; d < ndim; ++d)
+    expects(lo[d] < hi[d] && hi[d] <= info.shape[d],
+            "read_region: empty or out-of-bounds region");
+
+  std::size_t region_dims[3];
+  for (std::size_t d = 0; d < ndim; ++d) region_dims[d] = hi[d] - lo[d];
+  // Pre-fill the whole output: failed tiles simply never overwrite it, so
+  // the fill policy needs no per-failure bookkeeping. (F32Array is
+  // zero-initialised, so kZero costs nothing extra.)
+  F32Array out(Shape(std::span<const std::size_t>(region_dims, ndim)));
+  if (fill == TileFillPolicy::kNan)
+    std::fill(out.data(), out.data() + out.size(),
+              std::numeric_limits<float>::quiet_NaN());
+
+  const TileGrid grid(info.shape, info.tile);
+
+  // Anchors decode through the same degraded path, into the same report.
+  // Any tile box an anchor could not serve poisons every target tile it
+  // touches: decoding a cross-field tile against fill values would produce
+  // plausible-looking wrong bytes, and degraded output must only ever be
+  // absent, never wrong.
+  std::size_t cover_lo[3] = {0, 0, 0};
+  std::vector<Field> anchor_regions;
+  std::vector<TileBox> failed_anchor_boxes;
+  anchor_regions.reserve(info.anchors.size());
+  if (!info.anchors.empty()) {
+    std::size_t cover_hi[3];
+    for (std::size_t d = 0; d < ndim; ++d) {
+      cover_lo[d] = (lo[d] / info.tile[d]) * info.tile[d];
+      cover_hi[d] =
+          std::min(info.shape[d], ceil_div(hi[d], info.tile[d]) * info.tile[d]);
+    }
+    for (const std::string& a : info.anchors) {
+      const ArchiveFieldInfo* ai = find(a);
+      if (ai == nullptr)
+        throw CorruptStream("archive: anchor field missing from archive: " +
+                            a);
+      if (ai->shape != info.shape)
+        throw CorruptStream("archive: anchor shape disagrees with target");
+      const std::size_t errors_before = report.errors.size();
+      anchor_regions.push_back(decode_region_partial(
+          *ai, std::span<const std::size_t>(cover_lo, ndim),
+          std::span<const std::size_t>(cover_hi, ndim), report, fill,
+          visiting));
+      // The anchor's own deeper failures already propagated into its tile
+      // set, so scanning entries named for the immediate anchor is enough.
+      const TileGrid agrid(ai->shape, ai->tile);
+      for (std::size_t e = errors_before; e < report.errors.size(); ++e)
+        if (report.errors[e].field == ai->name)
+          failed_anchor_boxes.push_back(agrid.box(report.errors[e].ordinal));
+    }
+  }
+
+  const std::vector<std::size_t> tiles = grid.tiles_in_region(lo, hi);
+  report.tiles_total += tiles.size();
+  std::mutex report_mutex;
+  for_each_tile_parallel(tiles, [&](std::size_t t) {
+    const TileBox box = grid.box(t);
+
+    for (const TileBox& bad : failed_anchor_boxes) {
+      if (boxes_intersect(box, bad)) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report.errors.push_back(
+            {info.name, t, info.tiles[t].offset,
+             "archive: anchor tile unavailable (degraded anchor coverage)" +
+                 tile_context(info, t)});
+        return;
+      }
+    }
+
+    try {
+      const auto body = tile_bytes(info, t);
+
+      std::vector<Field> anchor_tiles;
+      std::vector<const Field*> anchor_ptrs;
+      anchor_tiles.reserve(anchor_regions.size());
+      for (const Field& ar : anchor_regions) {
+        F32Array at(box.extents);
+        std::size_t zero[3] = {0, 0, 0};
+        std::size_t src_lo[3];
+        for (std::size_t d = 0; d < ndim; ++d)
+          src_lo[d] = box.lo[d] - cover_lo[d];
+        copy_region(at, zero, ar.array(), src_lo, box.extents);
+        anchor_tiles.emplace_back(ar.name(), std::move(at));
+      }
+      for (const Field& a : anchor_tiles) anchor_ptrs.push_back(&a);
+
+      const TrustedParseScope trusted;
+      Field tile;
+      try {
+        tile = archive_decode_tile(body, info.codec, anchor_ptrs);
+      } catch (...) {
+        rethrow_with_tile_context(info, t);
+      }
+      if (tile.shape() != box.extents)
+        throw CorruptStream("archive: tile shape disagrees with the index" +
+                            tile_context(info, t));
+
+      copy_tile_into_region(out, lo, hi, tile.array(), box);
+      std::lock_guard<std::mutex> lock(report_mutex);
+      ++report.tiles_ok;
+    } catch (const XfcError& e) {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      report.errors.push_back({info.name, t, info.tiles[t].offset, e.what()});
+    }
+  });
+
+  return Field(info.name, std::move(out));
+}
+
+Field ArchiveReader::read_field_partial(const std::string& name,
+                                        ArchiveReadReport& report,
+                                        TileFillPolicy fill) const {
+  const ArchiveFieldInfo& info = require(name);
+  const std::size_t ndim = info.shape.ndim();
+  std::size_t lo[3] = {0, 0, 0};
+  std::size_t hi[3];
+  for (std::size_t d = 0; d < ndim; ++d) hi[d] = info.shape[d];
+  Field out = decode_region_partial(
+      info, std::span<const std::size_t>(lo, ndim),
+      std::span<const std::size_t>(hi, ndim), report, fill, {});
+  sort_tile_errors(report.errors);
+  return out;
+}
+
+Field ArchiveReader::read_region_partial(const std::string& name,
+                                         std::span<const std::size_t> lo,
+                                         std::span<const std::size_t> hi,
+                                         ArchiveReadReport& report,
+                                         TileFillPolicy fill) const {
+  Field out =
+      decode_region_partial(require(name), lo, hi, report, fill, {});
+  sort_tile_errors(report.errors);
+  return out;
+}
+
+ArchiveScrubReport ArchiveReader::scrub() const {
+  ArchiveScrubReport report;
+  std::mutex report_mutex;
+  for (const ArchiveFieldInfo& f : fields_) {
+    report.tiles_total += f.tiles.size();
+    for_each_tile_parallel(0, f.tiles.size(), [&](std::size_t t) {
+      try {
+        (void)tile_bytes(f, t);  // read + CRC verify, no decode
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.tiles_ok;
+      } catch (const XfcError& e) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report.errors.push_back({f.name, t, f.tiles[t].offset, e.what()});
+      }
+    });
+  }
+  sort_tile_errors(report.errors);
+  return report;
 }
 
 }  // namespace xfc

@@ -58,6 +58,39 @@ struct ArchiveTileInfo {
   std::uint32_t crc = 0;     // archive_tile_crc of the body
 };
 
+/// One contained per-tile failure from a degraded read or a scrub walk.
+/// Carries enough context (field, grid ordinal, file offset) for an
+/// operator to locate the bad bytes from a log line alone.
+struct ArchiveTileError {
+  std::string field;
+  std::size_t ordinal = 0;
+  std::uint64_t offset = 0;  // file offset of the tile body
+  std::string message;       // what() of the contained exception
+};
+
+/// Fill value for tiles a degraded read could not decode. kZero serves
+/// zeros (safe for renderers); kNan poisons the gap so downstream numerics
+/// cannot mistake filled values for data.
+enum class TileFillPolicy : std::uint8_t { kZero, kNan };
+
+/// Outcome of a degraded read: which tiles of the query decoded and which
+/// failed. The output field is bit-identical to the strict read everywhere
+/// outside the failed tiles' boxes.
+struct ArchiveReadReport {
+  std::size_t tiles_total = 0;  // tiles this query needed (all fields)
+  std::size_t tiles_ok = 0;
+  std::vector<ArchiveTileError> errors;
+  bool complete() const { return errors.empty(); }
+};
+
+/// Outcome of scrub(): every tile of every field, CRC-walked, no decode.
+struct ArchiveScrubReport {
+  std::size_t tiles_total = 0;
+  std::size_t tiles_ok = 0;
+  std::vector<ArchiveTileError> errors;
+  bool clean() const { return errors.empty(); }
+};
+
 struct ArchiveFieldInfo {
   std::string name;
   CodecId codec = CodecId::kSz;
@@ -137,6 +170,34 @@ class ArchiveReader {
   /// Name-keyed convenience overload.
   Field read_tile(const std::string& name, std::size_t ordinal) const;
 
+  /// Raw, CRC-verified tile body (a complete XFC1 container stream) —
+  /// the unit the repair path salvages verbatim. Throws CorruptStream on a
+  /// CRC mismatch, IoError when the device fails.
+  std::vector<std::uint8_t> read_tile_bytes(const ArchiveFieldInfo& info,
+                                            std::size_t ordinal) const;
+
+  /// Degraded-mode full read: per-tile failures (I/O error, CRC mismatch,
+  /// corrupt body) are contained into `report` instead of aborting the
+  /// read; the failed tiles' boxes hold the fill value. A cross-field tile
+  /// whose anchor coverage could not be decoded is failed too — degraded
+  /// output is never silently wrong, only absent. Bounds/argument errors
+  /// still throw (they are caller bugs, not device faults).
+  Field read_field_partial(const std::string& name, ArchiveReadReport& report,
+                           TileFillPolicy fill = TileFillPolicy::kZero) const;
+
+  /// Degraded-mode region read; same containment contract.
+  Field read_region_partial(const std::string& name,
+                            std::span<const std::size_t> lo,
+                            std::span<const std::size_t> hi,
+                            ArchiveReadReport& report,
+                            TileFillPolicy fill = TileFillPolicy::kZero) const;
+
+  /// Walks every tile of every field, verifying the per-tile CRC against
+  /// the index without decoding a single body — the cheap integrity pass
+  /// behind `xfc_cli archive verify`. I/O errors and CRC mismatches land in
+  /// the report; nothing throws for per-tile damage.
+  ArchiveScrubReport scrub() const;
+
  private:
   void parse_index();
   const ArchiveFieldInfo& require(const std::string& name) const;
@@ -158,6 +219,11 @@ class ArchiveReader {
                       std::span<const std::size_t> lo,
                       std::span<const std::size_t> hi,
                       std::vector<std::string> visiting) const;
+  Field decode_region_partial(const ArchiveFieldInfo& info,
+                              std::span<const std::size_t> lo,
+                              std::span<const std::size_t> hi,
+                              ArchiveReadReport& report, TileFillPolicy fill,
+                              std::vector<std::string> visiting) const;
 
   std::unique_ptr<ByteSource> source_;
   std::vector<ArchiveFieldInfo> fields_;

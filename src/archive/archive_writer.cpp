@@ -193,6 +193,43 @@ void ArchiveWriter::add_cross_field(
   fields_.push_back(std::move(entry));
 }
 
+void ArchiveWriter::add_prebuilt_field(
+    const ArchiveFieldInfo& meta,
+    const std::function<std::vector<std::uint8_t>(std::size_t)>& body_for) {
+  expects(!finished_, "ArchiveWriter: archive already finished");
+  expects(!meta.name.empty(), "ArchiveWriter: field must be named");
+  for (const FieldEntry& f : fields_)
+    expects(f.name != meta.name, "ArchiveWriter: duplicate field name");
+  expects(meta.cross_field == (meta.codec == CodecId::kCrossField),
+          "ArchiveWriter: cross-field flag/codec mismatch");
+  const TileGrid grid(meta.shape, meta.tile);
+  expects(meta.tiles.size() == grid.num_tiles(),
+          "ArchiveWriter: tile count disagrees with the field geometry");
+
+  FieldEntry entry;
+  entry.name = meta.name;
+  entry.codec = meta.codec;
+  entry.cross_field = meta.cross_field;
+  entry.eb_mode = meta.eb_mode;
+  entry.eb_value = meta.eb_value;
+  entry.abs_eb = meta.abs_eb;
+  entry.shape = meta.shape;
+  entry.tile = meta.tile;
+  entry.anchors = meta.anchors;
+  entry.tiles.reserve(grid.num_tiles());
+  for (std::size_t t = 0; t < grid.num_tiles(); ++t) {
+    const std::vector<std::uint8_t> body = body_for(t);
+    expects(!body.empty(), "ArchiveWriter: empty prebuilt tile body");
+    TileEntry te;
+    te.offset = sink_.size();
+    te.size = body.size();
+    te.crc = archive_tile_crc(entry.name, t, body);
+    entry.tiles.push_back(te);
+    sink_.append(body);
+  }
+  fields_.push_back(std::move(entry));
+}
+
 void ArchiveWriter::finish() {
   expects(!finished_, "ArchiveWriter: archive already finished");
   finished_ = true;
@@ -231,7 +268,7 @@ void ArchiveWriter::finish() {
   trailer.u64(footer.size());
   trailer.raw(kMagic);
   sink_.append(trailer.bytes());
-  sink_.flush();
+  sink_.commit();
 }
 
 }  // namespace xfc

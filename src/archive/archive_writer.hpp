@@ -62,10 +62,12 @@
 /// model is embedded per tile body (the stream format is unchanged), so
 /// small tiles trade ratio for access granularity — see the README.
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "archive/archive_reader.hpp"
 #include "core/field.hpp"
 #include "crossfield/crossfield.hpp"
 #include "io/stream.hpp"
@@ -118,7 +120,23 @@ class ArchiveWriter {
                        const CfnnModel& model,
                        const ArchiveFieldOptions& options = {});
 
-  /// Writes the footer index and trailer. No fields may be added after.
+  /// Appends a field whose tile bodies are already-encoded XFC1 container
+  /// streams — the archive-repair path, which salvages verbatim bodies out
+  /// of a damaged archive. Geometry and error-bound metadata are copied
+  /// from `meta`; `body_for(ordinal)` supplies each tile's complete body in
+  /// row-major grid order. Tile CRCs are recomputed here, so a verbatim
+  /// body keeps its original CRC (the checksum is a pure function of field
+  /// name, ordinal and bytes). No reconstruction is retained; anchors named
+  /// in `meta` are recorded as-is and must be satisfied by other fields of
+  /// the finished archive.
+  void add_prebuilt_field(
+      const ArchiveFieldInfo& meta,
+      const std::function<std::vector<std::uint8_t>(std::size_t)>& body_for);
+
+  /// Writes the footer index and trailer, then commits the sink (a
+  /// FileSink publishes its temp file onto the final path here, so a crash
+  /// mid-write never leaves a truncated archive behind). No fields may be
+  /// added after.
   void finish();
 
   /// Decoder-identical reconstruction of a field added with

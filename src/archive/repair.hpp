@@ -1,0 +1,63 @@
+#ifndef XFC_ARCHIVE_REPAIR_HPP
+#define XFC_ARCHIVE_REPAIR_HPP
+
+/// \file repair.hpp
+/// Salvage pass for damaged XFA1 archives: scrub the input, copy every
+/// intact tile body verbatim into a fresh archive, and deal with the
+/// casualties per field:
+///
+///   - plain fields keep their intact tiles byte-for-byte and have each
+///     damaged tile replaced by a fill tile (zeros, re-encoded through the
+///     field's own codec at its stored absolute bound) — the field stays
+///     queryable, with a documented hole;
+///   - cross-field targets are kept verbatim only when their own tiles AND
+///     their whole transitive anchor closure are undamaged. A patched
+///     anchor would change the reconstruction the target's residuals were
+///     coded against, silently corrupting every value in the field, so a
+///     target whose closure is lost is dropped (reported), not guessed at.
+///
+/// The output archive is written through the normal ArchiveWriter (tile
+/// CRCs recomputed — a pure function of name/ordinal/bytes, so verbatim
+/// bodies keep their original checksums) and committed crash-safely.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive_reader.hpp"
+#include "io/stream.hpp"
+
+namespace xfc {
+
+/// What repair did with one input field.
+struct RepairFieldOutcome {
+  enum class Action : std::uint8_t {
+    kIntact,   ///< every tile copied verbatim
+    kPatched,  ///< intact tiles verbatim, damaged tiles fill-encoded
+    kDropped,  ///< omitted from the output (see `reason`)
+  };
+  std::string name;
+  Action action = Action::kIntact;
+  std::size_t tiles_total = 0;
+  std::size_t tiles_salvaged = 0;           ///< verbatim-copied bodies
+  std::vector<std::size_t> patched_tiles;   ///< ordinals replaced with fill
+  std::string reason;                       ///< why dropped (empty otherwise)
+};
+
+struct RepairReport {
+  ArchiveScrubReport scrub;  ///< the damage assessment repair acted on
+  std::vector<RepairFieldOutcome> fields;
+  std::size_t tiles_salvaged = 0;
+  std::size_t tiles_patched = 0;
+  std::size_t fields_dropped = 0;
+};
+
+/// Salvages `in` into a new archive on `out`, per the policy above. The
+/// sink is finished (and committed) on success; on any thrown error the
+/// output is left unpublished. Fields land in their original archive order
+/// minus the dropped ones.
+RepairReport archive_repair(const ArchiveReader& in, ByteSink& out);
+
+}  // namespace xfc
+
+#endif  // XFC_ARCHIVE_REPAIR_HPP

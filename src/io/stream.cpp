@@ -1,6 +1,10 @@
 #include "io/stream.hpp"
 
+#include <cstdio>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "core/error.hpp"
 
@@ -11,21 +15,59 @@ void VectorSink::append(std::span<const std::uint8_t> data) {
 }
 
 FileSink::FileSink(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  if (!out_) throw IoError("cannot open file for writing: " + path);
+    : path_(path), tmp_path_(path + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw IoError("cannot open file for writing: " + tmp_path_);
+}
+
+FileSink::~FileSink() {
+  // Uncommitted = incomplete: drop the temp file rather than publish it.
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
 }
 
 void FileSink::append(std::span<const std::uint8_t> data) {
   if (data.empty()) return;
   if (!out_.write(reinterpret_cast<const char*>(data.data()),
                   static_cast<std::streamsize>(data.size())))
-    throw IoError("short write to file: " + path_);
+    throw IoError("short write to file: " + tmp_path_);
   written_ += data.size();
 }
 
 void FileSink::flush() {
   out_.flush();
-  if (!out_) throw IoError("flush failed: " + path_);
+  if (!out_) throw IoError("flush failed: " + tmp_path_);
+}
+
+void FileSink::commit() {
+  expects(!committed_, "FileSink: already committed");
+  flush();
+  out_.close();
+  if (!out_) throw IoError("close failed: " + tmp_path_);
+  // fsync before rename: the rename must not be durable before the data is,
+  // or a crash could publish a hole. A read-only descriptor suffices for
+  // fsync on Linux.
+  const int fd = ::open(tmp_path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    throw IoError("fsync failed: " + tmp_path_);
+  }
+  ::close(fd);
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+    throw IoError("rename failed: " + tmp_path_ + " -> " + path_);
+  committed_ = true;
+  // Best effort: make the rename itself durable.
+  const auto slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 void MemorySource::read_at(std::size_t offset,

@@ -29,8 +29,13 @@ class ByteSink {
   virtual void append(std::span<const std::uint8_t> data) = 0;
   virtual std::size_t size() const = 0;
   /// Forces buffered bytes to durable storage; no-op for unbuffered sinks.
-  /// The archive writer calls this once from finish().
   virtual void flush() {}
+  /// Marks the stream complete and publishes it atomically where the sink
+  /// supports it (FileSink writes to a temp path and renames here, so a
+  /// crash mid-write never leaves a truncated archive under the final
+  /// name). The archive writer calls this once from finish(); the default
+  /// just flushes.
+  virtual void commit() { flush(); }
 };
 
 /// In-memory sink; `take()` hands the accumulated archive to the caller.
@@ -47,19 +52,28 @@ class VectorSink final : public ByteSink {
 
 /// Streaming file sink: bytes hit the OS as they are appended, so writer
 /// memory stays bounded no matter how large the archive grows. Throws
-/// IoError on open/write failure; `flush()` forces buffered data out (the
-/// archive writer calls it from finish()).
+/// IoError on open/write failure.
+///
+/// Crash-safe publication: bytes stream into `path + ".tmp"`; commit()
+/// flushes, fsyncs and renames the temp file onto the final path, so the
+/// final name only ever holds a complete stream. An uncommitted sink (an
+/// exception mid-write, an injected torn write) removes its temp file on
+/// destruction and leaves any previous file at the final path untouched.
 class FileSink final : public ByteSink {
  public:
   explicit FileSink(const std::string& path);
+  ~FileSink() override;
   void append(std::span<const std::uint8_t> data) override;
   std::size_t size() const override { return written_; }
   void flush() override;
+  void commit() override;
 
  private:
   std::ofstream out_;
   std::size_t written_ = 0;
   std::string path_;
+  std::string tmp_path_;
+  bool committed_ = false;
 };
 
 /// Positional-read byte source.

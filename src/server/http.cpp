@@ -1,5 +1,6 @@
 #include "server/http.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -39,6 +40,7 @@ const char* reason_phrase(int status) {
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
     case 505: return "HTTP Version Not Supported";
     default: return "Status";
@@ -418,10 +420,37 @@ void HttpServer::stop() {
   thread_.join();
   for (std::size_t i = 0; i < conns_.size(); ++i)
     if (conns_[i]) close_conn(i);
-  ::close(listen_fd_);
+  // The loop may already have closed the listener (drain()).
+  if (listen_fd_ >= 0) ::close(listen_fd_);
   ::close(epoll_fd_);
   ::close(wake_fd_);
   listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+bool HttpServer::drain() {
+  if (!running_.load(std::memory_order_acquire)) {
+    stop();
+    return true;
+  }
+  draining_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  // The event loop closes the listener and reaps idle connections on its
+  // next pass; here we just wait for in-flight connections to finish, then
+  // stop hard (which also kills whatever missed the deadline).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.drain_deadline_ms);
+  bool drained = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (open_.load(std::memory_order_relaxed) == 0) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop();
+  return drained;
 }
 
 void HttpServer::close_conn(std::size_t slot) {
@@ -484,6 +513,32 @@ void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
     touched.clear();
 
     if (ready.empty()) return;
+
+    // Overload shedding: everything beyond the dispatch cap gets a cheap
+    // 503 + Retry-After now rather than a slot in an unbounded queue. The
+    // shed connection stays usable (the client is told when to come back).
+    std::vector<std::size_t> shed;
+    if (ready.size() > config_.max_pending_requests) {
+      shed.assign(ready.begin() +
+                      static_cast<std::ptrdiff_t>(config_.max_pending_requests),
+                  ready.end());
+      ready.resize(config_.max_pending_requests);
+      shed_.fetch_add(shed.size(), std::memory_order_relaxed);
+      for (const std::size_t slot : shed) {
+        Conn& c = *conns_[slot];
+        HttpResponse busy =
+            HttpResponse::text(503, "overloaded, retry later\n");
+        busy.headers.emplace_back("Retry-After",
+                                  std::to_string(config_.retry_after_s));
+        const bool keep =
+            !c.http10 && !draining_.load(std::memory_order_relaxed);
+        if (!write_all(c.fd, serialize_response(busy, keep),
+                       config_.write_stall_timeout_ms) ||
+            !keep)
+          c.close_after = true;
+        c.last_active = std::chrono::steady_clock::now();
+      }
+    }
     requests_.fetch_add(ready.size(), std::memory_order_relaxed);
 
     // One ready request runs right here; a batch fans out over the shared
@@ -508,6 +563,8 @@ void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
         if (iequals(*conn_hdr, "close")) keep = false;
         if (iequals(*conn_hdr, "keep-alive")) keep = true;
       }
+      // Draining: every response tells the client this connection is done.
+      if (draining_.load(std::memory_order_relaxed)) keep = false;
       if (!write_all(c.fd, serialize_response(resp, keep),
                      config_.write_stall_timeout_ms) ||
           !keep)
@@ -521,7 +578,8 @@ void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
                    [&](std::size_t i) { run_one(ready[i]); });
     }
 
-    for (const std::size_t slot : ready) {
+    shed.insert(shed.end(), ready.begin(), ready.end());
+    for (const std::size_t slot : shed) {
       Conn* c = conns_[slot].get();
       if (c->close_after) {
         close_conn(slot);
@@ -546,15 +604,24 @@ void HttpServer::loop() {
     }
     touched.clear();
     const auto now = std::chrono::steady_clock::now();
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && listen_fd_ >= 0) {
+      // Stop accepting: with the listening socket closed, new connection
+      // attempts are refused by the kernel, not queued behind the drain.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       if (tag == 1) {  // wakeup eventfd
-        std::uint64_t drain;
-        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        std::uint64_t drained_count;
+        while (::read(wake_fd_, &drained_count, sizeof drained_count) > 0) {
         }
         continue;
       }
       if (tag == 0) {  // listener
+        if (listen_fd_ < 0) continue;  // just closed by the drain path
         for (;;) {
           const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -625,12 +692,16 @@ void HttpServer::loop() {
 
     handle_ready(touched);
 
-    // Reap idle keep-alive connections.
+    // Reap idle keep-alive connections. While draining, a connection with
+    // no buffered bytes has nothing in flight — close it now rather than
+    // wait out the idle timeout (slow request *senders* keep their
+    // connection until the drain deadline kills the server).
     for (std::size_t slot = 0; slot < conns_.size(); ++slot) {
       Conn* c = conns_[slot].get();
-      if (c != nullptr &&
-          now - c->last_active >
-              std::chrono::milliseconds(config_.idle_timeout_ms))
+      if (c == nullptr) continue;
+      if (now - c->last_active >
+              std::chrono::milliseconds(config_.idle_timeout_ms) ||
+          (draining && c->in.empty()))
         close_conn(slot);
     }
   }
@@ -643,6 +714,7 @@ HttpServerStats HttpServer::stats() const {
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.handler_errors = handler_errors_.load(std::memory_order_relaxed);
   s.rejected_connections = rejected_.load(std::memory_order_relaxed);
+  s.shed_requests = shed_.load(std::memory_order_relaxed);
   s.open_connections = open_.load(std::memory_order_relaxed);
   return s;
 }
@@ -690,8 +762,12 @@ bool send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-HttpClient::HttpClient(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       HttpClientConfig config)
+    : host_(std::move(host)),
+      port_(port),
+      config_(config),
+      retry_rng_(config.jitter_seed == 0 ? 1 : config.jitter_seed) {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
@@ -715,31 +791,37 @@ HttpClientResponse HttpClient::get(
   for (const auto& [name, value] : extra_headers)
     request += name + ": " + value + "\r\n";
   request += "\r\n";
-  for (int attempt = 0;; ++attempt) {
-    ensure_connected();
+
+  // Transport failures (connect refused, reset, died mid-response) carry
+  // this local marker so the retry loop can tell them from malformed
+  // responses, which must never retry. Never escapes this function.
+  struct Transport {
+    std::string what;
+  };
+
+  // One attempt: connect if needed, send, read one full response.
+  auto attempt_once = [&](bool& reused) -> HttpClientResponse {
+    reused = fd_ >= 0;
+    try {
+      ensure_connected();
+    } catch (const IoError& e) {
+      throw Transport{e.what()};
+    }
     if (!send_all(fd_, request)) {
       disconnect();
-      if (attempt == 0) continue;  // stale keep-alive: reconnect once
-      throw IoError("http client: send failed");
+      throw Transport{"http client: send failed"};
     }
 
     // Read until the header block is complete.
     std::size_t head_end;
-    bool died = false;
     while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
       char tmp[8192];
       const ssize_t r = ::recv(fd_, tmp, sizeof tmp, 0);
       if (r <= 0) {
-        died = true;
-        break;
+        disconnect();
+        throw Transport{"http client: connection closed mid-response"};
       }
       buf_.append(tmp, static_cast<std::size_t>(r));
-    }
-    if (died) {
-      const bool nothing_received = buf_.empty();
-      disconnect();
-      if (attempt == 0 && nothing_received) continue;
-      throw IoError("http client: connection closed mid-response");
     }
 
     HttpClientResponse resp;
@@ -778,7 +860,7 @@ HttpClientResponse HttpClient::get(
       const ssize_t r = ::recv(fd_, tmp, sizeof tmp, 0);
       if (r <= 0) {
         disconnect();
-        throw IoError("http client: connection closed mid-body");
+        throw Transport{"http client: connection closed mid-body"};
       }
       buf_.append(tmp, static_cast<std::size_t>(r));
     }
@@ -786,6 +868,36 @@ HttpClientResponse HttpClient::get(
     buf_.erase(0, total);
     if (server_closes) disconnect();
     return resp;
+  };
+
+  bool stale_retry_spent = false;
+  for (int failures = 0;;) {
+    bool reused = false;
+    try {
+      return attempt_once(reused);
+    } catch (const Transport& t) {
+      // A reused keep-alive connection dying says nothing about the
+      // server's health (it may simply have reaped an idle connection):
+      // one immediate free retry on a fresh connection.
+      if (reused && !stale_retry_spent) {
+        stale_retry_spent = true;
+        continue;
+      }
+      if (failures >= config_.max_retries) throw IoError(t.what);
+      // Capped exponential backoff with jitter (see HttpClientConfig).
+      const int shift = failures < 20 ? failures : 20;
+      std::uint64_t base_ms =
+          static_cast<std::uint64_t>(config_.backoff_base_ms) << shift;
+      base_ms = std::min<std::uint64_t>(
+          base_ms, static_cast<std::uint64_t>(config_.backoff_max_ms));
+      retry_rng_ =
+          retry_rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double jitter =
+          0.5 + 0.5 * static_cast<double>(retry_rng_ >> 11) * 0x1.0p-53;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::uint64_t>(static_cast<double>(base_ms) * jitter)));
+      ++failures;
+    }
   }
 }
 

@@ -44,6 +44,15 @@ struct HttpConfig {
   /// A client that stops reading its response forfeits it after this long
   /// (responses are written synchronously by the handling thread).
   int write_stall_timeout_ms = 5'000;
+  /// Overload shedding: at most this many parsed requests are dispatched to
+  /// handlers per event-loop wake-up; the excess answer 503 + Retry-After
+  /// immediately (cheap, bounded) instead of queueing unbounded work.
+  std::size_t max_pending_requests = 64;
+  /// Retry-After value (seconds) sent with shed 503s.
+  int retry_after_s = 1;
+  /// drain(): how long in-flight connections get to finish before the
+  /// server stops hard.
+  int drain_deadline_ms = 5'000;
 };
 
 struct HttpRequest {
@@ -78,6 +87,7 @@ struct HttpServerStats {
   std::uint64_t bad_requests = 0;   // parser-rejected (4xx before dispatch)
   std::uint64_t handler_errors = 0; // handler threw (answered 500)
   std::uint64_t rejected_connections = 0;  // over max_connections
+  std::uint64_t shed_requests = 0;  // answered 503 under overload
   std::uint64_t open_connections = 0;      // current
 };
 
@@ -100,6 +110,17 @@ class HttpServer {
   /// destructor.
   void stop();
 
+  /// Graceful shutdown: stops accepting (the listening socket closes, so
+  /// new connections are refused at the TCP level), answers every further
+  /// request with Connection: close, reaps idle keep-alive connections,
+  /// and gives in-flight work up to config.drain_deadline_ms to finish
+  /// before calling stop(). Returns true when every connection finished
+  /// inside the deadline. Safe to call from a signal-handling thread.
+  bool drain();
+
+  /// True once drain() has begun (or completed).
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   /// Actual bound port (resolves an ephemeral request).
   std::uint16_t port() const { return port_; }
 
@@ -120,6 +141,7 @@ class HttpServer {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::vector<std::unique_ptr<Conn>> conns_;  // slot-indexed, nullable
 
   std::atomic<std::uint64_t> accepted_{0};
@@ -127,6 +149,7 @@ class HttpServer {
   std::atomic<std::uint64_t> bad_requests_{0};
   std::atomic<std::uint64_t> handler_errors_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> open_{0};
 };
 
@@ -142,11 +165,26 @@ struct HttpClientResponse {
   const std::string* header(const std::string& name) const;
 };
 
+struct HttpClientConfig {
+  /// Transport-level retries for GETs (connect refused, connection reset,
+  /// died mid-response) — GETs here are idempotent, so a retry is always
+  /// safe. Malformed responses are never retried: the bytes arrived, the
+  /// server is just wrong. 0 disables retrying.
+  int max_retries = 3;
+  /// Capped exponential backoff between retries: attempt k sleeps
+  /// min(base << k, max) * jitter, jitter uniform in [0.5, 1.0) so a herd
+  /// of clients retrying a recovering server does not re-arrive in phase.
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 500;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+};
+
 /// Minimal blocking HTTP/1.1 client with one keep-alive connection;
 /// reconnects transparently if the server closed it. Not thread-safe.
 class HttpClient {
  public:
-  HttpClient(std::string host, std::uint16_t port);
+  HttpClient(std::string host, std::uint16_t port,
+             HttpClientConfig config = {});
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -166,6 +204,8 @@ class HttpClient {
 
   std::string host_;
   std::uint16_t port_;
+  HttpClientConfig config_;
+  std::uint64_t retry_rng_;  // jitter state (seeded from config)
   int fd_ = -1;
   std::string buf_;  // bytes read past the previous response
 };

@@ -1,8 +1,11 @@
 #include "server/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <set>
 
 #include "archive/tile.hpp"
@@ -95,11 +98,23 @@ bool parse_bounds(const std::string& text, std::size_t ndim,
 
 }  // namespace
 
+namespace {
+
+TileCacheConfig cache_config(const ServiceConfig& config) {
+  TileCacheConfig c;
+  c.capacity_bytes = config.cache_bytes;
+  c.shards = config.cache_shards;
+  c.negative_ttl_ms = config.negative_ttl_ms;
+  return c;
+}
+
+}  // namespace
+
 ArchiveService::ArchiveService(std::shared_ptr<const ArchiveReader> reader,
                                ServiceConfig config)
     : reader_(std::move(reader)),
       config_(config),
-      cache_(TileCacheConfig{config.cache_bytes, config.cache_shards}) {
+      cache_(cache_config(config)) {
   expects(reader_ != nullptr, "ArchiveService: null reader");
   archive_id_ = cache_.add_archive(reader_);
 }
@@ -112,6 +127,13 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
   }
   const std::string& path = request.path;
   if (path == "/healthz") return HttpResponse::text(200, "ok\n");
+  if (path == "/readyz") {
+    if (ready_.load(std::memory_order_acquire))
+      return HttpResponse::text(200, "ready\n");
+    HttpResponse resp = HttpResponse::text(503, "draining\n");
+    resp.headers.emplace_back("Retry-After", "1");
+    return resp;
+  }
   if (path == "/fields") return handle_fields();
   if (path == "/stats") return handle_stats();
 
@@ -156,6 +178,7 @@ HttpResponse ArchiveService::handle_fields() const {
 
 HttpResponse ArchiveService::handle_region(const std::string& field_name,
                                            const HttpRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
   region_requests_.fetch_add(1, std::memory_order_relaxed);
   const ArchiveFieldInfo* info = reader_->find(field_name);
   if (info == nullptr) {
@@ -169,15 +192,22 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     client_errors_.fetch_add(1, std::memory_order_relaxed);
     return HttpResponse::text(400, "malformed query string\n");
   }
-  std::string lo_text, hi_text, fmt = "f32";
+  std::string lo_text, hi_text, fmt = "f32", fill = "zero";
+  bool allow_partial = false;
   for (const auto& [key, value] : params) {
     if (key == "lo") lo_text = value;
     else if (key == "hi") hi_text = value;
     else if (key == "fmt") fmt = value;
+    else if (key == "allow_partial") allow_partial = value == "1";
+    else if (key == "fill") fill = value;
   }
   if (fmt != "f32" && fmt != "json") {
     client_errors_.fetch_add(1, std::memory_order_relaxed);
     return HttpResponse::text(400, "fmt must be f32 or json\n");
+  }
+  if (fill != "zero" && fill != "nan") {
+    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(400, "fill must be zero or nan\n");
   }
   std::size_t lo[3], hi[3];
   if (!parse_bounds(lo_text, ndim, lo) || !parse_bounds(hi_text, ndim, hi)) {
@@ -272,22 +302,53 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
 
   // Assemble the region from cached decoded tiles — the exact analogue of
   // ArchiveReader::read_region's crop-and-copy (same copy_tile_into_region
-  // helper), so the bytes match it.
+  // helper), so the bytes match it. Per-tile failures are collected, not
+  // thrown: the response either names every bad tile (502) or — when the
+  // client opted in with allow_partial=1 — serves what decoded with the
+  // failed boxes filled and a manifest of the holes.
   F32Array out(Shape(std::span<const std::size_t>(region_dims, ndim)));
+  if (fill == "nan")
+    std::fill(out.data(), out.data() + out.size(),
+              std::numeric_limits<float>::quiet_NaN());
   const std::size_t field_index =
       static_cast<std::size_t>(info - reader_->fields().data());
-  try {
-    for (const std::size_t t : tiles) {
+  struct TileFailure {
+    std::size_t ordinal;
+    std::string message;
+  };
+  std::vector<TileFailure> failures;
+  for (const std::size_t t : tiles) {
+    if (config_.request_deadline_ms > 0 &&
+        std::chrono::steady_clock::now() - start >
+            std::chrono::milliseconds(config_.request_deadline_ms)) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse busy = HttpResponse::text(
+          503, "request deadline exceeded, retry later\n");
+      busy.headers.emplace_back("Retry-After", "1");
+      return busy;
+    }
+    try {
       const std::shared_ptr<const Field> tile =
           cache_.get(archive_id_, field_index, t);
       copy_tile_into_region(out, std::span<const std::size_t>(lo, ndim),
                             std::span<const std::size_t>(hi, ndim),
                             tile->array(), grid.box(t));
+    } catch (const XfcError& e) {
+      failures.push_back({t, e.what()});
     }
-  } catch (const CorruptStream& e) {
-    return HttpResponse::text(500,
-                              std::string("archive error: ") + e.what() +
-                                  "\n");
+  }
+
+  if (!failures.empty() && !allow_partial) {
+    failed_regions_.fetch_add(1, std::memory_order_relaxed);
+    std::string body = "archive degraded: " +
+                       std::to_string(failures.size()) +
+                       " unreadable tile(s) in field '" + info->name + "':";
+    const std::size_t shown = std::min<std::size_t>(failures.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i)
+      body += (i == 0 ? " " : ", ") + std::to_string(failures[i].ordinal);
+    if (shown < failures.size()) body += ", ...";
+    body += "\nretry with allow_partial=1 for a best-effort response\n";
+    return HttpResponse::text(502, std::move(body));
   }
 
   std::string shape_list;
@@ -295,6 +356,8 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     if (d != 0) shape_list += ',';
     shape_list += std::to_string(region_dims[d]);
   }
+  const bool degraded = !failures.empty();
+  if (degraded) degraded_requests_.fetch_add(1, std::memory_order_relaxed);
 
   HttpResponse resp;
   if (fmt == "f32") {
@@ -303,18 +366,46 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
                      out.size() * sizeof(float));
     resp.headers.emplace_back("X-Xfc-Shape", shape_list);
     resp.headers.emplace_back("X-Xfc-Field", info->name);
-    resp.headers.emplace_back("ETag", etag);
   } else {
     std::string body = "{\"field\": \"" + json_escape(info->name) +
                        "\", \"shape\": [" + shape_list + "], \"values\": [";
     char num[32];
     for (std::size_t i = 0; i < out.size(); ++i) {
       if (i != 0) body += ',';
+      // NaN fill serializes as null — "nan" is not JSON.
+      if (std::isnan(out[i])) {
+        body += "null";
+        continue;
+      }
       std::snprintf(num, sizeof num, "%.9g", static_cast<double>(out[i]));
       body += num;
     }
-    body += "]}\n";
+    body += "]";
+    if (degraded) {
+      body += ", \"tile_errors\": [";
+      for (std::size_t i = 0; i < failures.size(); ++i) {
+        if (i != 0) body += ',';
+        body += "{\"tile\": " + std::to_string(failures[i].ordinal) +
+                ", \"error\": \"" + json_escape(failures[i].message) + "\"}";
+      }
+      body += "]";
+    }
+    body += "}\n";
     resp = HttpResponse::json(std::move(body));
+  }
+  if (degraded) {
+    // Manifest of the holes; no ETag — degraded bytes must never validate
+    // a later conditional request as the real data.
+    std::string bad;
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      if (i != 0) bad += ',';
+      bad += std::to_string(failures[i].ordinal);
+    }
+    resp.headers.emplace_back("X-Xfc-Bad-Tiles", bad);
+    resp.headers.emplace_back("X-Xfc-Tile-Errors",
+                              std::to_string(failures.size()));
+    resp.headers.emplace_back("X-Xfc-Fill", fill);
+  } else {
     resp.headers.emplace_back("ETag", etag);
   }
   bytes_served_.fetch_add(resp.body.size(), std::memory_order_relaxed);
@@ -333,6 +424,15 @@ HttpResponse ArchiveService::handle_stats() const {
          ",\n";
   out += "  \"not_modified\": " + std::to_string(not_modified_.load()) +
          ",\n";
+  out += "  \"degraded_requests\": " +
+         std::to_string(degraded_requests_.load()) + ",\n";
+  out += "  \"failed_regions\": " + std::to_string(failed_regions_.load()) +
+         ",\n";
+  out += "  \"deadline_exceeded\": " +
+         std::to_string(deadline_exceeded_.load()) + ",\n";
+  out += "  \"ready\": ";
+  out += ready_.load() ? "true" : "false";
+  out += ",\n";
   out += "  \"cache\": {\n";
   out += "    \"hits\": " + std::to_string(c.hits) + ",\n";
   out += "    \"misses\": " + std::to_string(c.misses) + ",\n";
@@ -340,6 +440,9 @@ HttpResponse ArchiveService::handle_stats() const {
   out += "    \"inflight_waits\": " + std::to_string(c.inflight_waits) +
          ",\n";
   out += "    \"decode_errors\": " + std::to_string(c.decode_errors) + ",\n";
+  out += "    \"negative_hits\": " + std::to_string(c.negative_hits) + ",\n";
+  out += "    \"negative_entries\": " + std::to_string(c.negative_entries) +
+         ",\n";
   out += "    \"entries\": " + std::to_string(c.entries) + ",\n";
   out += "    \"bytes\": " + std::to_string(c.bytes) + ",\n";
   out += "    \"capacity_bytes\": " + std::to_string(cache_.capacity_bytes()) +

@@ -5,7 +5,10 @@
 /// XFS endpoints: the glue between the HTTP layer and one XFA1 archive,
 /// with every region read served through the sharded decoded-tile cache.
 ///
-///   GET /healthz                      -> 200 "ok"
+///   GET /healthz                      -> 200 "ok" (liveness: process up)
+///   GET /readyz                       -> 200 "ready", or 503 "draining"
+///       once set_ready(false) — readiness is what a load balancer should
+///       poll; liveness stays 200 through a drain.
 ///   GET /fields                       -> JSON index of the archive
 ///   GET /field/<name>/region?lo=..&hi=..[&fmt=f32|json]
 ///       Half-open region [lo, hi) of the named field (comma-separated
@@ -16,6 +19,12 @@
 ///       ArchiveReader::read_region on the same archive. Responses carry a
 ///       strong ETag derived from the covered tiles' index CRCs;
 ///       If-None-Match answers 304 without decoding a single tile.
+///       Damaged tiles answer 502 naming the bad tiles — unless the client
+///       opts in with allow_partial=1, which answers 200 with the failed
+///       tiles filled (fill=zero|nan) and a tile-error manifest
+///       (X-Xfc-Bad-Tiles header for f32, "tile_errors" array for json).
+///       Partial responses carry no ETag: degraded bytes must never
+///       validate a later 304.
 ///   GET /stats                        -> JSON cache + request counters
 ///
 /// handle() is thread-safe (the HTTP layer fans request batches over the
@@ -42,6 +51,13 @@ struct ServiceConfig {
   /// hence its much lower ceiling.
   std::size_t max_region_values = 16u << 20;  // 64 MiB of f32 per response
   std::size_t max_json_values = 1u << 20;
+  /// Per-request decode budget: a region request that has already spent
+  /// this long answers 503 + Retry-After instead of holding a worker (0
+  /// disables the deadline). Checked between tile decodes, so one tile's
+  /// decode time bounds the overshoot.
+  int request_deadline_ms = 0;
+  /// Negative-cache TTL handed to the tile cache (see TileCacheConfig).
+  std::uint32_t negative_ttl_ms = 250;
 };
 
 class ArchiveService {
@@ -51,6 +67,14 @@ class ArchiveService {
 
   /// Routes one request; never throws (internal failures answer 4xx/5xx).
   HttpResponse handle(const HttpRequest& request);
+
+  /// Flips /readyz between 200 "ready" and 503 "draining". Call with
+  /// false when a drain begins so load balancers stop routing here while
+  /// in-flight requests finish. /healthz is unaffected.
+  void set_ready(bool ready) {
+    ready_.store(ready, std::memory_order_release);
+  }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
 
   const TileCache& cache() const { return cache_; }
   const ArchiveReader& reader() const { return *reader_; }
@@ -66,11 +90,16 @@ class ArchiveService {
   TileCache cache_;
   std::uint64_t archive_id_ = 0;
 
+  std::atomic<bool> ready_{true};
+
   mutable std::atomic<std::uint64_t> requests_{0};
   mutable std::atomic<std::uint64_t> region_requests_{0};
   mutable std::atomic<std::uint64_t> client_errors_{0};
   mutable std::atomic<std::uint64_t> bytes_served_{0};
   mutable std::atomic<std::uint64_t> not_modified_{0};
+  mutable std::atomic<std::uint64_t> degraded_requests_{0};   // partial 200s
+  mutable std::atomic<std::uint64_t> failed_regions_{0};      // 502s
+  mutable std::atomic<std::uint64_t> deadline_exceeded_{0};   // 503s
 };
 
 }  // namespace xfc::server

@@ -1,5 +1,7 @@
 #include "server/tile_cache.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <list>
 #include <unordered_map>
@@ -49,9 +51,21 @@ struct TileCache::Shard {
     }
   };
 
+  /// A cached decode failure: the typed error served until `expiry`. The
+  /// TTL it was inserted with is kept so the next failure after expiry can
+  /// double it (exponential backoff per poisoned tile).
+  struct NegEntry {
+    std::exception_ptr error;
+    std::chrono::steady_clock::time_point expiry;
+    std::uint32_t ttl_ms = 0;
+    std::list<Key>::iterator order_it{};
+  };
+
   std::mutex m;
   std::unordered_map<Key, Entry, KeyHash> map;
   std::list<Key> lru;  // front = most recently used; in-flight keys absent
+  std::unordered_map<Key, NegEntry, KeyHash> neg;
+  std::list<Key> neg_order;  // front = newest failure
   std::size_t bytes = 0;
   std::size_t budget = 0;
 };
@@ -59,6 +73,10 @@ struct TileCache::Shard {
 TileCache::TileCache(TileCacheConfig config)
     : capacity_bytes_(config.capacity_bytes),
       n_shards_(config.shards == 0 ? 1 : config.shards),
+      negative_ttl_ms_(config.negative_ttl_ms),
+      negative_ttl_max_ms_(
+          std::max(config.negative_ttl_max_ms, config.negative_ttl_ms)),
+      negative_entries_max_(config.negative_entries_max),
       shards_(new Shard[config.shards == 0 ? 1 : config.shards]) {
   for (std::size_t i = 0; i < n_shards_; ++i)
     shards_[i].budget = capacity_bytes_ / n_shards_;
@@ -139,6 +157,24 @@ std::shared_ptr<const Field> TileCache::get_by_key(
     return inflight->value;
   }
 
+  // Poisoned tile: serve the cached failure until it expires — one decode
+  // attempt per backoff window, however many requests hammer the key.
+  std::uint32_t prev_neg_ttl_ms = 0;
+  const auto nit = sh.neg.find(key);
+  if (nit != sh.neg.end()) {
+    if (std::chrono::steady_clock::now() < nit->second.expiry) {
+      negative_hits_.fetch_add(1, std::memory_order_relaxed);
+      const std::exception_ptr error = nit->second.error;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+    // Expired: this thread retries the decode; remember the old TTL so a
+    // repeat failure backs off harder.
+    prev_neg_ttl_ms = nit->second.ttl_ms;
+    sh.neg_order.erase(nit->second.order_it);
+    sh.neg.erase(nit);
+  }
+
   // Cold tile: this thread becomes the decode leader for the key.
   const auto inflight = std::make_shared<Shard::InFlight>();
   sh.map.emplace(key, Shard::Entry{nullptr, inflight, {}, 0});
@@ -165,9 +201,30 @@ std::shared_ptr<const Field> TileCache::get_by_key(
   } catch (...) {
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
     {
-      // Drop the pending entry so the next request retries the decode.
+      // Drop the pending entry and negatively cache the failure: followers
+      // already waiting get the error through the in-flight rendezvous;
+      // later requests hit the cached entry until its TTL lapses.
       const std::lock_guard<std::mutex> relock(sh.m);
       sh.map.erase(key);
+      if (negative_ttl_ms_ != 0) {
+        const std::uint32_t ttl_ms =
+            prev_neg_ttl_ms == 0
+                ? negative_ttl_ms_
+                : std::min(prev_neg_ttl_ms * 2, negative_ttl_max_ms_);
+        sh.neg_order.push_front(key);
+        Shard::NegEntry ne;
+        ne.error = std::current_exception();
+        ne.expiry = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(ttl_ms);
+        ne.ttl_ms = ttl_ms;
+        ne.order_it = sh.neg_order.begin();
+        sh.neg[key] = std::move(ne);
+        while (sh.neg.size() > negative_entries_max_) {
+          const auto oldest = sh.neg.find(sh.neg_order.back());
+          sh.neg.erase(oldest);
+          sh.neg_order.pop_back();
+        }
+      }
     }
     {
       const std::lock_guard<std::mutex> wait_lock(inflight->m);
@@ -218,11 +275,13 @@ TileCacheStats TileCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < n_shards_; ++i) {
     Shard& sh = shards_[i];
     const std::lock_guard<std::mutex> lock(sh.m);
     s.entries += sh.lru.size();
     s.bytes += sh.bytes;
+    s.negative_entries += sh.neg.size();
   }
   return s;
 }

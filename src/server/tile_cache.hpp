@@ -42,6 +42,17 @@ struct TileCacheConfig {
   /// keys map by hash modulo). More shards = less contention between
   /// unrelated tiles; 8 is plenty below ~32 threads.
   std::size_t shards = 8;
+  /// Negative caching: when a tile's decode fails, the error is cached for
+  /// this long so concurrent and follow-up requests get the typed error
+  /// immediately instead of stampeding re-decodes of a poisoned tile. Each
+  /// consecutive failure after expiry doubles the TTL up to the max
+  /// (exponential backoff); a successful decode clears the penalty. 0
+  /// disables negative caching (every request retries the decode).
+  std::uint32_t negative_ttl_ms = 250;
+  std::uint32_t negative_ttl_max_ms = 8000;
+  /// Per-shard cap on cached failures (oldest evicted first), so a scan
+  /// across a damaged archive cannot grow the error map without bound.
+  std::size_t negative_entries_max = 1024;
 };
 
 struct TileCacheStats {
@@ -50,8 +61,10 @@ struct TileCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t inflight_waits = 0;  // blocked on another thread's decode
   std::uint64_t decode_errors = 0;
+  std::uint64_t negative_hits = 0;   // served a cached failure, no decode
   std::uint64_t entries = 0;         // current
   std::uint64_t bytes = 0;           // current decoded-tile bytes
+  std::uint64_t negative_entries = 0;  // current cached failures
 };
 
 class TileCache {
@@ -69,8 +82,9 @@ class TileCache {
 
   /// Returns the decoded tile, decoding at most once per key no matter how
   /// many threads ask concurrently. Throws InvalidArgument for an unknown
-  /// archive/field/ordinal; decode failures propagate to every waiter and
-  /// are not cached (the next get retries).
+  /// archive/field/ordinal. Decode failures propagate to every waiter and
+  /// are negatively cached (config.negative_ttl_ms) so a poisoned tile
+  /// costs one decode attempt per backoff window, not one per request.
   std::shared_ptr<const Field> get(std::uint64_t archive_id,
                                    const std::string& field,
                                    std::size_t ordinal);
@@ -103,6 +117,9 @@ class TileCache {
 
   std::size_t capacity_bytes_;
   std::size_t n_shards_;
+  std::uint32_t negative_ttl_ms_;
+  std::uint32_t negative_ttl_max_ms_;
+  std::size_t negative_entries_max_;
   std::unique_ptr<Shard[]> shards_;
 
   mutable std::atomic<std::uint64_t> hits_{0};
@@ -110,6 +127,7 @@ class TileCache {
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> inflight_waits_{0};
   mutable std::atomic<std::uint64_t> decode_errors_{0};
+  mutable std::atomic<std::uint64_t> negative_hits_{0};
 
   // Registered archives; append-only under archives_mutex_.
   mutable std::mutex archives_mutex_;
