@@ -19,7 +19,7 @@
 #include "encode/huffman.hpp"
 #include "encode/miniflate.hpp"
 #include "nn/attention.hpp"
-#include "nn/loss.hpp"
+#include "nn/graph.hpp"
 #include "nn/optimizer.hpp"
 #include "predict/lorenzo.hpp"
 #include "quant/dual_quant.hpp"
@@ -193,8 +193,13 @@ int main(int argc, char** argv) {
     nn::ChannelAttention attn(96, 8, arng);
     nn::Tensor ax(1, 96, 128, 128);
     for (auto& v : ax.vec()) v = static_cast<float>(arng.normal());
+    nn::Graph ag(nn::Graph::Mode::kInfer);
+    const nn::NodeRef ain = ag.input({1, 96, 128, 128});
+    attn.append(ag, ain);
+    nn::GraphExec aexec(ag, nn::tls_workspace());
+    aexec.bind(ain, ax.data());
     json.add("channel_attention",
-             time_ms([&] { attn.infer(ax); }),
+             time_ms([&] { aexec.forward(); }),
              static_cast<double>(ax.size()) * sizeof(float));
   }
 
@@ -211,16 +216,24 @@ int main(int argc, char** argv) {
              time_ms([&] { model.infer(x); }), slice_bytes);
 
     // One training step (forward + backward + Adam) on a 16x32x32 batch —
-    // the unit of work that dominates xfc_bench_fig5_training.
+    // the unit of work that dominates xfc_bench_fig5_training. Graph and
+    // executor are built once outside the timer, like cfnn::train_cfnn.
     nn::Tensor xb(16, 4, 32, 32), tb(16, 3, 32, 32);
     for (auto& v : xb.vec()) v = static_cast<float>(rng.normal());
     for (auto& v : tb.vec()) v = static_cast<float>(rng.normal());
-    nn::Adam adam(model.net().params(), {.lr = 1e-3});
+    nn::Graph tg(nn::Graph::Mode::kTrain);
+    const nn::NodeRef tin = tg.input({16, 4, 32, 32});
+    const nn::NodeRef ttgt = tg.input({16, 3, 32, 32});
+    tg.mse_loss(model.net().append(tg, tin), ttgt);
+    nn::GraphExec texec(tg, nn::tls_workspace());
+    texec.bind(tin, xb.data());
+    texec.bind(ttgt, tb.data());
+    nn::Adam adam(tg.params(), {.lr = 1e-3});
     json.add("cfnn_train_step_b16",
              time_ms([&] {
-               model.net().zero_grad();
-               auto [loss, grad] = nn::mse_loss(model.net().forward(xb), tb);
-               model.net().backward(grad);
+               tg.zero_grad();
+               texec.forward();
+               texec.backward();
                adam.step();
              }),
              static_cast<double>(xb.size()) * sizeof(float));

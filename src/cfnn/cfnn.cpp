@@ -5,6 +5,7 @@
 #include "core/error.hpp"
 #include "nn/attention.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/graph.hpp"
 
 namespace xfc {
 
@@ -134,21 +135,35 @@ CfnnModel CfnnModel::load_bytes(std::span<const std::uint8_t> bytes) {
 nn::Tensor CfnnModel::infer(const nn::Tensor& anchor_diffs) const {
   expects(anchor_diffs.c() == in_channels_,
           "CfnnModel::infer: input channel mismatch");
-  nn::Tensor out(anchor_diffs.n(), out_channels_, anchor_diffs.h(),
-                 anchor_diffs.w());
+  const std::size_t H = anchor_diffs.h(), W = anchor_diffs.w();
+  nn::Tensor out(anchor_diffs.n(), out_channels_, H, W);
 
-  // Slice-by-slice keeps peak memory bounded on large 3D volumes; each
-  // layer's forward is internally parallel and order-deterministic. The
-  // staging slice is reused across iterations (fully overwritten each
-  // time), so a volume pays one allocation, not one per slice.
-  const std::size_t plane = anchor_diffs.h() * anchor_diffs.w();
-  nn::Tensor x(1, in_channels_, anchor_diffs.h(), anchor_diffs.w());
+  // Slice-by-slice keeps peak memory bounded on large 3D volumes. The
+  // inference graph is built once per call against the shared (read-only)
+  // weight vectors, its buffers come from this thread's arena, and the
+  // staging slices are reused across iterations — so a volume pays one
+  // graph construction and the slice loop itself allocates nothing, and
+  // any number of threads may infer against one model concurrently. The
+  // op kernels replay the legacy float arithmetic exactly (graph.hpp
+  // contract 1), which encoder/decoder bit-agreement depends on.
+  const std::size_t plane = H * W;
+  nn::Tensor x(1, in_channels_, H, W);
+  nn::Tensor y(1, out_channels_, H, W);
+
+  nn::Graph g(nn::Graph::Mode::kInfer);
+  const nn::NodeRef in = g.input({1, in_channels_, H, W});
+  const nn::NodeRef root = net_->append(g, in);
+  nn::GraphExec exec(g, nn::tls_workspace());
+  exec.bind(in, x.data());
+
   for (std::size_t s = 0; s < anchor_diffs.n(); ++s) {
     for (std::size_t c = 0; c < in_channels_; ++c)
       std::copy(anchor_diffs.plane(s, c), anchor_diffs.plane(s, c) + plane,
                 x.plane(0, c));
     input_norm_.apply(x);
-    nn::Tensor y = net_->infer(x);
+    exec.forward();
+    const float* pred = exec.value(root);
+    std::copy(pred, pred + y.size(), y.data());
     output_norm_.invert(y);
     for (std::size_t c = 0; c < out_channels_; ++c)
       std::copy(y.plane(0, c), y.plane(0, c) + plane, out.plane(s, c));

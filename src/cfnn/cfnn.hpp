@@ -25,6 +25,7 @@
 #include "core/field.hpp"
 #include "core/rng.hpp"
 #include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
 
 namespace xfc {
 

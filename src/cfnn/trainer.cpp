@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "core/error.hpp"
-#include "nn/loss.hpp"
+#include "nn/graph.hpp"
 #include "nn/optimizer.hpp"
 
 namespace xfc {
@@ -33,7 +34,6 @@ std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
   const std::size_t cout = model.out_channels();
 
   Rng rng(options.seed);
-  nn::Adam adam(model.net().params(), {.lr = options.learning_rate});
 
   auto copy_patch = [&](const nn::Tensor& src, nn::Tensor& dst,
                         std::size_t batch_idx, std::size_t s, std::size_t y0,
@@ -69,16 +69,45 @@ std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
     model.output_norm().apply(eval_t);
   }
 
+  // One training graph + executor for the whole run: the batch staging
+  // tensors are bound once and overwritten in place, so the steady-state
+  // loop (fill patches, forward, backward, Adam step) never allocates —
+  // every activation, gradient and GEMM scratch lives in the arena slabs
+  // acquired here.
+  nn::Tensor x(options.batch, cin, P, P);
+  nn::Tensor t(options.batch, cout, P, P);
+  nn::Graph graph(nn::Graph::Mode::kTrain);
+  const nn::NodeRef in = graph.input({options.batch, cin, P, P});
+  const nn::NodeRef tgt = graph.input({options.batch, cout, P, P});
+  graph.mse_loss(model.net().append(graph, in), tgt);
+  nn::Workspace& ws = nn::tls_workspace();
+  nn::GraphExec exec(graph, ws);
+  exec.bind(in, x.data());
+  exec.bind(tgt, t.data());
+  nn::Adam adam(graph.params(), {.lr = options.learning_rate});
+
+  // Eval forwards run on a separate infer-mode graph (recycled buffers, no
+  // gradient state) constructed after — and therefore destroyed before —
+  // the training executor, respecting the arena's LIFO discipline.
+  std::optional<nn::Graph> eval_graph;
+  std::optional<nn::GraphExec> eval_exec;
+  if (!eval_x.empty()) {
+    eval_graph.emplace(nn::Graph::Mode::kInfer);
+    const nn::NodeRef ein =
+        eval_graph->input({options.eval_patches, cin, P, P});
+    const nn::NodeRef etgt =
+        eval_graph->input({options.eval_patches, cout, P, P});
+    eval_graph->mse_loss(model.net().append(*eval_graph, ein), etgt);
+    eval_exec.emplace(*eval_graph, ws);
+    eval_exec->bind(ein, eval_x.data());
+    eval_exec->bind(etgt, eval_t.data());
+  }
+
   std::vector<double> epoch_losses;
   epoch_losses.reserve(options.epochs);
 
   const std::size_t batches =
       (options.patches_per_epoch + options.batch - 1) / options.batch;
-  // Batch staging buffers live across the whole run: copy_patch overwrites
-  // every element, so reusing them avoids a per-batch allocate+zero of the
-  // largest tensors in the loop.
-  nn::Tensor x(options.batch, cin, P, P);
-  nn::Tensor t(options.batch, cout, P, P);
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     double loss_sum = 0.0;
     for (std::size_t bi = 0; bi < batches; ++bi) {
@@ -94,24 +123,23 @@ std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
       model.input_norm().apply(x);
       model.output_norm().apply(t);
 
-      model.net().zero_grad();
-      nn::Tensor pred = model.net().forward(x);
-      auto [loss, grad] = nn::mse_loss(pred, t);
-      model.net().backward(grad);
+      graph.zero_grad();
+      exec.forward();
+      exec.backward();
       adam.step();
-      loss_sum += loss;
+      loss_sum += exec.loss();
     }
     const double mean_loss = loss_sum / static_cast<double>(batches);
     epoch_losses.push_back(mean_loss);
 
     double eval = 0.0;
-    if (!eval_x.empty() && eval_losses != nullptr) {
-      const nn::Tensor pred = model.net().forward(eval_x);
-      eval = nn::mse_loss(pred, eval_t).first;
+    if (eval_exec && eval_losses != nullptr) {
+      eval_exec->forward();
+      eval = eval_exec->loss();
       eval_losses->push_back(eval);
     }
     if (options.verbose) {
-      if (!eval_x.empty())
+      if (eval_exec)
         std::printf("  epoch %3zu  loss %.6f  eval %.6f\n", epoch + 1,
                     mean_loss, eval);
       else

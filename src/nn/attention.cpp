@@ -1,9 +1,5 @@
 #include "nn/attention.hpp"
 
-#include <cmath>
-
-#include "core/utils.hpp"
-
 namespace xfc::nn {
 
 ChannelAttention::ChannelAttention(std::size_t channels, std::size_t reduction,
@@ -18,208 +14,14 @@ ChannelAttention::ChannelAttention(std::size_t channels, std::size_t reduction,
   b2_.assign(c_, 0.0f);
   xavier_init(w1_, c_, mid_, rng);
   xavier_init(w2_, mid_, c_, rng);
-  gw1_.assign(w1_.size(), 0.0f);
-  gb1_.assign(b1_.size(), 0.0f);
-  gw2_.assign(w2_.size(), 0.0f);
-  gb2_.assign(b2_.size(), 0.0f);
 }
 
-void ChannelAttention::mlp_forward(const float* v, float* hidden_pre,
-                                   float* hidden_post, float* out) const {
-  for (std::size_t m = 0; m < mid_; ++m) {
-    double acc = b1_[m];
-    const float* row = w1_.data() + m * c_;
-    for (std::size_t c = 0; c < c_; ++c) acc += row[c] * v[c];
-    hidden_pre[m] = static_cast<float>(acc);
-    hidden_post[m] = acc > 0.0 ? static_cast<float>(acc) : 0.0f;
-  }
-  for (std::size_t c = 0; c < c_; ++c) {
-    double acc = b2_[c];
-    const float* row = w2_.data() + c * mid_;
-    for (std::size_t m = 0; m < mid_; ++m) acc += row[m] * hidden_post[m];
-    out[c] = static_cast<float>(acc);
-  }
-}
-
-namespace {
-
-/// Fused single-pass plane reduction: running sum and max (with position)
-/// in one sweep. The sum MUST accumulate serially left-to-right in double:
-/// ChannelAttention::infer feeds the cross-field codec, whose decoder
-/// recomputes the encoder's predictions bit-exactly (crossfield.cpp pins
-/// this) — changing the summation order would change ulps of the pooled
-/// average and silently corrupt pre-existing kCrossField streams (guarded
-/// by test_golden's cross-field archive).
-void pool_plane(const float* p, std::size_t hw, float& avg_out,
-                float& max_out, std::size_t& argmax_out) {
-  double sum = p[0];
-  float best = p[0];
-  std::size_t best_i = 0;
-  for (std::size_t i = 1; i < hw; ++i) {
-    sum += p[i];
-    if (p[i] > best) {
-      best = p[i];
-      best_i = i;
-    }
-  }
-  avg_out = static_cast<float>(sum / static_cast<double>(hw));
-  max_out = best;
-  argmax_out = best_i;
-}
-
-}  // namespace
-
-Tensor ChannelAttention::forward(const Tensor& x) {
-  expects(x.c() == c_, "ChannelAttention::forward: channel mismatch");
-  input_ = x;
-  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
-
-  avg_.assign(B * c_, 0.0f);
-  mx_.assign(B * c_, 0.0f);
-  argmax_.assign(B * c_, 0);
-  ha_pre_.assign(B * mid_, 0.0f);
-  ha_post_.assign(B * mid_, 0.0f);
-  hm_pre_.assign(B * mid_, 0.0f);
-  hm_post_.assign(B * mid_, 0.0f);
-  scale_.assign(B * c_, 0.0f);
-
-  // Stage 1: every (batch, channel) plane pools independently — the
-  // avg/max reductions are the bulk of the layer's work now that the convs
-  // are GEMM-lowered, so they fan out over the pool.
-  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t bc = lo; bc < hi; ++bc)
-      pool_plane(x.plane(bc / c_, bc % c_), hw, avg_[bc], mx_[bc],
-                 argmax_[bc]);
-  });
-
-  // Stage 2: the shared MLP per batch element (tiny: 2*c_*mid_ MACs).
-  std::vector<float> za(B * c_), zm(B * c_);
-  for (std::size_t b = 0; b < B; ++b) {
-    mlp_forward(avg_.data() + b * c_, ha_pre_.data() + b * mid_,
-                ha_post_.data() + b * mid_, za.data() + b * c_);
-    mlp_forward(mx_.data() + b * c_, hm_pre_.data() + b * mid_,
-                hm_post_.data() + b * mid_, zm.data() + b * c_);
-  }
-
-  // Stage 3: per-plane sigmoid rescale, again plane-parallel.
-  Tensor y(B, c_, H, W);
-  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t bc = lo; bc < hi; ++bc) {
-      const double z = static_cast<double>(za[bc]) + zm[bc];
-      const float s = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
-      scale_[bc] = s;
-      const float* in = x.plane(bc / c_, bc % c_);
-      float* out = y.plane(bc / c_, bc % c_);
-      for (std::size_t i = 0; i < hw; ++i) out[i] = in[i] * s;
-    }
-  });
-  return y;
-}
-
-Tensor ChannelAttention::infer(const Tensor& x) const {
-  expects(x.c() == c_, "ChannelAttention::forward: channel mismatch");
-  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
-
-  // Same math as forward(), staged in locals instead of the backward
-  // caches so concurrent inference never touches shared state.
-  std::vector<float> avg(B * c_), mx(B * c_);
-  std::vector<float> za(B * c_), zm(B * c_);
-  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
-    std::size_t scratch_arg = 0;
-    for (std::size_t bc = lo; bc < hi; ++bc)
-      pool_plane(x.plane(bc / c_, bc % c_), hw, avg[bc], mx[bc],
-                 scratch_arg);
-  });
-  for (std::size_t b = 0; b < B; ++b) {
-    std::vector<float> hidden_pre(mid_), hidden_post(mid_);
-    mlp_forward(avg.data() + b * c_, hidden_pre.data(), hidden_post.data(),
-                za.data() + b * c_);
-    mlp_forward(mx.data() + b * c_, hidden_pre.data(), hidden_post.data(),
-                zm.data() + b * c_);
-  }
-  Tensor y(B, c_, H, W);
-  parallel_for_chunked(0, B * c_, 0, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t bc = lo; bc < hi; ++bc) {
-      const double z = static_cast<double>(za[bc]) + zm[bc];
-      const float s = static_cast<float>(1.0 / (1.0 + std::exp(-z)));
-      const float* in = x.plane(bc / c_, bc % c_);
-      float* out = y.plane(bc / c_, bc % c_);
-      for (std::size_t i = 0; i < hw; ++i) out[i] = in[i] * s;
-    }
-  });
-  return y;
-}
-
-Tensor ChannelAttention::backward(const Tensor& grad_out) {
-  const Tensor& x = input_;
-  expects(grad_out.same_shape(x), "ChannelAttention::backward: shape mismatch");
-  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
-
-  Tensor gx(B, c_, H, W);
-  for (std::size_t b = 0; b < B; ++b) {
-    // dL/ds per channel, plus direct path dL/dx = g * s.
-    std::vector<float> dz(c_);
-    for (std::size_t c = 0; c < c_; ++c) {
-      const float* go = grad_out.plane(b, c);
-      const float* in = x.plane(b, c);
-      float* gxi = gx.plane(b, c);
-      const float s = scale_[b * c_ + c];
-      double ds = 0.0;
-      for (std::size_t i = 0; i < hw; ++i) {
-        ds += static_cast<double>(go[i]) * in[i];
-        gxi[i] = go[i] * s;
-      }
-      dz[c] = static_cast<float>(ds * s * (1.0 - s));  // through sigmoid
-    }
-
-    // Shared-MLP backward for one branch; returns dL/d(pooled input).
-    auto mlp_backward = [&](const float* v, const float* hpre,
-                            const float* hpost, std::vector<float>& dv) {
-      std::vector<float> dh(mid_, 0.0f);
-      for (std::size_t c = 0; c < c_; ++c) {
-        const float g = dz[c];
-        float* row_g = gw2_.data() + c * mid_;
-        const float* row_w = w2_.data() + c * mid_;
-        for (std::size_t m = 0; m < mid_; ++m) {
-          row_g[m] += g * hpost[m];
-          dh[m] += g * row_w[m];
-        }
-        gb2_[c] += g;
-      }
-      for (std::size_t m = 0; m < mid_; ++m)
-        if (hpre[m] <= 0.0f) dh[m] = 0.0f;
-      dv.assign(c_, 0.0f);
-      for (std::size_t m = 0; m < mid_; ++m) {
-        const float g = dh[m];
-        if (g == 0.0f) continue;
-        float* row_g = gw1_.data() + m * c_;
-        const float* row_w = w1_.data() + m * c_;
-        for (std::size_t c = 0; c < c_; ++c) {
-          row_g[c] += g * v[c];
-          dv[c] += g * row_w[c];
-        }
-        gb1_[m] += g;
-      }
-    };
-
-    std::vector<float> davg, dmx;
-    mlp_backward(avg_.data() + b * c_, ha_pre_.data() + b * mid_,
-                 ha_post_.data() + b * mid_, davg);
-    mlp_backward(mx_.data() + b * c_, hm_pre_.data() + b * mid_,
-                 hm_post_.data() + b * mid_, dmx);
-
-    for (std::size_t c = 0; c < c_; ++c) {
-      float* gxi = gx.plane(b, c);
-      const float ga = davg[c] / static_cast<float>(hw);
-      for (std::size_t i = 0; i < hw; ++i) gxi[i] += ga;
-      gxi[argmax_[b * c_ + c]] += dmx[c];
-    }
-  }
-  return gx;
-}
-
-std::vector<Param> ChannelAttention::params() {
-  return {{&w1_, &gw1_}, {&b1_, &gb1_}, {&w2_, &gw2_}, {&b2_, &gb2_}};
+NodeRef ChannelAttention::append(Graph& g, NodeRef x) {
+  const NodeRef w1 = g.param(w1_, {mid_, c_, 1, 1});
+  const NodeRef b1 = g.param(b1_, {1, mid_, 1, 1});
+  const NodeRef w2 = g.param(w2_, {c_, mid_, 1, 1});
+  const NodeRef b2 = g.param(b2_, {1, c_, 1, 1});
+  return g.channel_attention(x, w1, b1, w2, b2, r_);
 }
 
 void ChannelAttention::serialize(ByteWriter& out) const {
@@ -248,10 +50,6 @@ std::unique_ptr<ChannelAttention> ChannelAttention::deserialize(
   for (float& b : layer->b1_) b = in.f32();
   for (float& w : layer->w2_) w = in.f32();
   for (float& b : layer->b2_) b = in.f32();
-  layer->gw1_.assign(layer->w1_.size(), 0.0f);
-  layer->gb1_.assign(layer->b1_.size(), 0.0f);
-  layer->gw2_.assign(layer->w2_.size(), 0.0f);
-  layer->gb2_.assign(layer->b2_.size(), 0.0f);
   return layer;
 }
 

@@ -6,6 +6,8 @@
 /// CFNN uses to re-weight anchor-field feature channels (paper Fig. 4):
 /// global average and max pooling produce per-channel descriptors, a shared
 /// two-layer MLP maps both, and a sigmoid of their sum scales each channel.
+/// Execution is the graph's kChannelAttention composite (graph.cpp holds
+/// the frozen pooling arithmetic the cross-field stream format pins).
 
 #include <memory>
 
@@ -19,36 +21,27 @@ class ChannelAttention final : public Layer {
   /// channels must be divisible by it.
   ChannelAttention(std::size_t channels, std::size_t reduction, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor infer(const Tensor& x) const override;
-  Tensor backward(const Tensor& grad_out) override;
-  std::vector<Param> params() override;
+  NodeRef append(Graph& g, NodeRef x) override;
+  std::size_t param_count() const override {
+    return w1_.size() + b1_.size() + w2_.size() + b2_.size();
+  }
   std::string kind() const override { return "channel_attention"; }
   void serialize(ByteWriter& out) const override;
   static std::unique_ptr<ChannelAttention> deserialize(ByteReader& in);
 
   std::size_t channels() const { return c_; }
   std::size_t reduction() const { return r_; }
+  std::vector<float>& w1() { return w1_; }  ///< [mid][c]
+  std::vector<float>& b1() { return b1_; }
+  std::vector<float>& w2() { return w2_; }  ///< [c][mid]
+  std::vector<float>& b2() { return b2_; }
 
  private:
   ChannelAttention() = default;
 
-  /// Shared MLP forward for one pooled descriptor (length c_).
-  void mlp_forward(const float* v, float* hidden_pre, float* hidden_post,
-                   float* out) const;
-
   std::size_t c_ = 0, r_ = 0, mid_ = 0;
   // Shared MLP: w1 [mid][c], b1 [mid], w2 [c][mid], b2 [c].
   std::vector<float> w1_, b1_, w2_, b2_;
-  std::vector<float> gw1_, gb1_, gw2_, gb2_;
-
-  // Forward caches (per batch element).
-  Tensor input_;
-  std::vector<float> avg_, mx_;            // [B][c]
-  std::vector<std::size_t> argmax_;        // [B][c] plane-local index
-  std::vector<float> ha_pre_, ha_post_;    // avg branch hidden [B][mid]
-  std::vector<float> hm_pre_, hm_post_;    // max branch hidden [B][mid]
-  std::vector<float> scale_;               // sigmoid output [B][c]
 };
 
 }  // namespace xfc::nn

@@ -1,10 +1,5 @@
 #include "nn/conv2d.hpp"
 
-#include "core/utils.hpp"
-#include "nn/gemm.hpp"
-#include "nn/im2col.hpp"
-#include "nn/workspace.hpp"
-
 namespace xfc::nn {
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
@@ -20,158 +15,16 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
           "Conv2D: channels must divide groups");
   const std::size_t icg = in_ch_ / groups_;
   weight_.resize(out_ch_ * icg * k_ * k_);
-  grad_weight_.assign(weight_.size(), 0.0f);
   xavier_init(weight_, icg * k_ * k_, (out_ch_ / groups_) * k_ * k_, rng);
-  if (has_bias_) {
-    bias_.assign(out_ch_, 0.0f);
-    grad_bias_.assign(out_ch_, 0.0f);
-  }
+  if (has_bias_) bias_.assign(out_ch_, 0.0f);
 }
 
-// The convolution is lowered onto GEMM via im2col (see im2col.hpp for the
-// exact factorisation). Work is dispatched one (image, group) block per
-// task; blocks write disjoint output planes, and each pool thread stages
-// its column matrix in its own scratch arena. Pointwise (k == 1) layers
-// skip im2col entirely — the input planes already are the column matrix.
-
-Tensor Conv2D::forward(const Tensor& x) {
-  input_ = x;
-  return infer(x);
-}
-
-Tensor Conv2D::infer(const Tensor& x) const {
-  expects(x.c() == in_ch_, "Conv2D::forward: channel mismatch");
-  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
-  const std::size_t icg = in_ch_ / groups_;
-  const std::size_t ocg = out_ch_ / groups_;
-  const std::size_t k2 = k_ * k_;
-  Tensor y(B, out_ch_, H, W);
-
-  parallel_for_chunked(0, B * groups_, 1, [&](std::size_t lo,
-                                              std::size_t hi) {
-    Workspace& ws = tls_workspace();
-    for (std::size_t task = lo; task < hi; ++task) {
-      const std::size_t b = task / groups_;
-      const std::size_t g = task % groups_;
-      const float* xg = x.plane(b, g * icg);
-      float* yg = y.plane(b, g * ocg);
-      const float* wg = weight_.data() + g * ocg * icg * k2;
-      if (k_ == 1) {
-        sgemm(false, false, ocg, hw, icg, 1.0f, wg, icg, xg, hw, 0.0f, yg,
-              hw);
-      } else {
-        const ScratchScope scope(ws);
-        float* col = ws.acquire(icg * k2 * hw);
-        im2col(xg, icg, H, W, k_, col);
-        sgemm(false, false, ocg, hw, icg * k2, 1.0f, wg, icg * k2, col, hw,
-              0.0f, yg, hw);
-      }
-    }
-  });
-
-  if (has_bias_) {
-    parallel_for_chunked(0, B * out_ch_, 0, [&](std::size_t lo,
-                                                std::size_t hi) {
-      for (std::size_t task = lo; task < hi; ++task) {
-        float* out = y.plane(task / out_ch_, task % out_ch_);
-        const float bv = bias_[task % out_ch_];
-        for (std::size_t i = 0; i < hw; ++i) out[i] += bv;
-      }
-    });
-  }
-  return y;
-}
-
-Tensor Conv2D::backward(const Tensor& grad_out) {
-  const Tensor& x = input_;
-  expects(grad_out.n() == x.n() && grad_out.c() == out_ch_ &&
-              grad_out.h() == x.h() && grad_out.w() == x.w(),
-          "Conv2D::backward: shape mismatch");
-  const std::size_t B = x.n(), H = x.h(), W = x.w(), hw = H * W;
-  const std::size_t icg = in_ch_ / groups_;
-  const std::size_t ocg = out_ch_ / groups_;
-  const std::size_t k2 = k_ * k_;
-
-  Tensor gx(B, in_ch_, H, W);
-
-  // Runs the full backward of one (image, group) block, accumulating the
-  // weight gradient into gw_base (+= semantics). gx planes are disjoint
-  // per block, so only gw_base determines what may run concurrently.
-  auto backward_block = [&](std::size_t b, std::size_t g, float* gw_base) {
-    Workspace& ws = tls_workspace();
-    const float* xg = x.plane(b, g * icg);
-    const float* gog = grad_out.plane(b, g * ocg);
-    const float* wg = weight_.data() + g * ocg * icg * k2;
-    float* gwg = gw_base + g * ocg * icg * k2;
-    float* gxg = gx.plane(b, g * icg);
-    if (k_ == 1) {
-      // dL/dx = W^T dY; dL/dW += dY x^T.
-      sgemm(true, false, icg, hw, ocg, 1.0f, wg, icg, gog, hw, 0.0f, gxg,
-            hw);
-      sgemm(false, true, ocg, icg, hw, 1.0f, gog, hw, xg, hw, 1.0f, gwg,
-            icg);
-    } else {
-      const ScratchScope scope(ws);
-      float* col = ws.acquire(icg * k2 * hw);
-      float* dcol = ws.acquire(icg * k2 * hw);
-      // dL/dcol = W^T dY, scattered back through col2im.
-      sgemm(true, false, icg * k2, hw, ocg, 1.0f, wg, icg * k2, gog, hw,
-            0.0f, dcol, hw);
-      col2im(dcol, icg, H, W, k_, gxg);
-      // dL/dW += dY col^T.
-      im2col(xg, icg, H, W, k_, col);
-      sgemm(false, true, ocg, icg * k2, hw, 1.0f, gog, hw, col, hw, 1.0f,
-            gwg, icg * k2);
-    }
-  };
-
-  // Images run in parallel, each owning a zeroed weight-gradient
-  // accumulator (weights are a few KB — cheap next to the GEMMs) that is
-  // reduced serially in image order afterwards. The same structure runs
-  // at every thread count, so backward numerics — and therefore the
-  // trained model bytes a compressed stream embeds — are independent of
-  // XFC_THREADS: thread-invariant output is part of the codec's
-  // reproducibility contract. Single-image backward (B == 1) keeps
-  // group-level parallelism instead.
-  std::vector<std::vector<float>> gw_acc(B);
-  if (B == 1) {
-    gw_acc[0].assign(weight_.size(), 0.0f);
-    parallel_for_chunked(0, groups_, 1,
-                         [&](std::size_t glo, std::size_t ghi) {
-      for (std::size_t g = glo; g < ghi; ++g)
-        backward_block(0, g, gw_acc[0].data());
-    });
-  } else {
-    parallel_for_chunked(0, B, 1, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t b = lo; b < hi; ++b) {
-        gw_acc[b].assign(weight_.size(), 0.0f);
-        for (std::size_t g = 0; g < groups_; ++g)
-          backward_block(b, g, gw_acc[b].data());
-      }
-    });
-  }
-  for (const std::vector<float>& gw : gw_acc)
-    for (std::size_t i = 0; i < gw.size(); ++i) grad_weight_[i] += gw[i];
-
-  if (has_bias_) {
-    parallel_for_chunked(0, out_ch_, 1, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t oc = lo; oc < hi; ++oc) {
-        double gb = 0.0;
-        for (std::size_t b = 0; b < B; ++b) {
-          const float* go = grad_out.plane(b, oc);
-          for (std::size_t i = 0; i < hw; ++i) gb += go[i];
-        }
-        grad_bias_[oc] += static_cast<float>(gb);
-      }
-    });
-  }
-  return gx;
-}
-
-std::vector<Param> Conv2D::params() {
-  std::vector<Param> p{{&weight_, &grad_weight_}};
-  if (has_bias_) p.push_back({&bias_, &grad_bias_});
-  return p;
+NodeRef Conv2D::append(Graph& g, NodeRef x) {
+  const NodeRef w =
+      g.param(weight_, {out_ch_, in_ch_ / groups_, k_, k_});
+  const NodeRef b =
+      has_bias_ ? g.param(bias_, {1, out_ch_, 1, 1}) : NodeRef{};
+  return g.conv2d(x, w, out_ch_, k_, groups_, b);
 }
 
 void Conv2D::serialize(ByteWriter& out) const {
@@ -200,11 +53,9 @@ std::unique_ptr<Conv2D> Conv2D::deserialize(ByteReader& in) {
   if (nw > (std::size_t{1} << 28))
     throw CorruptStream("Conv2D::deserialize: absurd weight count");
   layer->weight_.resize(nw);
-  layer->grad_weight_.assign(nw, 0.0f);
   for (float& w : layer->weight_) w = in.f32();
   if (layer->has_bias_) {
     layer->bias_.resize(layer->out_ch_);
-    layer->grad_bias_.assign(layer->out_ch_, 0.0f);
     for (float& b : layer->bias_) b = in.f32();
   }
   return layer;

@@ -2,12 +2,14 @@
 #define XFC_NN_CONV2D_HPP
 
 /// \file conv2d.hpp
-/// 2-D convolution with group support, stride 1, zero "same" padding.
+/// 2-D convolution descriptor with group support, stride 1, zero "same"
+/// padding.
 ///
 /// groups == 1 is a standard convolution; groups == in_channels ==
 /// out_channels is a depthwise convolution; kernel 1x1 with groups == 1 is
 /// a pointwise convolution — together these are the building blocks of the
-/// paper's depthwise-separable CFNN stage (Fig. 4).
+/// paper's depthwise-separable CFNN stage (Fig. 4). Execution is the
+/// graph's kConv2D op (im2col + GEMM, see graph.cpp).
 
 #include <memory>
 
@@ -21,10 +23,10 @@ class Conv2D final : public Layer {
   Conv2D(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel, std::size_t groups, bool bias, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor infer(const Tensor& x) const override;
-  Tensor backward(const Tensor& grad_out) override;
-  std::vector<Param> params() override;
+  NodeRef append(Graph& g, NodeRef x) override;
+  std::size_t param_count() const override {
+    return weight_.size() + bias_.size();
+  }
   std::string kind() const override { return "conv2d"; }
   void serialize(ByteWriter& out) const override;
   static std::unique_ptr<Conv2D> deserialize(ByteReader& in);
@@ -33,6 +35,8 @@ class Conv2D final : public Layer {
   std::size_t out_channels() const { return out_ch_; }
   std::size_t kernel() const { return k_; }
   std::size_t groups() const { return groups_; }
+  std::vector<float>& weight() { return weight_; }
+  std::vector<float>& bias() { return bias_; }
 
  private:
   Conv2D() = default;
@@ -41,8 +45,6 @@ class Conv2D final : public Layer {
   bool has_bias_ = true;
   // weight layout: [out_ch][in_ch/groups][k][k]
   std::vector<float> weight_, bias_;
-  std::vector<float> grad_weight_, grad_bias_;
-  Tensor input_;
 };
 
 }  // namespace xfc::nn

@@ -2,9 +2,6 @@
 
 #include <cmath>
 
-#include "core/utils.hpp"
-#include "nn/gemm.hpp"
-
 namespace xfc::nn {
 
 void xavier_init(std::vector<float>& w, std::size_t fan_in,
@@ -14,28 +11,6 @@ void xavier_init(std::vector<float>& w, std::size_t fan_in,
 }
 
 // ---------------------------------------------------------------- ReLU ----
-
-Tensor ReLU::forward(const Tensor& x) {
-  input_ = x;
-  return infer(x);
-}
-
-Tensor ReLU::infer(const Tensor& x) const {
-  Tensor y = x;
-  for (float& v : y.vec())
-    if (v < 0.0f) v = 0.0f;
-  return y;
-}
-
-Tensor ReLU::backward(const Tensor& grad_out) {
-  expects(grad_out.same_shape(input_), "ReLU::backward: shape mismatch");
-  Tensor gx = grad_out;
-  const float* in = input_.data();
-  float* g = gx.data();
-  for (std::size_t i = 0; i < gx.size(); ++i)
-    if (in[i] <= 0.0f) g[i] = 0.0f;
-  return gx;
-}
 
 void ReLU::serialize(ByteWriter& out) const { (void)out; }
 
@@ -51,62 +26,15 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias,
     : in_(in_features), out_(out_features), has_bias_(bias) {
   expects(in_ > 0 && out_ > 0, "Linear: zero-sized layer");
   weight_.resize(in_ * out_);
-  grad_weight_.assign(weight_.size(), 0.0f);
   xavier_init(weight_, in_, out_, rng);
-  if (has_bias_) {
-    bias_.assign(out_, 0.0f);
-    grad_bias_.assign(out_, 0.0f);
-  }
+  if (has_bias_) bias_.assign(out_, 0.0f);
 }
 
-// Both passes are single GEMMs on the same kernel Conv2D lowers onto
-// (weight stored [out][in], inputs flattened to [batch][in]).
-
-Tensor Linear::forward(const Tensor& x) {
-  input_ = x;
-  return infer(x);
-}
-
-Tensor Linear::infer(const Tensor& x) const {
-  expects(x.c() * x.h() * x.w() == in_,
-          "Linear::forward: input feature count mismatch");
-  const std::size_t B = x.n();
-  Tensor y(B, out_, 1, 1);
-  // Y = X W^T.
-  sgemm(false, true, B, out_, in_, 1.0f, x.data(), in_, weight_.data(), in_,
-        0.0f, y.data(), out_);
-  if (has_bias_) {
-    for (std::size_t b = 0; b < B; ++b) {
-      float* yo = y.data() + b * out_;
-      for (std::size_t o = 0; o < out_; ++o) yo[o] += bias_[o];
-    }
-  }
-  return y;
-}
-
-Tensor Linear::backward(const Tensor& grad_out) {
-  expects(grad_out.n() == input_.n() && grad_out.c() == out_,
-          "Linear::backward: shape mismatch");
-  const std::size_t B = input_.n();
-  Tensor gx(input_.n(), input_.c(), input_.h(), input_.w());
-  // dL/dx = dY W ; dL/dW += dY^T X.
-  sgemm(false, false, B, in_, out_, 1.0f, grad_out.data(), out_,
-        weight_.data(), in_, 0.0f, gx.data(), in_);
-  sgemm(true, false, out_, in_, B, 1.0f, grad_out.data(), out_,
-        input_.data(), in_, 1.0f, grad_weight_.data(), in_);
-  if (has_bias_) {
-    for (std::size_t b = 0; b < B; ++b) {
-      const float* go = grad_out.data() + b * out_;
-      for (std::size_t o = 0; o < out_; ++o) grad_bias_[o] += go[o];
-    }
-  }
-  return gx;
-}
-
-std::vector<Param> Linear::params() {
-  std::vector<Param> p{{&weight_, &grad_weight_}};
-  if (has_bias_) p.push_back({&bias_, &grad_bias_});
-  return p;
+NodeRef Linear::append(Graph& g, NodeRef x) {
+  const NodeRef w = g.param(weight_, {out_, in_, 1, 1});
+  const NodeRef b =
+      has_bias_ ? g.param(bias_, {1, out_, 1, 1}) : NodeRef{};
+  return g.matmul(x, w, out_, b);
 }
 
 void Linear::serialize(ByteWriter& out) const {
@@ -126,11 +54,9 @@ std::unique_ptr<Linear> Linear::deserialize(ByteReader& in) {
       layer->in_ * layer->out_ > (std::size_t{1} << 28))
     throw CorruptStream("Linear::deserialize: bad dimensions");
   layer->weight_.resize(layer->in_ * layer->out_);
-  layer->grad_weight_.assign(layer->weight_.size(), 0.0f);
   for (float& w : layer->weight_) w = in.f32();
   if (layer->has_bias_) {
     layer->bias_.resize(layer->out_);
-    layer->grad_bias_.assign(layer->out_, 0.0f);
     for (float& b : layer->bias_) b = in.f32();
   }
   return layer;

@@ -2,13 +2,14 @@
 #define XFC_NN_LAYERS_HPP
 
 /// \file layers.hpp
-/// Layer interface and simple layers (ReLU, Linear) of the CNN framework.
+/// Serializable layer descriptors (ReLU, Linear) of the CNN framework.
 ///
-/// Layers own their parameters and parameter gradients. backward() must be
-/// called after forward() on the same input (layers cache activations) and
-/// accumulates parameter gradients; the optimizer consumes them via
-/// params(). No autograd graph — the CFNN is a short static pipeline and
-/// explicit chaining keeps the framework small and auditable.
+/// Since the graph/autodiff port, a Layer no longer computes anything: it
+/// owns parameter storage plus hyperparameters, knows how to (de)serialize
+/// itself — the byte format predates the port and is frozen, compressed
+/// streams embed exactly these bytes — and appends its ops to a Graph via
+/// append(). All execution (forward, derived backward, activation
+/// ownership) lives in GraphExec; see graph.hpp.
 
 #include <cstdint>
 #include <memory>
@@ -17,47 +18,25 @@
 
 #include "core/rng.hpp"
 #include "io/bytebuffer.hpp"
-#include "nn/tensor.hpp"
+#include "nn/graph.hpp"
 
 namespace xfc::nn {
 
-/// One trainable parameter bundle: values and matching gradient.
-struct Param {
-  std::vector<float>* value;
-  std::vector<float>* grad;
-};
-
+/// One named building block of a model: parameter storage + serialization +
+/// graph definition. The parameter vectors must stay address-stable while
+/// any Graph built from this layer is alive (Graph::param captures them).
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes outputs; caches whatever backward() needs.
-  virtual Tensor forward(const Tensor& x) = 0;
-
-  /// Inference-only forward: same outputs as forward(), but const and
-  /// cache-free, so one model may serve any number of threads at once
-  /// (the archive writer compresses cross-field tiles in parallel against
-  /// a shared CFNN, and the XFS serving layer decodes concurrently).
-  virtual Tensor infer(const Tensor& x) const = 0;
-
-  /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
-  virtual Tensor backward(const Tensor& grad_out) = 0;
-
-  /// Trainable parameters (empty for stateless layers).
-  virtual std::vector<Param> params() { return {}; }
+  /// Appends this layer's ops to `g` with `x` as input and returns the
+  /// output node. Non-const because parameters register mutably (the graph
+  /// writes their gradients in train mode); append() itself only reads, so
+  /// building per-thread infer graphs from one shared model is safe.
+  virtual NodeRef append(Graph& g, NodeRef x) = 0;
 
   /// Total trainable scalar count (paper Table III accounting).
-  std::size_t param_count() {
-    std::size_t n = 0;
-    for (const Param& p : params()) n += p.value->size();
-    return n;
-  }
-
-  /// Zeroes accumulated gradients.
-  void zero_grad() {
-    for (Param& p : params())
-      std::fill(p.grad->begin(), p.grad->end(), 0.0f);
-  }
+  virtual std::size_t param_count() const = 0;
 
   /// Stable identifier for serialization dispatch.
   virtual std::string kind() const = 0;
@@ -69,15 +48,11 @@ class Layer {
 /// Element-wise rectified linear unit.
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor infer(const Tensor& x) const override;
-  Tensor backward(const Tensor& grad_out) override;
+  NodeRef append(Graph& g, NodeRef x) override { return g.relu(x); }
+  std::size_t param_count() const override { return 0; }
   std::string kind() const override { return "relu"; }
   void serialize(ByteWriter& out) const override;
   static std::unique_ptr<ReLU> deserialize(ByteReader& in);
-
- private:
-  Tensor input_;  // cached for the gradient mask
 };
 
 /// Fully connected layer on flattened (N, C*H*W) inputs; outputs
@@ -88,25 +63,25 @@ class Linear final : public Layer {
   Linear(std::size_t in_features, std::size_t out_features, bool bias,
          Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor infer(const Tensor& x) const override;
-  Tensor backward(const Tensor& grad_out) override;
-  std::vector<Param> params() override;
+  NodeRef append(Graph& g, NodeRef x) override;
+  std::size_t param_count() const override {
+    return weight_.size() + bias_.size();
+  }
   std::string kind() const override { return "linear"; }
   void serialize(ByteWriter& out) const override;
   static std::unique_ptr<Linear> deserialize(ByteReader& in);
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
+  std::vector<float>& weight() { return weight_; }  ///< [out][in]
+  std::vector<float>& bias() { return bias_; }
 
  private:
   Linear() = default;
 
   std::size_t in_ = 0, out_ = 0;
   bool has_bias_ = true;
-  std::vector<float> weight_, bias_;        // weight: [out][in]
-  std::vector<float> grad_weight_, grad_bias_;
-  Tensor input_;
+  std::vector<float> weight_, bias_;  // weight: [out][in]
 };
 
 /// Xavier/Glorot uniform initialisation used across the framework.

@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "nn/layers.hpp"
+#include "nn/graph.hpp"
 
 namespace xfc::nn {
 
@@ -22,7 +22,8 @@ struct AdamOptions {
 class Adam {
  public:
   /// The parameter list must stay alive and stable for the optimizer's
-  /// lifetime (layers own their storage; Sequential::params views it).
+  /// lifetime (layers own the values, the Graph owns the gradients;
+  /// Graph::params views both).
   explicit Adam(std::vector<Param> params, AdamOptions options = {});
 
   /// Applies one update from the accumulated gradients, then the caller

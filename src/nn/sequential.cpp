@@ -5,30 +5,16 @@
 
 namespace xfc::nn {
 
-Tensor Sequential::forward(const Tensor& x) {
-  Tensor cur = x;
-  for (auto& layer : layers_) cur = layer->forward(cur);
+NodeRef Sequential::append(Graph& g, NodeRef x) {
+  NodeRef cur = x;
+  for (auto& layer : layers_) cur = layer->append(g, cur);
   return cur;
 }
 
-Tensor Sequential::infer(const Tensor& x) const {
-  Tensor cur = x;
-  for (const auto& layer : layers_) cur = layer->infer(cur);
-  return cur;
-}
-
-Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor cur = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    cur = (*it)->backward(cur);
-  return cur;
-}
-
-std::vector<Param> Sequential::params() {
-  std::vector<Param> all;
-  for (auto& layer : layers_)
-    for (Param& p : layer->params()) all.push_back(p);
-  return all;
+std::size_t Sequential::param_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->param_count();
+  return n;
 }
 
 void Sequential::serialize(ByteWriter& out) const {

@@ -2,11 +2,12 @@
 #define XFC_NN_SEQUENTIAL_HPP
 
 /// \file sequential.hpp
-/// Ordered layer container: forward chains layers, backward runs them in
-/// reverse. Also the (de)serialisation root for whole models — the
-/// compressed stream embeds exactly these bytes.
+/// Ordered layer container: append() chains the layers' graph definitions.
+/// Also the (de)serialisation root for whole models — the compressed stream
+/// embeds exactly these bytes (format unchanged by the graph port).
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -24,10 +25,8 @@ class Sequential final : public Layer {
   std::size_t depth() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
-  Tensor forward(const Tensor& x) override;
-  Tensor infer(const Tensor& x) const override;
-  Tensor backward(const Tensor& grad_out) override;
-  std::vector<Param> params() override;
+  NodeRef append(Graph& g, NodeRef x) override;
+  std::size_t param_count() const override;
   std::string kind() const override { return "sequential"; }
   void serialize(ByteWriter& out) const override;
   static std::unique_ptr<Sequential> deserialize(ByteReader& in);

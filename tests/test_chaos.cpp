@@ -222,7 +222,11 @@ TEST(Chaos, SeededReadSweep) {
 
   // File-backed, like production: faults inject between the reader and a
   // real FileSource/RandomAccessFile.
-  const std::string path = ::testing::TempDir() + "xfc_chaos_sweep.xfa";
+  // Per-process name: test_chaos and test_chaos_mt4 may run concurrently
+  // under `ctest -j`, and FileSink's temp+rename commit must not race a
+  // sibling process on the same path.
+  const std::string path = ::testing::TempDir() + "xfc_chaos_sweep." +
+                           std::to_string(::getpid()) + ".xfa";
   {
     FileSink sink(path);
     sink.append(a.bytes);
@@ -518,7 +522,9 @@ TEST(Chaos, RepairOfCleanArchiveIsVerbatim) {
 
 TEST(Chaos, TornWriteNeverPublishesAnArchive) {
   const ChaosArchive& a = chaos_archive();
-  const std::string path = ::testing::TempDir() + "xfc_chaos_torn.xfa";
+  // Per-process name, same reason as the sweep test above.
+  const std::string path = ::testing::TempDir() + "xfc_chaos_torn." +
+                           std::to_string(::getpid()) + ".xfa";
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
 

@@ -1,7 +1,8 @@
 // Cross-checks for the lowered NN compute core: blocked SGEMM vs the naive
-// reference, im2col against its index definition, and Conv2D/Linear
-// forward+backward (which now run im2col+GEMM) against the retained naive
-// kernels — across odd shapes, groups > 1, batch > 1, and k in {1,3,5}.
+// reference, im2col against its index definition, and the graph's
+// conv/matmul ops (im2col+GEMM forward, derived backward via
+// GraphExec::backward_from) against the retained naive kernels — across odd
+// shapes, groups > 1, batch > 1, and k in {1,3,5}.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 #include "core/rng.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/gemm.hpp"
+#include "nn/graph.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layers.hpp"
 #include "nn/workspace.hpp"
@@ -163,14 +165,21 @@ TEST(Conv2DGemm, ForwardMatchesNaiveReference) {
     Rng rng(200 + cc.in_ch + cc.out_ch + cc.k);
     Conv2D conv(cc.in_ch, cc.out_ch, cc.k, cc.groups, /*bias=*/true, rng);
     Tensor x = random_tensor(cc.batch, cc.in_ch, cc.h, cc.w, rng);
-    const Tensor got = conv.forward(x);
-    auto params = conv.params();
-    const Tensor want =
-        conv2d_ref_forward(x, *params[0].value, params[1].value->data(),
-                           cc.out_ch, cc.k, cc.groups);
-    ASSERT_TRUE(got.same_shape(want));
-    for (std::size_t i = 0; i < got.size(); ++i)
-      expect_near_rel(got.vec()[i], want.vec()[i], "conv forward", i);
+
+    Graph g(Graph::Mode::kInfer);
+    const NodeRef in = g.input({cc.batch, cc.in_ch, cc.h, cc.w});
+    const NodeRef out = conv.append(g, in);
+    GraphExec exec(g, tls_workspace());
+    exec.bind(in, x.data());
+    exec.forward();
+    const float* got = exec.value(out);
+
+    const Tensor want = conv2d_ref_forward(x, conv.weight(),
+                                           conv.bias().data(), cc.out_ch,
+                                           cc.k, cc.groups);
+    ASSERT_EQ(g.shape(out).size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      expect_near_rel(got[i], want.vec()[i], "conv forward", i);
   }
 }
 
@@ -181,20 +190,30 @@ TEST(Conv2DGemm, BackwardMatchesNaiveReference) {
     Tensor x = random_tensor(cc.batch, cc.in_ch, cc.h, cc.w, rng);
     Tensor go = random_tensor(cc.batch, cc.out_ch, cc.h, cc.w, rng);
 
-    conv.forward(x);
-    conv.zero_grad();
-    const Tensor gx = conv.backward(go);
+    Graph g(Graph::Mode::kTrain);
+    const NodeRef in =
+        g.input({cc.batch, cc.in_ch, cc.h, cc.w}, /*needs_grad=*/true);
+    const NodeRef out = conv.append(g, in);
+    GraphExec exec(g, tls_workspace());
+    exec.bind(in, x.data());
+    exec.forward();
+    g.zero_grad();
+    exec.backward_from(out, go.data());
 
-    auto params = conv.params();
+    // Graph params in registration order: weight then bias.
+    auto params = g.params();
+    ASSERT_EQ(params.size(), 2u);
     const std::size_t icg = cc.in_ch / cc.groups;
     std::vector<float> gw_ref(cc.out_ch * icg * cc.k * cc.k, 0.0f);
     std::vector<float> gb_ref(cc.out_ch, 0.0f);
-    const Tensor gx_ref =
-        conv2d_ref_backward(x, go, *params[0].value, cc.out_ch, cc.k,
-                            cc.groups, gw_ref, gb_ref.data());
+    const Tensor gx_ref = conv2d_ref_backward(
+        x, go, conv.weight(), cc.out_ch, cc.k, cc.groups, gw_ref,
+        gb_ref.data());
 
-    for (std::size_t i = 0; i < gx.size(); ++i)
-      expect_near_rel(gx.vec()[i], gx_ref.vec()[i], "conv dX", i);
+    const float* gx = exec.grad(in);
+    ASSERT_NE(gx, nullptr);
+    for (std::size_t i = 0; i < gx_ref.size(); ++i)
+      expect_near_rel(gx[i], gx_ref.vec()[i], "conv dX", i);
     for (std::size_t i = 0; i < gw_ref.size(); ++i)
       expect_near_rel((*params[0].grad)[i], gw_ref[i], "conv dW", i);
     for (std::size_t i = 0; i < gb_ref.size(); ++i)
@@ -204,45 +223,55 @@ TEST(Conv2DGemm, BackwardMatchesNaiveReference) {
 
 TEST(LinearGemm, ForwardBackwardMatchNaiveReference) {
   Rng rng(400);
-  const std::size_t B = 5, in = 13, out = 7;
-  Linear lin(in, out, /*bias=*/true, rng);
-  Tensor x = random_tensor(B, in, 1, 1, rng);
-  Tensor go = random_tensor(B, out, 1, 1, rng);
+  const std::size_t B = 5, in_f = 13, out_f = 7;
+  Linear lin(in_f, out_f, /*bias=*/true, rng);
+  Tensor x = random_tensor(B, in_f, 1, 1, rng);
+  Tensor go = random_tensor(B, out_f, 1, 1, rng);
 
-  const Tensor y = lin.forward(x);
-  auto params = lin.params();
-  const std::vector<float>& w = *params[0].value;
-  const std::vector<float>& bias = *params[1].value;
+  Graph g(Graph::Mode::kTrain);
+  const NodeRef in = g.input({B, in_f, 1, 1}, /*needs_grad=*/true);
+  const NodeRef out = lin.append(g, in);
+  GraphExec exec(g, tls_workspace());
+  exec.bind(in, x.data());
+  exec.forward();
+
+  const float* y = exec.value(out);
+  const std::vector<float>& w = lin.weight();
+  const std::vector<float>& bias = lin.bias();
   for (std::size_t b = 0; b < B; ++b)
-    for (std::size_t o = 0; o < out; ++o) {
+    for (std::size_t o = 0; o < out_f; ++o) {
       double acc = bias[o];
-      for (std::size_t i = 0; i < in; ++i)
-        acc += static_cast<double>(w[o * in + i]) * x.vec()[b * in + i];
-      expect_near_rel(y.vec()[b * out + o], static_cast<float>(acc),
-                      "linear forward", b * out + o);
+      for (std::size_t i = 0; i < in_f; ++i)
+        acc += static_cast<double>(w[o * in_f + i]) * x.vec()[b * in_f + i];
+      expect_near_rel(y[b * out_f + o], static_cast<float>(acc),
+                      "linear forward", b * out_f + o);
     }
 
-  lin.zero_grad();
-  const Tensor gx = lin.backward(go);
+  g.zero_grad();
+  exec.backward_from(out, go.data());
+  auto params = g.params();
+  ASSERT_EQ(params.size(), 2u);
+  const float* gx = exec.grad(in);
+  ASSERT_NE(gx, nullptr);
   for (std::size_t b = 0; b < B; ++b)
-    for (std::size_t i = 0; i < in; ++i) {
+    for (std::size_t i = 0; i < in_f; ++i) {
       double acc = 0.0;
-      for (std::size_t o = 0; o < out; ++o)
-        acc += static_cast<double>(go.vec()[b * out + o]) * w[o * in + i];
-      expect_near_rel(gx.vec()[b * in + i], static_cast<float>(acc),
-                      "linear dX", b * in + i);
+      for (std::size_t o = 0; o < out_f; ++o)
+        acc += static_cast<double>(go.vec()[b * out_f + o]) * w[o * in_f + i];
+      expect_near_rel(gx[b * in_f + i], static_cast<float>(acc), "linear dX",
+                      b * in_f + i);
     }
-  for (std::size_t o = 0; o < out; ++o) {
-    for (std::size_t i = 0; i < in; ++i) {
+  for (std::size_t o = 0; o < out_f; ++o) {
+    for (std::size_t i = 0; i < in_f; ++i) {
       double acc = 0.0;
       for (std::size_t b = 0; b < B; ++b)
-        acc +=
-            static_cast<double>(go.vec()[b * out + o]) * x.vec()[b * in + i];
-      expect_near_rel((*params[0].grad)[o * in + i], static_cast<float>(acc),
-                      "linear dW", o * in + i);
+        acc += static_cast<double>(go.vec()[b * out_f + o]) *
+               x.vec()[b * in_f + i];
+      expect_near_rel((*params[0].grad)[o * in_f + i],
+                      static_cast<float>(acc), "linear dW", o * in_f + i);
     }
     double gb = 0.0;
-    for (std::size_t b = 0; b < B; ++b) gb += go.vec()[b * out + o];
+    for (std::size_t b = 0; b < B; ++b) gb += go.vec()[b * out_f + o];
     expect_near_rel((*params[1].grad)[o], static_cast<float>(gb), "linear dB",
                     o);
   }

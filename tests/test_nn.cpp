@@ -1,15 +1,18 @@
-// Tests for the CNN framework: layer semantics, finite-difference gradient
-// checks, optimizer convergence, serialization.
+// Tests for the CNN framework: graph-built layer semantics,
+// finite-difference gradient checks, optimizer convergence, serialization.
+// (Op-level CheckGrad coverage lives in test_autodiff.cpp; these tests
+// exercise the Layer descriptors' graph definitions.)
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
-#include <functional>
 #include <memory>
 
 #include "core/rng.hpp"
 #include "nn/attention.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/graph.hpp"
 #include "nn/layers.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -25,58 +28,85 @@ Tensor random_tensor(std::size_t n, std::size_t c, std::size_t h,
   return t;
 }
 
+/// Builds a one-layer inference graph and runs x through it.
+Tensor run_layer(Layer& layer, const Tensor& x) {
+  Graph g(Graph::Mode::kInfer);
+  const NodeRef in = g.input({x.n(), x.c(), x.h(), x.w()});
+  const NodeRef out = layer.append(g, in);
+  GraphExec exec(g, tls_workspace());
+  exec.bind(in, x.data());
+  exec.forward();
+  const GShape s = g.shape(out);
+  Tensor y(s.n, s.c, s.h, s.w);
+  std::copy(exec.value(out), exec.value(out) + y.size(), y.data());
+  return y;
+}
+
 /// Scalar loss used by the gradient checks: sum of elementwise products
 /// with a fixed random "probe" tensor (gives dense, nontrivial gradients).
-double probe_loss(const Tensor& y, const Tensor& probe) {
+double probe_loss(const float* y, const Tensor& probe) {
   double s = 0;
-  for (std::size_t i = 0; i < y.size(); ++i)
-    s += static_cast<double>(y.vec()[i]) * probe.vec()[i];
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    s += static_cast<double>(y[i]) * probe.vec()[i];
   return s;
 }
 
-/// Checks dL/d(input) and dL/d(params) against central finite differences.
+/// Checks dL/d(input) and dL/d(params) of a layer's graph definition
+/// against central finite differences, seeding backward with the probe.
 void check_gradients(Layer& layer, Tensor x, double tol = 2e-2,
                      double fd_eps = 1e-3) {
   Rng rng(12345);
-  Tensor y = layer.forward(x);
-  Tensor probe = random_tensor(y.n(), y.c(), y.h(), y.w(), rng);
+  Graph g(Graph::Mode::kTrain);
+  const NodeRef in =
+      g.input({x.n(), x.c(), x.h(), x.w()}, /*needs_grad=*/true);
+  const NodeRef out = layer.append(g, in);
+  GraphExec exec(g, tls_workspace());
+  exec.bind(in, x.data());
+  exec.forward();
 
-  layer.zero_grad();
-  layer.forward(x);  // refresh caches
-  Tensor gx = layer.backward(probe);
+  const GShape os = g.shape(out);
+  Tensor probe = random_tensor(os.n, os.c, os.h, os.w, rng);
+  g.zero_grad();
+  exec.backward_from(out, probe.vec().data());
+
+  const std::vector<float> gx(exec.grad(in), exec.grad(in) + x.size());
+  auto params = g.params();
+  std::vector<std::vector<float>> analytic;
+  for (const Param& p : params) analytic.push_back(*p.grad);
+
+  const auto loss_now = [&] {
+    exec.forward();
+    return probe_loss(exec.value(out), probe);
+  };
 
   // Input gradient check on a sample of coordinates.
   for (std::size_t trial = 0; trial < 24; ++trial) {
     const std::size_t i = rng.uniform_index(x.size());
     const float orig = x.vec()[i];
     x.vec()[i] = orig + static_cast<float>(fd_eps);
-    const double lp = probe_loss(layer.forward(x), probe);
+    const double lp = loss_now();
     x.vec()[i] = orig - static_cast<float>(fd_eps);
-    const double lm = probe_loss(layer.forward(x), probe);
+    const double lm = loss_now();
     x.vec()[i] = orig;
     const double fd = (lp - lm) / (2 * fd_eps);
-    EXPECT_NEAR(gx.vec()[i], fd, tol * std::max(1.0, std::abs(fd)))
+    EXPECT_NEAR(gx[i], fd, tol * std::max(1.0, std::abs(fd)))
         << "input grad at " << i;
   }
 
   // Parameter gradient check.
-  layer.zero_grad();
-  layer.forward(x);
-  layer.backward(probe);
-  auto params = layer.params();
-  for (auto& p : params) {
-    for (std::size_t trial = 0; trial < 12 && trial < p.value->size();
-         ++trial) {
-      const std::size_t i = rng.uniform_index(p.value->size());
-      const float orig = (*p.value)[i];
-      (*p.value)[i] = orig + static_cast<float>(fd_eps);
-      const double lp = probe_loss(layer.forward(x), probe);
-      (*p.value)[i] = orig - static_cast<float>(fd_eps);
-      const double lm = probe_loss(layer.forward(x), probe);
-      (*p.value)[i] = orig;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    std::vector<float>& v = *params[pi].value;
+    for (std::size_t trial = 0; trial < 12 && trial < v.size(); ++trial) {
+      const std::size_t i = rng.uniform_index(v.size());
+      const float orig = v[i];
+      v[i] = orig + static_cast<float>(fd_eps);
+      const double lp = loss_now();
+      v[i] = orig - static_cast<float>(fd_eps);
+      const double lm = loss_now();
+      v[i] = orig;
       const double fd = (lp - lm) / (2 * fd_eps);
-      EXPECT_NEAR((*p.grad)[i], fd, tol * std::max(1.0, std::abs(fd)))
-          << "param grad at " << i;
+      EXPECT_NEAR(analytic[pi][i], fd, tol * std::max(1.0, std::abs(fd)))
+          << "param " << pi << " grad at " << i;
     }
   }
 }
@@ -93,7 +123,7 @@ TEST(ReLULayer, ForwardClampsNegatives) {
   ReLU relu;
   Tensor x(1, 1, 1, 4);
   x.vec() = {-1.0f, 0.0f, 2.0f, -0.5f};
-  const Tensor y = relu.forward(x);
+  const Tensor y = run_layer(relu, x);
   EXPECT_EQ(y.vec(), (std::vector<float>{0.0f, 0.0f, 2.0f, 0.0f}));
 }
 
@@ -101,22 +131,27 @@ TEST(ReLULayer, BackwardMasks) {
   ReLU relu;
   Tensor x(1, 1, 1, 4);
   x.vec() = {-1.0f, 0.5f, 2.0f, -3.0f};
-  relu.forward(x);
-  Tensor g(1, 1, 1, 4);
-  g.vec() = {1.0f, 1.0f, 1.0f, 1.0f};
-  const Tensor gx = relu.backward(g);
-  EXPECT_EQ(gx.vec(), (std::vector<float>{0.0f, 1.0f, 1.0f, 0.0f}));
+  Graph g(Graph::Mode::kTrain);
+  const NodeRef in = g.input({1, 1, 1, 4}, /*needs_grad=*/true);
+  const NodeRef out = relu.append(g, in);
+  GraphExec exec(g, tls_workspace());
+  exec.bind(in, x.data());
+  exec.forward();
+  const std::vector<float> seed{1.0f, 1.0f, 1.0f, 1.0f};
+  exec.backward_from(out, seed.data());
+  const float* gx = exec.grad(in);
+  EXPECT_EQ(std::vector<float>(gx, gx + 4),
+            (std::vector<float>{0.0f, 1.0f, 1.0f, 0.0f}));
 }
 
 TEST(LinearLayer, KnownComputation) {
   Rng rng(1);
   Linear lin(2, 1, true, rng);
-  auto params = lin.params();
-  (*params[0].value) = {3.0f, -2.0f};  // weight
-  (*params[1].value) = {0.5f};         // bias
+  lin.weight() = {3.0f, -2.0f};
+  lin.bias() = {0.5f};
   Tensor x(1, 2, 1, 1);
   x.vec() = {4.0f, 1.0f};
-  const Tensor y = lin.forward(x);
+  const Tensor y = run_layer(lin, x);
   EXPECT_FLOAT_EQ(y.vec()[0], 3.0f * 4.0f - 2.0f * 1.0f + 0.5f);
 }
 
@@ -129,11 +164,10 @@ TEST(LinearLayer, GradientCheck) {
 TEST(Conv2DLayer, IdentityKernelPassesThrough) {
   Rng rng(3);
   Conv2D conv(1, 1, 3, 1, false, rng);
-  auto params = conv.params();
-  std::fill(params[0].value->begin(), params[0].value->end(), 0.0f);
-  (*params[0].value)[4] = 1.0f;  // centre tap
+  std::fill(conv.weight().begin(), conv.weight().end(), 0.0f);
+  conv.weight()[4] = 1.0f;  // centre tap
   Tensor x = random_tensor(1, 1, 5, 7, rng);
-  const Tensor y = conv.forward(x);
+  const Tensor y = run_layer(conv, x);
   for (std::size_t i = 0; i < x.size(); ++i)
     EXPECT_NEAR(y.vec()[i], x.vec()[i], 1e-6);
 }
@@ -141,11 +175,10 @@ TEST(Conv2DLayer, IdentityKernelPassesThrough) {
 TEST(Conv2DLayer, KnownSmallConvolution) {
   Rng rng(4);
   Conv2D conv(1, 1, 3, 1, false, rng);
-  auto params = conv.params();
-  std::fill(params[0].value->begin(), params[0].value->end(), 1.0f);
+  std::fill(conv.weight().begin(), conv.weight().end(), 1.0f);
   Tensor x(1, 1, 3, 3);
   for (std::size_t i = 0; i < 9; ++i) x.vec()[i] = 1.0f;
-  const Tensor y = conv.forward(x);
+  const Tensor y = run_layer(conv, x);
   // Centre sees all 9 ones, corner sees 4 (zero padding).
   EXPECT_FLOAT_EQ(y(0, 0, 1, 1), 9.0f);
   EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 4.0f);
@@ -155,12 +188,11 @@ TEST(Conv2DLayer, KnownSmallConvolution) {
 TEST(Conv2DLayer, PointwiseMixesChannelsOnly) {
   Rng rng(5);
   Conv2D conv(2, 1, 1, 1, false, rng);
-  auto params = conv.params();
-  (*params[0].value) = {2.0f, -1.0f};
+  conv.weight() = {2.0f, -1.0f};
   Tensor x(1, 2, 2, 2);
   for (std::size_t i = 0; i < 4; ++i) x.plane(0, 0)[i] = 3.0f;
   for (std::size_t i = 0; i < 4; ++i) x.plane(0, 1)[i] = 5.0f;
-  const Tensor y = conv.forward(x);
+  const Tensor y = run_layer(conv, x);
   for (std::size_t i = 0; i < 4; ++i)
     EXPECT_FLOAT_EQ(y.plane(0, 0)[i], 2.0f * 3.0f - 1.0f * 5.0f);
 }
@@ -168,12 +200,11 @@ TEST(Conv2DLayer, PointwiseMixesChannelsOnly) {
 TEST(Conv2DLayer, DepthwiseKeepsChannelsIndependent) {
   Rng rng(6);
   Conv2D conv(2, 2, 3, 2, false, rng);  // depthwise
-  auto params = conv.params();
   // Channel 0: identity; channel 1: zero.
-  std::fill(params[0].value->begin(), params[0].value->end(), 0.0f);
-  (*params[0].value)[4] = 1.0f;
+  std::fill(conv.weight().begin(), conv.weight().end(), 0.0f);
+  conv.weight()[4] = 1.0f;
   Tensor x = random_tensor(1, 2, 4, 4, rng);
-  const Tensor y = conv.forward(x);
+  const Tensor y = run_layer(conv, x);
   for (std::size_t i = 0; i < 16; ++i) {
     EXPECT_NEAR(y.plane(0, 0)[i], x.plane(0, 0)[i], 1e-6);
     EXPECT_EQ(y.plane(0, 1)[i], 0.0f);
@@ -229,7 +260,7 @@ TEST(ChannelAttentionLayer, OutputIsScaledInput) {
   Rng rng(12);
   ChannelAttention att(4, 2, rng);
   Tensor x = random_tensor(2, 4, 6, 6, rng);
-  const Tensor y = att.forward(x);
+  const Tensor y = run_layer(att, x);
   // Each output plane must be a scalar multiple of its input plane,
   // with the scalar in (0, 1) (sigmoid output).
   for (std::size_t b = 0; b < 2; ++b)
@@ -315,15 +346,23 @@ TEST(AdamOptimizer, TrainsTinyCnnToFitMapping) {
   Tensor y = x;
   for (auto& v : y.vec()) v *= 2.0f;
 
-  Adam adam(net.params(), {.lr = 2e-2});
+  Graph g(Graph::Mode::kTrain);
+  const NodeRef in = g.input({4, 1, 8, 8});
+  const NodeRef tgt = g.input({4, 1, 8, 8});
+  g.mse_loss(net.append(g, in), tgt);
+  GraphExec exec(g, tls_workspace());
+  exec.bind(in, x.data());
+  exec.bind(tgt, y.data());
+
+  Adam adam(g.params(), {.lr = 2e-2});
   double first = 0, last = 0;
   for (int epoch = 0; epoch < 150; ++epoch) {
-    net.zero_grad();
-    auto [loss, grad] = mse_loss(net.forward(x), y);
-    net.backward(grad);
+    g.zero_grad();
+    exec.forward();
+    exec.backward();
     adam.step();
-    if (epoch == 0) first = loss;
-    last = loss;
+    if (epoch == 0) first = exec.loss();
+    last = exec.loss();
   }
   EXPECT_LT(last, first * 0.05);
 }
@@ -351,15 +390,19 @@ TEST(AdamOptimizer, IterationCounter) {
 TEST(LinearLayer, NoBiasVariant) {
   Rng rng(20);
   Linear lin(3, 2, /*bias=*/false, rng);
-  EXPECT_EQ(lin.params().size(), 1u);  // weights only
-  EXPECT_EQ(lin.param_count(), 6u);
+  EXPECT_EQ(lin.param_count(), 6u);  // weights only
+  Graph g(Graph::Mode::kTrain);
+  lin.append(g, g.input({2, 3, 1, 1}));
+  EXPECT_EQ(g.params().size(), 1u);
   check_gradients(lin, random_tensor(2, 3, 1, 1, rng));
 }
 
 TEST(Conv2DLayer, NoBiasGradientCheck) {
   Rng rng(21);
   Conv2D conv(2, 3, 3, 1, /*bias=*/false, rng);
-  EXPECT_EQ(conv.params().size(), 1u);
+  Graph g(Graph::Mode::kTrain);
+  conv.append(g, g.input({1, 2, 5, 5}));
+  EXPECT_EQ(g.params().size(), 1u);
   check_gradients(conv, random_tensor(1, 2, 5, 5, rng));
 }
 
@@ -370,18 +413,24 @@ TEST(SequentialModel, ZeroGradClearsAllParams) {
   seq.add(std::make_unique<ChannelAttention>(2, 2, rng));
 
   Tensor x = random_tensor(1, 1, 6, 6, rng);
-  Tensor y = seq.forward(x);
-  Tensor probe = random_tensor(y.n(), y.c(), y.h(), y.w(), rng);
-  seq.backward(probe);
+  Graph g(Graph::Mode::kTrain);
+  const NodeRef in = g.input({1, 1, 6, 6});
+  const NodeRef out = seq.append(g, in);
+  GraphExec exec(g, tls_workspace());
+  exec.bind(in, x.data());
+  exec.forward();
+  const GShape os = g.shape(out);
+  Tensor probe = random_tensor(os.n, os.c, os.h, os.w, rng);
+  exec.backward_from(out, probe.vec().data());
 
   bool any_nonzero = false;
-  for (auto& p : seq.params())
+  for (auto& p : g.params())
     for (float v : *p.grad)
       if (v != 0.0f) any_nonzero = true;
   ASSERT_TRUE(any_nonzero);
 
-  seq.zero_grad();
-  for (auto& p : seq.params())
+  g.zero_grad();
+  for (auto& p : g.params())
     for (float v : *p.grad) EXPECT_EQ(v, 0.0f);
 }
 
@@ -395,8 +444,8 @@ TEST(ChannelAttentionLayer, SerializeRoundtripForwardEquality) {
   auto restored = ChannelAttention::deserialize(r);
 
   Tensor x = random_tensor(2, 4, 5, 5, rng);
-  const Tensor y1 = att.forward(x);
-  const Tensor y2 = restored->forward(x);
+  const Tensor y1 = run_layer(att, x);
+  const Tensor y2 = run_layer(*restored, x);
   for (std::size_t i = 0; i < y1.size(); ++i)
     EXPECT_EQ(y1.vec()[i], y2.vec()[i]);
 }
@@ -419,8 +468,8 @@ TEST(Serialization, SequentialRoundtripPreservesForward) {
   EXPECT_EQ(restored->param_count(), seq.param_count());
 
   Tensor x = random_tensor(1, 2, 5, 5, rng);
-  const Tensor y1 = seq.forward(x);
-  const Tensor y2 = restored->forward(x);
+  const Tensor y1 = run_layer(seq, x);
+  const Tensor y2 = run_layer(*restored, x);
   ASSERT_EQ(y1.size(), y2.size());
   for (std::size_t i = 0; i < y1.size(); ++i)
     EXPECT_EQ(y1.vec()[i], y2.vec()[i]);  // bit-exact
