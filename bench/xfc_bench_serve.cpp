@@ -1,20 +1,39 @@
 // Loopback QPS/latency bench for the XFS archive-serving subsystem.
 //
 // Builds an in-memory XFA1 archive (CESM-like 512x512 field at 64^2 and
-// 128^2 tiles), then measures three layers:
+// 128^2 tiles), then measures four layers:
 //
 //   1. the raw per-tile decode entry point (ArchiveReader::read_tile) —
 //      the per-tile fixed costs the decode scratch arena targets,
 //   2. the service layer with a cold vs warm decoded-tile cache — the
-//      cache's amortization of the expensive decode paths, and
+//      cache's amortization of the expensive decode paths,
 //   3. real HTTP over loopback (keep-alive client) — end-to-end region
-//      QPS and latency including socket + parse + serialize overhead.
+//      QPS and latency including socket + parse + serialize overhead, and
+//   4. a latency distribution sweep — N concurrent keep-alive connections
+//      hammering the warm region target, per-request timings observed into
+//      an obs::Histogram with a fine log-spaced grid so p50/p99/p999 come
+//      from the same interpolation (`histogram_quantile`) the /metrics
+//      consumers use.
+//
+// `--overhead-check` runs a different experiment instead: an interleaved
+// min-of-5 A/B of the warm service path with observability enabled vs
+// runtime-disabled (`obs::set_enabled(false)`). It exits nonzero when the
+// instrumented path exceeds a generous 1.5x of the disabled path — wired
+// into ctest as `bench_obs_overhead` so an accidental lock or allocation on
+// the hot path fails CI rather than a dashboard.
 //
 // JSON lands in <outdir>/serve.json; the checked-in BENCH_pr4.json at the
 // repo root adds before/after numbers for the records that existed before
 // this PR (see ROADMAP "Performance").
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
@@ -22,6 +41,7 @@
 #include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "data/dataset.hpp"
+#include "obs/metrics.hpp"
 #include "server/http.hpp"
 #include "server/service.hpp"
 
@@ -51,10 +71,78 @@ std::shared_ptr<const ArchiveReader> build_archive(
       ArchiveReader::open_memory(storage));
 }
 
+server::HttpRequest region_request() {
+  server::HttpRequest r;
+  r.method = "GET";
+  r.path = "/field/flut64/region";
+  r.query = "lo=64,64&hi=192,192";
+  return r;
+}
+
+/// Instrumentation-overhead gate: interleaved A/B of the warm service path
+/// (cache hits, region assembly, ETag) with metrics+tracing enabled vs
+/// runtime-disabled. Min-of-5 on both sides kills scheduler noise; the
+/// 1.5x ceiling is deliberately generous — the hooks cost nanoseconds
+/// against a tens-of-µs request, so tripping it means something structural
+/// (a lock, an allocation, a syscall) landed on the hot path.
+int run_overhead_check(const BenchOptions& opt) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = build_archive(storage);
+  BenchJson json;
+
+  print_header("observability overhead  [warm region, obs on vs off]");
+  server::ArchiveService service(reader);
+  const server::HttpRequest req = region_request();
+  (void)service.handle(req);  // warm the tile cache
+
+  constexpr int kReps = 5;
+  constexpr int kIters = 40;
+  auto sample_ms = [&] {
+    const double t0 = now_ms();
+    for (int i = 0; i < kIters; ++i) {
+      const auto resp = service.handle(req);
+      if (resp.status != 200) std::abort();
+    }
+    return (now_ms() - t0) / kIters;
+  };
+
+  double best_on = 1e300, best_off = 1e300;
+  sample_ms();  // warmup (page faults, branch predictors) outside the A/B
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::set_enabled(true);
+    best_on = std::min(best_on, sample_ms());
+    obs::set_enabled(false);
+    best_off = std::min(best_off, sample_ms());
+  }
+  obs::set_enabled(true);
+
+  const double ratio = best_on / best_off;
+  json.add("serve_obs_on", best_on);
+  json.add("serve_obs_off", best_off);
+  json.add_value("serve_obs_overhead_ratio", ratio);
+
+  const std::string out = opt.outdir + "/serve_overhead.json";
+  if (!json.write(out))
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+
+  if (ratio > 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: instrumented hot path is %.2fx the disabled path "
+                 "(ceiling 1.5x)\n",
+                 ratio);
+    return 1;
+  }
+  std::printf("OK: overhead ratio %.3f (ceiling 1.5)\n", ratio);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opt = parse_args(argc, argv);
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--overhead-check") == 0)
+      return run_overhead_check(opt);
   BenchJson json;
 
   std::vector<std::uint8_t> storage;
@@ -76,25 +164,22 @@ int main(int argc, char** argv) {
   print_header("service layer  [64x64-aligned region, 4 tiles]");
   const std::string region_target =
       "/field/flut64/region?lo=64,64&hi=192,192";
-  server::HttpRequest region_request;
-  region_request.method = "GET";
-  region_request.path = "/field/flut64/region";
-  region_request.query = "lo=64,64&hi=192,192";
+  const server::HttpRequest req = region_request();
   const double region_bytes = 128.0 * 128.0 * sizeof(float);
   {
     // Cold: a fresh cache every call — every tile decodes.
     const double cold = time_ms([&] {
       server::ArchiveService service(reader);
-      const auto resp = service.handle(region_request);
+      const auto resp = service.handle(req);
       if (resp.status != 200) std::abort();
     });
     json.add("serve_region_cold", cold, region_bytes);
 
     // Warm: same service, tiles cached — the steady state of hot regions.
     server::ArchiveService service(reader);
-    (void)service.handle(region_request);
+    (void)service.handle(req);
     const double warm = time_ms([&] {
-      const auto resp = service.handle(region_request);
+      const auto resp = service.handle(req);
       if (resp.status != 200) std::abort();
     });
     json.add("serve_region_warm", warm, region_bytes);
@@ -141,6 +226,66 @@ int main(int argc, char** argv) {
       }
     });
     json.add("serve_http_straddle_x8", sweep, 8 * 96.0 * 512 * 4);
+    http.stop();
+  }
+
+  print_header("HTTP loopback latency  [p50/p99/p999 vs connections]");
+  {
+    // Tail latency is where the event loop's batching, the pool handoff and
+    // the cache's single-flight waits actually show; means hide all of it.
+    // Each connection count gets its own histogram (fine log grid, ~1.25x
+    // per bucket ≈ 12% quantile resolution) shared across the client
+    // threads — the striped observe path is exactly what production scrapes
+    // rely on, so the bench doubles as a concurrency soak of it.
+    server::ArchiveService service(reader);
+    server::HttpServer http(
+        server::HttpConfig{},
+        [&service](const server::HttpRequest& r) { return service.handle(r); });
+    http.start();
+    {
+      server::HttpClient warm("127.0.0.1", http.port());
+      (void)warm.get(region_target);  // decode tiles once, outside timing
+    }
+    const double window_ms = opt.smoke ? 25.0 : std::max(bench_min_ms(), 250.0);
+    for (const int conns : {1, 2, 4, 8}) {
+      obs::Histogram lat(obs::log_buckets(10.0, 2e6, 1.25));
+      std::atomic<std::uint64_t> total{0};
+      const double t0 = now_ms();
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(conns));
+      for (int c = 0; c < conns; ++c) {
+        threads.emplace_back([&] {
+          server::HttpClient client("127.0.0.1", http.port());
+          std::uint64_t n = 0;
+          do {
+            const auto start = std::chrono::steady_clock::now();
+            const auto resp = client.get(region_target);
+            const auto stop = std::chrono::steady_clock::now();
+            if (resp.status != 200) std::abort();
+            lat.observe(
+                std::chrono::duration<double, std::micro>(stop - start)
+                    .count());
+            ++n;
+          } while (now_ms() - t0 < window_ms || n < 8);
+          total.fetch_add(n, std::memory_order_relaxed);
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double elapsed_s = (now_ms() - t0) / 1000.0;
+      // Note: an XFC_NO_METRICS build compiles observe() out, so the
+      // percentile records read 0 there — that build exists only for the
+      // overhead A/B, where serve.json is not the artifact of interest.
+      const auto snap = lat.snapshot();
+      const std::string tag = "_c" + std::to_string(conns);
+      json.add_value("serve_p50_us" + tag,
+                     obs::histogram_quantile(snap, 0.50));
+      json.add_value("serve_p99_us" + tag,
+                     obs::histogram_quantile(snap, 0.99));
+      json.add_value("serve_p999_us" + tag,
+                     obs::histogram_quantile(snap, 0.999));
+      json.add_value("serve_qps" + tag,
+                     static_cast<double>(total.load()) / elapsed_s);
+    }
     http.stop();
   }
 

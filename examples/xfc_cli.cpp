@@ -52,6 +52,7 @@
 #include "data/sdr.hpp"
 #include "io/file.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/access_log.hpp"
 #include "server/http.hpp"
 #include "server/service.hpp"
 #include "sz/compressor.hpp"
@@ -73,6 +74,8 @@ struct CliFlags {
   std::size_t port = 8080;     // --port P (serve)
   std::size_t cache_mb = 256;  // --cache-mb M (serve)
   std::size_t threads = 0;     // --threads N (serve; 0 = hardware)
+  std::string access_log;      // --access-log FILE|- (serve; empty = off)
+  std::size_t slow_ms = 100;   // --slow-ms N (serve; slow-request logging)
 };
 
 CliFlags strip_flags(std::vector<std::string>& args) {
@@ -89,7 +92,8 @@ CliFlags strip_flags(std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const bool is_flag = args[i] == "--json" || args[i] == "--tile" ||
                          args[i] == "--codec" || args[i] == "--port" ||
-                         args[i] == "--cache-mb" || args[i] == "--threads";
+                         args[i] == "--cache-mb" || args[i] == "--threads" ||
+                         args[i] == "--access-log" || args[i] == "--slow-ms";
     if (is_flag && i + 1 >= args.size())
       throw InvalidArgument(args[i] + " needs a value");
     if (args[i] == "--json") {
@@ -106,6 +110,10 @@ CliFlags strip_flags(std::vector<std::string>& args) {
       flags.cache_mb = positive_int("--cache-mb", args[++i], false);
     } else if (args[i] == "--threads") {
       flags.threads = positive_int("--threads", args[++i], false);
+    } else if (args[i] == "--access-log") {
+      flags.access_log = args[++i];
+    } else if (args[i] == "--slow-ms") {
+      flags.slow_ms = positive_int("--slow-ms", args[++i], true);
     } else {
       kept.push_back(args[i]);
     }
@@ -167,8 +175,12 @@ int usage() {
                "  xfc_cli archive repair  in.xfa out.xfa\n"
                "  xfc_cli serve in.xfa [--port P] [--cache-mb M] "
                "[--threads N]\n"
+               "           [--access-log FILE|-] [--slow-ms N]\n"
                "flags: --json FILE  --tile N  --codec sz|classic|interp|zfp\n"
-               "       --port P  --cache-mb M  --threads N\n");
+               "       --port P  --cache-mb M  --threads N\n"
+               "       --access-log FILE|-  (serve: JSON line per request)\n"
+               "       --slow-ms N  (serve: log span tree over N ms; "
+               "default 100)\n");
   return 2;
 }
 
@@ -194,6 +206,9 @@ int run_serve(const std::string& archive_path, const CliFlags& flags) {
 
   server::HttpConfig http_config;
   http_config.port = static_cast<std::uint16_t>(flags.port);
+  http_config.slow_ms = static_cast<int>(flags.slow_ms);
+  if (!flags.access_log.empty())
+    http_config.access_log = obs::AccessLog::open(flags.access_log);
   server::HttpServer http(http_config,
                           [&service](const server::HttpRequest& request) {
                             return service.handle(request);
@@ -205,7 +220,7 @@ int run_serve(const std::string& archive_path, const CliFlags& flags) {
   std::printf("     %zu fields, cache %zu MiB, %d pool threads\n",
               reader->fields().size(), flags.cache_mb, hardware_threads());
   std::printf("     endpoints: /fields /field/<name>/region?lo=..&hi=.. "
-              "/stats /healthz /readyz\n");
+              "/stats /metrics /healthz /readyz\n");
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_drain_signal);

@@ -11,6 +11,7 @@
 #include "core/utils.hpp"
 #include "crossfield/crossfield.hpp"
 #include "io/crc32.hpp"
+#include "obs/trace.hpp"
 #include "sz/classic.hpp"
 #include "sz/compressor.hpp"
 #include "sz/interpolation.hpp"
@@ -517,6 +518,9 @@ Field ArchiveReader::assemble_anchor_box(const ArchiveFieldInfo& anchor,
 Field ArchiveReader::read_tile(const ArchiveFieldInfo& info,
                                std::size_t ordinal,
                                const TileFetch& fetch) const {
+  // Anchor tiles resolved through `fetch` re-enter here, so a cross-field
+  // tile's span nests its anchors' decode spans under it.
+  const obs::SpanScope span("tile_decode", &obs::tile_decode_us());
   std::vector<std::string> visiting;
   return decode_tile_impl(info, ordinal, fetch, visiting);
 }

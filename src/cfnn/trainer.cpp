@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "nn/graph.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/trace.hpp"
 
 namespace xfc {
 
@@ -123,14 +124,20 @@ std::vector<double> train_cfnn(CfnnModel& model, const nn::Tensor& inputs,
       model.input_norm().apply(x);
       model.output_norm().apply(t);
 
-      graph.zero_grad();
-      exec.forward();
-      exec.backward();
-      adam.step();
+      {
+        // Timing only — the step's arithmetic (and with it the frozen
+        // training trajectory test_golden pins) is untouched.
+        const obs::SpanScope span_step("train_step", &obs::train_step_us());
+        graph.zero_grad();
+        exec.forward();
+        exec.backward();
+        adam.step();
+      }
       loss_sum += exec.loss();
     }
     const double mean_loss = loss_sum / static_cast<double>(batches);
     epoch_losses.push_back(mean_loss);
+    obs::train_epoch_loss().set(mean_loss);
 
     double eval = 0.0;
     if (eval_exec && eval_losses != nullptr) {

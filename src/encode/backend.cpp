@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "encode/miniflate.hpp"
 #include "encode/rle.hpp"
+#include "obs/trace.hpp"
 
 namespace xfc {
 namespace {
@@ -102,6 +103,7 @@ std::vector<std::uint8_t> lossless_compress(std::span<const std::uint8_t> input,
 std::vector<std::uint8_t> lossless_decompress(
     std::span<const std::uint8_t> input) {
   if (input.empty()) throw CorruptStream("lossless_decompress: empty input");
+  const obs::SpanScope span("lossless", &obs::lossless_decode_us());
   const std::uint8_t tag = input[0];
   const auto body = input.subspan(1);
   switch (tag) {
@@ -119,6 +121,7 @@ std::vector<std::uint8_t> lossless_decompress(
 std::span<const std::uint8_t> lossless_decompress_view(
     std::span<const std::uint8_t> input, nn::Workspace& ws) {
   if (input.empty()) throw CorruptStream("lossless_decompress: empty input");
+  const obs::SpanScope span("lossless", &obs::lossless_decode_us());
   const std::uint8_t tag = input[0];
   const auto body = input.subspan(1);
   switch (tag) {

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 
 namespace xfc {
 namespace {
@@ -375,9 +376,13 @@ std::shared_ptr<const HuffmanCode> HuffmanCode::deserialize_cached(
 
   for (const Entry& e : cache) {
     if (e.hash != h || e.key.size() != key.size()) continue;
-    if (std::memcmp(e.key.data(), key.data(), key.size()) == 0) return e.code;
+    if (std::memcmp(e.key.data(), key.data(), key.size()) == 0) {
+      obs::huffman_cache_hits().add();
+      return e.code;
+    }
   }
 
+  const obs::SpanScope span("huffman_build", &obs::huffman_build_us());
   auto built = std::make_shared<const HuffmanCode>(
       HuffmanCode(std::move(lengths), /*build_encode=*/false));
   if (cache.size() < kCacheSlots) {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace xfc {
 namespace {
@@ -43,6 +44,21 @@ FaultCounters FaultInjector::counters() const {
 
 std::uint64_t FaultInjector::mix(std::uint64_t a, std::uint64_t b) const {
   return splitmix(splitmix(plan_.seed ^ a) ^ b);
+}
+
+void FaultInjector::count_short() {
+  short_ops_.fetch_add(1);
+  obs::faults_injected_total().add();
+}
+
+void FaultInjector::count_error() {
+  injected_errors_.fetch_add(1);
+  obs::faults_injected_total().add();
+}
+
+void FaultInjector::count_flip() {
+  bit_flips_.fetch_add(1);
+  obs::faults_injected_total().add();
 }
 
 FaultInjector::Action FaultInjector::decide(std::uint64_t call) {

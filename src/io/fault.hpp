@@ -89,12 +89,14 @@ class FaultInjector {
   std::size_t corrupt_in_range(std::uint64_t offset,
                                std::span<std::uint8_t> bytes) const;
 
-  /// Deterministic helpers the wrappers share.
+  /// Deterministic helpers the wrappers share. The count_* trio also
+  /// mirrors into the global metric registry (xfc_faults_injected_total),
+  /// so chaos-test fault volume shows up on /metrics.
   std::uint64_t mix(std::uint64_t a, std::uint64_t b) const;
   void sleep_for_delay();
-  void count_short() { short_ops_.fetch_add(1); }
-  void count_error() { injected_errors_.fetch_add(1); }
-  void count_flip() { bit_flips_.fetch_add(1); }
+  void count_short();
+  void count_error();
+  void count_flip();
 
  private:
   FaultPlan plan_;

@@ -1,0 +1,54 @@
+#include "obs/access_log.hpp"
+
+#include <chrono>
+
+#include "core/error.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/trace.hpp"
+
+namespace xfc::obs {
+
+std::string format_access_entry(const AccessEntry& entry,
+                                const Trace* trace) {
+  JsonWriter w;  // compact: one line per request
+  w.begin_object();
+  w.field("ts_ms", static_cast<std::int64_t>(entry.unix_ms));
+  w.field("method", entry.method);
+  w.field("path", entry.path);
+  if (!entry.query.empty()) w.field("query", entry.query);
+  w.field("status", static_cast<std::int64_t>(entry.status));
+  w.field("bytes", entry.bytes);
+  w.field("wall_us", entry.wall_us);
+  w.field("cache_hits", std::uint64_t{entry.cache_hits});
+  w.field("cache_misses", std::uint64_t{entry.cache_misses});
+  if (entry.inflight_waits != 0)
+    w.field("inflight_waits", std::uint64_t{entry.inflight_waits});
+  if (!entry.bad_tiles.empty()) w.field("bad_tiles", entry.bad_tiles);
+  if (entry.slow) w.field("slow", true);
+  if (trace != nullptr) w.field_raw("spans", trace->spans_json());
+  w.end_object();
+  return w.take();
+}
+
+std::shared_ptr<AccessLog> AccessLog::open(const std::string& path) {
+  if (path == "-")
+    return std::shared_ptr<AccessLog>(new AccessLog(stdout, false));
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr)
+    throw IoError("AccessLog: cannot open " + path + " for append");
+  return std::shared_ptr<AccessLog>(new AccessLog(f, true));
+}
+
+AccessLog::~AccessLog() {
+  if (owned_ && file_ != nullptr) std::fclose(file_);
+}
+
+void AccessLog::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(m_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace xfc::obs

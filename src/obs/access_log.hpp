@@ -1,0 +1,75 @@
+#ifndef XFC_OBS_ACCESS_LOG_HPP
+#define XFC_OBS_ACCESS_LOG_HPP
+
+/// \file access_log.hpp
+/// Structured JSON access log: one compact JSON object per line, flushed
+/// per write so `tail -f` and log shippers see requests as they land.
+/// Opt-in (`--access-log FILE` on `xfc_cli serve`); when disabled the HTTP
+/// layer skips entry assembly entirely.
+///
+/// Slow-request logging shares the same line format: a request over the
+/// configured threshold carries `"slow": true` plus its full span tree,
+/// and falls back to stderr when no access log is configured — slowness
+/// should be visible even on a server run without logging.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace xfc::obs {
+
+class Trace;
+
+struct AccessEntry {
+  std::int64_t unix_ms = 0;  // wall clock, for log correlation
+  std::string method;
+  std::string path;
+  std::string query;
+  int status = 0;
+  std::uint64_t bytes = 0;        // response body bytes
+  std::uint64_t wall_us = 0;      // handler wall time
+  std::uint32_t cache_hits = 0;   // decoded-tile cache, this request
+  std::uint32_t cache_misses = 0;
+  std::uint32_t inflight_waits = 0;
+  std::string bad_tiles;          // degraded-tile manifest ("3,17"), if any
+  bool slow = false;
+};
+
+/// Serializes an entry to its log line (no trailing newline). `trace`
+/// adds the span tree — only slow lines pay for that.
+std::string format_access_entry(const AccessEntry& entry,
+                                const Trace* trace = nullptr);
+
+/// Thread-safe line sink over a FILE*. write_line appends '\n' and
+/// flushes under a mutex: request handling fans out over the worker pool,
+/// and interleaved half-lines would defeat the point of structured logs.
+class AccessLog {
+ public:
+  /// Opens `path` for append ("-" = stdout). Throws IoError on failure.
+  static std::shared_ptr<AccessLog> open(const std::string& path);
+
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  void write_line(const std::string& line);
+  std::uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit AccessLog(std::FILE* file, bool owned)
+      : file_(file), owned_(owned) {}
+
+  std::mutex m_;
+  std::FILE* file_;
+  bool owned_;
+  std::atomic<std::uint64_t> lines_{0};
+};
+
+}  // namespace xfc::obs
+
+#endif  // XFC_OBS_ACCESS_LOG_HPP

@@ -1,0 +1,170 @@
+#ifndef XFC_OBS_JSON_WRITER_HPP
+#define XFC_OBS_JSON_WRITER_HPP
+
+/// \file json_writer.hpp
+/// Minimal append-only JSON writer, replacing hand-concatenated bodies in
+/// the stats/logging paths. Two layouts:
+///   - pretty (2-space indent, `": "` separators) — byte-compatible with
+///     the legacy `/stats` shape dashboards already parse;
+///   - compact — access-log lines and the v2 stats snapshot.
+/// Write-only and ordering-preserving by design; it never re-sorts or
+/// deduplicates keys.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace xfc::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& begin_object(const std::string& key) {
+    member_key(key);
+    return open_after_key('{');
+  }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array(const std::string& key) {
+    member_key(key);
+    return open_after_key('[');
+  }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& field(const std::string& key, std::uint64_t v) {
+    member_key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, std::int64_t v) {
+    member_key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, double v) {
+    member_key(key);
+    append_double(v);
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, bool v) {
+    member_key(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, const std::string& v) {
+    member_key(key);
+    append_string(v);
+    return *this;
+  }
+  /// Splices pre-rendered JSON (an already-serialized array/object) as the
+  /// member value — how span trees recorded by Trace land in log lines.
+  JsonWriter& field_raw(const std::string& key, const std::string& json) {
+    member_key(key);
+    out_ += json;
+    return *this;
+  }
+
+  JsonWriter& element(double v) {
+    element_sep();
+    append_double(v);
+    return *this;
+  }
+  JsonWriter& element(std::uint64_t v) {
+    element_sep();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& element_raw(const std::string& json) {
+    element_sep();
+    out_ += json;
+    return *this;
+  }
+
+  /// Finishes the document (pretty docs end with a newline, matching the
+  /// legacy /stats body) and hands the buffer over.
+  std::string take() {
+    if (pretty_) out_ += '\n';
+    return std::move(out_);
+  }
+
+ private:
+  void indent() {
+    out_.append(2 * static_cast<std::size_t>(depth_), ' ');
+  }
+  void element_sep() {
+    if (!first_) out_ += pretty_ ? ",\n" : ",";
+    else if (pretty_ && depth_ > 0) out_ += '\n';
+    first_ = false;
+    if (pretty_) indent();
+  }
+  void member_key(const std::string& key) {
+    element_sep();
+    append_string(key);
+    out_ += pretty_ ? ": " : ":";
+  }
+  JsonWriter& open(char c) {
+    element_sep();
+    out_ += c;
+    ++depth_;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& open_after_key(char c) {
+    out_ += c;
+    ++depth_;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    --depth_;
+    if (pretty_ && !first_) {
+      out_ += '\n';
+      indent();
+    }
+    out_ += c;
+    first_ = false;
+    return *this;
+  }
+  void append_double(double v) {
+    if (std::isnan(v) || std::isinf(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 9.0e15) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+    }
+    out_ += buf;
+  }
+  void append_string(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out_ += buf;
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool pretty_;
+  bool first_ = true;
+  int depth_ = 0;
+};
+
+}  // namespace xfc::obs
+
+#endif  // XFC_OBS_JSON_WRITER_HPP

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
+namespace xfc::obs {
+namespace {
+
+thread_local Trace* g_current_trace = nullptr;
+
+std::string fmt_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) * 1e-6);
+  return buf;
+}
+
+std::string fmt_us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(ns) * 1e-3);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Trace::Trace() : t0_ns_(monotonic_ns()) {}
+
+Trace* Trace::current() { return g_current_trace; }
+
+std::int32_t Trace::begin_at(const char* name, std::uint64_t now_ns) {
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return -1;
+  }
+  const auto idx = static_cast<std::int32_t>(spans_.size());
+  spans_.push_back(Span{name, open_, now_ns - t0_ns_, Span::kOpen});
+  open_ = idx;
+  return idx;
+}
+
+void Trace::end_at(std::int32_t idx, std::uint64_t now_ns) {
+  if (idx < 0) return;
+  Span& s = spans_[static_cast<std::size_t>(idx)];
+  s.dur_ns = now_ns - t0_ns_ - s.start_ns;
+  if (open_ == idx) open_ = s.parent;
+}
+
+std::string Trace::server_timing() const {
+  // Aggregate completed depth-1 spans by name, first-seen order. Tiny
+  // vectors: a request has a handful of top-level stages.
+  std::vector<const char*> names;
+  std::vector<std::uint64_t> durs;
+  for (const Span& s : spans_) {
+    if (s.parent != 0 || s.dur_ns == Span::kOpen) continue;
+    std::size_t i = 0;
+    while (i < names.size() &&
+           std::string_view(names[i]) != std::string_view(s.name))
+      ++i;
+    if (i == names.size()) {
+      names.push_back(s.name);
+      durs.push_back(0);
+    }
+    durs[i] += s.dur_ns;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!out.empty()) out += ", ";
+    out += names[i];
+    out += ";dur=" + fmt_ms(durs[i]);
+  }
+  return out;
+}
+
+std::string Trace::spans_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (s.dur_ns == Span::kOpen) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"parent\":" + std::to_string(s.parent);
+    out += ",\"start_us\":" + fmt_us(s.start_ns);
+    out += ",\"dur_us\":" + fmt_us(s.dur_ns) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+TraceActivation::TraceActivation(Trace* t) : prev_(g_current_trace) {
+  g_current_trace = t;
+}
+
+TraceActivation::~TraceActivation() { g_current_trace = prev_; }
+
+}  // namespace xfc::obs

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -17,6 +18,9 @@
 
 #include "core/error.hpp"
 #include "core/utils.hpp"
+#include "obs/access_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xfc::server {
 namespace {
@@ -524,6 +528,7 @@ void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
                   ready.end());
       ready.resize(config_.max_pending_requests);
       shed_.fetch_add(shed.size(), std::memory_order_relaxed);
+      obs::http_shed_total().add(shed.size());
       for (const std::size_t slot : shed) {
         Conn& c = *conns_[slot];
         HttpResponse busy =
@@ -546,16 +551,57 @@ void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
     auto run_one = [&](std::size_t slot) {
       Conn& c = *conns_[slot];
       HttpResponse resp;
-      try {
-        resp = handler_(c.req);
-      } catch (const std::exception& e) {
-        handler_errors_.fetch_add(1, std::memory_order_relaxed);
-        resp = HttpResponse::text(500,
-                                  std::string("internal error: ") + e.what() +
-                                      "\n");
-      } catch (...) {
-        handler_errors_.fetch_add(1, std::memory_order_relaxed);
-        resp = HttpResponse::text(500, "internal error\n");
+      // Request-scoped trace: active for the handler's whole call chain
+      // (service -> cache -> tile decode -> codec stages record spans via
+      // the thread-local). Pool workers the handler itself fans out to do
+      // not inherit it — their work is timed by the enclosing span.
+      obs::Trace trace;
+      const std::uint64_t t0_ns = obs::monotonic_ns();
+      {
+        const obs::TraceActivation activate(obs::enabled() ? &trace
+                                                           : nullptr);
+        const obs::SpanScope root("request");
+        try {
+          resp = handler_(c.req);
+        } catch (const std::exception& e) {
+          handler_errors_.fetch_add(1, std::memory_order_relaxed);
+          resp = HttpResponse::text(
+              500, std::string("internal error: ") + e.what() + "\n");
+        } catch (...) {
+          handler_errors_.fetch_add(1, std::memory_order_relaxed);
+          resp = HttpResponse::text(500, "internal error\n");
+        }
+      }
+      const std::uint64_t wall_ns = obs::monotonic_ns() - t0_ns;
+      obs::http_request_us().observe(static_cast<double>(wall_ns) * 1e-3);
+      if (std::string st = trace.server_timing(); !st.empty())
+        resp.headers.emplace_back("Server-Timing", std::move(st));
+      const bool slow =
+          config_.slow_ms >= 0 &&
+          wall_ns > static_cast<std::uint64_t>(config_.slow_ms) * 1'000'000u;
+      if (config_.access_log != nullptr || slow) {
+        obs::AccessEntry entry;
+        entry.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+        entry.method = c.req.method;
+        entry.path = c.req.path;
+        entry.query = c.req.query;
+        entry.status = resp.status;
+        entry.bytes = resp.body.size();
+        entry.wall_us = wall_ns / 1000;
+        entry.cache_hits = trace.cache_hits;
+        entry.cache_misses = trace.cache_misses;
+        entry.inflight_waits = trace.inflight_waits;
+        for (const auto& [key, value] : resp.headers)
+          if (key == "X-Xfc-Bad-Tiles") entry.bad_tiles = value;
+        entry.slow = slow;
+        const std::string line =
+            obs::format_access_entry(entry, slow ? &trace : nullptr);
+        if (config_.access_log != nullptr)
+          config_.access_log->write_line(line);
+        else
+          std::fprintf(stderr, "xfs slow request: %s\n", line.c_str());
       }
       const std::string* conn_hdr = c.req.header("connection");
       bool keep = !c.http10;

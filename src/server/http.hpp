@@ -29,6 +29,10 @@
 #include <utility>
 #include <vector>
 
+namespace xfc::obs {
+class AccessLog;
+}
+
 namespace xfc::server {
 
 struct HttpConfig {
@@ -53,6 +57,12 @@ struct HttpConfig {
   /// drain(): how long in-flight connections get to finish before the
   /// server stops hard.
   int drain_deadline_ms = 5'000;
+  /// Structured JSON access log (one line per dispatched request); null
+  /// disables. See obs/access_log.hpp for the line schema.
+  std::shared_ptr<obs::AccessLog> access_log;
+  /// Requests slower than this log their full span tree — to the access
+  /// log when configured, stderr otherwise. Negative disables.
+  int slow_ms = 100;
 };
 
 struct HttpRequest {

@@ -6,11 +6,14 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "archive/tile.hpp"
 #include "core/error.hpp"
 #include "io/crc32.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/trace.hpp"
 
 namespace xfc::server {
 namespace {
@@ -114,15 +117,70 @@ ArchiveService::ArchiveService(std::shared_ptr<const ArchiveReader> reader,
                                ServiceConfig config)
     : reader_(std::move(reader)),
       config_(config),
-      cache_(cache_config(config)) {
+      cache_(cache_config(config)),
+      requests_(registry_.counter("xfs_requests_total",
+                                  "Requests routed by this service")),
+      region_requests_(registry_.counter("xfs_region_requests_total",
+                                         "Region endpoint requests")),
+      client_errors_(registry_.counter("xfs_client_errors_total",
+                                       "Requests answered 4xx")),
+      bytes_served_(registry_.counter("xfs_bytes_served_total",
+                                      "Response body bytes served")),
+      not_modified_(registry_.counter("xfs_not_modified_total",
+                                      "Conditional requests answered 304")),
+      degraded_requests_(
+          registry_.counter("xfs_degraded_requests_total",
+                            "Partial 200s with filled bad tiles")),
+      failed_regions_(registry_.counter("xfs_failed_regions_total",
+                                        "Region requests answered 502")),
+      deadline_exceeded_(
+          registry_.counter("xfs_deadline_exceeded_total",
+                            "Region requests that blew the decode budget")) {
   expects(reader_ != nullptr, "ArchiveService: null reader");
   archive_id_ = cache_.add_archive(reader_);
+  // Cache and readiness counters stay owned by their structs; the registry
+  // samples them at scrape time through callbacks.
+  registry_.gauge_fn("xfs_ready", "1 while /readyz answers ready", [this] {
+    return ready_.load(std::memory_order_acquire) ? 1.0 : 0.0;
+  });
+  const auto cache_stat = [this](std::uint64_t TileCacheStats::*member) {
+    return [this, member] {
+      return static_cast<double>(cache_.stats().*member);
+    };
+  };
+  registry_.counter_fn("xfs_cache_hits_total", "Decoded-tile cache hits",
+                       cache_stat(&TileCacheStats::hits));
+  registry_.counter_fn("xfs_cache_misses_total", "Decoded-tile cache misses",
+                       cache_stat(&TileCacheStats::misses));
+  registry_.counter_fn("xfs_cache_evictions_total", "LRU evictions",
+                       cache_stat(&TileCacheStats::evictions));
+  registry_.counter_fn("xfs_cache_inflight_waits_total",
+                       "Single-flight decode waits",
+                       cache_stat(&TileCacheStats::inflight_waits));
+  registry_.counter_fn("xfs_cache_decode_errors_total", "Tile decode errors",
+                       cache_stat(&TileCacheStats::decode_errors));
+  registry_.counter_fn("xfs_cache_negative_hits_total",
+                       "Requests served a cached failure",
+                       cache_stat(&TileCacheStats::negative_hits));
+  registry_.gauge_fn("xfs_cache_entries", "Decoded tiles resident",
+                     cache_stat(&TileCacheStats::entries));
+  registry_.gauge_fn("xfs_cache_negative_entries",
+                     "Negative-cache entries resident",
+                     cache_stat(&TileCacheStats::negative_entries));
+  registry_.gauge_fn("xfs_cache_bytes", "Decoded bytes resident",
+                     cache_stat(&TileCacheStats::bytes));
+  registry_.gauge_fn("xfs_cache_capacity_bytes", "Cache byte budget",
+                     [this] { return static_cast<double>(
+                                  cache_.capacity_bytes()); });
+  // Pre-register the codec/HTTP-layer metrics so /metrics lists the whole
+  // inventory even before the first decode exercises each path.
+  obs::ensure_core_metrics();
 }
 
 HttpResponse ArchiveService::handle(const HttpRequest& request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.add();
   if (request.method != "GET") {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(405, "only GET is served here\n");
   }
   const std::string& path = request.path;
@@ -135,7 +193,11 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
     return resp;
   }
   if (path == "/fields") return handle_fields();
-  if (path == "/stats") return handle_stats();
+  if (path == "/stats") {
+    const bool v2 = request.query.find("format=v2") != std::string::npos;
+    return handle_stats(v2);
+  }
+  if (path == "/metrics") return handle_metrics();
 
   // /field/<name>/region
   constexpr const char* kPrefix = "/field/";
@@ -146,7 +208,7 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
     if (!name.empty() && name.find('/') == std::string::npos)
       return handle_region(name, request);
   }
-  client_errors_.fetch_add(1, std::memory_order_relaxed);
+  client_errors_.add();
   return HttpResponse::text(404, "no such endpoint\n");
 }
 
@@ -179,39 +241,40 @@ HttpResponse ArchiveService::handle_fields() const {
 HttpResponse ArchiveService::handle_region(const std::string& field_name,
                                            const HttpRequest& request) {
   const auto start = std::chrono::steady_clock::now();
-  region_requests_.fetch_add(1, std::memory_order_relaxed);
+  region_requests_.add();
   const ArchiveFieldInfo* info = reader_->find(field_name);
   if (info == nullptr) {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(404, "no such field: " + field_name + "\n");
   }
   const std::size_t ndim = info->shape.ndim();
 
   std::vector<std::pair<std::string, std::string>> params;
   if (!parse_query(request.query, params)) {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(400, "malformed query string\n");
   }
   std::string lo_text, hi_text, fmt = "f32", fill = "zero";
-  bool allow_partial = false;
+  bool allow_partial = false, want_trace = false;
   for (const auto& [key, value] : params) {
     if (key == "lo") lo_text = value;
     else if (key == "hi") hi_text = value;
     else if (key == "fmt") fmt = value;
     else if (key == "allow_partial") allow_partial = value == "1";
     else if (key == "fill") fill = value;
+    else if (key == "trace") want_trace = value == "1";
   }
   if (fmt != "f32" && fmt != "json") {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(400, "fmt must be f32 or json\n");
   }
   if (fill != "zero" && fill != "nan") {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(400, "fill must be zero or nan\n");
   }
   std::size_t lo[3], hi[3];
   if (!parse_bounds(lo_text, ndim, lo) || !parse_bounds(hi_text, ndim, hi)) {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(
         400, "lo/hi must each give " + std::to_string(ndim) +
                  " comma-separated bounds\n");
@@ -220,7 +283,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
   std::size_t region_values = 1;
   for (std::size_t d = 0; d < ndim; ++d) {
     if (lo[d] >= hi[d] || hi[d] > info->shape[d]) {
-      client_errors_.fetch_add(1, std::memory_order_relaxed);
+      client_errors_.add();
       return HttpResponse::text(400, "empty or out-of-bounds region\n");
     }
     region_dims[d] = hi[d] - lo[d];
@@ -229,7 +292,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
   const std::size_t value_cap =
       fmt == "json" ? config_.max_json_values : config_.max_region_values;
   if (region_values > value_cap) {
-    client_errors_.fetch_add(1, std::memory_order_relaxed);
+    client_errors_.add();
     return HttpResponse::text(
         413, "region of " + std::to_string(region_values) +
                  " values exceeds the response cap of " +
@@ -241,6 +304,15 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
       grid.tiles_in_region(std::span<const std::size_t>(lo, ndim),
                            std::span<const std::size_t>(hi, ndim));
 
+  // trace=1 debug view: ensure a trace is active even when handle() is
+  // called without the HTTP layer in front (tests, direct embedding).
+  std::optional<obs::Trace> local_trace;
+  std::optional<obs::TraceActivation> local_activation;
+  if (want_trace && obs::enabled() && obs::Trace::current() == nullptr) {
+    local_trace.emplace();
+    local_activation.emplace(&*local_trace);
+  }
+
   // Strong ETag from the index's per-tile CRCs (plus the query geometry
   // and format): the response bytes are a pure function of the covered
   // tile bodies — and, for cross-field targets, of their anchors' tile
@@ -250,6 +322,10 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
   // validate stale bytes). Equal tags therefore imply byte-identical
   // responses, and computing the tag needs no tile decode at all — a 304
   // costs only the index walk.
+  // Stage spans land in Server-Timing (depth-1 children of the HTTP
+  // layer's "request" root): etag -> tiles -> encode.
+  std::optional<obs::SpanScope> stage;
+  stage.emplace("etag");
   Crc32 etag_crc;
   etag_crc.update(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(info->name.data()),
@@ -290,14 +366,19 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
   char etag_buf[16];
   std::snprintf(etag_buf, sizeof etag_buf, "\"%08x\"", etag_crc.value());
   const std::string etag(etag_buf);
+  stage.reset();
 
-  if (const std::string* inm = request.header("If-None-Match");
-      inm != nullptr && etag_matches(*inm, etag)) {
-    not_modified_.fetch_add(1, std::memory_order_relaxed);
-    HttpResponse resp;
-    resp.status = 304;
-    resp.headers.emplace_back("ETag", etag);
-    return resp;
+  // A trace view is a debug artifact, never a cacheable representation:
+  // skip conditional handling so it always shows a real assembly pass.
+  if (!want_trace) {
+    if (const std::string* inm = request.header("If-None-Match");
+        inm != nullptr && etag_matches(*inm, etag)) {
+      not_modified_.add();
+      HttpResponse resp;
+      resp.status = 304;
+      resp.headers.emplace_back("ETag", etag);
+      return resp;
+    }
   }
 
   // Assemble the region from cached decoded tiles — the exact analogue of
@@ -317,11 +398,12 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     std::string message;
   };
   std::vector<TileFailure> failures;
+  stage.emplace("tiles");
   for (const std::size_t t : tiles) {
     if (config_.request_deadline_ms > 0 &&
         std::chrono::steady_clock::now() - start >
             std::chrono::milliseconds(config_.request_deadline_ms)) {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_.add();
       HttpResponse busy = HttpResponse::text(
           503, "request deadline exceeded, retry later\n");
       busy.headers.emplace_back("Retry-After", "1");
@@ -337,9 +419,10 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
       failures.push_back({t, e.what()});
     }
   }
+  stage.reset();
 
   if (!failures.empty() && !allow_partial) {
-    failed_regions_.fetch_add(1, std::memory_order_relaxed);
+    failed_regions_.add();
     std::string body = "archive degraded: " +
                        std::to_string(failures.size()) +
                        " unreadable tile(s) in field '" + info->name + "':";
@@ -357,9 +440,34 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     shape_list += std::to_string(region_dims[d]);
   }
   const bool degraded = !failures.empty();
-  if (degraded) degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) degraded_requests_.add();
+
+  if (want_trace) {
+    // Debug view: the region was assembled for real (the spans above show
+    // true costs) but the response carries the span tree, not the data.
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("field", info->name);
+    w.field_raw("shape", "[" + shape_list + "]");
+    w.field("values", static_cast<std::uint64_t>(region_values));
+    w.field("degraded", degraded);
+    if (obs::Trace* tr = obs::Trace::current(); tr != nullptr) {
+      w.field("cache_hits", std::uint64_t{tr->cache_hits});
+      w.field("cache_misses", std::uint64_t{tr->cache_misses});
+      w.field("inflight_waits", std::uint64_t{tr->inflight_waits});
+      if (tr->dropped_spans() != 0)
+        w.field("dropped_spans",
+                static_cast<std::uint64_t>(tr->dropped_spans()));
+      w.field_raw("spans", tr->spans_json());
+    }
+    w.end_object();
+    HttpResponse resp = HttpResponse::json(w.take() + "\n");
+    bytes_served_.add(resp.body.size());
+    return resp;
+  }
 
   HttpResponse resp;
+  stage.emplace("encode");
   if (fmt == "f32") {
     resp.content_type = "application/octet-stream";
     resp.body.assign(reinterpret_cast<const char*>(out.data()),
@@ -393,6 +501,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     body += "}\n";
     resp = HttpResponse::json(std::move(body));
   }
+  stage.reset();
   if (degraded) {
     // Manifest of the holes; no ETag — degraded bytes must never validate
     // a later conditional request as the real data.
@@ -408,46 +517,101 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
   } else {
     resp.headers.emplace_back("ETag", etag);
   }
-  bytes_served_.fetch_add(resp.body.size(), std::memory_order_relaxed);
+  bytes_served_.add(resp.body.size());
   return resp;
 }
 
-HttpResponse ArchiveService::handle_stats() const {
+namespace {
+
+/// One registry's snapshot as a JSON object member: scalars under
+/// "metrics", histograms under "histograms" (per-bucket counts, not
+/// cumulative — a consumer can integrate, but cannot differentiate).
+void snapshot_json(obs::JsonWriter& w, const std::string& key,
+                   const obs::Registry& registry) {
+  std::vector<obs::MetricValue> values;
+  std::vector<obs::HistogramValue> histograms;
+  registry.snapshot(values, histograms);
+  w.begin_object(key);
+  w.begin_array("metrics");
+  for (const obs::MetricValue& m : values) {
+    obs::JsonWriter e;
+    e.begin_object();
+    e.field("name", m.name);
+    e.field("type", std::string(m.type));
+    e.field("value", m.value);
+    e.end_object();
+    w.element_raw(e.take());
+  }
+  w.end_array();
+  w.begin_array("histograms");
+  for (const obs::HistogramValue& h : histograms) {
+    obs::JsonWriter e;
+    e.begin_object();
+    e.field("name", h.name);
+    e.begin_array("le");
+    for (const double b : h.snap.bounds) e.element(b);
+    e.end_array();
+    e.begin_array("counts");
+    for (const std::uint64_t c : h.snap.counts) e.element(c);
+    e.end_array();
+    e.field("sum", h.snap.sum);
+    e.field("count", h.snap.count);
+    e.end_object();
+    w.element_raw(e.take());
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+HttpResponse ArchiveService::handle_stats(bool v2) const {
+  if (v2) {
+    obs::JsonWriter w;
+    w.begin_object();
+    snapshot_json(w, "service", registry_);
+    snapshot_json(w, "process", obs::registry());
+    w.end_object();
+    return HttpResponse::json(w.take() + "\n");
+  }
+  // Legacy shape, frozen: field names, nesting, and the pretty-printed
+  // layout are pinned by test_server — dashboards parse this.
   const TileCacheStats c = cache_.stats();
-  std::string out = "{\n";
-  out += "  \"requests\": " + std::to_string(requests_.load()) + ",\n";
-  out += "  \"region_requests\": " + std::to_string(region_requests_.load()) +
-         ",\n";
-  out += "  \"client_errors\": " + std::to_string(client_errors_.load()) +
-         ",\n";
-  out += "  \"bytes_served\": " + std::to_string(bytes_served_.load()) +
-         ",\n";
-  out += "  \"not_modified\": " + std::to_string(not_modified_.load()) +
-         ",\n";
-  out += "  \"degraded_requests\": " +
-         std::to_string(degraded_requests_.load()) + ",\n";
-  out += "  \"failed_regions\": " + std::to_string(failed_regions_.load()) +
-         ",\n";
-  out += "  \"deadline_exceeded\": " +
-         std::to_string(deadline_exceeded_.load()) + ",\n";
-  out += "  \"ready\": ";
-  out += ready_.load() ? "true" : "false";
-  out += ",\n";
-  out += "  \"cache\": {\n";
-  out += "    \"hits\": " + std::to_string(c.hits) + ",\n";
-  out += "    \"misses\": " + std::to_string(c.misses) + ",\n";
-  out += "    \"evictions\": " + std::to_string(c.evictions) + ",\n";
-  out += "    \"inflight_waits\": " + std::to_string(c.inflight_waits) +
-         ",\n";
-  out += "    \"decode_errors\": " + std::to_string(c.decode_errors) + ",\n";
-  out += "    \"negative_hits\": " + std::to_string(c.negative_hits) + ",\n";
-  out += "    \"negative_entries\": " + std::to_string(c.negative_entries) +
-         ",\n";
-  out += "    \"entries\": " + std::to_string(c.entries) + ",\n";
-  out += "    \"bytes\": " + std::to_string(c.bytes) + ",\n";
-  out += "    \"capacity_bytes\": " + std::to_string(cache_.capacity_bytes()) +
-         "\n  }\n}\n";
-  return HttpResponse::json(std::move(out));
+  obs::JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.field("requests", requests_.value());
+  w.field("region_requests", region_requests_.value());
+  w.field("client_errors", client_errors_.value());
+  w.field("bytes_served", bytes_served_.value());
+  w.field("not_modified", not_modified_.value());
+  w.field("degraded_requests", degraded_requests_.value());
+  w.field("failed_regions", failed_regions_.value());
+  w.field("deadline_exceeded", deadline_exceeded_.value());
+  w.field("ready", ready_.load());
+  w.begin_object("cache");
+  w.field("hits", c.hits);
+  w.field("misses", c.misses);
+  w.field("evictions", c.evictions);
+  w.field("inflight_waits", c.inflight_waits);
+  w.field("decode_errors", c.decode_errors);
+  w.field("negative_hits", c.negative_hits);
+  w.field("negative_entries", c.negative_entries);
+  w.field("entries", c.entries);
+  w.field("bytes", c.bytes);
+  w.field("capacity_bytes", static_cast<std::uint64_t>(
+                                cache_.capacity_bytes()));
+  w.end_object();
+  w.end_object();
+  return HttpResponse::json(w.take());
+}
+
+HttpResponse ArchiveService::handle_metrics() const {
+  std::string body = registry_.exposition();
+  body += obs::registry().exposition();
+  HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = std::move(body);
+  return resp;
 }
 
 }  // namespace xfc::server

@@ -26,10 +26,20 @@
 ///       Partial responses carry no ETag: degraded bytes must never
 ///       validate a later 304.
 ///   GET /stats                        -> JSON cache + request counters
+///       (legacy shape, frozen). /stats?format=v2 answers the full metric
+///       registry snapshot (scalars + histogram buckets) as JSON.
+///   GET /metrics                      -> Prometheus text exposition:
+///       this service's registry followed by the process-global one
+///       (codec-stage histograms, HTTP-layer counters).
+///
+/// Region requests additionally accept trace=1: the region is assembled
+/// as usual but the response is a JSON debug view of the request's span
+/// tree (stage timings, cache hit/miss counts) instead of the data bytes.
 ///
 /// handle() is thread-safe (the HTTP layer fans request batches over the
 /// worker pool): the reader is immutable, the cache locks internally, and
-/// service counters are atomics.
+/// service counters live on a per-instance obs::Registry whose mutations
+/// are striped relaxed atomics.
 
 #include <atomic>
 #include <cstdint>
@@ -37,6 +47,7 @@
 #include <string>
 
 #include "archive/archive_reader.hpp"
+#include "obs/metrics.hpp"
 #include "server/http.hpp"
 #include "server/tile_cache.hpp"
 
@@ -79,11 +90,16 @@ class ArchiveService {
   const TileCache& cache() const { return cache_; }
   const ArchiveReader& reader() const { return *reader_; }
 
+  /// Per-instance metric registry (serving counters + cache callbacks);
+  /// the process-global obs::registry() carries the codec-stage metrics.
+  const obs::Registry& metrics() const { return registry_; }
+
  private:
   HttpResponse handle_fields() const;
   HttpResponse handle_region(const std::string& field_name,
                              const HttpRequest& request);
-  HttpResponse handle_stats() const;
+  HttpResponse handle_stats(bool v2) const;
+  HttpResponse handle_metrics() const;
 
   std::shared_ptr<const ArchiveReader> reader_;
   ServiceConfig config_;
@@ -92,14 +108,17 @@ class ArchiveService {
 
   std::atomic<bool> ready_{true};
 
-  mutable std::atomic<std::uint64_t> requests_{0};
-  mutable std::atomic<std::uint64_t> region_requests_{0};
-  mutable std::atomic<std::uint64_t> client_errors_{0};
-  mutable std::atomic<std::uint64_t> bytes_served_{0};
-  mutable std::atomic<std::uint64_t> not_modified_{0};
-  mutable std::atomic<std::uint64_t> degraded_requests_{0};   // partial 200s
-  mutable std::atomic<std::uint64_t> failed_regions_{0};      // 502s
-  mutable std::atomic<std::uint64_t> deadline_exceeded_{0};   // 503s
+  // Request counters, owned by registry_ (declared first: the references
+  // below bind to registry entries created in the constructor).
+  obs::Registry registry_;
+  obs::Counter& requests_;
+  obs::Counter& region_requests_;
+  obs::Counter& client_errors_;
+  obs::Counter& bytes_served_;
+  obs::Counter& not_modified_;
+  obs::Counter& degraded_requests_;   // partial 200s
+  obs::Counter& failed_regions_;      // 502s
+  obs::Counter& deadline_exceeded_;   // 503s
 };
 
 }  // namespace xfc::server

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 
 namespace xfc::server {
 namespace {
@@ -144,13 +145,18 @@ std::shared_ptr<const Field> TileCache::get_by_key(
     if (e.value != nullptr) {
       sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_it);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Trace* tr = obs::Trace::current()) ++tr->cache_hits;
       return e.value;
     }
     // Another thread is decoding this tile right now: wait for its result
     // instead of decoding it again (single-flight).
     const auto inflight = e.inflight;
     inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Trace* tr = obs::Trace::current()) ++tr->inflight_waits;
     lock.unlock();
+    // The decode's own spans land on the leader's trace; this request only
+    // sees the wait.
+    const obs::SpanScope span_wait("cache_wait");
     std::unique_lock<std::mutex> wait_lock(inflight->m);
     inflight->cv.wait(wait_lock, [&] { return inflight->done; });
     if (inflight->error) std::rethrow_exception(inflight->error);
@@ -179,6 +185,7 @@ std::shared_ptr<const Field> TileCache::get_by_key(
   const auto inflight = std::make_shared<Shard::InFlight>();
   sh.map.emplace(key, Shard::Entry{nullptr, inflight, {}, 0});
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Trace* tr = obs::Trace::current()) ++tr->cache_misses;
   lock.unlock();
 
   std::shared_ptr<const Field> value;

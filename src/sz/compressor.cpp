@@ -6,6 +6,7 @@
 #include "core/error.hpp"
 #include "core/utils.hpp"
 #include "encode/backend.hpp"
+#include "obs/trace.hpp"
 #include "quant/dual_quant.hpp"
 #include "sz/container.hpp"
 #include "sz/fused_encode.hpp"
@@ -330,6 +331,11 @@ Field sz_decompress(std::span<const std::uint8_t> stream) {
   const LorenzoOrder order = predictor == SzPredictor::kLorenzo2
                                  ? LorenzoOrder::kTwo
                                  : LorenzoOrder::kOne;
+
+  // Covers entropy decode + predict + dequantize to function exit; the
+  // lossless tail and huffman table build above record their own stages.
+  const obs::SpanScope span_predict("predict_decode",
+                                    &obs::predict_decode_us());
 
   I32Array codes(shape);
 

@@ -36,6 +36,7 @@
 #include "crossfield/crossfield.hpp"
 #include "io/fault.hpp"
 #include "io/stream.hpp"
+#include "obs/metrics.hpp"
 #include "server/http.hpp"
 #include "server/service.hpp"
 #include "server/tile_cache.hpp"
@@ -763,6 +764,8 @@ TEST(ChaosHttp, DrainFinishesInFlightAndRefusesNew) {
 }
 
 TEST(ChaosHttp, OverloadShedsWithRetryAfter) {
+  // The global shed counter is process-wide, so work from deltas.
+  const std::uint64_t shed_before = obs::http_shed_total().value();
   HttpConfig config;
   config.max_pending_requests = 1;
   HttpServer http(config, [](const HttpRequest&) {
@@ -795,6 +798,12 @@ TEST(ChaosHttp, OverloadShedsWithRetryAfter) {
   EXPECT_EQ(other.load(), 0);
   EXPECT_GT(served.load(), 0);
   EXPECT_EQ(http.stats().shed_requests, static_cast<std::uint64_t>(shed.load()));
+#ifndef XFC_NO_METRICS
+  // The registry's xfs_http_shed_total mirrors the server's own tally —
+  // the /metrics view and the /stats view must never disagree.
+  EXPECT_EQ(obs::http_shed_total().value() - shed_before,
+            static_cast<std::uint64_t>(shed.load()));
+#endif
   http.stop();
 }
 

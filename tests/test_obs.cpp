@@ -1,0 +1,425 @@
+// Observability tests: the striped metrics core (concurrent counter /
+// histogram mutation, bucket edges, quantile interpolation, Prometheus
+// exposition), the registry's duplicate-name guard, the span tree + its
+// Server-Timing / JSON renderings, the JSON writer's two layouts, the
+// access-log line format, and the serving endpoints (`/metrics`,
+// `/stats?format=v2`, `?trace=1`, Server-Timing over real loopback HTTP).
+//
+// The concurrency tests double as the TSan proof for the lock-free hot
+// path: 8 threads hammering one counter/histogram must be clean and exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "obs/access_log.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "server/http.hpp"
+#include "server/service.hpp"
+
+#ifndef XFC_NO_METRICS
+
+namespace xfc {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::JsonWriter;
+using obs::Registry;
+using obs::SpanScope;
+using obs::Trace;
+using obs::TraceActivation;
+
+// -- metrics core ------------------------------------------------------------
+
+TEST(Metrics, CounterConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, HistogramBucketIndexEdges) {
+  const Histogram h({1.0, 2.0, 5.0});
+  // Upper edges are inclusive (Prometheus `le` semantics).
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.0000001), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(5.0), 2u);
+  EXPECT_EQ(h.bucket_index(5.1), 3u);  // +Inf tail
+}
+
+TEST(Metrics, HistogramConcurrentObservesAreExact) {
+  Histogram h({1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(3.0);
+    });
+  for (auto& t : threads) t.join();
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.counts[1], snap.count);  // all land in (1, 10]
+  EXPECT_NEAR(snap.sum, 3.0 * kThreads * kPerThread, 1e-6 * snap.count);
+}
+
+TEST(Metrics, HistogramQuantileInterpolates) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  const auto snap = h.snapshot();
+  // All mass in (10, 20]: the median interpolates to the bucket midpoint.
+  EXPECT_NEAR(obs::histogram_quantile(snap, 0.5), 15.0, 1e-9);
+  EXPECT_NEAR(obs::histogram_quantile(snap, 1.0), 20.0, 1e-9);
+
+  Histogram tail({10.0, 20.0, 30.0});
+  tail.observe(1e6);  // +Inf bucket clamps to the highest finite edge
+  EXPECT_NEAR(obs::histogram_quantile(tail.snapshot(), 0.99), 30.0, 1e-9);
+
+  const Histogram empty({1.0});
+  EXPECT_EQ(obs::histogram_quantile(empty.snapshot(), 0.5), 0.0);
+}
+
+TEST(Metrics, LogBucketsAreAscendingAndCoverHi) {
+  const std::vector<double> edges = obs::log_buckets(10.0, 1000.0, 2.0);
+  ASSERT_GE(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges.front(), 10.0);
+  EXPECT_GE(edges.back(), 1000.0);
+  for (std::size_t i = 1; i < edges.size(); ++i)
+    EXPECT_GT(edges[i], edges[i - 1]);
+  EXPECT_THROW(obs::log_buckets(0.0, 10.0, 2.0), InvalidArgument);
+}
+
+TEST(Metrics, RegistryRejectsDuplicateNames) {
+  Registry r;
+  r.counter("t_total", "a counter");
+  EXPECT_THROW(r.counter("t_total", "again"), InvalidArgument);
+  EXPECT_THROW(r.gauge("t_total", "as a gauge"), InvalidArgument);
+  EXPECT_THROW(r.histogram("t_total", "as a histogram"), InvalidArgument);
+  EXPECT_THROW(r.counter_fn("t_total", "as a callback", [] { return 0.0; }),
+               InvalidArgument);
+}
+
+TEST(Metrics, ExpositionGolden) {
+  Registry r;
+  Counter& c = r.counter("t_total", "c");
+  Gauge& g = r.gauge("t_gauge", "g");
+  Histogram& h = r.histogram("t_us", "h", {1.0, 2.0});
+  c.add(3);
+  g.set(2.5);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+  EXPECT_EQ(r.exposition(),
+            "# HELP t_gauge g\n"
+            "# TYPE t_gauge gauge\n"
+            "t_gauge 2.5\n"
+            "# HELP t_total c\n"
+            "# TYPE t_total counter\n"
+            "t_total 3\n"
+            "# HELP t_us h\n"
+            "# TYPE t_us histogram\n"
+            "t_us_bucket{le=\"1\"} 1\n"
+            "t_us_bucket{le=\"2\"} 2\n"
+            "t_us_bucket{le=\"+Inf\"} 3\n"
+            "t_us_sum 101\n"
+            "t_us_count 3\n");
+}
+
+TEST(Metrics, SetEnabledGatesMutation) {
+  Counter c;
+  obs::set_enabled(false);
+  c.add(7);
+  obs::set_enabled(true);  // restore for every other test
+  EXPECT_EQ(c.value(), 0u);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+// -- tracing -----------------------------------------------------------------
+
+TEST(TraceTest, SpanTreeRecordsNestingAndParents) {
+  Trace trace;
+  {
+    const TraceActivation activate(&trace);
+    ASSERT_EQ(Trace::current(), &trace);
+    const SpanScope root("request");
+    {
+      const SpanScope child("tiles");
+      const SpanScope grand("decode");
+      (void)grand;
+    }
+    const SpanScope sibling("encode");
+    (void)sibling;
+  }
+  EXPECT_EQ(Trace::current(), nullptr);
+  ASSERT_EQ(trace.spans().size(), 4u);
+  EXPECT_STREQ(trace.spans()[0].name, "request");
+  EXPECT_EQ(trace.spans()[0].parent, -1);
+  EXPECT_EQ(trace.spans()[1].parent, 0);  // tiles under request
+  EXPECT_EQ(trace.spans()[2].parent, 1);  // decode under tiles
+  EXPECT_EQ(trace.spans()[3].parent, 0);  // encode under request
+  for (const obs::Span& s : trace.spans())
+    EXPECT_NE(s.dur_ns, obs::Span::kOpen);
+
+  // Server-Timing reports the depth-1 stages, in first-seen order.
+  const std::string st = trace.server_timing();
+  EXPECT_NE(st.find("tiles;dur="), std::string::npos);
+  EXPECT_NE(st.find("encode;dur="), std::string::npos);
+  EXPECT_LT(st.find("tiles"), st.find("encode"));
+  EXPECT_EQ(st.find("decode"), std::string::npos);  // depth 2: not a stage
+
+  const std::string json = trace.spans_json();
+  EXPECT_NE(json.find("\"name\":\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":1"), std::string::npos);
+}
+
+TEST(TraceTest, SpanScopeFeedsHistogramWithoutActiveTrace) {
+  ASSERT_EQ(Trace::current(), nullptr);
+  Histogram h({1e12});
+  {
+    const SpanScope s("orphan", &h);
+    (void)s;
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(TraceTest, SpanBufferCapsAndCountsDrops) {
+  Trace trace;
+  {
+    const TraceActivation activate(&trace);
+    for (std::size_t i = 0; i < Trace::kMaxSpans + 40; ++i) {
+      const SpanScope s("s");
+      (void)s;
+    }
+  }
+  EXPECT_EQ(trace.spans().size(), Trace::kMaxSpans);
+  EXPECT_EQ(trace.dropped_spans(), 40u);
+}
+
+// -- JSON writer -------------------------------------------------------------
+
+TEST(JsonWriterTest, CompactLayout) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", std::uint64_t{1});
+  w.begin_object("b");
+  w.field("c", std::string("x\"y"));
+  w.end_object();
+  w.begin_array("arr");
+  w.element(std::uint64_t{1});
+  w.element(2.5);
+  w.end_array();
+  w.field("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.take(), "{\"a\":1,\"b\":{\"c\":\"x\\\"y\"},"
+                      "\"arr\":[1,2.5],\"ok\":true}");
+}
+
+TEST(JsonWriterTest, PrettyLayoutMatchesLegacyStatsShape) {
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.field("requests", std::uint64_t{3});
+  w.begin_object("cache");
+  w.field("hits", std::uint64_t{1});
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\n"
+            "  \"requests\": 3,\n"
+            "  \"cache\": {\n"
+            "    \"hits\": 1\n"
+            "  }\n"
+            "}\n");
+}
+
+// -- access log --------------------------------------------------------------
+
+TEST(AccessLogTest, FormatsEntryCompactly) {
+  obs::AccessEntry e;
+  e.unix_ms = 1700000000123;
+  e.method = "GET";
+  e.path = "/field/f/region";
+  e.query = "lo=0,0&hi=8,8";
+  e.status = 200;
+  e.bytes = 256;
+  e.wall_us = 1234;
+  e.cache_hits = 4;
+  e.cache_misses = 0;
+  e.bad_tiles = "3,17";
+  e.slow = true;
+  EXPECT_EQ(obs::format_access_entry(e),
+            "{\"ts_ms\":1700000000123,\"method\":\"GET\","
+            "\"path\":\"/field/f/region\",\"query\":\"lo=0,0&hi=8,8\","
+            "\"status\":200,\"bytes\":256,\"wall_us\":1234,"
+            "\"cache_hits\":4,\"cache_misses\":0,\"bad_tiles\":\"3,17\","
+            "\"slow\":true}");
+
+  // Optional fields vanish rather than emitting zero/empty values.
+  obs::AccessEntry quick;
+  quick.method = "GET";
+  quick.path = "/healthz";
+  quick.status = 200;
+  const std::string line = obs::format_access_entry(quick);
+  EXPECT_EQ(line.find("query"), std::string::npos);
+  EXPECT_EQ(line.find("bad_tiles"), std::string::npos);
+  EXPECT_EQ(line.find("slow"), std::string::npos);
+  EXPECT_EQ(line.find("spans"), std::string::npos);
+}
+
+TEST(AccessLogTest, WritesOneLinePerEntry) {
+  const std::string path = testing::TempDir() + "xfc_obs_access_test.log";
+  std::remove(path.c_str());
+  {
+    const auto log = obs::AccessLog::open(path);
+    log->write_line("{\"a\":1}");
+    log->write_line("{\"b\":2}");
+    EXPECT_EQ(log->lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string l1, l2;
+  ASSERT_TRUE(std::getline(in, l1));
+  ASSERT_TRUE(std::getline(in, l2));
+  EXPECT_EQ(l1, "{\"a\":1}");
+  EXPECT_EQ(l2, "{\"b\":2}");
+  std::remove(path.c_str());
+  EXPECT_THROW(obs::AccessLog::open("/nonexistent-dir/x/y.log"), IoError);
+}
+
+// -- serving endpoints over real HTTP ----------------------------------------
+
+std::shared_ptr<const ArchiveReader> make_archive(
+    std::vector<std::uint8_t>& storage) {
+  Rng rng(7);
+  F32Array a(Shape{70, 90});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(i % 90) / 7.0;
+    const double y = static_cast<double>(i / 90) / 11.0;
+    a[i] = static_cast<float>(std::sin(x) * std::cos(y) * 20.0 +
+                              rng.normal(0, 0.1));
+  }
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{32, 32};
+  writer.add_field(Field("f", std::move(a)), opts);
+  writer.finish();
+  storage = sink.take();
+  return std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(storage));
+}
+
+TEST(ObsHttp, ServerTimingCarriesPipelineStages) {
+  std::vector<std::uint8_t> storage;
+  server::ArchiveService service(make_archive(storage));
+  server::HttpServer http(server::HttpConfig{}, [&](const auto& r) {
+    return service.handle(r);
+  });
+  http.start();
+  server::HttpClient client("127.0.0.1", http.port());
+
+  const auto resp = client.get("/field/f/region?lo=0,0&hi=64,64");
+  ASSERT_EQ(resp.status, 200);
+  const std::string* st = resp.header("Server-Timing");
+  ASSERT_NE(st, nullptr);
+  // At least the etag / tiles / encode stages of the region pipeline.
+  std::size_t stages = 1;
+  for (const char c : *st) stages += c == ',' ? 1 : 0;
+  EXPECT_GE(stages, 3u);
+  EXPECT_NE(st->find("etag;dur="), std::string::npos);
+  EXPECT_NE(st->find("tiles;dur="), std::string::npos);
+  EXPECT_NE(st->find("encode;dur="), std::string::npos);
+  http.stop();
+}
+
+TEST(ObsHttp, MetricsEndpointExposesCountersAndHistograms) {
+  std::vector<std::uint8_t> storage;
+  server::ArchiveService service(make_archive(storage));
+  server::HttpServer http(server::HttpConfig{}, [&](const auto& r) {
+    return service.handle(r);
+  });
+  http.start();
+  server::HttpClient client("127.0.0.1", http.port());
+  ASSERT_EQ(client.get("/field/f/region?lo=0,0&hi=64,64").status, 200);
+
+  const auto resp = client.get("/metrics");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.content_type.find("text/plain"), std::string::npos);
+  const std::string& body = resp.body;
+  // Service-registry counters carry real traffic...
+  EXPECT_NE(body.find("# TYPE xfs_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE xfs_cache_misses_total counter"),
+            std::string::npos);
+  // ...and the process registry contributes the stage histograms.
+  std::size_t histograms = 0;
+  for (std::size_t pos = 0;
+       (pos = body.find(" histogram\n", pos)) != std::string::npos; ++pos)
+    ++histograms;
+  EXPECT_GE(histograms, 4u);
+  EXPECT_NE(body.find("xfc_tile_decode_us_bucket{le=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("xfc_tile_decode_us_count"), std::string::npos);
+  http.stop();
+}
+
+TEST(ObsHttp, StatsV2AndTraceDebugView) {
+  std::vector<std::uint8_t> storage;
+  server::ArchiveService service(make_archive(storage));
+
+  const auto v2 = [&] {
+    server::HttpRequest req;
+    req.method = "GET";
+    req.path = "/stats";
+    req.query = "format=v2";
+    return service.handle(req);
+  }();
+  ASSERT_EQ(v2.status, 200);
+  EXPECT_NE(v2.body.find("\"service\":"), std::string::npos);
+  EXPECT_NE(v2.body.find("\"process\":"), std::string::npos);
+  EXPECT_NE(v2.body.find("\"xfs_requests_total\""), std::string::npos);
+
+  server::HttpRequest req;
+  req.method = "GET";
+  req.path = "/field/f/region";
+  req.query = "lo=0,0&hi=64,64&trace=1";
+  const auto traced = service.handle(req);
+  ASSERT_EQ(traced.status, 200);
+  EXPECT_NE(traced.body.find("\"field\":\"f\""), std::string::npos);
+  EXPECT_NE(traced.body.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(traced.body.find("\"name\":\"tiles\""), std::string::npos);
+  EXPECT_NE(traced.body.find("\"cache_hits\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xfc
+
+#else  // XFC_NO_METRICS
+
+// The compile-out build keeps the endpoints but freezes every value; the
+// behavioral suite above would legitimately observe zeros, so it only runs
+// in instrumented builds.
+TEST(Metrics, CompiledOut) { EXPECT_FALSE(xfc::obs::enabled()); }
+
+#endif  // XFC_NO_METRICS

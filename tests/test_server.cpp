@@ -578,6 +578,50 @@ TEST(Http, ServesEndpointsOverLoopback) {
   EXPECT_EQ(hs.bad_requests, 0u);
 }
 
+TEST(Http, LegacyStatsShapeIsPinned) {
+  // The legacy /stats body is a frozen contract — dashboards parse these
+  // exact keys out of the pretty-printed layout. The registry migration
+  // behind it (PR 8) must never change a byte of the shape.
+  std::vector<std::uint8_t> storage;
+  ArchiveService service(make_multi_codec_archive(storage));
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/field/f_sz/region";
+  req.query = "lo=10,20&hi=50,70";
+  ASSERT_EQ(service.handle(req).status, 200);
+  ASSERT_EQ(service.handle(req).status, 200);  // warm repeat: a cache hit
+
+  HttpRequest stats_req;
+  stats_req.method = "GET";
+  stats_req.path = "/stats";
+  const auto stats = service.handle(stats_req);
+  ASSERT_EQ(stats.status, 200);
+  const std::string& body = stats.body;
+  for (const char* pin : {
+           "{\n  \"requests\": 3,\n",
+           "\"region_requests\": 2,\n",
+           "\"client_errors\": 0,\n",
+           "\"not_modified\": 0,\n",
+           "\"degraded_requests\": 0,\n",
+           "\"failed_regions\": 0,\n",
+           "\"deadline_exceeded\": 0,\n",
+           "\"ready\": true,\n",
+           "  \"cache\": {\n    \"hits\": ",
+           "\"misses\": 6,\n",       // one decode per covered 32x32 tile
+           "\"evictions\": 0,\n",
+           "\"inflight_waits\": 0,\n",
+           "\"decode_errors\": 0,\n",
+           "\"negative_hits\": 0,\n",
+           "\"negative_entries\": 0,\n",
+           "\"entries\": 6,\n",
+           "\"capacity_bytes\": ",
+       })
+    EXPECT_NE(body.find(pin), std::string::npos) << "missing pin: " << pin
+                                                 << "\nbody:\n" << body;
+  EXPECT_EQ(body.find("\"bytes_served\": 0"), std::string::npos);
+  EXPECT_EQ(body.back(), '\n');
+}
+
 TEST(Http, ConditionalGetOverLoopback) {
   LoopbackServer s;
   HttpClient client("127.0.0.1", s.port());
