@@ -1,0 +1,105 @@
+/// bench_compare: the bench-regression gate.
+///
+///   bench_compare BASELINE.json FRESH.json [--threshold R] [--min-ms M]
+///
+/// BASELINE is either a checked-in BENCH_pr*.json trajectory file (the
+/// `after_wall_ms` of each record is the baseline) or a raw bench artifact;
+/// FRESH is a bench artifact from the current tree (e.g.
+/// build/bench_smoke_artifacts/throughput.json). Prints a per-record table
+/// and exits 1 if any shared record is slower than `--threshold` (default
+/// 1.25 = 25% regression; raise it for --smoke runs, which time a single
+/// iteration). `--min-ms` skips records whose baseline wall time sits below
+/// the scheduling-jitter noise floor. Exit 2 on usage/parse errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_compare.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json FRESH.json [--threshold R] "
+               "[--min-ms M]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* fresh_path = nullptr;
+  double threshold = 1.25;
+  double min_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--min-ms") == 0 && i + 1 < argc) {
+      min_ms = std::strtod(argv[++i], nullptr);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (fresh_path == nullptr) {
+      fresh_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path == nullptr || fresh_path == nullptr || threshold <= 0.0)
+    return usage(argv[0]);
+
+  std::string baseline_text, fresh_text;
+  if (!read_file(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", baseline_path);
+    return 2;
+  }
+  if (!read_file(fresh_path, &fresh_text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", fresh_path);
+    return 2;
+  }
+
+  const auto baseline = xfc::bench::parse_bench_records(baseline_text);
+  const auto fresh = xfc::bench::parse_bench_records(fresh_text);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "error: no bench records in %s\n", baseline_path);
+    return 2;
+  }
+  if (fresh.empty()) {
+    std::fprintf(stderr, "error: no bench records in %s\n", fresh_path);
+    return 2;
+  }
+
+  const xfc::bench::CompareResult result =
+      xfc::bench::compare_benches(baseline, fresh, threshold, min_ms);
+
+  std::printf("%-34s %12s %12s %8s\n", "bench", "base_ms", "fresh_ms",
+              "ratio");
+  for (const auto& row : result.rows)
+    std::printf("%-34s %12.3f %12.3f %7.2fx%s\n", row.name.c_str(),
+                row.base_ms, row.fresh_ms, row.ratio,
+                row.regressed ? "  REGRESSED" : "");
+  std::printf(
+      "compared %zu record(s) (threshold %.2fx, min-ms %.3f), "
+      "%zu fresh-only skipped, %zu regression(s)\n",
+      result.rows.size(), threshold, min_ms, result.fresh_only,
+      result.regressions);
+  if (result.rows.empty()) {
+    std::fprintf(stderr, "error: no overlapping bench names\n");
+    return 2;
+  }
+  return result.regressions == 0 ? 0 : 1;
+}

@@ -10,6 +10,8 @@
 ///                 (hours, matches Table I dims exactly)
 ///   --seed N      dataset synthesis seed (default 2024)
 ///   --outdir D    artifact directory (default ./xfc_artifacts)
+///   --profile F   sample CPU at 97 Hz for the whole run; folded stacks
+///                 (flamegraph.pl input) land in F at exit
 ///
 /// Note on the anchor protocol: benches pass the *original* anchor fields
 /// to both compressor and decompressor (the decoder contract only requires
@@ -28,6 +30,7 @@
 #include "cfnn/difference.hpp"
 #include "crossfield/crossfield.hpp"
 #include "data/dataset.hpp"
+#include "obs/profiler.hpp"
 
 namespace xfc::bench {
 
@@ -36,7 +39,33 @@ struct BenchOptions {
   bool smoke = false;  // 1 iteration per stage (the bench-smoke ctest)
   std::uint64_t seed = 2024;
   std::string outdir = "xfc_artifacts";
+  std::string profile;  // --profile FILE|- : folded CPU samples at exit
 };
+
+/// --profile destination, stashed for the atexit writer (atexit takes a
+/// plain function pointer, so the path cannot ride a capture).
+inline std::string& profile_path() {
+  static std::string path;
+  return path;
+}
+
+inline void write_profile_at_exit() {
+  const obs::ProfileReport report = obs::profiler_disarm();
+  const std::string& path = profile_path();
+  std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(report.folded.data(), 1, report.folded.size(), f);
+  if (f != stdout) std::fclose(f);
+  std::fprintf(stderr,
+               "profile: %llu samples (%llu dropped) from %u thread(s) "
+               "-> %s\n",
+               static_cast<unsigned long long>(report.samples),
+               static_cast<unsigned long long>(report.dropped),
+               report.threads, path.c_str());
+}
 
 inline BenchOptions parse_args(int argc, char** argv) {
   BenchOptions opt;
@@ -50,14 +79,24 @@ inline BenchOptions parse_args(int argc, char** argv) {
       opt.seed = std::stoull(argv[++i]);
     } else if (arg == "--outdir" && i + 1 < argc) {
       opt.outdir = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      opt.profile = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("flags: --full  --smoke  --seed N  --outdir DIR\n");
+      std::printf(
+          "flags: --full  --smoke  --seed N  --outdir DIR  --profile F\n");
       std::exit(0);
     }
   }
   if (opt.smoke) {
     bench_min_ms() = 0.0;
     bench_min_iters() = 1;
+  }
+  if (!opt.profile.empty()) {
+    profile_path() = opt.profile;
+    if (obs::profiler_arm({}))
+      std::atexit(write_profile_at_exit);
+    else
+      std::fprintf(stderr, "warning: --profile ignored (already armed)\n");
   }
   std::filesystem::create_directories(opt.outdir);
   return opt;

@@ -22,7 +22,7 @@
 // Archive serving (XFS: HTTP region queries through the decoded-tile cache):
 //   xfc_cli serve in.xfa [--port P] [--cache-mb M] [--threads N]
 // SIGTERM/SIGQUIT drain gracefully (stop accepting, finish in-flight);
-// SIGINT stops immediately.
+// SIGINT stops immediately; SIGHUP reopens the access log (logrotate).
 //
 // For 2D data pass D=1 (a leading extent of 1 is dropped). Global flags:
 //   --json FILE   machine-readable stats (bench_json records)
@@ -31,6 +31,7 @@
 //   --port P      serve: TCP port (default 8080)
 //   --cache-mb M  serve: decoded-tile cache budget in MiB (default 256)
 //   --threads N   serve: worker-pool width (default: hardware)
+//   --profile F   sample CPU for the whole run; folded stacks land in F
 
 #include <atomic>
 #include <chrono>
@@ -53,6 +54,7 @@
 #include "io/file.hpp"
 #include "metrics/metrics.hpp"
 #include "obs/access_log.hpp"
+#include "obs/profiler.hpp"
 #include "server/http.hpp"
 #include "server/service.hpp"
 #include "sz/compressor.hpp"
@@ -76,6 +78,7 @@ struct CliFlags {
   std::size_t threads = 0;     // --threads N (serve; 0 = hardware)
   std::string access_log;      // --access-log FILE|- (serve; empty = off)
   std::size_t slow_ms = 100;   // --slow-ms N (serve; slow-request logging)
+  std::string profile;         // --profile FILE|- (folded CPU samples)
 };
 
 CliFlags strip_flags(std::vector<std::string>& args) {
@@ -93,7 +96,8 @@ CliFlags strip_flags(std::vector<std::string>& args) {
     const bool is_flag = args[i] == "--json" || args[i] == "--tile" ||
                          args[i] == "--codec" || args[i] == "--port" ||
                          args[i] == "--cache-mb" || args[i] == "--threads" ||
-                         args[i] == "--access-log" || args[i] == "--slow-ms";
+                         args[i] == "--access-log" || args[i] == "--slow-ms" ||
+                         args[i] == "--profile";
     if (is_flag && i + 1 >= args.size())
       throw InvalidArgument(args[i] + " needs a value");
     if (args[i] == "--json") {
@@ -114,6 +118,8 @@ CliFlags strip_flags(std::vector<std::string>& args) {
       flags.access_log = args[++i];
     } else if (args[i] == "--slow-ms") {
       flags.slow_ms = positive_int("--slow-ms", args[++i], true);
+    } else if (args[i] == "--profile") {
+      flags.profile = args[++i];
     } else {
       kept.push_back(args[i]);
     }
@@ -180,15 +186,52 @@ int usage() {
                "       --port P  --cache-mb M  --threads N\n"
                "       --access-log FILE|-  (serve: JSON line per request)\n"
                "       --slow-ms N  (serve: log span tree over N ms; "
-               "default 100)\n");
+               "default 100)\n"
+               "       --profile FILE|-  (sample CPU at 97 Hz for the whole "
+               "run; folded\n"
+               "                          stacks for flamegraph.pl land in "
+               "FILE at exit)\n");
   return 2;
 }
 
 volatile std::sig_atomic_t g_stop_serving = 0;   // SIGINT: stop now
 volatile std::sig_atomic_t g_drain_serving = 0;  // SIGTERM/SIGQUIT: drain
+volatile std::sig_atomic_t g_rotate_log = 0;     // SIGHUP: reopen logs
 
 void handle_stop_signal(int) { g_stop_serving = 1; }
 void handle_drain_signal(int) { g_drain_serving = 1; }
+void handle_rotate_signal(int) { g_rotate_log = 1; }
+
+/// --profile: arms the sampling profiler for the process lifetime and
+/// writes folded stacks where the flag said, whatever exit path runs.
+struct ProfileScope {
+  std::string path;
+  bool armed = false;
+  explicit ProfileScope(const std::string& file) : path(file) {
+    if (path.empty()) return;
+    armed = obs::profiler_arm({});
+    if (!armed)
+      std::fprintf(stderr, "warning: --profile ignored (already armed)\n");
+  }
+  ~ProfileScope() {
+    if (!armed) return;
+    const obs::ProfileReport report = obs::profiler_disarm();
+    std::FILE* f =
+        path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(report.folded.data(), 1, report.folded.size(), f);
+    if (f != stdout) std::fclose(f);
+    std::fprintf(stderr,
+                 "profile: %llu samples (%llu dropped) from %u thread(s) "
+                 "at %.0f Hz -> %s\n",
+                 static_cast<unsigned long long>(report.samples),
+                 static_cast<unsigned long long>(report.dropped),
+                 report.threads, report.hz, path.c_str());
+  }
+};
 
 int run_serve(const std::string& archive_path, const CliFlags& flags) {
   // The pool sizes itself on first use; pin it before anything parallel
@@ -225,8 +268,19 @@ int run_serve(const std::string& archive_path, const CliFlags& flags) {
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_drain_signal);
   std::signal(SIGQUIT, handle_drain_signal);
-  while (g_stop_serving == 0 && g_drain_serving == 0)
+  std::signal(SIGHUP, handle_rotate_signal);
+  while (g_stop_serving == 0 && g_drain_serving == 0) {
+    if (g_rotate_log != 0) {
+      // logrotate convention: the rotator renamed the file and HUPped us;
+      // reopen the original path so new lines land in a fresh file.
+      g_rotate_log = 0;
+      if (http_config.access_log != nullptr &&
+          !http_config.access_log->reopen())
+        std::fprintf(stderr, "warning: access-log reopen failed; "
+                             "keeping the rotated file handle\n");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
   if (g_drain_serving != 0 && g_stop_serving == 0) {
     // Graceful: flip /readyz to "draining" so load balancers route away,
     // stop accepting, and let in-flight requests finish.
@@ -445,6 +499,7 @@ int main(int argc, char** argv) {
   try {
     const CliFlags flags = strip_flags(all);
     if (all.size() < 2) return usage();
+    const ProfileScope profile(flags.profile);
     const std::string cmd = all[0];
     // Positional arguments after the command, re-exposed with the historic
     // argv numbering (arg(i) below corresponds to the old argv[i]).

@@ -32,11 +32,21 @@ std::string format_access_entry(const AccessEntry& entry,
 
 std::shared_ptr<AccessLog> AccessLog::open(const std::string& path) {
   if (path == "-")
-    return std::shared_ptr<AccessLog>(new AccessLog(stdout, false));
+    return std::shared_ptr<AccessLog>(new AccessLog(stdout, false, path));
   std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr)
     throw IoError("AccessLog: cannot open " + path + " for append");
-  return std::shared_ptr<AccessLog>(new AccessLog(f, true));
+  return std::shared_ptr<AccessLog>(new AccessLog(f, true, path));
+}
+
+bool AccessLog::reopen() {
+  const std::lock_guard<std::mutex> lock(m_);
+  if (!owned_) return true;  // stdout: nothing to rotate
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) return false;
+  std::fclose(file_);
+  file_ = f;
+  return true;
 }
 
 AccessLog::~AccessLog() {

@@ -46,6 +46,11 @@ std::string format_access_entry(const AccessEntry& entry,
 /// Thread-safe line sink over a FILE*. write_line appends '\n' and
 /// flushes under a mutex: request handling fans out over the worker pool,
 /// and interleaved half-lines would defeat the point of structured logs.
+///
+/// Rotation follows the logrotate convention: rename the live file, then
+/// signal the process; reopen() (wired to SIGHUP by `xfc_cli serve`)
+/// re-opens the original path for append, so the renamed file keeps the
+/// old lines and new lines land in a fresh file at the original path.
 class AccessLog {
  public:
   /// Opens `path` for append ("-" = stdout). Throws IoError on failure.
@@ -60,13 +65,20 @@ class AccessLog {
     return lines_.load(std::memory_order_relaxed);
   }
 
+  /// Re-opens the original path for append and swaps it in (under the
+  /// write mutex, so no line is torn across the swap). No-op for stdout.
+  /// Returns false — keeping the current file — if the path cannot be
+  /// reopened, so rotation glitches lose zero lines.
+  bool reopen();
+
  private:
-  explicit AccessLog(std::FILE* file, bool owned)
-      : file_(file), owned_(owned) {}
+  AccessLog(std::FILE* file, bool owned, std::string path)
+      : file_(file), owned_(owned), path_(std::move(path)) {}
 
   std::mutex m_;
   std::FILE* file_;
   bool owned_;
+  std::string path_;
   std::atomic<std::uint64_t> lines_{0};
 };
 

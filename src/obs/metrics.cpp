@@ -4,6 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 #include "core/error.hpp"
 
@@ -88,7 +94,10 @@ std::vector<double> log_buckets(double lo, double hi, double ratio) {
 }
 
 double histogram_quantile(const Histogram::Snapshot& snap, double q) {
-  if (snap.count == 0) return 0.0;
+  // Empty histogram (or a hand-built snapshot with no buckets at all):
+  // there is no sensible quantile, so the defined answer is 0.0 — never
+  // NaN, never a read past bounds.back().
+  if (snap.count == 0 || snap.bounds.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(snap.count);
   std::uint64_t cum = 0;
@@ -285,6 +294,108 @@ Gauge& train_epoch_loss() {
       "xfc_train_epoch_loss", "Most recent training epoch mean loss");
   return g;
 }
+Counter& trace_dropped_spans_total() {
+  static Counter& c = registry().counter(
+      "xfc_trace_dropped_spans_total",
+      "Spans discarded because a request trace hit its span cap");
+  return c;
+}
+
+namespace {
+
+#if defined(__linux__)
+/// Resident set from /proc/self/statm field 2 (pages).
+double proc_resident_bytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long size = 0, resident = 0;
+  const int n = std::fscanf(f, "%ld %ld", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE));
+}
+
+double proc_open_fds() {
+  DIR* d = opendir("/proc/self/fd");
+  if (d == nullptr) return 0.0;
+  double n = 0;
+  while (const dirent* e = readdir(d))
+    if (e->d_name[0] != '.') n += 1;  // skip . and ..
+  closedir(d);
+  return n > 0 ? n - 1 : 0;  // the opendir itself holds one fd
+}
+
+/// Thread count and process start time from /proc/self/stat. The comm
+/// field may contain spaces/parens, so parse from the last ')'.
+bool proc_stat_fields(double* threads, double* starttime_ticks) {
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return false;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return false;
+  // After ')': state is field 3; threads field 20; starttime field 22.
+  double fields[22] = {0};
+  char state = 0;
+  int got = std::sscanf(
+      p + 1,
+      " %c %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf %lf"
+      " %lf %lf %lf",
+      &state, &fields[3], &fields[4], &fields[5], &fields[6], &fields[7],
+      &fields[8], &fields[9], &fields[10], &fields[11], &fields[12],
+      &fields[13], &fields[14], &fields[15], &fields[16], &fields[17],
+      &fields[18], &fields[19], &fields[20], &fields[21]);
+  if (got < 20) return false;
+  *threads = fields[19];          // num_threads
+  *starttime_ticks = fields[21];  // starttime
+  return true;
+}
+
+double proc_threads() {
+  double threads = 0, start = 0;
+  return proc_stat_fields(&threads, &start) ? threads : 0.0;
+}
+
+double proc_uptime_seconds() {
+  double threads = 0, start = 0;
+  if (!proc_stat_fields(&threads, &start)) return 0.0;
+  FILE* f = std::fopen("/proc/uptime", "r");
+  if (f == nullptr) return 0.0;
+  double system_uptime = 0;
+  const int n = std::fscanf(f, "%lf", &system_uptime);
+  std::fclose(f);
+  if (n != 1) return 0.0;
+  const double hz = static_cast<double>(sysconf(_SC_CLK_TCK));
+  return hz > 0 ? system_uptime - start / hz : 0.0;
+}
+#else
+double proc_resident_bytes() { return 0.0; }
+double proc_open_fds() { return 0.0; }
+double proc_threads() { return 0.0; }
+double proc_uptime_seconds() { return 0.0; }
+#endif
+
+}  // namespace
+
+void ensure_process_metrics() {
+  static const bool registered = [] {
+    Registry& r = registry();
+    r.gauge_fn("xfc_process_resident_bytes",
+               "Resident set size (bytes, /proc/self/statm)",
+               proc_resident_bytes);
+    r.gauge_fn("xfc_process_open_fds",
+               "Open file descriptors (/proc/self/fd)", proc_open_fds);
+    r.gauge_fn("xfc_process_threads",
+               "Threads in this process (/proc/self/stat)", proc_threads);
+    r.gauge_fn("xfc_process_uptime_seconds",
+               "Seconds since process start (/proc)", proc_uptime_seconds);
+    return true;
+  }();
+  (void)registered;
+}
 
 void ensure_core_metrics() {
   http_request_us();
@@ -297,6 +408,8 @@ void ensure_core_metrics() {
   http_shed_total();
   faults_injected_total();
   train_epoch_loss();
+  trace_dropped_spans_total();
+  ensure_process_metrics();
 }
 
 }  // namespace xfc::obs

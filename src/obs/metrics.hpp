@@ -258,6 +258,13 @@ Counter& huffman_cache_hits();   ///< deserialize_cached table reuses
 Counter& http_shed_total();      ///< 503 + Retry-After overload sheds
 Counter& faults_injected_total();///< FaultInjector errors/shorts/flips
 Gauge& train_epoch_loss();       ///< most recent training epoch mean loss
+Counter& trace_dropped_spans_total();  ///< spans lost to Trace's span cap
+
+/// Registers process-level gauges (RSS, open fds, thread count, uptime) as
+/// scrape-time callbacks over /proc/self — nothing is read until /metrics
+/// is, so the hot path pays zero. Idempotent; linux-only values, 0
+/// elsewhere. Called by ensure_core_metrics().
+void ensure_process_metrics();
 
 /// Touches every accessor above so `/metrics` lists the full inventory
 /// even before traffic has exercised each path.

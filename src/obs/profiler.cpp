@@ -1,0 +1,384 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+// The handler walks raw frame pointers through stack memory the sanitizers
+// did not see us being handed — keep their instrumentation out of the
+// capture path (reads are pre-validated with a pipe-write probe instead).
+#if defined(__clang__) || defined(__GNUC__)
+#define XFC_PROF_NO_SANITIZE \
+  __attribute__((no_sanitize("address", "thread", "undefined")))
+#else
+#define XFC_PROF_NO_SANITIZE
+#endif
+
+namespace xfc::obs {
+namespace {
+
+// Slot pool bound: slots × ring × depth × 8 B is preallocated at arm()
+// (16 × 4096 × 48 × 8 ≈ 25 MiB at defaults); threads beyond the pool are
+// counted as drops rather than grown into.
+constexpr std::size_t kMaxThreadSlots = 16;
+
+struct ThreadRing {
+  // Sample i occupies pcs[i * max_depth .. i * max_depth + depths[i]).
+  std::uint64_t* pcs = nullptr;
+  std::uint16_t* depths = nullptr;
+  std::atomic<std::uint32_t> count{0};
+};
+
+struct ProfilerState {
+  std::atomic<bool> armed{false};
+  std::atomic<int> active{0};  // handlers currently executing
+  std::atomic<std::uint32_t> next_slot{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint32_t> epoch{0};  // bumped at arm(); invalidates t_slot
+  std::size_t max_depth = 0;
+  std::size_t ring_capacity = 0;
+  int probe_wfd = -1;  // pipe write end: the readability probe
+  int probe_rfd = -1;  // pipe read end: drained after each probe
+  double hz = 0.0;
+  ThreadRing rings[kMaxThreadSlots];
+  std::vector<std::uint64_t> pc_storage;
+  std::vector<std::uint16_t> depth_storage;
+  struct sigaction prev_sa;
+};
+
+ProfilerState g_prof;
+std::mutex g_prof_control;  // serializes arm()/disarm(); never in handler
+
+thread_local std::uint32_t t_slot_epoch = 0;
+thread_local std::int32_t t_slot = -1;  // -1 unclaimed, -2 pool exhausted
+
+/// Async-signal-safe readability probe: write() reports EFAULT instead of
+/// crashing when handed an unmapped address, so a successful 16-byte write
+/// proves [addr, addr+16) is mapped and readable. The target must be a
+/// pipe — /dev/null's driver returns success without ever touching the
+/// source buffer. Each successful probe is drained from the read end to
+/// keep the pipe empty; both ends are non-blocking, so a racing fill can
+/// only cause a conservative "not readable", never a handler stall, and
+/// 16-byte pipe writes are atomic (≤ PIPE_BUF) so no partial drains.
+XFC_PROF_NO_SANITIZE
+bool probe_readable(int wfd, int rfd, std::uint64_t addr) {
+  if (::write(wfd, reinterpret_cast<const void*>(addr), 16) != 16)
+    return false;
+  char drain[16];
+  (void)!::read(rfd, drain, sizeof drain);
+  return true;
+}
+
+/// Captures pc + frame-pointer chain from the interrupted context. Leaf
+/// first. Every dereference is bounds/alignment checked and probe-validated;
+/// a broken chain just terminates the walk early.
+XFC_PROF_NO_SANITIZE
+std::size_t capture_stack(void* uctx, std::uint64_t* out,
+                          std::size_t max_depth, int probe_wfd,
+                          int probe_rfd) {
+  auto* uc = static_cast<ucontext_t*>(uctx);
+  std::uint64_t pc = 0, fp = 0, sp = 0;
+#if defined(__x86_64__)
+  pc = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  sp = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+  pc = static_cast<std::uint64_t>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uint64_t>(uc->uc_mcontext.regs[29]);
+  sp = static_cast<std::uint64_t>(uc->uc_mcontext.sp);
+#else
+  (void)uc;
+  (void)probe_wfd;
+  (void)probe_rfd;
+#endif
+  if (pc == 0) return 0;
+  std::size_t n = 0;
+  out[n++] = pc;
+  if (fp == 0 || sp == 0) return n;
+  // Frame layout (x86_64 and aarch64 alike): [fp] = caller fp,
+  // [fp + 8] = return address. Walk toward the stack base, requiring the
+  // chain to stay aligned, move strictly upward, and not jump more than a
+  // plausible stack span in one hop.
+  std::uint64_t lo = std::min(sp, fp);
+  const std::uint64_t hi = lo + (16u << 20);  // 16 MiB stack ceiling
+  while (n < max_depth) {
+    if ((fp & 7) != 0 || fp < lo || fp + 16 > hi) break;
+    if (!probe_readable(probe_wfd, probe_rfd, fp)) break;
+    const std::uint64_t next_fp = *reinterpret_cast<std::uint64_t*>(fp);
+    const std::uint64_t ret =
+        *reinterpret_cast<std::uint64_t*>(fp + 8);
+    if (ret < 4096) break;  // null page: not a code address
+    out[n++] = ret;
+    if (next_fp <= fp) break;
+    lo = fp;
+    fp = next_fp;
+  }
+  return n;
+}
+
+XFC_PROF_NO_SANITIZE
+void sigprof_handler(int, siginfo_t*, void* uctx) {
+  const int saved_errno = errno;
+  ProfilerState& st = g_prof;
+  st.active.fetch_add(1, std::memory_order_acquire);
+  if (!st.armed.load(std::memory_order_acquire)) {
+    st.active.fetch_sub(1, std::memory_order_release);
+    errno = saved_errno;
+    return;
+  }
+  // Claim this thread's ring slot on first sample (one fetch_add, no lock).
+  const std::uint32_t epoch = st.epoch.load(std::memory_order_relaxed);
+  if (t_slot_epoch != epoch) {
+    t_slot_epoch = epoch;
+    const std::uint32_t s =
+        st.next_slot.fetch_add(1, std::memory_order_relaxed);
+    t_slot = s < kMaxThreadSlots ? static_cast<std::int32_t>(s) : -2;
+  }
+  if (t_slot < 0) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+    st.active.fetch_sub(1, std::memory_order_release);
+    errno = saved_errno;
+    return;
+  }
+  ThreadRing& ring = st.rings[static_cast<std::size_t>(t_slot)];
+  const std::uint32_t n = ring.count.load(std::memory_order_relaxed);
+  if (n >= st.ring_capacity) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+    st.active.fetch_sub(1, std::memory_order_release);
+    errno = saved_errno;
+    return;
+  }
+  std::uint64_t* out = ring.pcs + static_cast<std::size_t>(n) * st.max_depth;
+  const std::size_t depth =
+      capture_stack(uctx, out, st.max_depth, st.probe_wfd, st.probe_rfd);
+  if (depth == 0) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ring.depths[n] = static_cast<std::uint16_t>(depth);
+    ring.count.store(n + 1, std::memory_order_release);
+  }
+  st.active.fetch_sub(1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+/// dladdr + demangle, argument list stripped so folded lines stay short.
+/// Requires executables linked with --export-dynamic (CMAKE_ENABLE_EXPORTS)
+/// for static-binary symbols to resolve; unresolvable frames render as hex.
+std::string symbolize(std::uint64_t pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof info);
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    std::string name = info.dli_sname;
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) name = demangled;
+    std::free(demangled);
+    const std::size_t paren = name.find('(');
+    if (paren != std::string::npos && paren > 0) name.resize(paren);
+    // ';' is the folded-format frame separator.
+    std::replace(name.begin(), name.end(), ';', ':');
+    return name;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+ProfileReport fold_rings(ProfilerState& st) {
+  ProfileReport rep;
+  rep.hz = st.hz;
+  rep.dropped = st.dropped.load(std::memory_order_relaxed);
+  // Aggregate identical stacks, then symbolize each unique address once.
+  std::map<std::vector<std::uint64_t>, std::uint64_t> stacks;
+  std::map<std::uint64_t, std::string> symbols;
+  const std::uint32_t used = std::min<std::uint32_t>(
+      st.next_slot.load(std::memory_order_relaxed), kMaxThreadSlots);
+  for (std::uint32_t slot = 0; slot < used; ++slot) {
+    const ThreadRing& ring = st.rings[slot];
+    const std::uint32_t count = ring.count.load(std::memory_order_acquire);
+    if (count != 0) ++rep.threads;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t* pcs =
+          ring.pcs + static_cast<std::size_t>(i) * st.max_depth;
+      const std::size_t depth = ring.depths[i];
+      std::vector<std::uint64_t> stack(pcs, pcs + depth);
+      ++stacks[std::move(stack)];
+      ++rep.samples;
+    }
+  }
+  // Distinct pcs inside one function fold to the same frame name, so
+  // re-aggregate by rendered line before emitting.
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& [stack, count] : stacks) {
+    std::string line;
+    // Captured leaf-first; folded format wants root-first. Frames past the
+    // leaf are return addresses — symbolize the call site (addr - 1), not
+    // the instruction after it.
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      const bool leaf = i == 0;
+      const std::uint64_t addr = leaf ? stack[i] : stack[i] - 1;
+      auto it = symbols.find(addr);
+      if (it == symbols.end())
+        it = symbols.emplace(addr, symbolize(addr)).first;
+      line += it->second;
+      if (!leaf) line += ';';
+    }
+    merged[std::move(line)] += count;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> lines(merged.begin(),
+                                                           merged.end());
+  std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  for (const auto& [line, count] : lines) {
+    rep.folded += line;
+    rep.folded += ' ';
+    rep.folded += std::to_string(count);
+    rep.folded += '\n';
+  }
+  return rep;
+}
+
+// The probe pipe is created on first arm and kept for the life of the
+// process. Closing it on disarm would hand close() an fd that a straggler
+// handler on another thread may still be passing to write() — a genuine
+// fd-reuse hazard (and a TSan report, since the handler body is
+// uninstrumented and the active==0 spin is invisible to it). Two idle fds
+// are the standing cost of the profiler having ever been armed.
+bool ensure_probe(ProfilerState& st) {
+  if (st.probe_wfd >= 0) return true;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return false;
+  for (const int fd : fds) {
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  st.probe_rfd = fds[0];
+  st.probe_wfd = fds[1];
+  return true;
+}
+
+void release_rings(ProfilerState& st) {
+  for (auto& ring : st.rings) {
+    ring.pcs = nullptr;
+    ring.depths = nullptr;
+    ring.count.store(0, std::memory_order_relaxed);
+  }
+  st.pc_storage.clear();
+  st.pc_storage.shrink_to_fit();
+  st.depth_storage.clear();
+  st.depth_storage.shrink_to_fit();
+}
+
+}  // namespace
+
+bool profiler_armed() {
+  return g_prof.armed.load(std::memory_order_acquire);
+}
+
+bool profiler_arm(const ProfilerOptions& opt) {
+  std::lock_guard<std::mutex> lock(g_prof_control);
+  ProfilerState& st = g_prof;
+  if (st.armed.load(std::memory_order_relaxed)) return false;
+
+  st.hz = std::min(1000.0, std::max(1.0, opt.hz));
+  st.max_depth = std::min<std::size_t>(256, std::max<std::size_t>(2, opt.max_depth));
+  st.ring_capacity = std::min<std::size_t>(
+      1u << 16, std::max<std::size_t>(64, opt.max_samples_per_thread));
+
+  if (!ensure_probe(st)) return false;
+
+  st.pc_storage.assign(kMaxThreadSlots * st.ring_capacity * st.max_depth, 0);
+  st.depth_storage.assign(kMaxThreadSlots * st.ring_capacity, 0);
+  for (std::size_t slot = 0; slot < kMaxThreadSlots; ++slot) {
+    st.rings[slot].pcs =
+        st.pc_storage.data() + slot * st.ring_capacity * st.max_depth;
+    st.rings[slot].depths = st.depth_storage.data() + slot * st.ring_capacity;
+    st.rings[slot].count.store(0, std::memory_order_relaxed);
+  }
+  st.next_slot.store(0, std::memory_order_relaxed);
+  st.dropped.store(0, std::memory_order_relaxed);
+  // New epoch invalidates thread-local slot claims from prior runs.
+  st.epoch.fetch_add(1, std::memory_order_relaxed);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_sigaction = sigprof_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &st.prev_sa) != 0) {
+    release_rings(st);
+    return false;
+  }
+
+  st.armed.store(true, std::memory_order_release);
+
+  const long interval_us =
+      std::max<long>(1, static_cast<long>(1e6 / st.hz + 0.5));
+  itimerval timer;
+  timer.it_interval.tv_sec = interval_us / 1000000;
+  timer.it_interval.tv_usec = interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    st.armed.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &st.prev_sa, nullptr);
+    release_rings(st);
+    return false;
+  }
+  return true;
+}
+
+ProfileReport profiler_disarm() {
+  std::lock_guard<std::mutex> lock(g_prof_control);
+  ProfilerState& st = g_prof;
+  if (!st.armed.load(std::memory_order_relaxed)) return {};
+
+  itimerval off;
+  std::memset(&off, 0, sizeof off);
+  setitimer(ITIMER_PROF, &off, nullptr);
+  st.armed.store(false, std::memory_order_release);
+  // A signal generated just before the timer stopped may still be in
+  // flight; our (still installed) handler no-ops on armed=false. Give such
+  // stragglers a couple of timer periods to land before restoring the old
+  // disposition — restoring SIG_DFL with a SIGPROF pending would kill us.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  while (st.active.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+  sigaction(SIGPROF, &st.prev_sa, nullptr);
+
+  ProfileReport rep = fold_rings(st);
+  release_rings(st);
+  return rep;
+}
+
+ProfileReport profile_for(double seconds, double hz) {
+  ProfilerOptions opt;
+  opt.hz = hz;
+  if (!profiler_arm(opt)) return {};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  return profiler_disarm();
+}
+
+}  // namespace xfc::obs

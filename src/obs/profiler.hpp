@@ -1,0 +1,77 @@
+#ifndef XFC_OBS_PROFILER_HPP
+#define XFC_OBS_PROFILER_HPP
+
+/// \file profiler.hpp
+/// Self-contained sampling CPU profiler: setitimer(ITIMER_PROF) delivers
+/// SIGPROF on process CPU time, the handler captures a frame-pointer stack
+/// walk into a pre-allocated per-thread sample ring, and disarm() folds the
+/// rings into flamegraph.pl/speedscope "collapsed stack" text
+/// (`root;child;leaf count` per line).
+///
+/// Safety model, because everything interesting happens in a signal handler:
+///   - the handler touches only atomics, its own thread's ring slice of a
+///     pool allocated at arm() time, and the `write()` syscall (used as an
+///     async-signal-safe memory-readability probe before each frame-pointer
+///     dereference) — no malloc, no locks, errno saved/restored;
+///   - per-thread ring slots are claimed with a single fetch_add the first
+///     time a thread takes a sample; pool exhaustion and ring overflow bump
+///     a dropped counter instead of blocking;
+///   - disarm() stops the timer, flips `armed` off, waits for in-flight
+///     handlers to drain (acquire on an active-refcount), and only then
+///     restores the previous SIGPROF disposition and reads the rings.
+///
+/// Disarmed cost is zero: no handler installed, no timer running, no memory
+/// held. Symbolization (dladdr + demangle) happens at disarm() time, never
+/// in the handler.
+///
+/// Wired in as `GET /debug/prof?seconds=N&hz=F` on XFS and `--profile FILE`
+/// on xfc_cli and the bench binaries. One profiler per process: ITIMER_PROF
+/// is process-global, so arm() while armed fails rather than stacking.
+
+#include <cstdint>
+#include <string>
+
+namespace xfc::obs {
+
+struct ProfilerOptions {
+  /// SIGPROF rate against process CPU time. Clamped to [1, 1000].
+  double hz = 97.0;
+  /// Frames kept per sample (deeper stacks are truncated at the root end).
+  std::size_t max_depth = 48;
+  /// Sample-ring capacity per thread slot. Clamped to [64, 1 << 16].
+  /// Memory while armed is slots(16) * ring * depth * 8 bytes, freed at
+  /// disarm; a full ring counts further samples as dropped.
+  std::size_t max_samples_per_thread = 4096;
+};
+
+struct ProfileReport {
+  std::uint64_t samples = 0;  ///< stacks captured across all threads
+  std::uint64_t dropped = 0;  ///< lost to ring overflow / slot exhaustion
+  std::uint32_t threads = 0;  ///< distinct threads that took >= 1 sample
+  double hz = 0.0;            ///< rate the run was armed at
+  /// Collapsed stacks, root-first frames joined by ';', one
+  /// "stack count\n" line per unique stack, sorted by descending count.
+  std::string folded;
+};
+
+/// Installs the SIGPROF handler, allocates the sample rings, and starts the
+/// profiling timer. Returns false (and changes nothing) if already armed.
+bool profiler_arm(const ProfilerOptions& opt = {});
+
+/// True between a successful arm() and the matching disarm().
+bool profiler_armed();
+
+/// Stops the timer, restores the previous SIGPROF disposition, drains
+/// in-flight handlers, and folds the rings. Returns an empty report if the
+/// profiler was not armed. Frees all profiling memory before returning.
+ProfileReport profiler_disarm();
+
+/// Convenience: arm at `hz`, sleep `seconds` of wall time (the workload
+/// runs on other threads; ITIMER_PROF only ticks while the process burns
+/// CPU), then disarm and return the report. Fails (empty report, samples=0,
+/// hz=0) if the profiler is already armed.
+ProfileReport profile_for(double seconds, double hz = 97.0);
+
+}  // namespace xfc::obs
+
+#endif  // XFC_OBS_PROFILER_HPP

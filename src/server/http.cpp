@@ -39,6 +39,7 @@ const char* reason_phrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Content Too Large";
     case 414: return "URI Too Long";
     case 431: return "Request Header Fields Too Large";
@@ -574,6 +575,8 @@ void HttpServer::handle_ready(std::vector<std::size_t>& touched) {
       }
       const std::uint64_t wall_ns = obs::monotonic_ns() - t0_ns;
       obs::http_request_us().observe(static_cast<double>(wall_ns) * 1e-3);
+      if (trace.dropped_spans() != 0)
+        obs::trace_dropped_spans_total().add(trace.dropped_spans());
       if (std::string st = trace.server_timing(); !st.empty())
         resp.headers.emplace_back("Server-Timing", std::move(st));
       const bool slow =

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <optional>
@@ -13,6 +14,7 @@
 #include "core/error.hpp"
 #include "io/crc32.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace xfc::server {
@@ -172,6 +174,27 @@ ArchiveService::ArchiveService(std::shared_ptr<const ArchiveReader> reader,
   registry_.gauge_fn("xfs_cache_capacity_bytes", "Cache byte budget",
                      [this] { return static_cast<double>(
                                   cache_.capacity_bytes()); });
+  // Per-shard occupancy/eviction-age gauges: the registry is label-free by
+  // design, so the shard index lands in the metric name. Shard counts are
+  // single digits; the names stay a fixed, greppable set.
+  for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
+    const std::string prefix = "xfs_cache_shard" + std::to_string(i);
+    registry_.gauge_fn(prefix + "_entries",
+                       "Decoded tiles resident in this shard", [this, i] {
+                         return static_cast<double>(
+                             cache_.shard_stats(i).entries);
+                       });
+    registry_.gauge_fn(prefix + "_bytes", "Decoded bytes in this shard",
+                       [this, i] {
+                         return static_cast<double>(
+                             cache_.shard_stats(i).bytes);
+                       });
+    registry_.gauge_fn(prefix + "_oldest_age_seconds",
+                       "Age of this shard's LRU tail (next eviction victim)",
+                       [this, i] {
+                         return cache_.shard_stats(i).oldest_age_seconds;
+                       });
+  }
   // Pre-register the codec/HTTP-layer metrics so /metrics lists the whole
   // inventory even before the first decode exercises each path.
   obs::ensure_core_metrics();
@@ -198,6 +221,8 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
     return handle_stats(v2);
   }
   if (path == "/metrics") return handle_metrics();
+  if (path == "/debug/cache") return handle_debug_cache();
+  if (path == "/debug/prof") return handle_debug_prof(request);
 
   // /field/<name>/region
   constexpr const char* kPrefix = "/field/";
@@ -455,10 +480,15 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
       w.field("cache_hits", std::uint64_t{tr->cache_hits});
       w.field("cache_misses", std::uint64_t{tr->cache_misses});
       w.field("inflight_waits", std::uint64_t{tr->inflight_waits});
-      if (tr->dropped_spans() != 0)
-        w.field("dropped_spans",
-                static_cast<std::uint64_t>(tr->dropped_spans()));
+      // Always present (0 when complete): a consumer can tell a truncated
+      // span tree from a short one without out-of-band knowledge.
+      w.field("dropped_spans",
+              static_cast<std::uint64_t>(tr->dropped_spans()));
       w.field_raw("spans", tr->spans_json());
+      // The HTTP layer accounts drops for traces it owns; a locally
+      // activated trace (direct handle() embedding) settles its own.
+      if (local_trace && tr->dropped_spans() != 0)
+        obs::trace_dropped_spans_total().add(tr->dropped_spans());
     }
     w.end_object();
     HttpResponse resp = HttpResponse::json(w.take() + "\n");
@@ -611,6 +641,98 @@ HttpResponse ArchiveService::handle_metrics() const {
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse ArchiveService::handle_debug_cache() const {
+  // Tile-access heatmap: field x tile ordinal -> counters, plus per-shard
+  // occupancy. Parallel arrays (one per counter, indexed by ordinal) keep
+  // the payload dense — a 10k-tile field is four 10k-int arrays, not 10k
+  // objects.
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("epoch", static_cast<std::uint64_t>(cache_.access_epoch()));
+  w.field("capacity_bytes",
+          static_cast<std::uint64_t>(cache_.capacity_bytes()));
+  w.begin_array("shards");
+  for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
+    const TileShardStats s = cache_.shard_stats(i);
+    obs::JsonWriter e;
+    e.begin_object();
+    e.field("entries", s.entries);
+    e.field("bytes", s.bytes);
+    e.field("budget_bytes", s.budget_bytes);
+    e.field("negative_entries", s.negative_entries);
+    e.field("oldest_age_seconds", s.oldest_age_seconds);
+    e.end_object();
+    w.element_raw(e.take());
+  }
+  w.end_array();
+  w.begin_array("fields");
+  const auto& fields = reader_->fields();
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    const std::vector<TileHeat> heat = cache_.field_heat(archive_id_, f);
+    obs::JsonWriter e;
+    e.begin_object();
+    e.field("name", fields[f].name);
+    e.field("tiles", static_cast<std::uint64_t>(heat.size()));
+    e.begin_array("hits");
+    for (const TileHeat& t : heat) e.element(std::uint64_t{t.hits});
+    e.end_array();
+    e.begin_array("misses");
+    for (const TileHeat& t : heat) e.element(std::uint64_t{t.misses});
+    e.end_array();
+    e.begin_array("hot");
+    for (const TileHeat& t : heat) e.element(std::uint64_t{t.hot});
+    e.end_array();
+    e.begin_array("last_epoch");
+    for (const TileHeat& t : heat) e.element(std::uint64_t{t.last_epoch});
+    e.end_array();
+    e.end_object();
+    w.element_raw(e.take());
+  }
+  w.end_array();
+  w.end_object();
+  return HttpResponse::json(w.take() + "\n");
+}
+
+HttpResponse ArchiveService::handle_debug_prof(
+    const HttpRequest& request) const {
+  double seconds = 2.0, hz = 97.0;
+  std::vector<std::pair<std::string, std::string>> params;
+  if (!parse_query(request.query, params))
+    return HttpResponse::text(400, "malformed query string\n");
+  for (const auto& [key, value] : params) {
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || std::isnan(v))
+      return HttpResponse::text(400, key + " must be a number\n");
+    if (key == "seconds") seconds = v;
+    else if (key == "hz") hz = v;
+  }
+  // Caps: this blocks one pool worker for the whole window, so a stray
+  // curl can cost at most 30 s of one worker, and the per-thread rings are
+  // sized to hold a full window at the clamped rate.
+  seconds = std::clamp(seconds, 0.05, 30.0);
+  hz = std::clamp(hz, 1.0, 999.0);
+  if (obs::profiler_armed()) {
+    HttpResponse resp =
+        HttpResponse::text(409, "profiler already armed, retry later\n");
+    resp.headers.emplace_back("Retry-After", "2");
+    return resp;
+  }
+  const obs::ProfileReport report = obs::profile_for(seconds, hz);
+  if (report.hz == 0.0)  // lost the arm race to a concurrent request
+    return HttpResponse::text(409, "profiler already armed, retry later\n");
+  HttpResponse resp;
+  resp.content_type = "text/plain; charset=utf-8";
+  resp.body = report.folded;
+  resp.headers.emplace_back("X-Xfc-Prof-Samples",
+                            std::to_string(report.samples));
+  resp.headers.emplace_back("X-Xfc-Prof-Dropped",
+                            std::to_string(report.dropped));
+  resp.headers.emplace_back("X-Xfc-Prof-Threads",
+                            std::to_string(report.threads));
   return resp;
 }
 

@@ -30,7 +30,19 @@
 ///       registry snapshot (scalars + histogram buckets) as JSON.
 ///   GET /metrics                      -> Prometheus text exposition:
 ///       this service's registry followed by the process-global one
-///       (codec-stage histograms, HTTP-layer counters).
+///       (codec-stage histograms, HTTP-layer counters). Includes per-shard
+///       cache gauges (xfs_cache_shard<i>_*) and process gauges (RSS, fds,
+///       threads, uptime).
+///   GET /debug/cache                  -> JSON tile-access heatmap: per
+///       field, per tile ordinal -> {hits, misses, hot, last_epoch}, plus
+///       per-shard occupancy/eviction-age — the observed-locality data the
+///       readahead and cache-policy work feeds on.
+///   GET /debug/prof?seconds=N&hz=F    -> runs the in-process sampling CPU
+///       profiler for N wall seconds (default 2, cap 30) at F Hz (default
+///       97, cap 999) and answers text/plain folded stacks (flamegraph.pl
+///       input). Blocks the handling worker for the duration; answers 409
+///       if the profiler is already armed. X-Xfc-Prof-Samples /
+///       X-Xfc-Prof-Dropped headers carry the sample accounting.
 ///
 /// Region requests additionally accept trace=1: the region is assembled
 /// as usual but the response is a JSON debug view of the request's span
@@ -100,6 +112,8 @@ class ArchiveService {
                              const HttpRequest& request);
   HttpResponse handle_stats(bool v2) const;
   HttpResponse handle_metrics() const;
+  HttpResponse handle_debug_cache() const;
+  HttpResponse handle_debug_prof(const HttpRequest& request) const;
 
   std::shared_ptr<const ArchiveReader> reader_;
   ServiceConfig config_;

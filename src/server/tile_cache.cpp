@@ -16,6 +16,11 @@ namespace {
 /// so a budget of N bytes cannot be defeated by millions of tiny tiles.
 constexpr std::size_t kEntryOverhead = 160;
 
+/// Accesses per automatic heat-decay epoch. Small enough that "an epoch
+/// ago" means recent traffic, large enough that the epoch counter bump is
+/// one relaxed add per access with a branch that almost never takes.
+constexpr std::uint64_t kEpochAccesses = 1u << 16;
+
 std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
@@ -42,6 +47,8 @@ struct TileCache::Shard {
     std::shared_ptr<InFlight> inflight;   // null once ready
     std::list<Key>::iterator lru_it{};    // valid once ready
     std::size_t bytes = 0;
+    // Last access; the LRU tail's value is the shard's eviction-age gauge.
+    std::chrono::steady_clock::time_point touched{};
   };
 
   struct KeyHash {
@@ -71,6 +78,20 @@ struct TileCache::Shard {
   std::size_t budget = 0;
 };
 
+/// Per-archive heat storage: one TileStat per (field, tile ordinal),
+/// allocated in full at add_archive() so the hot path never allocates and
+/// never takes archives_mutex_ to record a touch.
+struct TileCache::ArchiveHeat {
+  struct TileStat {
+    std::atomic<std::uint32_t> hits{0};
+    std::atomic<std::uint32_t> misses{0};
+    std::atomic<std::uint32_t> hot{0};
+    std::atomic<std::uint32_t> last_epoch{0};
+  };
+  std::vector<std::unique_ptr<TileStat[]>> fields;  // [field][ordinal]
+  std::vector<std::size_t> tiles;                   // per-field tile count
+};
+
 TileCache::TileCache(TileCacheConfig config)
     : capacity_bytes_(config.capacity_bytes),
       n_shards_(config.shards == 0 ? 1 : config.shards),
@@ -95,9 +116,103 @@ std::uint64_t TileCache::add_archive(
   // An acyclic anchor graph is what makes the recursive anchor gets (and
   // the cross-thread waits they can chain into) provably deadlock-free.
   validate_anchor_graph(reader->fields());
+  auto heat = std::make_unique<ArchiveHeat>();
+  for (const ArchiveFieldInfo& info : reader->fields()) {
+    const std::size_t n = info.tiles.size();
+    heat->fields.push_back(n != 0
+                               ? std::make_unique<ArchiveHeat::TileStat[]>(n)
+                               : nullptr);
+    heat->tiles.push_back(n);
+  }
   const std::lock_guard<std::mutex> lock(archives_mutex_);
   archives_.push_back(std::move(reader));
+  heats_.push_back(std::move(heat));
   return archives_.size() - 1;
+}
+
+std::shared_ptr<const ArchiveReader> TileCache::archive_and_heat(
+    std::uint64_t archive_id, ArchiveHeat** heat) const {
+  const std::lock_guard<std::mutex> lock(archives_mutex_);
+  if (archive_id >= archives_.size()) return nullptr;
+  *heat = heats_[archive_id].get();
+  return archives_[archive_id];
+}
+
+void TileCache::touch_heat(ArchiveHeat* heat, const Key& key, bool hit) {
+  // One access: tick the odometer that drives the decay epoch.
+  const std::uint64_t n =
+      epoch_accesses_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % kEpochAccesses == 0)
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  if (heat == nullptr || key.field >= heat->fields.size() ||
+      key.ordinal >= heat->tiles[key.field])
+    return;
+  ArchiveHeat::TileStat& ts = heat->fields[key.field][key.ordinal];
+  if (hit)
+    ts.hits.fetch_add(1, std::memory_order_relaxed);
+  else
+    ts.misses.fetch_add(1, std::memory_order_relaxed);
+  // Decay-then-bump. Load/store rather than CAS: a lost update under a
+  // concurrent touch costs one count on an approximate popularity score,
+  // which is cheaper than putting a CAS loop on the cache hot path.
+  const std::uint32_t epoch = epoch_.load(std::memory_order_relaxed);
+  const std::uint32_t last = ts.last_epoch.load(std::memory_order_relaxed);
+  std::uint32_t hot = ts.hot.load(std::memory_order_relaxed);
+  if (last != epoch) {
+    const std::uint32_t age = epoch - last;
+    hot = age >= 32 ? 0 : hot >> age;
+    ts.last_epoch.store(epoch, std::memory_order_relaxed);
+  }
+  ts.hot.store(hot + 1, std::memory_order_relaxed);
+}
+
+std::uint32_t TileCache::access_epoch() const {
+  return epoch_.load(std::memory_order_relaxed);
+}
+
+void TileCache::advance_access_epoch() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TileHeat> TileCache::field_heat(std::uint64_t archive_id,
+                                            std::size_t field_index) const {
+  ArchiveHeat* heat = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(archives_mutex_);
+    if (archive_id >= heats_.size()) return {};
+    heat = heats_[archive_id].get();
+  }
+  if (field_index >= heat->fields.size()) return {};
+  const std::size_t n = heat->tiles[field_index];
+  std::vector<TileHeat> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ArchiveHeat::TileStat& ts = heat->fields[field_index][i];
+    out[i].hits = ts.hits.load(std::memory_order_relaxed);
+    out[i].misses = ts.misses.load(std::memory_order_relaxed);
+    out[i].hot = ts.hot.load(std::memory_order_relaxed);
+    out[i].last_epoch = ts.last_epoch.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+TileShardStats TileCache::shard_stats(std::size_t shard_index) const {
+  TileShardStats s;
+  if (shard_index >= n_shards_) return s;
+  Shard& sh = shards_[shard_index];
+  const std::lock_guard<std::mutex> lock(sh.m);
+  s.entries = sh.lru.size();
+  s.bytes = sh.bytes;
+  s.budget_bytes = sh.budget;
+  s.negative_entries = sh.neg.size();
+  if (!sh.lru.empty()) {
+    const auto vit = sh.map.find(sh.lru.back());
+    if (vit != sh.map.end())
+      s.oldest_age_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        vit->second.touched)
+              .count();
+  }
+  return s;
 }
 
 std::shared_ptr<const ArchiveReader> TileCache::archive(
@@ -122,7 +237,8 @@ std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
 std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
                                             std::size_t field_index,
                                             std::size_t ordinal) {
-  const auto reader = archive(archive_id);
+  ArchiveHeat* heat = nullptr;
+  const auto reader = archive_and_heat(archive_id, &heat);
   if (reader == nullptr)
     throw InvalidArgument("TileCache: unknown archive id");
   const auto& fields = reader->fields();
@@ -131,12 +247,13 @@ std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
   if (ordinal >= fields[field_index].tiles.size())
     throw InvalidArgument("TileCache: tile ordinal out of range");
   return get_by_key(
-      reader,
+      reader, heat,
       Key{archive_id, static_cast<std::uint32_t>(field_index), ordinal});
 }
 
 std::shared_ptr<const Field> TileCache::get_by_key(
-    const std::shared_ptr<const ArchiveReader>& reader, const Key& key) {
+    const std::shared_ptr<const ArchiveReader>& reader, ArchiveHeat* heat,
+    const Key& key) {
   Shard& sh = shard_for(key);
   std::unique_lock<std::mutex> lock(sh.m);
   const auto it = sh.map.find(key);
@@ -144,7 +261,9 @@ std::shared_ptr<const Field> TileCache::get_by_key(
     Shard::Entry& e = it->second;
     if (e.value != nullptr) {
       sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_it);
+      e.touched = std::chrono::steady_clock::now();
       hits_.fetch_add(1, std::memory_order_relaxed);
+      touch_heat(heat, key, /*hit=*/true);
       if (obs::Trace* tr = obs::Trace::current()) ++tr->cache_hits;
       return e.value;
     }
@@ -183,8 +302,9 @@ std::shared_ptr<const Field> TileCache::get_by_key(
 
   // Cold tile: this thread becomes the decode leader for the key.
   const auto inflight = std::make_shared<Shard::InFlight>();
-  sh.map.emplace(key, Shard::Entry{nullptr, inflight, {}, 0});
+  sh.map.emplace(key, Shard::Entry{nullptr, inflight, {}, 0, {}});
   misses_.fetch_add(1, std::memory_order_relaxed);
+  touch_heat(heat, key, /*hit=*/false);
   if (obs::Trace* tr = obs::Trace::current()) ++tr->cache_misses;
   lock.unlock();
 
@@ -193,7 +313,7 @@ std::shared_ptr<const Field> TileCache::get_by_key(
     const ArchiveFieldInfo& info = reader->fields()[key.field];
     // Anchor tiles resolve back through the cache, so a cross-field decode
     // both reuses and populates the anchor's entries.
-    const TileFetch fetch = [this, &key, &reader](
+    const TileFetch fetch = [this, &key, &reader, heat](
                                 const ArchiveFieldInfo& anchor,
                                 std::size_t ord) {
       const auto& fields = reader->fields();
@@ -201,7 +321,8 @@ std::shared_ptr<const Field> TileCache::get_by_key(
       if (idx >= fields.size())
         throw InvalidArgument("TileCache: anchor info not from this archive");
       return get_by_key(
-          reader, Key{key.archive, static_cast<std::uint32_t>(idx), ord});
+          reader, heat,
+          Key{key.archive, static_cast<std::uint32_t>(idx), ord});
     };
     value = std::make_shared<const Field>(
         reader->read_tile(info, key.ordinal, fetch));
@@ -250,6 +371,7 @@ std::shared_ptr<const Field> TileCache::get_by_key(
     e.value = value;
     e.inflight.reset();
     e.bytes = entry_bytes;
+    e.touched = std::chrono::steady_clock::now();
     sh.lru.push_front(key);
     e.lru_it = sh.lru.begin();
     sh.bytes += entry_bytes;

@@ -55,6 +55,32 @@ struct TileCacheConfig {
   std::size_t negative_entries_max = 1024;
 };
 
+/// One tile's access heat (see TileCache::field_heat). `hits`/`misses`
+/// mirror the cache's global counters exactly — an access bumps the tile's
+/// counter at the same sites the global one is bumped (in-flight waits and
+/// negative hits are neither). `hot` is an epoch-decayed popularity score:
+/// halved once per access epoch the tile sat untouched, +1 per touch — so
+/// it ranks tiles by *recent* demand, which is what readahead and 2Q
+/// admission decisions need, while hits/misses keep the all-time totals.
+struct TileHeat {
+  std::uint32_t hits = 0;
+  std::uint32_t misses = 0;
+  std::uint32_t hot = 0;
+  std::uint32_t last_epoch = 0;  ///< access epoch of the last touch
+};
+
+/// Per-shard occupancy snapshot (see TileCache::shard_stats).
+struct TileShardStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t negative_entries = 0;
+  /// Age of the LRU tail — the next eviction victim. 0 when empty. A large
+  /// value means the shard is colder than its budget; near-zero under
+  /// pressure means the shard is churning.
+  double oldest_age_seconds = 0.0;
+};
+
 struct TileCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;          // == decodes started
@@ -102,8 +128,25 @@ class TileCache {
   TileCacheStats stats() const;
   std::size_t capacity_bytes() const { return capacity_bytes_; }
 
+  /// Per-tile access heat of one field, indexed by tile ordinal. Empty for
+  /// unknown archive/field. Counters are relaxed atomics bumped on the
+  /// cache hot path (no extra locking); concurrent snapshots are
+  /// approximate only in that they may miss in-flight increments.
+  std::vector<TileHeat> field_heat(std::uint64_t archive_id,
+                                   std::size_t field_index) const;
+
+  /// Current decay epoch. Advances automatically every ~65k cache accesses
+  /// and manually via advance_access_epoch() (tests, policy experiments).
+  std::uint32_t access_epoch() const;
+  void advance_access_epoch();
+
+  std::size_t shard_count() const { return n_shards_; }
+  /// Snapshot of one shard (zeroes for an out-of-range index).
+  TileShardStats shard_stats(std::size_t shard_index) const;
+
  private:
   struct Shard;
+  struct ArchiveHeat;
   struct Key {
     std::uint64_t archive = 0;
     std::uint32_t field = 0;  // index into the reader's fields()
@@ -112,8 +155,12 @@ class TileCache {
   };
 
   std::shared_ptr<const Field> get_by_key(
-      const std::shared_ptr<const ArchiveReader>& reader, const Key& key);
+      const std::shared_ptr<const ArchiveReader>& reader, ArchiveHeat* heat,
+      const Key& key);
   Shard& shard_for(const Key& key) const;
+  std::shared_ptr<const ArchiveReader> archive_and_heat(
+      std::uint64_t archive_id, ArchiveHeat** heat) const;
+  void touch_heat(ArchiveHeat* heat, const Key& key, bool hit);
 
   std::size_t capacity_bytes_;
   std::size_t n_shards_;
@@ -129,9 +176,19 @@ class TileCache {
   mutable std::atomic<std::uint64_t> decode_errors_{0};
   mutable std::atomic<std::uint64_t> negative_hits_{0};
 
-  // Registered archives; append-only under archives_mutex_.
+  // Decay clock for the heat scores: epoch_ ticks once per ~65k accesses
+  // (and on advance_access_epoch()); epoch_accesses_ is the access odometer
+  // driving it. Both relaxed — the decay is an approximation by design.
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint64_t> epoch_accesses_{0};
+
+  // Registered archives; append-only under archives_mutex_. heats_[i] is
+  // the per-tile heat storage for archives_[i], allocated at add_archive
+  // and immutable in shape afterwards, so the hot path can hold a raw
+  // pointer without the mutex.
   mutable std::mutex archives_mutex_;
   std::vector<std::shared_ptr<const ArchiveReader>> archives_;
+  std::vector<std::unique_ptr<ArchiveHeat>> heats_;
 };
 
 }  // namespace xfc::server

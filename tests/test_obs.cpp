@@ -2,16 +2,21 @@
 // histogram mutation, bucket edges, quantile interpolation, Prometheus
 // exposition), the registry's duplicate-name guard, the span tree + its
 // Server-Timing / JSON renderings, the JSON writer's two layouts, the
-// access-log line format, and the serving endpoints (`/metrics`,
-// `/stats?format=v2`, `?trace=1`, Server-Timing over real loopback HTTP).
+// access-log line format + SIGHUP-style rotation, the serving endpoints
+// (`/metrics`, `/stats?format=v2`, `?trace=1`, Server-Timing over real
+// loopback HTTP, `/debug/cache`, `/debug/prof`), the sampling CPU
+// profiler, the tile-access heatmap, and the bench-regression gate logic.
 //
 // The concurrency tests double as the TSan proof for the lock-free hot
 // path: 8 threads hammering one counter/histogram must be clean and exact.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -19,14 +24,17 @@
 
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
+#include "bench_compare.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "obs/access_log.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "server/http.hpp"
 #include "server/service.hpp"
+#include "server/tile_cache.hpp"
 
 #ifndef XFC_NO_METRICS
 
@@ -410,6 +418,352 @@ TEST(ObsHttp, StatsV2AndTraceDebugView) {
   EXPECT_NE(traced.body.find("\"spans\":["), std::string::npos);
   EXPECT_NE(traced.body.find("\"name\":\"tiles\""), std::string::npos);
   EXPECT_NE(traced.body.find("\"cache_hits\":"), std::string::npos);
+}
+
+// -- histogram_quantile edge cases -------------------------------------------
+
+TEST(Metrics, HistogramQuantileEmptyAndSingleBucket) {
+  // No observations: 0, not NaN or a crash.
+  Histogram::Snapshot empty;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+
+  // count > 0 with no finite bounds used to dereference bounds.back() on an
+  // empty vector — pinned to 0 (there is no finite edge to interpolate).
+  Histogram::Snapshot inf_only;
+  inf_only.counts = {7};
+  inf_only.count = 7;
+  EXPECT_EQ(obs::histogram_quantile(inf_only, 0.99), 0.0);
+
+  // Single finite bucket: interpolation stays inside [0, edge], and the
+  // +Inf tail clamps to the finite edge.
+  Histogram one({10.0});
+  one.observe(5.0);
+  one.observe(5.0);
+  const auto snap = one.snapshot();
+  EXPECT_GT(obs::histogram_quantile(snap, 0.5), 0.0);
+  EXPECT_LE(obs::histogram_quantile(snap, 1.0), 10.0);
+  one.observe(50.0);
+  EXPECT_EQ(obs::histogram_quantile(one.snapshot(), 0.999), 10.0);
+}
+
+// -- process gauges ----------------------------------------------------------
+
+TEST(Metrics, ProcessGaugesReadFromProcAtScrapeTime) {
+  obs::ensure_process_metrics();
+  std::vector<obs::MetricValue> values;
+  std::vector<obs::HistogramValue> histograms;
+  obs::registry().snapshot(values, histograms);
+  double rss = -1.0, fds = -1.0, threads = -1.0, uptime = -1.0;
+  for (const auto& v : values) {
+    if (v.name == "xfc_process_resident_bytes") rss = v.value;
+    if (v.name == "xfc_process_open_fds") fds = v.value;
+    if (v.name == "xfc_process_threads") threads = v.value;
+    if (v.name == "xfc_process_uptime_seconds") uptime = v.value;
+  }
+  // All four registered...
+  ASSERT_GE(rss, 0.0);
+  ASSERT_GE(fds, 0.0);
+  ASSERT_GE(threads, 0.0);
+  ASSERT_GE(uptime, 0.0);
+#if defined(__linux__)
+  // ...and carrying plausible live values where /proc exists.
+  EXPECT_GT(rss, 1.0e6);     // a running gtest binary is >1 MB resident
+  EXPECT_GE(fds, 3.0);       // stdin/stdout/stderr at minimum
+  EXPECT_GE(threads, 1.0);
+#endif
+}
+
+// -- sampling CPU profiler ---------------------------------------------------
+
+/// Spins real CPU: ITIMER_PROF counts process CPU time, so sleeping would
+/// produce zero samples no matter how long the wall window.
+void burn_cpu_ms(double ms) {
+  const std::clock_t start = std::clock();
+  volatile double acc = 0.0;
+  while ((static_cast<double>(std::clock() - start) * 1000.0 /
+          CLOCKS_PER_SEC) < ms)
+    for (int i = 0; i < 1000; ++i) acc = acc + std::sin(i);
+}
+
+TEST(Profiler, ArmBurnDisarmProducesFoldedStacks) {
+  ASSERT_FALSE(obs::profiler_armed());
+  obs::ProfilerOptions opt;
+  opt.hz = 499.0;
+  ASSERT_TRUE(obs::profiler_arm(opt));
+  EXPECT_TRUE(obs::profiler_armed());
+  EXPECT_FALSE(obs::profiler_arm(opt));  // second arm refused, first intact
+  burn_cpu_ms(300.0);
+  const obs::ProfileReport rep = obs::profiler_disarm();
+  EXPECT_FALSE(obs::profiler_armed());
+  EXPECT_GT(rep.samples, 0u);
+  EXPECT_GE(rep.threads, 1u);
+  ASSERT_FALSE(rep.folded.empty());
+  // Folded format: every line is "frame[;frame...] count\n".
+  EXPECT_NE(rep.folded.find(' '), std::string::npos);
+  EXPECT_EQ(rep.folded.back(), '\n');
+
+  // Disarming an unarmed profiler is an empty no-op, not an error.
+  const obs::ProfileReport idle = obs::profiler_disarm();
+  EXPECT_EQ(idle.samples, 0u);
+  EXPECT_TRUE(idle.folded.empty());
+}
+
+// -- tile-access heatmap -----------------------------------------------------
+
+TEST(TileCacheHeat, MirrorsStatsAndDecaysAcrossEpochs) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_archive(storage);  // "f": 70x90, 3x3 tile grid
+  server::TileCache cache(server::TileCacheConfig{8u << 20, 2});
+  const std::uint64_t id = cache.add_archive(reader);
+
+  // Scripted pattern: tile 0 three times, tile 1 once, tile 4 twice.
+  for (int i = 0; i < 3; ++i) (void)cache.get(id, std::size_t{0}, 0);
+  (void)cache.get(id, std::size_t{0}, 1);
+  (void)cache.get(id, std::size_t{0}, 4);
+  (void)cache.get(id, std::size_t{0}, 4);
+
+  const std::vector<server::TileHeat> heat = cache.field_heat(id, 0);
+  ASSERT_EQ(heat.size(), 9u);
+  EXPECT_EQ(heat[0].misses, 1u);
+  EXPECT_EQ(heat[0].hits, 2u);
+  EXPECT_EQ(heat[1].misses, 1u);
+  EXPECT_EQ(heat[1].hits, 0u);
+  EXPECT_EQ(heat[4].misses, 1u);
+  EXPECT_EQ(heat[4].hits, 1u);
+  EXPECT_EQ(heat[2].hits + heat[2].misses, 0u);  // untouched tile
+
+  // Per-tile totals mirror the cache's own counters exactly.
+  const server::TileCacheStats stats = cache.stats();
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& t : heat) {
+    hits += t.hits;
+    misses += t.misses;
+  }
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_EQ(misses, stats.misses);
+
+  // Shard occupancy snapshots add up to the cache totals.
+  std::uint64_t shard_entries = 0, shard_bytes = 0;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    const server::TileShardStats ss = cache.shard_stats(s);
+    shard_entries += ss.entries;
+    shard_bytes += ss.bytes;
+  }
+  EXPECT_EQ(shard_entries, stats.entries);
+  EXPECT_EQ(shard_bytes, stats.bytes);
+
+  // The popularity score halves per idle epoch, then re-bumps on touch:
+  // hot=3 after three same-epoch touches, (3>>1)+1 == 2 one epoch later.
+  EXPECT_EQ(heat[0].hot, 3u);
+  EXPECT_EQ(heat[0].last_epoch, cache.access_epoch());
+  cache.advance_access_epoch();
+  (void)cache.get(id, std::size_t{0}, 0);
+  EXPECT_EQ(cache.field_heat(id, 0)[0].hot, 2u);
+
+  // Unknown archive/field answer empty, not UB.
+  EXPECT_TRUE(cache.field_heat(id + 999, 0).empty());
+  EXPECT_TRUE(cache.field_heat(id, 99).empty());
+}
+
+// -- /debug/cache + /debug/prof endpoints ------------------------------------
+
+const std::string* find_header(const server::HttpResponse& resp,
+                               const std::string& name) {
+  for (const auto& [n, v] : resp.headers)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+TEST(ObsHttp, DebugCacheHeatmapAndShardGauges) {
+  std::vector<std::uint8_t> storage;
+  server::ArchiveService service(make_archive(storage));
+  server::HttpRequest req;
+  req.method = "GET";
+  req.path = "/field/f/region";
+  req.query = "lo=0,0&hi=64,64";  // 4 of the 9 tiles
+  ASSERT_EQ(service.handle(req).status, 200);
+  ASSERT_EQ(service.handle(req).status, 200);  // warm repeat: 4 hits
+  EXPECT_EQ(service.cache().stats().misses, 4u);
+  EXPECT_EQ(service.cache().stats().hits, 4u);
+
+  server::HttpRequest dbg;
+  dbg.method = "GET";
+  dbg.path = "/debug/cache";
+  const server::HttpResponse resp = service.handle(dbg);
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"epoch\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(resp.body.find("\"name\":\"f\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"tiles\":9"), std::string::npos);
+  // The four touched tiles: ordinals 0,1 (row 0) and 3,4 (row 1) of the
+  // 3x3 grid — one miss each, one hit each, untouched tiles zero.
+  EXPECT_NE(resp.body.find("\"misses\":[1,1,0,1,1,0,0,0,0]"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("\"hits\":[1,1,0,1,1,0,0,0,0]"),
+            std::string::npos);
+
+  // /metrics carries the per-shard occupancy gauges.
+  server::HttpRequest m;
+  m.method = "GET";
+  m.path = "/metrics";
+  const server::HttpResponse metrics = service.handle(m);
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("xfs_cache_shard0_entries"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("xfs_cache_shard0_oldest_age_seconds"),
+            std::string::npos);
+}
+
+TEST(ObsHttp, DebugProfProfilesAndRejectsConcurrentArm) {
+  std::vector<std::uint8_t> storage;
+  server::ArchiveService service(make_archive(storage));
+  server::HttpRequest req;
+  req.method = "GET";
+  req.path = "/debug/prof";
+  req.query = "seconds=0.05&hz=199";
+
+  // Keep a core busy so the (CPU-time) PROF timer ticks during the window.
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) burn_cpu_ms(10.0);
+  });
+
+  const server::HttpResponse resp = service.handle(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(find_header(resp, "X-Xfc-Prof-Samples"), nullptr);
+  EXPECT_NE(find_header(resp, "X-Xfc-Prof-Dropped"), nullptr);
+  EXPECT_NE(find_header(resp, "X-Xfc-Prof-Threads"), nullptr);
+
+  // While someone else holds the profiler, the endpoint answers 409 with a
+  // retry hint instead of queueing behind a 30s cap.
+  ASSERT_TRUE(obs::profiler_arm({}));
+  const server::HttpResponse busy = service.handle(req);
+  EXPECT_EQ(busy.status, 409);
+  EXPECT_NE(find_header(busy, "Retry-After"), nullptr);
+  (void)obs::profiler_disarm();
+
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+
+  server::HttpRequest bad = req;
+  bad.query = "seconds=banana";
+  EXPECT_EQ(service.handle(bad).status, 400);
+}
+
+// -- trace-drop accounting ---------------------------------------------------
+
+TEST(ObsHttp, TraceDropCounterAccountsTruncatedSpanTrees) {
+  // 4x4 tiles over 70x90 -> 414 tile spans, far past Trace::kMaxSpans.
+  Rng rng(7);
+  F32Array a(Shape{70, 90});
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(std::sin(static_cast<double>(i % 90) / 7.0) *
+                              20.0 + rng.normal(0, 0.1));
+  VectorSink sink;
+  ArchiveWriter writer(sink);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{4, 4};
+  writer.add_field(Field("f", std::move(a)), opts);
+  writer.finish();
+  std::vector<std::uint8_t> storage = sink.take();
+  server::ArchiveService service(std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(storage)));
+
+  const std::uint64_t before = obs::trace_dropped_spans_total().value();
+  server::HttpRequest req;
+  req.method = "GET";
+  req.path = "/field/f/region";
+  req.query = "lo=0,0&hi=70,90&trace=1";
+  const server::HttpResponse resp = service.handle(req);
+  ASSERT_EQ(resp.status, 200);
+  const std::size_t pos = resp.body.find("\"dropped_spans\":");
+  ASSERT_NE(pos, std::string::npos);
+  const long dropped =
+      std::strtol(resp.body.c_str() + pos + 16, nullptr, 10);
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(obs::trace_dropped_spans_total().value(),
+            before + static_cast<std::uint64_t>(dropped));
+
+  // A trace that fits still reports the field — explicitly zero, so a
+  // consumer can tell "complete" from "truncated" without guessing.
+  req.query = "lo=0,0&hi=4,4&trace=1";
+  const server::HttpResponse small = service.handle(req);
+  ASSERT_EQ(small.status, 200);
+  EXPECT_NE(small.body.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+// -- access-log rotation -----------------------------------------------------
+
+TEST(AccessLogTest, ReopenFollowsLogrotateRename) {
+  const std::string path = testing::TempDir() + "xfc_obs_rotate_test.log";
+  const std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  {
+    const auto log = obs::AccessLog::open(path);
+    log->write_line("{\"seq\":1}");
+    // logrotate convention: rename the live file, signal the process.
+    ASSERT_EQ(std::rename(path.c_str(), rotated.c_str()), 0);
+    ASSERT_TRUE(log->reopen());
+    log->write_line("{\"seq\":2}");
+    EXPECT_EQ(log->lines_written(), 2u);
+  }
+  std::ifstream oldf(rotated), newf(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(oldf, line));
+  EXPECT_EQ(line, "{\"seq\":1}");
+  EXPECT_FALSE(std::getline(oldf, line));  // old lines stay in the rename
+  ASSERT_TRUE(std::getline(newf, line));
+  EXPECT_EQ(line, "{\"seq\":2}");
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+
+  // stdout sink: rotation is a successful no-op.
+  EXPECT_TRUE(obs::AccessLog::open("-")->reopen());
+}
+
+// -- bench-regression gate ---------------------------------------------------
+
+TEST(BenchCompare, ParsesRawAndTrajectoryFormats) {
+  const auto raw = bench::parse_bench_records(
+      "[{\"name\":\"a\",\"wall_ms\":1.5,\"bytes_per_sec\":10},"
+      "{\"name\":\"b\",\"wall_ms\":2.0}]");
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(raw[0].name, "a");
+  EXPECT_DOUBLE_EQ(raw[0].wall_ms, 1.5);
+  EXPECT_EQ(raw[1].name, "b");
+
+  // Trajectory format: after_wall_ms is the baseline; objects without a
+  // name ("machine") and value-only records are skipped, not mis-parsed.
+  const auto traj = bench::parse_bench_records(
+      "{\"pr\":9,\"machine\":{\"cpu_count\":1},\"benches\":["
+      "{\"name\":\"a\",\"before_wall_ms\":2.0,\"after_wall_ms\":1.0,"
+      "\"speedup\":2.0,\"note\":\"x\"}]}");
+  ASSERT_EQ(traj.size(), 1u);
+  EXPECT_EQ(traj[0].name, "a");
+  EXPECT_DOUBLE_EQ(traj[0].wall_ms, 1.0);
+
+  EXPECT_TRUE(bench::parse_bench_records("not json").empty());
+}
+
+TEST(BenchCompare, FlagsRegressionsPastThresholdOnly) {
+  const std::vector<bench::CompareRecord> base = {
+      {"a", 1.0}, {"b", 1.0}, {"tiny", 0.01}};
+  const std::vector<bench::CompareRecord> fresh = {
+      {"a", 1.3}, {"b", 1.2}, {"tiny", 0.05}, {"new", 9.0}};
+  const bench::CompareResult r =
+      bench::compare_benches(base, fresh, 1.25, 0.05);
+  ASSERT_EQ(r.rows.size(), 2u);  // "tiny" sits under the min-ms noise floor
+  EXPECT_EQ(r.fresh_only, 1u);   // "new" has no baseline: informational
+  EXPECT_EQ(r.regressions, 1u);  // 1.3x > 1.25 fails, 1.2x passes
+  EXPECT_EQ(r.rows[0].name, "a");
+  EXPECT_TRUE(r.rows[0].regressed);
+  EXPECT_FALSE(r.rows[1].regressed);
+
+  // At threshold 3.0 (the smoke-run gate) the same data is clean.
+  EXPECT_EQ(bench::compare_benches(base, fresh, 3.0, 0.05).regressions, 0u);
 }
 
 }  // namespace
