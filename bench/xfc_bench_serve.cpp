@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "archive/archive_appender.hpp"
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
 #include "archive/tile.hpp"
@@ -339,6 +340,69 @@ int main(int argc, char** argv) {
       for (std::size_t t = 0; t < n_tiles; ++t) reader->read_tile(f64, t);
     });
     json.add("archive_tile_decode_64", per_pass / n_tiles, tile_bytes);
+  }
+
+  print_header("live ingest  [epoch append + recovery open]");
+  {
+    // The write half of the serving story: seal one single-field epoch
+    // onto a file-backed archive (bodies -> fsync -> footer+trailer ->
+    // fsync), and reopen an archive whose tail is a torn epoch — the
+    // recovery scan a crashed ingester pays once at startup.
+    const std::string path = opt.outdir + "/serve_ingest.xfa";
+    std::remove(path.c_str());
+    {
+      FileSink sink(path);
+      ArchiveWriter writer(sink);
+      ArchiveFieldOptions opts;
+      opts.eb = ErrorBound::relative(1e-3);
+      opts.tile = Shape{64, 64};
+      Field base = make_dataset(DatasetKind::kCesm, Shape{512, 512}, 7)
+                       .fields[0];
+      base.set_name("base");
+      writer.add_field(base, opts);
+      writer.finish();
+    }
+    const ArchiveReader file_reader = ArchiveReader::open_file(path);
+    const std::size_t sealed = file_reader.logical_size();
+    Field epoch_field =
+        make_dataset(DatasetKind::kCesm, Shape{256, 256}, 11).fields[0];
+    epoch_field.set_name("live");
+    const double field_bytes =
+        static_cast<double>(epoch_field.size() * sizeof(float));
+
+    const double append_ms = time_ms([&] {
+      // Each iteration re-seals the same epoch: the sink's resume
+      // truncates the previous run's epoch back off the file first.
+      AppendFileSink sink(path, sealed);
+      ArchiveAppender appender(sink, file_reader);
+      ArchiveFieldOptions opts;
+      opts.eb = ErrorBound::relative(1e-3);
+      opts.tile = Shape{64, 64};
+      appender.append_field(epoch_field, opts);
+      appender.finish_epoch();
+    });
+    json.add("ingest_append_epoch_256", append_ms, field_bytes);
+
+    // Torn tail: 256 KiB of garbage past the last sealed trailer; the
+    // open must scan back and land on the sealed epoch.
+    {
+      AppendFileSink sink(path, sealed);
+      const std::vector<std::uint8_t> garbage(256u << 10, 0xAA);
+      sink.append(garbage);
+      sink.sync();
+    }
+    const double recover_ms = time_ms([&] {
+      const ArchiveReader r = ArchiveReader::open_file(path);
+      if (r.recovered_bytes_discarded() == 0) std::abort();
+    });
+    json.add("ingest_recovery_open_torn256k", recover_ms);
+    { AppendFileSink truncate_tail(path, sealed); }  // drop the torn tail
+    const double open_ms = time_ms([&] {
+      const ArchiveReader r = ArchiveReader::open_file(path);
+      if (r.recovered_bytes_discarded() != 0) std::abort();
+    });
+    json.add("ingest_clean_open", open_ms);
+    std::remove(path.c_str());
   }
 
   print_header("service layer  [64x64-aligned region, 4 tiles]");

@@ -20,7 +20,7 @@
 //                                              fresh archive)
 //
 // Archive serving (XFS: HTTP region queries through the decoded-tile cache):
-//   xfc_cli serve in.xfa [--port P] [--cache-mb M] [--threads N]
+//   xfc_cli serve in.xfa [--ingest] [--port P] [--cache-mb M] [--threads N]
 // SIGTERM/SIGQUIT drain gracefully (stop accepting, finish in-flight);
 // SIGINT stops immediately; SIGHUP reopens the access log (logrotate).
 //
@@ -79,6 +79,7 @@ struct CliFlags {
   std::string access_log;      // --access-log FILE|- (serve; empty = off)
   std::size_t slow_ms = 100;   // --slow-ms N (serve; slow-request logging)
   std::string profile;         // --profile FILE|- (folded CPU samples)
+  bool ingest = false;         // --ingest (serve: enable PUT /field/<name>)
 };
 
 CliFlags strip_flags(std::vector<std::string>& args) {
@@ -116,6 +117,8 @@ CliFlags strip_flags(std::vector<std::string>& args) {
       flags.threads = positive_int("--threads", args[++i], false);
     } else if (args[i] == "--access-log") {
       flags.access_log = args[++i];
+    } else if (args[i] == "--ingest") {
+      flags.ingest = true;
     } else if (args[i] == "--slow-ms") {
       flags.slow_ms = positive_int("--slow-ms", args[++i], true);
     } else if (args[i] == "--profile") {
@@ -179,7 +182,7 @@ int usage() {
                "  xfc_cli archive info    in.xfa\n"
                "  xfc_cli archive verify  in.xfa\n"
                "  xfc_cli archive repair  in.xfa out.xfa\n"
-               "  xfc_cli serve in.xfa [--port P] [--cache-mb M] "
+               "  xfc_cli serve in.xfa [--ingest] [--port P] [--cache-mb M] "
                "[--threads N]\n"
                "           [--access-log FILE|-] [--slow-ms N]\n"
                "flags: --json FILE  --tile N  --codec sz|classic|interp|zfp\n"
@@ -245,11 +248,18 @@ int run_serve(const std::string& archive_path, const CliFlags& flags) {
       ArchiveReader::open_file(archive_path));
   server::ServiceConfig service_config;
   service_config.cache_bytes = flags.cache_mb << 20;
+  if (flags.ingest) service_config.archive_path = archive_path;
   server::ArchiveService service(reader, service_config);
 
   server::HttpConfig http_config;
   http_config.port = static_cast<std::uint16_t>(flags.port);
   http_config.slow_ms = static_cast<int>(flags.slow_ms);
+  if (flags.ingest) {
+    // PUT bodies carry whole fields; the default 64 KiB request cap is a
+    // read-path guard. Cap at the ingest value budget plus header room.
+    http_config.max_request_bytes =
+        service_config.max_ingest_values * sizeof(float) + (64u << 10);
+  }
   if (!flags.access_log.empty())
     http_config.access_log = obs::AccessLog::open(flags.access_log);
   server::HttpServer http(http_config,
@@ -264,6 +274,9 @@ int run_serve(const std::string& archive_path, const CliFlags& flags) {
               reader->fields().size(), flags.cache_mb, hardware_threads());
   std::printf("     endpoints: /fields /field/<name>/region?lo=..&hi=.. "
               "/stats /metrics /healthz /readyz\n");
+  if (flags.ingest)
+    std::printf("     live ingest enabled: PUT /field/<name>?shape=..&eb=.. "
+                "(raw f32 body)\n");
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_drain_signal);
@@ -394,6 +407,11 @@ int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
   if (sub == "info" && args.size() >= 2) {
     ArchiveReader reader = ArchiveReader::open_file(args[1]);
     std::printf("fields:    %zu\n", reader.fields().size());
+    std::printf("epochs:    %u\n", reader.epoch_count());
+    if (reader.recovered_bytes_discarded() != 0)
+      std::printf("recovered: discarded %zu bytes of torn tail past the "
+                  "last sealed epoch\n",
+                  reader.recovered_bytes_discarded());
     std::size_t total_compressed = 0;
     std::size_t total_values = 0;
     for (const ArchiveFieldInfo& f : reader.fields()) {
@@ -418,11 +436,14 @@ int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
         std::printf("  anchors");
         for (const std::string& a : f.anchors) std::printf(" %s", a.c_str());
       }
+      if (reader.epoch_count() > 1) std::printf("  epoch %u", f.epoch);
       std::printf("\n");
     }
     if (!flags.json_path.empty()) {
       json.add_value("archive_fields",
                      static_cast<double>(reader.fields().size()));
+      json.add_value("archive_epochs",
+                     static_cast<double>(reader.epoch_count()));
       json.add_value("tile_bytes_total",
                      static_cast<double>(total_compressed));
       json.add_value("ratio", static_cast<double>(total_values * 4) /
@@ -440,8 +461,12 @@ int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
     const double t0 = bench::now_ms();
     const ArchiveScrubReport report = reader.scrub();
     const double wall = bench::now_ms() - t0;
-    std::printf("%s: %zu/%zu tiles ok\n", args[1].c_str(), report.tiles_ok,
-                report.tiles_total);
+    std::printf("%s: %zu/%zu tiles ok, %u epoch(s)\n", args[1].c_str(),
+                report.tiles_ok, report.tiles_total, reader.epoch_count());
+    if (reader.recovered_bytes_discarded() != 0)
+      std::printf("  recovered: opened at the last sealed epoch; %zu bytes "
+                  "of torn tail discarded\n",
+                  reader.recovered_bytes_discarded());
     for (const ArchiveTileError& e : report.errors)
       std::printf("  BAD field '%s' tile %zu @%llu: %s\n", e.field.c_str(),
                   e.ordinal, static_cast<unsigned long long>(e.offset),
@@ -454,6 +479,10 @@ int run_archive(const std::vector<std::string>& args, const CliFlags& flags) {
       json.add_value("scrub_tiles_ok", static_cast<double>(report.tiles_ok));
       json.add_value("scrub_errors",
                      static_cast<double>(report.errors.size()));
+      json.add_value("scrub_epochs",
+                     static_cast<double>(reader.epoch_count()));
+      json.add_value("recovered_bytes_discarded",
+                     static_cast<double>(reader.recovered_bytes_discarded()));
       finish_json(json, flags);
     }
     return report.clean() ? 0 : 1;

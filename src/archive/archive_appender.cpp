@@ -1,0 +1,185 @@
+#include "archive/archive_appender.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "archive/archive_format.hpp"
+#include "core/error.hpp"
+
+namespace xfc {
+
+ArchiveAppender::ArchiveAppender(ByteSink& sink, const ArchiveReader& existing)
+    : sink_(sink),
+      existing_(existing),
+      sealed_(existing.fields()),
+      epoch_(existing.epoch_count()) {
+  expects(sink_.size() == existing_.logical_size(),
+          "ArchiveAppender: sink must resume at the archive's logical size");
+}
+
+const ArchiveFieldInfo* ArchiveAppender::find_any(
+    const std::string& name) const {
+  for (const ArchiveFieldInfo& f : pending_)
+    if (f.name == name) return &f;
+  for (const ArchiveFieldInfo& f : sealed_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool ArchiveAppender::anchored_on(const std::string& name) const {
+  const auto refs = [&](const ArchiveFieldInfo& f) {
+    return std::find(f.anchors.begin(), f.anchors.end(), name) !=
+           f.anchors.end();
+  };
+  for (const ArchiveFieldInfo& f : sealed_)
+    if (refs(f)) return true;
+  for (const ArchiveFieldInfo& f : pending_)
+    if (refs(f)) return true;
+  return false;
+}
+
+const Field* ArchiveAppender::anchor_recon(const std::string& name) {
+  const auto it = reconstructions_.find(name);
+  if (it != reconstructions_.end()) return &it->second;
+  expects(superseded_.count(name) == 0,
+          "ArchiveAppender: anchor was replaced without keep_reconstruction");
+  // Not produced this session: decode it out of the original archive. The
+  // reader's reconstruction is bit-identical to the writer's (the anchor
+  // contract), so anchoring on a decode is exact.
+  expects(existing_.find(name) != nullptr,
+          "ArchiveAppender: anchor not in the archive (fields appended "
+          "without keep_reconstruction cannot anchor)");
+  Field decoded = existing_.read_field(name);
+  return &reconstructions_.emplace(name, std::move(decoded)).first->second;
+}
+
+void ArchiveAppender::append_field(const Field& field,
+                                   const ArchiveFieldOptions& options) {
+  expects(options.codec != CodecId::kCrossField,
+          "ArchiveAppender: use append_cross_field for cross-field targets");
+  expects(!field.name().empty(), "ArchiveAppender: field must be named");
+  expects(find_any(field.name()) == nullptr,
+          "ArchiveAppender: field already exists (use replace_field)");
+
+  ArchiveFieldInfo entry;
+  const bool keep = options.keep_reconstruction;
+  F32Array recon;
+  if (keep) recon = F32Array(field.shape());
+  archive_compress_field_tiles(sink_, field, options, {}, nullptr, entry,
+                               keep ? &recon : nullptr);
+  entry.epoch = epoch_;
+  if (keep)
+    reconstructions_.insert_or_assign(field.name(),
+                                      Field(field.name(), std::move(recon)));
+  pending_.push_back(std::move(entry));
+}
+
+void ArchiveAppender::append_cross_field(
+    const Field& target, const std::vector<std::string>& anchor_names,
+    const CfnnModel& model, const ArchiveFieldOptions& options) {
+  expects(!anchor_names.empty(),
+          "ArchiveAppender: cross-field target needs at least one anchor");
+  expects(!target.name().empty(), "ArchiveAppender: field must be named");
+  expects(find_any(target.name()) == nullptr,
+          "ArchiveAppender: field already exists (use replace_field)");
+  std::vector<const Field*> anchors;
+  anchors.reserve(anchor_names.size());
+  for (const std::string& name : anchor_names) {
+    const Field* recon = anchor_recon(name);
+    expects(recon->shape() == target.shape(),
+            "ArchiveAppender: anchor shape does not match the target");
+    anchors.push_back(recon);
+  }
+
+  ArchiveFieldInfo entry;
+  entry.anchors = anchor_names;
+  const bool keep = options.keep_reconstruction;
+  F32Array recon;
+  if (keep) recon = F32Array(target.shape());
+  archive_compress_field_tiles(sink_, target, options, anchors, &model, entry,
+                               keep ? &recon : nullptr);
+  entry.epoch = epoch_;
+  if (keep)
+    reconstructions_.insert_or_assign(target.name(),
+                                      Field(target.name(), std::move(recon)));
+  pending_.push_back(std::move(entry));
+}
+
+void ArchiveAppender::replace_field(const Field& field,
+                                    const ArchiveFieldOptions& options) {
+  expects(options.codec != CodecId::kCrossField,
+          "ArchiveAppender: replacements use plain codecs");
+  expects(!field.name().empty(), "ArchiveAppender: field must be named");
+  for (const ArchiveFieldInfo& f : pending_)
+    expects(f.name != field.name(),
+            "ArchiveAppender: field already pending in this epoch");
+  const auto sealed_it =
+      std::find_if(sealed_.begin(), sealed_.end(),
+                   [&](const ArchiveFieldInfo& f) {
+                     return f.name == field.name();
+                   });
+  expects(sealed_it != sealed_.end(),
+          "ArchiveAppender: replace_field target does not exist");
+  expects(!anchored_on(field.name()),
+          "ArchiveAppender: cannot replace a field other fields anchor on");
+
+  ArchiveFieldInfo entry;
+  const bool keep = options.keep_reconstruction;
+  F32Array recon;
+  if (keep) recon = F32Array(field.shape());
+  archive_compress_field_tiles(sink_, field, options, {}, nullptr, entry,
+                               keep ? &recon : nullptr);
+  entry.epoch = epoch_;
+  if (keep)
+    reconstructions_.insert_or_assign(field.name(),
+                                      Field(field.name(), std::move(recon)));
+  else
+    reconstructions_.erase(field.name());  // stale recon of the old bodies
+  pending_.push_back(std::move(entry));
+  replaced_.push_back(field.name());
+  superseded_.insert(field.name());
+}
+
+std::uint32_t ArchiveAppender::finish_epoch() {
+  expects(!pending_.empty(), "ArchiveAppender: epoch has no fields");
+
+  // Merged index: sealed fields in their existing order — a replaced field
+  // is substituted *in place* so every surviving field keeps its index
+  // position (the serving layer keys cached tiles by field index; stable
+  // positions let an append invalidate only what actually changed) — then
+  // the genuinely new fields in append order.
+  std::vector<ArchiveFieldInfo> merged;
+  merged.reserve(sealed_.size() + pending_.size());
+  std::vector<bool> consumed(pending_.size(), false);
+  for (ArchiveFieldInfo& f : sealed_) {
+    if (std::find(replaced_.begin(), replaced_.end(), f.name) !=
+        replaced_.end()) {
+      for (std::size_t i = 0; i < pending_.size(); ++i)
+        if (pending_[i].name == f.name) {
+          merged.push_back(std::move(pending_[i]));
+          consumed[i] = true;
+          break;
+        }
+      continue;
+    }
+    merged.push_back(std::move(f));
+  }
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    if (!consumed[i]) merged.push_back(std::move(pending_[i]));
+  validate_anchor_graph(merged);
+
+  // The commit protocol: bodies must be durable before any index points at
+  // them (1st sync); the trailer is the commit point and the epoch exists
+  // only once it is durable (2nd sync). A crash anywhere in between leaves
+  // a tail recovery-on-open discards.
+  sink_.sync();
+  archive_write_footer(sink_, merged);
+  sink_.sync();
+
+  sealed_ = std::move(merged);
+  pending_.clear();
+  replaced_.clear();
+  return epoch_++;
+}
+
+}  // namespace xfc

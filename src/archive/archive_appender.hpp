@@ -1,0 +1,129 @@
+#ifndef XFC_ARCHIVE_ARCHIVE_APPENDER_HPP
+#define XFC_ARCHIVE_ARCHIVE_APPENDER_HPP
+
+/// \file archive_appender.hpp
+/// Crash-consistent epoch appends onto a sealed XFA1 archive.
+///
+/// An XFA1 file's commit point is its trailer: readers locate the newest
+/// CRC-valid trailer and trust only the bytes its footer indexes. That
+/// makes the container appendable without any format change — new tile
+/// bodies stream after the last sealed trailer, then a *new* footer
+/// indexing every field (old and new) plus a new trailer seals the next
+/// epoch:
+///
+///   epoch 0:  header | bodies | footer0 | trailer0
+///   epoch 1:  ...... | bodies | footer1 | trailer1
+///                      ^ appended after trailer0; footer0/trailer0 become
+///                        dead bytes (tile offsets are absolute, so the old
+///                        index simply stops being the newest)
+///
+/// Durability protocol per epoch (finish_epoch):
+///
+///   1. bodies are appended          (any crash here: torn tail)
+///   2. sink.sync()                  — bodies durable before any index
+///                                     points at them
+///   3. footer + trailer appended    (any crash here: torn index tail)
+///   4. sink.sync()                  — the epoch is committed iff this
+///                                     returns
+///
+/// A crash at any point leaves a file whose tail past the previous trailer
+/// is garbage; ArchiveReader's recovery-on-open scans back to that trailer
+/// and the partial epoch is absent, never wrong. Note the writer-side dual
+/// of that invariant: no step ever overwrites a byte the previous epoch's
+/// index references, so recovery always has an intact commit point to land
+/// on.
+///
+/// The appender works against any ByteSink positioned one past the last
+/// sealed trailer — AppendFileSink(path, reader.logical_size()) for files
+/// (it also truncates a recovered torn tail), or a VectorSink seeded with
+/// the original bytes for in-memory use.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
+#include "core/field.hpp"
+#include "crossfield/crossfield.hpp"
+#include "io/stream.hpp"
+
+namespace xfc {
+
+/// Appends one or more epochs to an existing archive. Usage:
+///
+///   ArchiveReader r = ArchiveReader::open_file(path);
+///   AppendFileSink sink(path, r.logical_size());
+///   ArchiveAppender a(sink, r);
+///   a.append_field(t1_pressure, opts);
+///   a.finish_epoch();                      // archive now has 2 epochs
+///
+/// `existing` must outlive the appender (it seeds the merged index and
+/// decodes pre-existing anchor fields); its source must describe the same
+/// bytes the sink appends to. Not thread-safe; one appender per archive at
+/// a time (the service serializes ingest behind a mutex).
+class ArchiveAppender {
+ public:
+  ArchiveAppender(ByteSink& sink, const ArchiveReader& existing);
+
+  /// Compresses `field` into the current epoch under a fresh name. A name
+  /// already present in the archive (or pending in this epoch) throws
+  /// InvalidArgument — use replace_field to supersede.
+  void append_field(const Field& field,
+                    const ArchiveFieldOptions& options = {});
+
+  /// Cross-field append. Anchors resolve, in order of preference, to
+  /// (a) fields added through this appender with keep_reconstruction, or
+  /// (b) fields of the original archive, decoded on demand through
+  /// `existing` and cached. A field appended this session *without*
+  /// keep_reconstruction cannot anchor (its bytes are not reachable until
+  /// the file is reopened).
+  void append_cross_field(const Field& target,
+                          const std::vector<std::string>& anchor_names,
+                          const CfnnModel& model,
+                          const ArchiveFieldOptions& options = {});
+
+  /// Supersedes an existing field with freshly compressed bodies (the old
+  /// bodies become dead bytes). The replaced field must not be anchored on
+  /// by any other field — replacing it would invalidate the anchor
+  /// contract's bit-exact reconstructions — and the replacement is coded
+  /// with a plain codec. Shape may change.
+  void replace_field(const Field& field,
+                     const ArchiveFieldOptions& options = {});
+
+  /// Seals the current epoch: syncs the bodies, writes the merged footer
+  /// index (every field, old and new) plus trailer, syncs again. Returns
+  /// the sealed epoch number. Requires at least one pending field. The
+  /// appender may keep going — the next append_* starts the next epoch.
+  std::uint32_t finish_epoch();
+
+  /// Epoch the next finish_epoch() will seal.
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Fields appended or replaced since the last seal.
+  std::size_t fields_pending() const { return pending_.size(); }
+
+ private:
+  const ArchiveFieldInfo* find_any(const std::string& name) const;
+  bool anchored_on(const std::string& name) const;
+  const Field* anchor_recon(const std::string& name);
+
+  ByteSink& sink_;
+  const ArchiveReader& existing_;
+  std::vector<ArchiveFieldInfo> sealed_;   // committed index (all epochs)
+  std::vector<ArchiveFieldInfo> pending_;  // current epoch, not yet sealed
+  /// Names sealed_ entries superseded by a pending replace_field (so the
+  /// merged footer drops the old entry exactly once, at seal time).
+  std::vector<std::string> replaced_;
+  /// Every name replaced in any epoch of this session: `existing_` would
+  /// decode such a field's *old* bodies, so it is no longer a valid anchor
+  /// source for it.
+  std::set<std::string> superseded_;
+  std::map<std::string, Field> reconstructions_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace xfc
+
+#endif  // XFC_ARCHIVE_ARCHIVE_APPENDER_HPP

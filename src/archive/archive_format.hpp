@@ -1,0 +1,50 @@
+#ifndef XFC_ARCHIVE_ARCHIVE_FORMAT_HPP
+#define XFC_ARCHIVE_ARCHIVE_FORMAT_HPP
+
+/// \file archive_format.hpp
+/// Shared write-side pieces of the XFA1 container (layout documented in
+/// archive_writer.hpp), factored out so the write-once ArchiveWriter and
+/// the epoch-appending ArchiveAppender serialize one format from one code
+/// path. The index unit is ArchiveFieldInfo — the same struct the reader
+/// parses — so an appender can merge a reader's parsed index with freshly
+/// written fields and re-serialize without any conversion layer.
+
+#include <span>
+#include <vector>
+
+#include "archive/archive_reader.hpp"
+#include "core/field.hpp"
+#include "crossfield/crossfield.hpp"
+#include "io/stream.hpp"
+
+namespace xfc {
+
+struct ArchiveFieldOptions;  // archive_writer.hpp
+
+/// Appends the 5-byte archive header ("XFA1" + version) to `sink`.
+void archive_write_header(ByteSink& sink);
+
+/// Serializes the footer index over `fields` plus the 24-byte trailer and
+/// appends both to `sink`. The caller owns the durability protocol around
+/// this call (ArchiveWriter: commit/rename; ArchiveAppender: sync before
+/// and after). Field epochs are encoded via flags bit 1 only when nonzero,
+/// keeping write-once archives byte-identical to the frozen format.
+void archive_write_footer(ByteSink& sink,
+                          std::span<const ArchiveFieldInfo> fields);
+
+/// Tiles and compresses `field` into `sink`, filling `entry`'s geometry,
+/// bound, and tile index (name/codec/eb/shape/tile/tiles; the caller sets
+/// epoch and anchors). `anchor_recons` + `model` drive cross-field coding
+/// (empty/null for plain codecs). When `recon` is non-null it receives the
+/// decoder-identical reconstruction (the anchor contract's bytes) and must
+/// already have the field's shape. Batches a grid row at a time and
+/// compresses each batch in parallel, exactly as documented on
+/// ArchiveWriter.
+void archive_compress_field_tiles(
+    ByteSink& sink, const Field& field, const ArchiveFieldOptions& options,
+    const std::vector<const Field*>& anchor_recons, const CfnnModel* model,
+    ArchiveFieldInfo& entry, F32Array* recon);
+
+}  // namespace xfc
+
+#endif  // XFC_ARCHIVE_ARCHIVE_FORMAT_HPP

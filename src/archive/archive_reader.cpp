@@ -151,15 +151,85 @@ ArchiveReader ArchiveReader::open_memory(std::span<const std::uint8_t> bytes) {
 
 void ArchiveReader::parse_index() {
   const std::size_t total = source_->size();
-  if (total < kArchiveHeaderSize + kFooterMagic.size() + kArchiveTrailerSize)
+  constexpr std::size_t kMinArchive =
+      kArchiveHeaderSize + 4 /* footer magic */ + kArchiveTrailerSize;
+  if (total < kMinArchive)
     throw CorruptStream("archive: stream too short");
 
+  // Header damage is terminal: with no header there is no earlier commit
+  // point to fall back to, so these throw without any recovery scan.
   const auto head = source_->read_vec(0, kArchiveHeaderSize);
   for (std::size_t i = 0; i < 4; ++i)
     if (head[i] != kMagic[i])
       throw CorruptStream("archive: bad magic (not an XFA archive)");
   if (head[4] != kArchiveVersion)
     throw CorruptStream("archive: unsupported version");
+
+  // Fast path: a cleanly closed archive parses at EOF.
+  std::exception_ptr first_error;
+  try {
+    parse_index_at(total, fields_);
+    logical_size_ = total;
+    return;
+  } catch (const CorruptStream&) {
+    first_error = std::current_exception();  // fall through to recovery
+  }
+
+  // Recovery-on-open: a crashed append left a torn tail (partial bodies, a
+  // partial footer, or a partial trailer) after the last sealed epoch. The
+  // commit point is the newest trailer whose footer CRC-validates, so scan
+  // backward for trailer-magic candidates and try a strict parse at each.
+  // False positives (magic bytes inside tile bodies) are rejected by the
+  // trailer bounds checks and the footer CRC, which is a 1-in-2^32 fluke
+  // per candidate — and a fluke still yields a CRC-consistent index, never
+  // silent garbage.
+  const std::size_t scan_end = total - 1;  // EOF candidate already failed
+  constexpr std::size_t kChunk = 64u << 10;
+  std::size_t hi = scan_end;
+  while (hi >= kMinArchive) {
+    const std::size_t lo =
+        hi > kChunk + kMinArchive ? hi - kChunk : kMinArchive;
+    // Overlap by 3 bytes so a magic spanning the chunk boundary is seen.
+    const std::size_t read_hi = std::min(total, hi + 3);
+    const auto chunk = source_->read_vec(lo - 4, read_hi - (lo - 4));
+    // Candidate logical end E has the trailer magic at [E-4, E); scan the
+    // chunk's candidates from the newest down.
+    for (std::size_t e = hi; e >= lo; --e) {
+      const std::size_t at = e - (lo - 4) - 4;
+      if (chunk[at] != kMagic[0] || chunk[at + 1] != kMagic[1] ||
+          chunk[at + 2] != kMagic[2] || chunk[at + 3] != kMagic[3])
+        continue;
+      std::vector<ArchiveFieldInfo> candidate;
+      try {
+        parse_index_at(e, candidate);
+      } catch (const CorruptStream&) {
+        continue;
+      }
+      fields_ = std::move(candidate);
+      logical_size_ = e;
+      recovered_bytes_discarded_ = total - e;
+      return;
+    }
+    if (lo == kMinArchive) break;
+    hi = lo - 1;
+  }
+  // No sealed epoch anywhere: surface the original strict-parse error.
+  std::rethrow_exception(first_error);
+}
+
+std::uint32_t ArchiveReader::epoch_count() const {
+  std::uint32_t max_epoch = 0;
+  for (const ArchiveFieldInfo& f : fields_)
+    max_epoch = std::max(max_epoch, f.epoch);
+  return max_epoch + 1;
+}
+
+void ArchiveReader::parse_index_at(std::size_t logical_end,
+                                   std::vector<ArchiveFieldInfo>& out) const {
+  const std::size_t total = logical_end;
+  if (total < kArchiveHeaderSize + kFooterMagic.size() + kArchiveTrailerSize ||
+      total > source_->size())
+    throw CorruptStream("archive: stream too short");
 
   const auto tail =
       source_->read_vec(total - kArchiveTrailerSize, kArchiveTrailerSize);
@@ -194,7 +264,8 @@ void ArchiveReader::parse_index() {
   // over 8 bytes.
   if (n_fields > kMaxFields || n_fields > in.remaining() / 8)
     throw CorruptStream("archive: absurd field count");
-  fields_.reserve(n_fields);
+  out.clear();
+  out.reserve(n_fields);
 
   std::set<std::string> seen_names;
   for (std::uint64_t fi = 0; fi < n_fields; ++fi) {
@@ -209,10 +280,19 @@ void ArchiveReader::parse_index() {
       throw CorruptStream("archive: unknown codec id in index");
     f.codec = static_cast<CodecId>(codec);
     const std::uint8_t flags = in.u8();
-    if (flags > 1) throw CorruptStream("archive: unknown field flags");
-    f.cross_field = flags != 0;
+    if (flags > 3) throw CorruptStream("archive: unknown field flags");
+    f.cross_field = (flags & 1) != 0;
     if (f.cross_field != (f.codec == CodecId::kCrossField))
       throw CorruptStream("archive: cross-field flag/codec mismatch");
+    // Bit 1: an append epoch follows. Only ever set for epoch > 0, so the
+    // canonical write-once footer stays byte-identical to the frozen
+    // format (golden archives, writer-byte stability).
+    if ((flags & 2) != 0) {
+      const std::uint64_t epoch = in.varint();
+      if (epoch == 0 || epoch > 0xFFFFFFFFull)
+        throw CorruptStream("archive: bad field epoch");
+      f.epoch = static_cast<std::uint32_t>(epoch);
+    }
 
     f.eb_mode = in.u8();
     if (f.eb_mode > 1) throw CorruptStream("archive: bad error-bound mode");
@@ -257,7 +337,7 @@ void ArchiveReader::parse_index() {
         throw CorruptStream("archive: tile body out of bounds");
       f.tiles.push_back(t);
     }
-    fields_.push_back(std::move(f));
+    out.push_back(std::move(f));
   }
   if (!in.exhausted())
     throw CorruptStream("archive: trailing bytes after the field index");

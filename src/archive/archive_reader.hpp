@@ -98,6 +98,10 @@ struct ArchiveFieldInfo {
   std::uint8_t eb_mode = 0;  // ErrorBoundMode as written
   double eb_value = 0.0;
   double abs_eb = 0.0;       // resolved absolute bound (whole field)
+  /// Append epoch that sealed this field's current bodies (0 = the epoch
+  /// the archive was created in). Encoded in the footer only when nonzero,
+  /// so write-once archives stay byte-identical to the frozen format.
+  std::uint32_t epoch = 0;
   Shape shape;
   Shape tile;
   std::vector<std::string> anchors;       // cross-field targets only
@@ -128,7 +132,14 @@ using TileFetch = std::function<std::shared_ptr<const Field>(
 
 class ArchiveReader {
  public:
-  /// Takes ownership of an arbitrary source; validates and parses the index.
+  /// Takes ownership of an arbitrary source; validates and parses the
+  /// index. Recovery-on-open: when the bytes at EOF do not form a valid
+  /// trailer (a crashed append left a torn tail), the reader scans
+  /// backward for the newest CRC-valid trailer and opens the archive as of
+  /// that commit point — the partially appended epoch is absent, never
+  /// wrong. The discarded tail length is reported by
+  /// recovered_bytes_discarded(); a stream with no valid trailer at all
+  /// still throws CorruptStream.
   explicit ArchiveReader(std::unique_ptr<ByteSource> source);
 
   /// Opens a file-backed archive (seekable reads via RandomAccessFile).
@@ -139,6 +150,21 @@ class ArchiveReader {
 
   const std::vector<ArchiveFieldInfo>& fields() const { return fields_; }
   const ArchiveFieldInfo* find(const std::string& name) const;
+
+  /// Logical size of the archive: one past the last byte of the trailer
+  /// this reader committed to. Equals the source size unless recovery
+  /// discarded a torn tail. An ArchiveAppender resumes writing here.
+  std::size_t logical_size() const { return logical_size_; }
+
+  /// Bytes past the last valid trailer that recovery-on-open discarded
+  /// (0 for a cleanly closed archive).
+  std::size_t recovered_bytes_discarded() const {
+    return recovered_bytes_discarded_;
+  }
+
+  /// Number of append epochs sealed into this archive (>= 1): one plus the
+  /// highest per-field epoch in the index.
+  std::uint32_t epoch_count() const;
 
   /// Full decode of one field (tile-parallel). Cross-field targets decode
   /// their anchors first; the anchor tiles handed to the codec are the
@@ -200,6 +226,11 @@ class ArchiveReader {
 
  private:
   void parse_index();
+  /// Strict single-commit-point parse: validates the trailer ending at
+  /// `logical_end` and fills `out` from its footer. Throws CorruptStream on
+  /// any malformation; touches nothing outside [0, logical_end).
+  void parse_index_at(std::size_t logical_end,
+                      std::vector<ArchiveFieldInfo>& out) const;
   const ArchiveFieldInfo& require(const std::string& name) const;
   std::vector<std::uint8_t> tile_bytes(const ArchiveFieldInfo& info,
                                        std::size_t ordinal) const;
@@ -227,6 +258,8 @@ class ArchiveReader {
 
   std::unique_ptr<ByteSource> source_;
   std::vector<ArchiveFieldInfo> fields_;
+  std::size_t logical_size_ = 0;
+  std::size_t recovered_bytes_discarded_ = 0;
 };
 
 }  // namespace xfc

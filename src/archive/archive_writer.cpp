@@ -2,75 +2,17 @@
 
 #include <algorithm>
 
+#include "archive/archive_format.hpp"
 #include "archive/archive_reader.hpp"
 #include "archive/tile.hpp"
 #include "core/error.hpp"
 #include "core/utils.hpp"
 #include "io/crc32.hpp"
-#include "sz/classic.hpp"
-#include "sz/interpolation.hpp"
-#include "zfp/zfp_codec.hpp"
 
 namespace xfc {
-namespace {
-
-constexpr std::array<std::uint8_t, 4> kMagic{'X', 'F', 'A', '1'};
-constexpr std::array<std::uint8_t, 4> kFooterMagic{'X', 'F', 'A', 'F'};
-
-std::vector<std::uint8_t> compress_tile(
-    const Field& tile_field, CodecId codec, double abs_eb,
-    const ArchiveFieldOptions& options,
-    const std::vector<const Field*>& anchors, const CfnnModel* model) {
-  // Every tile is coded at the field-level *absolute* bound so the tiled
-  // round trip satisfies exactly the ErrorBound the caller configured —
-  // resolving a relative bound per tile would retarget it to each tile's
-  // local value range.
-  switch (codec) {
-    case CodecId::kSz: {
-      SzOptions o;
-      o.eb = ErrorBound::absolute(abs_eb);
-      o.predictor = options.predictor;
-      o.backend = options.backend;
-      o.quant_radius = options.quant_radius;
-      return sz_compress(tile_field, o);
-    }
-    case CodecId::kSzClassic: {
-      ClassicOptions o;
-      o.eb = ErrorBound::absolute(abs_eb);
-      o.backend = options.backend;
-      o.quant_radius = options.quant_radius;
-      return classic_compress(tile_field, o);
-    }
-    case CodecId::kInterp: {
-      InterpOptions o;
-      o.eb = ErrorBound::absolute(abs_eb);
-      o.backend = options.backend;
-      o.quant_radius = options.quant_radius;
-      return interp_compress(tile_field, o);
-    }
-    case CodecId::kZfp: {
-      ZfpOptions o;
-      o.tolerance = abs_eb;
-      return zfp_compress(tile_field, o);
-    }
-    case CodecId::kCrossField: {
-      CrossFieldOptions o;
-      o.eb = ErrorBound::absolute(abs_eb);
-      o.backend = options.backend;
-      o.quant_radius = options.quant_radius;
-      return cross_field_compress(tile_field, anchors, *model, o);
-    }
-  }
-  throw InvalidArgument("ArchiveWriter: unsupported tile codec");
-}
-
-}  // namespace
 
 ArchiveWriter::ArchiveWriter(ByteSink& sink) : sink_(sink) {
-  ByteWriter head;
-  head.raw(kMagic);
-  head.u8(kArchiveVersion);
-  sink_.append(head.bytes());
+  archive_write_header(sink_);
 }
 
 const Field* ArchiveWriter::reconstruction(const std::string& name) const {
@@ -80,84 +22,19 @@ const Field* ArchiveWriter::reconstruction(const std::string& name) const {
 
 void ArchiveWriter::write_tiles(const Field& field,
                                 const ArchiveFieldOptions& options,
-                                FieldEntry& entry,
+                                ArchiveFieldInfo& entry,
                                 const std::vector<const Field*>& anchor_recons,
                                 const CfnnModel* model) {
   expects(!finished_, "ArchiveWriter: archive already finished");
-  for (const FieldEntry& f : fields_)
+  for (const ArchiveFieldInfo& f : fields_)
     expects(f.name != field.name(), "ArchiveWriter: duplicate field name");
   expects(!field.name().empty(), "ArchiveWriter: field must be named");
-
-  const Shape tile_shape = options.tile.ndim() == 0
-                               ? TileGrid::default_tile(field.shape())
-                               : options.tile;
-  const TileGrid grid(field.shape(), tile_shape);
-
-  entry.name = field.name();
-  entry.codec = anchor_recons.empty() ? options.codec : CodecId::kCrossField;
-  entry.cross_field = !anchor_recons.empty();
-  entry.eb_mode = static_cast<std::uint8_t>(options.eb.mode());
-  entry.eb_value = options.eb.value();
-  entry.abs_eb = options.eb.absolute_for(field.value_range());
-  entry.shape = field.shape();
-  entry.tile = tile_shape;
 
   const bool keep = options.keep_reconstruction;
   F32Array recon;
   if (keep) recon = F32Array(field.shape());
-
-  // One batch of tiles is in flight at a time: the batch compresses (and,
-  // when retained, decodes back) in parallel, then its bodies are appended
-  // to the sink sequentially so offsets are deterministic. The batch is a
-  // grid row, widened to a few tiles per worker when rows are narrower
-  // than the pool (a 1D field's "row" is a single tile), so memory stays
-  // bounded by O(max(row, threads)) tiles independent of archive size.
-  const std::size_t row_tiles = grid.num_tiles() / grid.tiles_along(0);
-  const std::size_t batch =
-      std::max(row_tiles,
-               std::min(grid.num_tiles(),
-                        4 * static_cast<std::size_t>(hardware_threads())));
-  for (std::size_t lo = 0; lo < grid.num_tiles(); lo += batch) {
-    const std::size_t hi = std::min(lo + batch, grid.num_tiles());
-    std::vector<std::vector<std::uint8_t>> bodies(hi - lo);
-
-    for_each_tile_parallel(lo, hi, [&](std::size_t t) {
-      const TileBox box = grid.box(t);
-      const Field tile_field(field.name(), extract_tile(field.array(), box));
-      std::vector<Field> anchor_tiles;
-      std::vector<const Field*> anchor_ptrs;
-      anchor_tiles.reserve(anchor_recons.size());
-      for (const Field* a_full : anchor_recons)
-        anchor_tiles.emplace_back(a_full->name(),
-                                  extract_tile(a_full->array(), box));
-      for (const Field& a_tile : anchor_tiles)
-        anchor_ptrs.push_back(&a_tile);
-
-      bodies[t - lo] = compress_tile(tile_field, entry.codec, entry.abs_eb,
-                                     options, anchor_ptrs, model);
-      if (keep) {
-        // The retained reconstruction is the decode of the bytes just
-        // produced — exact for every codec (zfp included), so targets
-        // anchored on this field see the decoder's bytes. The bytes never
-        // left this stack frame, so the container CRC proves nothing here.
-        const TrustedParseScope trusted;
-        const Field dec =
-            archive_decode_tile(bodies[t - lo], entry.codec, anchor_ptrs);
-        insert_tile(recon, box, dec.array());
-      }
-    });
-
-    for (std::size_t t = lo; t < hi; ++t) {
-      const auto& body = bodies[t - lo];
-      TileEntry te;
-      te.offset = sink_.size();
-      te.size = body.size();
-      te.crc = archive_tile_crc(entry.name, t, body);
-      entry.tiles.push_back(te);
-      sink_.append(body);
-    }
-  }
-
+  archive_compress_field_tiles(sink_, field, options, anchor_recons, model,
+                               entry, keep ? &recon : nullptr);
   if (keep)
     reconstructions_.emplace(field.name(),
                              Field(field.name(), std::move(recon)));
@@ -167,7 +44,7 @@ void ArchiveWriter::add_field(const Field& field,
                               const ArchiveFieldOptions& options) {
   expects(options.codec != CodecId::kCrossField,
           "ArchiveWriter: use add_cross_field for cross-field targets");
-  FieldEntry entry;
+  ArchiveFieldInfo entry;
   write_tiles(field, options, entry, {}, nullptr);
   fields_.push_back(std::move(entry));
 }
@@ -187,7 +64,7 @@ void ArchiveWriter::add_cross_field(
             "ArchiveWriter: anchor shape does not match the target");
     anchors.push_back(recon);
   }
-  FieldEntry entry;
+  ArchiveFieldInfo entry;
   entry.anchors = anchor_names;
   write_tiles(target, options, entry, anchors, &model);
   fields_.push_back(std::move(entry));
@@ -198,7 +75,7 @@ void ArchiveWriter::add_prebuilt_field(
     const std::function<std::vector<std::uint8_t>(std::size_t)>& body_for) {
   expects(!finished_, "ArchiveWriter: archive already finished");
   expects(!meta.name.empty(), "ArchiveWriter: field must be named");
-  for (const FieldEntry& f : fields_)
+  for (const ArchiveFieldInfo& f : fields_)
     expects(f.name != meta.name, "ArchiveWriter: duplicate field name");
   expects(meta.cross_field == (meta.codec == CodecId::kCrossField),
           "ArchiveWriter: cross-field flag/codec mismatch");
@@ -206,21 +83,15 @@ void ArchiveWriter::add_prebuilt_field(
   expects(meta.tiles.size() == grid.num_tiles(),
           "ArchiveWriter: tile count disagrees with the field geometry");
 
-  FieldEntry entry;
-  entry.name = meta.name;
-  entry.codec = meta.codec;
-  entry.cross_field = meta.cross_field;
-  entry.eb_mode = meta.eb_mode;
-  entry.eb_value = meta.eb_value;
-  entry.abs_eb = meta.abs_eb;
-  entry.shape = meta.shape;
-  entry.tile = meta.tile;
-  entry.anchors = meta.anchors;
+  // Copies every index attribute from `meta` — including the append epoch,
+  // so a repaired multi-epoch archive keeps its provenance.
+  ArchiveFieldInfo entry = meta;
+  entry.tiles.clear();
   entry.tiles.reserve(grid.num_tiles());
   for (std::size_t t = 0; t < grid.num_tiles(); ++t) {
     const std::vector<std::uint8_t> body = body_for(t);
     expects(!body.empty(), "ArchiveWriter: empty prebuilt tile body");
-    TileEntry te;
+    ArchiveTileInfo te;
     te.offset = sink_.size();
     te.size = body.size();
     te.crc = archive_tile_crc(entry.name, t, body);
@@ -233,41 +104,7 @@ void ArchiveWriter::add_prebuilt_field(
 void ArchiveWriter::finish() {
   expects(!finished_, "ArchiveWriter: archive already finished");
   finished_ = true;
-
-  ByteWriter footer;
-  footer.raw(kFooterMagic);
-  footer.varint(fields_.size());
-  for (const FieldEntry& f : fields_) {
-    footer.str(f.name);
-    footer.u8(static_cast<std::uint8_t>(f.codec));
-    footer.u8(f.cross_field ? 1 : 0);
-    footer.u8(f.eb_mode);
-    footer.f64(f.eb_value);
-    footer.f64(f.abs_eb);
-    write_shape(footer, f.shape);
-    write_shape(footer, f.tile);
-    if (f.cross_field) {
-      footer.varint(f.anchors.size());
-      for (const std::string& a : f.anchors) footer.str(a);
-    }
-    footer.varint(f.tiles.size());
-    for (const TileEntry& t : f.tiles) {
-      footer.varint(t.offset);
-      footer.varint(t.size);
-      footer.u32(t.crc);
-    }
-  }
-
-  const std::uint64_t footer_offset = sink_.size();
-  const std::uint32_t footer_crc = Crc32::of(footer.bytes());
-  sink_.append(footer.bytes());
-
-  ByteWriter trailer;
-  trailer.u32(footer_crc);
-  trailer.u64(footer_offset);
-  trailer.u64(footer.size());
-  trailer.raw(kMagic);
-  sink_.append(trailer.bytes());
+  archive_write_footer(sink_, fields_);
   sink_.commit();
 }
 

@@ -27,7 +27,10 @@
 ///   |   per field:                                                 |
 ///   |     str  name                                                |
 ///   |     u8   codec id   (CodecId of the tile bodies)             |
-///   |     u8   flags      (bit0: cross-field target)               |
+///   |     u8   flags      (bit0: cross-field target,               |
+///   |                      bit1: varint epoch follows — only when  |
+///   |                      the field's append epoch is nonzero)    |
+///   |     [varint epoch   iff flags bit1]                          |
 ///   |     u8   eb mode | f64 eb value | f64 resolved absolute eb   |
 ///   |     shape       (u8 rank | varint extents)                   |
 ///   |     tile shape  (same encoding, same rank)                   |
@@ -147,31 +150,13 @@ class ArchiveWriter {
   std::size_t fields_written() const { return fields_.size(); }
 
  private:
-  struct TileEntry {
-    std::uint64_t offset = 0;
-    std::uint64_t size = 0;
-    std::uint32_t crc = 0;
-  };
-  struct FieldEntry {
-    std::string name;
-    CodecId codec = CodecId::kSz;
-    bool cross_field = false;
-    std::uint8_t eb_mode = 0;
-    double eb_value = 0.0;
-    double abs_eb = 0.0;
-    Shape shape;
-    Shape tile;
-    std::vector<std::string> anchors;
-    std::vector<TileEntry> tiles;
-  };
-
   void write_tiles(const Field& field, const ArchiveFieldOptions& options,
-                   FieldEntry& entry,
+                   ArchiveFieldInfo& entry,
                    const std::vector<const Field*>& anchor_recons,
                    const CfnnModel* model);
 
   ByteSink& sink_;
-  std::vector<FieldEntry> fields_;
+  std::vector<ArchiveFieldInfo> fields_;
   std::map<std::string, Field> reconstructions_;
   bool finished_ = false;
 };

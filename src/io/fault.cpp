@@ -147,6 +147,34 @@ FaultyByteSink::FaultyByteSink(ByteSink& inner,
   expects(injector_ != nullptr, "FaultyByteSink: null injector");
 }
 
+void FaultyByteSink::maybe_fail_barrier(const char* what) {
+  const std::uint64_t call = injector_->next_call();
+  switch (injector_->decide(call)) {
+    case FaultInjector::Action::kError:
+    case FaultInjector::Action::kShort:
+      // Both map to a failed barrier: there is no meaningful "short fsync".
+      injector_->count_error();
+      throw IoError("fault: injected " + std::string(what) + " failure (call " +
+                    std::to_string(call) + ")");
+    case FaultInjector::Action::kDelay:
+      injector_->sleep_for_delay();
+      break;
+    case FaultInjector::Action::kFlip:
+    case FaultInjector::Action::kNone:
+      break;
+  }
+}
+
+void FaultyByteSink::sync() {
+  maybe_fail_barrier("sync");
+  inner_.sync();
+}
+
+void FaultyByteSink::commit() {
+  maybe_fail_barrier("commit");
+  inner_.commit();
+}
+
 void FaultyByteSink::append(std::span<const std::uint8_t> data) {
   const std::uint64_t call = injector_->next_call();
   const FaultPlan& plan = injector_->plan();

@@ -125,7 +125,12 @@ class FaultyByteSource final : public ByteSource {
 
 /// ByteSink decorator: torn writes append a prefix before throwing, bit
 /// flips corrupt the stored bytes silently (the archive's CRCs are what
-/// must catch them later).
+/// must catch them later). sync() and commit() claim a call index too, so
+/// a crash-point sweep over call indices kills the durability barriers of
+/// the epoch-commit protocol as well as the data writes: an injected sync
+/// failure throws IoError *before* reaching the inner sink — the bytes are
+/// written but their durability is unproven, exactly a power cut between
+/// write-back and fsync completion.
 class FaultyByteSink final : public ByteSink {
  public:
   FaultyByteSink(ByteSink& inner, std::shared_ptr<FaultInjector> injector);
@@ -133,9 +138,12 @@ class FaultyByteSink final : public ByteSink {
   void append(std::span<const std::uint8_t> data) override;
   std::size_t size() const override { return inner_.size(); }
   void flush() override { inner_.flush(); }
-  void commit() override { inner_.commit(); }
+  void sync() override;
+  void commit() override;
 
  private:
+  void maybe_fail_barrier(const char* what);
+
   ByteSink& inner_;
   std::shared_ptr<FaultInjector> injector_;
 };

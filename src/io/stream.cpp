@@ -1,5 +1,6 @@
 #include "io/stream.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -57,17 +58,84 @@ void FileSink::commit() {
   ::close(fd);
   if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
     throw IoError("rename failed: " + tmp_path_ + " -> " + path_);
+  // The data is now at the final path either way, so committed_ flips
+  // before the directory fsync: a failure below must never tear down a
+  // file that is already on disk.
   committed_ = true;
-  // Best effort: make the rename itself durable.
+  // Make the rename itself durable. A failure here means the data fsync'd
+  // fine but the directory entry's durability is unproven — the caller must
+  // hear about that (a crash could roll the rename back), so it throws just
+  // like the data fsync above.
   const auto slash = path_.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path_.substr(0, slash + 1);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
+  bool dir_synced = dfd >= 0 && ::fsync(dfd) == 0;
+  if (dfd >= 0) ::close(dfd);
+  if (detail::g_fail_dir_fsync_for_tests.load(std::memory_order_relaxed) > 0) {
+    detail::g_fail_dir_fsync_for_tests.fetch_sub(1, std::memory_order_relaxed);
+    dir_synced = false;
   }
+  if (!dir_synced)
+    throw IoError("directory fsync failed after publishing: " + dir);
+}
+
+namespace detail {
+std::atomic<int> g_fail_dir_fsync_for_tests{0};
+}  // namespace detail
+
+AppendFileSink::AppendFileSink(const std::string& path, std::size_t resume_at)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw IoError("cannot open file for appending: " + path);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("cannot seek in file: " + path);
+  }
+  if (resume_at > static_cast<std::size_t>(end)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("append resume point past end of file: " + path);
+  }
+  // Discard a torn tail left by a crashed append: everything past the last
+  // sealed epoch is garbage by the recovery contract, and overwriting it
+  // in place would otherwise interleave old and new bytes.
+  if (resume_at < static_cast<std::size_t>(end) &&
+      ::ftruncate(fd_, static_cast<off_t>(resume_at)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("cannot truncate torn tail: " + path);
+  }
+  if (::lseek(fd_, static_cast<off_t>(resume_at), SEEK_SET) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("cannot seek in file: " + path);
+  }
+  written_ = resume_at;
+}
+
+AppendFileSink::~AppendFileSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendFileSink::append(std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write failed: " + path_);
+    }
+    off += static_cast<std::size_t>(n);
+    written_ += static_cast<std::size_t>(n);
+  }
+}
+
+void AppendFileSink::sync() {
+  if (::fsync(fd_) != 0) throw IoError("fsync failed: " + path_);
 }
 
 void MemorySource::read_at(std::size_t offset,

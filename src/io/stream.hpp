@@ -10,6 +10,7 @@
 /// future network- or object-store-backed implementation slots in without
 /// touching the format code.
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -28,8 +29,13 @@ class ByteSink {
   virtual ~ByteSink() = default;
   virtual void append(std::span<const std::uint8_t> data) = 0;
   virtual std::size_t size() const = 0;
-  /// Forces buffered bytes to durable storage; no-op for unbuffered sinks.
+  /// Forces buffered bytes to the OS; no-op for unbuffered sinks.
   virtual void flush() {}
+  /// Durability barrier: every byte appended so far must be on stable
+  /// storage when this returns (fsync for file-backed sinks). The epoch
+  /// commit protocol orders its writes around this call, so a sink that
+  /// cannot provide the barrier must at least not reorder appends.
+  virtual void sync() { flush(); }
   /// Marks the stream complete and publishes it atomically where the sink
   /// supports it (FileSink writes to a temp path and renames here, so a
   /// crash mid-write never leaves a truncated archive under the final
@@ -39,8 +45,14 @@ class ByteSink {
 };
 
 /// In-memory sink; `take()` hands the accumulated archive to the caller.
+/// The initial-bytes constructor seeds the sink with an existing archive so
+/// an ArchiveAppender can extend it in memory (size() continues from the
+/// seed, exactly like appending to a file).
 class VectorSink final : public ByteSink {
  public:
+  VectorSink() = default;
+  explicit VectorSink(std::vector<std::uint8_t> initial)
+      : bytes_(std::move(initial)) {}
   void append(std::span<const std::uint8_t> data) override;
   std::size_t size() const override { return bytes_.size(); }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
@@ -74,6 +86,40 @@ class FileSink final : public ByteSink {
   std::string path_;
   std::string tmp_path_;
   bool committed_ = false;
+};
+
+namespace detail {
+/// Test hook: while > 0, FileSink::commit() treats the directory fsync as
+/// failed (each failure decrements the count). The rename has already
+/// happened when that fsync runs, so the regression test can assert both
+/// the thrown IoError and that the published file was not deleted.
+extern std::atomic<int> g_fail_dir_fsync_for_tests;
+}  // namespace detail
+
+/// In-place appending file sink — the storage half of the epoch-commit
+/// protocol. Unlike FileSink there is no temp file and no rename: bytes are
+/// written directly at the end of `path` (created if absent), because an
+/// appendable archive's commit point is its newest valid trailer, not a
+/// directory entry. `resume_at` is the logical size of the last sealed
+/// epoch: any bytes past it (a torn tail from a previous crashed append)
+/// are truncated away before writing, which is exactly the
+/// absent-never-wrong recovery contract applied to the write path.
+///
+/// sync() is a real fsync (throws IoError on failure); commit() is just
+/// sync() — publication is the caller's trailer write, not a rename.
+class AppendFileSink final : public ByteSink {
+ public:
+  AppendFileSink(const std::string& path, std::size_t resume_at);
+  ~AppendFileSink() override;
+  void append(std::span<const std::uint8_t> data) override;
+  std::size_t size() const override { return written_; }
+  void sync() override;
+  void commit() override { sync(); }
+
+ private:
+  int fd_ = -1;
+  std::size_t written_ = 0;
+  std::string path_;
 };
 
 /// Positional-read byte source.

@@ -835,11 +835,31 @@ void HttpClient::disconnect() {
 HttpClientResponse HttpClient::get(
     const std::string& target,
     const std::vector<std::pair<std::string, std::string>>& extra_headers) {
-  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ +
+  return request("GET", target, "", "", extra_headers);
+}
+
+HttpClientResponse HttpClient::put(
+    const std::string& target, const std::string& body,
+    const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  return request("PUT", target, body, content_type, extra_headers);
+}
+
+HttpClientResponse HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host_ +
                         "\r\nConnection: keep-alive\r\n";
   for (const auto& [name, value] : extra_headers)
     request += name + ": " + value + "\r\n";
+  if (!body.empty() || method == "PUT" || method == "POST") {
+    if (!content_type.empty())
+      request += "Content-Type: " + content_type + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
   request += "\r\n";
+  request += body;
 
   // Transport failures (connect refused, reset, died mid-response) carry
   // this local marker so the retry loop can tell them from malformed
@@ -919,11 +939,44 @@ HttpClientResponse HttpClient::get(
     return resp;
   };
 
+  // Capped exponential backoff with jitter (see HttpClientConfig).
+  const auto backoff_ms = [&](int failures) -> std::uint64_t {
+    const int shift = failures < 20 ? failures : 20;
+    std::uint64_t base_ms =
+        static_cast<std::uint64_t>(config_.backoff_base_ms) << shift;
+    base_ms = std::min<std::uint64_t>(
+        base_ms, static_cast<std::uint64_t>(config_.backoff_max_ms));
+    retry_rng_ = retry_rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double jitter =
+        0.5 + 0.5 * static_cast<double>(retry_rng_ >> 11) * 0x1.0p-53;
+    return static_cast<std::uint64_t>(static_cast<double>(base_ms) * jitter);
+  };
+
   bool stale_retry_spent = false;
   for (int failures = 0;;) {
     bool reused = false;
     try {
-      return attempt_once(reused);
+      HttpClientResponse resp = attempt_once(reused);
+      if (resp.status == 503 && config_.retry_503 &&
+          failures < config_.max_retries) {
+        // The server asked us to come back later: honor its Retry-After
+        // (whole seconds per RFC 9110; a malformed or absent value falls
+        // back to our own schedule), capped so a hostile or confused
+        // server cannot park the client for minutes.
+        std::uint64_t sleep_ms = backoff_ms(failures);
+        if (const std::string* ra = resp.header("Retry-After")) {
+          char* end = nullptr;
+          const unsigned long long secs = std::strtoull(ra->c_str(), &end, 10);
+          if (end != ra->c_str() && *end == '\0')
+            sleep_ms = std::min<std::uint64_t>(
+                secs * 1000u,
+                static_cast<std::uint64_t>(config_.retry_after_cap_ms));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        ++failures;
+        continue;
+      }
+      return resp;
     } catch (const Transport& t) {
       // A reused keep-alive connection dying says nothing about the
       // server's health (it may simply have reaped an idle connection):
@@ -933,18 +986,8 @@ HttpClientResponse HttpClient::get(
         continue;
       }
       if (failures >= config_.max_retries) throw IoError(t.what);
-      // Capped exponential backoff with jitter (see HttpClientConfig).
-      const int shift = failures < 20 ? failures : 20;
-      std::uint64_t base_ms =
-          static_cast<std::uint64_t>(config_.backoff_base_ms) << shift;
-      base_ms = std::min<std::uint64_t>(
-          base_ms, static_cast<std::uint64_t>(config_.backoff_max_ms));
-      retry_rng_ =
-          retry_rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
-      const double jitter =
-          0.5 + 0.5 * static_cast<double>(retry_rng_ >> 11) * 0x1.0p-53;
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<std::uint64_t>(static_cast<double>(base_ms) * jitter)));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms(failures)));
       ++failures;
     }
   }

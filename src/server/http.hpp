@@ -187,6 +187,13 @@ struct HttpClientConfig {
   int backoff_base_ms = 10;
   int backoff_max_ms = 500;
   std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  /// Honor server pushback: when true, a 503 response consumes a retry,
+  /// sleeps the server's Retry-After (seconds, capped at
+  /// retry_after_cap_ms; the backoff schedule when absent or malformed)
+  /// and re-issues the request. Off by default so tests asserting overload
+  /// shedding observe the 503 itself.
+  bool retry_503 = false;
+  int retry_after_cap_ms = 2'000;
 };
 
 /// Minimal blocking HTTP/1.1 client with one keep-alive connection;
@@ -208,7 +215,21 @@ class HttpClient {
       const std::vector<std::pair<std::string, std::string>>&
           extra_headers = {});
 
+  /// Issues a PUT carrying `body`. Same retry contract as get() — PUT is
+  /// idempotent by HTTP semantics, and the ingest endpoint this drives is
+  /// replay-safe (re-appending the same field yields the same sealed
+  /// content, one epoch later).
+  HttpClientResponse put(
+      const std::string& target, const std::string& body,
+      const std::string& content_type = "application/octet-stream",
+      const std::vector<std::pair<std::string, std::string>>&
+          extra_headers = {});
+
  private:
+  HttpClientResponse request(
+      const std::string& method, const std::string& target,
+      const std::string& body, const std::string& content_type,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers);
   void ensure_connected();
   void disconnect();
 

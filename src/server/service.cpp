@@ -10,8 +10,10 @@
 #include <optional>
 #include <set>
 
+#include "archive/archive_appender.hpp"
 #include "archive/tile.hpp"
 #include "core/error.hpp"
+#include "io/stream.hpp"
 #include "io/crc32.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/profiler.hpp"
@@ -137,7 +139,15 @@ ArchiveService::ArchiveService(std::shared_ptr<const ArchiveReader> reader,
                                         "Region requests answered 502")),
       deadline_exceeded_(
           registry_.counter("xfs_deadline_exceeded_total",
-                            "Region requests that blew the decode budget")) {
+                            "Region requests that blew the decode budget")),
+      ingest_requests_(registry_.counter("xfs_ingest_requests_total",
+                                         "PUT /field ingest requests")),
+      ingest_bytes_(registry_.counter("xfs_ingest_bytes_total",
+                                      "Ingested body bytes sealed")),
+      ingest_errors_(registry_.counter("xfs_ingest_errors_total",
+                                       "Ingest requests answered 4xx/5xx")),
+      ingest_epochs_(registry_.counter("xfs_ingest_epochs_total",
+                                       "Epochs sealed by live ingest")) {
   expects(reader_ != nullptr, "ArchiveService: null reader");
   archive_id_ = cache_.add_archive(reader_);
   // Cache and readiness counters stay owned by their structs; the registry
@@ -202,11 +212,21 @@ ArchiveService::ArchiveService(std::shared_ptr<const ArchiveReader> reader,
 
 HttpResponse ArchiveService::handle(const HttpRequest& request) {
   requests_.add();
+  const std::string& path = request.path;
+  if (request.method == "PUT") {
+    // PUT /field/<name> — live ingest.
+    if (path.rfind("/field/", 0) == 0) {
+      const std::string name = path.substr(7);
+      if (!name.empty() && name.find('/') == std::string::npos)
+        return handle_ingest(name, request);
+    }
+    client_errors_.add();
+    return HttpResponse::text(404, "no such endpoint\n");
+  }
   if (request.method != "GET") {
     client_errors_.add();
-    return HttpResponse::text(405, "only GET is served here\n");
+    return HttpResponse::text(405, "only GET and PUT are served here\n");
   }
-  const std::string& path = request.path;
   if (path == "/healthz") return HttpResponse::text(200, "ok\n");
   if (path == "/readyz") {
     if (ready_.load(std::memory_order_acquire))
@@ -215,13 +235,16 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
     resp.headers.emplace_back("Retry-After", "1");
     return resp;
   }
-  if (path == "/fields") return handle_fields();
+  // One snapshot per request: the handler works off the archive state the
+  // request arrived at, however many epochs ingest seals meanwhile.
+  const std::shared_ptr<const ArchiveReader> snapshot = reader();
+  if (path == "/fields") return handle_fields(*snapshot);
   if (path == "/stats") {
     const bool v2 = request.query.find("format=v2") != std::string::npos;
     return handle_stats(v2);
   }
   if (path == "/metrics") return handle_metrics();
-  if (path == "/debug/cache") return handle_debug_cache();
+  if (path == "/debug/cache") return handle_debug_cache(*snapshot);
   if (path == "/debug/prof") return handle_debug_prof(request);
 
   // /field/<name>/region
@@ -231,16 +254,16 @@ HttpResponse ArchiveService::handle(const HttpRequest& request) {
       path.compare(path.size() - 7, 7, kSuffix) == 0) {
     const std::string name = path.substr(7, path.size() - 7 - 7);
     if (!name.empty() && name.find('/') == std::string::npos)
-      return handle_region(name, request);
+      return handle_region(*snapshot, name, request);
   }
   client_errors_.add();
   return HttpResponse::text(404, "no such endpoint\n");
 }
 
-HttpResponse ArchiveService::handle_fields() const {
+HttpResponse ArchiveService::handle_fields(const ArchiveReader& reader) const {
   std::string out = "[";
   bool first = true;
-  for (const ArchiveFieldInfo& f : reader_->fields()) {
+  for (const ArchiveFieldInfo& f : reader.fields()) {
     if (!first) out += ',';
     first = false;
     out += "\n  {\"name\": \"" + json_escape(f.name) + "\"";
@@ -263,11 +286,12 @@ HttpResponse ArchiveService::handle_fields() const {
   return HttpResponse::json(std::move(out));
 }
 
-HttpResponse ArchiveService::handle_region(const std::string& field_name,
+HttpResponse ArchiveService::handle_region(const ArchiveReader& reader,
+                                           const std::string& field_name,
                                            const HttpRequest& request) {
   const auto start = std::chrono::steady_clock::now();
   region_requests_.add();
-  const ArchiveFieldInfo* info = reader_->find(field_name);
+  const ArchiveFieldInfo* info = reader.find(field_name);
   if (info == nullptr) {
     client_errors_.add();
     return HttpResponse::text(404, "no such field: " + field_name + "\n");
@@ -381,7 +405,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
       queue.pop_back();
       for (const std::string& a : f->anchors) {
         if (!seen.insert(a).second) continue;
-        const ArchiveFieldInfo* ai = reader_->find(a);
+        const ArchiveFieldInfo* ai = reader.find(a);
         if (ai == nullptr) continue;  // unreachable post-validation
         for (const ArchiveTileInfo& t : ai->tiles) fold_crc(t.crc);
         queue.push_back(ai);
@@ -417,7 +441,7 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
     std::fill(out.data(), out.data() + out.size(),
               std::numeric_limits<float>::quiet_NaN());
   const std::size_t field_index =
-      static_cast<std::size_t>(info - reader_->fields().data());
+      static_cast<std::size_t>(info - reader.fields().data());
   struct TileFailure {
     std::size_t ordinal;
     std::string message;
@@ -553,6 +577,163 @@ HttpResponse ArchiveService::handle_region(const std::string& field_name,
 
 namespace {
 
+/// Parses "48,40" into up to 3 positive extents; false on malformed input.
+bool parse_dims(const std::string& text, std::size_t out[3],
+                std::size_t& ndim) {
+  ndim = 0;
+  std::size_t pos = 0;
+  if (text.empty()) return false;
+  while (true) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma == pos || comma - pos > 9 || ndim >= 3) return false;
+    std::size_t v = 0;
+    for (std::size_t i = pos; i < comma; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      v = v * 10 + static_cast<std::size_t>(text[i] - '0');
+    }
+    if (v == 0) return false;
+    out[ndim++] = v;
+    if (comma == text.size()) return true;
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+HttpResponse ArchiveService::handle_ingest(const std::string& field_name,
+                                           const HttpRequest& request) {
+  ingest_requests_.add();
+  const auto fail = [this](int status, std::string body,
+                           const char* retry_after = nullptr) {
+    ingest_errors_.add();
+    if (status >= 400 && status < 500) client_errors_.add();
+    HttpResponse resp = HttpResponse::text(status, std::move(body));
+    if (retry_after != nullptr)
+      resp.headers.emplace_back("Retry-After", retry_after);
+    return resp;
+  };
+  if (config_.archive_path.empty())
+    return fail(403, "ingest disabled on this service\n");
+  // Drain refuses new writes before anything else is even parsed: once
+  // set_ready(false) flips, no further epoch can start.
+  if (!ready_.load(std::memory_order_acquire))
+    return fail(503, "draining\n", "1");
+
+  std::vector<std::pair<std::string, std::string>> params;
+  if (!parse_query(request.query, params))
+    return fail(400, "malformed query string\n");
+  std::string shape_text, tile_text, mode = "rel", codec_text = "sz";
+  double eb = 1e-3;
+  for (const auto& [key, value] : params) {
+    if (key == "shape") shape_text = value;
+    else if (key == "tile") tile_text = value;
+    else if (key == "mode") mode = value;
+    else if (key == "codec") codec_text = value;
+    else if (key == "eb") {
+      char* end = nullptr;
+      eb = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || std::isnan(eb) || eb <= 0)
+        return fail(400, "eb must be a positive number\n");
+    }
+  }
+  ArchiveFieldOptions options;
+  if (mode == "rel") options.eb = ErrorBound::relative(eb);
+  else if (mode == "abs") options.eb = ErrorBound::absolute(eb);
+  else return fail(400, "mode must be rel or abs\n");
+  if (codec_text == "sz") options.codec = CodecId::kSz;
+  else if (codec_text == "classic") options.codec = CodecId::kSzClassic;
+  else if (codec_text == "interp") options.codec = CodecId::kInterp;
+  else if (codec_text == "zfp") options.codec = CodecId::kZfp;
+  else return fail(400, "codec must be sz, classic, interp or zfp\n");
+
+  std::size_t dims[3], ndim = 0;
+  if (!parse_dims(shape_text, dims, ndim))
+    return fail(400,
+                "shape must give 1-3 comma-separated positive extents\n");
+  std::size_t values = 1;
+  for (std::size_t d = 0; d < ndim; ++d) values *= dims[d];
+  if (values > config_.max_ingest_values)
+    return fail(413, "field of " + std::to_string(values) +
+                         " values exceeds the ingest cap of " +
+                         std::to_string(config_.max_ingest_values) + "\n");
+  if (request.body.size() != values * sizeof(float))
+    return fail(400, "body must carry exactly " +
+                         std::to_string(values * sizeof(float)) +
+                         " bytes of raw little-endian float32\n");
+  if (!tile_text.empty()) {
+    std::size_t tdims[3], tndim = 0;
+    if (!parse_dims(tile_text, tdims, tndim) || tndim != ndim)
+      return fail(400, "tile rank must match shape\n");
+    options.tile = Shape(std::span<const std::size_t>(tdims, tndim));
+  }
+
+  F32Array data(Shape(std::span<const std::size_t>(dims, ndim)));
+  std::memcpy(data.data(), request.body.data(), request.body.size());
+
+  // The whole append -> seal -> reopen -> swap sequence is one critical
+  // section: one epoch in flight at a time on the archive file.
+  const std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
+  const std::shared_ptr<const ArchiveReader> snapshot = reader();
+  const bool existed = snapshot->find(field_name) != nullptr;
+  std::uint32_t sealed_epoch = 0;
+  try {
+    AppendFileSink sink(config_.archive_path, snapshot->logical_size());
+    ArchiveAppender appender(sink, *snapshot);
+    const Field field(field_name, std::move(data));
+    if (existed)
+      appender.replace_field(field, options);
+    else
+      appender.append_field(field, options);
+    sealed_epoch = appender.finish_epoch();
+  } catch (const InvalidArgument& e) {
+    // The one 409 here: replacing a field that other fields anchor on
+    // would break their bit-exact anchor contract.
+    const std::string what = e.what();
+    return fail(what.find("anchor") != std::string::npos ? 409 : 400,
+                what + "\n");
+  } catch (const XfcError& e) {
+    return fail(500, std::string(e.what()) + "\n");
+  }
+
+  // The epoch is durable on disk; swap the serving state over to it. A
+  // reopen failure past this point is an environment fault, not data loss
+  // — the archive itself is sealed and valid.
+  try {
+    std::shared_ptr<const ArchiveReader> fresh =
+        std::make_shared<const ArchiveReader>(
+            ArchiveReader::open_file(config_.archive_path));
+    cache_.update_archive(archive_id_, fresh);
+    if (existed) {
+      // Field indices are append-stable, so only the replaced field's
+      // cached tiles (positive and negative) go; everything else stays
+      // warm. New fields have no cached tiles to drop.
+      const ArchiveFieldInfo* nf = fresh->find(field_name);
+      cache_.invalidate(archive_id_, static_cast<std::size_t>(
+                                         nf - fresh->fields().data()));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(reader_mutex_);
+      reader_ = std::move(fresh);
+    }
+  } catch (const XfcError& e) {
+    return fail(500, std::string("epoch sealed but reopen failed: ") +
+                         e.what() + "\n");
+  }
+
+  ingest_bytes_.add(request.body.size());
+  ingest_epochs_.add();
+  HttpResponse resp = HttpResponse::json(
+      "{\"field\": \"" + json_escape(field_name) +
+      "\", \"epoch\": " + std::to_string(sealed_epoch) +
+      ", \"created\": " + (existed ? "false" : "true") + "}\n");
+  resp.status = existed ? 200 : 201;
+  bytes_served_.add(resp.body.size());
+  return resp;
+}
+
+namespace {
+
 /// One registry's snapshot as a JSON object member: scalars under
 /// "metrics", histograms under "histograms" (per-bucket counts, not
 /// cumulative — a consumer can integrate, but cannot differentiate).
@@ -617,6 +798,10 @@ HttpResponse ArchiveService::handle_stats(bool v2) const {
   w.field("degraded_requests", degraded_requests_.value());
   w.field("failed_regions", failed_regions_.value());
   w.field("deadline_exceeded", deadline_exceeded_.value());
+  w.field("ingest_requests", ingest_requests_.value());
+  w.field("ingest_bytes", ingest_bytes_.value());
+  w.field("ingest_errors", ingest_errors_.value());
+  w.field("ingest_epochs", ingest_epochs_.value());
   w.field("ready", ready_.load());
   w.begin_object("cache");
   w.field("hits", c.hits);
@@ -644,7 +829,8 @@ HttpResponse ArchiveService::handle_metrics() const {
   return resp;
 }
 
-HttpResponse ArchiveService::handle_debug_cache() const {
+HttpResponse ArchiveService::handle_debug_cache(
+    const ArchiveReader& reader) const {
   // Tile-access heatmap: field x tile ordinal -> counters, plus per-shard
   // occupancy. Parallel arrays (one per counter, indexed by ordinal) keep
   // the payload dense — a 10k-tile field is four 10k-int arrays, not 10k
@@ -669,7 +855,7 @@ HttpResponse ArchiveService::handle_debug_cache() const {
   }
   w.end_array();
   w.begin_array("fields");
-  const auto& fields = reader_->fields();
+  const auto& fields = reader.fields();
   for (std::size_t f = 0; f < fields.size(); ++f) {
     const std::vector<TileHeat> heat = cache_.field_heat(archive_id_, f);
     obs::JsonWriter e;

@@ -44,6 +44,18 @@
 ///       if the profiler is already armed. X-Xfc-Prof-Samples /
 ///       X-Xfc-Prof-Dropped headers carry the sample accounting.
 ///
+///   PUT /field/<name>?shape=..&eb=..[&mode=rel|abs][&codec=sz|classic|
+///       interp|zfp][&tile=..]     (only when ServiceConfig::archive_path
+///       is set). Body: raw little-endian float32 values, row-major,
+///       exactly prod(shape) of them. Appends one crash-consistent epoch
+///       to the archive file (bodies -> fsync -> footer+trailer -> fsync;
+///       the trailer is the commit point), reopens it, swaps the serving
+///       snapshot and invalidates exactly the replaced field's cached
+///       tiles (positive and negative). A new field answers 201, a
+///       replacement 200; 403 when ingest is disabled, 503 + Retry-After
+///       while draining or not ready, 409 for a field other fields anchor
+///       on.
+///
 /// Region requests additionally accept trace=1: the region is assembled
 /// as usual but the response is a JSON debug view of the request's span
 /// tree (stage timings, cache hit/miss counts) instead of the data bytes.
@@ -56,6 +68,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "archive/archive_reader.hpp"
@@ -81,6 +94,13 @@ struct ServiceConfig {
   int request_deadline_ms = 0;
   /// Negative-cache TTL handed to the tile cache (see TileCacheConfig).
   std::uint32_t negative_ttl_ms = 250;
+  /// Live ingest: when set, PUT /field/<name> appends an epoch to this
+  /// archive file (which must be the file the service's reader was opened
+  /// on). Empty disables ingest — every PUT answers 403.
+  std::string archive_path;
+  /// Cap on values in one ingested field (PUT bodies are additionally
+  /// capped by HttpConfig::max_request_bytes upstream).
+  std::size_t max_ingest_values = 16u << 20;
 };
 
 class ArchiveService {
@@ -100,22 +120,38 @@ class ArchiveService {
   bool ready() const { return ready_.load(std::memory_order_acquire); }
 
   const TileCache& cache() const { return cache_; }
-  const ArchiveReader& reader() const { return *reader_; }
+
+  /// Snapshot of the reader serving right now. Ingest swaps the snapshot
+  /// atomically after each sealed epoch; requests that already hold one
+  /// finish against the archive state they started with.
+  std::shared_ptr<const ArchiveReader> reader() const {
+    const std::lock_guard<std::mutex> lock(reader_mutex_);
+    return reader_;
+  }
 
   /// Per-instance metric registry (serving counters + cache callbacks);
   /// the process-global obs::registry() carries the codec-stage metrics.
   const obs::Registry& metrics() const { return registry_; }
 
  private:
-  HttpResponse handle_fields() const;
-  HttpResponse handle_region(const std::string& field_name,
+  HttpResponse handle_fields(const ArchiveReader& reader) const;
+  HttpResponse handle_region(const ArchiveReader& reader,
+                             const std::string& field_name,
+                             const HttpRequest& request);
+  HttpResponse handle_ingest(const std::string& field_name,
                              const HttpRequest& request);
   HttpResponse handle_stats(bool v2) const;
   HttpResponse handle_metrics() const;
-  HttpResponse handle_debug_cache() const;
+  HttpResponse handle_debug_cache(const ArchiveReader& reader) const;
   HttpResponse handle_debug_prof(const HttpRequest& request) const;
 
+  // Serving snapshot, swapped under reader_mutex_ by ingest; handlers copy
+  // the shared_ptr once at entry and work off that archive state.
+  mutable std::mutex reader_mutex_;
   std::shared_ptr<const ArchiveReader> reader_;
+  // Serializes the whole append-reopen-swap ingest sequence (one writer at
+  // a time on the archive file). Always acquired before reader_mutex_.
+  std::mutex ingest_mutex_;
   ServiceConfig config_;
   TileCache cache_;
   std::uint64_t archive_id_ = 0;
@@ -133,6 +169,10 @@ class ArchiveService {
   obs::Counter& degraded_requests_;   // partial 200s
   obs::Counter& failed_regions_;      // 502s
   obs::Counter& deadline_exceeded_;   // 503s
+  obs::Counter& ingest_requests_;     // PUT /field/<name> received
+  obs::Counter& ingest_bytes_;        // PUT body bytes of sealed epochs
+  obs::Counter& ingest_errors_;       // PUTs answered 4xx/5xx
+  obs::Counter& ingest_epochs_;       // epochs sealed by this service
 };
 
 }  // namespace xfc::server

@@ -110,31 +110,51 @@ TileCache::Shard& TileCache::shard_for(const Key& key) const {
   return shards_[Shard::KeyHash{}(key) % n_shards_];
 }
 
-std::uint64_t TileCache::add_archive(
-    std::shared_ptr<const ArchiveReader> reader) {
-  expects(reader != nullptr, "TileCache: null reader");
-  // An acyclic anchor graph is what makes the recursive anchor gets (and
-  // the cross-thread waits they can chain into) provably deadlock-free.
-  validate_anchor_graph(reader->fields());
-  auto heat = std::make_unique<ArchiveHeat>();
-  for (const ArchiveFieldInfo& info : reader->fields()) {
+std::shared_ptr<TileCache::ArchiveHeat> TileCache::make_heat(
+    const ArchiveReader& reader) {
+  auto heat = std::make_shared<ArchiveHeat>();
+  for (const ArchiveFieldInfo& info : reader.fields()) {
     const std::size_t n = info.tiles.size();
     heat->fields.push_back(n != 0
                                ? std::make_unique<ArchiveHeat::TileStat[]>(n)
                                : nullptr);
     heat->tiles.push_back(n);
   }
+  return heat;
+}
+
+std::uint64_t TileCache::add_archive(
+    std::shared_ptr<const ArchiveReader> reader) {
+  expects(reader != nullptr, "TileCache: null reader");
+  // An acyclic anchor graph is what makes the recursive anchor gets (and
+  // the cross-thread waits they can chain into) provably deadlock-free.
+  validate_anchor_graph(reader->fields());
+  auto heat = make_heat(*reader);
   const std::lock_guard<std::mutex> lock(archives_mutex_);
   archives_.push_back(std::move(reader));
   heats_.push_back(std::move(heat));
   return archives_.size() - 1;
 }
 
+void TileCache::update_archive(std::uint64_t archive_id,
+                               std::shared_ptr<const ArchiveReader> reader) {
+  expects(reader != nullptr, "TileCache: null reader");
+  validate_anchor_graph(reader->fields());
+  // Fresh heat: tile grids may have grown (new fields, replaced geometry),
+  // and heat is demand history anyway — the epoch decay would age it out.
+  auto heat = make_heat(*reader);
+  const std::lock_guard<std::mutex> lock(archives_mutex_);
+  if (archive_id >= archives_.size())
+    throw InvalidArgument("TileCache: unknown archive id");
+  archives_[archive_id] = std::move(reader);
+  heats_[archive_id] = std::move(heat);
+}
+
 std::shared_ptr<const ArchiveReader> TileCache::archive_and_heat(
-    std::uint64_t archive_id, ArchiveHeat** heat) const {
+    std::uint64_t archive_id, std::shared_ptr<ArchiveHeat>* heat) const {
   const std::lock_guard<std::mutex> lock(archives_mutex_);
   if (archive_id >= archives_.size()) return nullptr;
-  *heat = heats_[archive_id].get();
+  *heat = heats_[archive_id];
   return archives_[archive_id];
 }
 
@@ -176,11 +196,11 @@ void TileCache::advance_access_epoch() {
 
 std::vector<TileHeat> TileCache::field_heat(std::uint64_t archive_id,
                                             std::size_t field_index) const {
-  ArchiveHeat* heat = nullptr;
+  std::shared_ptr<ArchiveHeat> heat;
   {
     const std::lock_guard<std::mutex> lock(archives_mutex_);
     if (archive_id >= heats_.size()) return {};
-    heat = heats_[archive_id].get();
+    heat = heats_[archive_id];
   }
   if (field_index >= heat->fields.size()) return {};
   const std::size_t n = heat->tiles[field_index];
@@ -237,7 +257,10 @@ std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
 std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
                                             std::size_t field_index,
                                             std::size_t ordinal) {
-  ArchiveHeat* heat = nullptr;
+  // The shared_ptr keeps the heat alive across a concurrent
+  // update_archive; get_by_key and the anchor fetches it spawns borrow the
+  // raw pointer under this frame.
+  std::shared_ptr<ArchiveHeat> heat;
   const auto reader = archive_and_heat(archive_id, &heat);
   if (reader == nullptr)
     throw InvalidArgument("TileCache: unknown archive id");
@@ -247,7 +270,7 @@ std::shared_ptr<const Field> TileCache::get(std::uint64_t archive_id,
   if (ordinal >= fields[field_index].tiles.size())
     throw InvalidArgument("TileCache: tile ordinal out of range");
   return get_by_key(
-      reader, heat,
+      reader, heat.get(),
       Key{archive_id, static_cast<std::uint32_t>(field_index), ordinal});
 }
 
@@ -331,10 +354,16 @@ std::shared_ptr<const Field> TileCache::get_by_key(
     {
       // Drop the pending entry and negatively cache the failure: followers
       // already waiting get the error through the in-flight rendezvous;
-      // later requests hit the cached entry until its TTL lapses.
+      // later requests hit the cached entry until its TTL lapses. Only if
+      // the pending entry is still *ours* (same in-flight object) — an
+      // invalidate may have erased it mid-decode, in which case the failure
+      // belongs to a superseded tile and must not be cached.
       const std::lock_guard<std::mutex> relock(sh.m);
-      sh.map.erase(key);
-      if (negative_ttl_ms_ != 0) {
+      const auto pit = sh.map.find(key);
+      const bool ours =
+          pit != sh.map.end() && pit->second.inflight == inflight;
+      if (ours) sh.map.erase(pit);
+      if (ours && negative_ttl_ms_ != 0) {
         const std::uint32_t ttl_ms =
             prev_neg_ttl_ms == 0
                 ? negative_ttl_ms_
@@ -367,25 +396,33 @@ std::shared_ptr<const Field> TileCache::get_by_key(
       value->size() * sizeof(float) + kEntryOverhead;
   {
     const std::lock_guard<std::mutex> relock(sh.m);
-    Shard::Entry& e = sh.map[key];  // still pending: only the leader resolves
-    e.value = value;
-    e.inflight.reset();
-    e.bytes = entry_bytes;
-    e.touched = std::chrono::steady_clock::now();
-    sh.lru.push_front(key);
-    e.lru_it = sh.lru.begin();
-    sh.bytes += entry_bytes;
-    // Evict cold tail entries down to budget. The entry just inserted is
-    // never the victim (it is at the front and the loop keeps >= 1 entry),
-    // so even a tile bigger than the whole budget serves from cache while
-    // it is the hot one.
-    while (sh.bytes > sh.budget && sh.lru.size() > 1) {
-      const Key victim = sh.lru.back();
-      const auto vit = sh.map.find(victim);
-      sh.bytes -= vit->second.bytes;
-      sh.map.erase(vit);
-      sh.lru.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+    // Publish only if the pending entry is still ours: an invalidate that
+    // raced this decode erased it (the tile's source changed), and blindly
+    // re-inserting here would resurrect a stale tile. Waiters still get
+    // this value through the rendezvous below — their request predates the
+    // invalidation, so pre-invalidate data is a consistent answer for it.
+    const auto pit = sh.map.find(key);
+    if (pit != sh.map.end() && pit->second.inflight == inflight) {
+      Shard::Entry& e = pit->second;
+      e.value = value;
+      e.inflight.reset();
+      e.bytes = entry_bytes;
+      e.touched = std::chrono::steady_clock::now();
+      sh.lru.push_front(key);
+      e.lru_it = sh.lru.begin();
+      sh.bytes += entry_bytes;
+      // Evict cold tail entries down to budget. The entry just inserted is
+      // never the victim (it is at the front and the loop keeps >= 1
+      // entry), so even a tile bigger than the whole budget serves from
+      // cache while it is the hot one.
+      while (sh.bytes > sh.budget && sh.lru.size() > 1) {
+        const Key victim = sh.lru.back();
+        const auto vit = sh.map.find(victim);
+        sh.bytes -= vit->second.bytes;
+        sh.map.erase(vit);
+        sh.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   {
@@ -395,6 +432,58 @@ std::shared_ptr<const Field> TileCache::get_by_key(
   }
   inflight->cv.notify_all();
   return value;
+}
+
+std::size_t TileCache::erase_key_locked(Shard& sh, const Key& key) {
+  std::size_t removed = 0;
+  const auto it = sh.map.find(key);
+  if (it != sh.map.end()) {
+    if (it->second.value != nullptr) {
+      sh.bytes -= it->second.bytes;
+      sh.lru.erase(it->second.lru_it);
+    }
+    // A pending entry (value null, decode in flight) is erased too; the
+    // leader's identity check keeps it from re-publishing the stale tile.
+    sh.map.erase(it);
+    ++removed;
+  }
+  const auto nit = sh.neg.find(key);
+  if (nit != sh.neg.end()) {
+    sh.neg_order.erase(nit->second.order_it);
+    sh.neg.erase(nit);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t TileCache::invalidate(std::uint64_t archive_id,
+                                  std::size_t field_index) {
+  // Keys are hash-scattered across shards, so a field-wide invalidate must
+  // walk every shard's maps. Ingest-frequency operation, not hot path.
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < n_shards_; ++i) {
+    Shard& sh = shards_[i];
+    const std::lock_guard<std::mutex> lock(sh.m);
+    std::vector<Key> doomed;
+    for (const auto& [key, entry] : sh.map)
+      if (key.archive == archive_id && key.field == field_index)
+        doomed.push_back(key);
+    for (const auto& [key, entry] : sh.neg)
+      if (key.archive == archive_id && key.field == field_index &&
+          sh.map.find(key) == sh.map.end())
+        doomed.push_back(key);
+    for (const Key& key : doomed) removed += erase_key_locked(sh, key);
+  }
+  return removed;
+}
+
+std::size_t TileCache::invalidate_tile(std::uint64_t archive_id,
+                                       std::size_t field_index,
+                                       std::size_t ordinal) {
+  const Key key{archive_id, static_cast<std::uint32_t>(field_index), ordinal};
+  Shard& sh = shard_for(key);
+  const std::lock_guard<std::mutex> lock(sh.m);
+  return erase_key_locked(sh, key);
 }
 
 TileCacheStats TileCache::stats() const {

@@ -106,6 +106,29 @@ class TileCache {
   /// comment). The reader is shared so it outlives any in-flight decode.
   std::uint64_t add_archive(std::shared_ptr<const ArchiveReader> reader);
 
+  /// Swaps the reader registered under `archive_id` for a fresh one — the
+  /// live-ingest path, after an append sealed a new epoch and the file was
+  /// reopened. Field *indices* are stable across appends (the appender
+  /// substitutes replacements in place and adds new fields at the end), so
+  /// cached tiles of unchanged fields stay valid and warm; the caller
+  /// invalidates the fields the epoch actually replaced. Requests already
+  /// holding the old reader finish against it (it is shared). Throws
+  /// InvalidArgument for an unknown id, CorruptStream for a bad anchor
+  /// graph.
+  void update_archive(std::uint64_t archive_id,
+                      std::shared_ptr<const ArchiveReader> reader);
+
+  /// Drops every cached tile of one field — positive entries, cached
+  /// failures (negative entries), and pending decodes alike (a leader whose
+  /// pending entry was invalidated still answers its waiters but does not
+  /// populate the cache). Returns the number of entries removed. Unknown
+  /// keys are a no-op.
+  std::size_t invalidate(std::uint64_t archive_id, std::size_t field_index);
+
+  /// Per-tile variant of invalidate(); same positive+negative semantics.
+  std::size_t invalidate_tile(std::uint64_t archive_id,
+                              std::size_t field_index, std::size_t ordinal);
+
   /// Returns the decoded tile, decoding at most once per key no matter how
   /// many threads ask concurrently. Throws InvalidArgument for an unknown
   /// archive/field/ordinal. Decode failures propagate to every waiter and
@@ -159,8 +182,12 @@ class TileCache {
       const Key& key);
   Shard& shard_for(const Key& key) const;
   std::shared_ptr<const ArchiveReader> archive_and_heat(
-      std::uint64_t archive_id, ArchiveHeat** heat) const;
+      std::uint64_t archive_id, std::shared_ptr<ArchiveHeat>* heat) const;
   void touch_heat(ArchiveHeat* heat, const Key& key, bool hit);
+  static std::shared_ptr<ArchiveHeat> make_heat(const ArchiveReader& reader);
+  /// Erases one key's positive, pending and negative entries from `sh`
+  /// (caller holds sh.m); returns how many it removed.
+  std::size_t erase_key_locked(Shard& sh, const Key& key);
 
   std::size_t capacity_bytes_;
   std::size_t n_shards_;
@@ -182,13 +209,15 @@ class TileCache {
   std::atomic<std::uint32_t> epoch_{0};
   std::atomic<std::uint64_t> epoch_accesses_{0};
 
-  // Registered archives; append-only under archives_mutex_. heats_[i] is
-  // the per-tile heat storage for archives_[i], allocated at add_archive
-  // and immutable in shape afterwards, so the hot path can hold a raw
-  // pointer without the mutex.
+  // Registered archives under archives_mutex_; slots are stable but
+  // update_archive may swap a slot's reader and heat. heats_[i] is the
+  // per-tile heat storage for archives_[i], allocated whole at
+  // registration and immutable in shape afterwards; it is shared so a hot
+  // path that resolved the heat keeps it alive across a concurrent swap
+  // without holding the mutex.
   mutable std::mutex archives_mutex_;
   std::vector<std::shared_ptr<const ArchiveReader>> archives_;
-  std::vector<std::unique_ptr<ArchiveHeat>> heats_;
+  std::vector<std::shared_ptr<ArchiveHeat>> heats_;
 };
 
 }  // namespace xfc::server

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "archive/archive_appender.hpp"
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
 #include "archive/tile.hpp"
@@ -481,6 +482,170 @@ TEST(Archive, TileCrcIsPositionAndFieldDependent) {
   EXPECT_NE(base, archive_tile_crc("A", 1, body));
   EXPECT_NE(base, archive_tile_crc("B", 0, body));
   EXPECT_EQ(base, archive_tile_crc("A", 0, body));
+}
+
+// -- Epoch appends -----------------------------------------------------------
+
+TEST(Archive, AppendEpochRoundTripsAndAnchorsOnSealedFields) {
+  const Shape shape{40, 48};
+  const Field a = smooth_field("a", shape, 5);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{16, 16};
+  VectorSink base_sink;
+  {
+    ArchiveWriter writer(base_sink);
+    writer.add_field(a, opts);
+    writer.finish();
+  }
+  const std::vector<std::uint8_t> base = base_sink.take();
+
+  const ArchiveReader r0 = ArchiveReader::open_memory(base);
+  EXPECT_EQ(r0.epoch_count(), 1u);
+  const Field a_recon = r0.read_field("a");
+
+  // Epoch 1: a plain append plus a cross-field target anchored on the
+  // sealed epoch-0 field — its reconstruction is decoded on demand through
+  // the existing reader, no keep_reconstruction needed at epoch 0.
+  Rng rng(31);
+  Field vx("vx", F32Array(shape));
+  for (std::size_t i = 0; i < vx.size(); ++i)
+    vx.array()[i] = static_cast<float>(0.8 * a_recon.array()[i] +
+                                       rng.normal(0, 0.05));
+  const CfnnModel model = train_cross_field_model(vx, {&a_recon},
+                                                  CfnnConfig{8, 4, 3},
+                                                  quick_train());
+  const Field b = smooth_field("b", shape, 6);
+  VectorSink sink(base);
+  ArchiveAppender appender(sink, r0);
+  appender.append_field(b, opts);
+  appender.append_cross_field(vx, {"a"}, model, opts);
+  EXPECT_EQ(appender.fields_pending(), 2u);
+  EXPECT_EQ(appender.finish_epoch(), 1u);
+  EXPECT_EQ(appender.fields_pending(), 0u);
+  const std::vector<std::uint8_t> bytes = sink.take();
+
+  const ArchiveReader r1 = ArchiveReader::open_memory(bytes);
+  EXPECT_EQ(r1.epoch_count(), 2u);
+  EXPECT_EQ(r1.recovered_bytes_discarded(), 0u);
+  EXPECT_TRUE(r1.scrub().clean());
+  ASSERT_EQ(r1.fields().size(), 3u);
+  EXPECT_EQ(r1.fields()[0].name, "a");
+  EXPECT_EQ(r1.fields()[0].epoch, 0u);
+  EXPECT_EQ(r1.fields()[1].epoch, 1u);
+  EXPECT_EQ(r1.fields()[2].epoch, 1u);
+
+  // Epoch-0 bytes are untouched: the old field decodes bit-identically.
+  EXPECT_EQ(r1.read_field("a").array(), a_recon.array());
+  // The appended fields meet their error bound through the merged index.
+  for (const Field* orig : std::initializer_list<const Field*>{&b, &vx}) {
+    const Field out = r1.read_field(orig->name());
+    const double abs_eb = opts.eb.absolute_for(orig->value_range());
+    EXPECT_LE(max_abs_error(orig->array().span(), out.array().span()),
+              test::bound_tolerance(abs_eb, *orig))
+        << orig->name();
+  }
+}
+
+TEST(Archive, ReplaceFieldKeepsIndexPositionAndSupersedesData) {
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{16, 16};
+  VectorSink base_sink;
+  {
+    ArchiveWriter writer(base_sink);
+    writer.add_field(smooth_field("a", Shape{40, 48}, 5), opts);
+    writer.add_field(smooth_field("b", Shape{40, 48}, 6), opts);
+    writer.finish();
+  }
+  const std::vector<std::uint8_t> base = base_sink.take();
+  const ArchiveReader r0 = ArchiveReader::open_memory(base);
+  const Field b_before = r0.read_field("b");
+
+  // Replace "a" with a different shape and different data.
+  const Field a2 = smooth_field("a", Shape{24, 20}, 77);
+  VectorSink sink(base);
+  ArchiveAppender appender(sink, r0);
+  appender.replace_field(a2, opts);
+  EXPECT_EQ(appender.finish_epoch(), 1u);
+  const std::vector<std::uint8_t> bytes = sink.take();
+
+  const ArchiveReader r1 = ArchiveReader::open_memory(bytes);
+  ASSERT_EQ(r1.fields().size(), 2u);
+  // The replacement sits at the replaced field's index position, so cached
+  // keys of every *other* field stay valid across the swap.
+  EXPECT_EQ(r1.fields()[0].name, "a");
+  EXPECT_EQ(r1.fields()[0].epoch, 1u);
+  EXPECT_EQ(r1.fields()[0].shape, (Shape{24, 20}));
+  EXPECT_EQ(r1.fields()[1].name, "b");
+  EXPECT_EQ(r1.fields()[1].epoch, 0u);
+  EXPECT_EQ(r1.read_field("b").array(), b_before.array());
+  const Field out = r1.read_field("a");
+  const double abs_eb = opts.eb.absolute_for(a2.value_range());
+  EXPECT_LE(max_abs_error(a2.array().span(), out.array().span()),
+            test::bound_tolerance(abs_eb, a2));
+  EXPECT_TRUE(r1.scrub().clean());
+}
+
+TEST(Archive, AppenderRejectsMisuse) {
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{16, 16};
+  const Field a = smooth_field("a", Shape{40, 48}, 5);
+  VectorSink base_sink;
+  {
+    ArchiveWriter writer(base_sink);
+    ArchiveFieldOptions kopts = opts;
+    kopts.keep_reconstruction = true;
+    ArchiveWriter& w = writer;
+    w.add_field(a, kopts);
+    Rng rng(31);
+    Field tgt("tgt", F32Array(Shape{40, 48}));
+    for (std::size_t i = 0; i < tgt.size(); ++i)
+      tgt.array()[i] =
+          static_cast<float>(0.8 * a.array()[i] + rng.normal(0, 0.05));
+    const CfnnModel model = train_cross_field_model(
+        tgt, {&a}, CfnnConfig{8, 4, 3}, quick_train());
+    w.add_cross_field(tgt, {"a"}, model, opts);
+    w.finish();
+  }
+  const std::vector<std::uint8_t> base = base_sink.take();
+  const ArchiveReader r0 = ArchiveReader::open_memory(base);
+
+  VectorSink sink(base);
+  ArchiveAppender appender(sink, r0);
+  // Appending under a taken name, replacing a missing one, sealing an
+  // empty epoch: all typed errors before any byte lands.
+  EXPECT_THROW(appender.append_field(a, opts), InvalidArgument);
+  EXPECT_THROW(appender.replace_field(smooth_field("nope", Shape{8, 8}, 1),
+                                      opts),
+               InvalidArgument);
+  EXPECT_THROW(appender.finish_epoch(), InvalidArgument);
+  // Replacing an anchor would break the dependents' bit-exact anchor
+  // reconstructions.
+  EXPECT_THROW(appender.replace_field(smooth_field("a", Shape{8, 8}, 2), opts),
+               InvalidArgument);
+  // A field appended this epoch without keep_reconstruction cannot anchor:
+  // its reconstruction is not reachable until the file is reopened.
+  const Field c = smooth_field("c", Shape{40, 48}, 9);
+  appender.append_field(c, opts);  // keep_reconstruction defaults false
+  Rng rng(32);
+  Field dep("dep", F32Array(Shape{40, 48}));
+  for (std::size_t i = 0; i < dep.size(); ++i)
+    dep.array()[i] =
+        static_cast<float>(0.7 * c.array()[i] + rng.normal(0, 0.05));
+  const CfnnModel model = train_cross_field_model(
+      dep, {&c}, CfnnConfig{8, 4, 3}, quick_train());
+  EXPECT_THROW(appender.append_cross_field(dep, {"c"}, model, opts),
+               InvalidArgument);
+  EXPECT_EQ(appender.fields_pending(), 1u);  // "c" alone survived
+  appender.finish_epoch();
+  EXPECT_TRUE(
+      ArchiveReader::open_memory(sink.bytes()).scrub().clean());
+
+  // The sink must sit exactly at the sealed size the reader describes.
+  VectorSink misaligned(std::vector<std::uint8_t>(base.size() + 3, 0));
+  EXPECT_THROW(ArchiveAppender(misaligned, r0), InvalidArgument);
 }
 
 }  // namespace

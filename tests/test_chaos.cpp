@@ -17,6 +17,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <sys/stat.h>
+
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -27,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "archive/archive_appender.hpp"
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
 #include "archive/repair.hpp"
@@ -142,6 +146,98 @@ bool in_box(const TileBox& box, std::size_t i, std::size_t j) {
 
 bool file_exists(const std::string& path) {
   return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::size_t file_size(const std::string& path) {
+  struct ::stat st {};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> out(file_size(path));
+  if (!out.empty()) EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  return out;
+}
+
+/// Three sealed epochs over plain codecs (no CFNN — kept tiny and fast so
+/// the power-cut sweeps can afford every single byte length / call index).
+///   epoch 0: a (kSz)    epoch 1: +b (kZfp)    epoch 2: a replaced
+struct EpochArchive {
+  std::vector<std::uint8_t> bytes;    // full 3-epoch stream
+  std::array<std::size_t, 3> sealed;  // stream size after each seal
+  Field a0, b1, a2;                   // strict decodes per sealed state
+  ArchiveFieldOptions opts;           // the options every field was coded with
+};
+
+const EpochArchive& epoch_archive() {
+  static const EpochArchive e = [] {
+    const Shape shape{24, 20};
+    const auto make = [&](const char* name, std::uint64_t seed, double amp) {
+      Rng rng(seed);
+      F32Array arr(shape);
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        const double x = static_cast<double>(i % 20) / 5.0;
+        const double y = static_cast<double>(i / 20) / 7.0;
+        arr[i] = static_cast<float>(std::sin(x) * std::cos(y) * amp +
+                                    rng.normal(0, 0.02));
+      }
+      return Field(name, std::move(arr));
+    };
+    EpochArchive out;
+    out.opts.eb = ErrorBound::relative(1e-3);
+    out.opts.tile = Shape{16, 16};
+
+    VectorSink seed_sink;
+    ArchiveWriter writer(seed_sink);
+    writer.add_field(make("a", 11, 12.0), out.opts);
+    writer.finish();
+    std::vector<std::uint8_t> bytes = seed_sink.take();
+    out.sealed[0] = bytes.size();
+
+    {
+      const ArchiveReader r = ArchiveReader::open_memory(bytes);
+      VectorSink sink(bytes);  // copy-seeded: continues past the seal
+      ArchiveAppender appender(sink, r);
+      ArchiveFieldOptions zopts = out.opts;
+      zopts.codec = CodecId::kZfp;
+      appender.append_field(make("b", 12, 7.0), zopts);
+      appender.finish_epoch();
+      std::vector<std::uint8_t> next = sink.take();
+      bytes = std::move(next);
+    }
+    out.sealed[1] = bytes.size();
+    {
+      const ArchiveReader r = ArchiveReader::open_memory(bytes);
+      VectorSink sink(bytes);
+      ArchiveAppender appender(sink, r);
+      appender.replace_field(make("a", 13, 20.0), out.opts);
+      appender.finish_epoch();
+      std::vector<std::uint8_t> next = sink.take();
+      bytes = std::move(next);
+    }
+    out.sealed[2] = bytes.size();
+    out.bytes = std::move(bytes);
+
+    const std::span<const std::uint8_t> all(out.bytes);
+    out.a0 =
+        ArchiveReader::open_memory(all.first(out.sealed[0])).read_field("a");
+    out.b1 =
+        ArchiveReader::open_memory(all.first(out.sealed[1])).read_field("b");
+    out.a2 = ArchiveReader::open_memory(all).read_field("a");
+    return out;
+  }();
+  return e;
 }
 
 // -- Fault injector determinism ---------------------------------------------
@@ -567,6 +663,238 @@ TEST(Chaos, TornWriteNeverPublishesAnArchive) {
   EXPECT_FALSE(file_exists(path + ".tmp"));
   const ArchiveReader reader = ArchiveReader::open_file(path);
   EXPECT_TRUE(reader.scrub().clean());
+  std::remove(path.c_str());
+}
+
+// -- Epoch appends under power cuts ------------------------------------------
+
+TEST(Chaos, DirFsyncFailureSurfacesButFileStaysPublished) {
+  const ChaosArchive& a = chaos_archive();
+  const std::string path = ::testing::TempDir() + "xfc_chaos_dirsync." +
+                           std::to_string(::getpid()) + ".xfa";
+  std::remove(path.c_str());
+
+  detail::g_fail_dir_fsync_for_tests.store(1);
+  {
+    FileSink file(path);
+    ArchiveWriter writer(file);
+    ArchiveFieldOptions opts;
+    opts.eb = ErrorBound::relative(1e-3);
+    opts.tile = Shape{16, 16};
+    writer.add_field(a.rho_ref, opts);
+    EXPECT_THROW(writer.finish(), IoError);
+  }
+  EXPECT_EQ(detail::g_fail_dir_fsync_for_tests.load(), 0);  // hook consumed
+
+  // The rename preceded the failed directory fsync, so the archive is
+  // already published and intact: the error reports unproven durability of
+  // the directory entry, it must not be "handled" by deleting good data.
+  ASSERT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  EXPECT_TRUE(ArchiveReader::open_file(path).scrub().clean());
+  std::remove(path.c_str());
+}
+
+TEST(Chaos, AppendFileSinkTruncatesTheTornTail) {
+  const std::string path = ::testing::TempDir() + "xfc_chaos_appendsink." +
+                           std::to_string(::getpid()) + ".bin";
+  std::remove(path.c_str());
+  std::vector<std::uint8_t> seed(100);
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = static_cast<std::uint8_t>(i);
+  write_file(path, seed);
+
+  // Resuming at 60 declares bytes 60..99 a torn tail; they must be gone
+  // before the first fresh byte lands, never interleaved with it.
+  {
+    AppendFileSink sink(path, 60);
+    EXPECT_EQ(sink.size(), 60u);
+    const std::vector<std::uint8_t> tail(20, 0xAB);
+    sink.append(tail);
+    sink.sync();
+    EXPECT_EQ(sink.size(), 80u);
+  }
+  const std::vector<std::uint8_t> after = read_file(path);
+  ASSERT_EQ(after.size(), 80u);
+  for (std::size_t i = 0; i < 60; ++i) EXPECT_EQ(after[i], seed[i]);
+  for (std::size_t i = 60; i < 80; ++i) EXPECT_EQ(after[i], 0xAB);
+
+  // A resume point past EOF means the caller's sealed state never existed
+  // in this file — refuse loudly rather than write at a phantom offset.
+  EXPECT_THROW(AppendFileSink(path, 200), IoError);
+  std::remove(path.c_str());
+}
+
+// Satellite: exhaustive prefix-truncation recovery. Every write in the
+// epoch protocol is a sequential append, so *any* power-cut image under
+// prefix persistence semantics is exactly a byte prefix of the full
+// stream. Sweeping every prefix length is therefore a complete crash
+// matrix for the in-memory protocol: each one must open to the newest
+// fully sealed epoch bit-exactly, or throw a typed error when not even
+// epoch 0 is complete. Partial epochs are absent, never wrong.
+TEST(Chaos, EveryPrefixRecoversToTheNewestSealedEpoch) {
+  const EpochArchive& e = epoch_archive();
+  const std::span<const std::uint8_t> all(e.bytes);
+  for (std::size_t len = 0; len <= all.size(); ++len) {
+    const std::span<const std::uint8_t> prefix = all.first(len);
+    if (len < e.sealed[0]) {
+      EXPECT_THROW(ArchiveReader::open_memory(prefix), CorruptStream)
+          << "prefix " << len;
+      continue;
+    }
+    std::size_t state = 0;
+    while (state + 1 < e.sealed.size() && e.sealed[state + 1] <= len) ++state;
+    const ArchiveReader reader = ArchiveReader::open_memory(prefix);
+    ASSERT_EQ(reader.epoch_count(), state + 1) << "prefix " << len;
+    ASSERT_EQ(reader.logical_size(), e.sealed[state]) << "prefix " << len;
+    ASSERT_EQ(reader.recovered_bytes_discarded(), len - e.sealed[state])
+        << "prefix " << len;
+    ASSERT_TRUE(reader.scrub().clean()) << "prefix " << len;
+    ASSERT_EQ(reader.fields().size(), state == 0 ? 1u : 2u);
+    const Field a = reader.read_field("a");
+    ASSERT_EQ(a.array(), state < 2 ? e.a0.array() : e.a2.array())
+        << "prefix " << len;
+    if (state >= 1) {
+      const Field b = reader.read_field("b");
+      ASSERT_EQ(b.array(), e.b1.array()) << "prefix " << len;
+    }
+  }
+}
+
+// Tentpole: the file-backed crash-point sweep. Kill one append at every
+// injectable point — each data/footer/trailer append and both fsync
+// barriers (fail_calls), then a torn-write sweep over byte thresholds
+// (fail_after_bytes) — reopen the file, and require recovery to a
+// scrub-clean archive holding exactly a sealed epoch set. After every
+// recovery the archive must also accept a clean re-append: a crash must
+// never brick live ingest.
+TEST(Chaos, AppendCrashPointSweepRecoversAndResumes) {
+  const EpochArchive& e = epoch_archive();
+  const std::string path = ::testing::TempDir() + "xfc_chaos_crashpoint." +
+                           std::to_string(::getpid()) + ".xfa";
+  const std::span<const std::uint8_t> epoch0 =
+      std::span<const std::uint8_t>(e.bytes).first(e.sealed[0]);
+  const Field b_field = ArchiveReader::open_memory(
+                            std::span<const std::uint8_t>(e.bytes).first(
+                                e.sealed[1]))
+                            .read_field("b");
+  ArchiveFieldOptions zopts = e.opts;
+  zopts.codec = CodecId::kZfp;
+
+  // Instrumented clean pass: counts the injectable call indices and pins
+  // the exact byte growth of one appended epoch.
+  std::uint64_t total_calls = 0;
+  {
+    write_file(path, epoch0);
+    const ArchiveReader r = ArchiveReader::open_file(path);
+    AppendFileSink file(path, r.logical_size());
+    auto injector = std::make_shared<FaultInjector>(FaultPlan{});
+    FaultyByteSink sink(file, injector);
+    ArchiveAppender appender(sink, r);
+    appender.append_field(b_field, zopts);
+    EXPECT_EQ(appender.finish_epoch(), 1u);
+    total_calls = injector->counters().calls;
+  }
+  const std::size_t full_size = file_size(path);
+  ASSERT_GT(full_size, e.sealed[0]);
+  // At minimum: one body append, barrier, footer append, trailer append,
+  // barrier — the protocol's five distinguishable crash neighborhoods.
+  ASSERT_GE(total_calls, 5u);
+
+  const auto check_recovery_and_resume = [&](std::uint64_t tag) {
+    // Reopen after the kill: the partial epoch must be absent, never wrong.
+    const ArchiveReader r = ArchiveReader::open_file(path);
+    ASSERT_TRUE(r.scrub().clean()) << "crash point " << tag;
+    if (r.epoch_count() == 2) {
+      // The kill hit at/after the final barrier with every byte already in
+      // the file: epoch 1 is sealed (durability unproven but content
+      // valid) — an acceptable post-crash state.
+      ASSERT_EQ(r.logical_size(), file_size(path));
+      ASSERT_EQ(r.fields().size(), 2u);
+      ASSERT_EQ(r.read_field("b").array(), b_field.array());
+    } else {
+      ASSERT_EQ(r.epoch_count(), 1u) << "crash point " << tag;
+      ASSERT_EQ(r.logical_size(), e.sealed[0]);
+      ASSERT_EQ(r.fields().size(), 1u);
+      ASSERT_EQ(r.find("b"), nullptr);
+      ASSERT_EQ(r.recovered_bytes_discarded(), file_size(path) - e.sealed[0]);
+    }
+    ASSERT_EQ(r.read_field("a").array(), e.a0.array()) << "crash point " << tag;
+
+    // The survivor accepts a clean append (the torn tail, if any, is
+    // truncated away by the resume) and seals it.
+    {
+      AppendFileSink file(path, r.logical_size());
+      ArchiveAppender appender(file, r);
+      Field c = e.a0;
+      c.set_name("c");
+      appender.append_field(c, e.opts);
+      appender.finish_epoch();
+    }
+    const ArchiveReader again = ArchiveReader::open_file(path);
+    ASSERT_TRUE(again.scrub().clean()) << "crash point " << tag;
+    ASSERT_EQ(again.recovered_bytes_discarded(), 0u);
+    ASSERT_NE(again.find("c"), nullptr);
+    ASSERT_EQ(again.read_field("a").array(), e.a0.array());
+  };
+
+  // (1) Hard kill at every call index: appends die before any byte lands,
+  // barriers die between write-back and fsync completion.
+  for (std::uint64_t k = 0; k < total_calls; ++k) {
+    write_file(path, epoch0);
+    {
+      const ArchiveReader r = ArchiveReader::open_file(path);
+      AppendFileSink file(path, r.logical_size());
+      FaultPlan plan;
+      plan.fail_calls = {k};
+      auto injector = std::make_shared<FaultInjector>(plan);
+      FaultyByteSink sink(file, injector);
+      ArchiveAppender appender(sink, r);
+      EXPECT_THROW(
+          {
+            appender.append_field(b_field, zopts);
+            appender.finish_epoch();
+          },
+          IoError)
+          << "call " << k;
+      EXPECT_EQ(injector->counters().injected_errors, 1u);
+    }
+    check_recovery_and_resume(k);
+  }
+
+  // (2) Torn-write sweep: the disk "fills up" at a swept byte threshold,
+  // so some append lands only a prefix. Budgeted by XFC_CHAOS_SEEDS.
+  const std::size_t span = full_size - 1;
+  const std::size_t budget =
+      std::min<std::size_t>(static_cast<std::size_t>(chaos_seeds()), span);
+  for (std::size_t i = 0; i < budget; ++i) {
+    const std::size_t threshold = 1 + (i * span) / budget;
+    write_file(path, epoch0);
+    bool threw = false;
+    {
+      const ArchiveReader r = ArchiveReader::open_file(path);
+      AppendFileSink file(path, r.logical_size());
+      FaultPlan plan;
+      plan.fail_after_bytes = threshold;
+      auto injector = std::make_shared<FaultInjector>(plan);
+      FaultyByteSink sink(file, injector);
+      ArchiveAppender appender(sink, r);
+      try {
+        appender.append_field(b_field, zopts);
+        appender.finish_epoch();
+      } catch (const IoError&) {
+        threw = true;
+      }
+    }
+    if (!threw) {
+      // The threshold fell beyond the last append: the epoch sealed whole.
+      const ArchiveReader r = ArchiveReader::open_file(path);
+      ASSERT_EQ(r.epoch_count(), 2u) << "threshold " << threshold;
+      ASSERT_TRUE(r.scrub().clean());
+      continue;
+    }
+    check_recovery_and_resume(threshold);
+  }
   std::remove(path.c_str());
 }
 

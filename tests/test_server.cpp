@@ -7,11 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
+#include "archive/archive_appender.hpp"
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
 #include "archive/tile.hpp"
@@ -304,6 +309,90 @@ TEST(TileCacheTest, CrossFieldAnchorsResolveThroughCache) {
   // The anchor's tile is now a hit for direct anchor reads.
   cache.get(id, "A0", 1);
   EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TileCacheTest, InvalidateDropsPositiveAndNegativeEntriesOfOneField) {
+  std::vector<std::uint8_t> storage;
+  make_multi_codec_archive(storage);
+  // Poison one f_sz tile so the field accrues a negative entry too.
+  {
+    const ArchiveReader clean = ArchiveReader::open_memory(storage);
+    const ArchiveTileInfo& t = clean.find("f_sz")->tiles[1];
+    storage[t.offset + t.size / 2] ^= 0x10;
+  }
+  auto reader = std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(storage));
+  TileCacheConfig config{8u << 20, 4};
+  config.negative_ttl_ms = 60'000;  // would pin the error for the whole test
+  TileCache cache(config);
+  const std::uint64_t id = cache.add_archive(reader);
+
+  const auto t0 = cache.get(id, "f_sz", 0);
+  const auto t3 = cache.get(id, "f_sz", 3);
+  const auto other = cache.get(id, "f_classic", 0);
+  EXPECT_THROW(cache.get(id, "f_sz", 1), CorruptStream);
+  EXPECT_THROW(cache.get(id, "f_sz", 1), CorruptStream);  // negative hit
+  ASSERT_EQ(cache.stats().entries, 3u);
+  ASSERT_EQ(cache.stats().negative_entries, 1u);
+  ASSERT_EQ(cache.stats().misses, 4u);
+  ASSERT_EQ(cache.stats().negative_hits, 1u);
+
+  // f_sz is field index 0; the sweep drops its two cached tiles AND the
+  // poisoned entry — a re-ingested field must not serve a stale backoff
+  // any more than stale bytes — and touches nothing else.
+  EXPECT_EQ(cache.invalidate(id, 0), 3u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().negative_entries, 0u);
+
+  // The untouched field is still warm; f_sz decodes from scratch.
+  EXPECT_EQ(cache.get(id, "f_classic", 0).get(), other.get());
+  const auto t0b = cache.get(id, "f_sz", 0);
+  ASSERT_NE(t0b, nullptr);
+  EXPECT_EQ(t0b->array(), t0->array());
+  EXPECT_NE(t0b.get(), t0.get());
+  EXPECT_THROW(cache.get(id, "f_sz", 1), CorruptStream);  // fresh attempt
+  EXPECT_EQ(cache.stats().misses, 6u);
+  EXPECT_EQ(cache.stats().negative_entries, 1u);
+
+  // Per-tile variant: drops exactly the named entry (t3 went with the
+  // field-level sweep and was never re-fetched).
+  EXPECT_EQ(cache.invalidate_tile(id, 0, 0), 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);  // f_classic 0 alone
+  (void)t3;
+}
+
+TEST(TileCacheTest, UpdateArchiveKeepsUnchangedFieldsWarm) {
+  std::vector<std::uint8_t> storage;
+  const auto reader = make_multi_codec_archive(storage);
+  TileCache cache(TileCacheConfig{8u << 20, 4});
+  const std::uint64_t id = cache.add_archive(reader);
+  const auto warm = cache.get(id, "f_sz", 3);
+
+  // Append an epoch in memory and swap the reader under the same id.
+  VectorSink sink(storage);
+  ArchiveAppender appender(sink, *reader);
+  ArchiveFieldOptions opts;
+  opts.eb = ErrorBound::relative(1e-3);
+  opts.tile = Shape{32, 32};
+  appender.append_field(smooth_field("fresh", Shape{70, 90}, 99), opts);
+  appender.finish_epoch();
+  const std::vector<std::uint8_t> bytes = sink.take();
+  auto fresh = std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_memory(bytes));
+  cache.update_archive(id, fresh);
+
+  // Field indices are append-stable, so the warm tile is still a hit —
+  // the same object, no re-decode.
+  EXPECT_EQ(cache.get(id, "f_sz", 3).get(), warm.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // The appended field decodes through the swapped reader.
+  const auto nf = cache.get(id, "fresh", 0);
+  ASSERT_NE(nf, nullptr);
+  EXPECT_EQ(nf->array(),
+            fresh->read_tile(*fresh->find("fresh"), 0, {}).array());
+
+  EXPECT_THROW(cache.update_archive(id + 7, fresh), InvalidArgument);
 }
 
 // -- Service endpoints (no sockets) ------------------------------------------
@@ -605,6 +694,10 @@ TEST(Http, LegacyStatsShapeIsPinned) {
            "\"degraded_requests\": 0,\n",
            "\"failed_regions\": 0,\n",
            "\"deadline_exceeded\": 0,\n",
+           "\"ingest_requests\": 0,\n",
+           "\"ingest_bytes\": 0,\n",
+           "\"ingest_errors\": 0,\n",
+           "\"ingest_epochs\": 0,\n",
            "\"ready\": true,\n",
            "  \"cache\": {\n    \"hits\": ",
            "\"misses\": 6,\n",       // one decode per covered 32x32 tile
@@ -649,6 +742,190 @@ TEST(Http, ConditionalGetOverLoopback) {
   // The stats endpoint accounts the 304s.
   const auto stats = client.get("/stats");
   EXPECT_NE(stats.body.find("\"not_modified\": 1"), std::string::npos);
+}
+
+// -- Live ingest (PUT /field/<name>) -----------------------------------------
+
+std::string f32_body(const std::vector<float>& values) {
+  return std::string(reinterpret_cast<const char*>(values.data()),
+                     values.size() * sizeof(float));
+}
+
+TEST(Http, LiveIngestAppendsEpochsOverLoopback) {
+  const std::string path = ::testing::TempDir() + "xfc_server_ingest." +
+                           std::to_string(::getpid()) + ".xfa";
+  std::remove(path.c_str());
+  {
+    FileSink sink(path);
+    ArchiveWriter writer(sink);
+    ArchiveFieldOptions opts;
+    opts.eb = ErrorBound::relative(1e-3);
+    opts.tile = Shape{32, 32};
+    writer.add_field(smooth_field("base", Shape{70, 90}, 7), opts);
+    writer.finish();
+  }
+  auto reader = std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_file(path));
+  server::ServiceConfig sconfig;
+  sconfig.archive_path = path;
+  ArchiveService service(reader, sconfig);
+  server::HttpConfig hconfig;
+  hconfig.max_request_bytes = 1u << 20;
+  HttpServer http(hconfig, [&service](const HttpRequest& r) {
+    return service.handle(r);
+  });
+  http.start();
+  HttpClient client("127.0.0.1", http.port());
+
+  // Warm the base field: ingest of other fields must not disturb it.
+  const auto base_cold = client.get("/field/base/region?lo=0,0&hi=32,32");
+  ASSERT_EQ(base_cold.status, 200);
+
+  std::vector<float> values(24 * 16);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<float>(i % 31) * 0.5f;
+  const std::string target = "/field/live?shape=24,16&mode=abs&eb=0.01&tile=16,16";
+  const auto created = client.put(target, f32_body(values));
+  ASSERT_EQ(created.status, 201) << created.body;
+  EXPECT_NE(created.body.find("\"epoch\": 1"), std::string::npos);
+  EXPECT_NE(created.body.find("\"created\": true"), std::string::npos);
+
+  const auto live1 = client.get("/field/live/region?lo=0,0&hi=24,16");
+  ASSERT_EQ(live1.status, 200);
+  ASSERT_EQ(live1.body.size(), values.size() * sizeof(float));
+  const float* got = reinterpret_cast<const float*>(live1.body.data());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_NEAR(got[i], values[i], 0.0101f) << i;
+  const std::string* etag1 = live1.header("ETag");
+  ASSERT_NE(etag1, nullptr);
+  const std::string etag_created = *etag1;
+
+  // Replace: same name, shifted values — next epoch, fresh bytes, fresh
+  // ETag. The invalidation must evict the old tiles, or these reads would
+  // serve the superseded epoch from cache.
+  for (float& v : values) v += 5.0f;
+  const auto replaced = client.put(target, f32_body(values));
+  ASSERT_EQ(replaced.status, 200) << replaced.body;
+  EXPECT_NE(replaced.body.find("\"epoch\": 2"), std::string::npos);
+  EXPECT_NE(replaced.body.find("\"created\": false"), std::string::npos);
+  const auto live2 = client.get("/field/live/region?lo=0,0&hi=24,16");
+  ASSERT_EQ(live2.status, 200);
+  const float* got2 = reinterpret_cast<const float*>(live2.body.data());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    ASSERT_NEAR(got2[i], values[i], 0.0101f) << i;
+  const std::string* etag2 = live2.header("ETag");
+  ASSERT_NE(etag2, nullptr);
+  EXPECT_NE(*etag2, etag_created);
+
+  // The base field survived both ingests byte-identically (its indices are
+  // append-stable; nothing invalidated its cache entries).
+  const auto base_warm = client.get("/field/base/region?lo=0,0&hi=32,32");
+  EXPECT_EQ(base_warm.body, base_cold.body);
+
+  // Malformed ingests answer 400 without touching the archive.
+  EXPECT_EQ(client.put("/field/x?shape=8,8&eb=0.01", "abc").status, 400);
+  EXPECT_EQ(client.put("/field/x?eb=0.01", "abcd").status, 400);
+  EXPECT_EQ(client.put("/field/x?shape=4&mode=banana&eb=0.01",
+                       std::string(16, '\0'))
+                .status,
+            400);
+
+  // Drain refuses new writes before anything else.
+  service.set_ready(false);
+  const auto drained =
+      client.put("/field/late?shape=4&mode=abs&eb=0.01", std::string(16, '\0'));
+  EXPECT_EQ(drained.status, 503);
+  EXPECT_NE(drained.header("Retry-After"), nullptr);
+  service.set_ready(true);
+
+  const auto stats = client.get("/stats");
+  EXPECT_NE(stats.body.find("\"ingest_epochs\": 2"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"ingest_errors\": 4"), std::string::npos);
+  http.stop();
+
+  // Offline reopen: the file carries every sealed epoch, scrub-clean.
+  const ArchiveReader check = ArchiveReader::open_file(path);
+  EXPECT_EQ(check.epoch_count(), 3u);
+  EXPECT_EQ(check.fields().size(), 2u);
+  EXPECT_TRUE(check.scrub().clean());
+  std::remove(path.c_str());
+}
+
+TEST(Http, IngestDisabledAnswers403) {
+  LoopbackServer s;  // no archive_path configured
+  HttpClient client("127.0.0.1", s.port());
+  const auto resp = client.put("/field/x?shape=2,2&mode=abs&eb=0.01",
+                               std::string(16, '\0'));
+  EXPECT_EQ(resp.status, 403);
+}
+
+TEST(Service, IngestRefusesReplacingAnchoredField) {
+  const std::string path = ::testing::TempDir() + "xfc_server_anchor." +
+                           std::to_string(::getpid()) + ".xfa";
+  std::vector<std::uint8_t> storage;
+  make_cross_field_archive(storage);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(storage.data()),
+              static_cast<std::streamsize>(storage.size()));
+  }
+  auto reader = std::make_shared<const ArchiveReader>(
+      ArchiveReader::open_file(path));
+  server::ServiceConfig sconfig;
+  sconfig.archive_path = path;
+  ArchiveService service(reader, sconfig);
+
+  HttpRequest req;
+  req.method = "PUT";
+  req.path = "/field/A0";
+  req.query = "shape=40,48&mode=abs&eb=0.01";
+  req.body = std::string(40 * 48 * sizeof(float), '\0');
+  // TGT anchors on A0: replacing A0 would break TGT's bit-exact anchor
+  // reconstructions, so the ingest answers 409.
+  EXPECT_EQ(service.handle(req).status, 409);
+
+  // The cross-field target itself is fair game (nothing anchors on it);
+  // the replacement is recoded with a plain codec.
+  req.path = "/field/TGT";
+  const auto ok = service.handle(req);
+  EXPECT_EQ(ok.status, 200) << ok.body;
+  std::remove(path.c_str());
+}
+
+TEST(Http, ClientHonorsRetryAfterOn503) {
+  std::atomic<int> remaining{2};
+  server::HttpConfig config;
+  HttpServer http(config, [&remaining](const HttpRequest&) {
+    if (remaining.fetch_sub(1) > 0) {
+      HttpResponse resp = HttpResponse::text(503, "overloaded\n");
+      resp.headers.emplace_back("Retry-After", "0");
+      return resp;
+    }
+    return HttpResponse::text(200, "ok\n");
+  });
+  http.start();
+
+  // The default client surfaces the 503: overload-shedding tests (and
+  // callers that want to make their own pushback decisions) must see it.
+  {
+    HttpClient client("127.0.0.1", http.port());
+    EXPECT_EQ(client.get("/x").status, 503);
+  }
+
+  // An opt-in client consumes the server's Retry-After and re-issues.
+  remaining.store(2);
+  server::HttpClientConfig cconfig;
+  cconfig.retry_503 = true;
+  cconfig.max_retries = 3;
+  HttpClient client("127.0.0.1", http.port(), cconfig);
+  const auto resp = client.get("/x");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "ok\n");
+
+  // A 503 storm deeper than the retry budget surfaces the last 503.
+  remaining.store(100);
+  EXPECT_EQ(client.get("/x").status, 503);
+  http.stop();
 }
 
 TEST(Http, KeepAliveServesManyRequestsOnOneConnection) {
